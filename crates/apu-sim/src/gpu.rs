@@ -1,0 +1,233 @@
+//! GPU wavefront/occupancy timing.
+//!
+//! GPUs are throughput processors: they hide memory latency by keeping
+//! many wavefronts resident, so their efficiency depends strongly on how
+//! much work a kernel launch carries. This module captures that with a
+//! simple, auditable model:
+//!
+//! * **Compute** executes in waves of `lanes × CUs` items; a partially
+//!   filled wavefront still occupies its full width (lane quantization).
+//! * **Memory** accesses are serviced concurrently up to the effective
+//!   memory-level parallelism (MLP), which scales with occupancy:
+//!   `MLP(n) = clamp(max_mlp · n / saturation_items, min_mlp, max_mlp)`.
+//!   A batch of a few hundred items gets `min_mlp`-ish hiding and is
+//!   therefore drastically less efficient per item than a saturated
+//!   batch — the paper's Figure 6 phenomenon, where the 5 % of
+//!   Insert/Delete operations consume up to 56 % of GPU execution time.
+//! * Every kernel launch pays a fixed overhead.
+
+use crate::spec::GpuSpec;
+use crate::Ns;
+use dido_model::ResourceUsage;
+
+/// GPU timing calculator for a given GPU spec.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuTiming<'a> {
+    spec: &'a GpuSpec,
+}
+
+impl<'a> GpuTiming<'a> {
+    /// Create a calculator over `spec`.
+    #[must_use]
+    pub fn new(spec: &'a GpuSpec) -> GpuTiming<'a> {
+        GpuTiming { spec }
+    }
+
+    /// Effective memory-level parallelism for a kernel over `n` items.
+    #[must_use]
+    pub fn effective_mlp(&self, n: usize) -> f64 {
+        let s = self.spec;
+        let occupancy = n as f64 / s.saturation_items;
+        (s.max_mlp * occupancy).clamp(s.min_mlp, s.max_mlp)
+    }
+
+    /// Effective MLP for a kernel dominated by *atomic* accesses
+    /// (Insert/Delete kernels use compare-exchange, §III-B-2): capped at
+    /// the atomic serialization limit regardless of occupancy.
+    #[must_use]
+    pub fn effective_mlp_atomic(&self, n: usize) -> f64 {
+        self.effective_mlp(n).min(self.spec.atomic_mlp)
+    }
+
+    /// Occupancy fraction in `[0, 1]` (used for utilization reporting).
+    #[must_use]
+    pub fn occupancy(&self, n: usize) -> f64 {
+        (n as f64 / self.spec.saturation_items).min(1.0)
+    }
+
+    /// Time for one kernel that processes `n` items, each consuming
+    /// `per_item` resources. Returns 0 for `n == 0` (no launch).
+    #[must_use]
+    pub fn kernel_time(&self, n: usize, per_item: ResourceUsage) -> Ns {
+        self.kernel_time_opts(n, per_item, false)
+    }
+
+    /// [`GpuTiming::kernel_time`] with an atomics flag: atomic-dominated
+    /// kernels (index Insert/Delete) are capped at the atomic MLP.
+    #[must_use]
+    pub fn kernel_time_opts(&self, n: usize, per_item: ResourceUsage, atomic: bool) -> Ns {
+        if n == 0 {
+            return 0.0;
+        }
+        self.kernel_time_aggregate_opts(n, per_item.scaled(n as u64), atomic)
+    }
+
+    /// Time for a kernel expressed as an aggregate (already-summed)
+    /// usage over `n` items. Used by the functional executor, which
+    /// counts exact totals rather than uniform per-item costs.
+    #[must_use]
+    pub fn kernel_time_aggregate(&self, n: usize, total: ResourceUsage) -> Ns {
+        self.kernel_time_aggregate_opts(n, total, false)
+    }
+
+    /// [`GpuTiming::kernel_time_aggregate`] with an atomics flag.
+    #[must_use]
+    pub fn kernel_time_aggregate_opts(
+        &self,
+        n: usize,
+        total: ResourceUsage,
+        atomic: bool,
+    ) -> Ns {
+        if n == 0 {
+            return 0.0;
+        }
+        let s = self.spec;
+        let lanes = s.lanes_per_cu;
+        let items_padded = n.div_ceil(lanes) * lanes;
+        let waves = items_padded.div_ceil(s.wave_items()).max(1) as f64;
+        // Per-item instruction cost approximated by the mean.
+        let insn_per_item = total.instructions as f64 / n as f64;
+        let compute_ns = waves * (insn_per_item / s.ipc) / s.freq_ghz;
+        let mlp = if atomic {
+            self.effective_mlp_atomic(n)
+        } else {
+            self.effective_mlp(n)
+        };
+        let mem_ns = total.mem_accesses as f64 * s.mem_latency_ns / mlp;
+        let cache_ns = total.cache_accesses as f64 * s.l2_latency_ns / mlp;
+        // Bandwidth floor: every counted access moves a cache line over
+        // the memory system; bulk-data kernels hit this wall before the
+        // latency/MLP limit.
+        let bw_ns = total.total_accesses() as f64 * 64.0 / s.mem_bandwidth_gbps;
+        s.kernel_launch_ns + compute_ns + (mem_ns + cache_ns).max(bw_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::HwSpec;
+
+    fn gpu() -> GpuSpec {
+        HwSpec::kaveri_apu().gpu
+    }
+
+    #[test]
+    fn zero_items_cost_nothing() {
+        let g = gpu();
+        let t = GpuTiming::new(&g);
+        assert_eq!(t.kernel_time(0, ResourceUsage::new(100, 10, 0)), 0.0);
+        assert_eq!(t.kernel_time_aggregate(0, ResourceUsage::new(100, 10, 0)), 0.0);
+    }
+
+    #[test]
+    fn mlp_clamps_and_grows() {
+        let g = gpu();
+        let t = GpuTiming::new(&g);
+        assert_eq!(t.effective_mlp(1), g.min_mlp);
+        assert_eq!(t.effective_mlp(100_000), g.max_mlp);
+        let mid = t.effective_mlp(2048);
+        assert!(mid > g.min_mlp && mid < g.max_mlp);
+        assert!(t.effective_mlp(3000) > t.effective_mlp(1000));
+    }
+
+    #[test]
+    fn small_batches_are_much_less_efficient_per_item() {
+        // The Figure 6 driver: per-item cost at n=250 must be several
+        // times the per-item cost at n=5000.
+        let g = gpu();
+        let t = GpuTiming::new(&g);
+        let per_item = ResourceUsage::new(60, 2, 0);
+        let small = t.kernel_time(250, per_item) / 250.0;
+        let large = t.kernel_time(5_000, per_item) / 5_000.0;
+        assert!(
+            small > 4.0 * large,
+            "small-batch per-item {small:.1}ns vs large-batch {large:.1}ns"
+        );
+    }
+
+    #[test]
+    fn launch_overhead_charged_once() {
+        let g = gpu();
+        let t = GpuTiming::new(&g);
+        let one = t.kernel_time(1, ResourceUsage::ZERO);
+        assert!((one - g.kernel_launch_ns).abs() / g.kernel_launch_ns < 0.5);
+    }
+
+    #[test]
+    fn time_monotonic_in_items() {
+        let g = gpu();
+        let t = GpuTiming::new(&g);
+        let u = ResourceUsage::new(40, 3, 1);
+        let mut prev = 0.0;
+        for n in [1usize, 64, 512, 1024, 4096, 16384] {
+            let cur = t.kernel_time(n, u);
+            assert!(cur >= prev, "time must not decrease with items");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn atomic_kernels_lose_latency_hiding_at_scale() {
+        let g = gpu();
+        let t = GpuTiming::new(&g);
+        let per_item = ResourceUsage::new(60, 2, 0);
+        // Saturated batch: atomic kernels must be several times slower.
+        let plain = t.kernel_time_opts(8192, per_item, false);
+        let atomic = t.kernel_time_opts(8192, per_item, true);
+        assert!(
+            atomic > 3.0 * plain,
+            "atomic {atomic:.0}ns vs plain {plain:.0}ns"
+        );
+        // Tiny batch: both are min-MLP bound, so similar.
+        let plain = t.kernel_time_opts(64, per_item, false);
+        let atomic = t.kernel_time_opts(64, per_item, true);
+        assert!(atomic <= plain * 1.6);
+    }
+
+    #[test]
+    fn aggregate_matches_uniform_per_item() {
+        let g = gpu();
+        let t = GpuTiming::new(&g);
+        let per_item = ResourceUsage::new(50, 2, 1);
+        let n = 3000;
+        let a = t.kernel_time(n, per_item);
+        let b = t.kernel_time_aggregate(n, per_item.scaled(n as u64));
+        assert!((a - b).abs() < 1e-6 * a.max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn streaming_kernels_are_bandwidth_bound() {
+        // A kernel hauling 16 lines per item (1 KB values) must be
+        // priced at bus bandwidth, not at L2-hit latency over MLP.
+        let g = gpu();
+        let t = GpuTiming::new(&g);
+        let per_item = ResourceUsage::new(128, 1, 16);
+        let n = 8192;
+        let time = t.kernel_time(n, per_item);
+        let bytes = (n as f64) * 17.0 * 64.0;
+        let bus_floor = bytes / g.mem_bandwidth_gbps;
+        assert!(
+            time >= bus_floor * 0.99,
+            "kernel {time:.0}ns cannot beat the bus floor {bus_floor:.0}ns"
+        );
+    }
+
+    #[test]
+    fn occupancy_saturates() {
+        let g = gpu();
+        let t = GpuTiming::new(&g);
+        assert!(t.occupancy(100) < 0.1);
+        assert_eq!(t.occupancy(1 << 20), 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Functional + timing simulator of a coupled CPU-GPU (APU) chip.
+//!
+//! The DIDO paper evaluates on an AMD A10-7850K Kaveri APU: four CPU
+//! cores and eight GPU compute units sharing one physical memory with
+//! cache coherency (hUMA). This crate substitutes for that hardware.
+//! Task code in `dido-pipeline` executes *for real* on the host and
+//! counts its resource usage ([`dido_model::ResourceUsage`]); this crate
+//! converts counted usage into **virtual nanoseconds** under a calibrated
+//! hardware model:
+//!
+//! * **CPU** time follows the paper's Equation 1 literally:
+//!   `T = N · (I/IPC + N_M·L_M + N_C·L_C)`, divided over the cores
+//!   assigned to a stage.
+//! * **GPU** time uses a wavefront/occupancy model: work executes in
+//!   waves of `lanes × CUs` items, memory latency is hidden by the
+//!   memory-level parallelism the resident wavefronts supply, and small
+//!   batches therefore get poor hiding — the effect behind the paper's
+//!   Figure 6 (5 % Insert/Delete consuming up to 56 % of GPU time).
+//! * **Interference** between the two processors sharing the memory bus
+//!   is modelled by the paper's factor `µ_{N_C,N_G}`
+//!   ([`InterferenceModel`]), with a microbenchmark-built lookup table
+//!   ([`InterferenceTable`]) like the paper uses for its cost model.
+//! * A **discrete profile** ([`HwSpec::discrete_gtx780`]) models the
+//!   Mega-KV (Discrete) testbed — two server CPUs plus two big discrete
+//!   GPUs behind a [PCIe link](PcieModel) — for the Figure 16–18
+//!   comparisons.
+//!
+//! All times are `f64` nanoseconds of *virtual* time; nothing here
+//! depends on wall-clock time, so simulations are deterministic.
+
+#![warn(missing_docs)]
+
+mod energy;
+mod gpu;
+mod interference;
+mod pcie;
+mod spec;
+mod timing;
+
+pub use energy::EnergyModel;
+pub use gpu::GpuTiming;
+pub use interference::{InterferenceModel, InterferenceTable};
+pub use pcie::PcieModel;
+pub use spec::{CpuSpec, GpuSpec, HwSpec, MemorySpec, PlatformCosts};
+pub use timing::{StageTiming, TimingEngine};
+
+/// Virtual time in nanoseconds.
+pub type Ns = f64;
+
+/// Nanoseconds → microseconds, for readable experiment output.
+#[must_use]
+pub fn ns_to_us(ns: Ns) -> f64 {
+    ns / 1_000.0
+}

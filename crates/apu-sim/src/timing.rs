@@ -1,0 +1,264 @@
+//! The timing engine: counted resource usage → virtual nanoseconds.
+
+use crate::gpu::GpuTiming;
+use crate::interference::InterferenceModel;
+use crate::pcie::PcieModel;
+use crate::spec::HwSpec;
+use crate::Ns;
+use dido_model::{Processor, ResourceUsage};
+
+/// Timing input/output record for one pipeline stage during one batch.
+///
+/// `base_ns` is the stage's isolated execution time; after
+/// [`TimingEngine::apply_interference`], `final_ns` holds the time
+/// inflated by the µ factor from the other processor's concurrent
+/// memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageTiming {
+    /// Processor running this stage.
+    pub processor: Processor,
+    /// Isolated (interference-free) execution time.
+    pub base_ns: Ns,
+    /// Memory accesses the stage issues while running (its contribution
+    /// to bus pressure).
+    pub mem_accesses: u64,
+    /// Execution time after interference; equals `base_ns` until
+    /// [`TimingEngine::apply_interference`] runs.
+    pub final_ns: Ns,
+    /// The µ factor that was applied.
+    pub mu: f64,
+}
+
+impl StageTiming {
+    /// A stage record before interference is applied.
+    #[must_use]
+    pub fn new(processor: Processor, base_ns: Ns, mem_accesses: u64) -> StageTiming {
+        StageTiming {
+            processor,
+            base_ns,
+            mem_accesses,
+            final_ns: base_ns,
+            mu: 1.0,
+        }
+    }
+}
+
+/// Converts [`ResourceUsage`] into virtual time under a hardware spec.
+#[derive(Debug, Clone)]
+pub struct TimingEngine {
+    hw: HwSpec,
+    interference: InterferenceModel,
+    pcie: Option<PcieModel>,
+}
+
+impl TimingEngine {
+    /// Engine over a hardware profile. Discrete profiles get a PCIe
+    /// model attached automatically.
+    #[must_use]
+    pub fn new(hw: HwSpec) -> TimingEngine {
+        let pcie = if hw.coupled {
+            None
+        } else {
+            Some(PcieModel::pcie3_x16())
+        };
+        TimingEngine {
+            interference: InterferenceModel::new(&hw),
+            hw,
+            pcie,
+        }
+    }
+
+    /// The hardware profile.
+    #[must_use]
+    pub fn hw(&self) -> &HwSpec {
+        &self.hw
+    }
+
+    /// The PCIe model (discrete profiles only).
+    #[must_use]
+    pub fn pcie(&self) -> Option<&PcieModel> {
+        self.pcie.as_ref()
+    }
+
+    /// The continuous interference law.
+    #[must_use]
+    pub fn interference(&self) -> &InterferenceModel {
+        &self.interference
+    }
+
+    /// GPU timing calculator.
+    #[must_use]
+    pub fn gpu(&self) -> GpuTiming<'_> {
+        GpuTiming::new(&self.hw.gpu)
+    }
+
+    /// Paper Equation 1 on one CPU core:
+    /// `T = I/IPC + N_M·L_M + N_C·L_C` (usage is already the total over
+    /// the batch, so the leading `N ·` is folded in).
+    #[must_use]
+    pub fn cpu_time_single_core(&self, usage: ResourceUsage) -> Ns {
+        let c = &self.hw.cpu;
+        usage.instructions as f64 / (c.ipc * c.freq_ghz)
+            + usage.mem_accesses as f64 * c.mem_latency_ns
+            + usage.cache_accesses as f64 * c.l2_latency_ns
+    }
+
+    /// CPU stage time: queries in a batch are independent, so a stage's
+    /// work divides across its assigned cores.
+    ///
+    /// # Panics
+    /// Panics if `cores == 0`.
+    #[must_use]
+    pub fn cpu_stage_time(&self, usage: ResourceUsage, cores: usize) -> Ns {
+        assert!(cores > 0, "a CPU stage needs at least one core");
+        self.cpu_time_single_core(usage) / cores as f64
+    }
+
+    /// Apply mutual CPU/GPU interference to a set of concurrently
+    /// running stages (the steady-state pipeline: every stage processes
+    /// a different batch during the same interval).
+    ///
+    /// Solves the fixed point: each processor's access *rate* is its
+    /// total accesses over the bottleneck interval; each stage's time is
+    /// `base × µ(victim, other side's rate)`; the interval is the max
+    /// stage time. A handful of iterations converges (µ is bounded and
+    /// monotone).
+    pub fn apply_interference(&self, stages: &mut [StageTiming]) {
+        if stages.is_empty() {
+            return;
+        }
+        // Start from isolated times.
+        for s in stages.iter_mut() {
+            s.final_ns = s.base_ns;
+            s.mu = 1.0;
+        }
+        for _ in 0..8 {
+            let t_max = stages
+                .iter()
+                .map(|s| s.final_ns)
+                .fold(0.0_f64, f64::max)
+                .max(1.0);
+            let rate_of = |p: Processor| {
+                stages
+                    .iter()
+                    .filter(|s| s.processor == p)
+                    .map(|s| s.mem_accesses as f64)
+                    .sum::<f64>()
+                    / t_max
+            };
+            let cpu_rate = rate_of(Processor::Cpu);
+            let gpu_rate = rate_of(Processor::Gpu);
+            for s in stages.iter_mut() {
+                let mu = match s.processor {
+                    Processor::Cpu => self.interference.mu_cpu(gpu_rate),
+                    Processor::Gpu => self.interference.mu_gpu(cpu_rate),
+                };
+                s.mu = mu;
+                s.final_ns = s.base_ns * mu;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> TimingEngine {
+        TimingEngine::new(HwSpec::kaveri_apu())
+    }
+
+    #[test]
+    fn equation1_components_add_up() {
+        let e = engine();
+        let c = e.hw().cpu;
+        let t = e.cpu_time_single_core(ResourceUsage::new(74, 3, 2));
+        let expect =
+            74.0 / (c.ipc * c.freq_ghz) + 3.0 * c.mem_latency_ns + 2.0 * c.l2_latency_ns;
+        assert!((t - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cores_divide_stage_time() {
+        let e = engine();
+        let u = ResourceUsage::new(1000, 100, 50);
+        let t1 = e.cpu_stage_time(u, 1);
+        let t4 = e.cpu_stage_time(u, 4);
+        assert!((t1 / t4 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = engine().cpu_stage_time(ResourceUsage::ZERO, 0);
+    }
+
+    #[test]
+    fn coupled_has_no_pcie_discrete_does() {
+        assert!(TimingEngine::new(HwSpec::kaveri_apu()).pcie().is_none());
+        assert!(TimingEngine::new(HwSpec::discrete_gtx780()).pcie().is_some());
+    }
+
+    #[test]
+    fn interference_inflates_both_sides() {
+        let e = engine();
+        // Heavy traffic on both processors over a short window.
+        let mut stages = vec![
+            StageTiming::new(Processor::Cpu, 100_000.0, 2_000_000),
+            StageTiming::new(Processor::Gpu, 90_000.0, 2_000_000),
+        ];
+        e.apply_interference(&mut stages);
+        assert!(stages[0].mu > 1.0, "CPU should feel GPU traffic");
+        assert!(stages[1].mu > 1.0, "GPU should feel CPU traffic");
+        assert!(stages[0].final_ns > stages[0].base_ns);
+        // Asymmetry: CPU suffers more from the same traffic.
+        assert!(stages[0].mu > stages[1].mu);
+    }
+
+    #[test]
+    fn no_cross_traffic_no_inflation() {
+        let e = engine();
+        let mut stages = vec![
+            StageTiming::new(Processor::Cpu, 100_000.0, 1_000_000),
+            StageTiming::new(Processor::Cpu, 50_000.0, 500_000),
+        ];
+        e.apply_interference(&mut stages);
+        assert_eq!(stages[0].mu, 1.0);
+        assert_eq!(stages[0].final_ns, stages[0].base_ns);
+    }
+
+    #[test]
+    fn light_traffic_barely_interferes() {
+        let e = engine();
+        let mut stages = vec![
+            StageTiming::new(Processor::Cpu, 300_000.0, 10),
+            StageTiming::new(Processor::Gpu, 300_000.0, 10),
+        ];
+        e.apply_interference(&mut stages);
+        assert!(stages[0].mu < 1.001);
+        assert!(stages[1].mu < 1.001);
+    }
+
+    #[test]
+    fn interference_is_idempotent_across_calls() {
+        let e = engine();
+        let mk = || {
+            vec![
+                StageTiming::new(Processor::Cpu, 120_000.0, 800_000),
+                StageTiming::new(Processor::Gpu, 100_000.0, 900_000),
+            ]
+        };
+        let mut a = mk();
+        e.apply_interference(&mut a);
+        let mut b = a.clone();
+        e.apply_interference(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.final_ns - y.final_ns).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_stage_list_is_fine() {
+        engine().apply_interference(&mut []);
+    }
+}

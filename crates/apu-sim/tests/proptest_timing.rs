@@ -1,0 +1,80 @@
+//! Property tests over the timing model: monotonicity, bounds, and
+//! fixed-point sanity of the interference solver.
+
+use dido_apu_sim::{GpuTiming, HwSpec, StageTiming, TimingEngine};
+use dido_model::{Processor, ResourceUsage};
+use proptest::prelude::*;
+
+fn usage() -> impl Strategy<Value = ResourceUsage> {
+    (0u64..10_000, 0u64..100, 0u64..100)
+        .prop_map(|(i, m, c)| ResourceUsage::new(i, m, c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cpu_time_is_additive_and_monotone(a in usage(), b in usage()) {
+        let e = TimingEngine::new(HwSpec::kaveri_apu());
+        let ta = e.cpu_time_single_core(a);
+        let tb = e.cpu_time_single_core(b);
+        let tab = e.cpu_time_single_core(a + b);
+        prop_assert!((tab - (ta + tb)).abs() < 1e-6, "Equation 1 must be linear");
+        prop_assert!(ta >= 0.0 && tb >= 0.0);
+    }
+
+    #[test]
+    fn more_cores_never_slower(u in usage(), c1 in 1usize..4, c2 in 1usize..4) {
+        let e = TimingEngine::new(HwSpec::kaveri_apu());
+        let (lo, hi) = (c1.min(c2), c1.max(c2));
+        prop_assert!(e.cpu_stage_time(u, hi) <= e.cpu_stage_time(u, lo) + 1e-9);
+    }
+
+    #[test]
+    fn gpu_kernel_time_monotone_in_items(u in usage(), n1 in 1usize..20_000, n2 in 1usize..20_000) {
+        let hw = HwSpec::kaveri_apu();
+        let g = GpuTiming::new(&hw.gpu);
+        let (lo, hi) = (n1.min(n2), n1.max(n2));
+        prop_assert!(g.kernel_time(hi, u) >= g.kernel_time(lo, u) - 1e-6);
+    }
+
+    #[test]
+    fn atomic_kernels_never_faster_than_plain(u in usage(), n in 1usize..20_000) {
+        let hw = HwSpec::kaveri_apu();
+        let g = GpuTiming::new(&hw.gpu);
+        prop_assert!(g.kernel_time_opts(n, u, true) >= g.kernel_time_opts(n, u, false) - 1e-6);
+    }
+
+    #[test]
+    fn interference_bounded_and_order_preserving(
+        t_cpu in 1_000.0f64..1_000_000.0,
+        t_gpu in 1_000.0f64..1_000_000.0,
+        mem_cpu in 0u64..5_000_000,
+        mem_gpu in 0u64..5_000_000,
+    ) {
+        let hw = HwSpec::kaveri_apu();
+        let e = TimingEngine::new(hw);
+        let mut stages = vec![
+            StageTiming::new(Processor::Cpu, t_cpu, mem_cpu),
+            StageTiming::new(Processor::Gpu, t_gpu, mem_gpu),
+        ];
+        e.apply_interference(&mut stages);
+        for s in &stages {
+            // µ ∈ [1, 1 + k].
+            prop_assert!(s.mu >= 1.0 - 1e-12);
+            let k = match s.processor {
+                Processor::Cpu => hw.mu_cpu_k,
+                Processor::Gpu => hw.mu_gpu_k,
+            };
+            prop_assert!(s.mu <= 1.0 + k + 1e-12);
+            prop_assert!(s.final_ns >= s.base_ns - 1e-9, "interference only slows");
+        }
+    }
+
+    #[test]
+    fn pcie_time_superadditive_in_transfers(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        // Two transfers pay two setup costs: splitting is never cheaper.
+        let p = dido_apu_sim::PcieModel::pcie3_x16();
+        prop_assert!(p.transfer_time(a) + p.transfer_time(b) >= p.transfer_time(a + b) - 1e-9);
+    }
+}

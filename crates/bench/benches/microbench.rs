@@ -1,0 +1,234 @@
+//! Criterion microbenchmarks over the DIDO building blocks: the cuckoo
+//! index, the Zipf sampler, the cost model search, and a full simulated
+//! pipeline batch. These complement the `experiments` binary (which
+//! regenerates the paper's tables/figures in virtual time) by measuring
+//! real wall-clock costs of the substrate code.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dido_apu_sim::{HwSpec, TimingEngine};
+use dido_cost_model::{CostModel, ModelInputs};
+use dido_hashtable::{key_hash, IndexTable};
+use dido_model::{ConfigEnumerator, PipelineConfig, WorkloadStats};
+use dido_net::{pack_frames, parse_frame};
+use dido_pipeline::{preloaded_engine, SimExecutor, TestbedOptions, ThreadedPipeline};
+use dido_workload::{ScrambledZipfian, WorkloadGen, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_hashtable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashtable");
+    g.throughput(Throughput::Elements(1));
+
+    let table = IndexTable::with_capacity(1 << 20);
+    for i in 0..(1u64 << 19) {
+        let _ = table.insert(key_hash(&i.to_le_bytes()), i);
+    }
+    let mut i = 0u64;
+    g.bench_function("search_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) & ((1 << 19) - 1);
+            let kh = key_hash(&i.to_le_bytes());
+            std::hint::black_box(table.search(kh))
+        })
+    });
+    let mut j = 1u64 << 40;
+    g.bench_function("search_miss", |b| {
+        b.iter(|| {
+            j += 1;
+            let kh = key_hash(&j.to_le_bytes());
+            std::hint::black_box(table.search(kh))
+        })
+    });
+    g.bench_function("upsert_replace", |b| {
+        let kh = key_hash(b"hot-key");
+        let mut loc = 0u64;
+        b.iter(|| {
+            loc = (loc + 1) & 0xffff;
+            std::hint::black_box(table.upsert(kh, loc))
+        })
+    });
+    g.bench_function("insert_fresh", |b| {
+        b.iter_batched(
+            || IndexTable::with_capacity(8192),
+            |t| {
+                for k in 0..4096u64 {
+                    let _ = t.insert(key_hash(&k.to_le_bytes()), k);
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.throughput(Throughput::Elements(1));
+    let zipf = ScrambledZipfian::new(1 << 20, 0.99);
+    let mut rng = StdRng::seed_from_u64(7);
+    g.bench_function("zipf_sample", |b| {
+        b.iter(|| std::hint::black_box(zipf.sample(&mut rng)))
+    });
+    let spec = WorkloadSpec::from_label("K16-G95-S").unwrap();
+    let mut gen = WorkloadGen::new(spec, 1 << 20, 42);
+    g.bench_function("query_gen", |b| {
+        b.iter(|| std::hint::black_box(gen.next_query()))
+    });
+    g.finish();
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let model = CostModel::new(HwSpec::kaveri_apu());
+    let inputs = ModelInputs {
+        stats: WorkloadStats {
+            get_ratio: 0.95,
+            delete_ratio: 0.0,
+            avg_key_size: 16.0,
+            avg_value_size: 64.0,
+            zipf_skew: 0.99,
+            batch_size: 8192,
+        },
+        n_keys: 1 << 20,
+        avg_insert_buckets: 2.1,
+        avg_delete_buckets: 1.7,
+        interval_ns: 300_000.0,
+        cpu_cache_bytes: 128 << 10,
+        gpu_cache_bytes: 16 << 10,
+    };
+    let mut g = c.benchmark_group("cost_model");
+    g.bench_function("predict_one_config", |b| {
+        b.iter(|| std::hint::black_box(model.predict(PipelineConfig::mega_kv(), &inputs)))
+    });
+    g.bench_function("optimal_config_exhaustive", |b| {
+        b.iter(|| {
+            std::hint::black_box(model.optimal_config(&inputs, ConfigEnumerator::default()))
+        })
+    });
+    g.bench_function("greedy_config", |b| {
+        b.iter(|| std::hint::black_box(model.greedy_config(&inputs)))
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let hw = HwSpec::kaveri_apu();
+    let spec = WorkloadSpec::from_label("K16-G95-S").unwrap();
+    let (engine, mut generator) = preloaded_engine(
+        spec,
+        &hw,
+        TestbedOptions {
+            store_bytes: 8 << 20,
+            ..TestbedOptions::default()
+        },
+    );
+    let sim = SimExecutor::new(TimingEngine::new(hw));
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("sim_batch_4096_megakv", |b| {
+        b.iter_batched(
+            || generator.batch(4096),
+            |queries| {
+                std::hint::black_box(sim.run_batch(&engine, queries, PipelineConfig::mega_kv()))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("sim_batch_4096_dido", |b| {
+        b.iter_batched(
+            || generator.batch(4096),
+            |queries| {
+                std::hint::black_box(sim.run_batch(
+                    &engine,
+                    queries,
+                    PipelineConfig::small_kv_read_intensive(),
+                ))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    use dido_kvstore::ObjectStore;
+    let mut g = c.benchmark_group("store");
+    g.throughput(Throughput::Elements(1));
+    let store = ObjectStore::new(64 << 20);
+    // Carve the probe first: once the bench loop has filled the arena,
+    // only its own size class can recycle slots.
+    let probe = store.allocate(b"bench-probe", &[7u8; 40]).unwrap();
+    let mut i = 0u64;
+    g.bench_function("allocate_64b", |b| {
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(store.allocate(&i.to_le_bytes(), &[0u8; 40]).unwrap())
+        })
+    });
+    g.bench_function("key_matches", |b| {
+        b.iter(|| std::hint::black_box(store.key_matches(probe.loc, b"bench-probe")))
+    });
+    let mut buf = Vec::new();
+    g.bench_function("read_value", |b| {
+        b.iter(|| {
+            buf.clear();
+            std::hint::black_box(store.read_value(probe.loc, &mut buf))
+        })
+    });
+    g.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let spec = WorkloadSpec::from_label("K16-G95-U").unwrap();
+    let mut gen = WorkloadGen::new(spec, 1 << 16, 3);
+    let queries = gen.batch(1_024);
+    let mut g = c.benchmark_group("protocol");
+    g.throughput(Throughput::Elements(1_024));
+    g.bench_function("pack_1024", |b| {
+        b.iter(|| std::hint::black_box(pack_frames(&queries, 1_500)))
+    });
+    let frames = pack_frames(&queries, 1_500);
+    g.bench_function("parse_1024", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for f in &frames {
+                n += parse_frame(std::hint::black_box(f)).unwrap().len();
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_threaded(c: &mut Criterion) {
+    let hw = HwSpec::kaveri_apu();
+    let spec = WorkloadSpec::from_label("K16-G95-U").unwrap();
+    let (engine, mut generator) = preloaded_engine(
+        spec,
+        &hw,
+        TestbedOptions {
+            store_bytes: 8 << 20,
+            ..TestbedOptions::default()
+        },
+    );
+    let pipeline = ThreadedPipeline::new(&engine, PipelineConfig::mega_kv());
+    let mut g = c.benchmark_group("threaded");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(4 * 2_048));
+    g.bench_function("four_batches_of_2048", |b| {
+        b.iter_batched(
+            || (0..4).map(|_| generator.batch(2_048)).collect::<Vec<_>>(),
+            |batches| std::hint::black_box(pipeline.run(batches)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hashtable, bench_workload, bench_cost_model, bench_pipeline,
+        bench_store, bench_protocol, bench_threaded
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Experiment runner: regenerates every table and figure of the DIDO
+//! paper's evaluation section.
+//!
+//! ```text
+//! experiments [--quick] [--store-mb N] [all | fig4 | fig5 | ... | fig21 |
+//!              ablation-affinity | ablation-interference | ablation-search]
+//! ```
+
+use dido_bench::{experiments, ExperimentCtx};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = ExperimentCtx::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let csv = ctx.csv;
+                ctx = ExperimentCtx::quick();
+                ctx.csv = csv;
+            }
+            "--csv" => ctx.csv = true,
+            "--store-mb" => {
+                let v = iter
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| die("--store-mb needs a number"));
+                ctx.store_bytes = v << 20;
+            }
+            "--seed" => {
+                ctx.seed = iter
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        usage();
+        return;
+    }
+    if names.iter().any(|n| n == "all") {
+        names = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+    println!(
+        "# DIDO paper experiments — store {} MB, latency budget {:.0} us, seed {}",
+        ctx.store_bytes >> 20,
+        ctx.latency_budget_ns / 1_000.0,
+        ctx.seed
+    );
+    for name in &names {
+        let start = std::time::Instant::now();
+        if !experiments::run(name, &ctx) {
+            eprintln!(
+                "unknown experiment '{name}' — expected one of: all {:?}",
+                experiments::ALL
+            );
+            std::process::exit(2);
+        }
+        eprintln!("[{name} done in {:.1}s]", start.elapsed().as_secs_f64());
+    }
+}
+
+fn usage() {
+    println!("usage: experiments [--quick] [--csv] [--store-mb N] [--seed S] <name>...");
+    println!("names: all {:?}", experiments::ALL);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,75 @@
+//! Figures 11 and 12: overall DIDO vs Mega-KV (Coupled) throughput
+//! across all 24 workloads, and the CPU/GPU utilization comparison.
+
+use crate::harness::{measure_dido, measure_megakv_coupled, spec};
+use crate::{ExperimentCtx, Table};
+use dido_workload::WorkloadSpec;
+
+/// Figure 11: DIDO speedup over Mega-KV (Coupled), 24 workloads.
+pub fn run_fig11(ctx: &ExperimentCtx) {
+    println!("\n== Figure 11: DIDO speedup over Mega-KV (Coupled), 24 workloads ==");
+    println!("(paper: up to 3.0x, 81% faster on average; biggest gains on");
+    println!(" small key-value sizes and 95% GET)\n");
+    let mut t = Table::new([
+        "workload",
+        "megakv(MOPS)",
+        "dido(MOPS)",
+        "speedup",
+        "dido pipeline",
+    ]);
+    let mut speedups = Vec::new();
+    let mut by_dataset: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
+    for w in WorkloadSpec::all_24() {
+        let mk = measure_megakv_coupled(ctx, w);
+        let dd = measure_dido(ctx, w);
+        let speedup = dd.mops() / mk.mops().max(1e-9);
+        speedups.push(speedup);
+        by_dataset
+            .entry(w.dataset.name())
+            .or_default()
+            .push(speedup);
+        t.row([
+            w.label(),
+            format!("{:.2}", mk.mops()),
+            format!("{:.2}", dd.mops()),
+            format!("{speedup:.2}x"),
+            dd.config.to_string(),
+        ]);
+    }
+    t.emit(ctx, "fig11");
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let max = speedups.iter().fold(0.0_f64, |a, &b| a.max(b));
+    println!("\naverage speedup = {avg:.2}x   max speedup = {max:.2}x");
+    for (ds, v) in by_dataset {
+        let a = v.iter().sum::<f64>() / v.len() as f64;
+        println!("  {ds}: avg {a:.2}x");
+    }
+}
+
+/// Figure 12: CPU and GPU utilization, DIDO vs Mega-KV (Coupled).
+pub fn run_fig12(ctx: &ExperimentCtx) {
+    println!("\n== Figure 12: CPU/GPU utilization, DIDO vs Mega-KV (Coupled) ==");
+    println!("(paper: DIDO lifts GPU utilization to 57-89% — 1.8x Mega-KV —");
+    println!(" and CPU utilization by 43% on average, up to 79%)\n");
+    let cores = dido_apu_sim::HwSpec::kaveri_apu().cpu.cores;
+    let mut t = Table::new([
+        "workload",
+        "dido GPU(%)",
+        "megakv GPU(%)",
+        "dido CPU(%)",
+        "megakv CPU(%)",
+    ]);
+    for label in ["K8-G95-S", "K16-G95-S", "K32-G95-S", "K128-G95-S"] {
+        let w = spec(label);
+        let mk = measure_megakv_coupled(ctx, w);
+        let dd = measure_dido(ctx, w);
+        t.row([
+            label.to_string(),
+            format!("{:.0}", dd.report.report.gpu_utilization() * 100.0),
+            format!("{:.0}", mk.report.report.gpu_utilization() * 100.0),
+            format!("{:.0}", dd.report.report.cpu_utilization(cores) * 100.0),
+            format!("{:.0}", mk.report.report.cpu_utilization(cores) * 100.0),
+        ]);
+    }
+    t.emit(ctx, "fig12");
+}

@@ -1,0 +1,40 @@
+//! Figure 19: DIDO's improvement over Mega-KV (Coupled) under tighter
+//! latency budgets (600/800/1000 µs): smaller budgets mean smaller
+//! batches, which hurt the GPU more — DIDO must keep its edge.
+
+use crate::harness::{measure_dido, measure_megakv_coupled, spec};
+use crate::{ExperimentCtx, Table};
+
+const WORKLOADS: [&str; 4] = ["K8-G50-U", "K16-G100-S", "K32-G95-S", "K32-G50-U"];
+const LATENCIES_US: [f64; 3] = [600.0, 800.0, 1_000.0];
+
+/// Run the latency sweep.
+pub fn run(ctx: &ExperimentCtx) {
+    println!("\n== Figure 19: improvement vs latency budget ==");
+    println!("(paper: ~20% average improvement at 1000us, 26-27% at 800/600us —");
+    println!(" stable across latency configurations)\n");
+    let mut t = Table::new(["workload", "600us(%)", "800us(%)", "1000us(%)"]);
+    let mut avgs = [Vec::new(), Vec::new(), Vec::new()];
+    for label in WORKLOADS {
+        let w = spec(label);
+        let mut cells = vec![label.to_string()];
+        for (i, lat_us) in LATENCIES_US.iter().enumerate() {
+            let ctx_l = ExperimentCtx {
+                latency_budget_ns: lat_us * 1_000.0,
+                ..*ctx
+            };
+            let mk = measure_megakv_coupled(&ctx_l, w);
+            let dd = measure_dido(&ctx_l, w);
+            let imp = (dd.mops() / mk.mops().max(1e-9) - 1.0) * 100.0;
+            avgs[i].push(imp);
+            cells.push(format!("{imp:+.1}"));
+        }
+        t.row(cells);
+    }
+    t.emit(ctx, "fig19");
+    println!();
+    for (i, lat) in LATENCIES_US.iter().enumerate() {
+        let a = avgs[i].iter().sum::<f64>() / avgs[i].len() as f64;
+        println!("  {lat:.0}us budget: average improvement {a:+.1}%");
+    }
+}

@@ -1,0 +1,50 @@
+//! Figures 4 and 5: Mega-KV (Coupled) per-stage execution times and GPU
+//! utilization across the four key-value size datasets
+//! (95 % GET, Zipf 0.99, per-stage cap 300 µs).
+
+use crate::harness::{measure_megakv_coupled, spec};
+use crate::{ExperimentCtx, Table};
+use dido_apu_sim::ns_to_us;
+
+const DATASETS: [&str; 4] = ["K8-G95-S", "K16-G95-S", "K32-G95-S", "K128-G95-S"];
+
+/// Figure 4: execution time of the three Mega-KV pipeline stages.
+pub fn run_fig4(ctx: &ExperimentCtx) {
+    println!("\n== Figure 4: Mega-KV (Coupled) pipeline stage execution times ==");
+    println!("(paper: Network Processing 25-42us, Index Operation 97-174us,");
+    println!(" Read & Send Value pinned at the 300us cap — severe imbalance)\n");
+    let mut t = Table::new([
+        "workload",
+        "NetworkProc(us)",
+        "IndexOp(us)",
+        "Read&Send(us)",
+        "batch",
+    ]);
+    for label in DATASETS {
+        let m = measure_megakv_coupled(ctx, spec(label));
+        let stages = &m.report.report.stages;
+        t.row([
+            label.to_string(),
+            format!("{:.1}", ns_to_us(stages[0].time_ns)),
+            format!("{:.1}", ns_to_us(stages[1].time_ns)),
+            format!("{:.1}", ns_to_us(stages[2].time_ns)),
+            format!("{}", m.report.report.batch_size),
+        ]);
+    }
+    t.emit(ctx, "fig4");
+}
+
+/// Figure 5: GPU utilization of Mega-KV (Coupled).
+pub fn run_fig5(ctx: &ExperimentCtx) {
+    println!("\n== Figure 5: Mega-KV (Coupled) GPU utilization ==");
+    println!("(paper: up to 51% for small KV, dropping to 12% for K128)\n");
+    let mut t = Table::new(["workload", "gpu_util(%)"]);
+    for label in DATASETS {
+        let m = measure_megakv_coupled(ctx, spec(label));
+        t.row([
+            label.to_string(),
+            format!("{:.0}", m.report.report.gpu_utilization() * 100.0),
+        ]);
+    }
+    t.emit(ctx, "fig5");
+}

@@ -1,0 +1,49 @@
+//! Extension experiment: the full latency-throughput trade-off curve.
+//!
+//! The paper's Figure 19 samples three latency budgets; this sweep
+//! traces the whole curve for DIDO and Mega-KV (Coupled) — the classic
+//! batching trade-off (bigger batches feed the GPU better but every
+//! query waits longer), with the estimated mean latency printed next to
+//! each budget.
+
+use crate::harness::{measure_dido, measure_megakv_coupled, spec};
+use crate::{ExperimentCtx, Table};
+
+const BUDGETS_US: [f64; 6] = [400.0, 600.0, 800.0, 1_000.0, 1_500.0, 2_000.0];
+
+/// Run the latency-throughput sweep.
+pub fn run(ctx: &ExperimentCtx) {
+    println!("\n== Extension: latency-throughput curve ==");
+    println!("(tighter budgets mean smaller batches and a worse-fed GPU; the");
+    println!(" curve shows how much throughput each millisecond of latency buys)\n");
+    for label in ["K16-G95-S", "K32-G50-U"] {
+        let w = spec(label);
+        println!("--- {label} ---");
+        let mut t = Table::new([
+            "budget(us)",
+            "dido(MOPS)",
+            "dido lat(us)",
+            "megakv(MOPS)",
+            "megakv lat(us)",
+            "speedup",
+        ]);
+        for budget_us in BUDGETS_US {
+            let ctx_l = ExperimentCtx {
+                latency_budget_ns: budget_us * 1_000.0,
+                ..*ctx
+            };
+            let dd = measure_dido(&ctx_l, w);
+            let mk = measure_megakv_coupled(&ctx_l, w);
+            t.row([
+                format!("{budget_us:.0}"),
+                format!("{:.2}", dd.mops()),
+                format!("{:.0}", dd.report.avg_latency_ns() / 1_000.0),
+                format!("{:.2}", mk.mops()),
+                format!("{:.0}", mk.report.avg_latency_ns() / 1_000.0),
+                format!("{:.2}x", dd.mops() / mk.mops().max(1e-9)),
+            ]);
+        }
+        t.emit(ctx, &format!("latency-curve-{label}"));
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! One module per figure of the paper's evaluation (§V).
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11_12;
+pub mod fig13_14_15;
+pub mod fig16_17_18;
+pub mod fig19;
+pub mod fig20_21;
+pub mod fig4_5;
+pub mod fig6;
+pub mod fig9;
+pub mod latency_curve;
+
+use crate::ExperimentCtx;
+
+/// All experiment names accepted by the `experiments` binary.
+pub const ALL: &[&str] = &[
+    "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "ablation-affinity",
+    "ablation-interference", "ablation-search", "ablation-atomics",
+    "ablation-bandwidth", "latency-curve",
+];
+
+/// Dispatch one experiment by name. Returns false for unknown names.
+pub fn run(name: &str, ctx: &ExperimentCtx) -> bool {
+    match name {
+        "fig4" => fig4_5::run_fig4(ctx),
+        "fig5" => fig4_5::run_fig5(ctx),
+        "fig6" => fig6::run(ctx),
+        "fig9" => fig9::run(ctx),
+        "fig10" => fig10::run(ctx),
+        "fig11" => fig11_12::run_fig11(ctx),
+        "fig12" => fig11_12::run_fig12(ctx),
+        "fig13" => fig13_14_15::run_fig13(ctx),
+        "fig14" => fig13_14_15::run_fig14(ctx),
+        "fig15" => fig13_14_15::run_fig15(ctx),
+        "fig16" => fig16_17_18::run(ctx, fig16_17_18::Metric::Throughput),
+        "fig17" => fig16_17_18::run(ctx, fig16_17_18::Metric::PricePerformance),
+        "fig18" => fig16_17_18::run(ctx, fig16_17_18::Metric::EnergyEfficiency),
+        "fig19" => fig19::run(ctx),
+        "fig20" => fig20_21::run_fig20(ctx),
+        "fig21" => fig20_21::run_fig21(ctx),
+        "ablation-affinity" => ablations::run_affinity(ctx),
+        "ablation-interference" => ablations::run_interference(ctx),
+        "ablation-search" => ablations::run_search(ctx),
+        "ablation-atomics" => ablations::run_atomics(ctx),
+        "ablation-bandwidth" => ablations::run_bandwidth(ctx),
+        "latency-curve" => latency_curve::run(ctx),
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,139 @@
+//! Operational metrics for a running DIDO node.
+
+use dido_model::PipelineConfig;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Rolling counters accumulated over every processed batch.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    /// Batches processed.
+    pub batches: u64,
+    /// Queries processed.
+    pub queries: u64,
+    /// GET queries that resolved to an object.
+    pub hits: u64,
+    /// GET queries issued.
+    pub gets: u64,
+    /// Virtual time spent processing, ns.
+    pub busy_ns: f64,
+    /// Cost-model runs.
+    pub model_runs: u64,
+    /// Pipeline configuration changes.
+    pub adaptions: u64,
+    /// Batches executed per configuration (display string → count).
+    pub config_histogram: BTreeMap<String, u64>,
+}
+
+impl Metrics {
+    /// Record one batch.
+    pub(crate) fn record_batch(
+        &mut self,
+        config: PipelineConfig,
+        queries: u64,
+        gets: u64,
+        hits: u64,
+        t_max_ns: f64,
+    ) {
+        self.batches += 1;
+        self.queries += queries;
+        self.gets += gets;
+        self.hits += hits;
+        self.busy_ns += t_max_ns;
+        *self.config_histogram.entry(config.to_string()).or_insert(0) += 1;
+    }
+
+    /// GET hit rate in `[0, 1]` (1.0 when no GETs were issued).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.gets == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.gets as f64
+        }
+    }
+
+    /// Mean steady-state throughput over all processed batches, MOPS.
+    #[must_use]
+    pub fn mean_throughput_mops(&self) -> f64 {
+        if self.busy_ns <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / self.busy_ns * 1_000.0
+        }
+    }
+
+    /// The configuration most batches ran under.
+    #[must_use]
+    pub fn dominant_config(&self) -> Option<&str> {
+        self.config_histogram
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(k, _)| k.as_str())
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} batches / {} queries, hit rate {:.1}%, mean {:.2} MOPS",
+            self.batches,
+            self.queries,
+            self.hit_rate() * 100.0,
+            self.mean_throughput_mops()
+        )?;
+        writeln!(
+            f,
+            "{} model runs, {} adaptions over {:.2} ms of virtual time",
+            self.model_runs,
+            self.adaptions,
+            self.busy_ns / 1e6
+        )?;
+        for (cfg, count) in &self.config_histogram {
+            writeln!(f, "  {count:>6} x {cfg}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::default();
+        m.record_batch(PipelineConfig::mega_kv(), 100, 90, 81, 50_000.0);
+        m.record_batch(PipelineConfig::mega_kv(), 100, 90, 90, 50_000.0);
+        m.record_batch(PipelineConfig::cpu_only(), 50, 0, 0, 25_000.0);
+        assert_eq!(m.batches, 3);
+        assert_eq!(m.queries, 250);
+        assert!((m.hit_rate() - 171.0 / 180.0).abs() < 1e-12);
+        assert!((m.mean_throughput_mops() - 250.0 / 125_000.0 * 1_000.0).abs() < 1e-9);
+        assert_eq!(m.config_histogram.len(), 2);
+        assert_eq!(
+            m.dominant_config().unwrap(),
+            PipelineConfig::mega_kv().to_string()
+        );
+    }
+
+    #[test]
+    fn empty_metrics_are_benign() {
+        let m = Metrics::default();
+        assert_eq!(m.hit_rate(), 1.0);
+        assert_eq!(m.mean_throughput_mops(), 0.0);
+        assert!(m.dominant_config().is_none());
+        let s = m.to_string();
+        assert!(s.contains("0 batches"));
+    }
+
+    #[test]
+    fn display_lists_configs() {
+        let mut m = Metrics::default();
+        m.record_batch(PipelineConfig::mega_kv(), 10, 10, 10, 1_000.0);
+        let s = m.to_string();
+        assert!(s.contains("[IN]GPU"), "{s}");
+        assert!(s.contains("1 x"), "{s}");
+    }
+}

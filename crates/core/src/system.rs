@@ -1,0 +1,463 @@
+//! The DIDO system: query processing pipeline + workload profiler +
+//! cost-model-guided dynamic adaption (paper Figure 7).
+
+use crate::metrics::Metrics;
+use crate::profiler::{ProfilerConfig, WorkloadProfiler};
+use dido_apu_sim::{HwSpec, Ns, TimingEngine};
+use dido_cost_model::{CostModel, ModelInputs};
+use dido_model::{ConfigEnumerator, PipelineConfig, Query, Response, WorkloadStats};
+use dido_pipeline::{
+    preloaded_engine, BatchReport, KvEngine, RunOptions, SimExecutor, TestbedOptions,
+    WorkloadReport,
+};
+use dido_workload::WorkloadSpec;
+
+/// Construction options for a [`DidoSystem`].
+#[derive(Debug, Clone, Copy)]
+pub struct DidoOptions {
+    /// Hardware profile (defaults to the Kaveri APU).
+    pub hw: HwSpec,
+    /// Testbed sizing (store bytes, seed, cache scaling).
+    pub testbed: TestbedOptions,
+    /// End-to-end latency budget, ns (paper default 1,000 µs).
+    pub latency_budget_ns: f64,
+    /// Profiler thresholds.
+    pub profiler: ProfilerConfig,
+    /// Constrain the configuration search space (ablations).
+    pub enumerator: ConfigEnumerator,
+    /// Use the greedy search instead of the exhaustive sweep
+    /// (extension; the paper searches exhaustively).
+    pub greedy_search: bool,
+}
+
+impl Default for DidoOptions {
+    fn default() -> DidoOptions {
+        DidoOptions {
+            hw: HwSpec::kaveri_apu(),
+            testbed: TestbedOptions::default(),
+            latency_budget_ns: 1_000_000.0,
+            profiler: ProfilerConfig::default(),
+            enumerator: ConfigEnumerator::default(),
+            greedy_search: false,
+        }
+    }
+}
+
+/// One entry of the virtual-time throughput trace (drives the paper's
+/// Figure 20).
+#[derive(Debug, Clone)]
+pub struct TraceSample {
+    /// Virtual time at batch completion, ns.
+    pub at_ns: Ns,
+    /// Batch throughput, MOPS.
+    pub throughput_mops: f64,
+    /// Configuration the batch ran under.
+    pub config: PipelineConfig,
+    /// Whether the pipeline was re-adapted *after* this batch.
+    pub readapted: bool,
+}
+
+/// The DIDO in-memory key-value store with dynamic pipeline execution.
+pub struct DidoSystem {
+    engine: KvEngine,
+    sim: SimExecutor,
+    model: CostModel,
+    profiler: WorkloadProfiler,
+    options: DidoOptions,
+    current: PipelineConfig,
+    cpu_cache_bytes: u64,
+    gpu_cache_bytes: u64,
+    adaptions: usize,
+    model_runs: usize,
+    clock_ns: Ns,
+    trace: Vec<TraceSample>,
+    metrics: Metrics,
+}
+
+impl DidoSystem {
+    /// Build an empty DIDO node (no preloaded data).
+    #[must_use]
+    pub fn new(options: DidoOptions) -> DidoSystem {
+        let (cpu_cache, gpu_cache) = Self::scaled_caches(&options);
+        let engine = KvEngine::new(dido_pipeline::EngineConfig::new(
+            options.testbed.store_bytes,
+            cpu_cache,
+            gpu_cache,
+        ));
+        Self::from_engine(engine, options)
+    }
+
+    /// Build a DIDO node preloaded with `spec`'s key space ("we store as
+    /// many key-value objects as possible", §V-A).
+    #[must_use]
+    pub fn preloaded(spec: WorkloadSpec, options: DidoOptions) -> DidoSystem {
+        let (engine, _gen) = preloaded_engine(spec, &options.hw, options.testbed);
+        Self::from_engine(engine, options)
+    }
+
+    fn scaled_caches(options: &DidoOptions) -> (u64, u64) {
+        let ratio = if options.testbed.scale_caches {
+            (options.testbed.store_bytes as f64 / options.hw.mem.shared_bytes as f64).min(1.0)
+        } else {
+            1.0
+        };
+        (
+            ((options.hw.cpu.cache_bytes as f64 * ratio) as u64).max(8 * 1024),
+            ((options.hw.gpu.cache_bytes as f64 * ratio) as u64).max(2 * 1024),
+        )
+    }
+
+    /// Build from an existing engine.
+    #[must_use]
+    pub fn from_engine(engine: KvEngine, options: DidoOptions) -> DidoSystem {
+        // Mirror the scaled cache sizing of `preloaded_engine`.
+        let (cpu_cache, gpu_cache) = Self::scaled_caches(&options);
+        DidoSystem {
+            sim: SimExecutor::new(TimingEngine::new(options.hw)),
+            model: CostModel::new(options.hw),
+            profiler: WorkloadProfiler::new(options.profiler),
+            current: PipelineConfig::mega_kv(),
+            cpu_cache_bytes: cpu_cache,
+            gpu_cache_bytes: gpu_cache,
+            adaptions: 0,
+            model_runs: 0,
+            clock_ns: 0.0,
+            trace: Vec::new(),
+            metrics: Metrics::default(),
+            engine,
+            options,
+        }
+    }
+
+    /// The functional engine (index, store, NIC).
+    #[must_use]
+    pub fn engine(&self) -> &KvEngine {
+        &self.engine
+    }
+
+    /// The currently active pipeline configuration.
+    #[must_use]
+    pub fn current_config(&self) -> PipelineConfig {
+        self.current
+    }
+
+    /// Number of pipeline re-adaptions (configuration changes) so far.
+    #[must_use]
+    pub fn adaptions(&self) -> usize {
+        self.adaptions
+    }
+
+    /// Number of times the cost model was (re)run — every >10 % workload
+    /// drift triggers a run, whether or not the chosen configuration
+    /// changed.
+    #[must_use]
+    pub fn model_runs(&self) -> usize {
+        self.model_runs
+    }
+
+    /// Virtual time elapsed, ns.
+    #[must_use]
+    pub fn clock_ns(&self) -> Ns {
+        self.clock_ns
+    }
+
+    /// The per-batch virtual-time throughput trace.
+    #[must_use]
+    pub fn trace(&self) -> &[TraceSample] {
+        &self.trace
+    }
+
+    /// Rolling operational metrics (queries, hit rate, throughput,
+    /// configuration histogram).
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Per-stage interval implied by the latency budget.
+    #[must_use]
+    pub fn stage_interval_ns(&self) -> f64 {
+        self.run_options().stage_interval_ns()
+    }
+
+    fn run_options(&self) -> RunOptions {
+        RunOptions {
+            latency_budget_ns: self.options.latency_budget_ns,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Direct single-query access (convenience API outside the batch
+    /// pipeline).
+    pub fn execute(&self, q: &Query) -> Response {
+        self.engine.execute(q)
+    }
+
+    /// Pin the pipeline configuration (disables adaption until
+    /// [`DidoSystem::force_readapt`] or a workload change re-enables it).
+    pub fn set_config(&mut self, config: PipelineConfig) {
+        self.current = config;
+    }
+
+    /// Reset the profiler baseline so the next batch re-runs the cost
+    /// model regardless of drift.
+    pub fn force_readapt(&mut self) {
+        self.profiler.force_readapt();
+    }
+
+    /// Model inputs for the current engine state and `stats`.
+    #[must_use]
+    pub fn model_inputs(&self, stats: WorkloadStats) -> ModelInputs {
+        ModelInputs {
+            stats,
+            n_keys: self.engine.store.live_objects() as u64,
+            avg_insert_buckets: self.engine.index.avg_insert_buckets(),
+            avg_delete_buckets: self.engine.index.avg_delete_buckets(),
+            interval_ns: self.stage_interval_ns(),
+            cpu_cache_bytes: self.cpu_cache_bytes,
+            gpu_cache_bytes: self.gpu_cache_bytes,
+        }
+    }
+
+    /// Process one batch under the current configuration, then profile
+    /// it and — if the workload drifted past the 10 % threshold — run
+    /// the cost model and adopt the new optimal configuration for the
+    /// *coming* batches (paper §III-A).
+    pub fn process_batch(&mut self, queries: Vec<Query>) -> (BatchReport, Vec<Response>) {
+        let n_keys = self.engine.store.live_objects() as u64;
+        self.profiler.observe_queries(&queries, n_keys);
+        let active_config = self.current;
+        let (report, responses) = self.sim.run_batch(&self.engine, queries, self.current);
+        self.metrics.record_batch(
+            active_config,
+            report.batch_size as u64,
+            (report.stats.get_ratio * report.batch_size as f64).round() as u64,
+            report.hits as u64,
+            report.t_max_ns,
+        );
+
+        let stats = self.profiler.finish_batch(report.stats);
+        let mut readapted = false;
+        if stats.batch_size > 0 && self.profiler.should_readapt(stats) {
+            self.model_runs += 1;
+            self.metrics.model_runs += 1;
+            let inputs = self.model_inputs(stats);
+            let prediction = if self.options.greedy_search {
+                self.model.greedy_config(&inputs)
+            } else {
+                self.model.optimal_config(&inputs, self.options.enumerator)
+            };
+            if prediction.config != self.current {
+                self.current = prediction.config;
+                self.adaptions += 1;
+                self.metrics.adaptions += 1;
+                readapted = true;
+            }
+        }
+
+        self.clock_ns += report.t_max_ns;
+        self.trace.push(TraceSample {
+            at_ns: self.clock_ns,
+            throughput_mops: report.throughput_mops(),
+            config: report.stages.first().map(|_| self.current).unwrap_or(self.current),
+            readapted,
+        });
+        (report, responses)
+    }
+
+    /// Calibrated steady-state measurement under dynamic adaption:
+    /// batches are sized to the latency budget while the profiler keeps
+    /// adapting the pipeline.
+    pub fn measure<F>(&mut self, mut next_batch: F, iterations: usize) -> WorkloadReport
+    where
+        F: FnMut(usize) -> Vec<Query>,
+    {
+        let opts = self.run_options();
+        let interval = opts.stage_interval_ns();
+        let round = |x: usize| x.clamp(64, 1 << 18).div_ceil(64) * 64;
+        let mut n = opts.initial_batch;
+        for _ in 0..iterations.max(1) {
+            let (report, _) = self.process_batch(next_batch(n));
+            let t = report.t_max_ns.max(1.0);
+            let target = (n as f64 * interval / t) as usize;
+            n = round((target + n) / 2);
+        }
+        // One undamped correction (t_max is near-linear in N by now),
+        // then measure at the converged batch size.
+        let (report, _) = self.process_batch(next_batch(n));
+        n = round((n as f64 * interval / report.t_max_ns.max(1.0)) as usize);
+        let (report, _) = self.process_batch(next_batch(n));
+        WorkloadReport {
+            report,
+            batch_size: n,
+            interval_ns: interval,
+        }
+    }
+}
+
+impl std::fmt::Debug for DidoSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DidoSystem")
+            .field("config", &self.current.to_string())
+            .field("adaptions", &self.adaptions)
+            .field("clock_us", &(self.clock_ns / 1000.0))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dido_model::ResponseStatus;
+    use dido_workload::WorkloadGen;
+
+    fn opts() -> DidoOptions {
+        DidoOptions {
+            testbed: TestbedOptions {
+                store_bytes: 8 << 20,
+                ..TestbedOptions::default()
+            },
+            ..DidoOptions::default()
+        }
+    }
+
+    fn spec(label: &str) -> WorkloadSpec {
+        WorkloadSpec::from_label(label).unwrap()
+    }
+
+    #[test]
+    fn first_batch_triggers_adaption() {
+        let mut dido = DidoSystem::preloaded(spec("K8-G95-S"), opts());
+        let mut g = WorkloadGen::new(spec("K8-G95-S"), 10_000, 1);
+        assert_eq!(dido.adaptions(), 0);
+        let (report, responses) = dido.process_batch(g.batch(4096));
+        assert_eq!(responses.len(), 4096);
+        assert!(report.throughput_mops() > 0.0);
+        // The cost model ran; whether the config changed from the
+        // Mega-KV default depends on the workload, but for small-KV
+        // read-intensive it must.
+        assert!(dido.adaptions() >= 1, "K8-G95 must move off the static pipeline");
+        assert_ne!(dido.current_config(), PipelineConfig::mega_kv());
+    }
+
+    #[test]
+    fn stable_workload_does_not_thrash() {
+        let mut dido = DidoSystem::preloaded(spec("K16-G95-U"), opts());
+        let mut g = WorkloadGen::new(spec("K16-G95-U"), 10_000, 2);
+        for _ in 0..6 {
+            let _ = dido.process_batch(g.batch(4096));
+        }
+        assert!(
+            dido.adaptions() <= 2,
+            "steady workload re-adapted {} times",
+            dido.adaptions()
+        );
+    }
+
+    #[test]
+    fn workload_shift_triggers_readaption() {
+        let mut dido = DidoSystem::preloaded(spec("K16-G95-S"), opts());
+        let mut a = WorkloadGen::new(spec("K16-G95-S"), 10_000, 3);
+        for _ in 0..3 {
+            let _ = dido.process_batch(a.batch(4096));
+        }
+        let runs_after_warmup = dido.model_runs();
+        // Swap to a write-heavy tiny-KV workload.
+        let mut b = WorkloadGen::new(spec("K8-G50-U"), 10_000, 4);
+        for _ in 0..3 {
+            let _ = dido.process_batch(b.batch(4096));
+        }
+        assert!(
+            dido.model_runs() > runs_after_warmup,
+            "workload swap must re-run the cost model"
+        );
+    }
+
+    #[test]
+    fn responses_remain_correct_across_adaptions() {
+        let mut dido = DidoSystem::preloaded(spec("K8-G95-S"), opts());
+        // Seed a known key through the convenience API.
+        assert_eq!(
+            dido.execute(&Query::set("pin", "value")).status,
+            ResponseStatus::Ok
+        );
+        let mut g = WorkloadGen::new(spec("K8-G95-S"), 10_000, 5);
+        for _ in 0..2 {
+            let _ = dido.process_batch(g.batch(2048));
+        }
+        let r = dido.execute(&Query::get("pin"));
+        assert_eq!(r.status, ResponseStatus::Ok);
+        assert_eq!(&r.value[..], b"value");
+    }
+
+    #[test]
+    fn measure_converges_and_traces() {
+        let mut dido = DidoSystem::preloaded(spec("K16-G95-U"), opts());
+        let mut g = WorkloadGen::new(spec("K16-G95-U"), 10_000, 6);
+        let wr = dido.measure(|n| g.batch(n), 5);
+        assert!(wr.throughput_mops() > 0.1);
+        // 5 calibration batches plus the correction and final batches.
+        assert_eq!(dido.trace().len(), 7);
+        // Virtual clock advances monotonically.
+        let times: Vec<f64> = dido.trace().iter().map(|t| t.at_ns).collect();
+        assert!(times.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn metrics_accumulate_across_batches() {
+        let mut dido = DidoSystem::preloaded(spec("K16-G95-U"), opts());
+        let mut g = WorkloadGen::new(spec("K16-G95-U"), 10_000, 11);
+        for _ in 0..3 {
+            let _ = dido.process_batch(g.batch(2048));
+        }
+        let m = dido.metrics();
+        assert_eq!(m.batches, 3);
+        assert_eq!(m.queries, 3 * 2048);
+        assert!(m.hit_rate() > 0.9, "preloaded GETs should hit: {}", m.hit_rate());
+        assert!(m.mean_throughput_mops() > 0.0);
+        assert!(m.dominant_config().is_some());
+        assert_eq!(m.model_runs, dido.model_runs() as u64);
+        let rendered = m.to_string();
+        assert!(rendered.contains("3 batches"));
+    }
+
+    #[test]
+    fn traffic_spike_shifts_skew_and_reruns_the_model() {
+        // Paper §II-C: spikes ("swift surge in user interest on one
+        // topic") change workload characteristics; the profiler must
+        // notice via its skewness estimate.
+        use dido_workload::SpikeGen;
+        let n_keys = 10_000;
+        let base = WorkloadGen::new(spec("K8-G100-U"), n_keys, 12);
+        let mut gen = SpikeGen::new(base, 8, 0.6, 13);
+        // Small sampling window so the estimate reacts within a batch.
+        let mut dido = {
+            let mut o = opts();
+            o.profiler.skew_window = 2_048;
+            o.profiler.skew_sample_rate = 1;
+            DidoSystem::preloaded(spec("K8-G100-U"), o)
+        };
+        for _ in 0..3 {
+            let _ = dido.process_batch(gen.batch(4_096));
+        }
+        let runs_before = dido.model_runs();
+        gen.set_active(true);
+        for _ in 0..3 {
+            let _ = dido.process_batch(gen.batch(4_096));
+        }
+        assert!(
+            dido.model_runs() > runs_before,
+            "spike-induced skew shift must re-run the cost model"
+        );
+    }
+
+    #[test]
+    fn pinned_config_is_respected() {
+        let mut dido = DidoSystem::preloaded(spec("K8-G100-U"), opts());
+        dido.set_config(PipelineConfig::cpu_only());
+        let mut g = WorkloadGen::new(spec("K8-G100-U"), 10_000, 7);
+        let (report, _) = dido.process_batch(g.batch(1024));
+        // One CPU stage only => no GPU utilization.
+        assert_eq!(report.gpu_utilization(), 0.0);
+    }
+}

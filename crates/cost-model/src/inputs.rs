@@ -1,0 +1,108 @@
+//! Inputs the cost model consumes at runtime.
+
+use dido_model::WorkloadStats;
+
+/// Object header bytes (mirrors `dido_kvstore::HEADER_SIZE`; duplicated
+/// as a constant so the model stays independent of the store crate).
+pub const OBJECT_HEADER_BYTES: usize = 16;
+
+/// Everything the Workload Profiler hands to the cost model
+/// (paper §III-A: "GET/SET ratio and average key-value size ...
+/// implemented with only a few counters", plus the runtime insert-probe
+/// statistic and estimated skewness of §IV-B).
+#[derive(Debug, Clone, Copy)]
+pub struct ModelInputs {
+    /// Profiled batch statistics (ratios, sizes, estimated skew).
+    pub stats: WorkloadStats,
+    /// Total keys resident in the store (for the Zipf head-mass `P`).
+    pub n_keys: u64,
+    /// Mean buckets touched per Insert, observed at runtime
+    /// (`IndexTable::avg_insert_buckets`).
+    pub avg_insert_buckets: f64,
+    /// Mean buckets touched per Delete, observed at runtime
+    /// (`IndexTable::avg_delete_buckets`; analytic default 1.5).
+    pub avg_delete_buckets: f64,
+    /// Per-stage execution-time cap from periodical scheduling, ns.
+    pub interval_ns: f64,
+    /// CPU cache filter capacity, bytes (as configured in the engine).
+    pub cpu_cache_bytes: u64,
+    /// GPU cache filter capacity, bytes.
+    pub gpu_cache_bytes: u64,
+}
+
+impl ModelInputs {
+    /// Slab class size of the workload's average object.
+    #[must_use]
+    pub fn object_class_bytes(&self) -> u64 {
+        let total = OBJECT_HEADER_BYTES as f64 + self.stats.avg_object_size();
+        (total.max(32.0) as u64).next_power_of_two()
+    }
+
+    /// The Zipf cache-hit fraction `P` for a cache of `cache_bytes`
+    /// (paper §IV-B): the head mass of the `n'` hottest keys, where
+    /// `n' = cache / class size`. 0 for uniform workloads (a vanishing
+    /// fraction of a large key space fits in cache).
+    #[must_use]
+    pub fn cache_hit_fraction(&self, cache_bytes: u64) -> f64 {
+        if self.n_keys == 0 {
+            return 0.0;
+        }
+        let cached = (cache_bytes / self.object_class_bytes()).min(self.n_keys);
+        if cached == 0 {
+            return 0.0;
+        }
+        let theta = self.stats.zipf_skew;
+        if theta < 1e-3 {
+            return cached as f64 / self.n_keys as f64;
+        }
+        dido_workload::Zipfian::zeta(cached, theta.min(0.999))
+            / dido_workload::Zipfian::zeta(self.n_keys, theta.min(0.999))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(skew: f64) -> ModelInputs {
+        ModelInputs {
+            stats: WorkloadStats {
+                get_ratio: 0.95,
+                delete_ratio: 0.0,
+                avg_key_size: 16.0,
+                avg_value_size: 64.0,
+                zipf_skew: skew,
+                batch_size: 4096,
+            },
+            n_keys: 1_000_000,
+            avg_insert_buckets: 2.0,
+            avg_delete_buckets: 1.5,
+            interval_ns: 300_000.0,
+            cpu_cache_bytes: 4 << 20,
+            gpu_cache_bytes: 512 << 10,
+        }
+    }
+
+    #[test]
+    fn class_size_rounds_up_to_power_of_two() {
+        // 16 + 16 + 64 = 96 -> 128.
+        assert_eq!(inputs(0.0).object_class_bytes(), 128);
+    }
+
+    #[test]
+    fn skewed_p_is_large_uniform_p_is_small() {
+        let p_skew = inputs(0.99).cache_hit_fraction(4 << 20);
+        let p_uni = inputs(0.0).cache_hit_fraction(4 << 20);
+        // 32768 cached of 1M keys: ~3% uniform, ~60%+ zipf.
+        assert!(p_uni < 0.05, "uniform P {p_uni}");
+        assert!(p_skew > 0.5, "skewed P {p_skew}");
+        assert!(p_skew < 1.0);
+    }
+
+    #[test]
+    fn bigger_cache_bigger_p() {
+        let i = inputs(0.99);
+        assert!(i.cache_hit_fraction(8 << 20) > i.cache_hit_fraction(1 << 20));
+        assert_eq!(i.cache_hit_fraction(0), 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! The APU-aware cost model of DIDO (paper §IV).
+//!
+//! Predicts the execution time of every pipeline stage analytically —
+//! computation via peak IPC, memory via counted accesses and latencies
+//! (Equation 1), cross-processor interference via a
+//! microbenchmark-built µ table (Equation 2), and work stealing via the
+//! fluid Equation 3 — then searches the whole configuration space for
+//! the highest-throughput [`dido_model::PipelineConfig`] under the
+//! periodical-scheduling constraint `T_max ≤ I`.
+//!
+//! The model consumes only what the Workload Profiler counts
+//! ([`ModelInputs`]): GET/SET ratios, average key/value sizes, the
+//! runtime insert-probe statistic, and the sampled skewness estimate
+//! ([`estimate_skew`]).
+//!
+//! ```
+//! use dido_apu_sim::HwSpec;
+//! use dido_cost_model::{CostModel, ModelInputs};
+//! use dido_model::{ConfigEnumerator, WorkloadStats};
+//!
+//! let model = CostModel::new(HwSpec::kaveri_apu());
+//! let inputs = ModelInputs {
+//!     stats: WorkloadStats {
+//!         get_ratio: 0.95,
+//!         delete_ratio: 0.0,
+//!         avg_key_size: 16.0,
+//!         avg_value_size: 64.0,
+//!         zipf_skew: 0.99,
+//!         batch_size: 8192,
+//!     },
+//!     n_keys: 1_000_000,
+//!     avg_insert_buckets: 2.0,
+//!     avg_delete_buckets: 1.5,
+//!     interval_ns: 300_000.0,
+//!     cpu_cache_bytes: 128 << 10,
+//!     gpu_cache_bytes: 16 << 10,
+//! };
+//! let best = model.optimal_config(&inputs, ConfigEnumerator::default());
+//! assert!(best.throughput_mops() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod inputs;
+mod predict;
+mod skew;
+
+pub use inputs::{ModelInputs, OBJECT_HEADER_BYTES};
+pub use predict::{CostModel, PredictedStage, Prediction};
+pub use skew::estimate_skew;

@@ -1,0 +1,825 @@
+//! The APU-aware cost model (paper §IV): Equations 1–3, task affinity,
+//! key-popularity caching, and the exhaustive configuration search.
+//!
+//! The model predicts per-stage execution time *analytically* from
+//! profiled workload statistics — expectations, not the functional
+//! counts the simulator measures. The deliberate approximations (the
+//! paper's own) are the sources of the Figure 9 error: 1.5-bucket probe
+//! averages, closed-form Zipf `P` instead of real LRU behaviour, a
+//! quantized interference table, and Equation 3's fluid work-stealing
+//! (no tag granularity, no sync cost).
+
+use crate::inputs::ModelInputs;
+use dido_apu_sim::{GpuTiming, HwSpec, InterferenceTable, Ns, PcieModel};
+use dido_model::costs::{self, lines_for};
+use dido_model::{
+    ConfigEnumerator, IndexOpKind, PipelineConfig, Processor, ResourceUsage, TaskKind,
+    WAVEFRONT_WIDTH,
+};
+
+/// Fractional resource usage (expected per-query values).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct FracUsage {
+    insns: f64,
+    mem: f64,
+    cache: f64,
+}
+
+impl FracUsage {
+    fn scale(self, k: f64) -> FracUsage {
+        FracUsage {
+            insns: self.insns * k,
+            mem: self.mem * k,
+            cache: self.cache * k,
+        }
+    }
+    fn add(self, o: FracUsage) -> FracUsage {
+        FracUsage {
+            insns: self.insns + o.insns,
+            mem: self.mem + o.mem,
+            cache: self.cache + o.cache,
+        }
+    }
+    fn to_usage(self, n: f64) -> ResourceUsage {
+        ResourceUsage::new(
+            (self.insns * n).round() as u64,
+            (self.mem * n).round() as u64,
+            (self.cache * n).round() as u64,
+        )
+    }
+    /// Reclassify a fraction `p` of memory accesses as cache accesses
+    /// (paper §IV-B skew/affinity rule).
+    fn cached(self, p: f64) -> FracUsage {
+        let p = p.clamp(0.0, 1.0);
+        FracUsage {
+            insns: self.insns,
+            mem: self.mem * (1.0 - p),
+            cache: self.cache + self.mem * p,
+        }
+    }
+}
+
+/// Cached Zipf cache-hit fractions per processor (computing them calls
+/// `ζ(n,θ)`, which must not sit in the per-batch-size inner loop).
+#[derive(Debug, Clone, Copy)]
+struct HotFractions {
+    cpu: f64,
+    gpu: f64,
+}
+
+/// A predicted stage.
+#[derive(Debug, Clone)]
+pub struct PredictedStage {
+    /// Processor of the stage.
+    pub processor: Processor,
+    /// Predicted execution time for the chosen batch size, ns.
+    pub time_ns: Ns,
+    /// Cores assigned (CPU stages).
+    pub cores: usize,
+}
+
+/// A throughput prediction for one configuration.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// The configuration predicted.
+    pub config: PipelineConfig,
+    /// Batch size `N` chosen so `T_max ≤ I` (paper §IV-A: "the maximum
+    /// number of queries in a batch, N, can be calculated by limiting
+    /// T_max ≤ I").
+    pub batch_size: usize,
+    /// Predicted stage times at that batch size.
+    pub stages: Vec<PredictedStage>,
+    /// Predicted bottleneck time, ns.
+    pub t_max_ns: Ns,
+}
+
+impl Prediction {
+    /// Predicted throughput `S = N / T_max` in MOPS.
+    #[must_use]
+    pub fn throughput_mops(&self) -> f64 {
+        if self.t_max_ns <= 0.0 {
+            return 0.0;
+        }
+        self.batch_size as f64 / self.t_max_ns * 1_000.0
+    }
+}
+
+/// The cost model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    hw: HwSpec,
+    table: InterferenceTable,
+    pcie: Option<PcieModel>,
+}
+
+impl CostModel {
+    /// Build the model for a hardware profile, running the µ
+    /// microbenchmark to fill the interference table (paper §IV-A).
+    #[must_use]
+    pub fn new(hw: HwSpec) -> CostModel {
+        let pcie = if hw.coupled {
+            None
+        } else {
+            Some(PcieModel::pcie3_x16())
+        };
+        CostModel {
+            table: InterferenceTable::measure(&hw, 9),
+            hw,
+            pcie,
+        }
+    }
+
+    /// The hardware profile.
+    #[must_use]
+    pub fn hw(&self) -> &HwSpec {
+        &self.hw
+    }
+
+    // ---- Expected per-query task usage (the model's counterpart of the
+    // functional tasks' accounting). ----
+
+    fn frame_queries(&self, inputs: &ModelInputs) -> f64 {
+        let s = inputs.stats;
+        let rec = 7.0 + s.avg_key_size + s.set_ratio() * s.avg_value_size;
+        // Whole records per frame (a record never spans frames).
+        ((1500.0 - 2.0) / rec).floor().max(1.0)
+    }
+
+    fn usage_rv(&self, inputs: &ModelInputs) -> FracUsage {
+        let per_frame = FracUsage {
+            insns: costs::RV_INSNS_PER_FRAME as f64,
+            mem: 0.0,
+            cache: costs::RV_CACHE_PER_FRAME as f64,
+        };
+        per_frame.scale(1.0 / self.frame_queries(inputs))
+    }
+
+    fn usage_pp(&self) -> FracUsage {
+        FracUsage {
+            insns: costs::PP_INSNS_PER_QUERY as f64,
+            mem: 0.0,
+            cache: costs::PP_CACHE_PER_QUERY as f64,
+        }
+    }
+
+    fn usage_mm(&self, inputs: &ModelInputs) -> FracUsage {
+        let s = inputs.stats;
+        let obj_lines =
+            lines_for(s.avg_object_size() as usize, self.hw.cpu.cache_line) as f64;
+        // Steady state: the store is full, so every SET's allocation
+        // evicts (paper §II-C-2).
+        let per_set = FracUsage {
+            insns: (costs::MM_INSNS_PER_ALLOC + costs::MM_INSNS_PER_EVICT) as f64
+                + obj_lines * costs::INSNS_PER_LINE as f64,
+            mem: (costs::MM_MEM_PER_ALLOC + costs::MM_MEM_PER_EVICT) as f64,
+            cache: obj_lines,
+        };
+        per_set.scale(s.set_ratio())
+    }
+
+    /// Index-operation usage per *operation* (not per query).
+    fn usage_index_op(&self, op: IndexOpKind, inputs: &ModelInputs) -> FracUsage {
+        // Cuckoo with 2 hash functions: Search/Delete average
+        // (1+2)/2 = 1.5 bucket reads (paper §IV-B); Insert uses the
+        // runtime-observed probe count.
+        let buckets = match op {
+            IndexOpKind::Search => 1.5,
+            IndexOpKind::Delete => inputs.avg_delete_buckets,
+            IndexOpKind::Insert => inputs.avg_insert_buckets,
+        };
+        let cas = match op {
+            IndexOpKind::Search => 0.0,
+            _ => 1.0,
+        };
+        FracUsage {
+            insns: buckets * 24.0 + cas * 12.0,
+            mem: buckets,
+            cache: 0.0,
+        }
+    }
+
+    /// Ops per query for each index operation.
+    fn ops_per_query(&self, op: IndexOpKind, inputs: &ModelInputs) -> f64 {
+        let s = inputs.stats;
+        match op {
+            IndexOpKind::Search => s.get_ratio,
+            IndexOpKind::Insert => s.set_ratio(),
+            // One eviction delete per SET at steady state plus explicit
+            // DELETE queries.
+            IndexOpKind::Delete => s.set_ratio() + s.delete_ratio,
+        }
+    }
+
+    fn usage_kc(&self, inputs: &ModelInputs, p_hot: f64) -> FracUsage {
+        let s = inputs.stats;
+        let key_lines = lines_for(s.avg_key_size as usize, self.hw.cpu.cache_line) as f64;
+        let raw = FracUsage {
+            insns: costs::KC_INSNS_PER_CANDIDATE as f64
+                + key_lines * costs::INSNS_PER_LINE as f64,
+            mem: 1.0,
+            cache: key_lines - 1.0,
+        };
+        raw.cached(p_hot).scale(s.get_ratio)
+    }
+
+    fn hot_fractions(&self, inputs: &ModelInputs) -> HotFractions {
+        HotFractions {
+            cpu: inputs.cache_hit_fraction(inputs.cpu_cache_bytes),
+            gpu: inputs.cache_hit_fraction(inputs.gpu_cache_bytes),
+        }
+    }
+
+    fn usage_rd(&self, inputs: &ModelInputs, p: f64) -> FracUsage {
+        let s = inputs.stats;
+        let val_lines = lines_for(s.avg_value_size as usize, self.hw.cpu.cache_line) as f64;
+        let read = FracUsage {
+            insns: val_lines * costs::INSNS_PER_LINE as f64,
+            mem: 1.0,
+            cache: val_lines - 1.0,
+        };
+        // `p` is the probability the object is still cached when RD
+        // reads it (affinity and/or skew; computed by the caller).
+        let staging = FracUsage {
+            insns: val_lines * costs::INSNS_PER_LINE as f64,
+            mem: 0.0,
+            cache: val_lines,
+        };
+        read.cached(p).add(staging).scale(s.get_ratio)
+    }
+
+    fn usage_wr(&self, inputs: &ModelInputs, rd_same_stage: bool) -> FracUsage {
+        let s = inputs.stats;
+        let val_lines = lines_for(s.avg_value_size as usize, self.hw.cpu.cache_line) as f64;
+        let mut u = FracUsage {
+            insns: costs::WR_INSNS_PER_QUERY as f64,
+            mem: 0.0,
+            cache: 1.0,
+        };
+        if !rd_same_stage {
+            // The extra sequential pass over the staging buffer.
+            u = u.add(FracUsage {
+                insns: val_lines * costs::INSNS_PER_LINE as f64,
+                mem: 0.0,
+                cache: val_lines,
+            }
+            .scale(s.get_ratio));
+        }
+        u
+    }
+
+    fn usage_sd(&self, inputs: &ModelInputs) -> FracUsage {
+        let s = inputs.stats;
+        let resp = 5.0 + s.get_ratio * s.avg_value_size;
+        // Whole responses per frame.
+        let per_frame = ((1500.0 - 2.0) / resp).floor().max(1.0);
+        FracUsage {
+            insns: costs::SD_INSNS_PER_FRAME as f64,
+            mem: 0.0,
+            cache: costs::SD_CACHE_PER_FRAME as f64,
+        }
+        .scale(1.0 / per_frame)
+    }
+
+    // ---- Stage assembly ----
+
+    /// Predict stage times for a batch of `n` queries under `config`.
+    fn stage_times(
+        &self,
+        config: PipelineConfig,
+        inputs: &ModelInputs,
+        hot: HotFractions,
+        n: usize,
+    ) -> Vec<PredictedStage> {
+        let plan = config.plan();
+        let nf = n as f64;
+        let cpu = &self.hw.cpu;
+
+        // Per-stage: CPU fractional usage, GPU kernels (items, usage).
+        struct StageAcc {
+            processor: Processor,
+            cpu_usage: FracUsage,
+            kernels: Vec<(f64, FracUsage, bool)>,
+            pcie_bytes: (f64, f64),
+        }
+        let mut accs: Vec<StageAcc> = plan
+            .stages
+            .iter()
+            .map(|st| StageAcc {
+                processor: st.processor,
+                cpu_usage: FracUsage::default(),
+                kernels: Vec::new(),
+                pcie_bytes: (0.0, 0.0),
+            })
+            .collect();
+
+        for (si, st) in plan.stages.iter().enumerate() {
+            let gpu = st.processor == Processor::Gpu;
+            let add = |acc: &mut StageAcc, items_per_query: f64, u: FracUsage| {
+                if gpu {
+                    acc.kernels.push((items_per_query * nf, u, false));
+                } else {
+                    acc.cpu_usage = acc.cpu_usage.add(u.scale(items_per_query));
+                }
+            };
+            for t in st.tasks.iter() {
+                match t {
+                    TaskKind::Rv => add(&mut accs[si], 1.0, self.usage_rv(inputs)),
+                    TaskKind::Pp => add(&mut accs[si], 1.0, self.usage_pp()),
+                    TaskKind::Mm => add(&mut accs[si], 1.0, self.usage_mm(inputs)),
+                    TaskKind::In => {
+                        for &op in &st.index_ops {
+                            let per_op = self.usage_index_op(op, inputs);
+                            let rate = self.ops_per_query(op, inputs);
+                            if gpu {
+                                // CAS-dominated update kernels lose
+                                // latency hiding (atomic MLP cap).
+                                let atomic = op != IndexOpKind::Search;
+                                accs[si].kernels.push((rate * nf, per_op, atomic));
+                                accs[si].pcie_bytes.0 += 16.0 * rate * nf;
+                                accs[si].pcie_bytes.1 += 8.0 * rate * nf;
+                            } else {
+                                accs[si].cpu_usage =
+                                    accs[si].cpu_usage.add(per_op.scale(rate));
+                            }
+                        }
+                    }
+                    TaskKind::Kc => {
+                        let p_hot = match st.processor {
+                            Processor::Cpu => hot.cpu,
+                            Processor::Gpu => hot.gpu,
+                        };
+                        let u = self.usage_kc(inputs, p_hot);
+                        let rate = inputs.stats.get_ratio;
+                        if gpu {
+                            accs[si]
+                                .kernels
+                                .push((rate * nf, u.scale(1.0 / rate.max(1e-9)), false));
+                            accs[si].pcie_bytes.0 += inputs.stats.avg_key_size * nf;
+                        } else {
+                            accs[si].cpu_usage = accs[si].cpu_usage.add(u);
+                        }
+                    }
+                    TaskKind::Rd => {
+                        let kc_here = st.tasks.contains(TaskKind::Kc);
+                        let (p_hot, cache_bytes) = match st.processor {
+                            Processor::Cpu => (hot.cpu, inputs.cpu_cache_bytes),
+                            Processor::Gpu => (hot.gpu, inputs.gpu_cache_bytes),
+                        };
+                        // Affinity (paper §IV-B: RD re-reads what KC
+                        // fetched) holds only while the batch's GET
+                        // working set fits the cache.
+                        let p = if kc_here {
+                            let ws = nf
+                                * inputs.stats.get_ratio
+                                * inputs.object_class_bytes() as f64;
+                            (cache_bytes as f64 / ws.max(1.0)).min(1.0).max(p_hot)
+                        } else {
+                            p_hot
+                        };
+                        let u = self.usage_rd(inputs, p);
+                        let rate = inputs.stats.get_ratio;
+                        if gpu {
+                            accs[si]
+                                .kernels
+                                .push((rate * nf, u.scale(1.0 / rate.max(1e-9)), false));
+                            accs[si].pcie_bytes.1 += inputs.stats.avg_value_size * rate * nf;
+                        } else {
+                            accs[si].cpu_usage = accs[si].cpu_usage.add(u);
+                        }
+                    }
+                    TaskKind::Wr => {
+                        let rd_here = st.tasks.contains(TaskKind::Rd);
+                        let u = self.usage_wr(inputs, rd_here);
+                        add(&mut accs[si], 1.0, u);
+                        if gpu {
+                            accs[si].pcie_bytes.1 += 8.0 * nf;
+                        }
+                    }
+                    TaskKind::Sd => add(&mut accs[si], 1.0, self.usage_sd(inputs)),
+                }
+            }
+            if !st.tasks.contains(TaskKind::In) {
+                for &op in &st.index_ops {
+                    let per_op = self.usage_index_op(op, inputs);
+                    let rate = self.ops_per_query(op, inputs);
+                    add(&mut accs[si], rate, per_op);
+                }
+            }
+        }
+
+        // CPU core split (same policy as the executor).
+        let cpu_raw: Vec<(usize, Ns)> = accs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.processor == Processor::Cpu)
+            .map(|(i, a)| {
+                let u = a.cpu_usage.to_usage(nf);
+                let t = u.instructions as f64 / (cpu.ipc * cpu.freq_ghz)
+                    + u.mem_accesses as f64 * cpu.mem_latency_ns
+                    + u.cache_accesses as f64 * cpu.l2_latency_ns;
+                (i, t)
+            })
+            .collect();
+        let total_cores = cpu.cores;
+        let mut cores_for = vec![0usize; accs.len()];
+        match cpu_raw.len() {
+            0 => {}
+            1 => cores_for[cpu_raw[0].0] = total_cores,
+            _ => {
+                let (i0, t0) = cpu_raw[0];
+                let (i1, t1) = cpu_raw[1];
+                let mut best = (1usize, f64::INFINITY);
+                for c in 1..total_cores {
+                    let m = (t0 / c as f64).max(t1 / (total_cores - c) as f64);
+                    if m < best.1 {
+                        best = (c, m);
+                    }
+                }
+                cores_for[i0] = best.0;
+                cores_for[i1] = total_cores - best.0;
+            }
+        }
+
+        // Isolated stage times.
+        let gpu_timing = GpuTiming::new(&self.hw.gpu);
+        let mut out: Vec<PredictedStage> = Vec::with_capacity(accs.len());
+        let mut mem_rates: Vec<(Processor, f64)> = Vec::new();
+        for (i, a) in accs.iter().enumerate() {
+            let t = match a.processor {
+                Processor::Cpu => {
+                    let u = a.cpu_usage.to_usage(nf);
+                    let raw = u.instructions as f64 / (cpu.ipc * cpu.freq_ghz)
+                        + u.mem_accesses as f64 * cpu.mem_latency_ns
+                        + u.cache_accesses as f64 * cpu.l2_latency_ns;
+                    mem_rates.push((Processor::Cpu, u.mem_accesses as f64));
+                    raw / cores_for[i].max(1) as f64
+                }
+                Processor::Gpu => {
+                    let mut total = 0.0;
+                    let mut mem = 0.0;
+                    for (items, per_item, atomic) in &a.kernels {
+                        let items_n = items.round().max(0.0) as usize;
+                        let agg = per_item.to_usage(*items);
+                        total += gpu_timing.kernel_time_aggregate_opts(items_n, agg, *atomic);
+                        mem += agg.mem_accesses as f64;
+                    }
+                    if let Some(p) = &self.pcie {
+                        total += p.round_trip_time(
+                            a.pcie_bytes.0.round() as u64,
+                            a.pcie_bytes.1.round() as u64,
+                        );
+                    }
+                    mem_rates.push((Processor::Gpu, mem));
+                    total
+                }
+            };
+            out.push(PredictedStage {
+                processor: a.processor,
+                time_ns: t,
+                cores: cores_for[i],
+            });
+        }
+
+        // Equation 2: interference with the (quantized) µ table —
+        // fixed-point iteration over isolated stage times.
+        let isolated: Vec<f64> = out.iter().map(|s| s.time_ns).collect();
+        for _ in 0..6 {
+            let t_max = out.iter().map(|s| s.time_ns).fold(1.0_f64, f64::max);
+            let rate = |p: Processor| {
+                mem_rates
+                    .iter()
+                    .filter(|(mp, _)| *mp == p)
+                    .map(|(_, m)| m)
+                    .sum::<f64>()
+                    / t_max
+            };
+            let cpu_rate = rate(Processor::Cpu);
+            let gpu_rate = rate(Processor::Gpu);
+            for (s, iso) in out.iter_mut().zip(&isolated) {
+                let mu = match s.processor {
+                    Processor::Cpu => self.table.mu(Processor::Cpu, gpu_rate),
+                    Processor::Gpu => self.table.mu(Processor::Gpu, cpu_rate),
+                };
+                s.time_ns = iso * mu;
+            }
+        }
+
+        // Equation 3: work stealing (fluid model, no tag quantization).
+        if config.work_stealing {
+            self.apply_eq3(&mut out);
+        }
+        out
+    }
+
+    /// Paper Equation 3:
+    /// `T_WS_A = T_B^CPU + T_A^CPU · (T_A^GPU − T_B^CPU) / (T_A^CPU + T_A^GPU)`.
+    /// Applied when one processor's bottleneck exceeds the other side's
+    /// completion time; the analogous form covers a CPU bottleneck.
+    fn apply_eq3(&self, stages: &mut [PredictedStage]) {
+        let Some(gpu_i) = stages.iter().position(|s| s.processor == Processor::Gpu) else {
+            return;
+        };
+        let t_gpu = stages[gpu_i].time_ns;
+        let t_cpu_max = stages
+            .iter()
+            .filter(|s| s.processor == Processor::Cpu)
+            .map(|s| s.time_ns)
+            .fold(0.0_f64, f64::max);
+        if t_cpu_max <= 0.0 || t_gpu <= 0.0 {
+            return;
+        }
+        // Cross-processor execution-rate ratio for the same work: use
+        // the CPU↔GPU per-item cost ratio approximated by the ratio of
+        // their isolated times for the bottleneck stage's work.
+        if t_gpu > t_cpu_max {
+            // GPU-bound: CPU threads steal once their own stages finish
+            // (Equation 3's fluid view, solved against the CPU stages'
+            // actual idle capacity). One core-ns of CPU time removes `e`
+            // ns of saturated GPU work, where `e` is the per-random-
+            // access cost ratio: the GPU hides latency at max MLP, the
+            // CPU pays it serially.
+            let e = (self.hw.gpu.mem_latency_ns / self.hw.gpu.max_mlp)
+                / self.hw.cpu.mem_latency_ns;
+            // Solve t_gpu − T = e · Σ_i c_i (T − t_i).
+            let (sum_c, sum_ct) = stages
+                .iter()
+                .filter(|s| s.processor == Processor::Cpu)
+                .fold((0.0, 0.0), |(c, ct), s| {
+                    (c + s.cores as f64, ct + s.cores as f64 * s.time_ns)
+                });
+            let t_ws = (t_gpu + e * sum_ct) / (1.0 + e * sum_c);
+            stages[gpu_i].time_ns = t_ws.clamp(t_cpu_max.min(t_gpu), t_gpu);
+        } else {
+            // CPU-bound: symmetric form. The GPU steals from the
+            // bottleneck CPU stage's offloadable share (RV/PP/MM/SD
+            // cannot move): T_WS = T_fixed + T_steal·T_A^GPU/(T_steal+T_A^GPU),
+            // where T_A^GPU is the GPU's cost for the stealable work on
+            // top of its own stage.
+            let cpu_i = stages
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.processor == Processor::Cpu)
+                .max_by(|a, b| a.1.time_ns.total_cmp(&b.1.time_ns))
+                .map(|(i, _)| i)
+                .expect("cpu stage exists");
+            let t_cpu = stages[cpu_i].time_ns;
+            let stealable = 0.6 * t_cpu;
+            let fixed = t_cpu - stealable;
+            // Fluid model at rate parity: the GPU joins once its own
+            // stage finishes at t_gpu; completion T satisfies
+            // T + (T − t_gpu) = t_cpu, bounded by what is stealable and
+            // by the non-offloadable fixed work.
+            let t_ws = (0.5 * (t_cpu + t_gpu))
+                .max(t_gpu)
+                .max(fixed)
+                .max(t_cpu - stealable);
+            stages[cpu_i].time_ns = t_ws.min(t_cpu);
+        }
+    }
+
+    /// Predict throughput for one configuration: find the largest batch
+    /// `N` with `T_max(N) ≤ I` (binary search; `T_max` is monotone in
+    /// `N`), per §IV-A.
+    #[must_use]
+    pub fn predict(&self, config: PipelineConfig, inputs: &ModelInputs) -> Prediction {
+        let interval = inputs.interval_ns;
+        let hot = self.hot_fractions(inputs);
+        let fits = |n: usize| -> (bool, Vec<PredictedStage>) {
+            let st = self.stage_times(config, inputs, hot, n);
+            let t = st.iter().map(|s| s.time_ns).fold(0.0_f64, f64::max);
+            (t <= interval, st)
+        };
+        let mut lo = WAVEFRONT_WIDTH;
+        let mut hi = 1 << 18;
+        if !fits(lo).0 {
+            let stages = self.stage_times(config, inputs, hot, lo);
+            let t_max = stages.iter().map(|s| s.time_ns).fold(0.0_f64, f64::max);
+            return Prediction {
+                config,
+                batch_size: lo,
+                stages,
+                t_max_ns: t_max,
+            };
+        }
+        while hi - lo > WAVEFRONT_WIDTH {
+            let mid = ((lo + hi) / 2 / WAVEFRONT_WIDTH) * WAVEFRONT_WIDTH;
+            if fits(mid).0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let stages = self.stage_times(config, inputs, hot, lo);
+        let t_max = stages.iter().map(|s| s.time_ns).fold(0.0_f64, f64::max);
+        Prediction {
+            config,
+            batch_size: lo,
+            stages,
+            t_max_ns: t_max,
+        }
+    }
+
+    /// Exhaustive search for the configuration with the highest
+    /// predicted throughput (paper §IV-B: "the cost model estimates the
+    /// system throughput for all the configurations and chooses the one
+    /// with the highest throughput").
+    #[must_use]
+    pub fn optimal_config(
+        &self,
+        inputs: &ModelInputs,
+        enumerator: ConfigEnumerator,
+    ) -> Prediction {
+        let mut best: Option<Prediction> = None;
+        for cfg in enumerator.enumerate() {
+            let p = self.predict(cfg, inputs);
+            let better = match &best {
+                None => true,
+                Some(b) => p.throughput_mops() > b.throughput_mops(),
+            };
+            if better {
+                best = Some(p);
+            }
+        }
+        best.expect("enumerator yields at least one config")
+    }
+
+    /// Greedy variant (extension): start from Mega-KV's configuration
+    /// and accept single-dimension improvements until a fixed point.
+    /// Cheaper than the exhaustive sweep; the ablation benches compare
+    /// the two.
+    #[must_use]
+    pub fn greedy_config(&self, inputs: &ModelInputs) -> Prediction {
+        let mut current = self.predict(PipelineConfig::mega_kv(), inputs);
+        loop {
+            let mut improved = false;
+            for cfg in neighbours(&current.config) {
+                if !cfg.is_valid() {
+                    continue;
+                }
+                let p = self.predict(cfg, inputs);
+                if p.throughput_mops() > current.throughput_mops() * 1.001 {
+                    current = p;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return current;
+            }
+        }
+    }
+}
+
+/// Single-dimension mutations of a configuration (for greedy search).
+fn neighbours(cfg: &PipelineConfig) -> Vec<PipelineConfig> {
+    let mut out = Vec::new();
+    // Toggle work stealing.
+    let mut c = *cfg;
+    c.work_stealing = !c.work_stealing;
+    out.push(c);
+    // Flip each index op.
+    for op in IndexOpKind::ALL {
+        let mut c = *cfg;
+        match op {
+            IndexOpKind::Search => c.index_ops.search = c.index_ops.search.other(),
+            IndexOpKind::Insert => c.index_ops.insert = c.index_ops.insert.other(),
+            IndexOpKind::Delete => c.index_ops.delete = c.index_ops.delete.other(),
+        }
+        out.push(c);
+    }
+    // Grow/shrink the GPU segment at both ends.
+    let offloadable = [TaskKind::In, TaskKind::Kc, TaskKind::Rd, TaskKind::Wr];
+    for &t in &offloadable {
+        let mut grow = *cfg;
+        grow.gpu_segment.insert(t);
+        out.push(grow);
+        let mut shrink = *cfg;
+        shrink.gpu_segment.remove(t);
+        out.push(shrink);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dido_model::WorkloadStats;
+
+    fn inputs(label: &str) -> ModelInputs {
+        let (key, val, get, skew) = match label {
+            "K8-G95-S" => (8.0, 8.0, 0.95, 0.99),
+            "K8-G95-U" => (8.0, 8.0, 0.95, 0.0),
+            "K128-G50-U" => (128.0, 1024.0, 0.50, 0.0),
+            "K16-G100-S" => (16.0, 64.0, 1.0, 0.99),
+            _ => panic!("unknown label"),
+        };
+        ModelInputs {
+            stats: WorkloadStats {
+                get_ratio: get,
+                delete_ratio: 0.0,
+                avg_key_size: key,
+                avg_value_size: val,
+                zipf_skew: skew,
+                batch_size: 8192,
+            },
+            n_keys: 1_000_000,
+            avg_insert_buckets: 2.1,
+            avg_delete_buckets: 1.7,
+            interval_ns: 300_000.0,
+            cpu_cache_bytes: 128 << 10,
+            gpu_cache_bytes: 16 << 10,
+        }
+    }
+
+    fn model() -> CostModel {
+        CostModel::new(HwSpec::kaveri_apu())
+    }
+
+    #[test]
+    fn prediction_is_positive_and_fits_interval() {
+        let m = model();
+        let p = m.predict(PipelineConfig::mega_kv(), &inputs("K8-G95-S"));
+        assert!(p.throughput_mops() > 0.0);
+        assert!(p.t_max_ns <= 300_000.0 * 1.01, "t_max {}", p.t_max_ns);
+        assert!(p.batch_size >= WAVEFRONT_WIDTH);
+        assert_eq!(p.stages.len(), 3);
+    }
+
+    #[test]
+    fn bigger_interval_bigger_batch() {
+        let m = model();
+        let mut i = inputs("K8-G95-U");
+        let p300 = m.predict(PipelineConfig::mega_kv(), &i);
+        i.interval_ns = 600_000.0;
+        let p600 = m.predict(PipelineConfig::mega_kv(), &i);
+        assert!(p600.batch_size > p300.batch_size);
+    }
+
+    #[test]
+    fn optimal_beats_or_matches_mega_kv_everywhere() {
+        let m = model();
+        for label in ["K8-G95-S", "K8-G95-U", "K128-G50-U", "K16-G100-S"] {
+            let inp = inputs(label);
+            let mega = m.predict(PipelineConfig::mega_kv(), &inp);
+            let best = m.optimal_config(&inp, ConfigEnumerator::default());
+            assert!(
+                best.throughput_mops() >= mega.throughput_mops() * 0.999,
+                "{label}: optimal {:.2} must be >= megakv {:.2}",
+                best.throughput_mops(),
+                mega.throughput_mops()
+            );
+        }
+    }
+
+    #[test]
+    fn read_intensive_small_kv_prefers_updates_on_cpu() {
+        // Paper §V-C: for 95% GET workloads DIDO assigns Insert/Delete
+        // to CPUs.
+        let m = model();
+        let best = m.optimal_config(&inputs("K8-G95-S"), ConfigEnumerator::default());
+        assert_eq!(
+            best.config.index_ops.insert,
+            Processor::Cpu,
+            "best config {} should run inserts on the CPU",
+            best.config
+        );
+    }
+
+    #[test]
+    fn work_stealing_never_hurts_predicted_throughput() {
+        let m = model();
+        for label in ["K8-G95-S", "K128-G50-U"] {
+            let inp = inputs(label);
+            let mut cfg = PipelineConfig::mega_kv();
+            let off = m.predict(cfg, &inp);
+            cfg.work_stealing = true;
+            let on = m.predict(cfg, &inp);
+            assert!(
+                on.throughput_mops() >= off.throughput_mops() * 0.999,
+                "{label}: stealing should not hurt"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_close_to_exhaustive() {
+        let m = model();
+        for label in ["K8-G95-S", "K128-G50-U", "K16-G100-S"] {
+            let inp = inputs(label);
+            let exhaustive = m.optimal_config(&inp, ConfigEnumerator::default());
+            let greedy = m.greedy_config(&inp);
+            assert!(
+                greedy.throughput_mops() >= exhaustive.throughput_mops() * 0.7,
+                "{label}: greedy {:.2} too far from exhaustive {:.2}",
+                greedy.throughput_mops(),
+                exhaustive.throughput_mops()
+            );
+        }
+    }
+
+    #[test]
+    fn discrete_profile_predictions_include_pcie() {
+        let m = CostModel::new(HwSpec::discrete_gtx780());
+        let p = m.predict(PipelineConfig::mega_kv(), &inputs("K8-G95-U"));
+        assert!(p.throughput_mops() > 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the cost model: predictions must respond sanely
+//! (and monotonically, where physics says so) to workload and budget
+//! changes, for arbitrary workload shapes.
+
+use dido_apu_sim::HwSpec;
+use dido_cost_model::{CostModel, ModelInputs};
+use dido_model::{ConfigEnumerator, PipelineConfig, WorkloadStats};
+use proptest::prelude::*;
+
+fn arb_inputs() -> impl Strategy<Value = ModelInputs> {
+    (
+        0.0f64..=1.0,          // get ratio
+        8.0f64..=128.0,        // key size
+        8.0f64..=1024.0,       // value size
+        prop_oneof![Just(0.0f64), 0.3f64..0.999], // skew
+        1_000u64..10_000_000,  // keys
+        1.0f64..4.0,           // insert buckets
+        1.0f64..2.0,           // delete buckets
+    )
+        .prop_map(|(get, key, val, skew, n_keys, ins, del)| ModelInputs {
+            stats: WorkloadStats {
+                get_ratio: get,
+                delete_ratio: 0.0,
+                avg_key_size: key,
+                avg_value_size: val,
+                zipf_skew: skew,
+                batch_size: 8192,
+            },
+            n_keys,
+            avg_insert_buckets: ins,
+            avg_delete_buckets: del,
+            interval_ns: 300_000.0,
+            cpu_cache_bytes: 128 << 10,
+            gpu_cache_bytes: 16 << 10,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn predictions_are_finite_and_fit_the_interval(inputs in arb_inputs()) {
+        let model = CostModel::new(HwSpec::kaveri_apu());
+        let p = model.predict(PipelineConfig::mega_kv(), &inputs);
+        prop_assert!(p.throughput_mops().is_finite());
+        prop_assert!(p.throughput_mops() > 0.0);
+        prop_assert!(p.t_max_ns.is_finite() && p.t_max_ns > 0.0);
+        // The binary search honours the periodical-scheduling cap
+        // whenever even the minimum batch fits.
+        if p.batch_size > dido_model::WAVEFRONT_WIDTH {
+            prop_assert!(
+                p.t_max_ns <= inputs.interval_ns * 1.01,
+                "t_max {} vs interval {}",
+                p.t_max_ns,
+                inputs.interval_ns
+            );
+        }
+    }
+
+    #[test]
+    fn longer_intervals_never_reduce_batch_size(inputs in arb_inputs()) {
+        let model = CostModel::new(HwSpec::kaveri_apu());
+        let mut longer = inputs;
+        longer.interval_ns = inputs.interval_ns * 2.0;
+        let a = model.predict(PipelineConfig::mega_kv(), &inputs);
+        let b = model.predict(PipelineConfig::mega_kv(), &longer);
+        prop_assert!(b.batch_size >= a.batch_size);
+    }
+
+    #[test]
+    fn optimal_dominates_every_enumerated_config(inputs in arb_inputs()) {
+        let model = CostModel::new(HwSpec::kaveri_apu());
+        let best = model.optimal_config(&inputs, ConfigEnumerator::default());
+        for cfg in ConfigEnumerator::default().enumerate().into_iter().take(12) {
+            let p = model.predict(cfg, &inputs);
+            prop_assert!(
+                best.throughput_mops() >= p.throughput_mops() - 1e-9,
+                "optimal {} < {} under {}",
+                best.throughput_mops(),
+                p.throughput_mops(),
+                cfg
+            );
+        }
+    }
+
+    #[test]
+    fn skew_never_hurts_predicted_throughput(inputs in arb_inputs()) {
+        // A hotter key distribution only adds cache hits in the model.
+        let model = CostModel::new(HwSpec::kaveri_apu());
+        let mut uniform = inputs;
+        uniform.stats.zipf_skew = 0.0;
+        let mut skewed = inputs;
+        skewed.stats.zipf_skew = 0.99;
+        let u = model.predict(PipelineConfig::mega_kv(), &uniform);
+        let s = model.predict(PipelineConfig::mega_kv(), &skewed);
+        prop_assert!(
+            s.throughput_mops() >= u.throughput_mops() * 0.999,
+            "skewed {} < uniform {}",
+            s.throughput_mops(),
+            u.throughput_mops()
+        );
+    }
+}

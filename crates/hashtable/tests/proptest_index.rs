@@ -1,0 +1,95 @@
+//! Model-based property tests for the cuckoo index: the table must
+//! agree with a reference `HashMap<key, Vec<loc>>` under arbitrary
+//! insert/delete/search interleavings (single-threaded — the reference
+//! model is sequential).
+
+use dido_hashtable::{key_hash, IndexTable};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u16),
+    Delete(u8, u16),
+    Search(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>()).prop_map(|(k, l)| Op::Insert(k, l)),
+        (any::<u8>(), any::<u16>()).prop_map(|(k, l)| Op::Delete(k, l)),
+        any::<u8>().prop_map(Op::Search),
+    ]
+}
+
+fn key_bytes(k: u8) -> Vec<u8> {
+    format!("prop-key-{k}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn index_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let table = IndexTable::with_capacity(4096);
+        // Reference: key -> multiset of locations.
+        let mut model: HashMap<u8, Vec<u64>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, l) => {
+                    let kh = key_hash(&key_bytes(k));
+                    let loc = u64::from(l);
+                    if table.insert(kh, loc).0.is_ok() {
+                        model.entry(k).or_default().push(loc);
+                    }
+                }
+                Op::Delete(k, l) => {
+                    let kh = key_hash(&key_bytes(k));
+                    let loc = u64::from(l);
+                    let (removed, _) = table.delete(kh, loc);
+                    let model_has = model.get(&k).is_some_and(|v| v.contains(&loc));
+                    prop_assert_eq!(removed, model_has,
+                        "delete({}, {}) disagreed with model", k, loc);
+                    if removed {
+                        let v = model.get_mut(&k).unwrap();
+                        let pos = v.iter().position(|&x| x == loc).unwrap();
+                        v.swap_remove(pos);
+                    }
+                }
+                Op::Search(k) => {
+                    let kh = key_hash(&key_bytes(k));
+                    let (cands, usage) = table.search(kh);
+                    prop_assert!(usage.mem_accesses >= 1 && usage.mem_accesses <= 2);
+                    // Every modelled location must appear among the
+                    // candidates (signature matches may add more, which
+                    // KC would filter; with 256 distinct keys and 16-bit
+                    // signatures collisions are unlikely but allowed).
+                    if let Some(locs) = model.get(&k) {
+                        for &loc in locs {
+                            prop_assert!(
+                                cands.as_slice().contains(&loc),
+                                "search({}) lost location {}", k, loc
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Final census: total entries equal the model's.
+        let model_total: usize = model.values().map(Vec::len).sum();
+        prop_assert_eq!(table.len(), model_total);
+    }
+
+    #[test]
+    fn usage_accounting_is_sane(keys in proptest::collection::vec(any::<u16>(), 1..100)) {
+        let table = IndexTable::with_capacity(8192);
+        for (i, k) in keys.iter().enumerate() {
+            let kh = key_hash(&k.to_le_bytes());
+            let (_, u) = table.insert(kh, i as u64);
+            prop_assert!(u.mem_accesses >= 1, "insert must touch >= 1 bucket");
+            prop_assert!(u.instructions > 0);
+        }
+    }
+}

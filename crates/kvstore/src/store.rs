@@ -1,0 +1,483 @@
+//! Slab-allocated key-value object store with CLOCK eviction.
+//!
+//! Mirrors the memcached/Mega-KV storage design the paper assumes:
+//! objects live in one shared arena, carved into power-of-two size
+//! classes; when a class runs out of memory a SET *evicts* an existing
+//! object — which is why each SET generates an Insert **and** a Delete
+//! index operation (paper §II-C-2) — and each object carries a frequency
+//! counter plus a sampling timestamp for the runtime skewness estimate
+//! (paper §IV-B).
+
+use crate::arena::Arena;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Object header layout (little endian):
+/// `key_len:u16 | val_len:u32 | freq:u32 | epoch:u32 | class:u8 | flags:u8`.
+pub const HEADER_SIZE: usize = 16;
+
+const OFF_KEY_LEN: usize = 0;
+const OFF_VAL_LEN: usize = 2;
+const OFF_FREQ: usize = 6;
+const OFF_EPOCH: usize = 10;
+const OFF_CLASS: usize = 14;
+const OFF_FLAGS: usize = 15;
+
+const FLAG_LIVE: u8 = 1;
+const FLAG_REFERENCED: u8 = 2;
+
+/// Smallest size class in bytes.
+const MIN_CLASS_BYTES: usize = 32;
+
+/// Errors from the object store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// The object exceeds the largest size class.
+    ObjectTooLarge,
+    /// No free slot, no arena room left to carve, and nothing evictable
+    /// in the object's size class.
+    OutOfMemory,
+}
+
+/// An object displaced by an allocation; the caller must issue the
+/// matching index Delete (this is what turns one SET into an Insert plus
+/// a Delete in the paper's Figure 6 accounting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictedObject {
+    /// The recycled location (same slot the new object now occupies).
+    pub loc: u64,
+    /// The evicted object's key, needed to delete its index entry.
+    pub key: Vec<u8>,
+}
+
+/// Result of a successful allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocOutcome {
+    /// Location of the stored object (index this under the key).
+    pub loc: u64,
+    /// Object evicted to make room, if any.
+    pub evicted: Option<EvictedObject>,
+}
+
+#[derive(Default)]
+struct ClassLists {
+    free: Vec<u64>,
+    /// CLOCK ring of allocation events. May contain dead or duplicate
+    /// entries (skipped/compacted lazily); every live object has at
+    /// least one entry.
+    ring: VecDeque<u64>,
+    live: usize,
+}
+
+/// The key-value object store.
+pub struct ObjectStore {
+    arena: Arena,
+    bump: Mutex<usize>,
+    classes: Vec<Mutex<ClassLists>>,
+    class_count: usize,
+}
+
+impl ObjectStore {
+    /// A store over `capacity` bytes of (simulated) shared memory.
+    ///
+    /// # Panics
+    /// Panics if `capacity < MIN_CLASS_BYTES`.
+    #[must_use]
+    pub fn new(capacity: usize) -> ObjectStore {
+        assert!(capacity >= MIN_CLASS_BYTES, "capacity too small");
+        let max_class_bytes = capacity.next_power_of_two().min(1 << 22);
+        let class_count = (max_class_bytes / MIN_CLASS_BYTES).ilog2() as usize + 1;
+        ObjectStore {
+            arena: Arena::new(capacity),
+            bump: Mutex::new(0),
+            classes: (0..class_count).map(|_| Mutex::new(ClassLists::default())).collect(),
+            class_count,
+        }
+    }
+
+    /// Arena capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    /// Bytes carved from the arena so far.
+    #[must_use]
+    pub fn bytes_carved(&self) -> usize {
+        *self.bump.lock()
+    }
+
+    /// Number of live objects.
+    #[must_use]
+    pub fn live_objects(&self) -> usize {
+        self.classes.iter().map(|c| c.lock().live).sum()
+    }
+
+    fn class_of(&self, total: usize) -> Option<(usize, usize)> {
+        let mut size = MIN_CLASS_BYTES;
+        for idx in 0..self.class_count {
+            if total <= size {
+                return Some((idx, size));
+            }
+            size *= 2;
+        }
+        None
+    }
+
+    /// Size-class byte size an object of `key_len`/`val_len` lands in
+    /// (for capacity planning and the cost model's cached-object count).
+    #[must_use]
+    pub fn class_bytes_for(&self, key_len: usize, val_len: usize) -> Option<usize> {
+        self.class_of(HEADER_SIZE + key_len + val_len).map(|(_, s)| s)
+    }
+
+    /// Store `key`/`value`, evicting a same-class object if necessary.
+    pub fn allocate(&self, key: &[u8], value: &[u8]) -> Result<AllocOutcome, StoreError> {
+        let total = HEADER_SIZE + key.len() + value.len();
+        let (class_idx, class_size) = self.class_of(total).ok_or(StoreError::ObjectTooLarge)?;
+
+        let mut evicted = None;
+        let loc = {
+            let mut lists = self.classes[class_idx].lock();
+            if let Some(loc) = lists.free.pop() {
+                Some(loc)
+            } else {
+                drop(lists);
+                if let Some(loc) = self.carve(class_size) {
+                    Some(loc)
+                } else {
+                    let mut lists = self.classes[class_idx].lock();
+                    match self.evict_one(&mut lists) {
+                        Some((loc, key)) => {
+                            evicted = Some(EvictedObject { loc, key });
+                            Some(loc)
+                        }
+                        None => None,
+                    }
+                }
+            }
+        };
+        let loc = loc.ok_or(StoreError::OutOfMemory)?;
+
+        self.write_object(loc, key, value, class_idx as u8);
+        let mut lists = self.classes[class_idx].lock();
+        lists.ring.push_back(loc);
+        lists.live += 1;
+        if evicted.is_some() {
+            // The evicted object was live until now.
+            lists.live -= 1;
+        }
+        // Bound ring growth from free/reuse churn.
+        if lists.ring.len() > 4 * lists.live.max(16) {
+            let arena = &self.arena;
+            lists
+                .ring
+                .retain(|&l| arena.read_u8(l as usize + OFF_FLAGS) & FLAG_LIVE != 0);
+        }
+        Ok(AllocOutcome { loc, evicted })
+    }
+
+    fn carve(&self, class_size: usize) -> Option<u64> {
+        let mut bump = self.bump.lock();
+        if *bump + class_size <= self.arena.capacity() {
+            let loc = *bump as u64;
+            *bump += class_size;
+            Some(loc)
+        } else {
+            None
+        }
+    }
+
+    /// CLOCK sweep: skip dead entries, give referenced objects a second
+    /// chance, evict the first unreferenced live object.
+    fn evict_one(&self, lists: &mut ClassLists) -> Option<(u64, Vec<u8>)> {
+        let budget = lists.ring.len() * 2;
+        for _ in 0..budget {
+            let loc = lists.ring.pop_front()?;
+            let off = loc as usize;
+            let flags = self.arena.read_u8(off + OFF_FLAGS);
+            if flags & FLAG_LIVE == 0 {
+                continue; // dead entry: drop it
+            }
+            if flags & FLAG_REFERENCED != 0 {
+                self.arena.write_u8(off + OFF_FLAGS, flags & !FLAG_REFERENCED);
+                lists.ring.push_back(loc);
+                continue;
+            }
+            let key_len = self.arena.read_u16(off + OFF_KEY_LEN) as usize;
+            let key = self.arena.read_vec(off + HEADER_SIZE, key_len);
+            self.arena.write_u8(off + OFF_FLAGS, 0);
+            return Some((loc, key));
+        }
+        None
+    }
+
+    fn write_object(&self, loc: u64, key: &[u8], value: &[u8], class: u8) {
+        let off = loc as usize;
+        self.arena.write_u16(off + OFF_KEY_LEN, key.len() as u16);
+        self.arena.write_u32(off + OFF_VAL_LEN, value.len() as u32);
+        self.arena.write_u32(off + OFF_FREQ, 0);
+        self.arena.write_u32(off + OFF_EPOCH, 0);
+        self.arena.write_u8(off + OFF_CLASS, class);
+        self.arena.write_u8(off + OFF_FLAGS, FLAG_LIVE);
+        self.arena.write(off + HEADER_SIZE, key);
+        self.arena.write(off + HEADER_SIZE + key.len(), value);
+    }
+
+    /// Free the object at `loc` (DELETE query). Returns false if it was
+    /// not live (stale location).
+    pub fn free(&self, loc: u64) -> bool {
+        let off = loc as usize;
+        if off + HEADER_SIZE > self.arena.capacity() {
+            return false;
+        }
+        let flags = self.arena.read_u8(off + OFF_FLAGS);
+        if flags & FLAG_LIVE == 0 {
+            return false;
+        }
+        self.arena.write_u8(off + OFF_FLAGS, 0);
+        let class = self.arena.read_u8(off + OFF_CLASS) as usize;
+        let mut lists = self.classes[class].lock();
+        lists.free.push(loc);
+        lists.live = lists.live.saturating_sub(1);
+        true
+    }
+
+    /// Whether the live object at `loc` has exactly this key (the `KC`
+    /// task). Stale or dead locations compare unequal.
+    #[must_use]
+    pub fn key_matches(&self, loc: u64, key: &[u8]) -> bool {
+        let off = loc as usize;
+        if off + HEADER_SIZE > self.arena.capacity() {
+            return false;
+        }
+        if self.arena.read_u8(off + OFF_FLAGS) & FLAG_LIVE == 0 {
+            return false;
+        }
+        if self.arena.read_u16(off + OFF_KEY_LEN) as usize != key.len() {
+            return false;
+        }
+        self.arena.bytes_equal(off + HEADER_SIZE, key)
+    }
+
+    /// Key and value lengths of the object at `loc`.
+    #[must_use]
+    pub fn object_lens(&self, loc: u64) -> (usize, usize) {
+        let off = loc as usize;
+        (
+            self.arena.read_u16(off + OFF_KEY_LEN) as usize,
+            self.arena.read_u32(off + OFF_VAL_LEN) as usize,
+        )
+    }
+
+    /// Append the object's value to `dst` (the `RD` task). Returns the
+    /// value length.
+    pub fn read_value(&self, loc: u64, dst: &mut Vec<u8>) -> usize {
+        let off = loc as usize;
+        let (key_len, val_len) = self.object_lens(loc);
+        self.arena.read_into(off + HEADER_SIZE + key_len, val_len, dst);
+        val_len
+    }
+
+    /// Copy of the object's key.
+    #[must_use]
+    pub fn read_key(&self, loc: u64) -> Vec<u8> {
+        let off = loc as usize;
+        let (key_len, _) = self.object_lens(loc);
+        self.arena.read_vec(off + HEADER_SIZE, key_len)
+    }
+
+    /// Record an access for the skewness sampler (paper §IV-B): the
+    /// frequency counter resets to 1 when the object's sampling epoch is
+    /// stale, otherwise increments. Also sets the CLOCK referenced bit.
+    /// Returns the post-update frequency.
+    pub fn touch(&self, loc: u64, epoch: u32) -> u32 {
+        let off = loc as usize;
+        let flags = self.arena.read_u8(off + OFF_FLAGS);
+        self.arena.write_u8(off + OFF_FLAGS, flags | FLAG_REFERENCED);
+        if self.arena.read_u32(off + OFF_EPOCH) != epoch {
+            self.arena.write_u32(off + OFF_EPOCH, epoch);
+            self.arena.write_u32(off + OFF_FREQ, 1);
+            1
+        } else {
+            self.arena.fetch_add_u32(off + OFF_FREQ, 1) + 1
+        }
+    }
+
+    /// The object's current sampling frequency and epoch.
+    #[must_use]
+    pub fn freq(&self, loc: u64) -> (u32, u32) {
+        let off = loc as usize;
+        (
+            self.arena.read_u32(off + OFF_FREQ),
+            self.arena.read_u32(off + OFF_EPOCH),
+        )
+    }
+}
+
+impl std::fmt::Debug for ObjectStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectStore")
+            .field("capacity", &self.capacity())
+            .field("carved", &self.bytes_carved())
+            .field("live_objects", &self.live_objects())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_and_read_back() {
+        let s = ObjectStore::new(4096);
+        let out = s.allocate(b"key-1", b"value-1").unwrap();
+        assert!(out.evicted.is_none());
+        assert!(s.key_matches(out.loc, b"key-1"));
+        assert!(!s.key_matches(out.loc, b"key-2"));
+        let mut v = Vec::new();
+        assert_eq!(s.read_value(out.loc, &mut v), 7);
+        assert_eq!(v, b"value-1");
+        assert_eq!(s.read_key(out.loc), b"key-1");
+        assert_eq!(s.live_objects(), 1);
+    }
+
+    #[test]
+    fn free_then_reuse_same_class() {
+        let s = ObjectStore::new(4096);
+        let a = s.allocate(b"aaaa", b"1111").unwrap();
+        assert!(s.free(a.loc));
+        assert!(!s.free(a.loc), "double free must fail");
+        let b = s.allocate(b"bbbb", b"2222").unwrap();
+        assert_eq!(b.loc, a.loc, "freed slot should be recycled");
+        assert!(s.key_matches(b.loc, b"bbbb"));
+        assert!(!s.key_matches(b.loc, b"aaaa"), "stale key must not match");
+    }
+
+    #[test]
+    fn eviction_kicks_in_when_full() {
+        // Room for exactly 4 objects of the 32-byte class.
+        let s = ObjectStore::new(128);
+        let mut locs = Vec::new();
+        for i in 0..4 {
+            let key = format!("k{i}");
+            locs.push(s.allocate(key.as_bytes(), b"v").unwrap());
+            assert!(locs[i].evicted.is_none());
+        }
+        let out = s.allocate(b"k4", b"v").unwrap();
+        let ev = out.evicted.expect("must evict");
+        assert_eq!(ev.key, b"k0", "CLOCK evicts the oldest unreferenced object");
+        assert_eq!(ev.loc, out.loc);
+        assert_eq!(s.live_objects(), 4);
+    }
+
+    #[test]
+    fn referenced_objects_get_a_second_chance() {
+        let s = ObjectStore::new(128);
+        for i in 0..4 {
+            let key = format!("k{i}");
+            s.allocate(key.as_bytes(), b"v").unwrap();
+        }
+        // Touch k0 so the clock skips it once.
+        // (loc of k0 is 0: the first carve.)
+        s.touch(0, 1);
+        let out = s.allocate(b"k4", b"v").unwrap();
+        assert_eq!(out.evicted.unwrap().key, b"k1");
+        assert!(s.key_matches(0, b"k0"), "referenced object survived");
+    }
+
+    #[test]
+    fn too_large_object_is_rejected() {
+        let s = ObjectStore::new(1024);
+        let big = vec![0u8; 8 * 1024 * 1024];
+        assert_eq!(s.allocate(b"k", &big), Err(StoreError::ObjectTooLarge));
+    }
+
+    #[test]
+    fn out_of_memory_when_nothing_evictable() {
+        // Fill the arena with 32-byte-class objects, then ask for a
+        // 64-byte-class object: eviction cannot cross classes, so the
+        // allocation must fail even though memory exists.
+        let s = ObjectStore::new(96);
+        for i in 0..3 {
+            s.allocate(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        let value = vec![1u8; 40];
+        assert_eq!(s.allocate(b"big", &value), Err(StoreError::OutOfMemory));
+    }
+
+    #[test]
+    fn size_classes_are_powers_of_two() {
+        let s = ObjectStore::new(1 << 20);
+        assert_eq!(s.class_bytes_for(4, 4), Some(32));
+        assert_eq!(s.class_bytes_for(8, 17), Some(64));
+        assert_eq!(s.class_bytes_for(128, 1024), Some(2048));
+        assert!(s.class_bytes_for(0, 1 << 23).is_none());
+    }
+
+    #[test]
+    fn touch_tracks_epochs_and_freq() {
+        let s = ObjectStore::new(4096);
+        let out = s.allocate(b"key", b"val").unwrap();
+        assert_eq!(s.touch(out.loc, 7), 1);
+        assert_eq!(s.touch(out.loc, 7), 2);
+        assert_eq!(s.touch(out.loc, 7), 3);
+        assert_eq!(s.freq(out.loc), (3, 7));
+        // New sampling epoch resets.
+        assert_eq!(s.touch(out.loc, 8), 1);
+        assert_eq!(s.freq(out.loc), (1, 8));
+    }
+
+    #[test]
+    fn lens_and_capacity_reporting() {
+        let s = ObjectStore::new(4096);
+        let out = s.allocate(b"abc", b"defgh").unwrap();
+        assert_eq!(s.object_lens(out.loc), (3, 5));
+        assert!(s.bytes_carved() >= 32);
+        assert_eq!(s.capacity(), 4096);
+    }
+
+    #[test]
+    fn many_objects_across_classes() {
+        let s = ObjectStore::new(1 << 20);
+        let mut locs = Vec::new();
+        for i in 0..1000u32 {
+            let key = format!("key-{i}");
+            let value = vec![b'x'; (i % 300) as usize];
+            let out = s.allocate(key.as_bytes(), &value).unwrap();
+            locs.push((out.loc, key, value));
+        }
+        assert_eq!(s.live_objects(), 1000);
+        for (loc, key, value) in locs {
+            assert!(s.key_matches(loc, key.as_bytes()));
+            let mut v = Vec::new();
+            s.read_value(loc, &mut v);
+            assert_eq!(v, value);
+        }
+    }
+
+    #[test]
+    fn concurrent_allocate_and_free() {
+        use std::sync::Arc;
+        let s = Arc::new(ObjectStore::new(1 << 22));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..2000u32 {
+                        let key = format!("t{t}-k{i}");
+                        let out = s.allocate(key.as_bytes(), b"payload").unwrap();
+                        assert!(s.key_matches(out.loc, key.as_bytes()));
+                        if i % 3 == 0 {
+                            assert!(s.free(out.loc));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

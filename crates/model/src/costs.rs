@@ -1,0 +1,65 @@
+//! Shared unit-cost constants for the eight tasks.
+//!
+//! Both the functional pipeline (which counts what actually happened)
+//! and the analytic cost model (which predicts from workload statistics)
+//! price primitive operations with these constants, mirroring how the
+//! paper counts instructions "with the same method in \[12\]" and
+//! microbenchmarks the unit costs of `RV` and `SD` (§IV-B). Keeping them
+//! in one place guarantees the model and the simulator disagree only
+//! where the paper's model genuinely approximates (affinity, skew,
+//! interference, stealing granularity, insert kick paths), not on
+//! arbitrary constants.
+
+/// Instructions to receive one frame from the NIC ring (`RV`).
+pub const RV_INSNS_PER_FRAME: u64 = 120;
+/// Cache accesses per received frame (descriptor + header lines).
+pub const RV_CACHE_PER_FRAME: u64 = 4;
+/// Instructions of per-query TCP/IP + parse work (`PP`).
+pub const PP_INSNS_PER_QUERY: u64 = 20;
+/// Cache accesses per parsed query (the query record lines are brought
+/// in sequentially by the NIC copy, so parsing hits cache).
+pub const PP_CACHE_PER_QUERY: u64 = 1;
+/// Instructions for one allocation (size-class lookup, free-list pop,
+/// header write) in `MM`.
+pub const MM_INSNS_PER_ALLOC: u64 = 60;
+/// Memory accesses per allocation (free-list head + object header).
+pub const MM_MEM_PER_ALLOC: u64 = 1;
+/// Extra instructions when an allocation evicts (CLOCK sweep, key read
+/// for the pending index delete).
+pub const MM_INSNS_PER_EVICT: u64 = 80;
+/// Extra memory accesses per eviction (ring entry + victim header/key).
+pub const MM_MEM_PER_EVICT: u64 = 1;
+/// Instructions per key-comparison candidate (`KC`), excluding the
+/// byte-compare loop priced per cache line below.
+pub const KC_INSNS_PER_CANDIDATE: u64 = 30;
+/// Instructions per cache line compared/copied in KC/RD/WR loops.
+pub const INSNS_PER_LINE: u64 = 8;
+/// Instructions of response-header construction per query (`WR`).
+pub const WR_INSNS_PER_QUERY: u64 = 40;
+/// Instructions to enqueue one frame to the TX ring (`SD`).
+pub const SD_INSNS_PER_FRAME: u64 = 150;
+/// Cache accesses per sent frame.
+pub const SD_CACHE_PER_FRAME: u64 = 4;
+/// Synchronization cost (ns-equivalent instructions) of claiming one
+/// work-stealing tag group of [`crate::WAVEFRONT_WIDTH`] queries.
+pub const STEAL_TAG_INSNS: u64 = 160;
+
+/// Cache lines an object of `len` bytes spans for line-cost pricing.
+#[must_use]
+pub fn lines_for(len: usize, cache_line: u64) -> u64 {
+    (len as u64).div_ceil(cache_line).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_for_rounds_up() {
+        assert_eq!(lines_for(1, 64), 1);
+        assert_eq!(lines_for(64, 64), 1);
+        assert_eq!(lines_for(65, 64), 2);
+        assert_eq!(lines_for(1024, 64), 16);
+        assert_eq!(lines_for(0, 64), 1, "zero-length reads still touch one line");
+    }
+}

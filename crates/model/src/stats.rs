@@ -1,0 +1,141 @@
+//! Per-batch workload statistics used by the profiler and cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// Workload characteristics of a batch of queries, as collected by the
+/// Workload Profiler (paper §III-A: "The Cost Model only requires the
+/// Workload Profiler to profile a few workload characteristics of each
+/// batch, including GET/SET ratio and average key-value size. They can be
+/// implemented with only a few counters.").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Fraction of GET queries in `[0, 1]`.
+    pub get_ratio: f64,
+    /// Fraction of DELETE queries in `[0, 1]` (the remainder after GET
+    /// and DELETE are SETs).
+    pub delete_ratio: f64,
+    /// Mean key size in bytes.
+    pub avg_key_size: f64,
+    /// Mean value size in bytes.
+    pub avg_value_size: f64,
+    /// Estimated Zipf skewness of key popularity (0 = uniform).
+    pub zipf_skew: f64,
+    /// Number of queries profiled.
+    pub batch_size: usize,
+}
+
+impl WorkloadStats {
+    /// Stats for an empty batch.
+    #[must_use]
+    pub fn empty() -> WorkloadStats {
+        WorkloadStats {
+            get_ratio: 0.0,
+            delete_ratio: 0.0,
+            avg_key_size: 0.0,
+            avg_value_size: 0.0,
+            zipf_skew: 0.0,
+            batch_size: 0,
+        }
+    }
+
+    /// Fraction of SET queries.
+    #[must_use]
+    pub fn set_ratio(&self) -> f64 {
+        (1.0 - self.get_ratio - self.delete_ratio).max(0.0)
+    }
+
+    /// Average whole-object size (key + value) in bytes.
+    #[must_use]
+    pub fn avg_object_size(&self) -> f64 {
+        self.avg_key_size + self.avg_value_size
+    }
+
+    /// Whether this batch's characteristics differ from `prev` by more
+    /// than `threshold` (relative, per counter). The paper uses a 10 %
+    /// upper limit on the alteration of workload counters to trigger
+    /// re-running the cost model (§III-A).
+    #[must_use]
+    pub fn changed_significantly(&self, prev: &WorkloadStats, threshold: f64) -> bool {
+        fn rel_change(a: f64, b: f64) -> f64 {
+            let denom = b.abs().max(1e-9);
+            (a - b).abs() / denom
+        }
+        // Ratios are compared absolutely (a 0.05 -> 0.10 SET ratio doubling
+        // matters even though both are small); sizes relatively.
+        (self.get_ratio - prev.get_ratio).abs() > threshold
+            || (self.delete_ratio - prev.delete_ratio).abs() > threshold
+            || rel_change(self.avg_key_size, prev.avg_key_size) > threshold
+            || rel_change(self.avg_value_size, prev.avg_value_size) > threshold
+            || (self.zipf_skew - prev.zipf_skew).abs() > threshold * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> WorkloadStats {
+        WorkloadStats {
+            get_ratio: 0.95,
+            delete_ratio: 0.0,
+            avg_key_size: 16.0,
+            avg_value_size: 64.0,
+            zipf_skew: 0.99,
+            batch_size: 1000,
+        }
+    }
+
+    #[test]
+    fn set_ratio_complements() {
+        let s = base();
+        assert!((s.set_ratio() - 0.05).abs() < 1e-12);
+        let mut d = base();
+        d.delete_ratio = 0.03;
+        assert!((d.set_ratio() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn object_size() {
+        assert_eq!(base().avg_object_size(), 80.0);
+    }
+
+    #[test]
+    fn no_change_below_threshold() {
+        let a = base();
+        let mut b = base();
+        b.get_ratio = 0.93; // 2 points, below 10 %
+        b.avg_value_size = 66.0; // ~3 % relative
+        assert!(!b.changed_significantly(&a, 0.10));
+    }
+
+    #[test]
+    fn get_ratio_shift_triggers() {
+        let a = base();
+        let mut b = base();
+        b.get_ratio = 0.50;
+        assert!(b.changed_significantly(&a, 0.10));
+    }
+
+    #[test]
+    fn value_size_shift_triggers() {
+        let a = base();
+        let mut b = base();
+        b.avg_value_size = 1024.0;
+        assert!(b.changed_significantly(&a, 0.10));
+    }
+
+    #[test]
+    fn skew_shift_triggers() {
+        let a = base();
+        let mut b = base();
+        b.zipf_skew = 0.0;
+        assert!(b.changed_significantly(&a, 0.10));
+    }
+
+    #[test]
+    fn empty_is_zeroed() {
+        let e = WorkloadStats::empty();
+        assert_eq!(e.batch_size, 0);
+        assert_eq!(e.set_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests over the configuration space: every enumerated
+//! configuration expands into a plan that partitions all eight tasks
+//! exactly once, keeps index operations consistent with the assignment,
+//! and respects the CPU pinning rules.
+
+use dido_model::{
+    ConfigEnumerator, IndexOpAssignment, IndexOpKind, PipelineConfig, Processor, TaskKind,
+    TaskSet,
+};
+use proptest::prelude::*;
+
+fn arb_segment() -> impl Strategy<Value = TaskSet> {
+    // Any subset of the offloadable tasks (possibly invalid — tests
+    // check validity handling too).
+    proptest::collection::vec(any::<bool>(), 4).prop_map(|bits| {
+        let offloadable = [TaskKind::In, TaskKind::Kc, TaskKind::Rd, TaskKind::Wr];
+        let mut s = TaskSet::EMPTY;
+        for (t, b) in offloadable.into_iter().zip(bits) {
+            if b {
+                s.insert(t);
+            }
+        }
+        s
+    })
+}
+
+fn arb_assignment() -> impl Strategy<Value = IndexOpAssignment> {
+    (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(s, i, d)| IndexOpAssignment {
+        search: if s { Processor::Gpu } else { Processor::Cpu },
+        insert: if i { Processor::Gpu } else { Processor::Cpu },
+        delete: if d { Processor::Gpu } else { Processor::Cpu },
+    })
+}
+
+/// Construct valid configurations directly (contiguous segment, index
+/// assignment consistent with IN's placement).
+fn arb_valid_config() -> impl Strategy<Value = PipelineConfig> {
+    (0usize..=3, 0usize..=4, arb_assignment(), any::<bool>()).prop_map(
+        |(start, len, mut index_ops, work_stealing)| {
+            let offloadable = [TaskKind::In, TaskKind::Kc, TaskKind::Rd, TaskKind::Wr];
+            let end = (start + len).min(offloadable.len());
+            let segment = TaskSet::from_tasks(&offloadable[start..end]);
+            if segment.contains(TaskKind::In) {
+                // At least one op must actually run on the GPU.
+                let all_cpu = [index_ops.search, index_ops.insert, index_ops.delete]
+                    .iter()
+                    .all(|&p| p == Processor::Cpu);
+                if all_cpu {
+                    index_ops.search = Processor::Gpu;
+                }
+            } else {
+                index_ops = IndexOpAssignment::ALL_CPU;
+            }
+            PipelineConfig {
+                gpu_segment: segment,
+                index_ops,
+                work_stealing,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn valid_configs_partition_all_tasks_exactly_once(cfg in arb_valid_config()) {
+        prop_assert!(cfg.is_valid(), "constructed config must be valid: {}", cfg);
+        let plan = cfg.plan();
+
+        // Every task appears in exactly one stage.
+        for t in TaskKind::ALL {
+            let count = plan.stages.iter().filter(|s| s.tasks.contains(t)).count();
+            prop_assert_eq!(count, 1, "task {} in {} stages", t, count);
+        }
+        // CPU-only tasks never land on the GPU.
+        for s in &plan.stages {
+            if s.processor == Processor::Gpu {
+                for t in s.tasks.iter() {
+                    prop_assert!(!t.cpu_only(), "{} pinned to CPU but planned on GPU", t);
+                }
+            }
+        }
+        // Every index operation runs in exactly one stage, on the
+        // processor the assignment names (when IN is offloaded).
+        for op in IndexOpKind::ALL {
+            let holders: Vec<&dido_model::StagePlan> = plan
+                .stages
+                .iter()
+                .filter(|s| s.index_ops.contains(&op))
+                .collect();
+            prop_assert_eq!(holders.len(), 1, "op {} in {} stages", op, holders.len());
+            let expected = if cfg.gpu_segment.contains(TaskKind::In) {
+                cfg.index_ops.processor_for(op)
+            } else {
+                Processor::Cpu
+            };
+            prop_assert_eq!(holders[0].processor, expected);
+        }
+        // At most one GPU stage; at most two CPU stages.
+        prop_assert!(plan.stages.iter().filter(|s| s.processor == Processor::Gpu).count() <= 1);
+        prop_assert!(plan.cpu_stage_count() <= 2);
+        // Stage order follows the canonical task order.
+        let order: Vec<usize> = plan
+            .stages
+            .iter()
+            .filter_map(|s| s.tasks.iter().next().map(TaskKind::index))
+            .collect();
+        prop_assert!(order.windows(2).all(|w| w[0] < w[1]), "stages out of order");
+    }
+
+    #[test]
+    fn invalid_segments_are_rejected_not_mangled(
+        segment in arb_segment(),
+        index_ops in arb_assignment(),
+    ) {
+        let cfg = PipelineConfig { gpu_segment: segment, index_ops, work_stealing: false };
+        if !segment.is_contiguous() {
+            prop_assert!(!cfg.is_valid(), "non-contiguous {:?} accepted", segment);
+        }
+    }
+
+    #[test]
+    fn enumerator_contains_every_valid_shape(cfg in arb_valid_config()) {
+        let all = ConfigEnumerator::default().enumerate();
+        // The enumerated space may canonicalize the index assignment for
+        // configurations without IN on the GPU; compare by plan, which
+        // is the behavioural identity.
+        let plan = cfg.plan();
+        prop_assert!(
+            all.iter().any(|c| c.plan().stages == plan.stages
+                && c.work_stealing == cfg.work_stealing),
+            "missing config {}",
+            cfg
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Network substrate for DIDO: the binary query protocol and a
+//! simulated NIC.
+//!
+//! The paper's `RV` (receive) and `SD` (send) tasks operate on frames
+//! from the RX/TX rings of a 10 GbE NIC; `PP` parses queries out of
+//! those frames. This crate provides the functional pieces:
+//! [`FrameRing`]/[`Nic`] for the rings, [`FrameBuilder`]/[`parse_frame`]
+//! for encoding and zero-copy decoding, and the response-side
+//! equivalents. The per-frame/per-query *time* costs of RV/PP/SD are
+//! charged by the pipeline's timing layer (the paper estimates them from
+//! microbenchmarked unit costs, §IV-B).
+//!
+//! ```
+//! use dido_net::{FrameBuilder, parse_frame};
+//! use dido_model::Query;
+//!
+//! let mut b = FrameBuilder::new();
+//! b.push(&Query::set("k", "v"));
+//! let frame = b.finish();
+//! assert_eq!(parse_frame(&frame).unwrap()[0], Query::set("k", "v"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod nic;
+mod protocol;
+mod server;
+mod trace;
+
+pub use nic::{FrameRing, Nic};
+pub use server::{KvClient, KvServer, ServerStats, MAX_FRAME_BYTES};
+pub use trace::{read_trace, write_trace, TraceError};
+pub use protocol::{
+    encode_responses, pack_frames, parse_frame, parse_responses, FrameBuilder, ProtocolError,
+    DEFAULT_FRAME_CAPACITY, FRAME_HEADER, RECORD_HEADER,
+};

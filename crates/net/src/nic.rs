@@ -1,0 +1,200 @@
+//! Simulated NIC: lock-free RX/TX frame rings with drop accounting.
+//!
+//! Stands in for the Intel 82599 10 GbE NIC of the paper's testbed. The
+//! `RV` task drains the RX ring; the `SD` task fills the TX ring. Rings
+//! are bounded, and a full RX ring drops frames exactly like real
+//! hardware under overload.
+
+use bytes::Bytes;
+use crossbeam::queue::ArrayQueue;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A bounded frame ring.
+#[derive(Debug)]
+pub struct FrameRing {
+    ring: ArrayQueue<Bytes>,
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl FrameRing {
+    /// Ring holding up to `slots` frames.
+    ///
+    /// # Panics
+    /// Panics if `slots == 0`.
+    #[must_use]
+    pub fn new(slots: usize) -> FrameRing {
+        FrameRing {
+            ring: ArrayQueue::new(slots),
+            enqueued: AtomicU64::new(0),
+            dequeued: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Offer a frame; drops (and counts the drop) when full.
+    /// Returns whether the frame was accepted.
+    pub fn push(&self, frame: Bytes) -> bool {
+        match self.ring.push(frame) {
+            Ok(()) => {
+                self.enqueued.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Take the next frame, if any.
+    pub fn pop(&self) -> Option<Bytes> {
+        let f = self.ring.pop();
+        if f.is_some() {
+            self.dequeued.fetch_add(1, Ordering::Relaxed);
+        }
+        f
+    }
+
+    /// Drain up to `max` frames.
+    pub fn pop_up_to(&self, max: usize) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.pop() {
+                Some(f) => out.push(f),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Frames currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Lifetime counters: (enqueued, dequeued, dropped).
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.enqueued.load(Ordering::Relaxed),
+            self.dequeued.load(Ordering::Relaxed),
+            self.dropped.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A NIC: one RX ring (client → server) and one TX ring (server →
+/// client).
+#[derive(Debug)]
+pub struct Nic {
+    /// Receive ring, drained by the `RV` task.
+    pub rx: FrameRing,
+    /// Transmit ring, filled by the `SD` task.
+    pub tx: FrameRing,
+}
+
+impl Nic {
+    /// NIC with `slots` frames of buffering per direction.
+    #[must_use]
+    pub fn new(slots: usize) -> Nic {
+        Nic {
+            rx: FrameRing::new(slots),
+            tx: FrameRing::new(slots),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let r = FrameRing::new(8);
+        r.push(Bytes::from_static(b"a"));
+        r.push(Bytes::from_static(b"b"));
+        assert_eq!(r.pop().unwrap(), Bytes::from_static(b"a"));
+        assert_eq!(r.pop().unwrap(), Bytes::from_static(b"b"));
+        assert!(r.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let r = FrameRing::new(2);
+        assert!(r.push(Bytes::from_static(b"1")));
+        assert!(r.push(Bytes::from_static(b"2")));
+        assert!(!r.push(Bytes::from_static(b"3")));
+        let (enq, deq, drop) = r.counters();
+        assert_eq!((enq, deq, drop), (2, 0, 1));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn pop_up_to_respects_limit() {
+        let r = FrameRing::new(8);
+        for i in 0..5u8 {
+            r.push(Bytes::copy_from_slice(&[i]));
+        }
+        let drained = r.pop_up_to(3);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop_up_to(100).len(), 2);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn nic_has_independent_directions() {
+        let nic = Nic::new(4);
+        nic.rx.push(Bytes::from_static(b"in"));
+        assert!(nic.tx.is_empty());
+        assert_eq!(nic.rx.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers() {
+        use std::sync::Arc;
+        let r = Arc::new(FrameRing::new(1024));
+        let producers: Vec<_> = (0..2)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        while !r.push(Bytes::from_static(b"x")) {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let mut got = 0;
+                while got < 1000 {
+                    if r.pop().is_some() {
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                got
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(consumer.join().unwrap(), 1000);
+        let (enq, deq, _) = r.counters();
+        assert_eq!(enq, 1000);
+        assert_eq!(deq, 1000);
+    }
+}

@@ -1,0 +1,325 @@
+//! Binary wire protocol for key-value queries.
+//!
+//! The paper's testbed feeds queries over UDP, "batched in an Ethernet
+//! frame as many as possible" to keep network I/O off the critical path
+//! (§V-A). We mirror that: a *frame* carries a count followed by
+//! back-to-back query records.
+//!
+//! ```text
+//! frame    := count:u16 record*
+//! record   := op:u8 key_len:u16 val_len:u32 key val
+//! response := status:u8 val_len:u32 val
+//! ```
+//!
+//! Decoding is zero-copy: parsed keys and values are `Bytes` views into
+//! the frame buffer.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use dido_model::{Query, QueryOp, Response, ResponseStatus};
+
+/// Conventional Ethernet MTU payload for a query frame.
+pub const DEFAULT_FRAME_CAPACITY: usize = 1500;
+
+/// Per-record wire overhead (op + key_len + val_len).
+pub const RECORD_HEADER: usize = 1 + 2 + 4;
+
+/// Frame-level overhead (the record count).
+pub const FRAME_HEADER: usize = 2;
+
+/// Errors from frame decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Frame shorter than its own headers claim.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// A SET with an empty key, etc.
+    EmptyKey,
+}
+
+/// Builds query frames, packing records until the capacity is reached.
+#[derive(Debug)]
+pub struct FrameBuilder {
+    buf: BytesMut,
+    count: u16,
+    capacity: usize,
+}
+
+impl FrameBuilder {
+    /// Builder with the default Ethernet-sized capacity.
+    #[must_use]
+    pub fn new() -> FrameBuilder {
+        FrameBuilder::with_capacity(DEFAULT_FRAME_CAPACITY)
+    }
+
+    /// Builder with an explicit byte capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> FrameBuilder {
+        let mut buf = BytesMut::with_capacity(capacity);
+        buf.put_u16_le(0);
+        FrameBuilder {
+            buf,
+            count: 0,
+            capacity,
+        }
+    }
+
+    /// Bytes a query would occupy on the wire.
+    #[must_use]
+    pub fn wire_size(q: &Query) -> usize {
+        RECORD_HEADER + q.key.len() + q.value.len()
+    }
+
+    /// Try to append a query; returns `false` (without modifying the
+    /// frame) if it does not fit.
+    pub fn push(&mut self, q: &Query) -> bool {
+        let need = Self::wire_size(q);
+        if self.buf.len() + need > self.capacity && self.count > 0 {
+            return false;
+        }
+        self.buf.put_u8(q.op.wire_code());
+        self.buf.put_u16_le(q.key.len() as u16);
+        self.buf.put_u32_le(q.value.len() as u32);
+        self.buf.put_slice(&q.key);
+        self.buf.put_slice(&q.value);
+        self.count += 1;
+        true
+    }
+
+    /// Number of queries packed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether no query has been packed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finish the frame.
+    #[must_use]
+    pub fn finish(mut self) -> Bytes {
+        let count = self.count;
+        self.buf[0..2].copy_from_slice(&count.to_le_bytes());
+        self.buf.freeze()
+    }
+}
+
+impl Default for FrameBuilder {
+    fn default() -> Self {
+        FrameBuilder::new()
+    }
+}
+
+/// Pack an iterator of queries into as few frames as possible.
+#[must_use]
+pub fn pack_frames<'a, I>(queries: I, capacity: usize) -> Vec<Bytes>
+where
+    I: IntoIterator<Item = &'a Query>,
+{
+    let mut frames = Vec::new();
+    let mut builder = FrameBuilder::with_capacity(capacity);
+    for q in queries {
+        if !builder.push(q) {
+            frames.push(builder.finish());
+            builder = FrameBuilder::with_capacity(capacity);
+            let ok = builder.push(q);
+            debug_assert!(ok, "empty frame always accepts one record");
+        }
+    }
+    if !builder.is_empty() {
+        frames.push(builder.finish());
+    }
+    frames
+}
+
+/// Decode a query frame into zero-copy queries.
+pub fn parse_frame(frame: &Bytes) -> Result<Vec<Query>, ProtocolError> {
+    if frame.len() < FRAME_HEADER {
+        return Err(ProtocolError::Truncated);
+    }
+    let count = u16::from_le_bytes([frame[0], frame[1]]) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut pos = FRAME_HEADER;
+    for _ in 0..count {
+        if pos + RECORD_HEADER > frame.len() {
+            return Err(ProtocolError::Truncated);
+        }
+        let op =
+            QueryOp::from_wire_code(frame[pos]).ok_or(ProtocolError::BadOpcode(frame[pos]))?;
+        let key_len = u16::from_le_bytes([frame[pos + 1], frame[pos + 2]]) as usize;
+        let val_len =
+            u32::from_le_bytes([frame[pos + 3], frame[pos + 4], frame[pos + 5], frame[pos + 6]])
+                as usize;
+        pos += RECORD_HEADER;
+        if pos + key_len + val_len > frame.len() {
+            return Err(ProtocolError::Truncated);
+        }
+        if key_len == 0 {
+            return Err(ProtocolError::EmptyKey);
+        }
+        let key = frame.slice(pos..pos + key_len);
+        pos += key_len;
+        let value = frame.slice(pos..pos + val_len);
+        pos += val_len;
+        out.push(Query { op, key, value });
+    }
+    Ok(out)
+}
+
+/// Serialize responses into a frame.
+#[must_use]
+pub fn encode_responses(responses: &[Response]) -> Bytes {
+    let total: usize =
+        FRAME_HEADER + responses.iter().map(|r| 1 + 4 + r.value.len()).sum::<usize>();
+    let mut buf = BytesMut::with_capacity(total);
+    buf.put_u16_le(responses.len() as u16);
+    for r in responses {
+        let status = match r.status {
+            ResponseStatus::Ok => 0u8,
+            ResponseStatus::NotFound => 1,
+            ResponseStatus::Error => 2,
+        };
+        buf.put_u8(status);
+        buf.put_u32_le(r.value.len() as u32);
+        buf.put_slice(&r.value);
+    }
+    buf.freeze()
+}
+
+/// Decode a response frame.
+pub fn parse_responses(frame: &Bytes) -> Result<Vec<Response>, ProtocolError> {
+    if frame.len() < FRAME_HEADER {
+        return Err(ProtocolError::Truncated);
+    }
+    let count = u16::from_le_bytes([frame[0], frame[1]]) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut pos = FRAME_HEADER;
+    for _ in 0..count {
+        if pos + 5 > frame.len() {
+            return Err(ProtocolError::Truncated);
+        }
+        let status = match frame[pos] {
+            0 => ResponseStatus::Ok,
+            1 => ResponseStatus::NotFound,
+            2 => ResponseStatus::Error,
+            b => return Err(ProtocolError::BadOpcode(b)),
+        };
+        let val_len =
+            u32::from_le_bytes([frame[pos + 1], frame[pos + 2], frame[pos + 3], frame[pos + 4]])
+                as usize;
+        pos += 5;
+        if pos + val_len > frame.len() {
+            return Err(ProtocolError::Truncated);
+        }
+        let value = frame.slice(pos..pos + val_len);
+        pos += val_len;
+        out.push(Response { status, value });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_queries() -> Vec<Query> {
+        vec![
+            Query::get("alpha"),
+            Query::set("beta", "value-of-beta"),
+            Query::delete("gamma"),
+        ]
+    }
+
+    #[test]
+    fn round_trip_queries() {
+        let qs = sample_queries();
+        let mut b = FrameBuilder::new();
+        for q in &qs {
+            assert!(b.push(q));
+        }
+        assert_eq!(b.len(), 3);
+        let frame = b.finish();
+        let parsed = parse_frame(&frame).unwrap();
+        assert_eq!(parsed, qs);
+    }
+
+    #[test]
+    fn round_trip_responses() {
+        let rs = vec![
+            Response::hit("some-value"),
+            Response::not_found(),
+            Response::ok(),
+            Response::error(),
+        ];
+        let frame = encode_responses(&rs);
+        assert_eq!(parse_responses(&frame).unwrap(), rs);
+    }
+
+    #[test]
+    fn capacity_splits_frames() {
+        let qs: Vec<Query> = (0..100)
+            .map(|i| Query::set(format!("key-{i:03}"), vec![b'x'; 50]))
+            .collect();
+        let frames = pack_frames(&qs, 256);
+        assert!(frames.len() > 1, "100 × ~64B records cannot fit one 256B frame");
+        let total: usize = frames.iter().map(|f| parse_frame(f).unwrap().len()).sum();
+        assert_eq!(total, 100, "no query may be lost across frame splits");
+        for f in &frames {
+            assert!(f.len() <= 256 || parse_frame(f).unwrap().len() == 1);
+        }
+    }
+
+    #[test]
+    fn oversized_single_record_still_ships_alone() {
+        let q = Query::set("k", vec![b'v'; 4000]);
+        let frames = pack_frames(std::iter::once(&q), 1500);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(parse_frame(&frames[0]).unwrap()[0], q);
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        assert_eq!(parse_frame(&Bytes::from_static(&[1])), Err(ProtocolError::Truncated));
+        let mut b = FrameBuilder::new();
+        b.push(&Query::set("kk", "vv"));
+        let frame = b.finish();
+        let cut = frame.slice(0..frame.len() - 1);
+        assert_eq!(parse_frame(&cut), Err(ProtocolError::Truncated));
+    }
+
+    #[test]
+    fn bad_opcode_errors() {
+        let mut raw = BytesMut::new();
+        raw.put_u16_le(1);
+        raw.put_u8(99); // invalid op
+        raw.put_u16_le(1);
+        raw.put_u32_le(0);
+        raw.put_u8(b'k');
+        assert_eq!(parse_frame(&raw.freeze()), Err(ProtocolError::BadOpcode(99)));
+    }
+
+    #[test]
+    fn empty_key_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u16_le(1);
+        raw.put_u8(1); // GET
+        raw.put_u16_le(0);
+        raw.put_u32_le(0);
+        assert_eq!(parse_frame(&raw.freeze()), Err(ProtocolError::EmptyKey));
+    }
+
+    #[test]
+    fn parsing_is_zero_copy() {
+        let mut b = FrameBuilder::new();
+        b.push(&Query::set("zero", "copy"));
+        let frame = b.finish();
+        let parsed = parse_frame(&frame).unwrap();
+        // A Bytes slice of the frame shares the same backing allocation.
+        let key_ptr = parsed[0].key.as_ptr() as usize;
+        let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+        assert!(frame_range.contains(&key_ptr));
+    }
+}

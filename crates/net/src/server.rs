@@ -1,0 +1,367 @@
+//! A real TCP front-end for the key-value store.
+//!
+//! The simulator models the paper's UDP/10GbE data path; this module
+//! makes the store usable as an actual network service: query frames
+//! (the same wire format as [`crate::parse_frame`]) travel over TCP with
+//! a 4-byte little-endian length prefix, and each request frame is
+//! answered by one response frame.
+//!
+//! The server is deliberately simple — blocking I/O, one thread per
+//! connection — because the interesting concurrency lives in the
+//! pipeline executors, not the socket layer.
+
+use crate::protocol::{encode_responses, parse_frame, ProtocolError};
+use bytes::Bytes;
+use dido_model::{Query, Response};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Maximum accepted frame size (prevents a bad client from making the
+/// server allocate unboundedly).
+pub const MAX_FRAME_BYTES: usize = 4 << 20;
+
+/// Server statistics.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Query frames served.
+    pub frames: AtomicU64,
+    /// Individual queries answered.
+    pub queries: AtomicU64,
+    /// Malformed frames rejected.
+    pub bad_frames: AtomicU64,
+}
+
+/// A running key-value TCP server.
+///
+/// The `handler` receives each decoded query batch and returns the
+/// responses in order — typically a closure over a
+/// `dido_pipeline::KvEngine` or a `dido::DidoSystem`.
+pub struct KvServer {
+    addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl KvServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and start
+    /// serving with `handler`.
+    pub fn start<F>(addr: &str, handler: F) -> std::io::Result<KvServer>
+    where
+        F: Fn(Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handler = Arc::new(handler);
+
+        let accept_stats = Arc::clone(&stats);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            // Nonblocking accept loop so shutdown is observed promptly.
+            listener
+                .set_nonblocking(true)
+                .expect("nonblocking listener");
+            let mut workers = Vec::new();
+            while !accept_shutdown.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+                        let stats = Arc::clone(&accept_stats);
+                        let handler = Arc::clone(&handler);
+                        let shutdown = Arc::clone(&accept_shutdown);
+                        workers.push(std::thread::spawn(move || {
+                            let _ = serve_connection(stream, &stats, &shutdown, &*handler);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+
+        Ok(KvServer {
+            addr: local,
+            stats,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server statistics.
+    #[must_use]
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Signal shutdown and wait for the accept loop to finish.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for KvServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection<F>(
+    mut stream: TcpStream,
+    stats: &ServerStats,
+    shutdown: &AtomicBool,
+    handler: &F,
+) -> std::io::Result<()>
+where
+    F: Fn(Vec<Query>) -> Vec<Response>,
+{
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(100)))?;
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Ok(()), // clean EOF
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        };
+        match parse_frame(&frame) {
+            Ok(queries) => {
+                stats.frames.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .queries
+                    .fetch_add(queries.len() as u64, Ordering::Relaxed);
+                let responses = handler(queries);
+                write_frame(&mut stream, &encode_responses(&responses))?;
+            }
+            Err(_) => {
+                stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                // Answer malformed frames with an empty response frame
+                // rather than killing the connection.
+                write_frame(&mut stream, &encode_responses(&[]))?;
+            }
+        }
+    }
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Bytes>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read(&mut len_buf)? {
+        0 => return Ok(None),
+        4 => {}
+        mut got => {
+            // Short read of the prefix: finish it (blocking-ish).
+            while got < 4 {
+                let n = stream.read(&mut len_buf[got..])?;
+                if n == 0 {
+                    return Ok(None);
+                }
+                got += n;
+            }
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    let mut read = 0;
+    while read < len {
+        match stream.read(&mut buf[read..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "mid-frame EOF",
+                ))
+            }
+            Ok(n) => read += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(Bytes::from(buf)))
+}
+
+fn write_frame(stream: &mut TcpStream, frame: &Bytes) -> std::io::Result<()> {
+    stream.write_all(&(frame.len() as u32).to_le_bytes())?;
+    stream.write_all(frame)?;
+    stream.flush()
+}
+
+/// A blocking client for [`KvServer`].
+#[derive(Debug)]
+pub struct KvClient {
+    stream: TcpStream,
+}
+
+impl KvClient {
+    /// Connect to a server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<KvClient> {
+        Ok(KvClient {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Send a batch of queries and wait for the responses.
+    pub fn request(&mut self, queries: &[Query]) -> std::io::Result<Vec<Response>> {
+        let frame = {
+            let mut b = crate::protocol::FrameBuilder::with_capacity(MAX_FRAME_BYTES);
+            for q in queries {
+                if !b.push(q) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "batch exceeds the maximum frame size",
+                    ));
+                }
+            }
+            b.finish()
+        };
+        write_frame(&mut self.stream, &frame)?;
+        let reply = read_frame(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed")
+        })?;
+        crate::protocol::parse_responses(&reply).map_err(|e: ProtocolError| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dido_model::{QueryOp, ResponseStatus};
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    fn echo_store_server() -> KvServer {
+        // A tiny in-memory map suffices to exercise the wire path.
+        let map: Mutex<HashMap<Vec<u8>, Vec<u8>>> = Mutex::new(HashMap::new());
+        KvServer::start("127.0.0.1:0", move |queries| {
+            let mut map = map.lock();
+            queries
+                .iter()
+                .map(|q| match q.op {
+                    QueryOp::Set => {
+                        map.insert(q.key.to_vec(), q.value.to_vec());
+                        Response::ok()
+                    }
+                    QueryOp::Get => match map.get(&q.key.to_vec()) {
+                        Some(v) => Response::hit(v.clone()),
+                        None => Response::not_found(),
+                    },
+                    QueryOp::Delete => {
+                        if map.remove(&q.key.to_vec()).is_some() {
+                            Response::ok()
+                        } else {
+                            Response::not_found()
+                        }
+                    }
+                })
+                .collect()
+        })
+        .expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn round_trip_over_tcp() {
+        let server = echo_store_server();
+        let mut client = KvClient::connect(server.addr()).unwrap();
+        let rs = client
+            .request(&[
+                Query::set("tcp-key", "tcp-value"),
+                Query::get("tcp-key"),
+                Query::get("absent"),
+                Query::delete("tcp-key"),
+            ])
+            .unwrap();
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs[0].status, ResponseStatus::Ok);
+        assert_eq!(&rs[1].value[..], b"tcp-value");
+        assert_eq!(rs[2].status, ResponseStatus::NotFound);
+        assert_eq!(rs[3].status, ResponseStatus::Ok);
+        assert_eq!(server.stats().queries.load(Ordering::Relaxed), 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_clients_share_one_store() {
+        let server = echo_store_server();
+        let mut a = KvClient::connect(server.addr()).unwrap();
+        let mut b = KvClient::connect(server.addr()).unwrap();
+        a.request(&[Query::set("shared", "from-a")]).unwrap();
+        let rs = b.request(&[Query::get("shared")]).unwrap();
+        assert_eq!(&rs[0].value[..], b"from-a");
+        assert_eq!(server.stats().connections.load(Ordering::Relaxed), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frames_get_empty_response_not_disconnect() {
+        let server = echo_store_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // A frame claiming 1 record but truncated.
+        let garbage = [1u8, 0]; // count=1, nothing else
+        stream
+            .write_all(&(garbage.len() as u32).to_le_bytes())
+            .unwrap();
+        stream.write_all(&garbage).unwrap();
+        stream.flush().unwrap();
+        let reply = read_frame(&mut stream).unwrap().expect("empty frame reply");
+        let rs = crate::protocol::parse_responses(&reply).unwrap();
+        assert!(rs.is_empty());
+        assert_eq!(server.stats().bad_frames.load(Ordering::Relaxed), 1);
+        // Connection still usable.
+        let mut client = KvClient { stream };
+        let rs = client.request(&[Query::get("x")]).unwrap();
+        assert_eq!(rs[0].status, ResponseStatus::NotFound);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_batches_are_rejected_client_side() {
+        let server = echo_store_server();
+        let mut client = KvClient::connect(server.addr()).unwrap();
+        let huge: Vec<Query> = (0..8)
+            .map(|i| Query::set(format!("k{i}"), vec![b'x'; MAX_FRAME_BYTES / 4]))
+            .collect();
+        let err = client.request(&huge).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        server.shutdown();
+    }
+}

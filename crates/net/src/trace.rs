@@ -1,0 +1,135 @@
+//! Query-trace record and replay.
+//!
+//! A trace file is a sequence of length-prefixed query frames in the
+//! standard wire format — the same bytes a client would send — so a
+//! captured workload can be replayed against any executor (or another
+//! system entirely) bit-for-bit.
+
+use crate::protocol::{pack_frames, parse_frame, ProtocolError};
+use bytes::Bytes;
+use dido_model::Query;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Trace-file magic ("DIDO" trace, version 1).
+const MAGIC: &[u8; 8] = b"DIDOTRC1";
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not a trace file / wrong version.
+    BadMagic,
+    /// A frame failed to decode.
+    BadFrame(ProtocolError),
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic => write!(f, "not a DIDO trace file"),
+            TraceError::BadFrame(e) => write!(f, "corrupt trace frame: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Write `queries` as a replayable trace file.
+pub fn write_trace(path: &Path, queries: &[Query]) -> Result<(), TraceError> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    out.write_all(MAGIC)?;
+    for frame in pack_frames(queries, crate::protocol::DEFAULT_FRAME_CAPACITY) {
+        out.write_all(&(frame.len() as u32).to_le_bytes())?;
+        out.write_all(&frame)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read a trace file back into queries (in recorded order).
+pub fn read_trace(path: &Path) -> Result<Vec<Query>, TraceError> {
+    let mut input = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let mut queries = Vec::new();
+    loop {
+        let mut len_buf = [0u8; 4];
+        match input.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut buf = vec![0u8; len];
+        input.read_exact(&mut buf)?;
+        let frame = Bytes::from(buf);
+        queries.extend(parse_frame(&frame).map_err(TraceError::BadFrame)?);
+    }
+    Ok(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dido-trace-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_a_mixed_trace() {
+        let queries: Vec<Query> = (0..500)
+            .map(|i| match i % 3 {
+                0 => Query::set(format!("k{i}"), vec![b'v'; i % 100]),
+                1 => Query::get(format!("k{i}")),
+                _ => Query::delete(format!("k{i}")),
+            })
+            .collect();
+        let path = tmp("roundtrip");
+        write_trace(&path, &queries).unwrap();
+        let back = read_trace(&path).unwrap();
+        assert_eq!(back, queries);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let path = tmp("empty");
+        write_trace(&path, &[]).unwrap();
+        assert!(read_trace(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_non_trace_files() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not a trace").unwrap();
+        assert!(matches!(read_trace(&path), Err(TraceError::BadMagic)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let queries: Vec<Query> = (0..50).map(|i| Query::get(format!("k{i}"))).collect();
+        let path = tmp("trunc");
+        write_trace(&path, &queries).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(read_trace(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

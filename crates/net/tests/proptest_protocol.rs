@@ -1,0 +1,91 @@
+//! Property tests for the wire protocol: arbitrary queries round-trip
+//! exactly; arbitrary garbage never panics the parsers.
+
+use bytes::Bytes;
+use dido_model::{Query, QueryOp, Response, ResponseStatus};
+use dido_net::{encode_responses, pack_frames, parse_frame, parse_responses};
+use proptest::prelude::*;
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (
+        prop_oneof![Just(QueryOp::Get), Just(QueryOp::Set), Just(QueryOp::Delete)],
+        proptest::collection::vec(any::<u8>(), 1..64),
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(op, key, value)| Query {
+            op,
+            key: Bytes::from(key),
+            value: if op == QueryOp::Set {
+                Bytes::from(value)
+            } else {
+                Bytes::new()
+            },
+        })
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    (
+        prop_oneof![
+            Just(ResponseStatus::Ok),
+            Just(ResponseStatus::NotFound),
+            Just(ResponseStatus::Error)
+        ],
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(status, value)| Response {
+            status,
+            value: Bytes::from(value),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn queries_round_trip_across_any_frame_split(
+        queries in proptest::collection::vec(query_strategy(), 0..80),
+        capacity in 64usize..4096,
+    ) {
+        let frames = pack_frames(&queries, capacity);
+        let mut decoded = Vec::new();
+        for f in &frames {
+            decoded.extend(parse_frame(f).expect("own encoding must parse"));
+        }
+        prop_assert_eq!(decoded, queries);
+    }
+
+    #[test]
+    fn responses_round_trip(responses in proptest::collection::vec(response_strategy(), 0..64)) {
+        let frame = encode_responses(&responses);
+        prop_assert_eq!(parse_responses(&frame).expect("own encoding"), responses);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parsers(raw in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let bytes = Bytes::from(raw);
+        let _ = parse_frame(&bytes);      // may Err, must not panic
+        let _ = parse_responses(&bytes);  // may Err, must not panic
+    }
+
+    #[test]
+    fn truncations_of_valid_frames_error_cleanly(
+        queries in proptest::collection::vec(query_strategy(), 1..20),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let frames = pack_frames(&queries, 1 << 16);
+        let frame = &frames[0];
+        let cut = ((frame.len() as f64) * cut_fraction) as usize;
+        if cut < frame.len() {
+            let truncated = frame.slice(0..cut);
+            // Either a clean parse error, or (if the cut landed exactly
+            // on a record boundary and the count prefix survived) it
+            // must decode a prefix of the original queries.
+            if let Ok(decoded) = parse_frame(&truncated) {
+                prop_assert!(decoded.len() <= queries.len());
+                for (d, q) in decoded.iter().zip(&queries) {
+                    prop_assert_eq!(d, q);
+                }
+            }
+        }
+    }
+}

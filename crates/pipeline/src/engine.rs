@@ -1,0 +1,363 @@
+//! The shared functional state of a key-value node: index + object
+//! store + NIC + per-processor cache filters.
+
+use crate::cache::LruFilter;
+use dido_hashtable::{key_hash, IndexTable};
+use dido_kvstore::ObjectStore;
+use dido_model::{Processor, Query, QueryOp, Response};
+use dido_net::Nic;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Sizing knobs for a [`KvEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Object-store arena bytes (the paper's APU shares 1,908 MB; tests
+    /// and experiments use a scaled-down region with the same
+    /// cache-to-store ratio dynamics).
+    pub store_bytes: usize,
+    /// CPU last-level cache bytes (hot-set filter capacity).
+    pub cpu_cache_bytes: u64,
+    /// GPU cache bytes.
+    pub gpu_cache_bytes: u64,
+    /// NIC ring slots per direction.
+    pub nic_slots: usize,
+}
+
+impl EngineConfig {
+    /// Sizing derived from a hardware spec with a scaled store.
+    #[must_use]
+    pub fn new(store_bytes: usize, cpu_cache_bytes: u64, gpu_cache_bytes: u64) -> EngineConfig {
+        EngineConfig {
+            store_bytes,
+            cpu_cache_bytes,
+            gpu_cache_bytes,
+            // Large enough that the biggest calibrated batch (2^18
+            // queries, one K128-sized response per frame) never drops.
+            nic_slots: 1 << 19,
+        }
+    }
+}
+
+/// Result of an index↔store cross-check (see
+/// [`KvEngine::verify_integrity`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// Index entries examined.
+    pub entries: usize,
+    /// Entries whose location points at a dead/freed object.
+    pub dangling: usize,
+    /// Entries whose object is live but whose key hashes to a different
+    /// signature (corruption; must always be 0).
+    pub mismatched: usize,
+}
+
+impl IntegrityReport {
+    /// No corruption and no dangling entries.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.dangling == 0 && self.mismatched == 0
+    }
+}
+
+/// The functional key-value node shared by every pipeline configuration:
+/// cuckoo index, slab object store, NIC rings, hot-set cache filters,
+/// and the sampling epoch for skew estimation.
+pub struct KvEngine {
+    /// The cuckoo hash index (the `IN` task's data structure).
+    pub index: IndexTable,
+    /// The key-value object store (`MM`/`KC`/`RD`).
+    pub store: ObjectStore,
+    /// NIC rings (`RV`/`SD`).
+    pub nic: Nic,
+    cpu_cache: Mutex<LruFilter>,
+    gpu_cache: Mutex<LruFilter>,
+    epoch: AtomicU32,
+}
+
+impl KvEngine {
+    /// Build an engine.
+    #[must_use]
+    pub fn new(cfg: EngineConfig) -> KvEngine {
+        // Index sized for the worst case: every object in the smallest
+        // (32 B) class.
+        let max_objects = (cfg.store_bytes / 32).max(16);
+        KvEngine {
+            index: IndexTable::with_capacity(max_objects),
+            store: ObjectStore::new(cfg.store_bytes),
+            nic: Nic::new(cfg.nic_slots),
+            cpu_cache: Mutex::new(LruFilter::new(cfg.cpu_cache_bytes)),
+            gpu_cache: Mutex::new(LruFilter::new(cfg.gpu_cache_bytes)),
+            epoch: AtomicU32::new(1),
+        }
+    }
+
+    /// Record an object access in `proc`'s cache filter; true on hit.
+    pub fn cache_access(&self, proc: Processor, loc: u64, bytes: u64) -> bool {
+        match proc {
+            Processor::Cpu => self.cpu_cache.lock().access(loc, bytes),
+            Processor::Gpu => self.gpu_cache.lock().access(loc, bytes),
+        }
+    }
+
+    /// Forget a (freed/evicted) object in both filters.
+    pub fn cache_invalidate(&self, loc: u64) {
+        self.cpu_cache.lock().invalidate(loc);
+        self.gpu_cache.lock().invalidate(loc);
+    }
+
+    /// Current skew-sampling epoch.
+    #[must_use]
+    pub fn sample_epoch(&self) -> u32 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Start a new sampling interval; returns the new epoch.
+    pub fn advance_sample_epoch(&self) -> u32 {
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Cross-check every index entry against the object store: the
+    /// object must be live and its key must hash back to the entry's
+    /// signature. Dangling entries can exist transiently (an eviction's
+    /// index delete races a concurrent upsert); signature mismatches
+    /// never should. Intended for tests and offline verification.
+    #[must_use]
+    pub fn verify_integrity(&self) -> IntegrityReport {
+        let mut report = IntegrityReport::default();
+        self.index.for_each_entry(|sig, loc| {
+            report.entries += 1;
+            let key = self.store.read_key(loc);
+            if key.is_empty() || !self.store.key_matches(loc, &key) {
+                report.dangling += 1;
+                return;
+            }
+            if key_hash(&key).sig != sig {
+                report.mismatched += 1;
+            }
+        });
+        report
+    }
+
+    /// Snapshot every live key-value pair to a replayable trace file of
+    /// SET queries (same wire format as `dido_net::write_trace`), so a
+    /// node's contents survive restarts or move between systems.
+    pub fn snapshot_to(&self, path: &std::path::Path) -> Result<usize, dido_net::TraceError> {
+        let mut sets = Vec::new();
+        self.index.for_each_entry(|_sig, loc| {
+            let key = self.store.read_key(loc);
+            if key.is_empty() || !self.store.key_matches(loc, &key) {
+                return; // dangling entry: skip
+            }
+            let mut value = Vec::new();
+            self.store.read_value(loc, &mut value);
+            sets.push(Query::set(key, value));
+        });
+        let n = sets.len();
+        dido_net::write_trace(path, &sets)?;
+        Ok(n)
+    }
+
+    /// Load a snapshot (or any trace) by executing its queries.
+    /// Returns the number of queries applied.
+    pub fn restore_from(&self, path: &std::path::Path) -> Result<usize, dido_net::TraceError> {
+        let queries = dido_net::read_trace(path)?;
+        for q in &queries {
+            let _ = self.execute(q);
+        }
+        Ok(queries.len())
+    }
+
+    /// Convenience single-query execution outside any pipeline (used by
+    /// examples, tests, and the quickstart API). Functionally identical
+    /// to what the staged tasks do.
+    pub fn execute(&self, q: &Query) -> Response {
+        match q.op {
+            QueryOp::Get => {
+                let kh = key_hash(&q.key);
+                let (cands, _) = self.index.search(kh);
+                for &loc in cands.as_slice() {
+                    if self.store.key_matches(loc, &q.key) {
+                        self.store.touch(loc, self.sample_epoch());
+                        let mut v = Vec::new();
+                        self.store.read_value(loc, &mut v);
+                        return Response::hit(v);
+                    }
+                }
+                Response::not_found()
+            }
+            QueryOp::Set => {
+                let kh = key_hash(&q.key);
+                let Ok(out) = self.store.allocate(&q.key, &q.value) else {
+                    return Response::error();
+                };
+                if let Some(ev) = &out.evicted {
+                    let ev_kh = key_hash(&ev.key);
+                    let _ = self.index.delete(ev_kh, ev.loc);
+                    self.cache_invalidate(ev.loc);
+                }
+                match self.index.upsert(kh, out.loc).0 {
+                    Ok(_replaced) => {
+                        // The replaced old version lingers as garbage
+                        // until CLOCK evicts it (memcached semantics;
+                        // see `tasks::run_index_insert`).
+                        Response::ok()
+                    }
+                    Err(_) => {
+                        self.store.free(out.loc);
+                        Response::error()
+                    }
+                }
+            }
+            QueryOp::Delete => {
+                let kh = key_hash(&q.key);
+                let (cands, _) = self.index.search(kh);
+                for &loc in cands.as_slice() {
+                    if self.store.key_matches(loc, &q.key) {
+                        let (removed, _) = self.index.delete(kh, loc);
+                        if removed {
+                            self.store.free(loc);
+                            self.cache_invalidate(loc);
+                            return Response::ok();
+                        }
+                    }
+                }
+                Response::not_found()
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for KvEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvEngine")
+            .field("index", &self.index)
+            .field("store", &self.store)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dido_model::ResponseStatus;
+
+    fn engine() -> KvEngine {
+        KvEngine::new(EngineConfig::new(1 << 20, 64 * 1024, 16 * 1024))
+    }
+
+    #[test]
+    fn set_get_delete_lifecycle() {
+        let e = engine();
+        assert_eq!(e.execute(&Query::get("k")).status, ResponseStatus::NotFound);
+        assert_eq!(e.execute(&Query::set("k", "v1")).status, ResponseStatus::Ok);
+        let r = e.execute(&Query::get("k"));
+        assert_eq!(r.status, ResponseStatus::Ok);
+        assert_eq!(&r.value[..], b"v1");
+        // Overwrite.
+        assert_eq!(e.execute(&Query::set("k", "v2")).status, ResponseStatus::Ok);
+        assert_eq!(&e.execute(&Query::get("k")).value[..], b"v2");
+        // Delete.
+        assert_eq!(e.execute(&Query::delete("k")).status, ResponseStatus::Ok);
+        assert_eq!(e.execute(&Query::get("k")).status, ResponseStatus::NotFound);
+        assert_eq!(
+            e.execute(&Query::delete("k")).status,
+            ResponseStatus::NotFound
+        );
+    }
+
+    #[test]
+    fn cache_filters_are_per_processor() {
+        let e = engine();
+        assert!(!e.cache_access(Processor::Cpu, 7, 64));
+        assert!(e.cache_access(Processor::Cpu, 7, 64));
+        assert!(!e.cache_access(Processor::Gpu, 7, 64), "GPU filter is separate");
+    }
+
+    #[test]
+    fn epochs_advance() {
+        let e = engine();
+        let a = e.sample_epoch();
+        assert_eq!(e.advance_sample_epoch(), a + 1);
+        assert_eq!(e.sample_epoch(), a + 1);
+    }
+
+    #[test]
+    fn overwrite_returns_latest_and_old_versions_age_out() {
+        let e = engine();
+        for i in 0..100 {
+            let v = format!("value-{i}");
+            assert_eq!(e.execute(&Query::set("same", v)).status, ResponseStatus::Ok);
+        }
+        // Memcached semantics: stale versions linger as garbage until
+        // CLOCK reclaims them, but reads always see the latest.
+        assert_eq!(&e.execute(&Query::get("same")).value[..], b"value-99");
+        assert!(e.store.live_objects() >= 1);
+        // Keep overwriting in a tiny store: eviction must bound growth.
+        let tiny = KvEngine::new(EngineConfig::new(4096, 1 << 20, 1 << 16));
+        for i in 0..500 {
+            let v = format!("value-{i}");
+            assert_eq!(tiny.execute(&Query::set("same", v)).status, ResponseStatus::Ok);
+        }
+        assert!(tiny.store.live_objects() <= 4096 / 32);
+        assert_eq!(&tiny.execute(&Query::get("same")).value[..], b"value-499");
+    }
+
+    #[test]
+    fn snapshot_and_restore_round_trip() {
+        let a = engine();
+        for i in 0..300u32 {
+            a.execute(&Query::set(format!("snap-{i}"), format!("val-{i}")));
+        }
+        a.execute(&Query::delete("snap-7"));
+        let path = std::env::temp_dir().join(format!("dido-snap-{}", std::process::id()));
+        let written = a.snapshot_to(&path).unwrap();
+        assert_eq!(written, 299);
+
+        let b = engine();
+        let restored = b.restore_from(&path).unwrap();
+        assert_eq!(restored, 299);
+        for i in 0..300u32 {
+            let r = b.execute(&Query::get(format!("snap-{i}")));
+            if i == 7 {
+                assert_eq!(r.status, ResponseStatus::NotFound);
+            } else {
+                assert_eq!(r.status, ResponseStatus::Ok, "snap-{i}");
+                assert_eq!(r.value, format!("val-{i}"));
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn integrity_holds_after_churn() {
+        let e = engine();
+        for i in 0..2_000u32 {
+            let k = format!("churn-{}", i % 400);
+            e.execute(&Query::set(k.clone(), format!("v{i}")));
+            if i % 7 == 0 {
+                e.execute(&Query::delete(k));
+            }
+        }
+        let report = e.verify_integrity();
+        assert!(report.entries > 0);
+        assert_eq!(report.mismatched, 0, "{report:?}");
+        assert_eq!(report.dangling, 0, "{report:?}");
+    }
+
+    #[test]
+    fn many_keys_round_trip() {
+        let e = engine();
+        for i in 0..500u32 {
+            let k = format!("key-{i}");
+            let v = format!("val-{i}");
+            assert_eq!(e.execute(&Query::set(k, v)).status, ResponseStatus::Ok);
+        }
+        for i in 0..500u32 {
+            let k = format!("key-{i}");
+            let r = e.execute(&Query::get(k));
+            assert_eq!(r.status, ResponseStatus::Ok);
+            assert_eq!(r.value, format!("val-{i}"));
+        }
+    }
+}

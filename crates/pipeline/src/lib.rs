@@ -1,0 +1,54 @@
+//! Query-processing pipelines for DIDO.
+//!
+//! This crate implements the paper's eight fine-grained tasks
+//! (`RV, PP, MM, IN, KC, RD, WR, SD` — §III-A) as real functions over a
+//! [`KvEngine`] (cuckoo index + object store + NIC), and two executors:
+//!
+//! * [`SimExecutor`] — deterministic virtual-time execution on the
+//!   simulated coupled CPU-GPU chip: per-stage resource accounting,
+//!   GPU kernels per task and per index-operation type, CPU↔GPU
+//!   interference, wavefront-granular work stealing, and batch-size
+//!   calibration under the paper's periodical scheduling. This is what
+//!   every experiment in the evaluation uses.
+//! * [`ThreadedPipeline`] — the same stages on real host threads wired
+//!   by channels, demonstrating the design live (including tag-based
+//!   co-processing of the GPU stage when work stealing is on).
+//!
+//! ```
+//! use dido_apu_sim::{HwSpec, TimingEngine};
+//! use dido_model::{PipelineConfig, Query};
+//! use dido_pipeline::{EngineConfig, KvEngine, SimExecutor};
+//!
+//! let hw = HwSpec::kaveri_apu();
+//! let engine = KvEngine::new(EngineConfig::new(1 << 20, hw.cpu.cache_bytes, hw.gpu.cache_bytes));
+//! let sim = SimExecutor::new(TimingEngine::new(hw));
+//! let (report, responses) = sim.run_batch(
+//!     &engine,
+//!     vec![Query::set("k", "v"), Query::get("k")],
+//!     PipelineConfig::mega_kv(),
+//! );
+//! assert_eq!(&responses[1].value[..], b"v");
+//! assert!(report.t_max_ns > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod batch;
+mod cache;
+mod engine;
+mod setup;
+mod sharded;
+mod sim;
+pub mod tasks;
+mod threaded;
+
+pub use batch::{Batch, QueryState, StealTags, TAG_FREE};
+pub use cache::LruFilter;
+pub use engine::{EngineConfig, IntegrityReport, KvEngine};
+pub use setup::{preloaded_engine, TestbedOptions};
+pub use sharded::ShardedEngine;
+pub use sim::{
+    BatchReport, KernelReport, RunOptions, SimExecutor, StageReport, StealReport, WorkloadReport,
+};
+pub use tasks::StageCtx;
+pub use threaded::ThreadedPipeline;

@@ -1,0 +1,189 @@
+//! Sharded multi-pipeline front.
+//!
+//! Mega-KV "implements multiple pipelines to take advantage of the
+//! multicore architecture" (paper §II-B, Figure 3): keys are partitioned
+//! across independent pipeline instances, each with its own index and
+//! store, so instances never contend. This module provides that
+//! partitioning layer for larger CPUs than the 4-core APU: a
+//! [`ShardedEngine`] routes by key hash and can process a batch across
+//! all shards on real threads.
+
+use crate::engine::{EngineConfig, KvEngine};
+use crate::threaded::ThreadedPipeline;
+use dido_hashtable::hash64;
+use dido_model::{PipelineConfig, Query, Response};
+
+/// A set of independent [`KvEngine`] shards with hash routing.
+pub struct ShardedEngine {
+    shards: Vec<KvEngine>,
+}
+
+impl ShardedEngine {
+    /// Build `n` shards, each sized to `per_shard`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, per_shard: EngineConfig) -> ShardedEngine {
+        assert!(n > 0, "need at least one shard");
+        ShardedEngine {
+            shards: (0..n).map(|_| KvEngine::new(per_shard)).collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key routes to.
+    #[must_use]
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        // High bits: the low bits drive bucket choice inside the shard,
+        // so reusing them would correlate shard and bucket.
+        (hash64(key) >> 48) as usize % self.shards.len()
+    }
+
+    /// Access one shard's engine.
+    #[must_use]
+    pub fn shard(&self, i: usize) -> &KvEngine {
+        &self.shards[i]
+    }
+
+    /// Single-query convenience API (routes, then executes).
+    pub fn execute(&self, q: &Query) -> Response {
+        self.shards[self.shard_of(&q.key)].execute(q)
+    }
+
+    /// Process one batch across all shards on real threads: the batch is
+    /// split by routing, each shard runs its own pipeline under
+    /// `config`, and responses return in the original query order.
+    #[must_use]
+    pub fn process_batch(&self, queries: Vec<Query>, config: PipelineConfig) -> Vec<Response> {
+        let n = queries.len();
+        // Partition, remembering each query's original position.
+        let mut per_shard: Vec<Vec<(usize, Query)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (pos, q) in queries.into_iter().enumerate() {
+            let s = self.shard_of(&q.key);
+            per_shard[s].push((pos, q));
+        }
+        let mut out: Vec<Option<Response>> = vec![None; n];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .zip(&per_shard)
+                .map(|(engine, work)| {
+                    scope.spawn(move || {
+                        if work.is_empty() {
+                            return Vec::new();
+                        }
+                        let pipeline = ThreadedPipeline::new(engine, config);
+                        let queries: Vec<Query> =
+                            work.iter().map(|(_, q)| q.clone()).collect();
+                        let mut results = pipeline.run(vec![queries]);
+                        results.pop().unwrap_or_default()
+                    })
+                })
+                .collect();
+            for (handle, work) in handles.into_iter().zip(&per_shard) {
+                let responses = handle.join().expect("shard thread");
+                for ((pos, _), r) in work.iter().zip(responses) {
+                    out[*pos] = Some(r);
+                }
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every query answered by its shard"))
+            .collect()
+    }
+
+    /// Aggregate live objects across shards.
+    #[must_use]
+    pub fn live_objects(&self) -> usize {
+        self.shards.iter().map(|s| s.store.live_objects()).sum()
+    }
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards.len())
+            .field("live_objects", &self.live_objects())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dido_model::ResponseStatus;
+
+    fn sharded(n: usize) -> ShardedEngine {
+        ShardedEngine::new(n, EngineConfig::new(1 << 20, 64 << 10, 16 << 10))
+    }
+
+    #[test]
+    fn routing_is_stable_and_spread() {
+        let s = sharded(4);
+        let mut counts = [0usize; 4];
+        for i in 0..10_000 {
+            let key = format!("route-{i}");
+            let a = s.shard_of(key.as_bytes());
+            let b = s.shard_of(key.as_bytes());
+            assert_eq!(a, b, "routing must be deterministic");
+            counts[a] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (1_500..=3_500).contains(&c),
+                "shard {i} got {c} of 10000 — poor spread"
+            );
+        }
+    }
+
+    #[test]
+    fn single_query_api_round_trips() {
+        let s = sharded(3);
+        assert_eq!(
+            s.execute(&Query::set("sk", "sv")).status,
+            ResponseStatus::Ok
+        );
+        let r = s.execute(&Query::get("sk"));
+        assert_eq!(&r.value[..], b"sv");
+        assert_eq!(s.live_objects(), 1);
+    }
+
+    #[test]
+    fn batch_processing_preserves_order_across_shards() {
+        let s = sharded(4);
+        for i in 0..500 {
+            s.execute(&Query::set(format!("batch-{i:03}"), format!("v{i:03}")));
+        }
+        let queries: Vec<Query> = (0..500).map(|i| Query::get(format!("batch-{i:03}"))).collect();
+        let responses = s.process_batch(queries, PipelineConfig::mega_kv());
+        assert_eq!(responses.len(), 500);
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.status, ResponseStatus::Ok, "batch-{i}");
+            assert_eq!(r.value, format!("v{i:03}"), "order broken at {i}");
+        }
+    }
+
+    #[test]
+    fn shards_are_isolated() {
+        let s = sharded(2);
+        s.execute(&Query::set("iso-key", "x"));
+        let owner = s.shard_of(b"iso-key");
+        let other = (owner + 1) % 2;
+        assert_eq!(s.shard(owner).store.live_objects(), 1);
+        assert_eq!(s.shard(other).store.live_objects(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = sharded(0);
+    }
+}

@@ -1,0 +1,648 @@
+//! The eight fine-grained tasks (paper §III-A), implemented as
+//! independent functions over a batch range.
+//!
+//! Each task does its work *for real* against the [`KvEngine`] and
+//! returns the [`ResourceUsage`] it incurred; the executors convert
+//! usage into virtual time per stage. Tasks take a [`StageCtx`]
+//! describing where they run, which drives the affinity and hot-set
+//! accounting (paper §III-B-1, §IV-B).
+
+use crate::batch::Batch;
+use crate::engine::KvEngine;
+use bytes::Bytes;
+use dido_hashtable::key_hash;
+use dido_model::costs::{self, lines_for};
+use dido_model::{
+    IndexOpKind, Processor, Query, QueryOp, ResourceUsage, Response, TaskKind, TaskSet,
+};
+use dido_net::{encode_responses, parse_frame, FrameBuilder};
+use std::ops::Range;
+
+/// Where a task invocation runs and which tasks share its stage.
+#[derive(Debug, Clone, Copy)]
+pub struct StageCtx {
+    /// Processor executing the stage.
+    pub processor: Processor,
+    /// All tasks co-located in this stage (affinity checks).
+    pub stage_tasks: TaskSet,
+    /// Cache line size of the executing processor.
+    pub cache_line: u64,
+}
+
+impl StageCtx {
+    /// Context for a stage on `processor` running `stage_tasks`.
+    #[must_use]
+    pub fn new(processor: Processor, stage_tasks: TaskSet, cache_line: u64) -> StageCtx {
+        StageCtx {
+            processor,
+            stage_tasks,
+            cache_line,
+        }
+    }
+
+    fn has(&self, t: TaskKind) -> bool {
+        self.stage_tasks.contains(t)
+    }
+}
+
+/// `RV`: drain up to `max_frames` frames from the NIC RX ring.
+pub fn run_rv(engine: &KvEngine, max_frames: usize) -> (Vec<Bytes>, ResourceUsage) {
+    let frames = engine.nic.rx.pop_up_to(max_frames);
+    let n = frames.len() as u64;
+    let usage = ResourceUsage::new(
+        n * costs::RV_INSNS_PER_FRAME,
+        0,
+        n * costs::RV_CACHE_PER_FRAME,
+    )
+    .with_bytes(frames.iter().map(|f| f.len() as u64).sum());
+    (frames, usage)
+}
+
+/// `PP`: parse frames into queries. Malformed frames are dropped whole
+/// (like a UDP service discarding garbage datagrams).
+pub fn run_pp(frames: &[Bytes]) -> (Vec<Query>, ResourceUsage) {
+    let mut queries = Vec::new();
+    for f in frames {
+        if let Ok(mut qs) = parse_frame(f) {
+            queries.append(&mut qs);
+        }
+    }
+    let n = queries.len() as u64;
+    let usage = ResourceUsage::new(
+        n * costs::PP_INSNS_PER_QUERY,
+        0,
+        n * costs::PP_CACHE_PER_QUERY,
+    );
+    (queries, usage)
+}
+
+/// `MM`: allocate (and if necessary evict) for every SET in `range`.
+pub fn run_mm(ctx: StageCtx, engine: &KvEngine, batch: &mut Batch, range: Range<usize>) -> ResourceUsage {
+    let mut usage = ResourceUsage::ZERO;
+    for i in range {
+        if batch.queries[i].op != QueryOp::Set {
+            continue;
+        }
+        let q = &batch.queries[i];
+        usage += ResourceUsage::new(costs::MM_INSNS_PER_ALLOC, costs::MM_MEM_PER_ALLOC, 0);
+        match engine.store.allocate(&q.key, &q.value) {
+            Ok(out) => {
+                if out.evicted.is_some() {
+                    usage +=
+                        ResourceUsage::new(costs::MM_INSNS_PER_EVICT, costs::MM_MEM_PER_EVICT, 0);
+                }
+                // Writing key+value into the fresh object: sequential
+                // stores, priced as cache-line writes.
+                let obj_lines = lines_for(q.key.len() + q.value.len(), ctx.cache_line);
+                usage += ResourceUsage::new(obj_lines * costs::INSNS_PER_LINE, 0, obj_lines)
+                    .with_bytes((q.key.len() + q.value.len()) as u64);
+                if let Some(ev) = &out.evicted {
+                    engine.cache_invalidate(ev.loc);
+                }
+                let st = &mut batch.state[i];
+                st.new_loc = Some(out.loc);
+                st.evicted = out.evicted;
+            }
+            Err(_) => {
+                batch.state[i].response = Some(Response::error());
+            }
+        }
+    }
+    usage
+}
+
+/// `IN`-Search: index lookups for every GET in `range`.
+pub fn run_index_search(
+    _ctx: StageCtx,
+    engine: &KvEngine,
+    batch: &mut Batch,
+    range: Range<usize>,
+) -> ResourceUsage {
+    let mut usage = ResourceUsage::ZERO;
+    for i in range {
+        if batch.queries[i].op != QueryOp::Get {
+            continue;
+        }
+        let kh = key_hash(&batch.queries[i].key);
+        let (cands, u) = engine.index.search(kh);
+        usage += u;
+        batch.state[i].candidates = cands;
+    }
+    usage
+}
+
+/// `IN`-Insert: index upserts for every SET in `range` (requires `MM`).
+/// A replaced old version is freed (it is garbage once unreachable).
+pub fn run_index_insert(
+    _ctx: StageCtx,
+    engine: &KvEngine,
+    batch: &mut Batch,
+    range: Range<usize>,
+) -> ResourceUsage {
+    let mut usage = ResourceUsage::ZERO;
+    for i in range {
+        if batch.queries[i].op != QueryOp::Set {
+            continue;
+        }
+        let Some(new_loc) = batch.state[i].new_loc else {
+            continue; // MM failed; response already set
+        };
+        let kh = key_hash(&batch.queries[i].key);
+        let (res, u) = engine.index.upsert(kh, new_loc);
+        usage += u;
+        match res {
+            Ok(_replaced) => {
+                // A replaced old version is NOT freed eagerly: like
+                // memcached/Mega-KV, it lingers as unreachable garbage
+                // until the CLOCK sweep evicts it. That keeps the store
+                // full, so every SET's allocation evicts — producing the
+                // paper's one-Insert-plus-one-Delete per SET (Fig. 6).
+                batch.state[i].response = Some(Response::ok());
+            }
+            Err(_) => {
+                engine.store.free(new_loc);
+                batch.state[i].response = Some(Response::error());
+            }
+        }
+    }
+    usage
+}
+
+/// `IN`-Delete: remove index entries of objects evicted by `MM`, and
+/// process explicit DELETE queries end-to-end (search → compare →
+/// delete → free).
+pub fn run_index_delete(
+    ctx: StageCtx,
+    engine: &KvEngine,
+    batch: &mut Batch,
+    range: Range<usize>,
+) -> ResourceUsage {
+    let mut usage = ResourceUsage::ZERO;
+    for i in range {
+        // Eviction-generated deletes (paper: each memory-pressured SET
+        // yields one Insert for the new object and one Delete for the
+        // evicted object).
+        if let Some(ev) = batch.state[i].evicted.take() {
+            let kh = key_hash(&ev.key);
+            let (_, u) = engine.index.delete(kh, ev.loc);
+            usage += u;
+        }
+        if batch.queries[i].op != QueryOp::Delete {
+            continue;
+        }
+        let key = &batch.queries[i].key;
+        let kh = key_hash(key);
+        let (cands, u) = engine.index.search(kh);
+        usage += u;
+        let mut response = Response::not_found();
+        for &loc in cands.as_slice() {
+            // Key comparison before destructive ops.
+            let key_lines = lines_for(key.len(), ctx.cache_line);
+            usage += ResourceUsage::new(
+                costs::KC_INSNS_PER_CANDIDATE + key_lines * costs::INSNS_PER_LINE,
+                1,
+                key_lines.saturating_sub(1),
+            );
+            if engine.store.key_matches(loc, key) {
+                let (removed, du) = engine.index.delete(kh, loc);
+                usage += du;
+                if removed {
+                    engine.store.free(loc);
+                    engine.cache_invalidate(loc);
+                    response = Response::ok();
+                }
+                break;
+            }
+        }
+        batch.state[i].response = Some(response);
+    }
+    usage
+}
+
+/// `KC`: compare candidate objects' keys for every GET in `range`,
+/// resolving the object location. Also records the access in the
+/// executing processor's hot-set filter and bumps the skew-sampling
+/// frequency counter.
+pub fn run_kc(
+    ctx: StageCtx,
+    engine: &KvEngine,
+    batch: &mut Batch,
+    range: Range<usize>,
+) -> ResourceUsage {
+    let mut usage = ResourceUsage::ZERO;
+    let epoch = engine.sample_epoch();
+    for i in range {
+        if batch.queries[i].op != QueryOp::Get {
+            continue;
+        }
+        let key = &batch.queries[i].key;
+        let key_lines = lines_for(key.len(), ctx.cache_line);
+        let mut resolved = None;
+        let mut hot = false;
+        for &loc in batch.state[i].candidates.as_slice() {
+            let (klen, vlen) = engine.store.object_lens(loc);
+            let obj_bytes = (dido_kvstore::HEADER_SIZE + klen + vlen) as u64;
+            let cache_hit = engine.cache_access(ctx.processor, loc, obj_bytes);
+            // Header+key fetch: one random access on a cold object, all
+            // cache lines on a hot one.
+            usage += if cache_hit {
+                ResourceUsage::new(
+                    costs::KC_INSNS_PER_CANDIDATE + key_lines * costs::INSNS_PER_LINE,
+                    0,
+                    key_lines,
+                )
+            } else {
+                ResourceUsage::new(
+                    costs::KC_INSNS_PER_CANDIDATE + key_lines * costs::INSNS_PER_LINE,
+                    1,
+                    key_lines.saturating_sub(1),
+                )
+            };
+            if engine.store.key_matches(loc, key) {
+                resolved = Some(loc);
+                hot = cache_hit;
+                engine.store.touch(loc, epoch);
+                break;
+            }
+        }
+        let st = &mut batch.state[i];
+        st.loc = resolved;
+        st.hot = hot;
+        if resolved.is_none() {
+            st.response = Some(Response::not_found());
+        }
+    }
+    usage
+}
+
+/// `RD`: read each resolved GET's value. When `WR` shares the stage the
+/// value flows straight through; otherwise it is staged into the batch
+/// buffer (sequential writes) for the later `WR` stage.
+pub fn run_rd(
+    ctx: StageCtx,
+    engine: &KvEngine,
+    batch: &mut Batch,
+    range: Range<usize>,
+) -> ResourceUsage {
+    let mut usage = ResourceUsage::ZERO;
+    for i in range {
+        let Some(loc) = batch.state[i].loc else {
+            continue;
+        };
+        if batch.queries[i].op != QueryOp::Get {
+            continue;
+        }
+        let (klen, vlen) = engine.store.object_lens(loc);
+        let val_lines = lines_for(vlen, ctx.cache_line);
+        // Affinity (paper §III-B-1): KC fetched the object into this
+        // processor's cache — but only while the batch's working set
+        // actually fits. The capacity-bounded filter decides
+        // operationally (KC on another processor, or a working set
+        // beyond the cache, both come back cold).
+        let obj_bytes = (dido_kvstore::HEADER_SIZE + klen + vlen) as u64;
+        let warm = engine.cache_access(ctx.processor, loc, obj_bytes);
+        usage += if warm {
+            ResourceUsage::new(val_lines * costs::INSNS_PER_LINE, 0, val_lines)
+        } else {
+            ResourceUsage::new(val_lines * costs::INSNS_PER_LINE, 1, val_lines - 1)
+        }
+        .with_bytes(vlen as u64);
+        // Stage the value: sequential buffer writes (always cached).
+        let mut staged = Vec::with_capacity(vlen);
+        engine.store.read_value(loc, &mut staged);
+        batch.state[i].staged = Some(staged);
+        usage += ResourceUsage::new(val_lines * costs::INSNS_PER_LINE, 0, val_lines);
+    }
+    usage
+}
+
+/// `WR`: construct each query's response. Reads the staged value
+/// (sequential, cache-priced); when `RD` ran in a different stage this
+/// is the extra copy the paper describes ("the task WR on the other
+/// stage needs to read the key-value objects in the buffer to construct
+/// responses").
+pub fn run_wr(ctx: StageCtx, batch: &mut Batch, range: Range<usize>) -> ResourceUsage {
+    let mut usage = ResourceUsage::ZERO;
+    let rd_same_stage = ctx.has(TaskKind::Rd);
+    for i in range {
+        if batch.state[i].response.is_some() {
+            continue; // SET/DELETE/miss already answered
+        }
+        let q = &batch.queries[i];
+        usage += ResourceUsage::new(costs::WR_INSNS_PER_QUERY, 0, 1);
+        match q.op {
+            QueryOp::Get => {
+                let value = match batch.state[i].staged.take() {
+                    Some(staged) => {
+                        let val_lines = lines_for(staged.len(), ctx.cache_line);
+                        // Reading the staged bytes: free ride if RD just
+                        // wrote them here; an extra sequential pass
+                        // otherwise.
+                        if !rd_same_stage {
+                            usage += ResourceUsage::new(
+                                val_lines * costs::INSNS_PER_LINE,
+                                0,
+                                val_lines,
+                            );
+                        }
+                        Bytes::from(staged)
+                    }
+                    None => {
+                        batch.state[i].response = Some(Response::not_found());
+                        continue;
+                    }
+                };
+                batch.state[i].response = Some(Response::hit(value));
+            }
+            // SETs/DELETEs normally answered by IN; answer leftovers
+            // defensively so WR is total.
+            QueryOp::Set | QueryOp::Delete => {
+                batch.state[i].response = Some(Response::error());
+            }
+        }
+    }
+    usage
+}
+
+/// `SD`: encode all responses into frames on the NIC TX ring. Runs over
+/// the whole batch (responses ship together).
+pub fn run_sd(engine: &KvEngine, batch: &mut Batch) -> ResourceUsage {
+    let responses = batch.take_responses();
+    run_sd_responses(engine, &responses)
+}
+
+/// `SD` over already-collected responses (used by executors that keep
+/// the responses for the caller).
+pub fn run_sd_responses(engine: &KvEngine, responses: &[Response]) -> ResourceUsage {
+    let mut usage = ResourceUsage::ZERO;
+    let mut start = 0usize;
+    // Pack responses into MTU-sized frames.
+    while start < responses.len() {
+        let mut bytes = dido_net::FRAME_HEADER;
+        let mut end = start;
+        while end < responses.len() {
+            let sz = 5 + responses[end].value.len();
+            if bytes + sz > dido_net::DEFAULT_FRAME_CAPACITY && end > start {
+                break;
+            }
+            bytes += sz;
+            end += 1;
+        }
+        let frame = encode_responses(&responses[start..end]);
+        usage += ResourceUsage::new(costs::SD_INSNS_PER_FRAME, 0, costs::SD_CACHE_PER_FRAME)
+            .with_bytes(frame.len() as u64);
+        engine.nic.tx.push(frame);
+        start = end;
+    }
+    usage
+}
+
+/// Helper shared by executors: build MTU frames from raw queries and
+/// enqueue them on the RX ring (the "client" side).
+pub fn inject_queries(engine: &KvEngine, queries: &[Query]) -> usize {
+    let mut pushed = 0;
+    let mut builder = FrameBuilder::new();
+    for q in queries {
+        if !builder.push(q) {
+            if engine.nic.rx.push(builder.finish()) {
+                pushed += 1;
+            }
+            builder = FrameBuilder::new();
+            let ok = builder.push(q);
+            debug_assert!(ok);
+        }
+    }
+    if !builder.is_empty() && engine.nic.rx.push(builder.finish()) {
+        pushed += 1;
+    }
+    pushed
+}
+
+/// Dispatch one index-operation task by kind.
+pub fn run_index_op(
+    op: IndexOpKind,
+    ctx: StageCtx,
+    engine: &KvEngine,
+    batch: &mut Batch,
+    range: Range<usize>,
+) -> ResourceUsage {
+    match op {
+        IndexOpKind::Search => run_index_search(ctx, engine, batch, range),
+        IndexOpKind::Insert => run_index_insert(ctx, engine, batch, range),
+        IndexOpKind::Delete => run_index_delete(ctx, engine, batch, range),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use dido_model::{PipelineConfig, ResponseStatus};
+
+    fn engine() -> KvEngine {
+        KvEngine::new(EngineConfig::new(1 << 20, 64 * 1024, 16 * 1024))
+    }
+
+    fn cpu_ctx(tasks: &[TaskKind]) -> StageCtx {
+        StageCtx::new(Processor::Cpu, TaskSet::from_tasks(tasks), 64)
+    }
+
+    fn run_full_pipeline(engine: &KvEngine, queries: Vec<Query>) -> Vec<Response> {
+        let mut batch = Batch::new(queries, PipelineConfig::mega_kv());
+        let n = batch.len();
+        let all = cpu_ctx(&TaskKind::ALL);
+        run_mm(all, engine, &mut batch, 0..n);
+        run_index_insert(all, engine, &mut batch, 0..n);
+        run_index_delete(all, engine, &mut batch, 0..n);
+        run_index_search(all, engine, &mut batch, 0..n);
+        run_kc(all, engine, &mut batch, 0..n);
+        run_rd(all, engine, &mut batch, 0..n);
+        run_wr(all, &mut batch, 0..n);
+        batch
+            .state
+            .iter_mut()
+            .map(|s| s.response.take().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn set_then_get_round_trips_through_tasks() {
+        let e = engine();
+        let r = run_full_pipeline(&e, vec![Query::set("alpha", "A-value")]);
+        assert_eq!(r[0].status, ResponseStatus::Ok);
+        let r = run_full_pipeline(&e, vec![Query::get("alpha")]);
+        assert_eq!(r[0].status, ResponseStatus::Ok);
+        assert_eq!(&r[0].value[..], b"A-value");
+    }
+
+    #[test]
+    fn get_miss_and_delete_paths() {
+        let e = engine();
+        let r = run_full_pipeline(&e, vec![Query::get("ghost"), Query::delete("ghost")]);
+        assert_eq!(r[0].status, ResponseStatus::NotFound);
+        assert_eq!(r[1].status, ResponseStatus::NotFound);
+        run_full_pipeline(&e, vec![Query::set("real", "x")]);
+        let r = run_full_pipeline(&e, vec![Query::delete("real")]);
+        assert_eq!(r[0].status, ResponseStatus::Ok);
+        let r = run_full_pipeline(&e, vec![Query::get("real")]);
+        assert_eq!(r[0].status, ResponseStatus::NotFound);
+    }
+
+    #[test]
+    fn mixed_batch_preserves_query_order() {
+        let e = engine();
+        run_full_pipeline(&e, vec![Query::set("k1", "v1"), Query::set("k2", "v2")]);
+        let r = run_full_pipeline(
+            &e,
+            vec![
+                Query::get("k2"),
+                Query::set("k3", "v3"),
+                Query::get("k1"),
+                Query::get("nope"),
+            ],
+        );
+        assert_eq!(&r[0].value[..], b"v2");
+        assert_eq!(r[1].status, ResponseStatus::Ok);
+        assert_eq!(&r[2].value[..], b"v1");
+        assert_eq!(r[3].status, ResponseStatus::NotFound);
+    }
+
+    #[test]
+    fn rd_affinity_lowers_memory_accesses() {
+        // Affinity is operational: KC's fetch leaves the object in the
+        // *comparing processor's* cache filter, so an RD on the same
+        // processor rides the warm cache while an RD on the other
+        // processor pays a random memory access.
+        let run = |kc_proc: Processor| {
+            let e = engine();
+            run_full_pipeline(&e, vec![Query::set("key-x", vec![b'v'; 200])]);
+            let mut batch = Batch::new(vec![Query::get("key-x")], PipelineConfig::mega_kv());
+            run_index_search(cpu_ctx(&[TaskKind::In]), &e, &mut batch, 0..1);
+            let kc_ctx = StageCtx::new(kc_proc, TaskSet::from_tasks(&[TaskKind::Kc]), 64);
+            run_kc(kc_ctx, &e, &mut batch, 0..1);
+            run_rd(cpu_ctx(&[TaskKind::Kc, TaskKind::Rd]), &e, &mut batch, 0..1)
+        };
+        let cold = run(Processor::Gpu); // KC warmed the *GPU* cache only
+        let warm = run(Processor::Cpu); // KC warmed this CPU cache
+        assert!(warm.mem_accesses < cold.mem_accesses);
+        assert_eq!(
+            warm.total_accesses(),
+            cold.total_accesses(),
+            "affinity converts memory accesses to cache accesses"
+        );
+    }
+
+    #[test]
+    fn rd_warmth_is_capacity_bounded() {
+        // A working set far beyond the cache must come back cold in RD
+        // even with KC in the same stage (the filter ages entries out).
+        let e = KvEngine::new(EngineConfig::new(4 << 20, 4 * 1024, 1024));
+        let n = 512usize;
+        let queries: Vec<Query> = (0..n)
+            .map(|i| Query::set(format!("big-{i:04}"), vec![b'v'; 160]))
+            .collect();
+        run_full_pipeline(&e, queries);
+        let gets: Vec<Query> = (0..n).map(|i| Query::get(format!("big-{i:04}"))).collect();
+        let mut batch = Batch::new(gets, PipelineConfig::mega_kv());
+        let ctx = cpu_ctx(&[TaskKind::In, TaskKind::Kc, TaskKind::Rd]);
+        run_index_search(ctx, &e, &mut batch, 0..n);
+        run_kc(ctx, &e, &mut batch, 0..n);
+        let rd = run_rd(ctx, &e, &mut batch, 0..n);
+        // 512 × ~200B objects = ~100 KB working set vs 4 KB cache: the
+        // vast majority of RDs must pay a memory access.
+        assert!(
+            rd.mem_accesses > (n as u64) * 8 / 10,
+            "only {} of {} RDs were cold",
+            rd.mem_accesses,
+            n
+        );
+    }
+
+    #[test]
+    fn wr_in_separate_stage_costs_an_extra_pass() {
+        let e = engine();
+        run_full_pipeline(&e, vec![Query::set("key-y", vec![b'v'; 512])]);
+        let mk_batch = || {
+            let mut b = Batch::new(vec![Query::get("key-y")], PipelineConfig::mega_kv());
+            run_index_search(cpu_ctx(&[TaskKind::In]), &e, &mut b, 0..1);
+            run_kc(cpu_ctx(&[TaskKind::Kc, TaskKind::Rd]), &e, &mut b, 0..1);
+            run_rd(cpu_ctx(&[TaskKind::Kc, TaskKind::Rd]), &e, &mut b, 0..1);
+            b
+        };
+        let mut same = mk_batch();
+        let u_same = run_wr(cpu_ctx(&[TaskKind::Rd, TaskKind::Wr]), &mut same, 0..1);
+        let mut split = mk_batch();
+        let u_split = run_wr(cpu_ctx(&[TaskKind::Wr]), &mut split, 0..1);
+        assert!(u_split.cache_accesses > u_same.cache_accesses);
+        assert_eq!(same.state[0].response, split.state[0].response);
+    }
+
+    #[test]
+    fn sets_generate_eviction_deletes_when_full() {
+        // Tiny store: fill it, then keep setting fresh keys.
+        let e = KvEngine::new(EngineConfig::new(4096, 1 << 30, 16 * 1024));
+        let mut evictions = 0;
+        for i in 0..200 {
+            let mut batch = Batch::new(
+                vec![Query::set(format!("grow-{i}"), vec![b'x'; 40])],
+                PipelineConfig::mega_kv(),
+            );
+            let all = cpu_ctx(&TaskKind::ALL);
+            run_mm(all, &e, &mut batch, 0..1);
+            if batch.state[0].evicted.is_some() {
+                evictions += 1;
+            }
+            run_index_insert(all, &e, &mut batch, 0..1);
+            run_index_delete(all, &e, &mut batch, 0..1);
+        }
+        assert!(
+            evictions > 100,
+            "a full store must evict on nearly every SET, saw {evictions}"
+        );
+        // Index must not leak entries for evicted objects.
+        assert!(e.index.len() <= e.store.live_objects() + 8);
+    }
+
+    #[test]
+    fn rv_pp_sd_move_frames_through_the_nic() {
+        let e = engine();
+        let queries = vec![Query::set("net-key", "net-val"), Query::get("net-key")];
+        let frames_in = inject_queries(&e, &queries);
+        assert!(frames_in >= 1);
+        let (frames, rv_usage) = run_rv(&e, 64);
+        assert_eq!(frames.len(), frames_in);
+        assert!(rv_usage.instructions > 0);
+        let (parsed, pp_usage) = run_pp(&frames);
+        assert_eq!(parsed, queries);
+        assert!(pp_usage.instructions > 0);
+        // Push parsed queries through and send.
+        let responses = run_full_pipeline(&e, parsed);
+        let mut batch = Batch::new(vec![Query::get("net-key")], PipelineConfig::mega_kv());
+        batch.state[0].response = Some(responses[1].clone());
+        let sd_usage = run_sd(&e, &mut batch);
+        assert!(sd_usage.bytes > 0);
+        let out = e.nic.tx.pop().expect("a response frame must be sent");
+        let rs = dido_net::parse_responses(&out).unwrap();
+        assert_eq!(&rs[0].value[..], b"net-val");
+    }
+
+    #[test]
+    fn malformed_frames_are_dropped_not_fatal() {
+        let (qs, _) = run_pp(&[Bytes::from_static(b"\x01")]);
+        assert!(qs.is_empty());
+    }
+
+    #[test]
+    fn hot_keys_become_cache_hits_in_kc() {
+        let e = engine();
+        run_full_pipeline(&e, vec![Query::set("hot", vec![b'h'; 64])]);
+        let probe = |e: &KvEngine| {
+            let mut b = Batch::new(vec![Query::get("hot")], PipelineConfig::mega_kv());
+            run_index_search(cpu_ctx(&[TaskKind::In]), e, &mut b, 0..1);
+            run_kc(cpu_ctx(&[TaskKind::Kc]), e, &mut b, 0..1)
+        };
+        let first = probe(&e);
+        let second = probe(&e);
+        assert!(first.mem_accesses > second.mem_accesses);
+    }
+}

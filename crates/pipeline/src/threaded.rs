@@ -1,0 +1,369 @@
+//! A real multi-threaded pipeline executor.
+//!
+//! Where [`crate::SimExecutor`] prices a batch on the simulated APU,
+//! `ThreadedPipeline` actually runs the stages on host threads wired by
+//! channels, with batches flowing through in pipelined fashion — one
+//! thread per pipeline stage (the "GPU" stage is a host thread standing
+//! in for the device) plus, when work stealing is enabled, a helper
+//! thread that co-processes the GPU stage's sub-batches exactly like the
+//! paper's CPU threads grabbing 64-query tag sets (§III-B-3).
+//!
+//! Batches are split into wavefront-sized sub-batches up front; within a
+//! stage, workers claim sub-batches with an atomic cursor, so intra-batch
+//! parallelism needs no per-query locking.
+
+use crate::batch::Batch;
+use crate::engine::KvEngine;
+use crate::tasks::{self, StageCtx};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use dido_model::{
+    PipelineConfig, PipelinePlan, Query, Response, StagePlan, TaskKind, WAVEFRONT_WIDTH,
+};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A sub-batch slot claimable by exactly one worker per stage.
+///
+/// # Safety protocol
+/// Mutable access is granted only to the worker that won the stage's
+/// claim cursor for this index, and only between the claim
+/// (`cursor.fetch_add`) and the completion signal (`done.fetch_add`).
+/// The stage barrier (`done == subs.len()`) orders one stage's accesses
+/// before the next stage's.
+struct SubCell(UnsafeCell<Batch>);
+
+// SAFETY: see the claim protocol above — at most one thread holds a
+// mutable reference at a time, and stage barriers provide the necessary
+// happens-before edges (via the Acquire/Release atomics on
+// `cursor`/`done`).
+unsafe impl Sync for SubCell {}
+
+struct BatchGroup {
+    subs: Vec<SubCell>,
+    /// Claim cursor for intra-stage parallelism.
+    cursor: AtomicUsize,
+    /// Completed sub-batches in the current stage.
+    done: AtomicUsize,
+}
+
+impl BatchGroup {
+    fn new(queries: Vec<Query>, config: PipelineConfig) -> BatchGroup {
+        let subs: Vec<SubCell> = queries
+            .chunks(WAVEFRONT_WIDTH)
+            .map(|c| SubCell(UnsafeCell::new(Batch::new(c.to_vec(), config))))
+            .collect();
+        BatchGroup {
+            subs,
+            cursor: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+        }
+    }
+
+    fn reset_for_stage(&self) {
+        self.cursor.store(0, Ordering::Release);
+        self.done.store(0, Ordering::Release);
+    }
+
+    fn into_batches(self) -> Vec<Batch> {
+        self.subs.into_iter().map(|c| c.0.into_inner()).collect()
+    }
+}
+
+fn run_stage_on_sub(engine: &KvEngine, stage: &StagePlan, batch: &mut Batch, cache_line: u64) {
+    let ctx = StageCtx::new(stage.processor, stage.tasks, cache_line);
+    let n = batch.len();
+    for t in stage.tasks.iter() {
+        match t {
+            TaskKind::Rv | TaskKind::Pp | TaskKind::Sd => {
+                // Frame I/O happens at the pipeline boundary, not per
+                // sub-batch; see `ThreadedPipeline::run`.
+            }
+            TaskKind::Mm => {
+                tasks::run_mm(ctx, engine, batch, 0..n);
+            }
+            TaskKind::In => {
+                for &op in &stage.index_ops {
+                    tasks::run_index_op(op, ctx, engine, batch, 0..n);
+                }
+            }
+            TaskKind::Kc => {
+                tasks::run_kc(ctx, engine, batch, 0..n);
+            }
+            TaskKind::Rd => {
+                tasks::run_rd(ctx, engine, batch, 0..n);
+            }
+            TaskKind::Wr => {
+                tasks::run_wr(ctx, batch, 0..n);
+            }
+        }
+    }
+    if !stage.tasks.contains(TaskKind::In) {
+        for &op in &stage.index_ops {
+            tasks::run_index_op(op, ctx, engine, batch, 0..n);
+        }
+    }
+}
+
+/// Claim-and-process loop shared by a stage's own thread and any
+/// stealing helper.
+fn drain_group(engine: &KvEngine, stage: &StagePlan, group: &BatchGroup, cache_line: u64) {
+    loop {
+        let i = group.cursor.fetch_add(1, Ordering::AcqRel);
+        if i >= group.subs.len() {
+            break;
+        }
+        // SAFETY: index `i` was handed to this worker exclusively by the
+        // claim cursor; no other thread touches `subs[i]` until `done`
+        // reaches the group size and the next stage begins (which
+        // happens-after our `done.fetch_add` release).
+        let sub = unsafe { &mut *group.subs[i].0.get() };
+        run_stage_on_sub(engine, stage, sub, cache_line);
+        group.done.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Real-thread pipeline over an engine.
+pub struct ThreadedPipeline<'e> {
+    engine: &'e KvEngine,
+    plan: PipelinePlan,
+    cache_line: u64,
+}
+
+impl<'e> ThreadedPipeline<'e> {
+    /// Build a pipeline for `config`.
+    #[must_use]
+    pub fn new(engine: &'e KvEngine, config: PipelineConfig) -> ThreadedPipeline<'e> {
+        ThreadedPipeline {
+            engine,
+            plan: config.plan(),
+            cache_line: 64,
+        }
+    }
+
+    /// The expanded stage plan.
+    #[must_use]
+    pub fn plan(&self) -> &PipelinePlan {
+        &self.plan
+    }
+
+    /// Process batches through the staged pipeline; returns per-batch
+    /// responses in submission order.
+    #[must_use]
+    pub fn run(&self, batches: Vec<Vec<Query>>) -> Vec<Vec<Response>> {
+        let stages = &self.plan.stages;
+        let engine = self.engine;
+        let cache_line = self.cache_line;
+        let config = self.plan.config;
+        let work_stealing = config.work_stealing;
+        let n_batches = batches.len();
+
+        let mut results: Vec<Vec<Response>> = Vec::with_capacity(n_batches);
+        std::thread::scope(|scope| {
+            // Channel chain: injector -> stage 0 -> ... -> collector.
+            let mut senders: Vec<Sender<Arc<BatchGroup>>> = Vec::new();
+            let mut receivers: Vec<Receiver<Arc<BatchGroup>>> = Vec::new();
+            for _ in 0..=stages.len() {
+                let (tx, rx) = bounded::<Arc<BatchGroup>>(4);
+                senders.push(tx);
+                receivers.push(rx);
+            }
+
+            // Steal helper: co-processes GPU-stage groups.
+            let gpu_stage_idx = self.plan.gpu_stage();
+            let steal_pair = match (work_stealing, gpu_stage_idx) {
+                (true, Some(_)) => Some(bounded::<Arc<BatchGroup>>(4)),
+                _ => None,
+            };
+            if let (Some((_, steal_rx)), Some(gsi)) = (&steal_pair, gpu_stage_idx) {
+                let steal_rx = steal_rx.clone();
+                let stage = stages[gsi].clone();
+                scope.spawn(move || {
+                    while let Ok(group) = steal_rx.recv() {
+                        drain_group(engine, &stage, &group, cache_line);
+                    }
+                });
+            }
+
+            // Stage threads.
+            for (si, stage) in stages.iter().cloned().enumerate() {
+                let rx = receivers[si].clone();
+                let tx = senders[si + 1].clone();
+                let steal_tx = if Some(si) == gpu_stage_idx {
+                    steal_pair.as_ref().map(|(tx, _)| tx.clone())
+                } else {
+                    None
+                };
+                scope.spawn(move || {
+                    while let Ok(group) = rx.recv() {
+                        group.reset_for_stage();
+                        if let Some(steal_tx) = &steal_tx {
+                            let _ = steal_tx.try_send(Arc::clone(&group));
+                        }
+                        drain_group(engine, &stage, &group, cache_line);
+                        // Stage barrier: wait for helpers to finish
+                        // their claimed sub-batches.
+                        while group.done.load(Ordering::Acquire) < group.subs.len() {
+                            std::thread::yield_now();
+                        }
+                        if tx.send(group).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+
+            // Injector.
+            let injector = senders[0].clone();
+            drop(senders);
+            drop(steal_pair);
+            let final_rx = receivers[stages.len()].clone();
+            drop(receivers);
+
+            scope.spawn(move || {
+                for queries in batches {
+                    let group = Arc::new(BatchGroup::new(queries, config));
+                    if injector.send(group).is_err() {
+                        break;
+                    }
+                }
+            });
+
+            // Collector.
+            for _ in 0..n_batches {
+                let Ok(group) = final_rx.recv() else { break };
+                // The steal helper may still hold its Arc for an instant
+                // after signalling completion.
+                let mut group = group;
+                let group = loop {
+                    match Arc::try_unwrap(group) {
+                        Ok(g) => break g,
+                        Err(g) => {
+                            group = g;
+                            std::thread::yield_now();
+                        }
+                    }
+                };
+                let mut responses = Vec::new();
+                for mut sub in group.into_batches() {
+                    responses.append(&mut sub.take_responses());
+                }
+                tasks::run_sd_responses(engine, &responses);
+                results.push(responses);
+            }
+        });
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use dido_model::ResponseStatus;
+
+    fn engine() -> KvEngine {
+        KvEngine::new(EngineConfig::new(4 << 20, 256 << 10, 64 << 10))
+    }
+
+    fn queries(n: usize, prefix: &str) -> Vec<Query> {
+        (0..n)
+            .map(|i| {
+                if i % 10 == 0 {
+                    Query::set(format!("{prefix}-{:05}", i % 300), vec![b'v'; 48])
+                } else {
+                    Query::get(format!("{prefix}-{:05}", i % 300))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_batch_through_mega_kv_plan() {
+        let e = engine();
+        // Warm the store so GETs hit.
+        for i in 0..300 {
+            e.execute(&Query::set(format!("tp-{i:05}"), vec![b'v'; 48]));
+        }
+        let tp = ThreadedPipeline::new(&e, PipelineConfig::mega_kv());
+        let out = tp.run(vec![queries(512, "tp")]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 512);
+        let hits = out[0]
+            .iter()
+            .filter(|r| r.status == ResponseStatus::Ok)
+            .count();
+        assert!(hits > 400, "most queries should succeed, got {hits}");
+    }
+
+    #[test]
+    fn multiple_batches_stay_in_order_and_correct() {
+        let e = engine();
+        let tp = ThreadedPipeline::new(&e, PipelineConfig::mega_kv());
+        // Batch 0 sets unique keys; batch 1..n read them back.
+        let sets: Vec<Query> = (0..256)
+            .map(|i| Query::set(format!("ord-{i}"), format!("val-{i}")))
+            .collect();
+        let gets: Vec<Query> = (0..256).map(|i| Query::get(format!("ord-{i}"))).collect();
+        let out = tp.run(vec![sets, gets.clone(), gets]);
+        assert_eq!(out.len(), 3);
+        for batch_out in &out[1..] {
+            for (i, r) in batch_out.iter().enumerate() {
+                assert_eq!(r.status, ResponseStatus::Ok, "get {i}");
+                assert_eq!(r.value, format!("val-{i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_produces_identical_results() {
+        let run = |ws: bool| {
+            let e = engine();
+            for q in queries(300, "ws") {
+                e.execute(&q);
+            }
+            let mut cfg = PipelineConfig::small_kv_read_intensive();
+            cfg.work_stealing = ws;
+            let tp = ThreadedPipeline::new(&e, cfg);
+            tp.run(vec![queries(1024, "ws"), queries(1024, "ws")])
+                .into_iter()
+                .map(|rs| rs.into_iter().map(|r| r.status).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn cpu_only_plan_works_threaded() {
+        let e = engine();
+        let tp = ThreadedPipeline::new(&e, PipelineConfig::cpu_only());
+        // Per-batch ordering is guaranteed across batches (not within
+        // one unordered batch), so each step ships separately.
+        let out = tp.run(vec![
+            vec![Query::set("solo", "x")],
+            vec![Query::get("solo")],
+            vec![Query::delete("solo")],
+            vec![Query::get("solo")],
+        ]);
+        let statuses: Vec<ResponseStatus> = out.iter().map(|b| b[0].status).collect();
+        assert_eq!(
+            statuses,
+            vec![
+                ResponseStatus::Ok,
+                ResponseStatus::Ok,
+                ResponseStatus::Ok,
+                ResponseStatus::NotFound
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_run_is_fine() {
+        let e = engine();
+        let tp = ThreadedPipeline::new(&e, PipelineConfig::mega_kv());
+        assert!(tp.run(Vec::new()).is_empty());
+        let out = tp.run(vec![Vec::new()]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! YCSB-style workload generation for the DIDO benchmark suite.
+//!
+//! Implements the paper's benchmark matrix (§V-A): four key-value size
+//! datasets ([`Dataset::K8`] 8 B/8 B through [`Dataset::K128`]
+//! 128 B/1024 B), uniform and Zipf-0.99 key popularity, and 100/95/50 %
+//! GET ratios — 24 named workloads
+//! ([`WorkloadSpec::all_24`], labels like `K32-G95-U`), plus the
+//! alternating-workload stress generator used by the paper's dynamic
+//! adaption experiments (Figures 20–21).
+//!
+//! ```
+//! use dido_workload::{WorkloadGen, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::from_label("K16-G95-S").unwrap();
+//! let mut generator = WorkloadGen::new(spec, 10_000, 42);
+//! let batch = generator.batch(512);
+//! assert_eq!(batch.len(), 512);
+//! ```
+
+#![warn(missing_docs)]
+
+mod gen;
+mod spec;
+mod zipf;
+
+pub use gen::{key_bytes, value_bytes, AlternatingGen, SpikeGen, WorkloadGen};
+pub use spec::{Dataset, KeyDistribution, WorkloadSpec};
+pub use zipf::{fnv_mix, ScrambledZipfian, Zipfian};

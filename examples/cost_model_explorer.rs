@@ -1,0 +1,56 @@
+//! Explore the APU-aware cost model: for a grid of workload shapes,
+//! print the pipeline configuration the model would choose and its
+//! predicted throughput — a map of the paper's "optimal pipeline per
+//! workload" intuition without running anything.
+//!
+//! ```sh
+//! cargo run --release --example cost_model_explorer
+//! ```
+
+use dido_kv::apu::HwSpec;
+use dido_kv::cost_model::{CostModel, ModelInputs};
+use dido_kv::model::{ConfigEnumerator, WorkloadStats};
+
+fn main() {
+    let model = CostModel::new(HwSpec::kaveri_apu());
+    println!(
+        "{:<22} {:>10} {:>7}   chosen configuration",
+        "workload shape", "pred MOPS", "batch"
+    );
+    for (key, val) in [(8.0, 8.0), (16.0, 64.0), (32.0, 256.0), (128.0, 1024.0)] {
+        for get in [1.0, 0.95, 0.5] {
+            for skew in [0.0, 0.99] {
+                let inputs = ModelInputs {
+                    stats: WorkloadStats {
+                        get_ratio: get,
+                        delete_ratio: 0.0,
+                        avg_key_size: key,
+                        avg_value_size: val,
+                        zipf_skew: skew,
+                        batch_size: 8192,
+                    },
+                    n_keys: 1 << 20,
+                    avg_insert_buckets: 2.1,
+                    avg_delete_buckets: 1.8,
+                    interval_ns: 300_000.0,
+                    cpu_cache_bytes: 128 << 10,
+                    gpu_cache_bytes: 16 << 10,
+                };
+                let best = model.optimal_config(&inputs, ConfigEnumerator::default());
+                let label = format!(
+                    "K{}V{} G{} {}",
+                    key as u32,
+                    val as u32,
+                    (get * 100.0) as u32,
+                    if skew > 0.0 { "zipf" } else { "unif" }
+                );
+                println!(
+                    "{label:<22} {:>10.2} {:>7}   {}",
+                    best.throughput_mops(),
+                    best.batch_size,
+                    best.config,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Record, snapshot, and replay: capture a workload as a trace file,
+//! checkpoint the store, then replay the identical byte stream against
+//! both pipeline systems — the workflow for comparing systems (or
+//! versions) on exactly the same traffic.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use dido_kv::apu::{HwSpec, TimingEngine};
+use dido_kv::model::PipelineConfig;
+use dido_kv::net::{read_trace, write_trace};
+use dido_kv::pipeline::{preloaded_engine, RunOptions, SimExecutor, TestbedOptions};
+use dido_kv::workload::{WorkloadGen, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir();
+    let trace_path = dir.join("dido-demo.trace");
+    let snap_path = dir.join("dido-demo.snapshot");
+
+    // 1. Record a workload to a trace file.
+    let spec = WorkloadSpec::from_label("K16-G95-S").ok_or("bad workload label")?;
+    let mut generator = WorkloadGen::new(spec, 20_000, 42);
+    let recorded = generator.batch(30_000);
+    write_trace(&trace_path, &recorded)?;
+    println!(
+        "recorded {} queries to {} ({} KiB)",
+        recorded.len(),
+        trace_path.display(),
+        std::fs::metadata(&trace_path)?.len() / 1024,
+    );
+
+    // 2. Replay the identical stream against two pipeline configurations.
+    let hw = HwSpec::kaveri_apu();
+    let sim = SimExecutor::new(TimingEngine::new(hw));
+    let testbed = TestbedOptions {
+        store_bytes: 8 << 20,
+        ..TestbedOptions::default()
+    };
+    for (name, config) in [
+        ("Mega-KV static", PipelineConfig::mega_kv()),
+        ("DIDO small-KV", PipelineConfig::small_kv_read_intensive()),
+    ] {
+        let (engine, _) = preloaded_engine(spec, &hw, testbed);
+        let trace = read_trace(&trace_path)?;
+        let mut offset = 0;
+        let wr = sim.run_workload(&engine, config, RunOptions::default(), |n| {
+            let end = (offset + n).min(trace.len());
+            let batch = trace[offset..end].to_vec();
+            offset = if end == trace.len() { 0 } else { end };
+            batch
+        });
+        println!(
+            "replay under {name:>14}: {:.2} MOPS (est. latency {:.0} us)",
+            wr.throughput_mops(),
+            wr.avg_latency_ns() / 1_000.0,
+        );
+
+        // 3. Snapshot the engine's final contents and restore elsewhere.
+        if name.starts_with("DIDO") {
+            let written = engine.snapshot_to(&snap_path)?;
+            let (fresh, _) = preloaded_engine(
+                spec,
+                &hw,
+                TestbedOptions {
+                    store_bytes: 8 << 20,
+                    seed: 999,
+                    ..TestbedOptions::default()
+                },
+            );
+            let restored = fresh.restore_from(&snap_path)?;
+            println!("snapshot: {written} objects written, {restored} restored into a fresh node");
+        }
+    }
+
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(&snap_path).ok();
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! YCSB-style benchmark: DIDO vs the static Mega-KV pipeline on the
+//! paper's workload matrix (a representative subset by default; pass
+//! `--all` for the full 24).
+//!
+//! ```sh
+//! cargo run --release --example ycsb_benchmark [-- --all]
+//! ```
+
+use dido_kv::dido::{DidoOptions, DidoSystem};
+use dido_kv::megakv::MegaKv;
+use dido_kv::pipeline::{RunOptions, TestbedOptions};
+use dido_kv::workload::{WorkloadGen, WorkloadSpec};
+
+fn main() {
+    let all = std::env::args().any(|a| a == "--all");
+    let store_bytes = 16usize << 20;
+    let testbed = TestbedOptions {
+        store_bytes,
+        ..TestbedOptions::default()
+    };
+
+    let specs: Vec<WorkloadSpec> = if all {
+        WorkloadSpec::all_24()
+    } else {
+        ["K8-G95-S", "K16-G95-U", "K32-G50-S", "K128-G100-U"]
+            .iter()
+            .map(|l| WorkloadSpec::from_label(l).expect("valid label"))
+            .collect()
+    };
+
+    println!(
+        "{:<12} {:>14} {:>12} {:>9}   pipeline chosen by DIDO",
+        "workload", "megakv(MOPS)", "dido(MOPS)", "speedup"
+    );
+    let mut speedups = Vec::new();
+    for spec in specs {
+        // Baseline: Mega-KV (Coupled) static pipeline.
+        let mk = MegaKv::coupled().measure(spec, testbed, RunOptions::default());
+
+        // DIDO with dynamic adaption.
+        let mut dido = DidoSystem::preloaded(
+            spec,
+            DidoOptions {
+                testbed,
+                ..DidoOptions::default()
+            },
+        );
+        let n_keys = spec.keyspace_size(store_bytes as u64, 16);
+        let mut generator = WorkloadGen::new(spec, n_keys, 0xD1D0);
+        let dd = dido.measure(|n| generator.batch(n), 6);
+
+        let speedup = dd.throughput_mops() / mk.throughput_mops().max(1e-9);
+        speedups.push(speedup);
+        println!(
+            "{:<12} {:>14.2} {:>12.2} {:>8.2}x   {}",
+            spec.label(),
+            mk.throughput_mops(),
+            dd.throughput_mops(),
+            speedup,
+            dido.current_config(),
+        );
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!("\naverage speedup: {avg:.2}x (paper: 1.81x over 24 workloads)");
+}

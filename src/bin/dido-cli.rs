@@ -1,0 +1,119 @@
+//! `dido-cli` — command-line client for a running `dido-server`.
+//!
+//! ```text
+//! dido-cli [--addr HOST:PORT] set <key> <value>
+//! dido-cli [--addr HOST:PORT] get <key>
+//! dido-cli [--addr HOST:PORT] del <key>
+//! dido-cli [--addr HOST:PORT] bench [--n N] [--workload LABEL]
+//! dido-cli [--addr HOST:PORT] replay <trace-file>
+//! ```
+
+use dido_kv::model::{Query, ResponseStatus};
+use dido_kv::net::{read_trace, KvClient};
+use dido_kv::workload::{WorkloadGen, WorkloadSpec};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    if args.first().map(String::as_str) == Some("--addr") {
+        args.remove(0);
+        if args.is_empty() {
+            return Err("--addr needs a value".into());
+        }
+        addr = args.remove(0);
+    }
+    let Some(cmd) = args.first().cloned() else {
+        usage();
+        return Ok(());
+    };
+    let mut client = KvClient::connect(addr.parse()?)?;
+
+    match cmd.as_str() {
+        "set" if args.len() == 3 => {
+            let rs = client.request(&[Query::set(args[1].clone(), args[2].clone())])?;
+            println!("{:?}", rs[0].status);
+        }
+        "get" if args.len() == 2 => {
+            let rs = client.request(&[Query::get(args[1].clone())])?;
+            match rs[0].status {
+                ResponseStatus::Ok => println!("{}", String::from_utf8_lossy(&rs[0].value)),
+                other => println!("{other:?}"),
+            }
+        }
+        "del" if args.len() == 2 => {
+            let rs = client.request(&[Query::delete(args[1].clone())])?;
+            println!("{:?}", rs[0].status);
+        }
+        "bench" => {
+            let mut n: usize = 100_000;
+            let mut label = "K16-G95-S".to_string();
+            let mut iter = args.iter().skip(1);
+            while let Some(a) = iter.next() {
+                match a.as_str() {
+                    "--n" => n = iter.next().ok_or("--n needs a value")?.parse()?,
+                    "--workload" => {
+                        label = iter.next().ok_or("--workload needs a value")?.clone()
+                    }
+                    _ => return Err(format!("unknown bench flag {a}").into()),
+                }
+            }
+            let spec = WorkloadSpec::from_label(&label).ok_or("bad workload label")?;
+            // Key space sized to the preload so GETs hit.
+            let keyspace = 20_000;
+            let mut generator = WorkloadGen::new(spec, keyspace, 0xD1D0);
+            for chunk in generator
+                .preload_queries(keyspace)
+                .collect::<Vec<_>>()
+                .chunks(1_024)
+            {
+                client.request(chunk)?;
+            }
+            let start = Instant::now();
+            let mut ok = 0usize;
+            let mut sent = 0usize;
+            while sent < n {
+                let batch = generator.batch(1_024.min(n - sent));
+                sent += batch.len();
+                ok += client
+                    .request(&batch)?
+                    .iter()
+                    .filter(|r| r.status == ResponseStatus::Ok)
+                    .count();
+            }
+            let secs = start.elapsed().as_secs_f64();
+            println!(
+                "{sent} queries in {secs:.2}s over TCP = {:.0} qps ({ok} ok)",
+                sent as f64 / secs
+            );
+        }
+        "replay" if args.len() == 2 => {
+            let queries = read_trace(std::path::Path::new(&args[1]))?;
+            let start = Instant::now();
+            let mut ok = 0usize;
+            for chunk in queries.chunks(1_024) {
+                ok += client
+                    .request(chunk)?
+                    .iter()
+                    .filter(|r| r.status == ResponseStatus::Ok)
+                    .count();
+            }
+            println!(
+                "replayed {} queries in {:.2}s ({ok} ok)",
+                queries.len(),
+                start.elapsed().as_secs_f64()
+            );
+        }
+        _ => usage(),
+    }
+    Ok(())
+}
+
+fn usage() {
+    println!("usage: dido-cli [--addr HOST:PORT] <command>");
+    println!("  set <key> <value>   store a value");
+    println!("  get <key>           read a value");
+    println!("  del <key>           delete a key");
+    println!("  bench [--n N] [--workload LABEL]");
+    println!("  replay <trace-file>");
+}

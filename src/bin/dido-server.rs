@@ -1,0 +1,130 @@
+//! `dido-server` — run a DIDO node as a TCP key-value service.
+//!
+//! ```text
+//! dido-server [--addr HOST:PORT] [--store-mb N] [--latency-us N]
+//!             [--trace FILE] [--stats-every N]
+//! ```
+//!
+//! Every request frame becomes one pipeline batch, so the workload
+//! profiler sees real client traffic and re-adapts the pipeline as it
+//! shifts. `--trace` tees accepted queries to a replayable trace file
+//! (rewritten every 256 frames); `--stats-every` prints the metrics
+//! summary every N frames. Runs until killed.
+
+use dido_kv::dido::{DidoOptions, DidoSystem};
+use dido_kv::net::KvServer;
+use dido_kv::pipeline::TestbedOptions;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Args {
+    addr: String,
+    store_mb: usize,
+    latency_us: f64,
+    trace: Option<std::path::PathBuf>,
+    stats_every: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        store_mb: 64,
+        latency_us: 1_000.0,
+        trace: None,
+        stats_every: 0,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--store-mb" => {
+                args.store_mb = value("--store-mb").parse().unwrap_or_else(|_| {
+                    eprintln!("--store-mb needs a number");
+                    std::process::exit(2);
+                })
+            }
+            "--latency-us" => {
+                args.latency_us = value("--latency-us").parse().unwrap_or_else(|_| {
+                    eprintln!("--latency-us needs a number");
+                    std::process::exit(2);
+                })
+            }
+            "--trace" => args.trace = Some(value("--trace").into()),
+            "--stats-every" => {
+                args.stats_every = value("--stats-every").parse().unwrap_or_else(|_| {
+                    eprintln!("--stats-every needs a number");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: dido-server [--addr HOST:PORT] [--store-mb N] \
+                     [--latency-us N] [--trace FILE] [--stats-every N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() -> std::io::Result<()> {
+    let args = parse_args();
+    let dido = Mutex::new(DidoSystem::new(DidoOptions {
+        testbed: TestbedOptions {
+            store_bytes: args.store_mb << 20,
+            ..TestbedOptions::default()
+        },
+        latency_budget_ns: args.latency_us * 1_000.0,
+        ..DidoOptions::default()
+    }));
+    let trace = args.trace.clone().map(|p| (p, Mutex::new(Vec::new())));
+    let trace = std::sync::Arc::new(trace);
+    let frames_seen = std::sync::Arc::new(AtomicU64::new(0));
+
+    let handler_trace = std::sync::Arc::clone(&trace);
+    let handler_frames = std::sync::Arc::clone(&frames_seen);
+    let stats_every = args.stats_every;
+    let server = KvServer::start(&args.addr, move |queries| {
+        if let Some((path, buf)) = handler_trace.as_ref() {
+            let mut buf = buf.lock();
+            buf.extend(queries.iter().cloned());
+            // Periodic rewrite so a kill loses at most 256 frames.
+            if handler_frames.load(Ordering::Relaxed) % 256 == 255 {
+                if let Err(e) = dido_kv::net::write_trace(path, &buf) {
+                    eprintln!("trace write failed: {e}");
+                }
+            }
+        }
+        let mut dido = dido.lock();
+        let (_, responses) = dido.process_batch(queries);
+        let n = handler_frames.fetch_add(1, Ordering::Relaxed) + 1;
+        if stats_every > 0 && n.is_multiple_of(stats_every) {
+            eprintln!("--- after {n} frames ---\n{}", dido.metrics());
+            eprintln!("pipeline: {}", dido.current_config());
+        }
+        responses
+    })?;
+    println!("dido-server listening on {}", server.addr());
+    println!(
+        "store {} MB, latency budget {:.0} us{}",
+        args.store_mb,
+        args.latency_us,
+        if trace.is_some() { ", tracing on" } else { "" }
+    );
+
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

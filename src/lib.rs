@@ -1,0 +1,32 @@
+//! # dido-kv — umbrella crate
+//!
+//! Single-dependency facade over the DIDO workspace. Re-exports the
+//! public API of every subsystem crate:
+//!
+//! * [`dido`] — the DIDO system itself (store, profiler, adaption).
+//! * [`model`] — shared vocabulary (tasks, configs, stats, queries).
+//! * [`apu`] — the coupled CPU-GPU hardware simulator.
+//! * [`hashtable`] — the concurrent cuckoo hash index.
+//! * [`kvstore`] — slab allocator + eviction + object store.
+//! * [`net`] — query protocol and simulated NIC.
+//! * [`workload`] — YCSB-style workload generators.
+//! * [`pipeline`] — the eight tasks and the pipeline executors.
+//! * [`cost_model`] — the APU-aware cost model and config search.
+//! * [`megakv`] — the Mega-KV static-pipeline baseline.
+//!
+//! ```
+//! use dido_kv::model::Query;
+//! let q = Query::set("user:1", "alice");
+//! assert_eq!(&q.key[..], b"user:1");
+//! ```
+
+pub use dido;
+pub use dido_apu_sim as apu;
+pub use dido_cost_model as cost_model;
+pub use dido_hashtable as hashtable;
+pub use dido_kvstore as kvstore;
+pub use dido_megakv as megakv;
+pub use dido_model as model;
+pub use dido_net as net;
+pub use dido_pipeline as pipeline;
+pub use dido_workload as workload;
