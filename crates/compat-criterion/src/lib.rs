@@ -1,0 +1,221 @@
+//! API-compatible subset of `criterion`.
+//!
+//! Vendored because the build environment has no crates.io access (see
+//! `crates/compat-*`). Implements the harness surface the workspace's
+//! benches use — `Criterion` / `BenchmarkGroup` / `Bencher` /
+//! `Throughput` / `BatchSize` and the `criterion_group!` /
+//! `criterion_main!` macros — but runs only a handful of iterations per
+//! benchmark and reports mean wall-clock time on stdout. That keeps
+//! `harness = false` bench targets cheap when `cargo test` builds and
+//! runs them, while still giving usable numbers under `cargo bench`.
+
+use std::time::Instant;
+
+/// Top-level harness state (`criterion::Criterion` subset).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the nominal sample count (the shim caps actual iterations
+    /// far below real criterion's).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// Work-per-iteration declaration, echoed in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// How batched inputs are sized (`criterion::BatchSize`). The shim
+/// treats all variants identically: one setup per measured call.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every single iteration.
+    PerIteration,
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work each iteration performs.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Override the group's nominal sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // A few iterations: enough for a ballpark mean, cheap enough
+        // that `cargo test` building/running the bench stays fast.
+        let iters = self.sample_size.clamp(1, 5);
+        let mut b = Bencher {
+            iters,
+            total_ns: 0,
+            calls: 0,
+        };
+        f(&mut b);
+        let mean = if b.calls == 0 {
+            0
+        } else {
+            b.total_ns / b.calls as u128
+        };
+        println!("bench {}/{}: mean {} ns/iter", self.name, id, mean);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: usize,
+    total_ns: u128,
+    calls: usize,
+}
+
+impl Bencher {
+    /// Measure `routine` over the shim's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = routine();
+            self.total_ns += start.elapsed().as_nanos();
+            self.calls += 1;
+            drop(out);
+        }
+    }
+
+    /// Measure `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.total_ns += start.elapsed().as_nanos();
+            self.calls += 1;
+            drop(out);
+        }
+    }
+}
+
+/// Prevent the optimizer from deleting a value (`criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into a named group runner
+/// (`criterion::criterion_group!` subset).
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the named groups (`criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        g.sample_size(3);
+        let mut acc = 0u64;
+        g.bench_function("sum", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(black_box(17));
+                acc
+            })
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_runner_executes() {
+        benches();
+    }
+}

@@ -1,0 +1,23 @@
+//! API-compatible subset of `serde`.
+//!
+//! Vendored because the build environment has no crates.io access (see
+//! `crates/compat-*`). The workspace only writes
+//! `use serde::{Deserialize, Serialize}` and `#[derive(...)]` — nothing
+//! serializes a value — so this crate provides the two trait names and
+//! re-exports the no-op derive macros under the same identifiers,
+//! exactly like real serde's `derive` feature does.
+
+/// Marker for types that can be serialized (shim: never implemented,
+/// never required).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (shim: never implemented,
+/// never required).
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization alias, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,6 +1,7 @@
 //! Operational metrics for a running DIDO node.
 
 use dido_model::PipelineConfig;
+use dido_pipeline::ExecStats;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -21,6 +22,20 @@ pub struct Metrics {
     pub model_runs: u64,
     /// Pipeline configuration changes.
     pub adaptions: u64,
+    /// Batches the simulated executor applied work stealing to.
+    pub sim_steals: u64,
+    /// Wavefront items the simulated executor moved between processors.
+    pub sim_stolen_items: u64,
+    /// Sub-batches claimed by their own stage thread (threaded
+    /// executor; see [`ExecStats::owner_claims`]).
+    pub owner_claims: u64,
+    /// Sub-batches claimed by a steal helper (threaded executor).
+    pub stolen_claims: u64,
+    /// Steal attempts refused by the epoch guard (threaded executor;
+    /// each one is a defused stale-group race).
+    pub stale_rejects: u64,
+    /// Batch groups handed to the steal helper (threaded executor).
+    pub steal_groups: u64,
     /// Batches executed per configuration (display string → count).
     pub config_histogram: BTreeMap<String, u64>,
 }
@@ -41,6 +56,25 @@ impl Metrics {
         self.hits += hits;
         self.busy_ns += t_max_ns;
         *self.config_histogram.entry(config.to_string()).or_insert(0) += 1;
+    }
+
+    /// Fold a threaded executor's claim/steal counters into the node
+    /// metrics, making stealing observable alongside the batch
+    /// counters. `stats` is added as-is — pass a fresh pipeline's
+    /// snapshot (or a delta between two snapshots), not a cumulative
+    /// snapshot twice.
+    pub fn record_exec_stats(&mut self, stats: &ExecStats) {
+        self.owner_claims += stats.owner_claims;
+        self.stolen_claims += stats.stolen_claims;
+        self.stale_rejects += stats.stale_rejects;
+        self.steal_groups += stats.steal_groups;
+    }
+
+    /// Record a simulated-executor steal outcome (`items` wavefront
+    /// items moved between processors in one batch).
+    pub(crate) fn record_sim_steal(&mut self, items: u64) {
+        self.sim_steals += 1;
+        self.sim_stolen_items += items;
     }
 
     /// GET hit rate in `[0, 1]` (1.0 when no GETs were issued).
@@ -90,6 +124,20 @@ impl fmt::Display for Metrics {
             self.adaptions,
             self.busy_ns / 1e6
         )?;
+        if self.sim_steals > 0 {
+            writeln!(
+                f,
+                "{} sim steals moved {} wavefront items",
+                self.sim_steals, self.sim_stolen_items
+            )?;
+        }
+        if self.owner_claims + self.stolen_claims + self.stale_rejects + self.steal_groups > 0 {
+            writeln!(
+                f,
+                "claims: {} owner / {} stolen, {} stale rejects over {} steal groups",
+                self.owner_claims, self.stolen_claims, self.stale_rejects, self.steal_groups
+            )?;
+        }
         for (cfg, count) in &self.config_histogram {
             writeln!(f, "  {count:>6} x {cfg}")?;
         }
@@ -126,6 +174,32 @@ mod tests {
         assert!(m.dominant_config().is_none());
         let s = m.to_string();
         assert!(s.contains("0 batches"));
+    }
+
+    #[test]
+    fn exec_stats_fold_into_metrics() {
+        let mut m = Metrics::default();
+        m.record_exec_stats(&ExecStats {
+            owner_claims: 10,
+            stolen_claims: 4,
+            stale_rejects: 2,
+            steal_groups: 3,
+        });
+        m.record_exec_stats(&ExecStats {
+            owner_claims: 1,
+            ..ExecStats::default()
+        });
+        m.record_sim_steal(128);
+        assert_eq!(m.owner_claims, 11);
+        assert_eq!(m.stolen_claims, 4);
+        assert_eq!(m.stale_rejects, 2);
+        assert_eq!(m.steal_groups, 3);
+        assert_eq!(m.sim_steals, 1);
+        assert_eq!(m.sim_stolen_items, 128);
+        let s = m.to_string();
+        assert!(s.contains("4 stolen"), "{s}");
+        assert!(s.contains("2 stale rejects"), "{s}");
+        assert!(s.contains("128 wavefront items"), "{s}");
     }
 
     #[test]

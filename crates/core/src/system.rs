@@ -235,6 +235,9 @@ impl DidoSystem {
             report.hits as u64,
             report.t_max_ns,
         );
+        if let Some(steal) = &report.steal {
+            self.metrics.record_sim_steal(steal.items as u64);
+        }
 
         let stats = self.profiler.finish_batch(report.stats);
         let mut readapted = false;

@@ -7,7 +7,7 @@ use dido_kvstore::ObjectStore;
 use dido_model::{Processor, Query, QueryOp, Response};
 use dido_net::Nic;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Sizing knobs for a [`KvEngine`].
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +60,36 @@ impl IntegrityReport {
     }
 }
 
+/// Snapshot of the per-task operation totals applied through the
+/// pipeline tasks (`MM` allocations and the three `IN` operation
+/// kinds). Every count is driven by the *workload* — e.g. one index
+/// search per GET, one allocation and one upsert per SET — so race
+/// regression tests can compute the exact expected totals and detect a
+/// duplicated task execution (a stolen sub-batch re-run) as an
+/// inflated counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// `MM` allocation attempts (one per SET processed).
+    pub mm_allocs: u64,
+    /// `IN`-Search lookups (one per GET processed).
+    pub index_searches: u64,
+    /// `IN`-Insert upserts (one per SET whose allocation succeeded).
+    pub index_inserts: u64,
+    /// `IN`-Delete removals applied (eviction cleanups + explicit
+    /// DELETEs that matched).
+    pub index_deletes: u64,
+}
+
+/// Interior counters behind [`OpCounts`] (relaxed atomics; incremented
+/// by the task functions in `tasks.rs`).
+#[derive(Debug, Default)]
+pub(crate) struct OpCounters {
+    pub(crate) mm_allocs: AtomicU64,
+    pub(crate) index_searches: AtomicU64,
+    pub(crate) index_inserts: AtomicU64,
+    pub(crate) index_deletes: AtomicU64,
+}
+
 /// The functional key-value node shared by every pipeline configuration:
 /// cuckoo index, slab object store, NIC rings, hot-set cache filters,
 /// and the sampling epoch for skew estimation.
@@ -73,6 +103,7 @@ pub struct KvEngine {
     cpu_cache: Mutex<LruFilter>,
     gpu_cache: Mutex<LruFilter>,
     epoch: AtomicU32,
+    pub(crate) ops: OpCounters,
 }
 
 impl KvEngine {
@@ -89,6 +120,20 @@ impl KvEngine {
             cpu_cache: Mutex::new(LruFilter::new(cfg.cpu_cache_bytes)),
             gpu_cache: Mutex::new(LruFilter::new(cfg.gpu_cache_bytes)),
             epoch: AtomicU32::new(1),
+            ops: OpCounters::default(),
+        }
+    }
+
+    /// Totals of `MM`/`IN` operations applied through the pipeline tasks
+    /// (not the [`KvEngine::execute`] convenience path). See
+    /// [`OpCounts`] for what race tests derive from these.
+    #[must_use]
+    pub fn op_counts(&self) -> OpCounts {
+        OpCounts {
+            mm_allocs: self.ops.mm_allocs.load(Ordering::Relaxed),
+            index_searches: self.ops.index_searches.load(Ordering::Relaxed),
+            index_inserts: self.ops.index_inserts.load(Ordering::Relaxed),
+            index_deletes: self.ops.index_deletes.load(Ordering::Relaxed),
         }
     }
 

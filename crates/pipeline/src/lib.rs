@@ -39,16 +39,18 @@ mod engine;
 mod setup;
 mod sharded;
 mod sim;
+pub mod sync;
 pub mod tasks;
 mod threaded;
 
 pub use batch::{Batch, QueryState, StealTags, TAG_FREE};
 pub use cache::LruFilter;
-pub use engine::{EngineConfig, IntegrityReport, KvEngine};
+pub use engine::{EngineConfig, IntegrityReport, KvEngine, OpCounts};
 pub use setup::{preloaded_engine, TestbedOptions};
 pub use sharded::ShardedEngine;
 pub use sim::{
     BatchReport, KernelReport, RunOptions, SimExecutor, StageReport, StealReport, WorkloadReport,
 };
+pub use sync::{Backoff, Claim, ClaimCtrl};
 pub use tasks::StageCtx;
-pub use threaded::ThreadedPipeline;
+pub use threaded::{ExecStats, ThreadedPipeline};

@@ -12,6 +12,8 @@ use crate::engine::{EngineConfig, KvEngine};
 use crate::threaded::ThreadedPipeline;
 use dido_hashtable::hash64;
 use dido_model::{PipelineConfig, Query, Response};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A set of independent [`KvEngine`] shards with hash routing.
 pub struct ShardedEngine {
@@ -40,9 +42,13 @@ impl ShardedEngine {
     /// The shard a key routes to.
     #[must_use]
     pub fn shard_of(&self, key: &[u8]) -> usize {
-        // High bits: the low bits drive bucket choice inside the shard,
-        // so reusing them would correlate shard and bucket.
-        (hash64(key) >> 48) as usize % self.shards.len()
+        // Multiply-shift over the high 32 hash bits (Lemire's unbiased
+        // range reduction): `(h * n) >> 32` maps [0, 2^32) evenly onto
+        // [0, n) without the modulo bias of `h % n`. High bits only —
+        // the low bits drive bucket choice inside the shard, so reusing
+        // them would correlate shard and bucket.
+        let h = hash64(key) >> 32;
+        ((h * self.shards.len() as u64) >> 32) as usize
     }
 
     /// Access one shard's engine.
@@ -59,6 +65,13 @@ impl ShardedEngine {
     /// Process one batch across all shards on real threads: the batch is
     /// split by routing, each shard runs its own pipeline under
     /// `config`, and responses return in the original query order.
+    ///
+    /// A bounded worker pool (`min(shards, host cores)`) claims shards
+    /// from an atomic cursor and runs each through
+    /// [`ThreadedPipeline::run_inline`] — the same epoch-guarded claim
+    /// machinery as the staged executor, without the former
+    /// shards × (stages + 2) thread explosion of spawning one full
+    /// staged pipeline per shard.
     #[must_use]
     pub fn process_batch(&self, queries: Vec<Query>, config: PipelineConfig) -> Vec<Response> {
         let n = queries.len();
@@ -69,32 +82,39 @@ impl ShardedEngine {
             let s = self.shard_of(&q.key);
             per_shard[s].push((pos, q));
         }
-        let mut out: Vec<Option<Response>> = vec![None; n];
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .clamp(1, self.shards.len());
+        let next_shard = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, Vec<Response>)>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter()
-                .zip(&per_shard)
-                .map(|(engine, work)| {
-                    scope.spawn(move || {
-                        if work.is_empty() {
-                            return Vec::new();
-                        }
-                        let pipeline = ThreadedPipeline::new(engine, config);
-                        let queries: Vec<Query> =
-                            work.iter().map(|(_, q)| q.clone()).collect();
-                        let mut results = pipeline.run(vec![queries]);
-                        results.pop().unwrap_or_default()
-                    })
-                })
-                .collect();
-            for (handle, work) in handles.into_iter().zip(&per_shard) {
-                let responses = handle.join().expect("shard thread");
-                for ((pos, _), r) in work.iter().zip(responses) {
-                    out[*pos] = Some(r);
-                }
+            for _ in 0..workers {
+                let next_shard = &next_shard;
+                let done = &done;
+                let per_shard = &per_shard;
+                scope.spawn(move || loop {
+                    let s = next_shard.fetch_add(1, Ordering::Relaxed);
+                    if s >= self.shards.len() {
+                        break;
+                    }
+                    let work = &per_shard[s];
+                    if work.is_empty() {
+                        continue;
+                    }
+                    let pipeline = ThreadedPipeline::new(&self.shards[s], config);
+                    let queries: Vec<Query> = work.iter().map(|(_, q)| q.clone()).collect();
+                    let mut results = pipeline.run_inline(vec![queries]);
+                    done.lock().push((s, results.pop().unwrap_or_default()));
+                });
             }
         });
+        let mut out: Vec<Option<Response>> = vec![None; n];
+        for (s, responses) in done.into_inner() {
+            for ((pos, _), r) in per_shard[s].iter().zip(responses) {
+                out[*pos] = Some(r);
+            }
+        }
         out.into_iter()
             .map(|r| r.expect("every query answered by its shard"))
             .collect()
@@ -141,6 +161,27 @@ mod tests {
                 (1_500..=3_500).contains(&c),
                 "shard {i} got {c} of 10000 — poor spread"
             );
+        }
+    }
+
+    #[test]
+    fn routing_spread_holds_for_non_power_of_two_counts() {
+        // The multiply-shift reduction must stay even when the shard
+        // count does not divide the hash range (the old `% n` over 16
+        // high bits was biased here).
+        for n in [3usize, 5, 6, 7] {
+            let s = sharded(n);
+            let mut counts = vec![0usize; n];
+            for i in 0..12_000 {
+                counts[s.shard_of(format!("spread-{i}").as_bytes())] += 1;
+            }
+            let expect = 12_000 / n;
+            for (i, &c) in counts.iter().enumerate() {
+                assert!(
+                    c > expect / 2 && c < expect * 2,
+                    "{n} shards: shard {i} got {c}, expected ~{expect}"
+                );
+            }
         }
     }
 

@@ -1,0 +1,224 @@
+//! Synchronization primitives for the work-stealing executor.
+//!
+//! Two building blocks keep [`crate::ThreadedPipeline`] sound:
+//!
+//! * [`ClaimCtrl`] — the epoch-guarded claim word. A batch group's
+//!   sub-batches are claimed through one `AtomicU64` packing a 32-bit
+//!   **stage epoch** (high half) and a 32-bit **claim cursor** (low
+//!   half). Claimers CAS the cursor forward *only while the epoch still
+//!   matches the one they were handed*; when a stage hands the group to
+//!   its successor, the successor bumps the epoch, which atomically
+//!   invalidates every outstanding claim ticket. This is what makes
+//!   lagging steal helpers safe: a helper that dequeues a group the
+//!   owning stage already finished sees a stale epoch and touches
+//!   nothing (the pre-epoch executor re-ran GPU-stage tasks on
+//!   sub-batches the next stage was concurrently mutating).
+//! * [`Backoff`] — bounded spin → yield → park progression for the few
+//!   places that genuinely must wait on another thread's cleanup (e.g.
+//!   the collector waiting for a helper to drop its last `Arc` clone).
+//!   Replaces unbounded `yield_now` loops, which burn a full scheduler
+//!   quantum per probe on loaded or single-core hosts.
+//!
+//! See `DESIGN.md` § "Executor safety protocol" for the full protocol
+//! and its mapping to the paper's §III-B-3 wavefront stealing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const EPOCH_SHIFT: u32 = 32;
+const CURSOR_MASK: u64 = (1 << EPOCH_SHIFT) - 1;
+
+/// Outcome of one [`ClaimCtrl::try_claim`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Claim {
+    /// The caller now exclusively owns this sub-batch index for the
+    /// epoch it presented.
+    Sub(usize),
+    /// The epoch matches but every sub-batch is already claimed.
+    Exhausted,
+    /// The group has moved on to a later stage; the caller's ticket is
+    /// dead and it must not touch the group.
+    Stale,
+}
+
+/// The packed epoch + cursor claim word (see module docs).
+#[derive(Debug)]
+pub struct ClaimCtrl {
+    /// `epoch << 32 | cursor`, updated only by CAS (claims) or by the
+    /// single stage owner's epoch advance.
+    ctrl: AtomicU64,
+}
+
+impl Default for ClaimCtrl {
+    fn default() -> ClaimCtrl {
+        ClaimCtrl::new()
+    }
+}
+
+impl ClaimCtrl {
+    /// Fresh control word: epoch 0, cursor 0.
+    #[must_use]
+    pub fn new() -> ClaimCtrl {
+        ClaimCtrl {
+            ctrl: AtomicU64::new(0),
+        }
+    }
+
+    /// The current stage epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u32 {
+        (self.ctrl.load(Ordering::Acquire) >> EPOCH_SHIFT) as u32
+    }
+
+    /// Open a new stage: bump the epoch and zero the cursor, returning
+    /// the new epoch claimers must present.
+    ///
+    /// Only the thread that owns the group for the new stage may call
+    /// this, and only after the previous stage's completion barrier —
+    /// that ordering is what lets a plain store (rather than a CAS
+    /// loop) suffice: any concurrent claimer's CAS either lands before
+    /// the store (a valid previous-epoch claim whose processing the
+    /// barrier already waited for… impossible, the barrier has passed —
+    /// so the cursor was exhausted and the CAS failed) or after it
+    /// (observes the new epoch, fails the guard, reports [`Claim::Stale`]).
+    pub fn advance_epoch(&self) -> u32 {
+        let next = self.epoch().wrapping_add(1);
+        self.ctrl
+            .store(u64::from(next) << EPOCH_SHIFT, Ordering::Release);
+        next
+    }
+
+    /// Try to claim the next unclaimed index below `len`, presenting
+    /// `expected_epoch`.
+    pub fn try_claim(&self, expected_epoch: u32, len: usize) -> Claim {
+        debug_assert!(len < CURSOR_MASK as usize, "cursor field too narrow");
+        let mut cur = self.ctrl.load(Ordering::Acquire);
+        loop {
+            let epoch = (cur >> EPOCH_SHIFT) as u32;
+            if epoch != expected_epoch {
+                return Claim::Stale;
+            }
+            let cursor = (cur & CURSOR_MASK) as usize;
+            if cursor >= len {
+                return Claim::Exhausted;
+            }
+            match self.ctrl.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Claim::Sub(cursor),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Bounded spin → yield → park waiter (see module docs).
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Fresh backoff at the spinning stage.
+    #[must_use]
+    pub fn new() -> Backoff {
+        Backoff { step: 0 }
+    }
+
+    /// Wait a little, escalating: a few exponential spin rounds, then a
+    /// few scheduler yields, then short parked sleeps.
+    pub fn snooze(&mut self) {
+        if self.step < Self::SPIN_LIMIT {
+            for _ in 0..(1 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else if self.step < Self::YIELD_LIMIT {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        self.step = self.step.saturating_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn claims_are_exclusive_and_in_order() {
+        let c = ClaimCtrl::new();
+        let e = c.epoch();
+        assert_eq!(c.try_claim(e, 3), Claim::Sub(0));
+        assert_eq!(c.try_claim(e, 3), Claim::Sub(1));
+        assert_eq!(c.try_claim(e, 3), Claim::Sub(2));
+        assert_eq!(c.try_claim(e, 3), Claim::Exhausted);
+    }
+
+    #[test]
+    fn stale_epoch_claims_nothing() {
+        let c = ClaimCtrl::new();
+        let old = c.epoch();
+        assert_eq!(c.try_claim(old, 4), Claim::Sub(0));
+        let new = c.advance_epoch();
+        assert_eq!(c.try_claim(old, 4), Claim::Stale);
+        assert_eq!(c.try_claim(new, 4), Claim::Sub(0));
+    }
+
+    #[test]
+    fn empty_group_is_immediately_exhausted() {
+        let c = ClaimCtrl::new();
+        assert_eq!(c.try_claim(c.epoch(), 0), Claim::Exhausted);
+    }
+
+    #[test]
+    fn epoch_wraps_without_panicking() {
+        let c = ClaimCtrl::new();
+        for _ in 0..3 {
+            c.advance_epoch();
+        }
+        let e = c.epoch();
+        assert_eq!(c.try_claim(e, 1), Claim::Sub(0));
+        assert_eq!(c.try_claim(e.wrapping_add(1), 1), Claim::Stale);
+    }
+
+    #[test]
+    fn concurrent_claimers_partition_the_range() {
+        let c = Arc::new(ClaimCtrl::new());
+        let e = c.epoch();
+        const N: usize = 10_000;
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                while let Claim::Sub(i) = c.try_claim(e, N) {
+                    mine.push(i);
+                }
+                mine
+            }));
+        }
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        // Exactly 0..N, each index claimed exactly once.
+        assert_eq!(all, (0..N).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn backoff_escalates_without_hanging() {
+        let mut b = Backoff::new();
+        for _ in 0..16 {
+            b.snooze();
+        }
+    }
+}

@@ -17,6 +17,7 @@ use dido_model::{
 };
 use dido_net::{encode_responses, parse_frame, FrameBuilder};
 use std::ops::Range;
+use std::sync::atomic::Ordering as AtomicOrdering;
 
 /// Where a task invocation runs and which tasks share its stage.
 #[derive(Debug, Clone, Copy)]
@@ -85,6 +86,7 @@ pub fn run_mm(ctx: StageCtx, engine: &KvEngine, batch: &mut Batch, range: Range<
         }
         let q = &batch.queries[i];
         usage += ResourceUsage::new(costs::MM_INSNS_PER_ALLOC, costs::MM_MEM_PER_ALLOC, 0);
+        engine.ops.mm_allocs.fetch_add(1, AtomicOrdering::Relaxed);
         match engine.store.allocate(&q.key, &q.value) {
             Ok(out) => {
                 if out.evicted.is_some() {
@@ -124,6 +126,7 @@ pub fn run_index_search(
             continue;
         }
         let kh = key_hash(&batch.queries[i].key);
+        engine.ops.index_searches.fetch_add(1, AtomicOrdering::Relaxed);
         let (cands, u) = engine.index.search(kh);
         usage += u;
         batch.state[i].candidates = cands;
@@ -148,6 +151,7 @@ pub fn run_index_insert(
             continue; // MM failed; response already set
         };
         let kh = key_hash(&batch.queries[i].key);
+        engine.ops.index_inserts.fetch_add(1, AtomicOrdering::Relaxed);
         let (res, u) = engine.index.upsert(kh, new_loc);
         usage += u;
         match res {
@@ -184,6 +188,7 @@ pub fn run_index_delete(
         // evicted object).
         if let Some(ev) = batch.state[i].evicted.take() {
             let kh = key_hash(&ev.key);
+            engine.ops.index_deletes.fetch_add(1, AtomicOrdering::Relaxed);
             let (_, u) = engine.index.delete(kh, ev.loc);
             usage += u;
         }
@@ -204,6 +209,7 @@ pub fn run_index_delete(
                 key_lines.saturating_sub(1),
             );
             if engine.store.key_matches(loc, key) {
+                engine.ops.index_deletes.fetch_add(1, AtomicOrdering::Relaxed);
                 let (removed, du) = engine.index.delete(kh, loc);
                 usage += du;
                 if removed {

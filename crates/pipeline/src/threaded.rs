@@ -9,42 +9,64 @@
 //! paper's CPU threads grabbing 64-query tag sets (§III-B-3).
 //!
 //! Batches are split into wavefront-sized sub-batches up front; within a
-//! stage, workers claim sub-batches with an atomic cursor, so intra-batch
-//! parallelism needs no per-query locking.
+//! stage, workers claim sub-batches through the epoch-guarded
+//! [`ClaimCtrl`] word, so intra-batch parallelism needs no per-query
+//! locking and a lagging steal helper can never touch a group its stage
+//! has already finished (see `DESIGN.md` § "Executor safety protocol").
 
 use crate::batch::Batch;
 use crate::engine::KvEngine;
+use crate::sync::{Backoff, Claim, ClaimCtrl};
 use crate::tasks::{self, StageCtx};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use dido_model::{
     PipelineConfig, PipelinePlan, Query, Response, StagePlan, TaskKind, WAVEFRONT_WIDTH,
 };
+use parking_lot::{Condvar, Mutex};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A sub-batch slot claimable by exactly one worker per stage.
 ///
 /// # Safety protocol
-/// Mutable access is granted only to the worker that won the stage's
-/// claim cursor for this index, and only between the claim
-/// (`cursor.fetch_add`) and the completion signal (`done.fetch_add`).
-/// The stage barrier (`done == subs.len()`) orders one stage's accesses
-/// before the next stage's.
+/// Mutable access is granted only through [`ClaimCtrl::try_claim`]: the
+/// claim word packs the group's **stage epoch** next to the claim
+/// cursor, and a claimer presents the epoch it was handed along with the
+/// group. Exactly one claimer can win index `i` per epoch, and a claimer
+/// holding a ticket for an earlier epoch (e.g. a steal helper that
+/// dequeued the group after its stage completed) is refused atomically
+/// ([`Claim::Stale`]) before it can form a reference. The claim's
+/// Acquire/Release CAS orders the winner's access after the epoch
+/// advance, and the stage barrier (`StageBarrier`, a mutex-guarded
+/// completion count) orders every access of stage *k* before the owner
+/// forwards the group — and therefore before stage *k*+1's epoch
+/// advance. At no point can two live `&mut` references to the same
+/// sub-batch exist.
 struct SubCell(UnsafeCell<Batch>);
 
-// SAFETY: see the claim protocol above — at most one thread holds a
-// mutable reference at a time, and stage barriers provide the necessary
-// happens-before edges (via the Acquire/Release atomics on
-// `cursor`/`done`).
+// SAFETY: see the claim protocol above — at most one thread can win a
+// given (epoch, index) ticket, stale ticket-holders are turned away
+// before touching the cell, and the claim CAS plus the barrier mutex
+// provide the necessary happens-before edges between stages.
 unsafe impl Sync for SubCell {}
+
+/// Completion barrier for one stage of one group: the stage owner waits
+/// until every claimed sub-batch has been processed (by itself or by a
+/// steal helper) before forwarding the group. Condvar-based so the
+/// owner parks instead of burning a core — essential on machines with
+/// fewer cores than pipeline threads.
+struct StageBarrier {
+    done: Mutex<usize>,
+    all_done: Condvar,
+}
 
 struct BatchGroup {
     subs: Vec<SubCell>,
-    /// Claim cursor for intra-stage parallelism.
-    cursor: AtomicUsize,
-    /// Completed sub-batches in the current stage.
-    done: AtomicUsize,
+    /// Epoch-guarded claim word (stage epoch + claim cursor).
+    ctrl: ClaimCtrl,
+    barrier: StageBarrier,
 }
 
 impl BatchGroup {
@@ -55,19 +77,88 @@ impl BatchGroup {
             .collect();
         BatchGroup {
             subs,
-            cursor: AtomicUsize::new(0),
-            done: AtomicUsize::new(0),
+            ctrl: ClaimCtrl::new(),
+            barrier: StageBarrier {
+                done: Mutex::new(0),
+                all_done: Condvar::new(),
+            },
         }
     }
 
-    fn reset_for_stage(&self) {
-        self.cursor.store(0, Ordering::Release);
-        self.done.store(0, Ordering::Release);
+    /// Open this group for a new stage. Only the thread that owns the
+    /// group for the stage may call this, and only after receiving it
+    /// from the previous stage (whose barrier has therefore passed).
+    /// Resets the completion count *before* advancing the epoch, so a
+    /// straggler from the previous stage can never see the zeroed count:
+    /// its claim attempts die on the stale epoch first.
+    fn begin_stage(&self) -> u32 {
+        *self.barrier.done.lock() = 0;
+        self.ctrl.advance_epoch()
+    }
+
+    /// Record one processed sub-batch; wakes the stage owner when the
+    /// whole group is done.
+    fn complete_one(&self) {
+        let mut done = self.barrier.done.lock();
+        *done += 1;
+        if *done == self.subs.len() {
+            self.barrier.all_done.notify_all();
+        }
+    }
+
+    /// Park until every sub-batch of the current stage has completed.
+    fn wait_stage_complete(&self) {
+        let mut done = self.barrier.done.lock();
+        while *done < self.subs.len() {
+            self.barrier.all_done.wait(&mut done);
+        }
     }
 
     fn into_batches(self) -> Vec<Batch> {
         self.subs.into_iter().map(|c| c.0.into_inner()).collect()
     }
+}
+
+/// Claim/steal counters of one [`ThreadedPipeline`], accumulated across
+/// every `run`/`run_inline` call. Snapshot via
+/// [`ThreadedPipeline::exec_stats`]; feed into `dido::metrics::Metrics`
+/// with its `record_exec_stats` to make stealing observable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Sub-batches processed by their stage's own thread.
+    pub owner_claims: u64,
+    /// Sub-batches processed by the steal helper.
+    pub stolen_claims: u64,
+    /// Steal attempts refused because the group had already moved to a
+    /// later stage (each one is a race the epoch guard defused).
+    pub stale_rejects: u64,
+    /// Groups handed to the steal helper.
+    pub steal_groups: u64,
+}
+
+#[derive(Debug, Default)]
+struct ExecCounters {
+    owner_claims: AtomicU64,
+    stolen_claims: AtomicU64,
+    stale_rejects: AtomicU64,
+    steal_groups: AtomicU64,
+}
+
+impl ExecCounters {
+    fn snapshot(&self) -> ExecStats {
+        ExecStats {
+            owner_claims: self.owner_claims.load(Ordering::Relaxed),
+            stolen_claims: self.stolen_claims.load(Ordering::Relaxed),
+            stale_rejects: self.stale_rejects.load(Ordering::Relaxed),
+            steal_groups: self.steal_groups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Role {
+    Owner,
+    Thief,
 }
 
 fn run_stage_on_sub(engine: &KvEngine, stage: &StagePlan, batch: &mut Batch, cache_line: u64) {
@@ -106,20 +197,49 @@ fn run_stage_on_sub(engine: &KvEngine, stage: &StagePlan, batch: &mut Batch, cac
 }
 
 /// Claim-and-process loop shared by a stage's own thread and any
-/// stealing helper.
-fn drain_group(engine: &KvEngine, stage: &StagePlan, group: &BatchGroup, cache_line: u64) {
+/// stealing helper. `epoch` is the ticket handed out by
+/// [`BatchGroup::begin_stage`]; the loop stops at the first exhausted or
+/// stale claim.
+#[allow(clippy::too_many_arguments)]
+fn drain_group(
+    engine: &KvEngine,
+    stage: &StagePlan,
+    group: &BatchGroup,
+    epoch: u32,
+    cache_line: u64,
+    counters: &ExecCounters,
+    role: Role,
+    per_sub_lag: Option<Duration>,
+) {
     loop {
-        let i = group.cursor.fetch_add(1, Ordering::AcqRel);
-        if i >= group.subs.len() {
-            break;
+        match group.ctrl.try_claim(epoch, group.subs.len()) {
+            Claim::Sub(i) => {
+                if let Some(lag) = per_sub_lag {
+                    std::thread::sleep(lag);
+                }
+                // SAFETY: the claim word handed index `i` to this worker
+                // exclusively for `epoch`; any other claimer either gets
+                // a different index or is refused (`Exhausted`/`Stale`).
+                // The next stage cannot advance the epoch until our
+                // `complete_one` below has been counted by the barrier.
+                let sub = unsafe { &mut *group.subs[i].0.get() };
+                run_stage_on_sub(engine, stage, sub, cache_line);
+                match role {
+                    Role::Owner => counters.owner_claims.fetch_add(1, Ordering::Relaxed),
+                    Role::Thief => counters.stolen_claims.fetch_add(1, Ordering::Relaxed),
+                };
+                group.complete_one();
+            }
+            Claim::Exhausted => break,
+            Claim::Stale => {
+                // The group already belongs to a later stage: on the
+                // pre-epoch executor this was the moment a lagging
+                // helper re-ran index ops on sub-batches the next stage
+                // was concurrently mutating.
+                counters.stale_rejects.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
         }
-        // SAFETY: index `i` was handed to this worker exclusively by the
-        // claim cursor; no other thread touches `subs[i]` until `done`
-        // reaches the group size and the next stage begins (which
-        // happens-after our `done.fetch_add` release).
-        let sub = unsafe { &mut *group.subs[i].0.get() };
-        run_stage_on_sub(engine, stage, sub, cache_line);
-        group.done.fetch_add(1, Ordering::AcqRel);
     }
 }
 
@@ -128,6 +248,14 @@ pub struct ThreadedPipeline<'e> {
     engine: &'e KvEngine,
     plan: PipelinePlan,
     cache_line: u64,
+    counters: ExecCounters,
+    /// Test hook: delay the steal helper between dequeuing a group and
+    /// claiming from it (forces it to lag behind the owner).
+    steal_lag: Option<Duration>,
+    /// Test hook: delay the stolen-from stage's owner before processing
+    /// each claimed sub-batch (gives the helper room to win claims, even
+    /// on a single-core host).
+    owner_lag: Option<Duration>,
 }
 
 impl<'e> ThreadedPipeline<'e> {
@@ -138,6 +266,9 @@ impl<'e> ThreadedPipeline<'e> {
             engine,
             plan: config.plan(),
             cache_line: 64,
+            counters: ExecCounters::default(),
+            steal_lag: None,
+            owner_lag: None,
         }
     }
 
@@ -145,6 +276,31 @@ impl<'e> ThreadedPipeline<'e> {
     #[must_use]
     pub fn plan(&self) -> &PipelinePlan {
         &self.plan
+    }
+
+    /// Delay the steal helper by `lag` between dequeuing a group and
+    /// claiming from it. Race-regression test hook: a real helper lags
+    /// whenever it is descheduled; this makes the lag deterministic so
+    /// tests can prove a stale helper touches nothing.
+    #[must_use]
+    pub fn with_steal_lag(mut self, lag: Duration) -> ThreadedPipeline<'e> {
+        self.steal_lag = Some(lag);
+        self
+    }
+
+    /// Delay the stolen-from stage's owner by `lag` per claimed
+    /// sub-batch, so the steal helper reliably wins claims even when the
+    /// host has a single core. Test hook.
+    #[must_use]
+    pub fn with_owner_lag(mut self, lag: Duration) -> ThreadedPipeline<'e> {
+        self.owner_lag = Some(lag);
+        self
+    }
+
+    /// Snapshot of the claim/steal counters accumulated so far.
+    #[must_use]
+    pub fn exec_stats(&self) -> ExecStats {
+        self.counters.snapshot()
     }
 
     /// Process batches through the staged pipeline; returns per-batch
@@ -157,6 +313,7 @@ impl<'e> ThreadedPipeline<'e> {
         let config = self.plan.config;
         let work_stealing = config.work_stealing;
         let n_batches = batches.len();
+        let counters = &self.counters;
 
         let mut results: Vec<Vec<Response>> = Vec::with_capacity(n_batches);
         std::thread::scope(|scope| {
@@ -169,18 +326,33 @@ impl<'e> ThreadedPipeline<'e> {
                 receivers.push(rx);
             }
 
-            // Steal helper: co-processes GPU-stage groups.
+            // Steal helper: co-processes GPU-stage groups. The channel
+            // carries the epoch the group was opened under, so a helper
+            // that dequeues late presents a dead ticket and is refused.
             let gpu_stage_idx = self.plan.gpu_stage();
             let steal_pair = match (work_stealing, gpu_stage_idx) {
-                (true, Some(_)) => Some(bounded::<Arc<BatchGroup>>(4)),
+                (true, Some(_)) => Some(bounded::<(Arc<BatchGroup>, u32)>(4)),
                 _ => None,
             };
             if let (Some((_, steal_rx)), Some(gsi)) = (&steal_pair, gpu_stage_idx) {
                 let steal_rx = steal_rx.clone();
                 let stage = stages[gsi].clone();
+                let steal_lag = self.steal_lag;
                 scope.spawn(move || {
-                    while let Ok(group) = steal_rx.recv() {
-                        drain_group(engine, &stage, &group, cache_line);
+                    while let Ok((group, epoch)) = steal_rx.recv() {
+                        if let Some(lag) = steal_lag {
+                            std::thread::sleep(lag);
+                        }
+                        drain_group(
+                            engine,
+                            &stage,
+                            &group,
+                            epoch,
+                            cache_line,
+                            counters,
+                            Role::Thief,
+                            None,
+                        );
                     }
                 });
             }
@@ -194,18 +366,32 @@ impl<'e> ThreadedPipeline<'e> {
                 } else {
                     None
                 };
+                let owner_lag = if Some(si) == gpu_stage_idx {
+                    self.owner_lag
+                } else {
+                    None
+                };
                 scope.spawn(move || {
                     while let Ok(group) = rx.recv() {
-                        group.reset_for_stage();
+                        let epoch = group.begin_stage();
                         if let Some(steal_tx) = &steal_tx {
-                            let _ = steal_tx.try_send(Arc::clone(&group));
+                            if steal_tx.try_send((Arc::clone(&group), epoch)).is_ok() {
+                                counters.steal_groups.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
-                        drain_group(engine, &stage, &group, cache_line);
-                        // Stage barrier: wait for helpers to finish
-                        // their claimed sub-batches.
-                        while group.done.load(Ordering::Acquire) < group.subs.len() {
-                            std::thread::yield_now();
-                        }
+                        drain_group(
+                            engine,
+                            &stage,
+                            &group,
+                            epoch,
+                            cache_line,
+                            counters,
+                            Role::Owner,
+                            owner_lag,
+                        );
+                        // Stage barrier: park until helpers finish their
+                        // claimed sub-batches.
+                        group.wait_stage_complete();
                         if tx.send(group).is_err() {
                             break;
                         }
@@ -233,14 +419,16 @@ impl<'e> ThreadedPipeline<'e> {
             for _ in 0..n_batches {
                 let Ok(group) = final_rx.recv() else { break };
                 // The steal helper may still hold its Arc for an instant
-                // after signalling completion.
+                // after being refused/exhausted; back off instead of
+                // burning a scheduler quantum per probe.
                 let mut group = group;
+                let mut backoff = Backoff::new();
                 let group = loop {
                     match Arc::try_unwrap(group) {
                         Ok(g) => break g,
                         Err(g) => {
                             group = g;
-                            std::thread::yield_now();
+                            backoff.snooze();
                         }
                     }
                 };
@@ -253,6 +441,41 @@ impl<'e> ThreadedPipeline<'e> {
             }
         });
         results
+    }
+
+    /// Process batches sequentially on the calling thread, through the
+    /// same stage plan and claim machinery as [`ThreadedPipeline::run`]
+    /// but without spawning any threads. Used by
+    /// [`crate::ShardedEngine`]'s worker pool, where parallelism lives
+    /// across shards rather than across stages.
+    #[must_use]
+    pub fn run_inline(&self, batches: Vec<Vec<Query>>) -> Vec<Vec<Response>> {
+        batches
+            .into_iter()
+            .map(|queries| {
+                let group = BatchGroup::new(queries, self.plan.config);
+                for stage in &self.plan.stages {
+                    let epoch = group.begin_stage();
+                    drain_group(
+                        self.engine,
+                        stage,
+                        &group,
+                        epoch,
+                        self.cache_line,
+                        &self.counters,
+                        Role::Owner,
+                        None,
+                    );
+                    group.wait_stage_complete();
+                }
+                let mut responses = Vec::new();
+                for mut sub in group.into_batches() {
+                    responses.append(&mut sub.take_responses());
+                }
+                tasks::run_sd_responses(self.engine, &responses);
+                responses
+            })
+            .collect()
     }
 }
 
@@ -365,5 +588,111 @@ mod tests {
         let out = tp.run(vec![Vec::new()]);
         assert_eq!(out.len(), 1);
         assert!(out[0].is_empty());
+    }
+
+    #[test]
+    fn run_inline_matches_run() {
+        let mk = || {
+            let e = engine();
+            for q in queries(300, "il") {
+                e.execute(&q);
+            }
+            e
+        };
+        let statuses = |out: Vec<Vec<Response>>| {
+            out.into_iter()
+                .map(|rs| rs.into_iter().map(|r| r.status).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        };
+        let e1 = mk();
+        let threaded = ThreadedPipeline::new(&e1, PipelineConfig::mega_kv());
+        let a = statuses(threaded.run(vec![queries(512, "il")]));
+        let e2 = mk();
+        let inline = ThreadedPipeline::new(&e2, PipelineConfig::mega_kv());
+        let b = statuses(inline.run_inline(vec![queries(512, "il")]));
+        assert_eq!(a, b);
+        // Inline processing claims every sub-batch as the owner.
+        let stats = inline.exec_stats();
+        assert!(stats.owner_claims > 0);
+        assert_eq!(stats.stolen_claims, 0);
+        assert_eq!(stats.stale_rejects, 0);
+    }
+
+    #[test]
+    fn exec_stats_account_for_every_sub_batch() {
+        let e = engine();
+        for q in queries(300, "st") {
+            e.execute(&q);
+        }
+        let mut cfg = PipelineConfig::small_kv_read_intensive();
+        cfg.work_stealing = true;
+        let tp = ThreadedPipeline::new(&e, cfg);
+        let batches = vec![queries(1024, "st"), queries(1024, "st")];
+        let subs_per_batch = 1024usize.div_ceil(WAVEFRONT_WIDTH) as u64;
+        let n_stages = tp.plan().stages.len() as u64;
+        let out = tp.run(batches);
+        assert_eq!(out.iter().map(Vec::len).sum::<usize>(), 2 * 1024);
+        let stats = tp.exec_stats();
+        // Every (stage, sub-batch) pair processed exactly once, whether
+        // by the owner or the thief — never twice, never zero times.
+        assert_eq!(
+            stats.owner_claims + stats.stolen_claims,
+            2 * subs_per_batch * n_stages,
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn lagging_owner_lets_the_helper_steal() {
+        // The owner sleeps per claimed sub-batch, so even on a
+        // single-core host the helper gets scheduled and wins claims.
+        let e = engine();
+        for q in queries(300, "lg") {
+            e.execute(&q);
+        }
+        let mut cfg = PipelineConfig::small_kv_read_intensive();
+        cfg.work_stealing = true;
+        let tp =
+            ThreadedPipeline::new(&e, cfg).with_owner_lag(Duration::from_micros(500));
+        let mut stolen = 0;
+        for round in 0..20 {
+            let out = tp.run(vec![queries(1024, "lg")]);
+            assert_eq!(out[0].len(), 1024, "round {round}");
+            stolen = tp.exec_stats().stolen_claims;
+            if stolen > 0 {
+                break;
+            }
+        }
+        assert!(stolen > 0, "helper never won a claim: {:?}", tp.exec_stats());
+    }
+
+    #[test]
+    fn lagging_helper_is_refused_stale_groups() {
+        // The helper dequeues groups long after the owner finished the
+        // stage: every one of its claim attempts must die on the epoch
+        // guard, and results must stay exactly correct.
+        let e = engine();
+        let mut cfg = PipelineConfig::small_kv_read_intensive();
+        cfg.work_stealing = true;
+        let tp = ThreadedPipeline::new(&e, cfg).with_steal_lag(Duration::from_millis(2));
+        let sets: Vec<Query> = (0..256)
+            .map(|i| Query::set(format!("stale-{i}"), format!("v-{i}")))
+            .collect();
+        let gets: Vec<Query> = (0..256)
+            .map(|i| Query::get(format!("stale-{i}")))
+            .collect();
+        let out = tp.run(vec![sets, gets.clone(), gets]);
+        for batch_out in &out[1..] {
+            for (i, r) in batch_out.iter().enumerate() {
+                assert_eq!(r.status, ResponseStatus::Ok, "get {i}");
+                assert_eq!(r.value, format!("v-{i}"), "get {i}");
+            }
+        }
+        let stats = tp.exec_stats();
+        assert!(stats.steal_groups > 0, "{stats:?}");
+        assert!(
+            stats.stale_rejects > 0,
+            "a 2ms-lagging helper must hit the stale guard: {stats:?}"
+        );
     }
 }

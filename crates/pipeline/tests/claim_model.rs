@@ -1,0 +1,463 @@
+//! Exhaustive interleaving model of the executor's claim protocol.
+//!
+//! A miniature model checker (shuttle/loom-style, but dependency-free):
+//! the stage owner and the steal helper are modelled as small state
+//! machines over one batch group with a single sub-batch flowing
+//! through two stages, and a depth-first search enumerates *every*
+//! interleaving of their atomic steps.
+//!
+//! Two protocols are modelled:
+//!
+//! * **Old** (plain claim cursor, reset per stage, no epoch): the
+//!   search must *find* the historical race — a helper that dequeues
+//!   the group after its stage finished re-claims the reset cursor and
+//!   re-applies stage-1 tasks (double-applied index ops), possibly
+//!   while stage 2 is mutating the same sub-batch (torn batch).
+//! * **New** ([`ClaimCtrl`] semantics: epoch + cursor in one atomic
+//!   word): the same search over the same schedules must find *no*
+//!   interleaving with a double-apply or concurrent mutation.
+//!
+//! The new model runs on [`ModelCtrl`], a plain-field replica of the
+//! packed claim word (each `try_claim`/`advance_epoch` is a single
+//! atomic step, so a sequentialised replica is faithful); a separate
+//! test cross-validates the replica against the real [`ClaimCtrl`]
+//! step by step.
+
+use dido_pipeline::{Claim, ClaimCtrl};
+
+/// Sequential replica of [`ClaimCtrl`]: same packed-word semantics,
+/// but plain fields so model states can be cloned for the search.
+#[derive(Clone, Debug, Default)]
+struct ModelCtrl {
+    epoch: u32,
+    cursor: usize,
+}
+
+impl ModelCtrl {
+    /// Mirrors [`ClaimCtrl::advance_epoch`]: one store replacing the
+    /// whole word — bump epoch, zero cursor.
+    fn advance_epoch(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        self.cursor = 0;
+        self.epoch
+    }
+
+    /// Mirrors [`ClaimCtrl::try_claim`]: one CAS attempt (always
+    /// uncontended here, since the model sequentialises steps).
+    fn try_claim(&mut self, expected_epoch: u32, len: usize) -> Claim {
+        if self.epoch != expected_epoch {
+            return Claim::Stale;
+        }
+        if self.cursor >= len {
+            return Claim::Exhausted;
+        }
+        let i = self.cursor;
+        self.cursor += 1;
+        Claim::Sub(i)
+    }
+}
+
+/// Observable effects the safety property is defined over.
+#[derive(Clone, Default)]
+struct Trace {
+    /// Actors currently holding `&mut` to the sub-batch.
+    holders: u32,
+    /// Two actors overlapped on the sub-batch at some point.
+    torn: bool,
+    /// Times the stage-1 task set was applied to the sub-batch.
+    stage1_applied: u32,
+    /// Times the stage-2 task set was applied.
+    stage2_applied: u32,
+}
+
+impl Trace {
+    fn violation(&self) -> Option<&'static str> {
+        if self.torn {
+            return Some("two workers mutated the sub-batch concurrently");
+        }
+        if self.stage1_applied > 1 {
+            return Some("stage-1 tasks (index ops) applied twice");
+        }
+        if self.stage2_applied > 1 {
+            return Some("stage-2 tasks applied twice");
+        }
+        None
+    }
+
+    fn enter(&mut self) {
+        self.holders += 1;
+        if self.holders > 1 {
+            self.torn = true;
+        }
+    }
+
+    fn exit_stage(&mut self, stage: u32) {
+        self.holders -= 1;
+        match stage {
+            1 => self.stage1_applied += 1,
+            _ => self.stage2_applied += 1,
+        }
+    }
+}
+
+/// An actor takes one atomic step; `actions` lists who is enabled.
+trait Model: Clone {
+    fn actions(&self) -> Vec<Actor>;
+    fn apply(&mut self, who: Actor);
+    fn violation(&self) -> Option<&'static str>;
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Actor {
+    Owner,
+    Thief,
+}
+
+/// DFS over every interleaving; returns (violating executions,
+/// executions explored). A violating state is counted once and not
+/// expanded further.
+fn explore<M: Model>(m: &M) -> (usize, usize) {
+    if m.violation().is_some() {
+        return (1, 1);
+    }
+    let actions = m.actions();
+    if actions.is_empty() {
+        return (0, 1);
+    }
+    let mut violations = 0;
+    let mut runs = 0;
+    for who in actions {
+        let mut next = m.clone();
+        next.apply(who);
+        let (v, r) = explore(&next);
+        violations += v;
+        runs += r;
+    }
+    (violations, runs)
+}
+
+// ---------------------------------------------------------------------
+// Old protocol: plain cursor + done count, cursor reset per stage, no
+// epoch guard on the steal path.
+// ---------------------------------------------------------------------
+
+/// Owner program (2 stages over 1 sub-batch):
+///   0 stage-1 entry: cursor = 0, done = 0, send group to helper
+///   1 claim (fetch_add)          → 2 if granted, 4 if exhausted
+///   2 take `&mut` sub            (trace.enter)
+///   3 run stage-1 tasks, done+=1 (trace.exit), back to 1
+///   4 stage-1 barrier            (enabled once done >= 1),
+///     then stage-2 entry: cursor = 0, done = 0
+///   5..=8 same loop for stage 2  → 9 when exhausted
+///   9 stage-2 barrier → 10 finished
+///
+/// Thief program (dequeues the group once, no epoch):
+///   0 claim (fetch_add)          → 1 if granted, 3 if exhausted
+///   1 take `&mut` sub
+///   2 run *stage-1* tasks, done+=1, back to 0
+#[derive(Clone)]
+struct OldModel {
+    cursor: usize,
+    done: usize,
+    owner_pc: u8,
+    thief_pc: u8,
+    thief_armed: bool,
+    trace: Trace,
+}
+
+impl OldModel {
+    fn new() -> OldModel {
+        OldModel {
+            cursor: 0,
+            done: 0,
+            owner_pc: 0,
+            thief_pc: 0,
+            thief_armed: false,
+            trace: Trace::default(),
+        }
+    }
+}
+
+impl Model for OldModel {
+    fn actions(&self) -> Vec<Actor> {
+        let mut a = Vec::new();
+        match self.owner_pc {
+            // A barrier-blocked owner takes no observable step.
+            4 | 9 if self.done < 1 => {}
+            0..=9 => a.push(Actor::Owner),
+            _ => {}
+        }
+        if self.thief_armed && self.thief_pc <= 2 {
+            a.push(Actor::Thief);
+        }
+        a
+    }
+
+    fn apply(&mut self, who: Actor) {
+        match who {
+            Actor::Owner => match self.owner_pc {
+                0 => {
+                    self.cursor = 0;
+                    self.done = 0;
+                    self.thief_armed = true;
+                    self.owner_pc = 1;
+                }
+                1 | 5 => {
+                    let i = self.cursor;
+                    self.cursor += 1;
+                    self.owner_pc = match (self.owner_pc, i < 1) {
+                        (1, true) => 2,
+                        (1, false) => 4,
+                        (_, true) => 6,
+                        (_, false) => 9,
+                    };
+                }
+                2 | 6 => {
+                    self.trace.enter();
+                    self.owner_pc += 1;
+                }
+                3 => {
+                    self.trace.exit_stage(1);
+                    self.done += 1;
+                    self.owner_pc = 1;
+                }
+                4 => {
+                    // Stage-1 barrier passed; stage 2 resets the claim
+                    // state — this is what re-arms the stale helper.
+                    self.cursor = 0;
+                    self.done = 0;
+                    self.owner_pc = 5;
+                }
+                7 => {
+                    self.trace.exit_stage(2);
+                    self.done += 1;
+                    self.owner_pc = 5;
+                }
+                9 => self.owner_pc = 10,
+                _ => unreachable!(),
+            },
+            Actor::Thief => match self.thief_pc {
+                0 => {
+                    // No epoch check — the historical bug.
+                    let i = self.cursor;
+                    self.cursor += 1;
+                    self.thief_pc = if i < 1 { 1 } else { 3 };
+                }
+                1 => {
+                    self.trace.enter();
+                    self.thief_pc = 2;
+                }
+                2 => {
+                    // The helper always runs the stage it was handed:
+                    // stage 1.
+                    self.trace.exit_stage(1);
+                    self.done += 1;
+                    self.thief_pc = 0;
+                }
+                _ => unreachable!(),
+            },
+        }
+    }
+
+    fn violation(&self) -> Option<&'static str> {
+        self.trace.violation()
+    }
+}
+
+// ---------------------------------------------------------------------
+// New protocol: identical programs, but claims go through the epoch
+// word and the thief presents the epoch captured at hand-off time.
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+struct NewModel {
+    ctrl: ModelCtrl,
+    done: usize,
+    owner_pc: u8,
+    thief_pc: u8,
+    owner_epoch: u32,
+    /// Epoch sent to the helper along with the group (captured at
+    /// stage-1 `begin_stage`).
+    thief_epoch: u32,
+    thief_armed: bool,
+    thief_refused: bool,
+    thief_claimed: bool,
+    trace: Trace,
+}
+
+impl NewModel {
+    fn new() -> NewModel {
+        NewModel {
+            ctrl: ModelCtrl::default(),
+            done: 0,
+            owner_pc: 0,
+            thief_pc: 0,
+            owner_epoch: 0,
+            thief_epoch: 0,
+            thief_armed: false,
+            thief_refused: false,
+            thief_claimed: false,
+            trace: Trace::default(),
+        }
+    }
+}
+
+impl Model for NewModel {
+    fn actions(&self) -> Vec<Actor> {
+        let mut a = Vec::new();
+        match self.owner_pc {
+            4 | 9 if self.done < 1 => {}
+            0..=9 => a.push(Actor::Owner),
+            _ => {}
+        }
+        if self.thief_armed && self.thief_pc <= 2 {
+            a.push(Actor::Thief);
+        }
+        a
+    }
+
+    fn apply(&mut self, who: Actor) {
+        match who {
+            Actor::Owner => match self.owner_pc {
+                0 => {
+                    // begin_stage(1): reset barrier, advance epoch,
+                    // then hand (group, epoch) to the helper.
+                    self.done = 0;
+                    self.owner_epoch = self.ctrl.advance_epoch();
+                    self.thief_epoch = self.owner_epoch;
+                    self.thief_armed = true;
+                    self.owner_pc = 1;
+                }
+                1 | 5 => match self.ctrl.try_claim(self.owner_epoch, 1) {
+                    Claim::Sub(_) => self.owner_pc += 1,
+                    Claim::Exhausted => self.owner_pc = if self.owner_pc == 1 { 4 } else { 9 },
+                    Claim::Stale => unreachable!("owner's epoch is always current"),
+                },
+                2 | 6 => {
+                    self.trace.enter();
+                    self.owner_pc += 1;
+                }
+                3 => {
+                    self.trace.exit_stage(1);
+                    self.done += 1;
+                    self.owner_pc = 1;
+                }
+                4 => {
+                    // begin_stage(2): barrier reset *before* the epoch
+                    // advance (same order as the executor).
+                    self.done = 0;
+                    self.owner_epoch = self.ctrl.advance_epoch();
+                    self.owner_pc = 5;
+                }
+                7 => {
+                    self.trace.exit_stage(2);
+                    self.done += 1;
+                    self.owner_pc = 5;
+                }
+                9 => self.owner_pc = 10,
+                _ => unreachable!(),
+            },
+            Actor::Thief => match self.thief_pc {
+                0 => match self.ctrl.try_claim(self.thief_epoch, 1) {
+                    Claim::Sub(_) => {
+                        self.thief_claimed = true;
+                        self.thief_pc = 1;
+                    }
+                    Claim::Exhausted => self.thief_pc = 3,
+                    Claim::Stale => {
+                        self.thief_refused = true;
+                        self.thief_pc = 3;
+                    }
+                },
+                1 => {
+                    self.trace.enter();
+                    self.thief_pc = 2;
+                }
+                2 => {
+                    self.trace.exit_stage(1);
+                    self.done += 1;
+                    self.thief_pc = 0;
+                }
+                _ => unreachable!(),
+            },
+        }
+    }
+
+    fn violation(&self) -> Option<&'static str> {
+        self.trace.violation()
+    }
+}
+
+#[test]
+fn old_protocol_admits_double_applied_stage_tasks() {
+    let (violations, runs) = explore(&OldModel::new());
+    assert!(runs > 10, "search space unexpectedly small: {runs}");
+    assert!(
+        violations > 0,
+        "the pre-epoch protocol must exhibit the stale-steal race \
+         somewhere in its {runs} interleavings"
+    );
+}
+
+#[test]
+fn epoch_guarded_protocol_admits_no_violation() {
+    let (violations, runs) = explore(&NewModel::new());
+    assert!(runs > 10, "search space unexpectedly small: {runs}");
+    assert_eq!(
+        violations, 0,
+        "the epoch protocol must be race-free across all {runs} interleavings"
+    );
+}
+
+#[test]
+fn epoch_guarded_search_covers_both_thief_outcomes() {
+    // The zero-violation result is only meaningful if the search really
+    // reaches both the thief-wins and the thief-refused schedules.
+    fn terminals(m: &NewModel, wins: &mut usize, refusals: &mut usize) {
+        let actions = m.actions();
+        if actions.is_empty() {
+            *wins += usize::from(m.thief_claimed);
+            *refusals += usize::from(m.thief_refused);
+            return;
+        }
+        for who in actions {
+            let mut next = m.clone();
+            next.apply(who);
+            terminals(&next, wins, refusals);
+        }
+    }
+    let (mut wins, mut refusals) = (0, 0);
+    terminals(&NewModel::new(), &mut wins, &mut refusals);
+    assert!(wins > 0, "no schedule let the helper win a claim");
+    assert!(refusals > 0, "no schedule exercised the stale refusal");
+}
+
+#[test]
+fn model_ctrl_replicates_claim_ctrl() {
+    // Pin the model's transition function to the real implementation:
+    // run both through the same operation script and require identical
+    // outcomes at every step.
+    let real = ClaimCtrl::new();
+    let mut model = ModelCtrl::default();
+    assert_eq!(real.epoch(), model.epoch);
+
+    let mut script: Vec<(u32, usize)> = Vec::new();
+    for epoch in 0..3u32 {
+        for len in [0usize, 1, 3] {
+            for _ in 0..4 {
+                script.push((epoch, len));
+            }
+        }
+    }
+    for (step, (epoch, len)) in script.into_iter().enumerate() {
+        assert_eq!(
+            real.try_claim(epoch, len),
+            model.try_claim(epoch, len),
+            "step {step}: claim({epoch}, {len}) diverged"
+        );
+    }
+    assert_eq!(real.advance_epoch(), model.advance_epoch());
+    assert_eq!(real.epoch(), model.epoch);
+    assert_eq!(real.try_claim(model.epoch, 2), model.try_claim(model.epoch, 2));
+    assert_eq!(real.try_claim(0, 2), model.try_claim(0, 2));
+}

@@ -8,6 +8,7 @@
 //! cargo run --release --example threaded_server
 //! ```
 
+use dido_kv::dido::Metrics;
 use dido_kv::model::{PipelineConfig, Query, ResponseStatus};
 use dido_kv::pipeline::{EngineConfig, KvEngine, ThreadedPipeline};
 use std::time::Instant;
@@ -61,5 +62,14 @@ fn main() {
             total as f64 / elapsed.as_secs_f64() / 1e6,
             ok,
         );
+
+        // The executor's claim accounting (epoch-guarded work stealing),
+        // surfaced through the node metrics.
+        let stats = pipeline.exec_stats();
+        let mut metrics = Metrics::default();
+        metrics.record_exec_stats(&stats);
+        for line in metrics.to_string().lines().filter(|l| l.contains("claims")) {
+            println!("  {line}");
+        }
     }
 }
