@@ -1,0 +1,96 @@
+//! Hot-path regression bench: scalar seed pipeline vs the
+//! wavefront-vectorized zero-allocation path, across three workload
+//! mixes × three batch sizes. Writes `BENCH_hotpath.json`.
+//!
+//! ```text
+//! hotpath [--quick] [--seed N] [--store-mb N] [--out PATH] [--check]
+//! ```
+//!
+//! `--quick` runs the CI smoke configuration (tiny store, few
+//! iterations; numbers are noisy and only prove the harness runs).
+//! `--check` exits non-zero if the acceptance cell (GET-heavy @ 8192)
+//! falls below the 1.3× speedup bar.
+
+use dido_bench::hotpath::{run_hotpath, HotpathOptions, ACCEPT_THRESHOLD};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = HotpathOptions::default();
+    let mut out = String::from("BENCH_hotpath.json");
+    let mut check = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let seed = opts.seed;
+                opts = HotpathOptions::quick();
+                opts.seed = seed;
+            }
+            "--seed" => {
+                opts.seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--store-mb" => {
+                let mb: usize = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--store-mb needs a number"));
+                opts.store_bytes = mb << 20;
+            }
+            "--out" => {
+                out = iter.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!("hotpath [--quick] [--seed N] [--store-mb N] [--out PATH] [--check]");
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    println!(
+        "# hotpath: scalar (per-query probe + Vec staging) vs vectorized \
+         (batched probes + staging arena)"
+    );
+    println!(
+        "# store {} MB, {} queries/cell, seed {}{}",
+        opts.store_bytes >> 20,
+        opts.target_queries,
+        opts.seed,
+        if opts.quick { ", quick" } else { "" }
+    );
+    println!(
+        "{:<12} {:>10} {:>14} {:>18} {:>9}",
+        "mix", "batch", "scalar Mops", "vectorized Mops", "speedup"
+    );
+    let report = run_hotpath(&opts, |c| {
+        println!(
+            "{:<12} {:>10} {:>14.3} {:>18.3} {:>8.2}x",
+            c.mix,
+            c.batch_size,
+            c.scalar_mops,
+            c.vectorized_mops,
+            c.speedup()
+        );
+    });
+
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&out, &json) {
+        die(&format!("writing {out}: {e}"));
+    }
+    let acc = report.acceptance_speedup();
+    println!(
+        "# wrote {out}; acceptance get_heavy@8192 = {acc:.2}x (bar {ACCEPT_THRESHOLD}x)"
+    );
+    if check && acc < ACCEPT_THRESHOLD {
+        eprintln!("FAIL: acceptance speedup {acc:.3} below {ACCEPT_THRESHOLD}");
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod experiments;
 mod harness;
+pub mod hotpath;
 mod table;
 
 pub use harness::{ExperimentCtx, Measurement};

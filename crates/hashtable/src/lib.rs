@@ -28,7 +28,11 @@
 #![warn(missing_docs)]
 
 mod hash;
+mod prefetch;
 mod table;
 
 pub use hash::{hash64, key_hash, KeyHash};
-pub use table::{Candidates, IndexTable, InsertError, MAX_LOCATION, SLOTS_PER_BUCKET};
+pub use prefetch::prefetch_read;
+pub use table::{
+    Candidates, IndexTable, InsertError, MAX_LOCATION, PROBE_WAVEFRONT, SLOTS_PER_BUCKET,
+};

@@ -15,8 +15,15 @@
 //!   `(Σ_{i=1..n} i)/n` bucket-probe estimate.
 
 use crate::hash::KeyHash;
+use crate::prefetch::prefetch_read;
 use dido_model::ResourceUsage;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Keys probed per prefetch wavefront by the `*_batch` operations.
+/// Matches the pipeline's work-stealing tag granularity
+/// ([`dido_model::WAVEFRONT_WIDTH`]) so a stolen sub-batch is exactly
+/// one probe wavefront.
+pub const PROBE_WAVEFRONT: usize = dido_model::WAVEFRONT_WIDTH;
 
 /// Slots per bucket (4 × 8 B slots + padding = one 64 B cache line of
 /// useful data).
@@ -81,7 +88,9 @@ pub enum InsertError {
 
 /// Result of an index search: candidate locations whose slot signature
 /// matched. The `KC` task validates candidates against the full key.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// `Copy` (it is a small POD array) so batched probes can scatter
+/// results through stack buffers without heap traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Candidates {
     locs: [u64; 2 * SLOTS_PER_BUCKET],
     len: u8,
@@ -536,6 +545,151 @@ impl IndexTable {
         (removed, usage)
     }
 
+    /// Batched search over a wavefront of keys: a two-pass probe that
+    /// computes every key's primary bucket and prefetches it first, then
+    /// scans the now-warm buckets (collecting the misses and prefetching
+    /// their alternate buckets before the second scan). Observationally
+    /// equivalent to `keys.len()` scalar [`IndexTable::search`] calls:
+    /// same candidates per key, same total [`ResourceUsage`] — only the
+    /// cache-miss serialization is amortized across the wavefront.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `out` differ in length.
+    pub fn search_batch(&self, keys: &[KeyHash], out: &mut [Candidates]) -> ResourceUsage {
+        assert_eq!(keys.len(), out.len(), "search_batch slices must match");
+        let mut buckets_read = 0u64;
+        for (kc, oc) in keys
+            .chunks(PROBE_WAVEFRONT)
+            .zip(out.chunks_mut(PROBE_WAVEFRONT))
+        {
+            buckets_read += self.search_wavefront(kc, oc);
+        }
+        ResourceUsage::new(buckets_read * INSNS_PER_BUCKET_PROBE, buckets_read, 0)
+    }
+
+    /// One wavefront of the batched search; returns buckets read.
+    fn search_wavefront(&self, keys: &[KeyHash], out: &mut [Candidates]) -> u64 {
+        let n = keys.len();
+        debug_assert!(n <= PROBE_WAVEFRONT);
+        // Pass 1: bucket indices + prefetch. Bucket indices are kept so
+        // pass 2 never recomputes the hash mapping.
+        let mut b1 = [0u64; PROBE_WAVEFRONT];
+        for (slot, kh) in b1.iter_mut().zip(keys) {
+            let b = self.primary_bucket(*kh);
+            *slot = b;
+            prefetch_read(&raw const self.buckets[b as usize]);
+        }
+        // Pass 2: scan the warm primary buckets; misses queue their
+        // alternate bucket for the next prefetch round.
+        let mut miss = [(0usize, 0u64); PROBE_WAVEFRONT];
+        let mut n_miss = 0usize;
+        for i in 0..n {
+            out[i] = Candidates::default();
+            self.scan_bucket(b1[i], keys[i].sig, &mut out[i]);
+            if out[i].is_empty() {
+                let alt = self.alt_bucket(b1[i], keys[i].sig);
+                miss[n_miss] = (i, alt);
+                n_miss += 1;
+                prefetch_read(&raw const self.buckets[alt as usize]);
+            }
+        }
+        // Pass 3: scan the warm alternate buckets of the misses.
+        for &(i, alt) in &miss[..n_miss] {
+            self.scan_bucket(alt, keys[i].sig, &mut out[i]);
+        }
+        (n + n_miss) as u64
+    }
+
+    /// Prefetch both candidate buckets of every key in a wavefront, so
+    /// the mutating probe that follows starts against warm lines.
+    fn prefetch_wavefront(&self, keys: impl Iterator<Item = KeyHash>) {
+        for kh in keys {
+            let b1 = self.primary_bucket(kh);
+            let b2 = self.alt_bucket(b1, kh.sig);
+            prefetch_read(&raw const self.buckets[b1 as usize]);
+            prefetch_read(&raw const self.buckets[b2 as usize]);
+        }
+    }
+
+    /// Batched insert: prefetches each wavefront's candidate buckets,
+    /// then applies the same probe as [`IndexTable::insert`] per item.
+    /// Equivalent to `items.len()` scalar inserts in order (same
+    /// outcomes, same total [`ResourceUsage`], same runtime statistics).
+    ///
+    /// # Panics
+    /// Panics if `items` and `out` differ in length.
+    pub fn insert_batch(
+        &self,
+        items: &[(KeyHash, u64)],
+        out: &mut [Result<(), InsertError>],
+    ) -> ResourceUsage {
+        assert_eq!(items.len(), out.len(), "insert_batch slices must match");
+        let mut usage = ResourceUsage::ZERO;
+        for (chunk, outs) in items
+            .chunks(PROBE_WAVEFRONT)
+            .zip(out.chunks_mut(PROBE_WAVEFRONT))
+        {
+            self.prefetch_wavefront(chunk.iter().map(|&(kh, _)| kh));
+            for (&(kh, loc), slot) in chunk.iter().zip(outs) {
+                let (r, u) = self.insert(kh, loc);
+                usage += u;
+                *slot = r;
+            }
+        }
+        usage
+    }
+
+    /// Batched upsert (the `IN`-Insert task path): prefetches each
+    /// wavefront's candidate buckets, then applies
+    /// [`IndexTable::upsert`] per item. Equivalent to scalar upserts in
+    /// order.
+    ///
+    /// # Panics
+    /// Panics if `items` and `out` differ in length.
+    pub fn upsert_batch(
+        &self,
+        items: &[(KeyHash, u64)],
+        out: &mut [Result<Option<u64>, InsertError>],
+    ) -> ResourceUsage {
+        assert_eq!(items.len(), out.len(), "upsert_batch slices must match");
+        let mut usage = ResourceUsage::ZERO;
+        for (chunk, outs) in items
+            .chunks(PROBE_WAVEFRONT)
+            .zip(out.chunks_mut(PROBE_WAVEFRONT))
+        {
+            self.prefetch_wavefront(chunk.iter().map(|&(kh, _)| kh));
+            for (&(kh, loc), slot) in chunk.iter().zip(outs) {
+                let (r, u) = self.upsert(kh, loc);
+                usage += u;
+                *slot = r;
+            }
+        }
+        usage
+    }
+
+    /// Batched delete: prefetches each wavefront's candidate buckets,
+    /// then applies [`IndexTable::delete`] per item. Equivalent to
+    /// scalar deletes in order.
+    ///
+    /// # Panics
+    /// Panics if `items` and `out` differ in length.
+    pub fn delete_batch(&self, items: &[(KeyHash, u64)], out: &mut [bool]) -> ResourceUsage {
+        assert_eq!(items.len(), out.len(), "delete_batch slices must match");
+        let mut usage = ResourceUsage::ZERO;
+        for (chunk, outs) in items
+            .chunks(PROBE_WAVEFRONT)
+            .zip(out.chunks_mut(PROBE_WAVEFRONT))
+        {
+            self.prefetch_wavefront(chunk.iter().map(|&(kh, _)| kh));
+            for (&(kh, loc), slot) in chunk.iter().zip(outs) {
+                let (removed, u) = self.delete(kh, loc);
+                usage += u;
+                *slot = removed;
+            }
+        }
+        usage
+    }
+
     /// Visit every live entry as `(signature, location)` (maintenance /
     /// integrity checking; concurrent writers may be missed or seen
     /// twice, as with any lock-free snapshot).
@@ -575,6 +729,85 @@ impl std::fmt::Debug for IndexTable {
 mod tests {
     use super::*;
     use crate::hash::key_hash;
+
+    #[test]
+    fn search_batch_matches_scalar_search() {
+        let t = IndexTable::with_capacity(4096);
+        let keys: Vec<KeyHash> = (0u32..1500)
+            .map(|i| key_hash(format!("key-{i}").as_bytes()))
+            .collect();
+        for (i, &kh) in keys.iter().enumerate().step_by(3) {
+            t.insert(kh, i as u64 + 1).0.unwrap();
+        }
+        // Probe a mix of present and absent keys, crossing wavefront
+        // boundaries (1500 is not a multiple of PROBE_WAVEFRONT).
+        let mut batch = vec![Candidates::default(); keys.len()];
+        let batch_usage = t.search_batch(&keys, &mut batch);
+        let mut scalar_usage = ResourceUsage::ZERO;
+        for (i, &kh) in keys.iter().enumerate() {
+            let (c, u) = t.search(kh);
+            scalar_usage += u;
+            assert_eq!(c, batch[i], "candidates diverge at key {i}");
+        }
+        assert_eq!(batch_usage, scalar_usage);
+    }
+
+    #[test]
+    fn mutating_batches_match_scalar_ops() {
+        let batched = IndexTable::with_capacity(2048);
+        let scalar = IndexTable::with_capacity(2048);
+        let items: Vec<(KeyHash, u64)> = (0u32..700)
+            .map(|i| (key_hash(format!("m-{i}").as_bytes()), u64::from(i) + 1))
+            .collect();
+
+        let mut ins = vec![Ok(()); items.len()];
+        let bu = batched.insert_batch(&items, &mut ins);
+        let mut su = ResourceUsage::ZERO;
+        for (i, &(kh, loc)) in items.iter().enumerate() {
+            let (r, u) = scalar.insert(kh, loc);
+            su += u;
+            assert_eq!(r, ins[i]);
+        }
+        assert_eq!(bu, su);
+        assert_eq!(batched.len(), scalar.len());
+
+        // Upsert every key to a new location.
+        let moved: Vec<(KeyHash, u64)> =
+            items.iter().map(|&(kh, loc)| (kh, loc + 1000)).collect();
+        let mut ups = vec![Ok(None); moved.len()];
+        let bu = batched.upsert_batch(&moved, &mut ups);
+        let mut su = ResourceUsage::ZERO;
+        for (i, &(kh, loc)) in moved.iter().enumerate() {
+            let (r, u) = scalar.upsert(kh, loc);
+            su += u;
+            assert_eq!(r, ups[i]);
+        }
+        assert_eq!(bu, su);
+
+        // Delete the moved locations plus some absent ones.
+        let mut dels: Vec<(KeyHash, u64)> = moved.clone();
+        dels.extend((0u32..50).map(|i| (key_hash(format!("absent-{i}").as_bytes()), 9)));
+        let mut removed = vec![false; dels.len()];
+        let bu = batched.delete_batch(&dels, &mut removed);
+        let mut su = ResourceUsage::ZERO;
+        for (i, &(kh, loc)) in dels.iter().enumerate() {
+            let (r, u) = scalar.delete(kh, loc);
+            su += u;
+            assert_eq!(r, removed[i]);
+        }
+        assert_eq!(bu, su);
+        assert_eq!(batched.len(), 0);
+        assert_eq!(scalar.len(), 0);
+    }
+
+    #[test]
+    fn batch_ops_accept_empty_slices() {
+        let t = IndexTable::with_capacity(64);
+        assert!(t.search_batch(&[], &mut []).is_zero());
+        assert!(t.insert_batch(&[], &mut []).is_zero());
+        assert!(t.upsert_batch(&[], &mut []).is_zero());
+        assert!(t.delete_batch(&[], &mut []).is_zero());
+    }
 
     #[test]
     fn insert_then_search_finds_location() {

@@ -1,0 +1,100 @@
+//! Property tests for the wavefront-batched index operations: each
+//! `*_batch` call must be observationally equivalent to the same number
+//! of scalar calls in order — identical per-key results and identical
+//! summed [`dido_model::ResourceUsage`] — across random key sets, load
+//! factors (including overfull tables where inserts fail), and batch
+//! lengths that are not multiples of the probe wavefront.
+
+use dido_hashtable::{key_hash, Candidates, IndexTable};
+use dido_model::ResourceUsage;
+use proptest::prelude::*;
+
+fn key_bytes(k: u32) -> Vec<u8> {
+    format!("batch-key-{k}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batches_are_observationally_equivalent_to_scalar_ops(
+        capacity in prop_oneof![Just(128usize), Just(512), Just(2048)],
+        inserts in proptest::collection::vec((0u32..400, 1u64..1_000_000), 1..500),
+        probes in proptest::collection::vec(0u32..500, 1..300),
+        deletes in proptest::collection::vec((0u32..400, 1u64..1_000_000), 0..200),
+    ) {
+        let batched = IndexTable::with_capacity(capacity);
+        let scalar = IndexTable::with_capacity(capacity);
+
+        // Insert: same outcomes (including TableFull at high load
+        // factors), same usage, same table statistics.
+        let items: Vec<_> = inserts
+            .iter()
+            .map(|&(k, l)| (key_hash(&key_bytes(k)), l))
+            .collect();
+        let mut outs = vec![Ok(()); items.len()];
+        let bu = batched.insert_batch(&items, &mut outs);
+        let mut su = ResourceUsage::ZERO;
+        for (i, &(kh, loc)) in items.iter().enumerate() {
+            let (r, u) = scalar.insert(kh, loc);
+            su += u;
+            prop_assert_eq!(r, outs[i], "insert {} diverged", i);
+        }
+        prop_assert_eq!(bu, su);
+        prop_assert_eq!(batched.len(), scalar.len());
+        prop_assert_eq!(batched.avg_insert_buckets(), scalar.avg_insert_buckets());
+
+        // Search: same candidates per key, same usage total. (Both
+        // tables hold identical content, so probing `batched` with the
+        // batch API and `scalar` with scalar calls compares fairly.)
+        let keys: Vec<_> = probes.iter().map(|&k| key_hash(&key_bytes(k))).collect();
+        let mut cands = vec![Candidates::default(); keys.len()];
+        let bu = batched.search_batch(&keys, &mut cands);
+        let mut su = ResourceUsage::ZERO;
+        for (i, &kh) in keys.iter().enumerate() {
+            let (c, u) = scalar.search(kh);
+            su += u;
+            prop_assert_eq!(c, cands[i], "search {} diverged", i);
+        }
+        prop_assert_eq!(bu, su);
+
+        // Delete: same hit/miss per (key, loc), same usage, same stats.
+        let items: Vec<_> = deletes
+            .iter()
+            .map(|&(k, l)| (key_hash(&key_bytes(k)), l))
+            .collect();
+        let mut removed = vec![false; items.len()];
+        let bu = batched.delete_batch(&items, &mut removed);
+        let mut su = ResourceUsage::ZERO;
+        for (i, &(kh, loc)) in items.iter().enumerate() {
+            let (r, u) = scalar.delete(kh, loc);
+            su += u;
+            prop_assert_eq!(r, removed[i], "delete {} diverged", i);
+        }
+        prop_assert_eq!(bu, su);
+        prop_assert_eq!(batched.len(), scalar.len());
+        prop_assert_eq!(batched.avg_delete_buckets(), scalar.avg_delete_buckets());
+    }
+
+    #[test]
+    fn upsert_batch_matches_scalar_upserts(
+        ops in proptest::collection::vec((0u32..100, 1u64..1_000_000), 1..300),
+    ) {
+        let batched = IndexTable::with_capacity(1024);
+        let scalar = IndexTable::with_capacity(1024);
+        let items: Vec<_> = ops
+            .iter()
+            .map(|&(k, l)| (key_hash(&key_bytes(k)), l))
+            .collect();
+        let mut outs = vec![Ok(None); items.len()];
+        let bu = batched.upsert_batch(&items, &mut outs);
+        let mut su = ResourceUsage::ZERO;
+        for (i, &(kh, loc)) in items.iter().enumerate() {
+            let (r, u) = scalar.upsert(kh, loc);
+            su += u;
+            prop_assert_eq!(r, outs[i], "upsert {} diverged", i);
+        }
+        prop_assert_eq!(bu, su);
+        prop_assert_eq!(batched.len(), scalar.len());
+    }
+}

@@ -114,6 +114,18 @@ impl Arena {
         self.bytes[offset].store(v, Ordering::Relaxed);
     }
 
+    /// Raw address of the byte at `offset`, for software-prefetch hints
+    /// ahead of a batched probe pass. Out-of-range offsets return the
+    /// arena base — the caller only ever feeds the result to a prefetch
+    /// instruction, which never faults and never dereferences.
+    #[must_use]
+    pub fn byte_ptr(&self, offset: usize) -> *const u8 {
+        let clamped = offset.min(self.bytes.len().saturating_sub(1));
+        // AtomicU8 is #[repr(C, align(1))] over a single u8, so the cast
+        // is layout-sound; the pointer is only used as a hint address.
+        self.bytes[clamped..].as_ptr().cast::<u8>()
+    }
+
     /// Atomically increment the `u32` at `offset` by 1 (best-effort,
     /// relaxed; used for frequency counters).
     pub fn fetch_add_u32(&self, offset: usize, add: u32) -> u32 {

@@ -260,6 +260,23 @@ impl ObjectStore {
         self.arena.bytes_equal(off + HEADER_SIZE, key)
     }
 
+    /// Raw address of the object header at `loc`, for issuing a
+    /// software prefetch before a batched `KC`/`RD` pass touches the
+    /// object. The pointer is a hint address only — safe for stale or
+    /// out-of-range locations because prefetches never fault.
+    #[must_use]
+    pub fn object_ptr(&self, loc: u64) -> *const u8 {
+        self.arena.byte_ptr(loc as usize)
+    }
+
+    /// Raw address of the object's value bytes at `loc` (header and key
+    /// skipped), for prefetching ahead of `RD`. Hint address only.
+    #[must_use]
+    pub fn value_ptr(&self, loc: u64) -> *const u8 {
+        let (key_len, _) = self.object_lens(loc);
+        self.arena.byte_ptr(loc as usize + HEADER_SIZE + key_len)
+    }
+
     /// Key and value lengths of the object at `loc`.
     #[must_use]
     pub fn object_lens(&self, loc: u64) -> (usize, usize) {

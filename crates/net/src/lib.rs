@@ -31,6 +31,6 @@ pub use nic::{FrameRing, Nic};
 pub use server::{KvClient, KvServer, ServerStats, MAX_FRAME_BYTES};
 pub use trace::{read_trace, write_trace, TraceError};
 pub use protocol::{
-    encode_responses, pack_frames, parse_frame, parse_responses, FrameBuilder, ProtocolError,
-    DEFAULT_FRAME_CAPACITY, FRAME_HEADER, RECORD_HEADER,
+    encode_responses, frame_query_count, pack_frames, parse_frame, parse_responses, FrameBuilder,
+    ProtocolError, DEFAULT_FRAME_CAPACITY, FRAME_HEADER, RECORD_HEADER,
 };

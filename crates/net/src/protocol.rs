@@ -135,6 +135,19 @@ where
     frames
 }
 
+/// Number of query records a frame claims to carry (its `count:u16`
+/// header), without decoding any record. Lets `PP` pre-size its output
+/// vector before parsing. Returns 0 for frames too short to carry the
+/// header; a lying count is bounded by `u16::MAX`, so a hostile frame
+/// can over-reserve at most ~64 Ki entries.
+#[must_use]
+pub fn frame_query_count(frame: &Bytes) -> usize {
+    if frame.len() < FRAME_HEADER {
+        return 0;
+    }
+    u16::from_le_bytes([frame[0], frame[1]]) as usize
+}
+
 /// Decode a query frame into zero-copy queries.
 pub fn parse_frame(frame: &Bytes) -> Result<Vec<Query>, ProtocolError> {
     if frame.len() < FRAME_HEADER {

@@ -9,6 +9,7 @@
 //! array of work-stealing tags at wavefront (64-query) granularity
 //! (§III-B-3).
 
+use bytes::Bytes;
 use dido_hashtable::Candidates;
 use dido_kvstore::EvictedObject;
 use dido_model::{PipelineConfig, Query, Response, WorkloadStats, WAVEFRONT_WIDTH};
@@ -30,13 +31,94 @@ pub struct QueryState {
     /// Object evicted by this SET's allocation (after `MM`); its index
     /// entry is deleted by `IN`-Delete.
     pub evicted: Option<EvictedObject>,
-    /// The query's staged value bytes (after `RD`), when `WR` runs in a
-    /// later stage. Modelled as the sequential staging buffer of the
-    /// paper (§III-A); kept per-query so sub-batches can be processed
-    /// in parallel.
-    pub staged: Option<Vec<u8>>,
+    /// Where the query's value landed in the batch's [`StagingArena`]
+    /// (after `RD`). Modelled as the sequential staging buffer of the
+    /// paper (§III-A); an offset range instead of an owned buffer so the
+    /// steady-state `RD`→`WR` path performs zero per-query allocations.
+    pub staged: Option<Range<u32>>,
     /// Final response (after `WR`).
     pub response: Option<Response>,
+}
+
+/// The per-batch staging buffer `RD` writes values into and `WR` reads
+/// them back out of (the paper's sequential staging buffer, §III-A).
+///
+/// Values are appended to one growable buffer and addressed by
+/// `u32` offset ranges kept in [`QueryState::staged`], so the hot path
+/// never allocates per query. When `WR` needs responses the arena is
+/// *frozen* — the buffer is converted to [`Bytes`] once, after which
+/// every response value is a zero-copy slice of that single allocation.
+#[derive(Debug, Default)]
+pub struct StagingArena {
+    buf: Vec<u8>,
+    frozen: Option<Bytes>,
+}
+
+impl StagingArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> StagingArena {
+        StagingArena::default()
+    }
+
+    /// Bytes staged so far (before freezing).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.frozen {
+            Some(b) => b.len(),
+            None => self.buf.len(),
+        }
+    }
+
+    /// Whether nothing has been staged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`StagingArena::freeze`] has happened (i.e. `WR` started
+    /// reading; staging more after that is a pipeline-ordering bug).
+    #[must_use]
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
+    }
+
+    /// Stage one value: `fill` appends bytes to the arena buffer (e.g.
+    /// via `ObjectStore::read_value`) and the written extent is returned
+    /// as an offset range for [`QueryState::staged`].
+    ///
+    /// # Panics
+    /// Panics if the arena is already frozen — `RD` must never stage
+    /// after `WR` started reading the same batch.
+    pub fn stage_with(
+        &mut self,
+        size_hint: usize,
+        fill: impl FnOnce(&mut Vec<u8>),
+    ) -> Range<u32> {
+        assert!(
+            self.frozen.is_none(),
+            "staging into a frozen arena (RD after WR on the same batch)"
+        );
+        self.buf.reserve(size_hint);
+        let start = u32::try_from(self.buf.len()).expect("staging arena exceeds 4 GiB");
+        fill(&mut self.buf);
+        let end = u32::try_from(self.buf.len()).expect("staging arena exceeds 4 GiB");
+        start..end
+    }
+
+    /// Freeze the arena (idempotent) and return the zero-copy [`Bytes`]
+    /// view of `range`. The first call converts the buffer into one
+    /// shared allocation; every subsequent slice just bumps a refcount.
+    ///
+    /// # Panics
+    /// Panics if `range` is out of bounds (a range not produced by
+    /// [`StagingArena::stage_with`] on this arena).
+    pub fn frozen_slice(&mut self, range: &Range<u32>) -> Bytes {
+        let frozen = self
+            .frozen
+            .get_or_insert_with(|| Bytes::from(std::mem::take(&mut self.buf)));
+        frozen.slice(range.start as usize..range.end as usize)
+    }
 }
 
 /// Wavefront-granular work-stealing tags: "tag *i* represents the state
@@ -115,6 +197,8 @@ pub struct Batch {
     pub state: Vec<QueryState>,
     /// Work-stealing tags.
     pub tags: StealTags,
+    /// The staging buffer `RD` writes values into (see [`StagingArena`]).
+    pub arena: StagingArena,
 }
 
 impl Batch {
@@ -126,6 +210,7 @@ impl Batch {
             config,
             state: vec![QueryState::default(); n],
             tags: StealTags::new(n),
+            arena: StagingArena::new(),
             queries,
         }
     }

@@ -188,13 +188,13 @@ impl KvEngine {
     /// SET queries (same wire format as `dido_net::write_trace`), so a
     /// node's contents survive restarts or move between systems.
     pub fn snapshot_to(&self, path: &std::path::Path) -> Result<usize, dido_net::TraceError> {
-        let mut sets = Vec::new();
+        let mut sets = Vec::with_capacity(self.index.len());
         self.index.for_each_entry(|_sig, loc| {
             let key = self.store.read_key(loc);
             if key.is_empty() || !self.store.key_matches(loc, &key) {
                 return; // dangling entry: skip
             }
-            let mut value = Vec::new();
+            let mut value = Vec::with_capacity(self.store.object_lens(loc).1);
             self.store.read_value(loc, &mut value);
             sets.push(Query::set(key, value));
         });
@@ -224,7 +224,7 @@ impl KvEngine {
                 for &loc in cands.as_slice() {
                     if self.store.key_matches(loc, &q.key) {
                         self.store.touch(loc, self.sample_epoch());
-                        let mut v = Vec::new();
+                        let mut v = Vec::with_capacity(self.store.object_lens(loc).1);
                         self.store.read_value(loc, &mut v);
                         return Response::hit(v);
                     }

@@ -43,7 +43,7 @@ pub mod sync;
 pub mod tasks;
 mod threaded;
 
-pub use batch::{Batch, QueryState, StealTags, TAG_FREE};
+pub use batch::{Batch, QueryState, StagingArena, StealTags, TAG_FREE};
 pub use cache::LruFilter;
 pub use engine::{EngineConfig, IntegrityReport, KvEngine, OpCounts};
 pub use setup::{preloaded_engine, TestbedOptions};

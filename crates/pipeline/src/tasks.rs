@@ -10,14 +10,29 @@
 use crate::batch::Batch;
 use crate::engine::KvEngine;
 use bytes::Bytes;
-use dido_hashtable::key_hash;
+use dido_hashtable::{key_hash, prefetch_read, Candidates, InsertError, KeyHash, PROBE_WAVEFRONT};
 use dido_model::costs::{self, lines_for};
 use dido_model::{
     IndexOpKind, Processor, Query, QueryOp, ResourceUsage, Response, TaskKind, TaskSet,
 };
-use dido_net::{encode_responses, parse_frame, FrameBuilder};
+use dido_net::{encode_responses, frame_query_count, parse_frame, FrameBuilder};
 use std::ops::Range;
 use std::sync::atomic::Ordering as AtomicOrdering;
+
+/// Placeholder for initializing wavefront gather buffers (never probed:
+/// only the filled prefix of a gather array is handed to the batch ops).
+const KH_NONE: KeyHash = KeyHash { hash: 0, sig: 1 };
+
+/// Iterate `range` in wavefront-sized sub-ranges. The wavefront width
+/// equals the work-stealing tag granularity, so a stolen sub-batch
+/// (always a whole tag) runs through exactly the same vectorized path
+/// as owner-executed work.
+fn wavefronts(range: Range<usize>) -> impl Iterator<Item = Range<usize>> {
+    let Range { start, end } = range;
+    (start..end)
+        .step_by(PROBE_WAVEFRONT)
+        .map(move |s| s..(s + PROBE_WAVEFRONT).min(end))
+}
 
 /// Where a task invocation runs and which tasks share its stage.
 #[derive(Debug, Clone, Copy)]
@@ -62,7 +77,9 @@ pub fn run_rv(engine: &KvEngine, max_frames: usize) -> (Vec<Bytes>, ResourceUsag
 /// `PP`: parse frames into queries. Malformed frames are dropped whole
 /// (like a UDP service discarding garbage datagrams).
 pub fn run_pp(frames: &[Bytes]) -> (Vec<Query>, ResourceUsage) {
-    let mut queries = Vec::new();
+    // The frame header already announces the record count, so the output
+    // vector is sized once up front instead of growing per append.
+    let mut queries = Vec::with_capacity(frames.iter().map(frame_query_count).sum());
     for f in frames {
         if let Ok(mut qs) = parse_frame(f) {
             queries.append(&mut qs);
@@ -113,7 +130,11 @@ pub fn run_mm(ctx: StageCtx, engine: &KvEngine, batch: &mut Batch, range: Range<
     usage
 }
 
-/// `IN`-Search: index lookups for every GET in `range`.
+/// `IN`-Search: index lookups for every GET in `range`, one prefetched
+/// probe wavefront at a time ([`dido_hashtable::IndexTable::search_batch`]).
+/// GETs are gathered into stack buffers, probed together, and the
+/// candidates scattered back — no heap traffic, identical
+/// [`ResourceUsage`] to the scalar path.
 pub fn run_index_search(
     _ctx: StageCtx,
     engine: &KvEngine,
@@ -121,15 +142,30 @@ pub fn run_index_search(
     range: Range<usize>,
 ) -> ResourceUsage {
     let mut usage = ResourceUsage::ZERO;
-    for i in range {
-        if batch.queries[i].op != QueryOp::Get {
+    let mut idx = [0usize; PROBE_WAVEFRONT];
+    let mut keys = [KH_NONE; PROBE_WAVEFRONT];
+    let mut cands = [Candidates::default(); PROBE_WAVEFRONT];
+    for wf in wavefronts(range) {
+        let mut n = 0usize;
+        for i in wf {
+            if batch.queries[i].op != QueryOp::Get {
+                continue;
+            }
+            idx[n] = i;
+            keys[n] = key_hash(&batch.queries[i].key);
+            n += 1;
+        }
+        if n == 0 {
             continue;
         }
-        let kh = key_hash(&batch.queries[i].key);
-        engine.ops.index_searches.fetch_add(1, AtomicOrdering::Relaxed);
-        let (cands, u) = engine.index.search(kh);
-        usage += u;
-        batch.state[i].candidates = cands;
+        engine
+            .ops
+            .index_searches
+            .fetch_add(n as u64, AtomicOrdering::Relaxed);
+        usage += engine.index.search_batch(&keys[..n], &mut cands[..n]);
+        for k in 0..n {
+            batch.state[idx[k]].candidates = cands[k];
+        }
     }
     usage
 }
@@ -143,29 +179,45 @@ pub fn run_index_insert(
     range: Range<usize>,
 ) -> ResourceUsage {
     let mut usage = ResourceUsage::ZERO;
-    for i in range {
-        if batch.queries[i].op != QueryOp::Set {
+    let mut idx = [0usize; PROBE_WAVEFRONT];
+    let mut items = [(KH_NONE, 0u64); PROBE_WAVEFRONT];
+    let mut outs: [Result<Option<u64>, InsertError>; PROBE_WAVEFRONT] =
+        [Ok(None); PROBE_WAVEFRONT];
+    for wf in wavefronts(range) {
+        let mut n = 0usize;
+        for i in wf {
+            if batch.queries[i].op != QueryOp::Set {
+                continue;
+            }
+            let Some(new_loc) = batch.state[i].new_loc else {
+                continue; // MM failed; response already set
+            };
+            idx[n] = i;
+            items[n] = (key_hash(&batch.queries[i].key), new_loc);
+            n += 1;
+        }
+        if n == 0 {
             continue;
         }
-        let Some(new_loc) = batch.state[i].new_loc else {
-            continue; // MM failed; response already set
-        };
-        let kh = key_hash(&batch.queries[i].key);
-        engine.ops.index_inserts.fetch_add(1, AtomicOrdering::Relaxed);
-        let (res, u) = engine.index.upsert(kh, new_loc);
-        usage += u;
-        match res {
-            Ok(_replaced) => {
-                // A replaced old version is NOT freed eagerly: like
-                // memcached/Mega-KV, it lingers as unreachable garbage
-                // until the CLOCK sweep evicts it. That keeps the store
-                // full, so every SET's allocation evicts — producing the
-                // paper's one-Insert-plus-one-Delete per SET (Fig. 6).
-                batch.state[i].response = Some(Response::ok());
-            }
-            Err(_) => {
-                engine.store.free(new_loc);
-                batch.state[i].response = Some(Response::error());
+        engine
+            .ops
+            .index_inserts
+            .fetch_add(n as u64, AtomicOrdering::Relaxed);
+        usage += engine.index.upsert_batch(&items[..n], &mut outs[..n]);
+        for k in 0..n {
+            match outs[k] {
+                Ok(_replaced) => {
+                    // A replaced old version is NOT freed eagerly: like
+                    // memcached/Mega-KV, it lingers as unreachable garbage
+                    // until the CLOCK sweep evicts it. That keeps the store
+                    // full, so every SET's allocation evicts — producing the
+                    // paper's one-Insert-plus-one-Delete per SET (Fig. 6).
+                    batch.state[idx[k]].response = Some(Response::ok());
+                }
+                Err(_) => {
+                    engine.store.free(items[k].1);
+                    batch.state[idx[k]].response = Some(Response::error());
+                }
             }
         }
     }
@@ -182,45 +234,70 @@ pub fn run_index_delete(
     range: Range<usize>,
 ) -> ResourceUsage {
     let mut usage = ResourceUsage::ZERO;
-    for i in range {
+    let mut idx = [0usize; PROBE_WAVEFRONT];
+    let mut keys = [KH_NONE; PROBE_WAVEFRONT];
+    let mut items = [(KH_NONE, 0u64); PROBE_WAVEFRONT];
+    let mut removed = [false; PROBE_WAVEFRONT];
+    let mut cands = [Candidates::default(); PROBE_WAVEFRONT];
+    for wf in wavefronts(range) {
         // Eviction-generated deletes (paper: each memory-pressured SET
         // yields one Insert for the new object and one Delete for the
-        // evicted object).
-        if let Some(ev) = batch.state[i].evicted.take() {
-            let kh = key_hash(&ev.key);
-            engine.ops.index_deletes.fetch_add(1, AtomicOrdering::Relaxed);
-            let (_, u) = engine.index.delete(kh, ev.loc);
-            usage += u;
-        }
-        if batch.queries[i].op != QueryOp::Delete {
-            continue;
-        }
-        let key = &batch.queries[i].key;
-        let kh = key_hash(key);
-        let (cands, u) = engine.index.search(kh);
-        usage += u;
-        let mut response = Response::not_found();
-        for &loc in cands.as_slice() {
-            // Key comparison before destructive ops.
-            let key_lines = lines_for(key.len(), ctx.cache_line);
-            usage += ResourceUsage::new(
-                costs::KC_INSNS_PER_CANDIDATE + key_lines * costs::INSNS_PER_LINE,
-                1,
-                key_lines.saturating_sub(1),
-            );
-            if engine.store.key_matches(loc, key) {
-                engine.ops.index_deletes.fetch_add(1, AtomicOrdering::Relaxed);
-                let (removed, du) = engine.index.delete(kh, loc);
-                usage += du;
-                if removed {
-                    engine.store.free(loc);
-                    engine.cache_invalidate(loc);
-                    response = Response::ok();
-                }
-                break;
+        // evicted object), batched per wavefront.
+        let mut n_ev = 0usize;
+        for i in wf.clone() {
+            if let Some(ev) = batch.state[i].evicted.take() {
+                items[n_ev] = (key_hash(&ev.key), ev.loc);
+                n_ev += 1;
             }
         }
-        batch.state[i].response = Some(response);
+        if n_ev > 0 {
+            engine
+                .ops
+                .index_deletes
+                .fetch_add(n_ev as u64, AtomicOrdering::Relaxed);
+            usage += engine.index.delete_batch(&items[..n_ev], &mut removed[..n_ev]);
+        }
+        // Explicit DELETE queries: one batched search per wavefront, then
+        // the destructive compare→delete→free walk per candidate.
+        let mut n = 0usize;
+        for i in wf {
+            if batch.queries[i].op != QueryOp::Delete {
+                continue;
+            }
+            idx[n] = i;
+            keys[n] = key_hash(&batch.queries[i].key);
+            n += 1;
+        }
+        if n == 0 {
+            continue;
+        }
+        usage += engine.index.search_batch(&keys[..n], &mut cands[..n]);
+        for k in 0..n {
+            let i = idx[k];
+            let key = &batch.queries[i].key;
+            let mut response = Response::not_found();
+            for &loc in cands[k].as_slice() {
+                // Key comparison before destructive ops.
+                let key_lines = lines_for(key.len(), ctx.cache_line);
+                usage += ResourceUsage::new(
+                    costs::KC_INSNS_PER_CANDIDATE + key_lines * costs::INSNS_PER_LINE,
+                    1,
+                    key_lines.saturating_sub(1),
+                );
+                if engine.store.key_matches(loc, key) {
+                    engine.ops.index_deletes.fetch_add(1, AtomicOrdering::Relaxed);
+                    let (deleted, du) = engine.index.delete(keys[k], loc);
+                    usage += du;
+                    if deleted {
+                        engine.store.free(loc);
+                        engine.cache_invalidate(loc);
+                        response = Response::ok();
+                    }
+                    break;
+                }
+            }
+            batch.state[i].response = Some(response);
+        }
     }
     usage
 }
@@ -237,53 +314,67 @@ pub fn run_kc(
 ) -> ResourceUsage {
     let mut usage = ResourceUsage::ZERO;
     let epoch = engine.sample_epoch();
-    for i in range {
-        if batch.queries[i].op != QueryOp::Get {
-            continue;
-        }
-        let key = &batch.queries[i].key;
-        let key_lines = lines_for(key.len(), ctx.cache_line);
-        let mut resolved = None;
-        let mut hot = false;
-        for &loc in batch.state[i].candidates.as_slice() {
-            let (klen, vlen) = engine.store.object_lens(loc);
-            let obj_bytes = (dido_kvstore::HEADER_SIZE + klen + vlen) as u64;
-            let cache_hit = engine.cache_access(ctx.processor, loc, obj_bytes);
-            // Header+key fetch: one random access on a cold object, all
-            // cache lines on a hot one.
-            usage += if cache_hit {
-                ResourceUsage::new(
-                    costs::KC_INSNS_PER_CANDIDATE + key_lines * costs::INSNS_PER_LINE,
-                    0,
-                    key_lines,
-                )
-            } else {
-                ResourceUsage::new(
-                    costs::KC_INSNS_PER_CANDIDATE + key_lines * costs::INSNS_PER_LINE,
-                    1,
-                    key_lines.saturating_sub(1),
-                )
-            };
-            if engine.store.key_matches(loc, key) {
-                resolved = Some(loc);
-                hot = cache_hit;
-                engine.store.touch(loc, epoch);
-                break;
+    for wf in wavefronts(range) {
+        // Prefetch pass: pull every candidate object header of the
+        // wavefront toward the cache before any key comparison runs, so
+        // the compares don't serialize one miss per query.
+        for i in wf.clone() {
+            if batch.queries[i].op != QueryOp::Get {
+                continue;
+            }
+            for &loc in batch.state[i].candidates.as_slice() {
+                prefetch_read(engine.store.object_ptr(loc));
             }
         }
-        let st = &mut batch.state[i];
-        st.loc = resolved;
-        st.hot = hot;
-        if resolved.is_none() {
-            st.response = Some(Response::not_found());
+        for i in wf {
+            if batch.queries[i].op != QueryOp::Get {
+                continue;
+            }
+            let key = &batch.queries[i].key;
+            let key_lines = lines_for(key.len(), ctx.cache_line);
+            let mut resolved = None;
+            let mut hot = false;
+            for &loc in batch.state[i].candidates.as_slice() {
+                let (klen, vlen) = engine.store.object_lens(loc);
+                let obj_bytes = (dido_kvstore::HEADER_SIZE + klen + vlen) as u64;
+                let cache_hit = engine.cache_access(ctx.processor, loc, obj_bytes);
+                // Header+key fetch: one random access on a cold object, all
+                // cache lines on a hot one.
+                usage += if cache_hit {
+                    ResourceUsage::new(
+                        costs::KC_INSNS_PER_CANDIDATE + key_lines * costs::INSNS_PER_LINE,
+                        0,
+                        key_lines,
+                    )
+                } else {
+                    ResourceUsage::new(
+                        costs::KC_INSNS_PER_CANDIDATE + key_lines * costs::INSNS_PER_LINE,
+                        1,
+                        key_lines.saturating_sub(1),
+                    )
+                };
+                if engine.store.key_matches(loc, key) {
+                    resolved = Some(loc);
+                    hot = cache_hit;
+                    engine.store.touch(loc, epoch);
+                    break;
+                }
+            }
+            let st = &mut batch.state[i];
+            st.loc = resolved;
+            st.hot = hot;
+            if resolved.is_none() {
+                st.response = Some(Response::not_found());
+            }
         }
     }
     usage
 }
 
-/// `RD`: read each resolved GET's value. When `WR` shares the stage the
-/// value flows straight through; otherwise it is staged into the batch
-/// buffer (sequential writes) for the later `WR` stage.
+/// `RD`: read each resolved GET's value into the batch's staging arena.
+/// The per-query state records only the arena offset range, so the
+/// steady-state path allocates nothing per query; a prefetch pass warms
+/// each wavefront's value bytes before the copies run.
 pub fn run_rd(
     ctx: StageCtx,
     engine: &KvEngine,
@@ -291,54 +382,77 @@ pub fn run_rd(
     range: Range<usize>,
 ) -> ResourceUsage {
     let mut usage = ResourceUsage::ZERO;
-    for i in range {
-        let Some(loc) = batch.state[i].loc else {
-            continue;
-        };
-        if batch.queries[i].op != QueryOp::Get {
-            continue;
+    // Split borrows: the queries are read, the state and arena mutated.
+    let Batch {
+        ref queries,
+        ref mut state,
+        ref mut arena,
+        ..
+    } = *batch;
+    for wf in wavefronts(range) {
+        for i in wf.clone() {
+            if queries[i].op != QueryOp::Get {
+                continue;
+            }
+            if let Some(loc) = state[i].loc {
+                prefetch_read(engine.store.value_ptr(loc));
+            }
         }
-        let (klen, vlen) = engine.store.object_lens(loc);
-        let val_lines = lines_for(vlen, ctx.cache_line);
-        // Affinity (paper §III-B-1): KC fetched the object into this
-        // processor's cache — but only while the batch's working set
-        // actually fits. The capacity-bounded filter decides
-        // operationally (KC on another processor, or a working set
-        // beyond the cache, both come back cold).
-        let obj_bytes = (dido_kvstore::HEADER_SIZE + klen + vlen) as u64;
-        let warm = engine.cache_access(ctx.processor, loc, obj_bytes);
-        usage += if warm {
-            ResourceUsage::new(val_lines * costs::INSNS_PER_LINE, 0, val_lines)
-        } else {
-            ResourceUsage::new(val_lines * costs::INSNS_PER_LINE, 1, val_lines - 1)
+        for i in wf {
+            let Some(loc) = state[i].loc else {
+                continue;
+            };
+            if queries[i].op != QueryOp::Get {
+                continue;
+            }
+            let (klen, vlen) = engine.store.object_lens(loc);
+            let val_lines = lines_for(vlen, ctx.cache_line);
+            // Affinity (paper §III-B-1): KC fetched the object into this
+            // processor's cache — but only while the batch's working set
+            // actually fits. The capacity-bounded filter decides
+            // operationally (KC on another processor, or a working set
+            // beyond the cache, both come back cold).
+            let obj_bytes = (dido_kvstore::HEADER_SIZE + klen + vlen) as u64;
+            let warm = engine.cache_access(ctx.processor, loc, obj_bytes);
+            usage += if warm {
+                ResourceUsage::new(val_lines * costs::INSNS_PER_LINE, 0, val_lines)
+            } else {
+                ResourceUsage::new(val_lines * costs::INSNS_PER_LINE, 1, val_lines - 1)
+            }
+            .with_bytes(vlen as u64);
+            // Stage the value: sequential buffer writes (always cached).
+            state[i].staged = Some(arena.stage_with(vlen, |buf| {
+                engine.store.read_value(loc, buf);
+            }));
+            usage += ResourceUsage::new(val_lines * costs::INSNS_PER_LINE, 0, val_lines);
         }
-        .with_bytes(vlen as u64);
-        // Stage the value: sequential buffer writes (always cached).
-        let mut staged = Vec::with_capacity(vlen);
-        engine.store.read_value(loc, &mut staged);
-        batch.state[i].staged = Some(staged);
-        usage += ResourceUsage::new(val_lines * costs::INSNS_PER_LINE, 0, val_lines);
     }
     usage
 }
 
-/// `WR`: construct each query's response. Reads the staged value
+/// `WR`: construct each query's response. Freezes the staging arena
+/// once, then every GET's value is a zero-copy [`Bytes`] slice of it
 /// (sequential, cache-priced); when `RD` ran in a different stage this
-/// is the extra copy the paper describes ("the task WR on the other
+/// is the extra pass the paper describes ("the task WR on the other
 /// stage needs to read the key-value objects in the buffer to construct
 /// responses").
 pub fn run_wr(ctx: StageCtx, batch: &mut Batch, range: Range<usize>) -> ResourceUsage {
     let mut usage = ResourceUsage::ZERO;
     let rd_same_stage = ctx.has(TaskKind::Rd);
+    let Batch {
+        ref queries,
+        ref mut state,
+        ref mut arena,
+        ..
+    } = *batch;
     for i in range {
-        if batch.state[i].response.is_some() {
+        if state[i].response.is_some() {
             continue; // SET/DELETE/miss already answered
         }
-        let q = &batch.queries[i];
         usage += ResourceUsage::new(costs::WR_INSNS_PER_QUERY, 0, 1);
-        match q.op {
+        match queries[i].op {
             QueryOp::Get => {
-                let value = match batch.state[i].staged.take() {
+                let value = match state[i].staged.take() {
                     Some(staged) => {
                         let val_lines = lines_for(staged.len(), ctx.cache_line);
                         // Reading the staged bytes: free ride if RD just
@@ -351,19 +465,19 @@ pub fn run_wr(ctx: StageCtx, batch: &mut Batch, range: Range<usize>) -> Resource
                                 val_lines,
                             );
                         }
-                        Bytes::from(staged)
+                        arena.frozen_slice(&staged)
                     }
                     None => {
-                        batch.state[i].response = Some(Response::not_found());
+                        state[i].response = Some(Response::not_found());
                         continue;
                     }
                 };
-                batch.state[i].response = Some(Response::hit(value));
+                state[i].response = Some(Response::hit(value));
             }
             // SETs/DELETEs normally answered by IN; answer leftovers
             // defensively so WR is total.
             QueryOp::Set | QueryOp::Delete => {
-                batch.state[i].response = Some(Response::error());
+                state[i].response = Some(Response::error());
             }
         }
     }
@@ -622,9 +736,10 @@ mod tests {
         assert_eq!(parsed, queries);
         assert!(pp_usage.instructions > 0);
         // Push parsed queries through and send.
-        let responses = run_full_pipeline(&e, parsed);
+        let mut responses = run_full_pipeline(&e, parsed);
         let mut batch = Batch::new(vec![Query::get("net-key")], PipelineConfig::mega_kv());
-        batch.state[0].response = Some(responses[1].clone());
+        // Move the response into the batch rather than cloning it.
+        batch.state[0].response = Some(responses.remove(1));
         let sd_usage = run_sd(&e, &mut batch);
         assert!(sd_usage.bytes > 0);
         let out = e.nic.tx.pop().expect("a response frame must be sent");
