@@ -1,0 +1,45 @@
+//! Criterion view of the network data path: one pipelined client
+//! round-tripping small frames against a loopback server under both
+//! dispatch modes. The `netpath` binary is the source of record (it
+//! measures the full connections × frame-size matrix and writes
+//! `BENCH_netpath.json`); this bench exists so `cargo bench` tracks the
+//! two server topologies with criterion's sampling, and so `cargo test`
+//! smoke-builds them.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dido_model::{Query, Response};
+use dido_net::{BatchConfig, DispatchMode, KvClient, KvServer};
+use std::time::Duration;
+
+fn echo_handler(queries: Vec<Query>) -> Vec<Response> {
+    queries.iter().map(|_| Response::ok()).collect()
+}
+
+fn bench_netpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netpath");
+    g.sample_size(10);
+    let frame: Vec<Query> = (0..16).map(|i| Query::set(format!("k{i}"), "v")).collect();
+    for (name, mode) in [
+        ("per_conn_roundtrip_16q", DispatchMode::PerConnection),
+        (
+            "batched_roundtrip_16q",
+            DispatchMode::Batched(BatchConfig {
+                max_batch_delay: Duration::from_micros(50),
+                ..BatchConfig::default()
+            }),
+        ),
+    ] {
+        let server = KvServer::start_with("127.0.0.1:0", mode, echo_handler).expect("bind");
+        let mut client = KvClient::connect(server.addr()).expect("connect");
+        g.throughput(Throughput::Elements(frame.len() as u64));
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(client.request(&frame).expect("round trip")))
+        });
+        drop(client);
+        server.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_netpath);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Network data-path bench: thread-per-connection vs batched dispatch
+//! over a loopback TCP server, across connection counts × frame sizes.
+//! Writes `BENCH_netpath.json`.
+//!
+//! ```text
+//! netpath [--quick] [--seed N] [--frames N] [--window N]
+//!         [--max-batch-delay-us N] [--repeats N] [--out PATH] [--check]
+//! ```
+//!
+//! `--quick` runs the CI smoke configuration (few frames; numbers are
+//! noisy and only prove the harness runs). `--check` exits non-zero if
+//! the acceptance ratio (mean batched/per-connection throughput over
+//! the high-connection small-frame cells) falls below the 1.5× bar or
+//! the single-connection p99 guard fails.
+
+use dido_bench::netpath::{run_netpath, NetpathOptions, ACCEPT_THRESHOLD};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = NetpathOptions::default();
+    let mut out = String::from("BENCH_netpath.json");
+    let mut check = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let seed = opts.seed;
+                opts = NetpathOptions::quick();
+                opts.seed = seed;
+            }
+            "--seed" => {
+                opts.seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--frames" => {
+                opts.target_frames = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--frames needs a number"));
+            }
+            "--window" => {
+                opts.window = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--window needs a number"));
+            }
+            "--max-batch-delay-us" => {
+                opts.max_batch_delay_us = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--max-batch-delay-us needs a number"));
+            }
+            "--repeats" => {
+                opts.repeats = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--repeats needs a number"));
+            }
+            "--out" => {
+                out = iter.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!(
+                    "netpath [--quick] [--seed N] [--frames N] [--window N] \
+                     [--max-batch-delay-us N] [--repeats N] [--out PATH] [--check]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    println!(
+        "# netpath: thread-per-connection vs batched RV-ring dispatch, \
+         loopback TCP, {} in-flight frames/conn",
+        opts.window
+    );
+    println!(
+        "# {} frames/cell, drain window {} us, best of {} runs, seed {}{}",
+        opts.target_frames,
+        opts.max_batch_delay_us,
+        opts.repeats,
+        opts.seed,
+        if opts.quick { ", quick" } else { "" }
+    );
+    println!(
+        "{:<10} {:>6} {:>9} {:>16} {:>10} {:>10} {:>12}",
+        "mode", "conns", "q/frame", "throughput q/s", "p50 us", "p99 us", "frames/disp"
+    );
+    let report = run_netpath(&opts, |c| {
+        println!(
+            "{:<10} {:>6} {:>9} {:>16.0} {:>10.1} {:>10.1} {:>12.1}",
+            c.mode,
+            c.connections,
+            c.frame_queries,
+            c.throughput_qps,
+            c.p50_us,
+            c.p99_us,
+            c.mean_batch_frames
+        );
+    });
+
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&out, &json) {
+        die(&format!("writing {out}: {e}"));
+    }
+    let acc = report.acceptance_speedup();
+    let p99_ok = report.p99_guard_pass();
+    println!(
+        "# wrote {out}; acceptance ratio = {acc:.2}x (bar {ACCEPT_THRESHOLD}x), \
+         1-conn p99 guard {}",
+        if p99_ok { "pass" } else { "FAIL" }
+    );
+    if check && (acc < ACCEPT_THRESHOLD || !p99_ok) {
+        eprintln!("FAIL: ratio {acc:.3} (bar {ACCEPT_THRESHOLD}) p99 guard {p99_ok}");
+        std::process::exit(1);
+    }
+}

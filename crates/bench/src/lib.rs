@@ -11,6 +11,7 @@
 pub mod experiments;
 mod harness;
 pub mod hotpath;
+pub mod netpath;
 mod table;
 
 pub use harness::{ExperimentCtx, Measurement};

@@ -274,6 +274,34 @@ impl BytesMut {
         self.buf.clear();
     }
 
+    /// Capacity of the backing allocation.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Resize to `new_len` bytes, zero-filling any growth.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.buf.resize(new_len, value);
+    }
+
+    /// Split off the first `at` bytes into a new buffer, leaving the
+    /// tail in `self`.
+    ///
+    /// The real crate shares the allocation between the halves; this
+    /// shim moves the backing `Vec` into the returned front half (no
+    /// copy when `at == len()`, the common freeze-a-whole-frame case)
+    /// and re-buffers the tail.
+    ///
+    /// # Panics
+    /// Panics if `at > len()`, matching the real crate.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.buf.len(), "split_to out of bounds: {at} > {}", self.buf.len());
+        let tail = self.buf.split_off(at);
+        BytesMut {
+            buf: std::mem::replace(&mut self.buf, tail),
+        }
+    }
+
     /// Convert into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
@@ -391,6 +419,42 @@ mod tests {
         assert_eq!(b[2], 7);
         assert_eq!(&b[3..7], &42u32.to_le_bytes());
         assert_eq!(&b[7..], b"xy");
+    }
+
+    #[test]
+    fn split_to_moves_front_and_keeps_tail() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_slice(b"frontback");
+        let front = m.split_to(5);
+        assert_eq!(&front[..], b"front");
+        assert_eq!(&m[..], b"back");
+        // Splitting the whole buffer transfers the allocation wholesale.
+        let mut whole = BytesMut::new();
+        whole.put_slice(b"abc");
+        let ptr = whole.as_ref().as_ptr() as usize;
+        let taken = whole.split_to(3);
+        assert_eq!(taken.as_ref().as_ptr() as usize, ptr);
+        assert!(whole.is_empty());
+        assert_eq!(&taken.freeze()[..], b"abc");
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_to_past_end_panics() {
+        let mut m = BytesMut::new();
+        m.put_u8(1);
+        let _ = m.split_to(2);
+    }
+
+    #[test]
+    fn resize_zero_fills() {
+        let mut m = BytesMut::new();
+        m.put_slice(b"xy");
+        m.resize(4, 0);
+        assert_eq!(&m[..], &[b'x', b'y', 0, 0]);
+        m.resize(1, 0);
+        assert_eq!(&m[..], b"x");
+        assert!(m.capacity() >= 4);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Operational metrics for a running DIDO node.
 
 use dido_model::PipelineConfig;
+use dido_net::NetStatsSnapshot;
 use dido_pipeline::ExecStats;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -36,6 +37,22 @@ pub struct Metrics {
     pub stale_rejects: u64,
     /// Batch groups handed to the steal helper (threaded executor).
     pub steal_groups: u64,
+    /// Dispatcher drains executed by the batched network front-end.
+    pub net_dispatches: u64,
+    /// Frames aggregated across those network dispatches.
+    pub net_frames: u64,
+    /// Queries aggregated across those network dispatches.
+    pub net_queries: u64,
+    /// Frames dropped on network RX-ring overflow.
+    pub net_dropped_frames: u64,
+    /// Network dispatches that waited out the full drain window without
+    /// accumulating a wavefront.
+    pub net_delayed_dispatches: u64,
+    /// Deepest network RX-ring occupancy observed at drain time.
+    pub net_ring_depth_max: u64,
+    /// Network frames-per-dispatch histogram (buckets
+    /// `1, 2, 3–4, …, 65+`; see `dido_net::BATCH_HIST_BUCKETS`).
+    pub net_batch_hist: [u64; dido_net::BATCH_HIST_BUCKETS],
     /// Batches executed per configuration (display string → count).
     pub config_histogram: BTreeMap<String, u64>,
 }
@@ -68,6 +85,34 @@ impl Metrics {
         self.stolen_claims += stats.stolen_claims;
         self.stale_rejects += stats.stale_rejects;
         self.steal_groups += stats.steal_groups;
+    }
+
+    /// Fold a network front-end snapshot into the node metrics. Like
+    /// [`Metrics::record_exec_stats`], `stats` is added as-is — pass a
+    /// delta (see `NetStatsSnapshot::delta_since`), not the same
+    /// cumulative snapshot twice. `ring_depth_max` folds by max, not by
+    /// addition.
+    pub fn record_net_stats(&mut self, stats: &NetStatsSnapshot) {
+        self.net_dispatches += stats.dispatches;
+        self.net_frames += stats.dispatched_frames;
+        self.net_queries += stats.dispatched_queries;
+        self.net_dropped_frames += stats.dropped_frames;
+        self.net_delayed_dispatches += stats.delayed_dispatches;
+        self.net_ring_depth_max = self.net_ring_depth_max.max(stats.ring_depth_max);
+        for (acc, v) in self.net_batch_hist.iter_mut().zip(stats.batch_hist) {
+            *acc += v;
+        }
+    }
+
+    /// Mean frames aggregated per network dispatch (0 when the batched
+    /// front-end never ran).
+    #[must_use]
+    pub fn net_mean_batch_frames(&self) -> f64 {
+        if self.net_dispatches == 0 {
+            0.0
+        } else {
+            self.net_frames as f64 / self.net_dispatches as f64
+        }
     }
 
     /// Record a simulated-executor steal outcome (`items` wavefront
@@ -138,6 +183,20 @@ impl fmt::Display for Metrics {
                 self.owner_claims, self.stolen_claims, self.stale_rejects, self.steal_groups
             )?;
         }
+        if self.net_dispatches > 0 {
+            writeln!(
+                f,
+                "net: {} dispatches ({:.1} frames/dispatch) over {} frames / {} queries, \
+                 {} dropped, {} delayed, ring depth max {}",
+                self.net_dispatches,
+                self.net_mean_batch_frames(),
+                self.net_frames,
+                self.net_queries,
+                self.net_dropped_frames,
+                self.net_delayed_dispatches,
+                self.net_ring_depth_max
+            )?;
+        }
         for (cfg, count) in &self.config_histogram {
             writeln!(f, "  {count:>6} x {cfg}")?;
         }
@@ -200,6 +259,48 @@ mod tests {
         assert!(s.contains("4 stolen"), "{s}");
         assert!(s.contains("2 stale rejects"), "{s}");
         assert!(s.contains("128 wavefront items"), "{s}");
+    }
+
+    #[test]
+    fn net_stats_fold_into_metrics() {
+        let mut hist_a = [0u64; dido_net::BATCH_HIST_BUCKETS];
+        hist_a[0] = 2;
+        hist_a[3] = 1;
+        let mut m = Metrics::default();
+        m.record_net_stats(&NetStatsSnapshot {
+            dispatches: 3,
+            dispatched_frames: 9,
+            dispatched_queries: 120,
+            dropped_frames: 1,
+            delayed_dispatches: 2,
+            ring_depth_max: 12,
+            batch_hist: hist_a,
+            ..NetStatsSnapshot::default()
+        });
+        m.record_net_stats(&NetStatsSnapshot {
+            dispatches: 1,
+            dispatched_frames: 1,
+            ring_depth_max: 5, // lower than the prior max: keeps 12
+            ..NetStatsSnapshot::default()
+        });
+        assert_eq!(m.net_dispatches, 4);
+        assert_eq!(m.net_frames, 10);
+        assert_eq!(m.net_queries, 120);
+        assert_eq!(m.net_dropped_frames, 1);
+        assert_eq!(m.net_delayed_dispatches, 2);
+        assert_eq!(m.net_ring_depth_max, 12);
+        assert_eq!(m.net_batch_hist[0], 2);
+        assert_eq!(m.net_batch_hist[3], 1);
+        assert!((m.net_mean_batch_frames() - 2.5).abs() < 1e-12);
+        let s = m.to_string();
+        assert!(s.contains("4 dispatches"), "{s}");
+        assert!(s.contains("ring depth max 12"), "{s}");
+    }
+
+    #[test]
+    fn net_line_absent_when_front_end_never_ran() {
+        let m = Metrics::default();
+        assert!(!m.to_string().contains("net:"));
     }
 
     #[test]

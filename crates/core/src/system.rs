@@ -174,6 +174,12 @@ impl DidoSystem {
         &self.metrics
     }
 
+    /// Mutable metrics, for folding in external counters such as the
+    /// network front-end's [`Metrics::record_net_stats`] deltas.
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
     /// Per-stage interval implied by the latency budget.
     #[must_use]
     pub fn stage_interval_ns(&self) -> f64 {

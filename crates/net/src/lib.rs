@@ -10,6 +10,13 @@
 //! charged by the pipeline's timing layer (the paper estimates them from
 //! microbenchmarked unit costs, §IV-B).
 //!
+//! [`KvServer`] is the real TCP front-end. It serves either one thread
+//! per connection (the seed data path) or — with
+//! [`DispatchMode::Batched`] — the paper's RV-ring/dispatcher/SD-writer
+//! topology, where frames from every connection aggregate through one
+//! shared [`FrameRing`] into cross-connection wavefront batches (see
+//! `DESIGN.md` §10).
+//!
 //! ```
 //! use dido_net::{FrameBuilder, parse_frame};
 //! use dido_model::Query;
@@ -28,9 +35,13 @@ mod server;
 mod trace;
 
 pub use nic::{FrameRing, Nic};
-pub use server::{KvClient, KvServer, ServerStats, MAX_FRAME_BYTES};
+pub use server::{
+    BatchConfig, DispatchMode, KvClient, KvServer, NetStatsSnapshot, ServerStats,
+    BATCH_HIST_BUCKETS, MAX_FRAME_BYTES,
+};
 pub use trace::{read_trace, write_trace, TraceError};
 pub use protocol::{
-    encode_responses, frame_query_count, pack_frames, parse_frame, parse_responses, FrameBuilder,
-    ProtocolError, DEFAULT_FRAME_CAPACITY, FRAME_HEADER, RECORD_HEADER,
+    encode_queries_wire_into, encode_responses, encode_responses_wire_into, frame_query_count,
+    pack_frames, parse_frame, parse_frame_into, parse_responses, FrameBuilder, ProtocolError,
+    DEFAULT_FRAME_CAPACITY, FRAME_HEADER, RECORD_HEADER,
 };

@@ -150,11 +150,26 @@ pub fn frame_query_count(frame: &Bytes) -> usize {
 
 /// Decode a query frame into zero-copy queries.
 pub fn parse_frame(frame: &Bytes) -> Result<Vec<Query>, ProtocolError> {
+    let mut out = Vec::with_capacity(frame_query_count(frame));
+    parse_frame_into(frame, &mut out)?;
+    Ok(out)
+}
+
+/// Decode a query frame, appending its zero-copy queries to `out`.
+/// Returns the number appended. On error `out` is restored to its
+/// original length, so a batch decoder can feed many frames into one
+/// shared query vector and skip the bad ones.
+pub fn parse_frame_into(frame: &Bytes, out: &mut Vec<Query>) -> Result<usize, ProtocolError> {
+    let mark = out.len();
+    parse_records_into(frame, out).inspect_err(|_| out.truncate(mark))
+}
+
+fn parse_records_into(frame: &Bytes, out: &mut Vec<Query>) -> Result<usize, ProtocolError> {
     if frame.len() < FRAME_HEADER {
         return Err(ProtocolError::Truncated);
     }
     let count = u16::from_le_bytes([frame[0], frame[1]]) as usize;
-    let mut out = Vec::with_capacity(count);
+    out.reserve(count);
     let mut pos = FRAME_HEADER;
     for _ in 0..count {
         if pos + RECORD_HEADER > frame.len() {
@@ -179,7 +194,7 @@ pub fn parse_frame(frame: &Bytes) -> Result<Vec<Query>, ProtocolError> {
         pos += val_len;
         out.push(Query { op, key, value });
     }
-    Ok(out)
+    Ok(count)
 }
 
 /// Serialize responses into a frame.
@@ -188,6 +203,43 @@ pub fn encode_responses(responses: &[Response]) -> Bytes {
     let total: usize =
         FRAME_HEADER + responses.iter().map(|r| 1 + 4 + r.value.len()).sum::<usize>();
     let mut buf = BytesMut::with_capacity(total);
+    encode_response_records(&mut buf, responses);
+    buf.freeze()
+}
+
+/// Append a *wire-ready* response frame — 4-byte length prefix included
+/// — to `buf`. Lets a batched sender coalesce many frames into one
+/// contiguous buffer (one allocation, one plain `write`) instead of
+/// encoding each frame separately and interleaving prefixes at write
+/// time.
+pub fn encode_responses_wire_into(buf: &mut BytesMut, responses: &[Response]) {
+    let frame_len: usize =
+        FRAME_HEADER + responses.iter().map(|r| 1 + 4 + r.value.len()).sum::<usize>();
+    buf.reserve(4 + frame_len);
+    buf.put_u32_le(frame_len as u32);
+    encode_response_records(buf, responses);
+}
+
+/// Append a *wire-ready* query frame — 4-byte length prefix included —
+/// to `buf`. Counterpart of [`encode_responses_wire_into`] for load
+/// generators that pre-encode their request streams and send a whole
+/// pipelined window in one vectored write.
+pub fn encode_queries_wire_into(buf: &mut BytesMut, queries: &[Query]) {
+    let frame_len: usize =
+        FRAME_HEADER + queries.iter().map(FrameBuilder::wire_size).sum::<usize>();
+    buf.reserve(4 + frame_len);
+    buf.put_u32_le(frame_len as u32);
+    buf.put_u16_le(queries.len() as u16);
+    for q in queries {
+        buf.put_u8(q.op.wire_code());
+        buf.put_u16_le(q.key.len() as u16);
+        buf.put_u32_le(q.value.len() as u32);
+        buf.put_slice(&q.key);
+        buf.put_slice(&q.value);
+    }
+}
+
+fn encode_response_records(buf: &mut BytesMut, responses: &[Response]) {
     buf.put_u16_le(responses.len() as u16);
     for r in responses {
         let status = match r.status {
@@ -199,7 +251,6 @@ pub fn encode_responses(responses: &[Response]) -> Bytes {
         buf.put_u32_le(r.value.len() as u32);
         buf.put_slice(&r.value);
     }
-    buf.freeze()
 }
 
 /// Decode a response frame.
@@ -322,6 +373,41 @@ mod tests {
         raw.put_u16_le(0);
         raw.put_u32_le(0);
         assert_eq!(parse_frame(&raw.freeze()), Err(ProtocolError::EmptyKey));
+    }
+
+    #[test]
+    fn parse_frame_into_restores_output_on_error() {
+        let qs = sample_queries();
+        let mut b = FrameBuilder::new();
+        for q in &qs {
+            b.push(q);
+        }
+        let good = b.finish();
+        let cut = good.slice(0..good.len() - 1);
+
+        let mut out = Vec::new();
+        assert_eq!(parse_frame_into(&good, &mut out).unwrap(), qs.len());
+        assert_eq!(parse_frame_into(&cut, &mut out), Err(ProtocolError::Truncated));
+        assert_eq!(out, qs, "failed frame must not leave partial queries behind");
+    }
+
+    #[test]
+    fn wire_encoders_round_trip_with_length_prefix() {
+        let qs = sample_queries();
+        let rs = vec![Response::hit("v"), Response::not_found()];
+        let mut buf = BytesMut::new();
+        encode_queries_wire_into(&mut buf, &qs);
+        let mark = buf.len();
+        encode_responses_wire_into(&mut buf, &rs);
+        let wire = buf.freeze();
+
+        let qlen = u32::from_le_bytes(wire[0..4].try_into().unwrap()) as usize;
+        assert_eq!(4 + qlen, mark, "query prefix covers exactly its frame");
+        assert_eq!(parse_frame(&wire.slice(4..4 + qlen)).unwrap(), qs);
+
+        let rlen = u32::from_le_bytes(wire[mark..mark + 4].try_into().unwrap()) as usize;
+        assert_eq!(mark + 4 + rlen, wire.len());
+        assert_eq!(parse_responses(&wire.slice(mark + 4..)).unwrap(), rs);
     }
 
     #[test]

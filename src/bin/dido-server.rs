@@ -3,19 +3,25 @@
 //! ```text
 //! dido-server [--addr HOST:PORT] [--store-mb N] [--latency-us N]
 //!             [--trace FILE] [--stats-every N]
+//!             [--batched] [--max-batch-delay-us N]
 //! ```
 //!
 //! Every request frame becomes one pipeline batch, so the workload
 //! profiler sees real client traffic and re-adapts the pipeline as it
-//! shifts. `--trace` tees accepted queries to a replayable trace file
-//! (rewritten every 256 frames); `--stats-every` prints the metrics
-//! summary every N frames. Runs until killed.
+//! shifts. With `--batched`, the server instead runs the RV-ring
+//! dispatcher data path: frames from every connection aggregate into
+//! cross-connection batches (held open up to `--max-batch-delay-us`
+//! below one wavefront), so concurrent clients share single pipeline
+//! invocations. `--trace` tees accepted queries to a replayable trace
+//! file (rewritten every 256 frames); `--stats-every` prints the
+//! metrics summary every N frames. Runs until killed.
 
 use dido_kv::dido::{DidoOptions, DidoSystem};
-use dido_kv::net::KvServer;
+use dido_kv::net::{BatchConfig, DispatchMode, KvServer, NetStatsSnapshot, ServerStats};
 use dido_kv::pipeline::TestbedOptions;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 struct Args {
     addr: String,
@@ -23,6 +29,8 @@ struct Args {
     latency_us: f64,
     trace: Option<std::path::PathBuf>,
     stats_every: u64,
+    batched: bool,
+    max_batch_delay_us: u64,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +40,8 @@ fn parse_args() -> Args {
         latency_us: 1_000.0,
         trace: None,
         stats_every: 0,
+        batched: false,
+        max_batch_delay_us: 200,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -62,10 +72,19 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 })
             }
+            "--batched" => args.batched = true,
+            "--max-batch-delay-us" => {
+                args.max_batch_delay_us =
+                    value("--max-batch-delay-us").parse().unwrap_or_else(|_| {
+                        eprintln!("--max-batch-delay-us needs a number");
+                        std::process::exit(2);
+                    })
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: dido-server [--addr HOST:PORT] [--store-mb N] \
-                     [--latency-us N] [--trace FILE] [--stats-every N]"
+                     [--latency-us N] [--trace FILE] [--stats-every N] \
+                     [--batched] [--max-batch-delay-us N]"
                 );
                 std::process::exit(0);
             }
@@ -92,10 +111,25 @@ fn main() -> std::io::Result<()> {
     let trace = std::sync::Arc::new(trace);
     let frames_seen = std::sync::Arc::new(AtomicU64::new(0));
 
-    let handler_trace = std::sync::Arc::clone(&trace);
-    let handler_frames = std::sync::Arc::clone(&frames_seen);
+    // The handler closes over the server's stats to fold network
+    // dispatch counters into the node metrics; the server doesn't exist
+    // until `start_with` returns, so hand them over via a OnceLock.
+    let net_stats: Arc<OnceLock<Arc<ServerStats>>> = Arc::new(OnceLock::new());
+    let last_net = Mutex::new(NetStatsSnapshot::default());
+
+    let handler_trace = Arc::clone(&trace);
+    let handler_frames = Arc::clone(&frames_seen);
+    let handler_net = Arc::clone(&net_stats);
     let stats_every = args.stats_every;
-    let server = KvServer::start(&args.addr, move |queries| {
+    let mode = if args.batched {
+        DispatchMode::Batched(BatchConfig {
+            max_batch_delay: std::time::Duration::from_micros(args.max_batch_delay_us),
+            ..BatchConfig::default()
+        })
+    } else {
+        DispatchMode::PerConnection
+    };
+    let server = KvServer::start_with(&args.addr, mode, move |queries| {
         if let Some((path, buf)) = handler_trace.as_ref() {
             let mut buf = buf.lock();
             buf.extend(queries.iter().cloned());
@@ -110,16 +144,28 @@ fn main() -> std::io::Result<()> {
         let (_, responses) = dido.process_batch(queries);
         let n = handler_frames.fetch_add(1, Ordering::Relaxed) + 1;
         if stats_every > 0 && n.is_multiple_of(stats_every) {
+            if let Some(stats) = handler_net.get() {
+                let now = stats.snapshot();
+                let mut last = last_net.lock();
+                dido.metrics_mut().record_net_stats(&now.delta_since(&last));
+                *last = now;
+            }
             eprintln!("--- after {n} frames ---\n{}", dido.metrics());
             eprintln!("pipeline: {}", dido.current_config());
         }
         responses
     })?;
+    let _ = net_stats.set(server.stats_handle());
     println!("dido-server listening on {}", server.addr());
     println!(
-        "store {} MB, latency budget {:.0} us{}",
+        "store {} MB, latency budget {:.0} us{}{}",
         args.store_mb,
         args.latency_us,
+        if args.batched {
+            ", batched dispatch"
+        } else {
+            ""
+        },
         if trace.is_some() { ", tracing on" } else { "" }
     );
 
