@@ -11,7 +11,7 @@ use dido_model::{Query, Response};
 use dido_net::{BatchConfig, DispatchMode, KvClient, KvServer};
 use std::time::Duration;
 
-fn echo_handler(queries: Vec<Query>) -> Vec<Response> {
+fn echo_handler(_lane: usize, queries: Vec<Query>) -> Vec<Response> {
     queries.iter().map(|_| Response::ok()).collect()
 }
 

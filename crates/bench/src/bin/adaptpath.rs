@@ -1,0 +1,116 @@
+//! Adaptive serving-core bench: global-mutex node vs the concurrent
+//! `ServingCore` behind a real batched TCP server, under the Figure
+//! 20/21 shifting workload, at 1/2/4 dispatchers. Writes
+//! `BENCH_adaptpath.json`.
+//!
+//! ```text
+//! adaptpath [--quick] [--seed N] [--frames N] [--connections N]
+//!           [--repeats N] [--out PATH] [--check]
+//! ```
+//!
+//! `--quick` runs the CI smoke configuration (few frames; numbers are
+//! noisy and only prove the harness runs). `--check` exits non-zero if
+//! the concurrent/locked throughput ratio at 4 dispatchers falls below
+//! the 1.8× bar or the core never re-adapts after the workload shift.
+
+use dido_bench::adaptpath::{run_adaptpath, AdaptpathOptions, ACCEPT_THRESHOLD};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = AdaptpathOptions::default();
+    let mut out = String::from("BENCH_adaptpath.json");
+    let mut check = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let seed = opts.seed;
+                opts = AdaptpathOptions::quick();
+                opts.seed = seed;
+            }
+            "--seed" => {
+                opts.seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--frames" => {
+                opts.target_frames = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--frames needs a number"));
+            }
+            "--connections" => {
+                opts.connections = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--connections needs a number"));
+            }
+            "--repeats" => {
+                opts.repeats = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--repeats needs a number"));
+            }
+            "--out" => {
+                out = iter.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: adaptpath [--quick] [--seed N] [--frames N] \
+                     [--connections N] [--repeats N] [--out PATH] [--check]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    println!(
+        "adaptpath: {} frames x {} queries/frame over {} connections, \
+         shift every {} frames, {} repeat(s)",
+        opts.target_frames,
+        opts.frame_queries,
+        opts.connections,
+        opts.shift_every_frames,
+        opts.repeats
+    );
+    let report = run_adaptpath(&opts, |cell| {
+        println!(
+            "  {:>10} x{} dispatchers: {:>10.0} q/s  p50 {:>7.1}us  p99 {:>8.1}us  \
+             adaptions {}",
+            cell.mode,
+            cell.dispatchers,
+            cell.throughput_qps,
+            cell.p50_us,
+            cell.p99_us,
+            cell.adaptions
+        );
+    });
+    for p in &report.readapt {
+        if p.adapted {
+            println!("  {:>10} re-adapted {:.2} ms after the shift", p.mode, p.readapt_ms);
+        } else {
+            println!("  {:>10} never re-adapted within the probe budget", p.mode);
+        }
+    }
+    let acc = report.acceptance_speedup();
+    println!(
+        "acceptance: {acc:.2}x concurrent/locked at 4 dispatchers \
+         (threshold {ACCEPT_THRESHOLD}x), readapt {}",
+        if report.readapt_pass() { "ok" } else { "FAILED" }
+    );
+
+    std::fs::write(&out, report.to_json()).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+    println!("wrote {out}");
+
+    if check && !(acc >= ACCEPT_THRESHOLD && report.readapt_pass()) {
+        eprintln!("acceptance FAILED");
+        std::process::exit(1);
+    }
+}

@@ -167,7 +167,7 @@ pub fn run_search(ctx: &ExperimentCtx) {
     ]);
     for label in ["K8-G95-S", "K16-G100-S", "K32-G50-U", "K128-G95-U"] {
         let w = spec(label);
-        let mut dido = DidoSystem::preloaded(w, ctx.dido_options());
+        let dido = DidoSystem::preloaded(w, ctx.dido_options());
         let mut generator = WorkloadGen::new(
             w,
             w.keyspace_size(ctx.store_bytes as u64, dido_kvstore::HEADER_SIZE),

@@ -20,7 +20,7 @@ fn model_choice(
     w: WorkloadSpec,
     enumerator: ConfigEnumerator,
 ) -> PipelineConfig {
-    let mut dido = DidoSystem::preloaded(w, ctx.dido_options());
+    let dido = DidoSystem::preloaded(w, ctx.dido_options());
     let mut generator = WorkloadGen::new(
         w,
         w.keyspace_size(ctx.store_bytes as u64, dido_kvstore::HEADER_SIZE),

@@ -73,7 +73,7 @@ pub fn run_fig20(ctx: &ExperimentCtx) {
     let a = spec("K8-G50-U");
     let b = spec("K16-G95-S");
     let (engine, n_a, n_b) = dual_preloaded_engine(ctx, a, b);
-    let mut dido = DidoSystem::from_engine(
+    let dido = DidoSystem::from_engine(
         engine,
         DidoOptions {
             testbed: ctx.testbed(),
@@ -92,7 +92,7 @@ pub fn run_fig20(ctx: &ExperimentCtx) {
         let (report, _) = dido.process_batch(queries);
         let t_batch = report.t_max_ns.max(1.0);
         n = (((n as f64 * interval / t_batch) as usize + n) / 2).clamp(256, 1 << 17);
-        let sample = dido.trace().last().expect("just pushed");
+        let sample = dido.trace().pop().expect("just pushed");
         t.row([
             format!("{:.2}", sample.at_ns / 1e6),
             if phase_b { "K16-G95-S" } else { "K8-G50-U" }.to_string(),
@@ -130,7 +130,7 @@ pub fn run_fig21(ctx: &ExperimentCtx) {
 
         // DIDO with adaption.
         let (engine, n_a, n_b) = dual_preloaded_engine(ctx, a, b);
-        let mut dido = DidoSystem::from_engine(
+        let dido = DidoSystem::from_engine(
             engine,
             DidoOptions {
                 testbed: ctx.testbed(),

@@ -128,7 +128,7 @@ pub fn measure_megakv_discrete(ctx: &ExperimentCtx, spec: WorkloadSpec) -> Measu
 /// Measure DIDO (dynamic adaption on) on `spec`.
 #[must_use]
 pub fn measure_dido(ctx: &ExperimentCtx, spec: WorkloadSpec) -> Measurement {
-    let mut dido = DidoSystem::preloaded(spec, ctx.dido_options());
+    let dido = DidoSystem::preloaded(spec, ctx.dido_options());
     let mut generator = WorkloadGen::new(
         spec,
         spec.keyspace_size(ctx.store_bytes as u64, dido_kvstore::HEADER_SIZE),

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptpath;
 pub mod experiments;
 mod harness;
 pub mod hotpath;

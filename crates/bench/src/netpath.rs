@@ -282,7 +282,7 @@ fn build_workload(
 /// refilling the window in half-window bursts (one vectored write per
 /// burst, as `memtier`-style pipelined load generators do) and
 /// recording the send→receive latency of every frame.
-fn drive_client(
+pub(crate) fn drive_client(
     addr: std::net::SocketAddr,
     frames: &[Bytes],
     window: usize,
@@ -310,7 +310,7 @@ fn drive_client(
     Ok(latencies)
 }
 
-fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
+pub(crate) fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -351,7 +351,7 @@ fn measure_cell(
 ) -> NetCell {
     let engine = Arc::clone(engine);
     let ctx = all_on_cpu_ctx();
-    let handler = move |queries: Vec<Query>| {
+    let handler = move |_lane: usize, queries: Vec<Query>| {
         let engine = engine.lock();
         run_vectorized_batch(ctx, &engine, queries, PipelineConfig::mega_kv())
     };

@@ -24,7 +24,7 @@
 //! use dido_workload::{WorkloadGen, WorkloadSpec};
 //!
 //! let spec = WorkloadSpec::from_label("K16-G95-S").unwrap();
-//! let mut dido = DidoSystem::new(DidoOptions {
+//! let dido = DidoSystem::new(DidoOptions {
 //!     testbed: TestbedOptions { store_bytes: 4 << 20, ..TestbedOptions::default() },
 //!     ..DidoOptions::default()
 //! });
@@ -42,8 +42,12 @@
 
 mod metrics;
 mod profiler;
+mod serving;
+mod striped;
 mod system;
 
 pub use metrics::Metrics;
 pub use profiler::{ProfilerConfig, WorkloadProfiler};
+pub use serving::{ControllerHandle, ServingCore};
+pub use striped::{StatsFold, StripedStats};
 pub use system::{DidoOptions, DidoSystem, TraceSample};

@@ -69,6 +69,15 @@ impl WorkloadProfiler {
         self.current_skew
     }
 
+    /// Adopt an externally computed skew estimate (the concurrent
+    /// serving path samples frequencies in striped per-lane windows —
+    /// see `StripedStats` — and feeds the published estimate back here
+    /// so `finish_batch`/`should_readapt` semantics stay identical to
+    /// the sequential profiler).
+    pub fn note_skew(&mut self, skew: f64) {
+        self.current_skew = skew;
+    }
+
     /// Feed the queries of a batch into the frequency sampler.
     pub fn observe_queries(&mut self, queries: &[Query], n_keys: u64) {
         for q in queries {

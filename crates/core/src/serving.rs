@@ -1,0 +1,505 @@
+//! The concurrent serving core: a shared-state data plane over sharded
+//! engines with a background adaptation control plane.
+//!
+//! [`DidoSystem`](crate::DidoSystem) keeps the paper's *virtual-time*
+//! evaluation loop; a real server cannot put a simulator (or a cost-model
+//! sweep) on its query path. [`ServingCore`] is the serving-side split of
+//! the same Figure-7 architecture:
+//!
+//! * **Data plane** — N network dispatchers concurrently call
+//!   [`ServingCore::process_batch`]. Each call folds the batch into its
+//!   lane's striped accumulators ([`StripedStats`]), loads the owning
+//!   shard's active configuration wait-free from an epoch-stamped
+//!   [`ConfigCell`], and executes the batch inline on the calling thread
+//!   over the [`ShardedEngine`]. No global lock anywhere on this path.
+//! * **Control plane** — a background controller thread
+//!   ([`ServingCore::spawn_controller`] / [`ServingCore::controller_tick`])
+//!   periodically folds the stripes, diffs against the previous fold to
+//!   get an interval workload profile, and runs it through the *same*
+//!   [`WorkloadProfiler`] smoothing + 10 %-drift hysteresis as the
+//!   sequential system. On drift it runs the cost model once per shard
+//!   (per-shard key counts and index depths differ) and publishes any
+//!   changed configuration with an epoch bump, which dispatchers pick up
+//!   on their next batch.
+//!
+//! With one shard and one controller tick per batch, the decision
+//! sequence matches the sequential [`DidoSystem`](crate::DidoSystem)
+//! oracle on the same recorded workload (asserted by the
+//! `concurrent_system` test suite): the interval profile equals the
+//! batch profile, the skew sampler is the same windowed algorithm, and
+//! the hysteresis thresholds are shared.
+
+use crate::metrics::Metrics;
+use crate::profiler::WorkloadProfiler;
+use crate::striped::{StatsFold, StripedStats};
+use crate::system::DidoOptions;
+use dido_cost_model::{CostModel, ModelInputs};
+use dido_hashtable::key_hash;
+use dido_kvstore::HEADER_SIZE;
+use dido_model::{ConfigCell, PipelineConfig, Query, QueryOp, Response, ResponseStatus};
+use dido_net::NetStatsSnapshot;
+use dido_pipeline::{EngineConfig, RunOptions, ShardedEngine};
+use dido_workload::{key_bytes, value_bytes, WorkloadGen, WorkloadSpec};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Control-plane state: everything only the (single) controller and
+/// occasional administrative calls touch.
+struct ControlState {
+    profiler: WorkloadProfiler,
+    /// The fold consumed by the previous tick; the next tick profiles
+    /// the delta against it.
+    last_fold: StatsFold,
+    adaptions: usize,
+    model_runs: usize,
+}
+
+/// The concurrent adaptive serving core (data plane + control plane).
+pub struct ServingCore {
+    engine: ShardedEngine,
+    model: CostModel,
+    options: DidoOptions,
+    cpu_cache_bytes: u64,
+    gpu_cache_bytes: u64,
+    stripes: StripedStats,
+    /// One epoch-stamped active configuration per shard.
+    configs: Vec<ConfigCell>,
+    control: Mutex<ControlState>,
+    metrics: Mutex<Metrics>,
+}
+
+impl ServingCore {
+    /// An empty core with `shards` engine shards and `lanes` dispatcher
+    /// stripes. Store and cache bytes from `options.testbed` are split
+    /// evenly across shards (so total capacity matches a single-shard
+    /// [`DidoSystem`](crate::DidoSystem) of the same options).
+    #[must_use]
+    pub fn new(shards: usize, lanes: usize, options: DidoOptions) -> ServingCore {
+        let shards = shards.max(1);
+        let (cpu_cache, gpu_cache) = Self::scaled_caches(&options, shards);
+        let per_shard = EngineConfig::new(
+            options.testbed.store_bytes / shards,
+            cpu_cache,
+            gpu_cache,
+        );
+        Self::from_engine(ShardedEngine::new(shards, per_shard), lanes, options)
+    }
+
+    /// A core preloaded to capacity with `spec`'s key space ("we store
+    /// as many key-value objects as possible", §V-A), plus a matching
+    /// query generator. Keys route across shards exactly as live
+    /// queries will.
+    #[must_use]
+    pub fn preloaded(
+        spec: WorkloadSpec,
+        shards: usize,
+        lanes: usize,
+        options: DidoOptions,
+    ) -> (ServingCore, WorkloadGen) {
+        let core = Self::new(shards, lanes, options);
+        let n_keys = spec
+            .keyspace_size(options.testbed.store_bytes as u64, HEADER_SIZE)
+            .max(1);
+        for id in 0..n_keys {
+            let key = key_bytes(spec.dataset, id);
+            let value = value_bytes(spec.dataset, id);
+            let shard = core.engine.shard(core.engine.shard_of(&key));
+            let out = shard
+                .store
+                .allocate(&key, &value)
+                .expect("preload must fit the store");
+            if let Some(ev) = &out.evicted {
+                let _ = shard.index.delete(key_hash(&ev.key), ev.loc);
+            }
+            shard
+                .index
+                .upsert(key_hash(&key), out.loc)
+                .0
+                .expect("index sized for the store");
+        }
+        let generator = WorkloadGen::new(spec, n_keys, options.testbed.seed);
+        (core, generator)
+    }
+
+    /// Wrap an existing [`ShardedEngine`] (e.g. a single engine from
+    /// `preloaded_engine`, via [`ShardedEngine::from_engines`]).
+    #[must_use]
+    pub fn from_engine(engine: ShardedEngine, lanes: usize, options: DidoOptions) -> ServingCore {
+        let shards = engine.shard_count();
+        let (cpu_cache, gpu_cache) = Self::scaled_caches(&options, shards);
+        ServingCore {
+            model: CostModel::new(options.hw),
+            cpu_cache_bytes: cpu_cache,
+            gpu_cache_bytes: gpu_cache,
+            stripes: StripedStats::new(lanes, options.profiler),
+            configs: (0..shards)
+                .map(|_| ConfigCell::new(PipelineConfig::mega_kv()))
+                .collect(),
+            control: Mutex::new(ControlState {
+                profiler: WorkloadProfiler::new(options.profiler),
+                last_fold: StatsFold::default(),
+                adaptions: 0,
+                model_runs: 0,
+            }),
+            metrics: Mutex::new(Metrics::default()),
+            engine,
+            options,
+        }
+    }
+
+    /// Per-shard scaled cache sizing, mirroring
+    /// `DidoSystem::scaled_caches` (identical for one shard).
+    fn scaled_caches(options: &DidoOptions, shards: usize) -> (u64, u64) {
+        let ratio = if options.testbed.scale_caches {
+            (options.testbed.store_bytes as f64 / options.hw.mem.shared_bytes as f64).min(1.0)
+        } else {
+            1.0
+        };
+        (
+            ((options.hw.cpu.cache_bytes as f64 * ratio) as u64 / shards as u64).max(8 * 1024),
+            ((options.hw.gpu.cache_bytes as f64 * ratio) as u64 / shards as u64).max(2 * 1024),
+        )
+    }
+
+    /// The sharded functional engine.
+    #[must_use]
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.engine
+    }
+
+    /// Number of engine shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Number of dispatcher lanes the accumulators are striped over.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.stripes.lanes()
+    }
+
+    /// The active configuration and epoch of `shard` (wait-free).
+    #[must_use]
+    pub fn shard_config(&self, shard: usize) -> (PipelineConfig, u32) {
+        self.configs[shard].load()
+    }
+
+    /// Snapshot of every shard's active configuration.
+    #[must_use]
+    pub fn configs(&self) -> Vec<PipelineConfig> {
+        self.configs.iter().map(|c| c.load().0).collect()
+    }
+
+    /// Pin every shard to `config` (the controller may re-adapt away on
+    /// the next drift; combine with a paused controller to pin hard).
+    pub fn set_config(&self, config: PipelineConfig) {
+        for cell in &self.configs {
+            cell.publish(config);
+        }
+    }
+
+    /// Total configuration changes published by the control plane.
+    #[must_use]
+    pub fn adaptions(&self) -> usize {
+        self.control.lock().adaptions
+    }
+
+    /// Cost-model runs (each >10 %-drift tick runs the model once per
+    /// shard but counts as one run, matching the sequential system).
+    #[must_use]
+    pub fn model_runs(&self) -> usize {
+        self.control.lock().model_runs
+    }
+
+    /// Reset the profiler baseline so the next tick re-runs the model.
+    pub fn force_readapt(&self) {
+        self.control.lock().profiler.force_readapt();
+    }
+
+    /// Snapshot of the rolling operational metrics. Clones so callers
+    /// format/print without holding any lock.
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.lock().clone()
+    }
+
+    /// Fold a network front-end delta into the node metrics.
+    pub fn record_net_stats(&self, delta: &NetStatsSnapshot) {
+        self.metrics.lock().record_net_stats(delta);
+    }
+
+    /// Cumulative striped-accumulator fold (for tests and monitoring).
+    #[must_use]
+    pub fn stats_fold(&self) -> StatsFold {
+        self.stripes.fold()
+    }
+
+    /// Aggregate live objects across shards.
+    #[must_use]
+    pub fn live_objects(&self) -> usize {
+        self.engine.live_objects()
+    }
+
+    /// Per-stage interval implied by the latency budget.
+    #[must_use]
+    pub fn stage_interval_ns(&self) -> f64 {
+        RunOptions {
+            latency_budget_ns: self.options.latency_budget_ns,
+            ..RunOptions::default()
+        }
+        .stage_interval_ns()
+    }
+
+    /// Direct single-query access (routes to the owning shard).
+    pub fn execute(&self, q: &Query) -> Response {
+        self.engine.execute(q)
+    }
+
+    /// Process one batch on dispatcher lane `lane`. Lock-free profiling,
+    /// wait-free config load, inline execution on the calling thread;
+    /// safe and intended to be called concurrently from every
+    /// dispatcher.
+    pub fn process_batch(&self, lane: usize, queries: Vec<Query>) -> Vec<Response> {
+        let n = queries.len() as u64;
+        if n == 0 {
+            return Vec::new();
+        }
+        self.stripes
+            .observe(lane, &queries, self.engine.live_objects() as u64);
+        let mut gets = 0u64;
+        let is_get: Vec<bool> = queries
+            .iter()
+            .map(|q| {
+                let g = q.op == QueryOp::Get;
+                gets += u64::from(g);
+                g
+            })
+            .collect();
+        let shard0_config = self.configs[0].load().0;
+        let started = Instant::now();
+        let responses = self
+            .engine
+            .process_batch_inline(queries, |shard| self.configs[shard].load().0);
+        let elapsed_ns = started.elapsed().as_nanos() as f64;
+        let mut hits = 0u64;
+        let mut hit_bytes = 0u64;
+        for (r, g) in responses.iter().zip(&is_get) {
+            if *g && r.status == ResponseStatus::Ok {
+                hits += 1;
+                hit_bytes += r.value.len() as u64;
+            }
+        }
+        self.stripes.record_hits(lane, hits, hit_bytes);
+        self.metrics
+            .lock()
+            .record_batch(shard0_config, n, gets, hits, elapsed_ns);
+        responses
+    }
+
+    /// One control-plane tick: fold the stripes, profile the interval
+    /// since the previous tick, and on >10 % drift run the cost model
+    /// and publish per-shard configurations. Returns `true` if any
+    /// shard's configuration changed.
+    ///
+    /// Called by the background controller thread; also callable
+    /// directly (tests tick once per batch to replay the sequential
+    /// oracle's cadence).
+    pub fn controller_tick(&self) -> bool {
+        let fold = self.stripes.fold();
+        let mut ctl = self.control.lock();
+        let delta = fold.delta(&ctl.last_fold);
+        if delta.queries == 0 {
+            return false;
+        }
+        ctl.last_fold = fold;
+        ctl.profiler.note_skew(self.stripes.skew());
+        let raw = delta.workload_stats(self.stripes.skew());
+        let stats = ctl.profiler.finish_batch(raw);
+        if stats.batch_size == 0 || !ctl.profiler.should_readapt(stats) {
+            return false;
+        }
+        ctl.model_runs += 1;
+        let interval_ns = self.stage_interval_ns();
+        let mut changed = false;
+        for (s, cell) in self.configs.iter().enumerate() {
+            let shard = self.engine.shard(s);
+            let inputs = ModelInputs {
+                stats,
+                n_keys: shard.store.live_objects() as u64,
+                avg_insert_buckets: shard.index.avg_insert_buckets(),
+                avg_delete_buckets: shard.index.avg_delete_buckets(),
+                interval_ns,
+                cpu_cache_bytes: self.cpu_cache_bytes,
+                gpu_cache_bytes: self.gpu_cache_bytes,
+            };
+            let prediction = if self.options.greedy_search {
+                self.model.greedy_config(&inputs)
+            } else {
+                self.model.optimal_config(&inputs, self.options.enumerator)
+            };
+            if prediction.config != cell.load().0 {
+                cell.publish(prediction.config);
+                ctl.adaptions += 1;
+                changed = true;
+            }
+        }
+        let mut m = self.metrics.lock();
+        m.model_runs += 1;
+        if changed {
+            m.adaptions += 1;
+        }
+        changed
+    }
+
+    /// Spawn the background adaptation controller, ticking every
+    /// `period`. The returned handle stops and joins the thread on
+    /// [`ControllerHandle::stop`] or drop.
+    #[must_use]
+    pub fn spawn_controller(core: Arc<ServingCore>, period: Duration) -> ControllerHandle {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("dido-controller".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    core.controller_tick();
+                    std::thread::sleep(period);
+                }
+            })
+            .expect("spawn controller thread");
+        ControllerHandle {
+            shutdown,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl std::fmt::Debug for ServingCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ctl = self.control.lock();
+        f.debug_struct("ServingCore")
+            .field("shards", &self.configs.len())
+            .field("lanes", &self.stripes.lanes())
+            .field("adaptions", &ctl.adaptions)
+            .finish()
+    }
+}
+
+/// Join handle for the background adaptation controller.
+#[derive(Debug)]
+pub struct ControllerHandle {
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ControllerHandle {
+    /// Signal the controller to stop and join it.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ControllerHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dido_pipeline::TestbedOptions;
+
+    fn opts() -> DidoOptions {
+        DidoOptions {
+            testbed: TestbedOptions {
+                store_bytes: 4 << 20,
+                ..TestbedOptions::default()
+            },
+            ..DidoOptions::default()
+        }
+    }
+
+    fn spec(label: &str) -> WorkloadSpec {
+        WorkloadSpec::from_label(label).unwrap()
+    }
+
+    #[test]
+    fn preloaded_core_serves_and_adapts() {
+        let (core, mut g) = ServingCore::preloaded(spec("K8-G95-S"), 2, 2, opts());
+        assert!(core.live_objects() > 1000);
+        assert_eq!(core.adaptions(), 0);
+        let batch = g.batch(4096);
+        let responses = core.process_batch(0, batch);
+        assert_eq!(responses.len(), 4096);
+        assert!(core.controller_tick(), "first tick must configure shards");
+        assert!(core.adaptions() >= 1);
+        assert_ne!(core.configs()[0], PipelineConfig::mega_kv());
+        // Stable workload: further ticks must not thrash.
+        for _ in 0..3 {
+            let b = g.batch(4096);
+            let _ = core.process_batch(0, b);
+            core.controller_tick();
+        }
+        assert!(core.adaptions() <= core.shard_count() + 2);
+    }
+
+    #[test]
+    fn idle_tick_is_a_no_op() {
+        let core = ServingCore::new(1, 1, opts());
+        assert!(!core.controller_tick());
+        assert_eq!(core.model_runs(), 0);
+    }
+
+    #[test]
+    fn preloaded_keys_hit_across_shards() {
+        let (core, mut g) = ServingCore::preloaded(spec("K16-G95-U"), 3, 1, opts());
+        let responses = core.process_batch(0, g.batch(2048));
+        let hits = responses
+            .iter()
+            .filter(|r| r.status == ResponseStatus::Ok && !r.value.is_empty())
+            .count();
+        assert!(
+            hits as f64 > 0.85 * 0.95 * 2048.0,
+            "preloaded GETs should mostly hit: {hits}/2048"
+        );
+        let m = core.metrics();
+        assert_eq!(m.batches, 1);
+        assert_eq!(m.queries, 2048);
+        assert!(m.hits > 0);
+    }
+
+    #[test]
+    fn background_controller_reacts_to_shift() {
+        let (core, _g) = ServingCore::preloaded(spec("K16-G95-S"), 1, 2, opts());
+        let core = Arc::new(core);
+        let handle =
+            ServingCore::spawn_controller(Arc::clone(&core), Duration::from_millis(1));
+        let mut a = WorkloadGen::new(spec("K16-G95-S"), 10_000, 3);
+        for _ in 0..3 {
+            let _ = core.process_batch(0, a.batch(4096));
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        let runs_after_warmup = core.model_runs();
+        let mut b = WorkloadGen::new(spec("K8-G50-U"), 10_000, 4);
+        for _ in 0..3 {
+            let _ = core.process_batch(1, b.batch(4096));
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        handle.stop();
+        assert!(
+            core.model_runs() > runs_after_warmup,
+            "workload swap must re-run the cost model in the background"
+        );
+    }
+}

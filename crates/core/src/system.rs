@@ -1,16 +1,33 @@
 //! The DIDO system: query processing pipeline + workload profiler +
 //! cost-model-guided dynamic adaption (paper Figure 7).
+//!
+//! Since the concurrent-serving refactor, [`DidoSystem::process_batch`]
+//! takes `&self` and is safe to call from many threads: workload
+//! profiling goes through striped per-lane accumulators
+//! ([`crate::StripedStats`]), the active configuration lives in an
+//! epoch-stamped [`ConfigCell`] that the hot path loads wait-free, and
+//! metrics sit behind their own short-lived lock. The *virtual-time
+//! simulator* and the adaptation decision remain serial by nature (the
+//! clock is a fold over batches), so they share one internal mutex —
+//! concurrent callers interleave batches in lock order with exactly the
+//! sequential semantics. The truly parallel data plane over real
+//! (non-simulated) execution is [`crate::ServingCore`].
 
 use crate::metrics::Metrics;
 use crate::profiler::{ProfilerConfig, WorkloadProfiler};
+use crate::striped::StripedStats;
 use dido_apu_sim::{HwSpec, Ns, TimingEngine};
 use dido_cost_model::{CostModel, ModelInputs};
-use dido_model::{ConfigEnumerator, PipelineConfig, Query, Response, WorkloadStats};
+use dido_model::{
+    ConfigCell, ConfigEnumerator, PipelineConfig, Query, Response, ResponseStatus, WorkloadStats,
+};
+use dido_net::NetStatsSnapshot;
 use dido_pipeline::{
-    preloaded_engine, BatchReport, KvEngine, RunOptions, SimExecutor, TestbedOptions,
+    preloaded_engine, BatchReport, ExecStats, KvEngine, RunOptions, SimExecutor, TestbedOptions,
     WorkloadReport,
 };
 use dido_workload::WorkloadSpec;
+use parking_lot::Mutex;
 
 /// Construction options for a [`DidoSystem`].
 #[derive(Debug, Clone, Copy)]
@@ -57,21 +74,35 @@ pub struct TraceSample {
     pub readapted: bool,
 }
 
-/// The DIDO in-memory key-value store with dynamic pipeline execution.
-pub struct DidoSystem {
-    engine: KvEngine,
+/// Profiler lanes a [`DidoSystem`] stripes its accumulators over.
+const SYSTEM_LANES: usize = 8;
+
+/// Serial state: the virtual-time executor plus the control plane
+/// (profiler baseline, adaption counters, clock, trace). One mutex —
+/// the simulator's virtual clock is a fold over batches, so batches
+/// through it are inherently ordered; keeping the adaptation decision
+/// under the same lock preserves the exact sequential semantics under
+/// concurrent callers.
+struct SerialState {
     sim: SimExecutor,
-    model: CostModel,
     profiler: WorkloadProfiler,
-    options: DidoOptions,
-    current: PipelineConfig,
-    cpu_cache_bytes: u64,
-    gpu_cache_bytes: u64,
     adaptions: usize,
     model_runs: usize,
     clock_ns: Ns,
     trace: Vec<TraceSample>,
-    metrics: Metrics,
+}
+
+/// The DIDO in-memory key-value store with dynamic pipeline execution.
+pub struct DidoSystem {
+    engine: KvEngine,
+    model: CostModel,
+    options: DidoOptions,
+    cpu_cache_bytes: u64,
+    gpu_cache_bytes: u64,
+    stripes: StripedStats,
+    config: ConfigCell,
+    serial: Mutex<SerialState>,
+    metrics: Mutex<Metrics>,
 }
 
 impl DidoSystem {
@@ -113,17 +144,20 @@ impl DidoSystem {
         // Mirror the scaled cache sizing of `preloaded_engine`.
         let (cpu_cache, gpu_cache) = Self::scaled_caches(&options);
         DidoSystem {
-            sim: SimExecutor::new(TimingEngine::new(options.hw)),
             model: CostModel::new(options.hw),
-            profiler: WorkloadProfiler::new(options.profiler),
-            current: PipelineConfig::mega_kv(),
             cpu_cache_bytes: cpu_cache,
             gpu_cache_bytes: gpu_cache,
-            adaptions: 0,
-            model_runs: 0,
-            clock_ns: 0.0,
-            trace: Vec::new(),
-            metrics: Metrics::default(),
+            stripes: StripedStats::new(SYSTEM_LANES, options.profiler),
+            config: ConfigCell::new(PipelineConfig::mega_kv()),
+            serial: Mutex::new(SerialState {
+                sim: SimExecutor::new(TimingEngine::new(options.hw)),
+                profiler: WorkloadProfiler::new(options.profiler),
+                adaptions: 0,
+                model_runs: 0,
+                clock_ns: 0.0,
+                trace: Vec::new(),
+            }),
+            metrics: Mutex::new(Metrics::default()),
             engine,
             options,
         }
@@ -135,16 +169,23 @@ impl DidoSystem {
         &self.engine
     }
 
-    /// The currently active pipeline configuration.
+    /// The currently active pipeline configuration (wait-free load).
     #[must_use]
     pub fn current_config(&self) -> PipelineConfig {
-        self.current
+        self.config.load().0
+    }
+
+    /// The active configuration's publication epoch (bumped on every
+    /// adaption or [`DidoSystem::set_config`]).
+    #[must_use]
+    pub fn config_epoch(&self) -> u32 {
+        self.config.load().1
     }
 
     /// Number of pipeline re-adaptions (configuration changes) so far.
     #[must_use]
     pub fn adaptions(&self) -> usize {
-        self.adaptions
+        self.serial.lock().adaptions
     }
 
     /// Number of times the cost model was (re)run — every >10 % workload
@@ -152,32 +193,39 @@ impl DidoSystem {
     /// changed.
     #[must_use]
     pub fn model_runs(&self) -> usize {
-        self.model_runs
+        self.serial.lock().model_runs
     }
 
     /// Virtual time elapsed, ns.
     #[must_use]
     pub fn clock_ns(&self) -> Ns {
-        self.clock_ns
+        self.serial.lock().clock_ns
     }
 
-    /// The per-batch virtual-time throughput trace.
+    /// Snapshot of the per-batch virtual-time throughput trace.
     #[must_use]
-    pub fn trace(&self) -> &[TraceSample] {
-        &self.trace
+    pub fn trace(&self) -> Vec<TraceSample> {
+        self.serial.lock().trace.clone()
     }
 
-    /// Rolling operational metrics (queries, hit rate, throughput,
-    /// configuration histogram).
+    /// Snapshot of the rolling operational metrics (queries, hit rate,
+    /// throughput, configuration histogram). Clones outside the hot
+    /// path so callers can format/print without holding any lock.
     #[must_use]
-    pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.lock().clone()
     }
 
-    /// Mutable metrics, for folding in external counters such as the
-    /// network front-end's [`Metrics::record_net_stats`] deltas.
-    pub fn metrics_mut(&mut self) -> &mut Metrics {
-        &mut self.metrics
+    /// Fold a network front-end delta into the node metrics (see
+    /// [`Metrics::record_net_stats`]).
+    pub fn record_net_stats(&self, delta: &NetStatsSnapshot) {
+        self.metrics.lock().record_net_stats(delta);
+    }
+
+    /// Fold a threaded-executor counter delta into the node metrics
+    /// (see [`Metrics::record_exec_stats`]).
+    pub fn record_exec_stats(&self, delta: &ExecStats) {
+        self.metrics.lock().record_exec_stats(delta);
     }
 
     /// Per-stage interval implied by the latency budget.
@@ -201,14 +249,14 @@ impl DidoSystem {
 
     /// Pin the pipeline configuration (disables adaption until
     /// [`DidoSystem::force_readapt`] or a workload change re-enables it).
-    pub fn set_config(&mut self, config: PipelineConfig) {
-        self.current = config;
+    pub fn set_config(&self, config: PipelineConfig) {
+        self.config.publish(config);
     }
 
     /// Reset the profiler baseline so the next batch re-runs the cost
     /// model regardless of drift.
-    pub fn force_readapt(&mut self) {
-        self.profiler.force_readapt();
+    pub fn force_readapt(&self) {
+        self.serial.lock().profiler.force_readapt();
     }
 
     /// Model inputs for the current engine state and `stats`.
@@ -228,13 +276,66 @@ impl DidoSystem {
     /// Process one batch under the current configuration, then profile
     /// it and — if the workload drifted past the 10 % threshold — run
     /// the cost model and adopt the new optimal configuration for the
-    /// *coming* batches (paper §III-A).
-    pub fn process_batch(&mut self, queries: Vec<Query>) -> (BatchReport, Vec<Response>) {
+    /// *coming* batches (paper §III-A). Callable concurrently; equal to
+    /// [`DidoSystem::process_batch_on`] with lane 0.
+    pub fn process_batch(&self, queries: Vec<Query>) -> (BatchReport, Vec<Response>) {
+        self.process_batch_on(0, queries)
+    }
+
+    /// [`DidoSystem::process_batch`] with an explicit profiler lane
+    /// (dispatcher index); concurrent callers should use distinct lanes
+    /// so the striped accumulators stay contention-free.
+    pub fn process_batch_on(
+        &self,
+        lane: usize,
+        queries: Vec<Query>,
+    ) -> (BatchReport, Vec<Response>) {
         let n_keys = self.engine.store.live_objects() as u64;
-        self.profiler.observe_queries(&queries, n_keys);
-        let active_config = self.current;
-        let (report, responses) = self.sim.run_batch(&self.engine, queries, self.current);
-        self.metrics.record_batch(
+        self.stripes.observe(lane, &queries, n_keys);
+        let (active_config, _epoch) = self.config.load();
+
+        let mut serial = self.serial.lock();
+        let (report, responses) = serial.sim.run_batch(&self.engine, queries, active_config);
+        let hit_bytes: u64 = responses
+            .iter()
+            .filter(|r| r.status == ResponseStatus::Ok)
+            .map(|r| r.value.len() as u64)
+            .sum();
+        self.stripes.record_hits(lane, report.hits as u64, hit_bytes);
+
+        serial.profiler.note_skew(self.stripes.skew());
+        let stats = serial.profiler.finish_batch(report.stats);
+        let mut readapted = false;
+        let mut model_ran = false;
+        if stats.batch_size > 0 && serial.profiler.should_readapt(stats) {
+            serial.model_runs += 1;
+            model_ran = true;
+            let inputs = self.model_inputs(stats);
+            let prediction = if self.options.greedy_search {
+                self.model.greedy_config(&inputs)
+            } else {
+                self.model.optimal_config(&inputs, self.options.enumerator)
+            };
+            let (current, _) = self.config.load();
+            if prediction.config != current {
+                self.config.publish(prediction.config);
+                serial.adaptions += 1;
+                readapted = true;
+            }
+        }
+
+        serial.clock_ns += report.t_max_ns;
+        let at_ns = serial.clock_ns;
+        serial.trace.push(TraceSample {
+            at_ns,
+            throughput_mops: report.throughput_mops(),
+            config: self.config.load().0,
+            readapted,
+        });
+        drop(serial);
+
+        let mut m = self.metrics.lock();
+        m.record_batch(
             active_config,
             report.batch_size as u64,
             (report.stats.get_ratio * report.batch_size as f64).round() as u64,
@@ -242,42 +343,22 @@ impl DidoSystem {
             report.t_max_ns,
         );
         if let Some(steal) = &report.steal {
-            self.metrics.record_sim_steal(steal.items as u64);
+            m.record_sim_steal(steal.items as u64);
         }
-
-        let stats = self.profiler.finish_batch(report.stats);
-        let mut readapted = false;
-        if stats.batch_size > 0 && self.profiler.should_readapt(stats) {
-            self.model_runs += 1;
-            self.metrics.model_runs += 1;
-            let inputs = self.model_inputs(stats);
-            let prediction = if self.options.greedy_search {
-                self.model.greedy_config(&inputs)
-            } else {
-                self.model.optimal_config(&inputs, self.options.enumerator)
-            };
-            if prediction.config != self.current {
-                self.current = prediction.config;
-                self.adaptions += 1;
-                self.metrics.adaptions += 1;
-                readapted = true;
-            }
+        if model_ran {
+            m.model_runs += 1;
         }
-
-        self.clock_ns += report.t_max_ns;
-        self.trace.push(TraceSample {
-            at_ns: self.clock_ns,
-            throughput_mops: report.throughput_mops(),
-            config: report.stages.first().map(|_| self.current).unwrap_or(self.current),
-            readapted,
-        });
+        if readapted {
+            m.adaptions += 1;
+        }
+        drop(m);
         (report, responses)
     }
 
     /// Calibrated steady-state measurement under dynamic adaption:
     /// batches are sized to the latency budget while the profiler keeps
     /// adapting the pipeline.
-    pub fn measure<F>(&mut self, mut next_batch: F, iterations: usize) -> WorkloadReport
+    pub fn measure<F>(&self, mut next_batch: F, iterations: usize) -> WorkloadReport
     where
         F: FnMut(usize) -> Vec<Query>,
     {
@@ -306,10 +387,11 @@ impl DidoSystem {
 
 impl std::fmt::Debug for DidoSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let serial = self.serial.lock();
         f.debug_struct("DidoSystem")
-            .field("config", &self.current.to_string())
-            .field("adaptions", &self.adaptions)
-            .field("clock_us", &(self.clock_ns / 1000.0))
+            .field("config", &self.config.load().0.to_string())
+            .field("adaptions", &serial.adaptions)
+            .field("clock_us", &(serial.clock_ns / 1000.0))
             .finish()
     }
 }
@@ -336,7 +418,7 @@ mod tests {
 
     #[test]
     fn first_batch_triggers_adaption() {
-        let mut dido = DidoSystem::preloaded(spec("K8-G95-S"), opts());
+        let dido = DidoSystem::preloaded(spec("K8-G95-S"), opts());
         let mut g = WorkloadGen::new(spec("K8-G95-S"), 10_000, 1);
         assert_eq!(dido.adaptions(), 0);
         let (report, responses) = dido.process_batch(g.batch(4096));
@@ -351,7 +433,7 @@ mod tests {
 
     #[test]
     fn stable_workload_does_not_thrash() {
-        let mut dido = DidoSystem::preloaded(spec("K16-G95-U"), opts());
+        let dido = DidoSystem::preloaded(spec("K16-G95-U"), opts());
         let mut g = WorkloadGen::new(spec("K16-G95-U"), 10_000, 2);
         for _ in 0..6 {
             let _ = dido.process_batch(g.batch(4096));
@@ -365,7 +447,7 @@ mod tests {
 
     #[test]
     fn workload_shift_triggers_readaption() {
-        let mut dido = DidoSystem::preloaded(spec("K16-G95-S"), opts());
+        let dido = DidoSystem::preloaded(spec("K16-G95-S"), opts());
         let mut a = WorkloadGen::new(spec("K16-G95-S"), 10_000, 3);
         for _ in 0..3 {
             let _ = dido.process_batch(a.batch(4096));
@@ -384,7 +466,7 @@ mod tests {
 
     #[test]
     fn responses_remain_correct_across_adaptions() {
-        let mut dido = DidoSystem::preloaded(spec("K8-G95-S"), opts());
+        let dido = DidoSystem::preloaded(spec("K8-G95-S"), opts());
         // Seed a known key through the convenience API.
         assert_eq!(
             dido.execute(&Query::set("pin", "value")).status,
@@ -401,7 +483,7 @@ mod tests {
 
     #[test]
     fn measure_converges_and_traces() {
-        let mut dido = DidoSystem::preloaded(spec("K16-G95-U"), opts());
+        let dido = DidoSystem::preloaded(spec("K16-G95-U"), opts());
         let mut g = WorkloadGen::new(spec("K16-G95-U"), 10_000, 6);
         let wr = dido.measure(|n| g.batch(n), 5);
         assert!(wr.throughput_mops() > 0.1);
@@ -414,7 +496,7 @@ mod tests {
 
     #[test]
     fn metrics_accumulate_across_batches() {
-        let mut dido = DidoSystem::preloaded(spec("K16-G95-U"), opts());
+        let dido = DidoSystem::preloaded(spec("K16-G95-U"), opts());
         let mut g = WorkloadGen::new(spec("K16-G95-U"), 10_000, 11);
         for _ in 0..3 {
             let _ = dido.process_batch(g.batch(2048));
@@ -440,7 +522,7 @@ mod tests {
         let base = WorkloadGen::new(spec("K8-G100-U"), n_keys, 12);
         let mut gen = SpikeGen::new(base, 8, 0.6, 13);
         // Small sampling window so the estimate reacts within a batch.
-        let mut dido = {
+        let dido = {
             let mut o = opts();
             o.profiler.skew_window = 2_048;
             o.profiler.skew_sample_rate = 1;
@@ -462,7 +544,7 @@ mod tests {
 
     #[test]
     fn pinned_config_is_respected() {
-        let mut dido = DidoSystem::preloaded(spec("K8-G100-U"), opts());
+        let dido = DidoSystem::preloaded(spec("K8-G100-U"), opts());
         dido.set_config(PipelineConfig::cpu_only());
         let mut g = WorkloadGen::new(spec("K8-G100-U"), 10_000, 7);
         let (report, _) = dido.process_batch(g.batch(1024));

@@ -1,0 +1,214 @@
+//! Concurrency-exactness tests for the serving core: hammering
+//! `DidoSystem::process_batch_on` and `ServingCore::process_batch` from
+//! many threads must lose no profiler samples and apply no adaption
+//! twice, and the background controller's decisions on a recorded
+//! workload must match the sequential system's oracle.
+
+use dido::{DidoOptions, DidoSystem, ServingCore};
+use dido_model::QueryOp;
+use dido_pipeline::TestbedOptions;
+use dido_workload::{AlternatingGen, WorkloadGen, WorkloadSpec};
+use std::sync::Arc;
+
+const THREADS: usize = 4;
+const BATCHES_PER_THREAD: usize = 12;
+const BATCH: usize = 512;
+
+fn spec(label: &str) -> WorkloadSpec {
+    WorkloadSpec::from_label(label).expect("valid label")
+}
+
+fn options(store_bytes: usize) -> DidoOptions {
+    DidoOptions {
+        testbed: TestbedOptions {
+            store_bytes,
+            ..TestbedOptions::default()
+        },
+        ..DidoOptions::default()
+    }
+}
+
+/// Pre-generate each thread's batches (and the exact op totals) so the
+/// threads spend their time inside `process_batch`, not in the RNG.
+fn thread_batches(seed_salt: u64, store_bytes: usize) -> (Vec<Vec<Vec<dido_model::Query>>>, u64, u64) {
+    let spec = spec("K8-G50-U");
+    let n_keys = spec
+        .keyspace_size(store_bytes as u64, dido_kvstore::HEADER_SIZE)
+        .max(1);
+    let mut total_queries = 0u64;
+    let mut total_gets = 0u64;
+    let per_thread: Vec<Vec<Vec<dido_model::Query>>> = (0..THREADS)
+        .map(|t| {
+            let mut generator = WorkloadGen::new(spec, n_keys, seed_salt + t as u64);
+            (0..BATCHES_PER_THREAD)
+                .map(|_| {
+                    let batch = generator.batch(BATCH);
+                    total_queries += batch.len() as u64;
+                    total_gets += batch.iter().filter(|q| q.op == QueryOp::Get).count() as u64;
+                    batch
+                })
+                .collect()
+        })
+        .collect();
+    (per_thread, total_queries, total_gets)
+}
+
+/// N threads drive a shared `DidoSystem` on distinct lanes: after the
+/// dust settles, the metrics totals must be exact (every batch and
+/// query accounted for, none double-counted) and the adaption counters
+/// must agree between the serial state and the metrics — a lost update
+/// or a double-applied adaption shows up as a mismatch.
+#[test]
+fn concurrent_dido_system_counts_exactly() {
+    let store_bytes = 2 << 20;
+    let (batches, total_queries, total_gets) = thread_batches(0xC0DE, store_bytes);
+    let dido = Arc::new(DidoSystem::preloaded(spec("K8-G50-U"), options(store_bytes)));
+
+    let handles: Vec<_> = batches
+        .into_iter()
+        .enumerate()
+        .map(|(lane, work)| {
+            let dido = Arc::clone(&dido);
+            std::thread::spawn(move || {
+                for batch in work {
+                    let (report, responses) = dido.process_batch_on(lane, batch);
+                    assert_eq!(report.batch_size, responses.len());
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+
+    let m = dido.metrics();
+    assert_eq!(m.batches, (THREADS * BATCHES_PER_THREAD) as u64);
+    assert_eq!(m.queries, total_queries);
+    assert_eq!(m.gets, total_gets, "sim get accounting must be exact");
+    assert!(m.hits <= m.gets);
+    assert_eq!(
+        m.config_histogram.values().sum::<u64>(),
+        m.batches,
+        "every batch must land in the config histogram exactly once"
+    );
+    assert_eq!(
+        m.adaptions,
+        dido.adaptions() as u64,
+        "metrics and serial state must agree on adaptions"
+    );
+    assert_eq!(m.model_runs, dido.model_runs() as u64);
+    assert_eq!(
+        dido.trace().len(),
+        m.batches as usize,
+        "one trace sample per batch"
+    );
+}
+
+/// Same hammering against `ServingCore::process_batch`: the striped
+/// fold must equal the exact op counts of everything sent (relaxed
+/// atomics lose nothing), and the metrics must match.
+#[test]
+fn concurrent_serving_core_fold_is_exact() {
+    let store_bytes = 2 << 20;
+    let (batches, total_queries, total_gets) = thread_batches(0xFACE, store_bytes);
+    let mut total_deletes = 0u64;
+    let mut total_key_bytes = 0u64;
+    for work in &batches {
+        for batch in work {
+            for q in batch {
+                total_key_bytes += q.key.len() as u64;
+                if q.op == QueryOp::Delete {
+                    total_deletes += 1;
+                }
+            }
+        }
+    }
+    let (core, _) = ServingCore::preloaded(spec("K8-G50-U"), 2, THREADS, options(store_bytes));
+    let core = Arc::new(core);
+
+    let handles: Vec<_> = batches
+        .into_iter()
+        .enumerate()
+        .map(|(lane, work)| {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || {
+                for batch in work {
+                    let n = batch.len();
+                    let responses = core.process_batch(lane, batch);
+                    assert_eq!(responses.len(), n);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+
+    let fold = core.stats_fold();
+    assert_eq!(fold.queries, total_queries, "striped query count must be exact");
+    assert_eq!(fold.gets, total_gets, "striped get count must be exact");
+    assert_eq!(fold.deletes, total_deletes);
+    assert_eq!(fold.key_bytes, total_key_bytes);
+    assert!(fold.hits <= fold.gets);
+
+    let m = core.metrics();
+    assert_eq!(m.batches, (THREADS * BATCHES_PER_THREAD) as u64);
+    assert_eq!(m.queries, total_queries);
+    assert_eq!(m.gets, total_gets);
+    assert_eq!(m.hits, fold.hits, "metrics and stripes must agree on hits");
+
+    // A controller tick over the settled stripes must drain the whole
+    // interval; a second immediate tick sees an empty delta.
+    core.controller_tick();
+    let control_saw = core.stats_fold();
+    assert_eq!(control_saw.queries, total_queries);
+    assert!(!core.controller_tick() || core.stats_fold().queries == total_queries);
+}
+
+/// The control-plane refactor must not change *decisions*: replaying a
+/// recorded shifting workload through a 1-shard `ServingCore` with a
+/// controller tick after every batch must produce the same
+/// configuration sequence and adaption count as the sequential
+/// `DidoSystem` oracle on the identical batches.
+#[test]
+fn controller_matches_sequential_oracle_on_recorded_workload() {
+    let store_bytes = 2 << 20;
+    let opts = options(store_bytes);
+    let a = spec("K8-G50-U");
+    let b = spec("K16-G95-S");
+    let n_keys = a
+        .keyspace_size(store_bytes as u64, dido_kvstore::HEADER_SIZE)
+        .max(1);
+
+    // Record the workload once: the Fig 20/21 alternation, 6 phases.
+    let mut generator = AlternatingGen::new(
+        WorkloadGen::new(a, n_keys, 0xD1D0),
+        WorkloadGen::new(b, n_keys, 0xD1D1),
+        4 * BATCH as u64,
+    );
+    let recorded: Vec<Vec<dido_model::Query>> =
+        (0..24).map(|_| generator.batch(BATCH)).collect();
+
+    let oracle = DidoSystem::preloaded(a, opts);
+    let (core, _) = ServingCore::preloaded(a, 1, 1, opts);
+
+    let mut oracle_configs = Vec::with_capacity(recorded.len());
+    let mut core_configs = Vec::with_capacity(recorded.len());
+    for batch in &recorded {
+        oracle.process_batch(batch.clone());
+        oracle_configs.push(oracle.current_config());
+        core.process_batch(0, batch.clone());
+        core.controller_tick();
+        core_configs.push(core.shard_config(0).0);
+    }
+
+    assert_eq!(
+        core_configs, oracle_configs,
+        "controller decisions diverged from the sequential oracle"
+    );
+    assert_eq!(core.adaptions(), oracle.adaptions());
+    assert!(
+        oracle.adaptions() > 0,
+        "the recorded shift must actually trigger re-adaption"
+    );
+}

@@ -25,12 +25,14 @@
 
 mod config;
 pub mod costs;
+mod epoch;
 mod query;
 mod resources;
 mod stats;
 mod task;
 
 pub use config::{ConfigEnumerator, IndexOpAssignment, PipelineConfig, PipelinePlan, StagePlan};
+pub use epoch::ConfigCell;
 pub use query::{Query, QueryOp, Response, ResponseStatus};
 pub use resources::ResourceUsage;
 pub use stats::WorkloadStats;

@@ -39,7 +39,7 @@ pub use server::{
     BatchConfig, DispatchMode, KvClient, KvServer, NetStatsSnapshot, ServerStats,
     BATCH_HIST_BUCKETS, MAX_FRAME_BYTES,
 };
-pub use trace::{read_trace, write_trace, TraceError};
+pub use trace::{read_trace, write_trace, TraceError, TraceWriter};
 pub use protocol::{
     encode_queries_wire_into, encode_responses, encode_responses_wire_into, frame_query_count,
     pack_frames, parse_frame, parse_frame_into, parse_responses, FrameBuilder, ProtocolError,

@@ -316,11 +316,15 @@ impl Doorbell {
 
 /// A running key-value TCP server.
 ///
-/// The `handler` receives each decoded query batch and returns the
-/// responses in order — typically a closure over a
-/// `dido_pipeline::KvEngine` or a `dido::DidoSystem`. In batched mode
+/// The `handler` receives a *lane* plus each decoded query batch and
+/// returns the responses in order — typically a closure over a
+/// `dido_pipeline::KvEngine` or a `dido::ServingCore`. In batched mode
 /// one handler call covers queries from *many* connections, so
-/// cross-connection traffic shares the vectorized wavefront path.
+/// cross-connection traffic shares the vectorized wavefront path, and
+/// the lane is the calling dispatcher's index (`0..dispatchers`) —
+/// concurrent serving cores use it to stripe their profiling
+/// accumulators per dispatcher. In per-connection mode the lane is the
+/// connection's accept index.
 pub struct KvServer {
     addr: SocketAddr,
     stats: Arc<ServerStats>,
@@ -334,7 +338,7 @@ impl KvServer {
     /// the per-connection data path.
     pub fn start<F>(addr: &str, handler: F) -> std::io::Result<KvServer>
     where
-        F: Fn(Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
+        F: Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
     {
         KvServer::start_with(addr, DispatchMode::PerConnection, handler)
     }
@@ -342,7 +346,7 @@ impl KvServer {
     /// Bind to `addr` and serve with the batched data path.
     pub fn start_batched<F>(addr: &str, cfg: BatchConfig, handler: F) -> std::io::Result<KvServer>
     where
-        F: Fn(Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
+        F: Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
     {
         KvServer::start_with(addr, DispatchMode::Batched(cfg), handler)
     }
@@ -354,7 +358,7 @@ impl KvServer {
         handler: F,
     ) -> std::io::Result<KvServer>
     where
-        F: Fn(Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
+        F: Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
     {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -432,7 +436,7 @@ fn spawn_per_connection<F>(
     handler: Arc<F>,
 ) -> std::thread::JoinHandle<()>
 where
-    F: Fn(Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
+    F: Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
 {
     let stats = Arc::clone(stats);
     let shutdown = Arc::clone(shutdown);
@@ -442,6 +446,7 @@ where
             .set_nonblocking(true)
             .expect("nonblocking listener");
         let mut workers = Vec::new();
+        let mut next_lane = 0usize;
         while !shutdown.load(Ordering::Acquire) {
             match listener.accept() {
                 Ok((stream, _)) => {
@@ -450,8 +455,10 @@ where
                     let stats = Arc::clone(&stats);
                     let handler = Arc::clone(&handler);
                     let shutdown = Arc::clone(&shutdown);
+                    let lane = next_lane;
+                    next_lane = next_lane.wrapping_add(1);
                     workers.push(std::thread::spawn(move || {
-                        let _ = serve_connection(stream, &stats, &shutdown, &*handler);
+                        let _ = serve_connection(stream, &stats, &shutdown, lane, &*handler);
                     }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -475,7 +482,7 @@ fn spawn_batched<F>(
     handler: Arc<F>,
 ) -> std::thread::JoinHandle<()>
 where
-    F: Fn(Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
+    F: Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
 {
     let stats = Arc::clone(stats);
     let shutdown = Arc::clone(shutdown);
@@ -489,7 +496,7 @@ where
         let sd_writer = std::thread::spawn(move || run_sd_writer(sd_rx));
 
         let mut dispatchers = Vec::with_capacity(cfg.dispatchers.max(1));
-        for _ in 0..cfg.dispatchers.max(1) {
+        for lane in 0..cfg.dispatchers.max(1) {
             let ring = Arc::clone(&ring);
             let sd = sd_tx.clone();
             let stats = Arc::clone(&stats);
@@ -497,7 +504,7 @@ where
             let doorbell = Arc::clone(&doorbell);
             let handler = Arc::clone(&handler);
             dispatchers.push(std::thread::spawn(move || {
-                run_dispatcher(&ring, &sd, &stats, &shutdown, &doorbell, cfg, &*handler);
+                run_dispatcher(&ring, &sd, &stats, &shutdown, &doorbell, cfg, lane, &*handler);
             }));
         }
 
@@ -730,6 +737,7 @@ fn apply_sd_msg(msg: SdMsg, conns: &mut HashMap<u64, SdConn>, touched: &mut Vec<
 
 /// Dispatcher: drain the ring across all connections, widen the batch
 /// through the adaptive drain window, run the engine once, scatter.
+#[allow(clippy::too_many_arguments)]
 fn run_dispatcher<F>(
     ring: &FrameRing<TaggedFrame>,
     sd: &Sender<SdMsg>,
@@ -737,9 +745,10 @@ fn run_dispatcher<F>(
     shutdown: &AtomicBool,
     doorbell: &Doorbell,
     cfg: BatchConfig,
+    lane: usize,
     handler: &F,
 ) where
-    F: Fn(Vec<Query>) -> Vec<Response>,
+    F: Fn(usize, Vec<Query>) -> Vec<Response>,
 {
     let budget = cfg.frame_budget.max(1);
     let mut frames: Vec<TaggedFrame> = Vec::with_capacity(budget);
@@ -790,7 +799,7 @@ fn run_dispatcher<F>(
             depth.max(frames.len() as u64),
             delayed,
         );
-        dispatch_batch(&frames, sd, stats, handler);
+        dispatch_batch(&frames, sd, stats, lane, handler);
     }
     // Shutdown: drain whatever is left so pipelined clients still get
     // every response they are owed.
@@ -805,16 +814,21 @@ fn run_dispatcher<F>(
             frames.len() as u64,
             false,
         );
-        dispatch_batch(&frames, sd, stats, handler);
+        dispatch_batch(&frames, sd, stats, lane, handler);
     }
 }
 
 /// Decode a drained batch into one cross-connection query vector, run
 /// the handler once, and hand the SD writer one message carrying every
 /// connection's response runs.
-fn dispatch_batch<F>(frames: &[TaggedFrame], sd: &Sender<SdMsg>, stats: &ServerStats, handler: &F)
-where
-    F: Fn(Vec<Query>) -> Vec<Response>,
+fn dispatch_batch<F>(
+    frames: &[TaggedFrame],
+    sd: &Sender<SdMsg>,
+    stats: &ServerStats,
+    lane: usize,
+    handler: &F,
+) where
+    F: Fn(usize, Vec<Query>) -> Vec<Response>,
 {
     struct Slot {
         conn: u64,
@@ -857,7 +871,7 @@ where
     let responses = if batch.is_empty() {
         Vec::new()
     } else {
-        handler(batch)
+        handler(lane, batch)
     };
     // Coalesce the scatter per connection into runs of consecutive
     // sequence numbers, each encoded into one contiguous wire buffer:
@@ -918,10 +932,11 @@ fn serve_connection<F>(
     mut stream: TcpStream,
     stats: &ServerStats,
     shutdown: &AtomicBool,
+    lane: usize,
     handler: &F,
 ) -> std::io::Result<()>
 where
-    F: Fn(Vec<Query>) -> Vec<Response>,
+    F: Fn(usize, Vec<Query>) -> Vec<Response>,
 {
     stream.set_read_timeout(Some(READ_POLL))?;
     let mut reader = FrameReader::new();
@@ -941,7 +956,7 @@ where
                 stats
                     .queries
                     .fetch_add(queries.len() as u64, Ordering::Relaxed);
-                let responses = handler(queries);
+                let responses = handler(lane, queries);
                 write_frame(&mut stream, &encode_responses(&responses))?;
             }
             Err(_) => {
@@ -1247,10 +1262,11 @@ mod tests {
     use parking_lot::Mutex;
     use std::collections::HashMap;
 
-    fn echo_store_handler() -> impl Fn(Vec<Query>) -> Vec<Response> + Send + Sync + 'static {
+    fn echo_store_handler() -> impl Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static
+    {
         // A tiny in-memory map suffices to exercise the wire path.
         let map: Mutex<HashMap<Vec<u8>, Vec<u8>>> = Mutex::new(HashMap::new());
-        move |queries| {
+        move |_lane, queries| {
             let mut map = map.lock();
             queries
                 .iter()

@@ -55,6 +55,63 @@ pub fn write_trace(path: &Path, queries: &[Query]) -> Result<(), TraceError> {
     Ok(())
 }
 
+/// Streaming trace appender: the magic goes out once at creation and
+/// every [`TraceWriter::append`] packs its queries into frames and
+/// writes them at the tail, so recording costs O(batch) per batch
+/// instead of the old record-buffer-and-rewrite-history scheme (which
+/// held every query ever seen in memory and rewrote the whole file on a
+/// cadence — O(n²) I/O over a server's lifetime). Files are readable by
+/// [`read_trace`] at any point after a [`TraceWriter::flush`].
+#[derive(Debug)]
+pub struct TraceWriter {
+    out: std::io::BufWriter<std::fs::File>,
+    queries: u64,
+    bytes: u64,
+}
+
+impl TraceWriter {
+    /// Create (truncate) `path` and write the trace header.
+    pub fn create(path: &Path) -> Result<TraceWriter, TraceError> {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        out.write_all(MAGIC)?;
+        Ok(TraceWriter {
+            out,
+            queries: 0,
+            bytes: MAGIC.len() as u64,
+        })
+    }
+
+    /// Append one batch of queries as wire frames.
+    pub fn append(&mut self, queries: &[Query]) -> Result<(), TraceError> {
+        for frame in pack_frames(queries, crate::protocol::DEFAULT_FRAME_CAPACITY) {
+            self.out.write_all(&(frame.len() as u32).to_le_bytes())?;
+            self.out.write_all(&frame)?;
+            self.bytes += 4 + frame.len() as u64;
+        }
+        self.queries += queries.len() as u64;
+        Ok(())
+    }
+
+    /// Queries recorded so far.
+    #[must_use]
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Bytes written so far (header included) — drive size-based
+    /// rotation off this.
+    #[must_use]
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Flush buffered frames to disk.
+    pub fn flush(&mut self) -> Result<(), TraceError> {
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
 /// Read a trace file back into queries (in recorded order).
 pub fn read_trace(path: &Path) -> Result<Vec<Query>, TraceError> {
     let mut input = std::io::BufReader::new(std::fs::File::open(path)?);
@@ -103,6 +160,33 @@ mod tests {
         write_trace(&path, &queries).unwrap();
         let back = read_trace(&path).unwrap();
         assert_eq!(back, queries);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streamed_appends_read_back_as_one_trace() {
+        let queries: Vec<Query> = (0..900)
+            .map(|i| match i % 3 {
+                0 => Query::set(format!("s{i}"), vec![b'x'; i % 64]),
+                1 => Query::get(format!("s{i}")),
+                _ => Query::delete(format!("s{i}")),
+            })
+            .collect();
+        let path = tmp("streamed");
+        let mut w = TraceWriter::create(&path).unwrap();
+        for chunk in queries.chunks(117) {
+            w.append(chunk).unwrap();
+        }
+        assert_eq!(w.queries(), 900);
+        w.flush().unwrap();
+        assert_eq!(
+            w.bytes_written(),
+            std::fs::metadata(&path).unwrap().len(),
+            "bytes_written must track the on-disk size"
+        );
+        let back = read_trace(&path).unwrap();
+        assert_eq!(back, queries, "streamed file must equal a one-shot trace");
+        drop(w);
         std::fs::remove_file(&path).ok();
     }
 

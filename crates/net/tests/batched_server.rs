@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 /// Responds to every query with its key as the value, so response
 /// content and order are both checkable from the client.
-fn key_echo_handler(queries: Vec<Query>) -> Vec<Response> {
+fn key_echo_handler(_lane: usize, queries: Vec<Query>) -> Vec<Response> {
     queries
         .iter()
         .map(|q| Response::hit(q.key.to_vec()))
@@ -139,9 +139,9 @@ fn ring_overflow_counts_drops_and_keeps_connection_alive() {
     let held = gate.lock();
     let handler = {
         let gate = Arc::clone(&gate);
-        move |queries: Vec<Query>| {
+        move |lane: usize, queries: Vec<Query>| {
             let _unwedged = gate.lock();
-            key_echo_handler(queries)
+            key_echo_handler(lane, queries)
         }
     };
     let server = KvServer::start_batched(

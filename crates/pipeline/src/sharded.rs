@@ -33,6 +33,17 @@ impl ShardedEngine {
         }
     }
 
+    /// Wrap already-built engines (e.g. a single preloaded engine) as
+    /// shards. Routing follows the slice order.
+    ///
+    /// # Panics
+    /// Panics if `engines` is empty.
+    #[must_use]
+    pub fn from_engines(engines: Vec<KvEngine>) -> ShardedEngine {
+        assert!(!engines.is_empty(), "need at least one shard");
+        ShardedEngine { shards: engines }
+    }
+
     /// Number of shards.
     #[must_use]
     pub fn shard_count(&self) -> usize {
@@ -113,6 +124,58 @@ impl ShardedEngine {
         for (s, responses) in done.into_inner() {
             for ((pos, _), r) in per_shard[s].iter().zip(responses) {
                 out[*pos] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every query answered by its shard"))
+            .collect()
+    }
+
+    /// Process one batch across all shards *on the calling thread*, with
+    /// a per-shard pipeline configuration.
+    ///
+    /// This is the concurrent serving core's data path: parallelism
+    /// lives across the N network dispatchers that each call this
+    /// concurrently, so spawning a worker pool per batch (as
+    /// [`ShardedEngine::process_batch`] does) would only oversubscribe
+    /// the host. Each shard's sub-batch runs through
+    /// [`ThreadedPipeline::run_inline_no_sd`] under the configuration
+    /// `config_for(shard)` — the per-shard epoch cell the adaptation
+    /// controller publishes into. Responses return in query order.
+    #[must_use]
+    pub fn process_batch_inline(
+        &self,
+        queries: Vec<Query>,
+        config_for: impl Fn(usize) -> PipelineConfig,
+    ) -> Vec<Response> {
+        if self.shards.len() == 1 {
+            // Fast path: no partitioning, no order restoration.
+            let pipeline = ThreadedPipeline::new(&self.shards[0], config_for(0));
+            return pipeline
+                .run_inline_no_sd(vec![queries])
+                .pop()
+                .unwrap_or_default();
+        }
+        let n = queries.len();
+        let mut per_shard: Vec<Vec<(usize, Query)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (pos, q) in queries.into_iter().enumerate() {
+            let s = self.shard_of(&q.key);
+            per_shard[s].push((pos, q));
+        }
+        let mut out: Vec<Option<Response>> = vec![None; n];
+        for (s, work) in per_shard.into_iter().enumerate() {
+            if work.is_empty() {
+                continue;
+            }
+            let pipeline = ThreadedPipeline::new(&self.shards[s], config_for(s));
+            let (positions, queries): (Vec<usize>, Vec<Query>) = work.into_iter().unzip();
+            let responses = pipeline
+                .run_inline_no_sd(vec![queries])
+                .pop()
+                .unwrap_or_default();
+            for (pos, r) in positions.into_iter().zip(responses) {
+                out[pos] = Some(r);
             }
         }
         out.into_iter()
@@ -210,6 +273,39 @@ mod tests {
             assert_eq!(r.status, ResponseStatus::Ok, "batch-{i}");
             assert_eq!(r.value, format!("v{i:03}"), "order broken at {i}");
         }
+    }
+
+    #[test]
+    fn inline_batch_preserves_order_with_per_shard_configs() {
+        let s = sharded(3);
+        for i in 0..400 {
+            s.execute(&Query::set(format!("inl-{i:03}"), format!("w{i:03}")));
+        }
+        let queries: Vec<Query> = (0..400).map(|i| Query::get(format!("inl-{i:03}"))).collect();
+        // Different configs per shard must not disturb routing or order.
+        let configs = [
+            PipelineConfig::mega_kv(),
+            PipelineConfig::cpu_only(),
+            PipelineConfig::mega_kv(),
+        ];
+        let responses = s.process_batch_inline(queries, |shard| configs[shard]);
+        assert_eq!(responses.len(), 400);
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.status, ResponseStatus::Ok, "inl-{i}");
+            assert_eq!(r.value, format!("w{i:03}"), "order broken at {i}");
+        }
+    }
+
+    #[test]
+    fn inline_single_shard_fast_path_answers() {
+        let s = sharded(1);
+        s.execute(&Query::set("solo", "v"));
+        let responses = s.process_batch_inline(
+            vec![Query::get("solo"), Query::get("missing")],
+            |_| PipelineConfig::cpu_only(),
+        );
+        assert_eq!(responses[0].value, "v");
+        assert_ne!(responses[1].status, ResponseStatus::Ok);
     }
 
     #[test]

@@ -450,6 +450,21 @@ impl<'e> ThreadedPipeline<'e> {
     /// across shards rather than across stages.
     #[must_use]
     pub fn run_inline(&self, batches: Vec<Vec<Query>>) -> Vec<Vec<Response>> {
+        self.run_inline_impl(batches, true)
+    }
+
+    /// [`ThreadedPipeline::run_inline`] without the final SD packing
+    /// onto the engine's simulated TX ring. The concurrent serving core
+    /// uses this: its responses leave through the real network
+    /// front-end's SD writer, so packing them onto the simulated NIC
+    /// would only burn cycles and (on a long-lived server) churn the TX
+    /// ring for frames nobody drains.
+    #[must_use]
+    pub fn run_inline_no_sd(&self, batches: Vec<Vec<Query>>) -> Vec<Vec<Response>> {
+        self.run_inline_impl(batches, false)
+    }
+
+    fn run_inline_impl(&self, batches: Vec<Vec<Query>>, sd: bool) -> Vec<Vec<Response>> {
         batches
             .into_iter()
             .map(|queries| {
@@ -472,7 +487,9 @@ impl<'e> ThreadedPipeline<'e> {
                 for mut sub in group.into_batches() {
                     responses.append(&mut sub.take_responses());
                 }
-                tasks::run_sd_responses(self.engine, &responses);
+                if sd {
+                    tasks::run_sd_responses(self.engine, &responses);
+                }
                 responses
             })
             .collect()

@@ -11,7 +11,7 @@ use dido_kv::dido::{DidoOptions, DidoSystem};
 use dido_kv::pipeline::TestbedOptions;
 use dido_kv::workload::{WorkloadGen, WorkloadSpec};
 
-fn phase(dido: &mut DidoSystem, label: &str, batches: usize, store_mb: usize) {
+fn phase(dido: &DidoSystem, label: &str, batches: usize, store_mb: usize) {
     let spec = WorkloadSpec::from_label(label).expect("valid label");
     let n_keys = spec.keyspace_size((store_mb as u64) << 20, 16) / 2;
     let mut generator = WorkloadGen::new(spec, n_keys.max(1_000), 7);
@@ -38,7 +38,7 @@ fn phase(dido: &mut DidoSystem, label: &str, batches: usize, store_mb: usize) {
 
 fn main() {
     let store_mb = 16usize;
-    let mut dido = DidoSystem::new(DidoOptions {
+    let dido = DidoSystem::new(DidoOptions {
         testbed: TestbedOptions {
             store_bytes: store_mb << 20,
             ..TestbedOptions::default()
@@ -47,11 +47,11 @@ fn main() {
     });
 
     // USR-like: tiny keys and values, almost pure reads, skewed.
-    phase(&mut dido, "K8-G95-S", 4, store_mb);
+    phase(&dido, "K8-G95-S", 4, store_mb);
     // ETC-like: mixed sizes, half writes.
-    phase(&mut dido, "K32-G50-U", 4, store_mb);
+    phase(&dido, "K32-G50-U", 4, store_mb);
     // Media-metadata-like: large values, read heavy.
-    phase(&mut dido, "K128-G95-U", 4, store_mb);
+    phase(&dido, "K128-G95-U", 4, store_mb);
 
     println!(
         "\ntotal: {} model runs, {} pipeline changes over {:.1} ms of virtual time",

@@ -10,21 +10,22 @@ use dido_kv::dido::{DidoOptions, DidoSystem};
 use dido_kv::model::{Query, ResponseStatus};
 use dido_kv::net::{KvClient, KvServer};
 use dido_kv::pipeline::TestbedOptions;
-use parking_lot::Mutex;
 
 fn main() -> std::io::Result<()> {
-    let dido = Mutex::new(DidoSystem::new(DidoOptions {
+    let dido = DidoSystem::new(DidoOptions {
         testbed: TestbedOptions {
             store_bytes: 16 << 20,
             ..TestbedOptions::default()
         },
         ..DidoOptions::default()
-    }));
+    });
 
     // Every request frame becomes one pipeline batch: the profiler sees
-    // real client traffic and adapts the pipeline as it shifts.
-    let server = KvServer::start("127.0.0.1:0", move |queries| {
-        dido.lock().process_batch(queries).1
+    // real client traffic and adapts the pipeline as it shifts. The
+    // system is shared with the handler by value — `process_batch` is
+    // `&self`, so no lock guards the query path.
+    let server = KvServer::start("127.0.0.1:0", move |_lane, queries| {
+        dido.process_batch(queries).1
     })?;
     println!("kv server listening on {}", server.addr());
 

@@ -11,7 +11,7 @@ use dido_kv::pipeline::TestbedOptions;
 
 fn main() {
     // A DIDO node over a 16 MB (simulated shared-memory) store.
-    let mut dido = DidoSystem::new(DidoOptions {
+    let dido = DidoSystem::new(DidoOptions {
         testbed: TestbedOptions {
             store_bytes: 16 << 20,
             ..TestbedOptions::default()

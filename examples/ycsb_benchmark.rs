@@ -38,7 +38,7 @@ fn main() {
         let mk = MegaKv::coupled().measure(spec, testbed, RunOptions::default());
 
         // DIDO with dynamic adaption.
-        let mut dido = DidoSystem::preloaded(
+        let dido = DidoSystem::preloaded(
             spec,
             DidoOptions {
                 testbed,

@@ -2,31 +2,51 @@
 //!
 //! ```text
 //! dido-server [--addr HOST:PORT] [--store-mb N] [--latency-us N]
+//!             [--shards N] [--dispatchers N]
 //!             [--trace FILE] [--stats-every N]
 //!             [--batched] [--max-batch-delay-us N]
 //! ```
 //!
-//! Every request frame becomes one pipeline batch, so the workload
-//! profiler sees real client traffic and re-adapts the pipeline as it
-//! shifts. With `--batched`, the server instead runs the RV-ring
-//! dispatcher data path: frames from every connection aggregate into
-//! cross-connection batches (held open up to `--max-batch-delay-us`
-//! below one wavefront), so concurrent clients share single pipeline
-//! invocations. `--trace` tees accepted queries to a replayable trace
-//! file (rewritten every 256 frames); `--stats-every` prints the
-//! metrics summary every N frames. Runs until killed.
+//! The serving core is the concurrent `ServingCore`: every request
+//! frame (or, with `--batched`, every cross-connection dispatcher
+//! batch) runs inline through the sharded engine under the shard's
+//! active pipeline configuration, which a background adaptation
+//! controller re-plans off the hot path as the profiled workload
+//! shifts. There is no global lock on the query path: `--dispatchers N`
+//! batched dispatchers call the shared core concurrently, each striping
+//! its profiling into its own lane, and `--shards N` partitions the
+//! store by key hash.
+//!
+//! `--trace` tees accepted queries to a replayable trace file through a
+//! bounded queue and a background writer (append-only, size-rotated;
+//! recording never blocks the data path — bursts beyond the queue are
+//! dropped and counted). `--stats-every` prints a metrics snapshot
+//! every N frames, formatted outside all locks. Runs until killed.
 
-use dido_kv::dido::{DidoOptions, DidoSystem};
-use dido_kv::net::{BatchConfig, DispatchMode, KvServer, NetStatsSnapshot, ServerStats};
+use dido_kv::dido::{DidoOptions, ServingCore};
+use dido_kv::net::{
+    BatchConfig, DispatchMode, KvServer, NetStatsSnapshot, ServerStats, TraceWriter,
+};
 use dido_kv::pipeline::TestbedOptions;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{mpsc, Arc, OnceLock};
+
+/// Cadence of the background adaptation controller.
+const CONTROLLER_PERIOD: std::time::Duration = std::time::Duration::from_millis(5);
+/// Trace rotation threshold: when the live file passes this size it is
+/// renamed to `<path>.1` (replacing any previous rotation) and a fresh
+/// file is started — the recording is bounded at ~2x this on disk.
+const TRACE_ROTATE_BYTES: u64 = 64 << 20;
+/// Bounded depth of the handler → trace-writer queue, in batches.
+const TRACE_QUEUE_BATCHES: usize = 1024;
 
 struct Args {
     addr: String,
     store_mb: usize,
     latency_us: f64,
+    shards: usize,
+    dispatchers: usize,
     trace: Option<std::path::PathBuf>,
     stats_every: u64,
     batched: bool,
@@ -38,6 +58,8 @@ fn parse_args() -> Args {
         addr: "127.0.0.1:7878".to_string(),
         store_mb: 64,
         latency_us: 1_000.0,
+        shards: 1,
+        dispatchers: 1,
         trace: None,
         stats_every: 0,
         batched: false,
@@ -51,39 +73,39 @@ fn parse_args() -> Args {
                 std::process::exit(2);
             })
         };
+        let parse_num = |name: &str, v: String| -> usize {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{name} needs a number");
+                std::process::exit(2);
+            })
+        };
         match arg.as_str() {
             "--addr" => args.addr = value("--addr"),
-            "--store-mb" => {
-                args.store_mb = value("--store-mb").parse().unwrap_or_else(|_| {
-                    eprintln!("--store-mb needs a number");
-                    std::process::exit(2);
-                })
-            }
+            "--store-mb" => args.store_mb = parse_num("--store-mb", value("--store-mb")),
             "--latency-us" => {
                 args.latency_us = value("--latency-us").parse().unwrap_or_else(|_| {
                     eprintln!("--latency-us needs a number");
                     std::process::exit(2);
                 })
             }
+            "--shards" => args.shards = parse_num("--shards", value("--shards")).max(1),
+            "--dispatchers" => {
+                args.dispatchers = parse_num("--dispatchers", value("--dispatchers")).max(1)
+            }
             "--trace" => args.trace = Some(value("--trace").into()),
             "--stats-every" => {
-                args.stats_every = value("--stats-every").parse().unwrap_or_else(|_| {
-                    eprintln!("--stats-every needs a number");
-                    std::process::exit(2);
-                })
+                args.stats_every = parse_num("--stats-every", value("--stats-every")) as u64
             }
             "--batched" => args.batched = true,
             "--max-batch-delay-us" => {
                 args.max_batch_delay_us =
-                    value("--max-batch-delay-us").parse().unwrap_or_else(|_| {
-                        eprintln!("--max-batch-delay-us needs a number");
-                        std::process::exit(2);
-                    })
+                    parse_num("--max-batch-delay-us", value("--max-batch-delay-us")) as u64
             }
             "--help" | "-h" => {
                 println!(
                     "usage: dido-server [--addr HOST:PORT] [--store-mb N] \
-                     [--latency-us N] [--trace FILE] [--stats-every N] \
+                     [--latency-us N] [--shards N] [--dispatchers N] \
+                     [--trace FILE] [--stats-every N] \
                      [--batched] [--max-batch-delay-us N]"
                 );
                 std::process::exit(0);
@@ -97,19 +119,75 @@ fn parse_args() -> Args {
     args
 }
 
+/// Background trace recorder: the handler `try_send`s cloned batches
+/// into a bounded queue (never blocking the data path; overflow is
+/// counted, not waited out) and this thread appends them to a
+/// size-rotated trace file.
+struct TraceRecorder {
+    tx: mpsc::SyncSender<Vec<dido_kv::model::Query>>,
+    dropped: Arc<AtomicU64>,
+}
+
+fn spawn_trace_recorder(path: std::path::PathBuf) -> std::io::Result<TraceRecorder> {
+    let (tx, rx) = mpsc::sync_channel::<Vec<dido_kv::model::Query>>(TRACE_QUEUE_BATCHES);
+    let dropped = Arc::new(AtomicU64::new(0));
+    let mut writer = TraceWriter::create(&path)
+        .map_err(|e| std::io::Error::other(format!("trace create failed: {e}")))?;
+    std::thread::Builder::new()
+        .name("dido-trace".into())
+        .spawn(move || {
+            let mut since_flush = 0u32;
+            while let Ok(batch) = rx.recv() {
+                if let Err(e) = writer.append(&batch) {
+                    eprintln!("trace write failed: {e}");
+                    return;
+                }
+                since_flush += 1;
+                if since_flush >= 64 {
+                    since_flush = 0;
+                    let _ = writer.flush();
+                }
+                if writer.bytes_written() >= TRACE_ROTATE_BYTES {
+                    let _ = writer.flush();
+                    let mut rotated = path.clone().into_os_string();
+                    rotated.push(".1");
+                    let _ = std::fs::rename(&path, std::path::Path::new(&rotated));
+                    match TraceWriter::create(&path) {
+                        Ok(w) => writer = w,
+                        Err(e) => {
+                            eprintln!("trace rotation failed: {e}");
+                            return;
+                        }
+                    }
+                }
+            }
+            let _ = writer.flush();
+        })?;
+    Ok(TraceRecorder { tx, dropped })
+}
+
 fn main() -> std::io::Result<()> {
     let args = parse_args();
-    let dido = Mutex::new(DidoSystem::new(DidoOptions {
-        testbed: TestbedOptions {
-            store_bytes: args.store_mb << 20,
-            ..TestbedOptions::default()
+    let core = Arc::new(ServingCore::new(
+        args.shards,
+        args.dispatchers.max(1),
+        DidoOptions {
+            testbed: TestbedOptions {
+                store_bytes: args.store_mb << 20,
+                ..TestbedOptions::default()
+            },
+            latency_budget_ns: args.latency_us * 1_000.0,
+            ..DidoOptions::default()
         },
-        latency_budget_ns: args.latency_us * 1_000.0,
-        ..DidoOptions::default()
-    }));
-    let trace = args.trace.clone().map(|p| (p, Mutex::new(Vec::new())));
-    let trace = std::sync::Arc::new(trace);
-    let frames_seen = std::sync::Arc::new(AtomicU64::new(0));
+    ));
+    // Held for the process lifetime; joined (never, here) on drop.
+    let _controller = ServingCore::spawn_controller(Arc::clone(&core), CONTROLLER_PERIOD);
+
+    let recorder = match args.trace.clone() {
+        Some(path) => Some(spawn_trace_recorder(path)?),
+        None => None,
+    };
+    let frames_seen = Arc::new(AtomicU64::new(0));
 
     // The handler closes over the server's stats to fold network
     // dispatch counters into the node metrics; the server doesn't exist
@@ -117,56 +195,68 @@ fn main() -> std::io::Result<()> {
     let net_stats: Arc<OnceLock<Arc<ServerStats>>> = Arc::new(OnceLock::new());
     let last_net = Mutex::new(NetStatsSnapshot::default());
 
-    let handler_trace = Arc::clone(&trace);
-    let handler_frames = Arc::clone(&frames_seen);
+    let handler_core = Arc::clone(&core);
     let handler_net = Arc::clone(&net_stats);
+    let handler_frames = Arc::clone(&frames_seen);
     let stats_every = args.stats_every;
     let mode = if args.batched {
         DispatchMode::Batched(BatchConfig {
             max_batch_delay: std::time::Duration::from_micros(args.max_batch_delay_us),
+            dispatchers: args.dispatchers,
             ..BatchConfig::default()
         })
     } else {
         DispatchMode::PerConnection
     };
-    let server = KvServer::start_with(&args.addr, mode, move |queries| {
-        if let Some((path, buf)) = handler_trace.as_ref() {
-            let mut buf = buf.lock();
-            buf.extend(queries.iter().cloned());
-            // Periodic rewrite so a kill loses at most 256 frames.
-            if handler_frames.load(Ordering::Relaxed) % 256 == 255 {
-                if let Err(e) = dido_kv::net::write_trace(path, &buf) {
-                    eprintln!("trace write failed: {e}");
-                }
+    let server = KvServer::start_with(&args.addr, mode, move |lane, queries| {
+        if let Some(rec) = &recorder {
+            // Never block the data path on trace I/O: on queue overflow
+            // the batch is dropped from the recording and counted.
+            if rec.tx.try_send(queries.clone()).is_err() {
+                rec.dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let mut dido = dido.lock();
-        let (_, responses) = dido.process_batch(queries);
+        let responses = handler_core.process_batch(lane, queries);
         let n = handler_frames.fetch_add(1, Ordering::Relaxed) + 1;
         if stats_every > 0 && n.is_multiple_of(stats_every) {
+            // Snapshot under the metrics lock, format and print outside
+            // every lock — a slow stderr must not stall dispatchers.
             if let Some(stats) = handler_net.get() {
                 let now = stats.snapshot();
                 let mut last = last_net.lock();
-                dido.metrics_mut().record_net_stats(&now.delta_since(&last));
+                let delta = now.delta_since(&last);
                 *last = now;
+                drop(last);
+                handler_core.record_net_stats(&delta);
             }
-            eprintln!("--- after {n} frames ---\n{}", dido.metrics());
-            eprintln!("pipeline: {}", dido.current_config());
+            let metrics = handler_core.metrics();
+            let configs = handler_core.configs();
+            let adaptions = handler_core.adaptions();
+            eprintln!("--- after {n} frames ---\n{metrics}");
+            for (s, c) in configs.iter().enumerate() {
+                eprintln!("shard {s} pipeline: {c}");
+            }
+            eprintln!("adaptions: {adaptions}");
         }
         responses
     })?;
     let _ = net_stats.set(server.stats_handle());
     println!("dido-server listening on {}", server.addr());
     println!(
-        "store {} MB, latency budget {:.0} us{}{}",
+        "store {} MB across {} shard(s), latency budget {:.0} us{}{}",
         args.store_mb,
+        args.shards,
         args.latency_us,
         if args.batched {
-            ", batched dispatch"
+            format!(", batched dispatch x{}", args.dispatchers)
+        } else {
+            String::new()
+        },
+        if args.trace.is_some() {
+            ", tracing on"
         } else {
             ""
-        },
-        if trace.is_some() { ", tracing on" } else { "" }
+        }
     );
 
     // Serve until the process is killed.

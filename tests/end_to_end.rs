@@ -20,7 +20,7 @@ fn options(store_bytes: usize) -> DidoOptions {
 #[test]
 fn preloaded_system_answers_get_queries_through_the_pipeline() {
     let spec = WorkloadSpec::from_label("K16-G95-S").unwrap();
-    let mut dido = DidoSystem::preloaded(spec, options(4 << 20));
+    let dido = DidoSystem::preloaded(spec, options(4 << 20));
     let n_keys = spec.keyspace_size(4 << 20, 16);
     // A pure-GET batch over preloaded ids must hit with correct values.
     let batch: Vec<Query> = (0..1_000)
@@ -49,7 +49,7 @@ fn preloaded_system_answers_get_queries_through_the_pipeline() {
 #[test]
 fn writes_survive_pipeline_reconfiguration() {
     let spec = WorkloadSpec::from_label("K8-G50-U").unwrap();
-    let mut dido = DidoSystem::preloaded(spec, options(4 << 20));
+    let dido = DidoSystem::preloaded(spec, options(4 << 20));
     // Write a sentinel set through one config...
     // Keys/values sized to the preloaded K8 slab class (a full store
     // can only recycle slots of classes it already holds).
@@ -72,7 +72,7 @@ fn writes_survive_pipeline_reconfiguration() {
 #[test]
 fn adaption_changes_config_for_small_read_heavy_workloads() {
     let spec = WorkloadSpec::from_label("K8-G95-S").unwrap();
-    let mut dido = DidoSystem::preloaded(spec, options(4 << 20));
+    let dido = DidoSystem::preloaded(spec, options(4 << 20));
     let mut generator = WorkloadGen::new(spec, spec.keyspace_size(4 << 20, 16), 3);
     assert_eq!(dido.current_config(), PipelineConfig::mega_kv());
     let _ = dido.process_batch(generator.batch(4_096));
@@ -89,7 +89,7 @@ fn dido_outperforms_static_pipeline_on_read_heavy_small_kv() {
     // The headline claim (Figure 11), asserted end-to-end at small scale.
     let spec = WorkloadSpec::from_label("K16-G95-U").unwrap();
 
-    let mut dido = DidoSystem::preloaded(spec, options(8 << 20));
+    let dido = DidoSystem::preloaded(spec, options(8 << 20));
     let mut g1 = WorkloadGen::new(spec, spec.keyspace_size(8 << 20, 16), 5);
     let dd = dido.measure(|n| g1.batch(n), 5);
 
@@ -113,7 +113,7 @@ fn dido_outperforms_static_pipeline_on_read_heavy_small_kv() {
 
 #[test]
 fn deletes_propagate_through_batch_pipeline() {
-    let mut dido = DidoSystem::new(options(2 << 20));
+    let dido = DidoSystem::new(options(2 << 20));
     let (_, rs) = dido.process_batch(vec![Query::set("gone", "soon")]);
     assert_eq!(rs[0].status, ResponseStatus::Ok);
     let (_, rs) = dido.process_batch(vec![Query::delete("gone")]);
@@ -126,7 +126,7 @@ fn deletes_propagate_through_batch_pipeline() {
 #[test]
 fn store_never_grows_beyond_capacity_under_write_pressure() {
     let spec = WorkloadSpec::from_label("K16-G50-U").unwrap();
-    let mut dido = DidoSystem::preloaded(spec, options(2 << 20));
+    let dido = DidoSystem::preloaded(spec, options(2 << 20));
     let mut generator = WorkloadGen::new(spec, spec.keyspace_size(2 << 20, 16), 9);
     for _ in 0..5 {
         let _ = dido.process_batch(generator.batch(4_096));

@@ -9,6 +9,9 @@ use dido_kv::pipeline::TestbedOptions;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
+// `DidoSystem::process_batch` takes `&self`, so the node is shared with
+// the server handler through a bare `Arc` — no global lock on the path.
+
 fn dido_node(store_bytes: usize) -> DidoSystem {
     DidoSystem::new(DidoOptions {
         testbed: TestbedOptions {
@@ -21,10 +24,10 @@ fn dido_node(store_bytes: usize) -> DidoSystem {
 
 #[test]
 fn tcp_clients_drive_a_dido_node_end_to_end() {
-    let dido = Arc::new(Mutex::new(dido_node(8 << 20)));
+    let dido = Arc::new(dido_node(8 << 20));
     let handler = Arc::clone(&dido);
-    let server = KvServer::start("127.0.0.1:0", move |queries| {
-        handler.lock().process_batch(queries).1
+    let server = KvServer::start("127.0.0.1:0", move |_lane, queries| {
+        handler.process_batch(queries).1
     })
     .expect("bind");
 
@@ -46,10 +49,8 @@ fn tcp_clients_drive_a_dido_node_end_to_end() {
     }
 
     // The node profiled real traffic and ran its cost model.
-    let node = dido.lock();
-    assert!(node.metrics().batches >= 2);
-    assert!(node.model_runs() >= 1);
-    drop(node);
+    assert!(dido.metrics().batches >= 2);
+    assert!(dido.model_runs() >= 1);
     server.shutdown();
 }
 
@@ -59,10 +60,10 @@ fn snapshot_survives_a_simulated_restart_behind_tcp() {
 
     // First incarnation: load data over TCP, snapshot it.
     {
-        let dido = Arc::new(Mutex::new(dido_node(4 << 20)));
+        let dido = Arc::new(dido_node(4 << 20));
         let handler = Arc::clone(&dido);
-        let server = KvServer::start("127.0.0.1:0", move |queries| {
-            handler.lock().process_batch(queries).1
+        let server = KvServer::start("127.0.0.1:0", move |_lane, queries| {
+            handler.process_batch(queries).1
         })
         .unwrap();
         let mut c = KvClient::connect(server.addr()).unwrap();
@@ -70,7 +71,7 @@ fn snapshot_survives_a_simulated_restart_behind_tcp() {
             .map(|i| Query::set(format!("persist-{i}"), format!("gen1-{i}")))
             .collect();
         c.request(&sets).unwrap();
-        dido.lock().engine().snapshot_to(&trace_path).unwrap();
+        dido.engine().snapshot_to(&trace_path).unwrap();
         server.shutdown();
     }
 
@@ -79,10 +80,10 @@ fn snapshot_survives_a_simulated_restart_behind_tcp() {
         let dido = dido_node(4 << 20);
         let restored = dido.engine().restore_from(&trace_path).unwrap();
         assert_eq!(restored, 256);
-        let dido = Arc::new(Mutex::new(dido));
+        let dido = Arc::new(dido);
         let handler = Arc::clone(&dido);
-        let server = KvServer::start("127.0.0.1:0", move |queries| {
-            handler.lock().process_batch(queries).1
+        let server = KvServer::start("127.0.0.1:0", move |_lane, queries| {
+            handler.process_batch(queries).1
         })
         .unwrap();
         let mut c = KvClient::connect(server.addr()).unwrap();
@@ -102,13 +103,13 @@ fn captured_traffic_replays_identically() {
     // Capture client traffic into a trace, then replay it against a
     // fresh node: the final visible state must match.
     let captured: Arc<Mutex<Vec<Query>>> = Arc::new(Mutex::new(Vec::new()));
-    let live_node = Arc::new(Mutex::new(dido_node(4 << 20)));
+    let live_node = Arc::new(dido_node(4 << 20));
 
     let tee = Arc::clone(&captured);
     let handler = Arc::clone(&live_node);
-    let server = KvServer::start("127.0.0.1:0", move |queries| {
+    let server = KvServer::start("127.0.0.1:0", move |_lane, queries| {
         tee.lock().extend(queries.iter().cloned());
-        handler.lock().process_batch(queries).1
+        handler.process_batch(queries).1
     })
     .unwrap();
     let mut c = KvClient::connect(server.addr()).unwrap();
@@ -137,10 +138,9 @@ fn captured_traffic_replays_identically() {
     for q in &replayed {
         fresh.execute(q);
     }
-    let live = live_node.lock();
     for id in 0..200 {
         let q = Query::get(format!("cap-{id}"));
-        let a = live.execute(&q);
+        let a = live_node.execute(&q);
         let b = fresh.execute(&q);
         assert_eq!(a.status, b.status, "cap-{id}");
         assert_eq!(a.value, b.value, "cap-{id}");
