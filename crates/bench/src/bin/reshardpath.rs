@@ -1,0 +1,118 @@
+//! Live-resharding bench: steady q/s at 1/2/4 shards plus the serving
+//! dip while a live 1→4 resize migrates keys under load. Writes
+//! `BENCH_reshard.json`.
+//!
+//! ```text
+//! reshardpath [--quick] [--seed N] [--dispatchers N]
+//!             [--steady-ms N] [--pre-ms N] [--post-ms N]
+//!             [--out PATH] [--check]
+//! ```
+//!
+//! `--quick` runs the CI smoke configuration (short spans; numbers are
+//! noisy and only prove the harness runs). `--check` exits non-zero if
+//! post-resize throughput falls below 90% of a fresh 4-shard build, or
+//! the migration dropped a key.
+
+use dido_bench::reshardpath::{run_reshardpath, ReshardOptions, ACCEPT_THRESHOLD};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = ReshardOptions::default();
+    let mut out = String::from("BENCH_reshard.json");
+    let mut check = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let seed = opts.seed;
+                opts = ReshardOptions::quick();
+                opts.seed = seed;
+            }
+            "--seed" => {
+                opts.seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--dispatchers" => {
+                opts.dispatchers = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--dispatchers needs a number"));
+            }
+            "--steady-ms" => {
+                opts.steady_ms = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--steady-ms needs a number"));
+            }
+            "--pre-ms" => {
+                opts.pre_ms = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--pre-ms needs a number"));
+            }
+            "--post-ms" => {
+                opts.post_ms = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--post-ms needs a number"));
+            }
+            "--out" => {
+                out = iter.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: reshardpath [--quick] [--seed N] [--dispatchers N] \
+                     [--steady-ms N] [--pre-ms N] [--post-ms N] [--out PATH] [--check]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    println!(
+        "reshardpath: {} dispatchers x {} queries/batch, steady {} ms/cell, \
+         resize run {}+{} ms around a live 1->4 resize",
+        opts.dispatchers, opts.frame_queries, opts.steady_ms, opts.pre_ms, opts.post_ms
+    );
+    let report = run_reshardpath(&opts, |cell| {
+        println!(
+            "  fresh {} shard(s): {:>10.0} q/s steady",
+            cell.shards, cell.throughput_qps
+        );
+    });
+    let r = &report.resize;
+    println!(
+        "  live 1->4 resize: pre {:.0} q/s, worst {}ms window {:.0} q/s \
+         (dip to {:.0}%), post {:.0} q/s, settled in {:.2} ms",
+        r.pre_qps,
+        report.opts.window_ms,
+        r.worst_window_qps,
+        report.dip_ratio() * 100.0,
+        r.post_qps,
+        r.resize_ms
+    );
+    let ratio = report.acceptance_ratio();
+    println!(
+        "acceptance: post-resize at {:.0}% of fresh 4-shard (threshold {:.0}%), \
+         {} dropped",
+        ratio * 100.0,
+        ACCEPT_THRESHOLD * 100.0,
+        r.dropped
+    );
+
+    std::fs::write(&out, report.to_json()).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+    println!("wrote {out}");
+
+    if check && !report.pass() {
+        eprintln!("acceptance FAILED");
+        std::process::exit(1);
+    }
+}

@@ -13,6 +13,7 @@ pub mod experiments;
 mod harness;
 pub mod hotpath;
 pub mod netpath;
+pub mod reshardpath;
 mod table;
 
 pub use harness::{ExperimentCtx, Measurement};

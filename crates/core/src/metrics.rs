@@ -23,6 +23,8 @@ pub struct Metrics {
     pub model_runs: u64,
     /// Pipeline configuration changes.
     pub adaptions: u64,
+    /// Completed live shard resizes (settled migrations).
+    pub resizes: u64,
     /// Batches the simulated executor applied work stealing to.
     pub sim_steals: u64,
     /// Wavefront items the simulated executor moved between processors.

@@ -34,16 +34,21 @@ use crate::profiler::WorkloadProfiler;
 use crate::striped::{StatsFold, StripedStats};
 use crate::system::DidoOptions;
 use dido_cost_model::{CostModel, ModelInputs};
-use dido_hashtable::key_hash;
 use dido_kvstore::HEADER_SIZE;
 use dido_model::{ConfigCell, PipelineConfig, Query, QueryOp, Response, ResponseStatus};
 use dido_net::NetStatsSnapshot;
-use dido_pipeline::{EngineConfig, RunOptions, ShardedEngine};
+use dido_pipeline::{EngineConfig, ResizeError, RunOptions, ShardedEngine};
 use dido_workload::{key_bytes, value_bytes, WorkloadGen, WorkloadSpec};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Keys the background migration worker drains per
+/// [`ShardedEngine::migrate_chunk`] call. Small enough that the worker
+/// yields the donor write locks frequently; large enough to amortize
+/// the `sets` read-lock acquisition.
+const RESIZE_CHUNK_KEYS: usize = 512;
 
 /// Control-plane state: everything only the (single) controller and
 /// occasional administrative calls touch.
@@ -58,14 +63,23 @@ struct ControlState {
 
 /// The concurrent adaptive serving core (data plane + control plane).
 pub struct ServingCore {
-    engine: ShardedEngine,
+    engine: Arc<ShardedEngine>,
     model: CostModel,
     options: DidoOptions,
-    cpu_cache_bytes: u64,
-    gpu_cache_bytes: u64,
+    /// Per-shard cache sizing for the *current* topology; recomputed on
+    /// resize. Guarded together with `configs` (same write sites).
+    caches: RwLock<(u64, u64)>,
     stripes: StripedStats,
-    /// One epoch-stamped active configuration per shard.
-    configs: Vec<ConfigCell>,
+    /// One epoch-stamped active configuration per shard. The vector is
+    /// swapped wholesale on resize; dispatchers clone the `Arc` once
+    /// per batch and fall back to shard 0's cell for any shard index
+    /// beyond the vector (an in-flight batch racing a shrink).
+    configs: RwLock<Arc<Vec<ConfigCell>>>,
+    /// Pending shard-count request from the admin path, consumed by the
+    /// controller loop (0 = none).
+    resize_request: AtomicUsize,
+    /// The in-flight background migration worker, if any.
+    resize_worker: Mutex<Option<std::thread::JoinHandle<()>>>,
     control: Mutex<ControlState>,
     metrics: Mutex<Metrics>,
 }
@@ -105,19 +119,12 @@ impl ServingCore {
         for id in 0..n_keys {
             let key = key_bytes(spec.dataset, id);
             let value = value_bytes(spec.dataset, id);
-            let shard = core.engine.shard(core.engine.shard_of(&key));
-            let out = shard
-                .store
-                .allocate(&key, &value)
-                .expect("preload must fit the store");
-            if let Some(ev) = &out.evicted {
-                let _ = shard.index.delete(key_hash(&ev.key), ev.loc);
-            }
-            shard
-                .index
-                .upsert(key_hash(&key), out.loc)
-                .0
-                .expect("index sized for the store");
+            // The same canonical SET sequence live queries use (shared
+            // `KvEngine::load_object` helper), routed through the shard
+            // map.
+            core.engine
+                .load(&key, &value)
+                .expect("preload must fit the store and index");
         }
         let generator = WorkloadGen::new(spec, n_keys, options.testbed.seed);
         (core, generator)
@@ -131,12 +138,15 @@ impl ServingCore {
         let (cpu_cache, gpu_cache) = Self::scaled_caches(&options, shards);
         ServingCore {
             model: CostModel::new(options.hw),
-            cpu_cache_bytes: cpu_cache,
-            gpu_cache_bytes: gpu_cache,
+            caches: RwLock::new((cpu_cache, gpu_cache)),
             stripes: StripedStats::new(lanes, options.profiler),
-            configs: (0..shards)
-                .map(|_| ConfigCell::new(PipelineConfig::mega_kv()))
-                .collect(),
+            configs: RwLock::new(Arc::new(
+                (0..shards)
+                    .map(|_| ConfigCell::new(PipelineConfig::mega_kv()))
+                    .collect(),
+            )),
+            resize_request: AtomicUsize::new(0),
+            resize_worker: Mutex::new(None),
             control: Mutex::new(ControlState {
                 profiler: WorkloadProfiler::new(options.profiler),
                 last_fold: StatsFold::default(),
@@ -144,7 +154,7 @@ impl ServingCore {
                 model_runs: 0,
             }),
             metrics: Mutex::new(Metrics::default()),
-            engine,
+            engine: Arc::new(engine),
             options,
         }
     }
@@ -169,10 +179,16 @@ impl ServingCore {
         &self.engine
     }
 
-    /// Number of engine shards.
+    /// Number of engine shards under the current shard map.
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.configs.len()
+        self.engine.shard_count()
+    }
+
+    /// Whether a live resize is currently draining (wait-free).
+    #[must_use]
+    pub fn is_migrating(&self) -> bool {
+        self.engine.is_migrating()
     }
 
     /// Number of dispatcher lanes the accumulators are striped over.
@@ -181,22 +197,22 @@ impl ServingCore {
         self.stripes.lanes()
     }
 
-    /// The active configuration and epoch of `shard` (wait-free).
+    /// The active configuration and epoch of `shard`.
     #[must_use]
     pub fn shard_config(&self, shard: usize) -> (PipelineConfig, u32) {
-        self.configs[shard].load()
+        self.configs.read()[shard].load()
     }
 
     /// Snapshot of every shard's active configuration.
     #[must_use]
     pub fn configs(&self) -> Vec<PipelineConfig> {
-        self.configs.iter().map(|c| c.load().0).collect()
+        self.configs.read().iter().map(|c| c.load().0).collect()
     }
 
     /// Pin every shard to `config` (the controller may re-adapt away on
     /// the next drift; combine with a paused controller to pin hard).
     pub fn set_config(&self, config: PipelineConfig) {
-        for cell in &self.configs {
+        for cell in self.configs.read().iter() {
             cell.publish(config);
         }
     }
@@ -278,11 +294,17 @@ impl ServingCore {
                 g
             })
             .collect();
-        let shard0_config = self.configs[0].load().0;
+        // One Arc clone per batch: the cells themselves stay wait-free;
+        // the RwLock is only written when a resize swaps the topology.
+        let configs = Arc::clone(&self.configs.read());
+        let shard0_config = configs[0].load().0;
         let started = Instant::now();
-        let responses = self
-            .engine
-            .process_batch_inline(queries, |shard| self.configs[shard].load().0);
+        let responses = self.engine.process_batch_inline(queries, |shard| {
+            // `get` fallback: a batch that raced a resize may ask for a
+            // shard index from the other topology; shard 0's config is
+            // always a valid answer.
+            configs.get(shard).unwrap_or(&configs[0]).load().0
+        });
         let elapsed_ns = started.elapsed().as_nanos() as f64;
         let mut hits = 0u64;
         let mut hit_bytes = 0u64;
@@ -324,16 +346,21 @@ impl ServingCore {
         ctl.model_runs += 1;
         let interval_ns = self.stage_interval_ns();
         let mut changed = false;
-        for (s, cell) in self.configs.iter().enumerate() {
-            let shard = self.engine.shard(s);
+        let configs = Arc::clone(&self.configs.read());
+        let engines = self.engine.primary_engines();
+        let (cpu_cache_bytes, gpu_cache_bytes) = *self.caches.read();
+        for (s, cell) in configs.iter().enumerate() {
+            // A resize between the two snapshots can shrink the engine
+            // list; surplus cells are about to be retired anyway.
+            let Some(shard) = engines.get(s) else { break };
             let inputs = ModelInputs {
                 stats,
                 n_keys: shard.store.live_objects() as u64,
                 avg_insert_buckets: shard.index.avg_insert_buckets(),
                 avg_delete_buckets: shard.index.avg_delete_buckets(),
                 interval_ns,
-                cpu_cache_bytes: self.cpu_cache_bytes,
-                gpu_cache_bytes: self.gpu_cache_bytes,
+                cpu_cache_bytes,
+                gpu_cache_bytes,
             };
             let prediction = if self.options.greedy_search {
                 self.model.greedy_config(&inputs)
@@ -354,8 +381,78 @@ impl ServingCore {
         changed
     }
 
+    /// Start a live resize to `n` shards: install the `Migrating` shard
+    /// map (new per-shard stores sized so total capacity is preserved),
+    /// swap in a fresh per-shard config vector seeded from shard 0's
+    /// active configuration, and spawn a background worker that drains
+    /// donor shards chunk by chunk and settles the map when done. The
+    /// data path serves throughout; returns as soon as the migration is
+    /// underway (use [`ServingCore::wait_resize`] to block on it).
+    pub fn resize_shards(self: &Arc<Self>, n: usize) -> Result<(), ResizeError> {
+        let (cpu_cache, gpu_cache) = Self::scaled_caches(&self.options, n.max(1));
+        let per_shard = EngineConfig::new(
+            self.options.testbed.store_bytes / n.max(1),
+            cpu_cache,
+            gpu_cache,
+        );
+        let seed_config = self.configs.read()[0].load().0;
+        self.engine.begin_resize(n, per_shard)?;
+        *self.configs.write() = Arc::new(
+            (0..n).map(|_| ConfigCell::new(seed_config)).collect(),
+        );
+        *self.caches.write() = (cpu_cache, gpu_cache);
+        let core = Arc::clone(self);
+        let worker = std::thread::Builder::new()
+            .name("dido-reshard".into())
+            .spawn(move || {
+                while !core.engine.migrate_chunk(RESIZE_CHUNK_KEYS).drained {}
+                core.engine
+                    .settle_resize()
+                    .expect("worker is the only settler");
+                core.metrics.lock().resizes += 1;
+                // The topology changed under the profiler's feet: force
+                // the next tick to re-run the cost model per new shard.
+                core.force_readapt();
+            })
+            .expect("spawn resize worker thread");
+        let mut slot = self.resize_worker.lock();
+        if let Some(prev) = slot.take() {
+            // A previous resize's worker has necessarily finished
+            // (begin_resize would have failed with InProgress
+            // otherwise); reap it.
+            let _ = prev.join();
+        }
+        *slot = Some(worker);
+        Ok(())
+    }
+
+    /// Block until the in-flight resize (if any) has settled.
+    pub fn wait_resize(&self) {
+        let worker = self.resize_worker.lock().take();
+        if let Some(w) = worker {
+            let _ = w.join();
+        }
+    }
+
+    /// Ask the controller to resize to `n` shards on its next loop
+    /// iteration (the admin/wire-triggered path; `resize_shards` is the
+    /// direct one). Requests overwrite each other; the last wins.
+    pub fn request_resize(&self, n: usize) {
+        self.resize_request.store(n.max(1), Ordering::Release);
+    }
+
+    /// Consume a pending resize request (controller loop).
+    fn take_resize_request(&self) -> Option<usize> {
+        match self.resize_request.swap(0, Ordering::AcqRel) {
+            0 => None,
+            n => Some(n),
+        }
+    }
+
     /// Spawn the background adaptation controller, ticking every
-    /// `period`. The returned handle stops and joins the thread on
+    /// `period`. Beside config adaption, the controller is the consumer
+    /// of [`ServingCore::request_resize`]: shard scaling is its second
+    /// actuator. The returned handle stops and joins the thread on
     /// [`ControllerHandle::stop`] or drop.
     #[must_use]
     pub fn spawn_controller(core: Arc<ServingCore>, period: Duration) -> ControllerHandle {
@@ -365,6 +462,11 @@ impl ServingCore {
             .name("dido-controller".into())
             .spawn(move || {
                 while !stop.load(Ordering::Acquire) {
+                    if let Some(n) = core.take_resize_request() {
+                        // InProgress/NoChange are benign here: the admin
+                        // path re-requests if it really wants another.
+                        let _ = core.resize_shards(n);
+                    }
                     core.controller_tick();
                     std::thread::sleep(period);
                 }
@@ -381,7 +483,7 @@ impl std::fmt::Debug for ServingCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let ctl = self.control.lock();
         f.debug_struct("ServingCore")
-            .field("shards", &self.configs.len())
+            .field("shards", &self.shard_count())
             .field("lanes", &self.stripes.lanes())
             .field("adaptions", &ctl.adaptions)
             .finish()

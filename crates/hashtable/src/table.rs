@@ -693,8 +693,21 @@ impl IndexTable {
     /// Visit every live entry as `(signature, location)` (maintenance /
     /// integrity checking; concurrent writers may be missed or seen
     /// twice, as with any lock-free snapshot).
-    pub fn for_each_entry<F: FnMut(u16, u64)>(&self, mut f: F) {
-        for b in self.buckets.iter() {
+    pub fn for_each_entry<F: FnMut(u16, u64)>(&self, f: F) {
+        self.for_each_entry_in(0..self.buckets.len(), f);
+    }
+
+    /// Visit every live entry whose bucket index falls in `buckets`
+    /// (clamped to the table). Lets a maintenance sweep — e.g. the shard
+    /// migration worker — walk the table in bounded chunks instead of
+    /// one monolithic pass. The chunked sweep is exhaustive only while
+    /// no concurrent *inserts* run: inserts may cuckoo-displace an entry
+    /// from an unvisited bucket into an already-visited one, while
+    /// deletes never move entries.
+    pub fn for_each_entry_in<F: FnMut(u16, u64)>(&self, buckets: std::ops::Range<usize>, mut f: F) {
+        let end = buckets.end.min(self.buckets.len());
+        let start = buckets.start.min(end);
+        for b in &self.buckets[start..end] {
             for slot in &b.slots {
                 let word = slot.load(Ordering::Acquire);
                 if slot_occupied(word) {

@@ -330,6 +330,21 @@ impl ObjectStore {
             self.arena.read_u32(off + OFF_EPOCH),
         )
     }
+
+    /// Restore CLOCK/sampling metadata onto a (just-written) object:
+    /// shard migration copies an object into its new shard and carries
+    /// the donor's access frequency and sampling epoch over, so skew
+    /// estimation and eviction ordering survive a reshard instead of
+    /// every migrated object looking cold.
+    pub fn restore_clock(&self, loc: u64, freq: u32, epoch: u32) {
+        let off = loc as usize;
+        self.arena.write_u32(off + OFF_FREQ, freq);
+        self.arena.write_u32(off + OFF_EPOCH, epoch);
+        if freq > 0 {
+            let flags = self.arena.read_u8(off + OFF_FLAGS);
+            self.arena.write_u8(off + OFF_FLAGS, flags | FLAG_REFERENCED);
+        }
+    }
 }
 
 impl std::fmt::Debug for ObjectStore {

@@ -213,6 +213,68 @@ impl KvEngine {
         Ok(queries.len())
     }
 
+    /// Store `key = value` through the canonical SET sequence: slab
+    /// allocation, eviction cleanup (index delete + cache invalidate
+    /// for whatever CLOCK pushed out), then index upsert. Returns the
+    /// new object's location, or `None` if the store or index rejected
+    /// it (the allocation is rolled back).
+    ///
+    /// This is the *one* implementation of that sequence — the
+    /// [`KvEngine::execute`] SET arm, the serving core's preload path,
+    /// and shard migration all call it, so eviction bookkeeping can
+    /// never diverge between them.
+    pub fn load_object(&self, key: &[u8], value: &[u8]) -> Option<u64> {
+        let kh = key_hash(key);
+        let out = self.store.allocate(key, value).ok()?;
+        if let Some(ev) = &out.evicted {
+            let _ = self.index.delete(key_hash(&ev.key), ev.loc);
+            self.cache_invalidate(ev.loc);
+        }
+        match self.index.upsert(kh, out.loc).0 {
+            Ok(_replaced) => {
+                // A replaced old version lingers as garbage until CLOCK
+                // evicts it (memcached semantics; see
+                // `tasks::run_index_insert`).
+                Some(out.loc)
+            }
+            Err(_) => {
+                self.store.free(out.loc);
+                None
+            }
+        }
+    }
+
+    /// Whether `key` is live in this engine (index entry pointing at a
+    /// matching live object).
+    #[must_use]
+    pub fn has_key(&self, key: &[u8]) -> bool {
+        let (cands, _) = self.index.search(key_hash(key));
+        cands
+            .as_slice()
+            .iter()
+            .any(|&loc| self.store.key_matches(loc, key))
+    }
+
+    /// Remove `key` from this engine (index delete + store free + cache
+    /// invalidate); `true` if a live entry was removed. The canonical
+    /// DELETE sequence, shared by [`KvEngine::execute`] and shard
+    /// migration's donor-side cleanup.
+    pub fn purge_key(&self, key: &[u8]) -> bool {
+        let kh = key_hash(key);
+        let (cands, _) = self.index.search(kh);
+        for &loc in cands.as_slice() {
+            if self.store.key_matches(loc, key) {
+                let (removed, _) = self.index.delete(kh, loc);
+                if removed {
+                    self.store.free(loc);
+                    self.cache_invalidate(loc);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     /// Convenience single-query execution outside any pipeline (used by
     /// examples, tests, and the quickstart API). Functionally identical
     /// to what the staged tasks do.
@@ -231,43 +293,16 @@ impl KvEngine {
                 }
                 Response::not_found()
             }
-            QueryOp::Set => {
-                let kh = key_hash(&q.key);
-                let Ok(out) = self.store.allocate(&q.key, &q.value) else {
-                    return Response::error();
-                };
-                if let Some(ev) = &out.evicted {
-                    let ev_kh = key_hash(&ev.key);
-                    let _ = self.index.delete(ev_kh, ev.loc);
-                    self.cache_invalidate(ev.loc);
-                }
-                match self.index.upsert(kh, out.loc).0 {
-                    Ok(_replaced) => {
-                        // The replaced old version lingers as garbage
-                        // until CLOCK evicts it (memcached semantics;
-                        // see `tasks::run_index_insert`).
-                        Response::ok()
-                    }
-                    Err(_) => {
-                        self.store.free(out.loc);
-                        Response::error()
-                    }
-                }
-            }
+            QueryOp::Set => match self.load_object(&q.key, &q.value) {
+                Some(_) => Response::ok(),
+                None => Response::error(),
+            },
             QueryOp::Delete => {
-                let kh = key_hash(&q.key);
-                let (cands, _) = self.index.search(kh);
-                for &loc in cands.as_slice() {
-                    if self.store.key_matches(loc, &q.key) {
-                        let (removed, _) = self.index.delete(kh, loc);
-                        if removed {
-                            self.store.free(loc);
-                            self.cache_invalidate(loc);
-                            return Response::ok();
-                        }
-                    }
+                if self.purge_key(&q.key) {
+                    Response::ok()
+                } else {
+                    Response::not_found()
                 }
-                Response::not_found()
             }
         }
     }

@@ -38,6 +38,7 @@ mod cache;
 mod engine;
 mod setup;
 mod sharded;
+pub mod shardmap;
 mod sim;
 pub mod sync;
 pub mod tasks;
@@ -47,7 +48,8 @@ pub use batch::{Batch, QueryState, StagingArena, StealTags, TAG_FREE};
 pub use cache::LruFilter;
 pub use engine::{EngineConfig, IntegrityReport, KvEngine, OpCounts};
 pub use setup::{preloaded_engine, TestbedOptions};
-pub use sharded::ShardedEngine;
+pub use sharded::{MigrateProgress, ResizeError, ShardedEngine};
+pub use shardmap::{route_of, MapState, ShardMap};
 pub use sim::{
     BatchReport, KernelReport, RunOptions, SimExecutor, StageReport, StealReport, WorkloadReport,
 };

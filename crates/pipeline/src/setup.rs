@@ -6,7 +6,6 @@
 
 use crate::engine::{EngineConfig, KvEngine};
 use dido_apu_sim::HwSpec;
-use dido_hashtable::key_hash;
 use dido_kvstore::HEADER_SIZE;
 use dido_workload::{key_bytes, value_bytes, WorkloadGen, WorkloadSpec};
 
@@ -61,18 +60,9 @@ pub fn preloaded_engine(
     for id in 0..n_keys {
         let key = key_bytes(spec.dataset, id);
         let value = value_bytes(spec.dataset, id);
-        let out = engine
-            .store
-            .allocate(&key, &value)
-            .expect("preload must fit the store");
-        if let Some(ev) = &out.evicted {
-            let _ = engine.index.delete(key_hash(&ev.key), ev.loc);
-        }
         engine
-            .index
-            .upsert(key_hash(&key), out.loc)
-            .0
-            .expect("index sized for the store");
+            .load_object(&key, &value)
+            .expect("preload must fit the store and index");
     }
     let generator = WorkloadGen::new(spec, n_keys, opts.seed);
     (engine, generator)

@@ -1,36 +1,166 @@
-//! Sharded multi-pipeline front.
+//! Sharded multi-pipeline front with live resharding.
 //!
 //! Mega-KV "implements multiple pipelines to take advantage of the
 //! multicore architecture" (paper §II-B, Figure 3): keys are partitioned
 //! across independent pipeline instances, each with its own index and
 //! store, so instances never contend. This module provides that
-//! partitioning layer for larger CPUs than the 4-core APU: a
-//! [`ShardedEngine`] routes by key hash and can process a batch across
-//! all shards on real threads.
+//! partitioning layer — and, unlike the original static design, lets the
+//! topology *change at runtime*. All routing flows through the versioned
+//! [`ShardMap`] plane (see [`crate::shardmap`]); a resize installs a
+//! `Migrating{old, new}` map, a migration worker drains donor shards in
+//! wavefront-sized chunks, and the data path double-probes so
+//! correctness never depends on migration progress.
+//!
+//! ## Migration protocol (DESIGN.md §12)
+//!
+//! During `Migrating{old, new}` two shard sets exist: the **primary**
+//! (new topology, authoritative for writes) and the **donor** (old
+//! topology, draining). Every mutation of a possibly-migrating key
+//! serializes on the owning donor shard's write lock; GETs stay
+//! lock-free:
+//!
+//! * **GET** — probe primary, then donor, then primary again. The third
+//!   probe closes the race where the worker moves the key between the
+//!   first two probes (a move inserts into primary *before* deleting
+//!   from donor, and moves only travel donor→primary, so a key that is
+//!   live somewhere is always found).
+//! * **SET** — lock the donor shard, store into primary, purge the key
+//!   from the donor (so a stale donor copy can never shadow the new
+//!   value after the worker has passed it by).
+//! * **DELETE** — lock the donor shard, purge from both sets.
+//! * **Worker** — per chunk: lock the donor shard, walk a bounded
+//!   bucket range of its index, and for each live key not already in
+//!   primary, copy it over (carrying CLOCK frequency/epoch via
+//!   `restore_clock`) and delete the donor copy.
+//!
+//! Batches hold the `sets` read lock for their whole run, so the two
+//! map transitions (install, settle) take the write lock and thereby
+//! wait out every in-flight batch: no batch ever runs against a set
+//! topology that has been retired.
 
-use crate::engine::{EngineConfig, KvEngine};
+use crate::engine::{EngineConfig, KvEngine, OpCounters, OpCounts};
+use crate::shardmap::{route_of, MapState, ShardMap, MAX_SHARDS};
 use crate::threaded::ThreadedPipeline;
-use dido_hashtable::hash64;
-use dido_model::{PipelineConfig, Query, Response};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use dido_model::{PipelineConfig, Query, QueryOp, Response};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
-/// A set of independent [`KvEngine`] shards with hash routing.
+/// Donor index buckets walked per migration chunk. At 4 slots per
+/// bucket this bounds a chunk to ~64 moved keys — one pipeline
+/// wavefront — which bounds how long the worker holds a donor shard's
+/// write lock (and therefore how long a racing SET can stall).
+const MIGRATE_BUCKETS_PER_CHUNK: usize = 16;
+
+/// One topology's worth of engines plus the per-shard write locks the
+/// migration protocol serializes on while the set is a donor.
+struct ShardSet {
+    engines: Vec<Arc<KvEngine>>,
+    write_locks: Vec<Mutex<()>>,
+}
+
+impl ShardSet {
+    fn build(n: usize, per_shard: EngineConfig) -> ShardSet {
+        ShardSet::from_engines((0..n).map(|_| KvEngine::new(per_shard)).collect())
+    }
+
+    fn from_engines(engines: Vec<KvEngine>) -> ShardSet {
+        let locks = (0..engines.len()).map(|_| Mutex::new(())).collect();
+        ShardSet {
+            engines: engines.into_iter().map(Arc::new).collect(),
+            write_locks: locks,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The engine owning `key` under this set's topology.
+    fn engine_of(&self, key: &[u8]) -> &KvEngine {
+        &self.engines[route_of(key, self.engines.len())]
+    }
+}
+
+/// The engine sets the data path runs against. Batches hold a read
+/// guard on this for their whole run; resize transitions take the write
+/// lock, which doubles as the quiescence barrier described above.
+struct EngineSets {
+    primary: Arc<ShardSet>,
+    donor: Option<Arc<ShardSet>>,
+}
+
+/// Where the migration sweep is within the donor set.
+struct MigrationCursor {
+    donor_shard: usize,
+    next_bucket: usize,
+}
+
+/// Why a resize request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeError {
+    /// A previous resize is still draining; settle it first.
+    InProgress,
+    /// The requested shard count equals the current one.
+    NoChange,
+    /// The requested shard count is 0 or above [`MAX_SHARDS`].
+    BadCount,
+    /// `settle_resize` was called with no resize in progress.
+    NotMigrating,
+    /// `settle_resize` was called before the donor set drained.
+    NotDrained,
+}
+
+impl std::fmt::Display for ResizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResizeError::InProgress => write!(f, "a resize is already in progress"),
+            ResizeError::NoChange => write!(f, "already at the requested shard count"),
+            ResizeError::BadCount => write!(f, "shard count out of range"),
+            ResizeError::NotMigrating => write!(f, "no resize in progress"),
+            ResizeError::NotDrained => write!(f, "donor shards not fully drained"),
+        }
+    }
+}
+
+impl std::error::Error for ResizeError {}
+
+/// Progress report from one [`ShardedEngine::migrate_chunk`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrateProgress {
+    /// Keys copied to their new shard by this chunk.
+    pub moved: usize,
+    /// Keys lost because the target shard could not admit them (store
+    /// rejection — equivalent to an eviction of a cold key).
+    pub dropped: usize,
+    /// The donor set is fully drained; [`ShardedEngine::settle_resize`]
+    /// may run.
+    pub drained: bool,
+}
+
+/// A set of independent [`KvEngine`] shards with hash routing through
+/// the versioned [`ShardMap`] plane, supporting live resharding.
 pub struct ShardedEngine {
-    shards: Vec<KvEngine>,
+    map: ShardMap,
+    sets: RwLock<EngineSets>,
+    /// Migration sweep position. Lock order: `sets` before `cursor`.
+    cursor: Mutex<Option<MigrationCursor>>,
+    /// Op counters carried over from retired donor sets, so aggregate
+    /// [`ShardedEngine::op_counts`] accounting survives resizes.
+    retired: OpCounters,
+    /// Cumulative keys dropped by migrations (target store rejections).
+    migrate_dropped: AtomicU64,
 }
 
 impl ShardedEngine {
     /// Build `n` shards, each sized to `per_shard`.
     ///
     /// # Panics
-    /// Panics if `n == 0`.
+    /// Panics if `n == 0` or `n > MAX_SHARDS`.
     #[must_use]
     pub fn new(n: usize, per_shard: EngineConfig) -> ShardedEngine {
         assert!(n > 0, "need at least one shard");
-        ShardedEngine {
-            shards: (0..n).map(|_| KvEngine::new(per_shard)).collect(),
-        }
+        Self::from_set(ShardSet::build(n, per_shard))
     }
 
     /// Wrap already-built engines (e.g. a single preloaded engine) as
@@ -41,36 +171,153 @@ impl ShardedEngine {
     #[must_use]
     pub fn from_engines(engines: Vec<KvEngine>) -> ShardedEngine {
         assert!(!engines.is_empty(), "need at least one shard");
-        ShardedEngine { shards: engines }
+        Self::from_set(ShardSet::from_engines(engines))
     }
 
-    /// Number of shards.
+    fn from_set(set: ShardSet) -> ShardedEngine {
+        ShardedEngine {
+            map: ShardMap::new(set.len()),
+            sets: RwLock::new(EngineSets {
+                primary: Arc::new(set),
+                donor: None,
+            }),
+            cursor: Mutex::new(None),
+            retired: OpCounters::default(),
+            migrate_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The versioned shard map (for monitoring and epoch-aware callers
+    /// like the net dispatch loop).
+    #[must_use]
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Current primary shard count (wait-free).
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.map.shards()
     }
 
-    /// The shard a key routes to.
+    /// Whether a resize is currently draining (wait-free).
+    #[must_use]
+    pub fn is_migrating(&self) -> bool {
+        self.map.state().donors().is_some()
+    }
+
+    /// The primary shard a key routes to under the current map.
     #[must_use]
     pub fn shard_of(&self, key: &[u8]) -> usize {
-        // Multiply-shift over the high 32 hash bits (Lemire's unbiased
-        // range reduction): `(h * n) >> 32` maps [0, 2^32) evenly onto
-        // [0, n) without the modulo bias of `h % n`. High bits only —
-        // the low bits drive bucket choice inside the shard, so reusing
-        // them would correlate shard and bucket.
-        let h = hash64(key) >> 32;
-        ((h * self.shards.len() as u64) >> 32) as usize
+        route_of(key, self.map.shards())
     }
 
-    /// Access one shard's engine.
+    /// One primary shard's engine.
     #[must_use]
-    pub fn shard(&self, i: usize) -> &KvEngine {
-        &self.shards[i]
+    pub fn shard(&self, i: usize) -> Arc<KvEngine> {
+        Arc::clone(&self.sets.read().primary.engines[i])
     }
 
-    /// Single-query convenience API (routes, then executes).
+    /// Snapshot of the primary set's engines (the control plane iterates
+    /// these; cheap Arc clones).
+    #[must_use]
+    pub fn primary_engines(&self) -> Vec<Arc<KvEngine>> {
+        self.sets.read().primary.engines.iter().map(Arc::clone).collect()
+    }
+
+    /// Single-query convenience API (routes, then executes; honors any
+    /// in-flight migration).
     pub fn execute(&self, q: &Query) -> Response {
-        self.shards[self.shard_of(&q.key)].execute(q)
+        let sets = self.sets.read();
+        match &sets.donor {
+            None => sets.primary.engine_of(&q.key).execute(q),
+            Some(donor) => Self::migrating_execute(&sets.primary, donor, q),
+        }
+    }
+
+    /// Store `key = value` directly (the preload path): the same
+    /// canonical [`KvEngine::load_object`] sequence live SETs use,
+    /// routed through the shard map. Returns the object's location in
+    /// its owning shard, or `None` if the store rejected it.
+    pub fn load(&self, key: &[u8], value: &[u8]) -> Option<u64> {
+        let sets = self.sets.read();
+        match &sets.donor {
+            None => sets.primary.engine_of(key).load_object(key, value),
+            Some(donor) => {
+                let d = route_of(key, donor.len());
+                let _wl = donor.write_locks[d].lock();
+                let loc = sets.primary.engine_of(key).load_object(key, value)?;
+                donor.engines[d].purge_key(key);
+                Some(loc)
+            }
+        }
+    }
+
+    /// The migrating-path scalar execution (see the module docs for the
+    /// probe/lock protocol).
+    fn migrating_execute(primary: &ShardSet, donor: &ShardSet, q: &Query) -> Response {
+        match q.op {
+            QueryOp::Get => {
+                let p = primary.engine_of(&q.key);
+                let r = p.execute(q);
+                if r.status == dido_model::ResponseStatus::Ok {
+                    return r;
+                }
+                let r = donor.engine_of(&q.key).execute(q);
+                if r.status == dido_model::ResponseStatus::Ok {
+                    return r;
+                }
+                // Third probe: the worker may have moved the key between
+                // the primary miss and the donor miss.
+                p.execute(q)
+            }
+            QueryOp::Set => {
+                let d = route_of(&q.key, donor.len());
+                let _wl = donor.write_locks[d].lock();
+                match primary.engine_of(&q.key).load_object(&q.key, &q.value) {
+                    Some(_) => {
+                        donor.engines[d].purge_key(&q.key);
+                        Response::ok()
+                    }
+                    None => Response::error(),
+                }
+            }
+            QueryOp::Delete => {
+                let d = route_of(&q.key, donor.len());
+                let _wl = donor.write_locks[d].lock();
+                let in_new = primary.engine_of(&q.key).purge_key(&q.key);
+                let in_old = donor.engines[d].purge_key(&q.key);
+                if in_new || in_old {
+                    Response::ok()
+                } else {
+                    Response::not_found()
+                }
+            }
+        }
+    }
+
+    /// Partition a batch by primary routing into owned per-shard query
+    /// vectors plus a parallel position index (no per-query clone).
+    fn partition(queries: Vec<Query>, n: usize) -> (Vec<Vec<Query>>, Vec<Vec<u32>>) {
+        let mut per_shard: Vec<Vec<Query>> = (0..n).map(|_| Vec::new()).collect();
+        let mut positions: Vec<Vec<u32>> = (0..n).map(|_| Vec::new()).collect();
+        for (pos, q) in queries.into_iter().enumerate() {
+            let s = route_of(&q.key, n);
+            positions[s].push(pos as u32);
+            per_shard[s].push(q);
+        }
+        (per_shard, positions)
+    }
+
+    /// Scalar in-order execution for batches that land mid-migration:
+    /// correctness (including intra-batch same-key read-after-write
+    /// order) over vectorization, for the bounded migration window.
+    fn migrating_batch(sets: &EngineSets, queries: &[Query]) -> Vec<Response> {
+        let donor = sets.donor.as_ref().expect("migrating batch needs a donor set");
+        queries
+            .iter()
+            .map(|q| Self::migrating_execute(&sets.primary, donor, q))
+            .collect()
     }
 
     /// Process one batch across all shards on real threads: the batch is
@@ -85,36 +332,40 @@ impl ShardedEngine {
     /// staged pipeline per shard.
     #[must_use]
     pub fn process_batch(&self, queries: Vec<Query>, config: PipelineConfig) -> Vec<Response> {
-        let n = queries.len();
-        // Partition, remembering each query's original position.
-        let mut per_shard: Vec<Vec<(usize, Query)>> =
-            (0..self.shards.len()).map(|_| Vec::new()).collect();
-        for (pos, q) in queries.into_iter().enumerate() {
-            let s = self.shard_of(&q.key);
-            per_shard[s].push((pos, q));
+        let sets = self.sets.read();
+        if sets.donor.is_some() {
+            return Self::migrating_batch(&sets, &queries);
         }
+        let engines = &sets.primary.engines;
+        let n = queries.len();
+        let (per_shard, positions) = Self::partition(queries, engines.len());
+        // Hand each worker ownership of its shard's queries (no clone):
+        // the pool takes the Vec out of its slot when it claims a shard.
+        let work: Vec<Mutex<Option<Vec<Query>>>> =
+            per_shard.into_iter().map(|qs| Mutex::new(Some(qs))).collect();
         let workers = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
-            .clamp(1, self.shards.len());
+            .clamp(1, engines.len());
         let next_shard = AtomicUsize::new(0);
         let done: Mutex<Vec<(usize, Vec<Response>)>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let next_shard = &next_shard;
                 let done = &done;
-                let per_shard = &per_shard;
+                let work = &work;
                 scope.spawn(move || loop {
                     let s = next_shard.fetch_add(1, Ordering::Relaxed);
-                    if s >= self.shards.len() {
+                    if s >= engines.len() {
                         break;
                     }
-                    let work = &per_shard[s];
-                    if work.is_empty() {
+                    let Some(queries) = work[s].lock().take() else {
+                        continue;
+                    };
+                    if queries.is_empty() {
                         continue;
                     }
-                    let pipeline = ThreadedPipeline::new(&self.shards[s], config);
-                    let queries: Vec<Query> = work.iter().map(|(_, q)| q.clone()).collect();
+                    let pipeline = ThreadedPipeline::new(&engines[s], config);
                     let mut results = pipeline.run_inline(vec![queries]);
                     done.lock().push((s, results.pop().unwrap_or_default()));
                 });
@@ -122,8 +373,8 @@ impl ShardedEngine {
         });
         let mut out: Vec<Option<Response>> = vec![None; n];
         for (s, responses) in done.into_inner() {
-            for ((pos, _), r) in per_shard[s].iter().zip(responses) {
-                out[*pos] = Some(r);
+            for (&pos, r) in positions[s].iter().zip(responses) {
+                out[pos as usize] = Some(r);
             }
         }
         out.into_iter()
@@ -148,34 +399,33 @@ impl ShardedEngine {
         queries: Vec<Query>,
         config_for: impl Fn(usize) -> PipelineConfig,
     ) -> Vec<Response> {
-        if self.shards.len() == 1 {
+        let sets = self.sets.read();
+        if sets.donor.is_some() {
+            return Self::migrating_batch(&sets, &queries);
+        }
+        let engines = &sets.primary.engines;
+        if engines.len() == 1 {
             // Fast path: no partitioning, no order restoration.
-            let pipeline = ThreadedPipeline::new(&self.shards[0], config_for(0));
+            let pipeline = ThreadedPipeline::new(&engines[0], config_for(0));
             return pipeline
                 .run_inline_no_sd(vec![queries])
                 .pop()
                 .unwrap_or_default();
         }
         let n = queries.len();
-        let mut per_shard: Vec<Vec<(usize, Query)>> =
-            (0..self.shards.len()).map(|_| Vec::new()).collect();
-        for (pos, q) in queries.into_iter().enumerate() {
-            let s = self.shard_of(&q.key);
-            per_shard[s].push((pos, q));
-        }
+        let (per_shard, positions) = Self::partition(queries, engines.len());
         let mut out: Vec<Option<Response>> = vec![None; n];
-        for (s, work) in per_shard.into_iter().enumerate() {
-            if work.is_empty() {
+        for (s, queries) in per_shard.into_iter().enumerate() {
+            if queries.is_empty() {
                 continue;
             }
-            let pipeline = ThreadedPipeline::new(&self.shards[s], config_for(s));
-            let (positions, queries): (Vec<usize>, Vec<Query>) = work.into_iter().unzip();
+            let pipeline = ThreadedPipeline::new(&engines[s], config_for(s));
             let responses = pipeline
                 .run_inline_no_sd(vec![queries])
                 .pop()
                 .unwrap_or_default();
-            for (pos, r) in positions.into_iter().zip(responses) {
-                out[pos] = Some(r);
+            for (&pos, r) in positions[s].iter().zip(responses) {
+                out[pos as usize] = Some(r);
             }
         }
         out.into_iter()
@@ -183,17 +433,227 @@ impl ShardedEngine {
             .collect()
     }
 
-    /// Aggregate live objects across shards.
+    /// Install a `Migrating{old, new}` map: the current primary set
+    /// becomes the donor, a fresh `n`-shard set (each shard sized to
+    /// `per_shard`) becomes primary. Taking the `sets` write lock waits
+    /// out every in-flight batch, so no batch ever runs against the old
+    /// `Settled` view after this returns. Returns the new map epoch.
+    pub fn begin_resize(&self, n: usize, per_shard: EngineConfig) -> Result<u32, ResizeError> {
+        if n == 0 || n > MAX_SHARDS {
+            return Err(ResizeError::BadCount);
+        }
+        let mut sets = self.sets.write();
+        if sets.donor.is_some() {
+            return Err(ResizeError::InProgress);
+        }
+        let old = sets.primary.len();
+        if old == n {
+            return Err(ResizeError::NoChange);
+        }
+        let fresh = Arc::new(ShardSet::build(n, per_shard));
+        let donor = std::mem::replace(&mut sets.primary, fresh);
+        sets.donor = Some(donor);
+        *self.cursor.lock() = Some(MigrationCursor {
+            donor_shard: 0,
+            next_bucket: 0,
+        });
+        Ok(self.map.publish(MapState::Migrating { old, new: n }))
+    }
+
+    /// Drain up to ~`max_keys` keys from the donor set (in
+    /// [`MIGRATE_BUCKETS_PER_CHUNK`]-bucket steps; the last step may
+    /// overshoot slightly). Intended to be called in a loop by the
+    /// migration worker; safe to call concurrently with the data path.
+    pub fn migrate_chunk(&self, max_keys: usize) -> MigrateProgress {
+        let sets = self.sets.read();
+        let Some(donor) = sets.donor.as_ref() else {
+            return MigrateProgress { drained: true, ..MigrateProgress::default() };
+        };
+        let mut cursor_slot = self.cursor.lock();
+        let Some(cur) = cursor_slot.as_mut() else {
+            // Donor installed but sweep already finished: await settle.
+            return MigrateProgress { drained: true, ..MigrateProgress::default() };
+        };
+        let mut progress = MigrateProgress::default();
+        while progress.moved < max_keys.max(1) && cur.donor_shard < donor.len() {
+            let d = &donor.engines[cur.donor_shard];
+            let buckets = d.index.bucket_count();
+            if cur.next_bucket >= buckets {
+                cur.donor_shard += 1;
+                cur.next_bucket = 0;
+                continue;
+            }
+            let step = MIGRATE_BUCKETS_PER_CHUNK.min(buckets - cur.next_bucket);
+            // Serialize against SET/DELETE on this donor shard for the
+            // whole step: the sweep's has_key/copy/delete must not
+            // interleave with a dispatcher's write to the same key.
+            let _wl = donor.write_locks[cur.donor_shard].lock();
+            let mut locs = Vec::new();
+            d.index
+                .for_each_entry_in(cur.next_bucket..cur.next_bucket + step, |_sig, loc| {
+                    locs.push(loc);
+                });
+            for loc in locs {
+                match Self::migrate_one(d, &sets.primary, loc) {
+                    Some(true) => progress.moved += 1,
+                    Some(false) => progress.dropped += 1,
+                    None => {}
+                }
+            }
+            cur.next_bucket += step;
+        }
+        if cur.donor_shard >= donor.len() {
+            *cursor_slot = None;
+            progress.drained = true;
+        }
+        self.migrate_dropped
+            .fetch_add(progress.dropped as u64, Ordering::Relaxed);
+        progress
+    }
+
+    /// Move one donor index entry to its primary shard. `Some(true)` =
+    /// copied, `Some(false)` = target rejected it (key dropped),
+    /// `None` = nothing to move (dangling entry, or the key already
+    /// reached primary via a concurrent SET). Caller holds the donor
+    /// shard's write lock.
+    fn migrate_one(d: &KvEngine, primary: &ShardSet, loc: u64) -> Option<bool> {
+        let key = d.store.read_key(loc);
+        if key.is_empty() || !d.store.key_matches(loc, &key) {
+            // Dangling entry (the object was replaced or freed): nothing
+            // to move; the donor index is dropped wholesale at settle.
+            return None;
+        }
+        let target = primary.engine_of(&key);
+        let mut outcome = None;
+        if !target.has_key(&key) {
+            let mut value = Vec::with_capacity(d.store.object_lens(loc).1);
+            d.store.read_value(loc, &mut value);
+            if let Some(new_loc) = target.load_object(&key, &value) {
+                let (freq, epoch) = d.store.freq(loc);
+                target.store.restore_clock(new_loc, freq, epoch);
+                outcome = Some(true);
+            } else {
+                outcome = Some(false);
+            }
+        }
+        let kh = dido_hashtable::key_hash(&key);
+        let _ = d.index.delete(kh, loc);
+        d.store.free(loc);
+        d.cache_invalidate(loc);
+        outcome
+    }
+
+    /// Flip the map to `Settled{new}` and retire the donor set,
+    /// releasing its memory. The write lock again waits out in-flight
+    /// batches, so no batch still holds the donor view afterwards.
+    /// Donor op counters are folded into the retired baseline so
+    /// aggregate [`ShardedEngine::op_counts`] accounting is preserved.
+    /// Returns the new map epoch.
+    pub fn settle_resize(&self) -> Result<u32, ResizeError> {
+        let mut sets = self.sets.write();
+        let cursor = self.cursor.lock();
+        if sets.donor.is_none() {
+            return Err(ResizeError::NotMigrating);
+        }
+        if cursor.is_some() {
+            return Err(ResizeError::NotDrained);
+        }
+        drop(cursor);
+        let donor = sets.donor.take().expect("checked above");
+        for e in &donor.engines {
+            let c = e.op_counts();
+            self.retired.mm_allocs.fetch_add(c.mm_allocs, Ordering::Relaxed);
+            self.retired
+                .index_searches
+                .fetch_add(c.index_searches, Ordering::Relaxed);
+            self.retired
+                .index_inserts
+                .fetch_add(c.index_inserts, Ordering::Relaxed);
+            self.retired
+                .index_deletes
+                .fetch_add(c.index_deletes, Ordering::Relaxed);
+        }
+        Ok(self.map.publish(MapState::Settled {
+            shards: sets.primary.len(),
+        }))
+    }
+
+    /// Resize to `n` shards synchronously: install the migrating map,
+    /// drain every donor key on the calling thread, settle. The data
+    /// path stays fully available throughout (this is live resharding,
+    /// just without a background worker).
+    pub fn resize_blocking(&self, n: usize, per_shard: EngineConfig) -> Result<(), ResizeError> {
+        self.begin_resize(n, per_shard)?;
+        while !self.migrate_chunk(1024).drained {}
+        self.settle_resize()?;
+        Ok(())
+    }
+
+    /// Cumulative keys dropped by migrations because the target shard's
+    /// store rejected them (should be 0 unless shrinking into too little
+    /// capacity).
+    #[must_use]
+    pub fn migrate_dropped(&self) -> u64 {
+        self.migrate_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate live objects across all current shards (donors
+    /// included while migrating).
     #[must_use]
     pub fn live_objects(&self) -> usize {
-        self.shards.iter().map(|s| s.store.live_objects()).sum()
+        let sets = self.sets.read();
+        let mut n: usize = sets
+            .primary
+            .engines
+            .iter()
+            .map(|s| s.store.live_objects())
+            .sum();
+        if let Some(donor) = &sets.donor {
+            n += donor
+                .engines
+                .iter()
+                .map(|s| s.store.live_objects())
+                .sum::<usize>();
+        }
+        n
+    }
+
+    /// Aggregate pipeline op totals across current shards plus every
+    /// retired donor set (so resizes never lose accounting).
+    #[must_use]
+    pub fn op_counts(&self) -> OpCounts {
+        let sets = self.sets.read();
+        let mut total = OpCounts {
+            mm_allocs: self.retired.mm_allocs.load(Ordering::Relaxed),
+            index_searches: self.retired.index_searches.load(Ordering::Relaxed),
+            index_inserts: self.retired.index_inserts.load(Ordering::Relaxed),
+            index_deletes: self.retired.index_deletes.load(Ordering::Relaxed),
+        };
+        let mut add = |e: &KvEngine| {
+            let c = e.op_counts();
+            total.mm_allocs += c.mm_allocs;
+            total.index_searches += c.index_searches;
+            total.index_inserts += c.index_inserts;
+            total.index_deletes += c.index_deletes;
+        };
+        for e in &sets.primary.engines {
+            add(e);
+        }
+        if let Some(donor) = &sets.donor {
+            for e in &donor.engines {
+                add(e);
+            }
+        }
+        total
     }
 }
 
 impl std::fmt::Debug for ShardedEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (state, epoch) = self.map.load();
         f.debug_struct("ShardedEngine")
-            .field("shards", &self.shards.len())
+            .field("map", &state)
+            .field("epoch", &epoch)
             .field("live_objects", &self.live_objects())
             .finish()
     }
@@ -204,8 +664,12 @@ mod tests {
     use super::*;
     use dido_model::ResponseStatus;
 
+    fn cfg() -> EngineConfig {
+        EngineConfig::new(1 << 20, 64 << 10, 16 << 10)
+    }
+
     fn sharded(n: usize) -> ShardedEngine {
-        ShardedEngine::new(n, EngineConfig::new(1 << 20, 64 << 10, 16 << 10))
+        ShardedEngine::new(n, cfg())
     }
 
     #[test]
@@ -322,5 +786,147 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = sharded(0);
+    }
+
+    #[test]
+    fn blocking_resize_preserves_every_key() {
+        let s = sharded(1);
+        for i in 0..800 {
+            s.execute(&Query::set(format!("mig-{i}"), format!("val-{i}")));
+        }
+        assert_eq!(s.live_objects(), 800);
+        let e0 = s.shard_map().load().1;
+        s.resize_blocking(4, cfg()).unwrap();
+        assert_eq!(s.shard_count(), 4);
+        assert!(!s.is_migrating());
+        // Two epoch bumps: Migrating install + Settled flip.
+        assert_eq!(s.shard_map().load().1, e0 + 2);
+        assert_eq!(s.live_objects(), 800);
+        assert_eq!(s.migrate_dropped(), 0);
+        for i in 0..800 {
+            let r = s.execute(&Query::get(format!("mig-{i}")));
+            assert_eq!(r.status, ResponseStatus::Ok, "mig-{i} lost in resize");
+            assert_eq!(r.value, format!("val-{i}"));
+        }
+        // Keys now live in their routed shard and nowhere else.
+        for i in 0..50 {
+            let key = format!("mig-{i}");
+            let owner = s.shard_of(key.as_bytes());
+            assert!(s.shard(owner).has_key(key.as_bytes()));
+            for other in (0..4).filter(|&o| o != owner) {
+                assert!(!s.shard(other).has_key(key.as_bytes()));
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_resize_preserves_every_key() {
+        let s = sharded(4);
+        for i in 0..600 {
+            s.execute(&Query::set(format!("shr-{i}"), format!("v-{i}")));
+        }
+        // Shrink into one shard with the full capacity of the original
+        // four, so nothing is dropped.
+        s.resize_blocking(1, EngineConfig::new(4 << 20, 64 << 10, 16 << 10))
+            .unwrap();
+        assert_eq!(s.shard_count(), 1);
+        assert_eq!(s.live_objects(), 600);
+        for i in 0..600 {
+            assert_eq!(s.execute(&Query::get(format!("shr-{i}"))).value, format!("v-{i}"));
+        }
+    }
+
+    #[test]
+    fn data_path_is_correct_mid_migration() {
+        let s = sharded(1);
+        for i in 0..400 {
+            s.execute(&Query::set(format!("mid-{i}"), format!("old-{i}")));
+        }
+        s.begin_resize(4, cfg()).unwrap();
+        assert!(s.is_migrating());
+        // Move only part of the keyspace.
+        let p = s.migrate_chunk(50);
+        assert!(p.moved >= 50 && !p.drained, "{p:?}");
+        // Every key still readable regardless of which side it is on.
+        for i in 0..400 {
+            let r = s.execute(&Query::get(format!("mid-{i}")));
+            assert_eq!(r.status, ResponseStatus::Ok, "mid-{i} unreadable mid-migration");
+            assert_eq!(r.value, format!("old-{i}"));
+        }
+        // Overwrites during migration land in the primary and never
+        // resurface the stale donor copy.
+        for i in 0..400 {
+            s.execute(&Query::set(format!("mid-{i}"), format!("new-{i}")));
+        }
+        // Deletes during migration remove from both sides.
+        assert_eq!(s.execute(&Query::delete("mid-0")).status, ResponseStatus::Ok);
+        assert_eq!(
+            s.execute(&Query::get("mid-0")).status,
+            ResponseStatus::NotFound
+        );
+        while !s.migrate_chunk(1024).drained {}
+        s.settle_resize().unwrap();
+        for i in 1..400 {
+            let r = s.execute(&Query::get(format!("mid-{i}")));
+            assert_eq!(r.value, format!("new-{i}"), "stale value resurfaced for mid-{i}");
+        }
+        assert_eq!(
+            s.execute(&Query::get("mid-0")).status,
+            ResponseStatus::NotFound,
+            "deleted key resurrected by migration"
+        );
+        // Overwritten versions linger as store garbage (memcached
+        // semantics), so live_objects is a ceiling check only.
+        assert!(s.live_objects() >= 399);
+    }
+
+    #[test]
+    fn migration_carries_clock_metadata() {
+        let s = sharded(1);
+        s.execute(&Query::set("hot", "h"));
+        // Heat the key up.
+        for _ in 0..9 {
+            let _ = s.execute(&Query::get("hot"));
+        }
+        s.resize_blocking(2, cfg()).unwrap();
+        let owner = s.shard_of(b"hot");
+        let e = s.shard(owner);
+        let mut freq = 0;
+        e.index.for_each_entry(|_sig, loc| {
+            if e.store.key_matches(loc, b"hot") {
+                freq = e.store.freq(loc).0;
+            }
+        });
+        assert!(freq >= 9, "CLOCK frequency lost in migration: {freq}");
+    }
+
+    #[test]
+    fn resize_state_machine_rejects_misuse() {
+        let s = sharded(2);
+        assert_eq!(s.begin_resize(2, cfg()), Err(ResizeError::NoChange));
+        assert_eq!(s.begin_resize(0, cfg()), Err(ResizeError::BadCount));
+        assert_eq!(s.settle_resize(), Err(ResizeError::NotMigrating));
+        s.execute(&Query::set("sm", "v"));
+        s.begin_resize(3, cfg()).unwrap();
+        assert_eq!(s.begin_resize(4, cfg()), Err(ResizeError::InProgress));
+        assert_eq!(s.settle_resize(), Err(ResizeError::NotDrained));
+        while !s.migrate_chunk(64).drained {}
+        s.settle_resize().unwrap();
+        assert_eq!(s.execute(&Query::get("sm")).value, "v");
+    }
+
+    #[test]
+    fn op_counts_survive_a_resize() {
+        let s = sharded(2);
+        for i in 0..300 {
+            s.execute(&Query::set(format!("oc-{i}"), "v"));
+        }
+        let queries: Vec<Query> = (0..300).map(|i| Query::get(format!("oc-{i}"))).collect();
+        let _ = s.process_batch_inline(queries, |_| PipelineConfig::cpu_only());
+        let before = s.op_counts();
+        assert!(before.index_searches >= 300, "{before:?}");
+        s.resize_blocking(3, cfg()).unwrap();
+        let after = s.op_counts();
+        assert_eq!(before, after, "resize must not lose pipeline op accounting");
     }
 }

@@ -5,6 +5,7 @@
 //!             [--shards N] [--dispatchers N]
 //!             [--trace FILE] [--stats-every N]
 //!             [--batched] [--max-batch-delay-us N]
+//!             [--resize-after FRAMES:SHARDS]
 //! ```
 //!
 //! The serving core is the concurrent `ServingCore`: every request
@@ -22,6 +23,15 @@
 //! recording never blocks the data path — bursts beyond the queue are
 //! dropped and counted). `--stats-every` prints a metrics snapshot
 //! every N frames, formatted outside all locks. Runs until killed.
+//!
+//! The shard topology can change live, in two ways. `--resize-after
+//! FRAMES:SHARDS` requests a resize to SHARDS shards once FRAMES
+//! request frames have been served (a scripted trigger for benchmarks).
+//! At runtime, any client can send a SET to the admin key
+//! `__dido/resize` with the desired shard count as the value; the
+//! request is handed to the background controller, which installs the
+//! migrating shard map and drains donor shards while serving continues
+//! (see `DESIGN.md` §12).
 
 use dido_kv::dido::{DidoOptions, ServingCore};
 use dido_kv::net::{
@@ -51,6 +61,9 @@ struct Args {
     stats_every: u64,
     batched: bool,
     max_batch_delay_us: u64,
+    /// `(frames, shards)`: request a live resize to `shards` once
+    /// `frames` request frames have been served.
+    resize_after: Option<(u64, usize)>,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +77,7 @@ fn parse_args() -> Args {
         stats_every: 0,
         batched: false,
         max_batch_delay_us: 200,
+        resize_after: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -97,6 +111,19 @@ fn parse_args() -> Args {
                 args.stats_every = parse_num("--stats-every", value("--stats-every")) as u64
             }
             "--batched" => args.batched = true,
+            "--resize-after" => {
+                let v = value("--resize-after");
+                let parsed = v.split_once(':').and_then(|(frames, shards)| {
+                    Some((frames.parse().ok()?, shards.parse::<usize>().ok()?.max(1)))
+                });
+                match parsed {
+                    Some(pair) => args.resize_after = Some(pair),
+                    None => {
+                        eprintln!("--resize-after needs FRAMES:SHARDS (e.g. 10000:4)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--max-batch-delay-us" => {
                 args.max_batch_delay_us =
                     parse_num("--max-batch-delay-us", value("--max-batch-delay-us")) as u64
@@ -106,7 +133,8 @@ fn parse_args() -> Args {
                     "usage: dido-server [--addr HOST:PORT] [--store-mb N] \
                      [--latency-us N] [--shards N] [--dispatchers N] \
                      [--trace FILE] [--stats-every N] \
-                     [--batched] [--max-batch-delay-us N]"
+                     [--batched] [--max-batch-delay-us N] \
+                     [--resize-after FRAMES:SHARDS]"
                 );
                 std::process::exit(0);
             }
@@ -199,6 +227,7 @@ fn main() -> std::io::Result<()> {
     let handler_net = Arc::clone(&net_stats);
     let handler_frames = Arc::clone(&frames_seen);
     let stats_every = args.stats_every;
+    let resize_after = args.resize_after;
     let mode = if args.batched {
         DispatchMode::Batched(BatchConfig {
             max_batch_delay: std::time::Duration::from_micros(args.max_batch_delay_us),
@@ -216,8 +245,33 @@ fn main() -> std::io::Result<()> {
                 rec.dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
+        // Admin trigger: a SET to `__dido/resize` asks for a live shard
+        // resize; the request is handed to the background controller so
+        // no dispatcher ever blocks on the resharding locks. The
+        // first-byte guard keeps the scan free for ordinary keys.
+        for q in &queries {
+            if q.op == dido_kv::model::QueryOp::Set
+                && q.key.first() == Some(&b'_')
+                && &q.key[..] == b"__dido/resize"
+            {
+                if let Ok(n) = std::str::from_utf8(&q.value)
+                    .unwrap_or("")
+                    .trim()
+                    .parse::<usize>()
+                {
+                    handler_core.request_resize(n);
+                }
+            }
+        }
         let responses = handler_core.process_batch(lane, queries);
         let n = handler_frames.fetch_add(1, Ordering::Relaxed) + 1;
+        // Scripted trigger: fires exactly once, on the frame whose
+        // unique counter value equals the threshold.
+        if let Some((frames, shards)) = resize_after {
+            if n == frames {
+                handler_core.request_resize(shards);
+            }
+        }
         if stats_every > 0 && n.is_multiple_of(stats_every) {
             // Snapshot under the metrics lock, format and print outside
             // every lock — a slow stderr must not stall dispatchers.
@@ -233,6 +287,8 @@ fn main() -> std::io::Result<()> {
             let configs = handler_core.configs();
             let adaptions = handler_core.adaptions();
             eprintln!("--- after {n} frames ---\n{metrics}");
+            let (state, epoch) = handler_core.engine().shard_map().load();
+            eprintln!("shard map: {state:?} (epoch {epoch})");
             for (s, c) in configs.iter().enumerate() {
                 eprintln!("shard {s} pipeline: {c}");
             }
