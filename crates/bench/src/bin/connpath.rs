@@ -1,0 +1,139 @@
+//! Connection-scale bench: the batched server's reactor plane under
+//! {64, 512, 4096} concurrent connections. Writes `BENCH_connpath.json`.
+//!
+//! ```text
+//! connpath [--quick] [--seed N] [--frames N] [--window N]
+//!          [--repeats N] [--netpath PATH] [--out PATH] [--check]
+//! ```
+//!
+//! `--quick` runs the CI smoke sweep ({16, 64, 256} connections, few
+//! frames; numbers are noisy and only prove the harness runs).
+//! `--check` exits non-zero if the reader-thread count is not flat
+//! across the sweep, or if 64-connection throughput regresses more than
+//! 5% against the batched 64-connection cell of `BENCH_netpath.json`
+//! (`--netpath`; comparison is skipped when that file is absent or the
+//! sweep has no 64-connection cell).
+
+use dido_bench::connpath::{run_connpath, ConnpathOptions, NETPATH_TOLERANCE};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = ConnpathOptions::default();
+    let mut netpath = String::from("BENCH_netpath.json");
+    let mut out = String::from("BENCH_connpath.json");
+    let mut check = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let seed = opts.seed;
+                opts = ConnpathOptions::quick();
+                opts.seed = seed;
+            }
+            "--seed" => {
+                opts.seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--frames" => {
+                opts.target_frames = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--frames needs a number"));
+            }
+            "--window" => {
+                opts.window = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--window needs a number"));
+            }
+            "--repeats" => {
+                opts.repeats = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--repeats needs a number"));
+            }
+            "--netpath" => {
+                netpath = iter.next().unwrap_or_else(|| die("--netpath needs a path"));
+            }
+            "--out" => {
+                out = iter.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!(
+                    "connpath [--quick] [--seed N] [--frames N] [--window N] \
+                     [--repeats N] [--netpath PATH] [--out PATH] [--check]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let netpath_json = std::fs::read_to_string(&netpath).ok();
+    println!(
+        "# connpath: reactor connection plane at scale, loopback TCP, \
+         {} in-flight frames/conn, {} queries/frame",
+        opts.window, opts.frame_queries
+    );
+    println!(
+        "# sweep {:?}, {} frames/cell, best of {} runs, seed {}{}{}",
+        opts.connections(),
+        opts.target_frames,
+        opts.repeats,
+        opts.seed,
+        if opts.quick { ", quick" } else { "" },
+        if netpath_json.is_some() {
+            ""
+        } else {
+            ", no netpath baseline"
+        }
+    );
+    println!(
+        "{:>6} {:>8} {:>8} {:>16} {:>10} {:>10} {:>12} {:>10}",
+        "conns", "readers", "reg'd", "throughput q/s", "p50 us", "p99 us", "frames/disp", "wakeups"
+    );
+    let report = run_connpath(&opts, netpath_json.as_deref(), |c| {
+        println!(
+            "{:>6} {:>8} {:>8} {:>16.0} {:>10.1} {:>10.1} {:>12.1} {:>10}",
+            c.connections,
+            c.reader_threads,
+            c.registered_conns,
+            c.throughput_qps,
+            c.p50_us,
+            c.p99_us,
+            c.mean_batch_frames,
+            c.reactor_wakeups
+        );
+    });
+
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&out, &json) {
+        die(&format!("writing {out}: {e}"));
+    }
+    let flat = report.flat_readers();
+    let np_ok = report.netpath_pass();
+    match report.netpath_ratio() {
+        Some(r) => println!(
+            "# wrote {out}; flat readers {}, 64-conn vs netpath = {r:.2}x \
+             (bar {:.2}x): {}",
+            if flat { "pass" } else { "FAIL" },
+            1.0 - NETPATH_TOLERANCE,
+            if np_ok { "pass" } else { "FAIL" }
+        ),
+        None => println!(
+            "# wrote {out}; flat readers {}, netpath comparison skipped",
+            if flat { "pass" } else { "FAIL" }
+        ),
+    }
+    if check && !(flat && np_ok) {
+        eprintln!("FAIL: flat_readers {flat}, netpath guard {np_ok}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,538 @@
+//! Connection-scale harness: the batched server under {64, 512, 4096}
+//! concurrent connections ({16, 64, 256} in `--quick`).
+//!
+//! The netpath harness measures dispatch topology at modest connection
+//! counts; this one measures the *connection plane*. Every cell opens
+//! its full fleet of connections before the clock starts — so the
+//! reactor pool is carrying all of them at once — then drives a
+//! pipelined workload through the fleet from a bounded pool of client
+//! threads. What the report must show:
+//!
+//! * **Flat readers** — the server's reader-thread count is the same
+//!   fixed pool size (`min(4, cores)`) at 64 and at 4096 connections.
+//!   The retired thread-per-connection design fails this by 4032
+//!   threads.
+//! * **No toll at low scale** — 64-connection throughput is within ±5%
+//!   of the batched 64-connection cell of `BENCH_netpath.json`
+//!   (matching frame size and window), i.e. readiness-driven framing
+//!   did not tax the path the old design handled well.
+//!
+//! Results serialize via [`ConnpathReport::to_json`] for
+//! `BENCH_connpath.json`.
+
+use bytes::{Bytes, BytesMut};
+use dido_apu_sim::HwSpec;
+use dido_model::{PipelineConfig, Query};
+use dido_net::{encode_queries_wire_into, BatchConfig, KvClient, KvServer};
+use dido_pipeline::{preloaded_engine, KvEngine, TestbedOptions};
+use dido_workload::{Dataset, KeyDistribution, WorkloadSpec};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use crate::hotpath::{all_on_cpu_ctx, run_vectorized_batch};
+
+/// Connection counts swept by the full run.
+pub const CONNECTIONS: [usize; 3] = [64, 512, 4096];
+
+/// Connection counts swept in `--quick` (CI smoke).
+pub const QUICK_CONNECTIONS: [usize; 3] = [16, 64, 256];
+
+/// Largest client-thread pool; cells with more connections than this
+/// multiplex several connections onto each thread.
+pub const MAX_CLIENT_THREADS: usize = 256;
+
+/// Allowed low-scale throughput loss vs the netpath baseline (±5%).
+pub const NETPATH_TOLERANCE: f64 = 0.05;
+
+/// Harness knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnpathOptions {
+    /// Smoke mode: few frames and small fleets, for CI.
+    pub quick: bool,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// Object-store bytes for the server engine.
+    pub store_bytes: usize,
+    /// Total frames measured per cell (split across connections; every
+    /// connection drives at least two windows regardless).
+    pub target_frames: usize,
+    /// In-flight frames per connection (pipelining depth).
+    pub window: usize,
+    /// Queries per request frame (16 matches the netpath comparison
+    /// cell).
+    pub frame_queries: usize,
+    /// Measurement attempts per cell; best throughput kept.
+    pub repeats: usize,
+}
+
+impl Default for ConnpathOptions {
+    fn default() -> ConnpathOptions {
+        ConnpathOptions {
+            quick: false,
+            seed: 0xD1D0,
+            store_bytes: 16 << 20,
+            target_frames: 16384,
+            window: 8,
+            frame_queries: 16,
+            repeats: 3,
+        }
+    }
+}
+
+impl ConnpathOptions {
+    /// CI smoke configuration.
+    #[must_use]
+    pub fn quick() -> ConnpathOptions {
+        ConnpathOptions {
+            quick: true,
+            store_bytes: 4 << 20,
+            target_frames: 1024,
+            repeats: 1,
+            ..ConnpathOptions::default()
+        }
+    }
+
+    /// The sweep this configuration runs.
+    #[must_use]
+    pub fn connections(&self) -> [usize; 3] {
+        if self.quick {
+            QUICK_CONNECTIONS
+        } else {
+            CONNECTIONS
+        }
+    }
+
+    fn frames_per_conn(&self, connections: usize) -> usize {
+        (self.target_frames / connections).max(self.window * 2)
+    }
+}
+
+/// One connection-count measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnCell {
+    /// Concurrent client connections held open through the cell.
+    pub connections: usize,
+    /// Server reader (reactor) threads — the flat-thread claim.
+    pub reader_threads: u64,
+    /// Connections the reactors reported registered at full fleet.
+    pub registered_conns: u64,
+    /// End-to-end throughput, queries/sec.
+    pub throughput_qps: f64,
+    /// Median frame latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile frame latency, microseconds.
+    pub p99_us: f64,
+    /// Mean frames aggregated per dispatch.
+    pub mean_batch_frames: f64,
+    /// Reactor readiness wakeups over the measured run.
+    pub reactor_wakeups: u64,
+}
+
+/// Full harness output.
+#[derive(Debug, Clone)]
+pub struct ConnpathReport {
+    /// Options the run used.
+    pub opts: ConnpathOptions,
+    /// One cell per swept connection count, ascending.
+    pub cells: Vec<ConnCell>,
+    /// Batched 64-conn throughput from `BENCH_netpath.json`, when that
+    /// report was available for comparison.
+    pub netpath_baseline_qps: Option<f64>,
+}
+
+impl ConnpathReport {
+    /// Whether the reader-thread count stayed flat — identical in every
+    /// cell — across the whole connection sweep.
+    #[must_use]
+    pub fn flat_readers(&self) -> bool {
+        let mut counts = self.cells.iter().map(|c| c.reader_threads);
+        match counts.next() {
+            Some(first) => first >= 1 && counts.all(|r| r == first),
+            None => false,
+        }
+    }
+
+    /// 64-connection throughput ratio vs the netpath baseline (`None`
+    /// when either side is missing, e.g. a quick run without a 64-conn
+    /// cell or no `BENCH_netpath.json` on disk).
+    #[must_use]
+    pub fn netpath_ratio(&self) -> Option<f64> {
+        let base = self.netpath_baseline_qps?;
+        let ours = self
+            .cells
+            .iter()
+            .find(|c| c.connections == 64)
+            .map(|c| c.throughput_qps)?;
+        if base > 0.0 {
+            Some(ours / base)
+        } else {
+            None
+        }
+    }
+
+    /// The low-scale regression guard: within tolerance of the netpath
+    /// baseline, or vacuously true when no comparison was possible.
+    #[must_use]
+    pub fn netpath_pass(&self) -> bool {
+        self.netpath_ratio()
+            .is_none_or(|r| r >= 1.0 - NETPATH_TOLERANCE)
+    }
+
+    /// Serialize as JSON (hand-rolled; the build has no serde_json).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"connpath\",\n");
+        s.push_str(&format!("  \"quick\": {},\n", self.opts.quick));
+        s.push_str(&format!("  \"seed\": {},\n", self.opts.seed));
+        s.push_str(&format!("  \"window\": {},\n", self.opts.window));
+        s.push_str(&format!(
+            "  \"frame_queries\": {},\n",
+            self.opts.frame_queries
+        ));
+        s.push_str(&format!("  \"repeats\": {},\n", self.opts.repeats));
+        let flat = self.flat_readers();
+        let np_pass = self.netpath_pass();
+        s.push_str("  \"acceptance\": {\n");
+        s.push_str(
+            "    \"flat_readers\": \"reader-thread count identical across the \
+             whole connection sweep\",\n",
+        );
+        s.push_str(&format!("    \"flat_readers_pass\": {flat},\n"));
+        s.push_str(&format!(
+            "    \"netpath_guard\": \"64-conn throughput >= {:.2}x of batched \
+             64-conn BENCH_netpath cell\",\n",
+            1.0 - NETPATH_TOLERANCE
+        ));
+        match self.netpath_baseline_qps {
+            Some(b) => s.push_str(&format!("    \"netpath_baseline_qps\": {b:.1},\n")),
+            None => s.push_str("    \"netpath_baseline_qps\": null,\n"),
+        }
+        match self.netpath_ratio() {
+            Some(r) => s.push_str(&format!("    \"netpath_ratio\": {r:.3},\n")),
+            None => s.push_str("    \"netpath_ratio\": null,\n"),
+        }
+        s.push_str(&format!("    \"netpath_pass\": {np_pass},\n"));
+        s.push_str(&format!("    \"pass\": {}\n", flat && np_pass));
+        s.push_str("  },\n");
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"connections\": {}, \"reader_threads\": {}, \
+                 \"registered_conns\": {}, \"throughput_qps\": {:.1}, \
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"mean_batch_frames\": {:.2}, \
+                 \"reactor_wakeups\": {}}}{}\n",
+                c.connections,
+                c.reader_threads,
+                c.registered_conns,
+                c.throughput_qps,
+                c.p50_us,
+                c.p99_us,
+                c.mean_batch_frames,
+                c.reactor_wakeups,
+                if i + 1 < self.cells.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Pull the batched 64-connection throughput (at 16 queries/frame) out
+/// of a `BENCH_netpath.json` body. Hand-rolled to match the hand-rolled
+/// writer: one cell object per line.
+#[must_use]
+pub fn netpath_baseline_qps(netpath_json: &str) -> Option<f64> {
+    netpath_json
+        .lines()
+        .find(|l| {
+            l.contains("\"mode\": \"batched\"")
+                && l.contains("\"connections\": 64")
+                && l.contains("\"frame_queries\": 16")
+        })
+        .and_then(|l| {
+            let rest = l.split("\"throughput_qps\": ").nth(1)?;
+            let end = rest.find(',').unwrap_or(rest.len());
+            rest[..end].trim().parse().ok()
+        })
+}
+
+/// Build the server engine and per-connection wire-ready frame streams
+/// (all allocation and encoding before the clock starts).
+fn build_workload(opts: &ConnpathOptions, connections: usize) -> (KvEngine, Vec<Vec<Bytes>>) {
+    let spec = WorkloadSpec::new(Dataset::K16, 0.95, KeyDistribution::YCSB_ZIPF);
+    let hw = HwSpec::kaveri_apu();
+    let topts = TestbedOptions {
+        store_bytes: opts.store_bytes,
+        seed: opts.seed,
+        ..TestbedOptions::default()
+    };
+    let (engine, mut generator) = preloaded_engine(spec, &hw, topts);
+    let frames_per_conn = opts.frames_per_conn(connections);
+    let streams = (0..connections)
+        .map(|_| {
+            (0..frames_per_conn)
+                .map(|_| {
+                    let mut wire = BytesMut::new();
+                    encode_queries_wire_into(&mut wire, &generator.batch(opts.frame_queries));
+                    wire.freeze()
+                })
+                .collect()
+        })
+        .collect();
+    (engine, streams)
+}
+
+/// Drive one already-connected pipelined client (sliding window,
+/// half-window send bursts), recording per-frame latency.
+fn drive_conn(
+    client: &mut KvClient,
+    frames: &[Bytes],
+    window: usize,
+    latencies: &mut Vec<Duration>,
+) -> std::io::Result<()> {
+    let burst = (window / 2).max(1);
+    let mut sent_at: VecDeque<Instant> = VecDeque::with_capacity(window);
+    let mut next = 0;
+    let mut got = 0;
+    while got < frames.len() {
+        let room = window - sent_at.len();
+        let avail = frames.len() - next;
+        if avail > 0 && room > 0 && (room >= burst || avail <= room) {
+            let n = burst.min(room).min(avail);
+            let t0 = Instant::now();
+            client.send_wire(&frames[next..next + n])?;
+            sent_at.extend(std::iter::repeat_n(t0, n));
+            next += n;
+            continue;
+        }
+        let reply = client.recv_frame()?;
+        latencies.push(sent_at.pop_front().expect("in-flight frame").elapsed());
+        got += 1;
+        std::hint::black_box(reply);
+    }
+    Ok(())
+}
+
+/// Measure one cell: open the *entire* fleet (so the reactor plane
+/// carries every connection at once), then drive each connection's
+/// stream from a bounded pool of client threads.
+fn measure_cell(
+    opts: &ConnpathOptions,
+    connections: usize,
+    engine: &Arc<Mutex<KvEngine>>,
+    streams: &Arc<Vec<Vec<Bytes>>>,
+) -> ConnCell {
+    let engine = Arc::clone(engine);
+    let ctx = all_on_cpu_ctx();
+    let handler = move |_lane: usize, queries: Vec<Query>| {
+        let engine = engine.lock();
+        run_vectorized_batch(ctx, &engine, queries, PipelineConfig::mega_kv())
+    };
+    let server = KvServer::start_batched("127.0.0.1:0", BatchConfig::default(), handler)
+        .expect("bind server");
+    let addr = server.addr();
+    let stats = server.stats_handle();
+
+    let threads = connections.min(MAX_CLIENT_THREADS);
+    let per_thread = connections.div_ceil(threads);
+    // Two barrier phases: all connections open (fleet fully registered,
+    // gauges sampled) → all threads start driving together.
+    let opened = Arc::new(Barrier::new(threads + 1));
+    let go = Arc::new(Barrier::new(threads + 1));
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let opened = Arc::clone(&opened);
+            let go = Arc::clone(&go);
+            let streams = Arc::clone(streams);
+            let window = opts.window;
+            std::thread::spawn(move || {
+                let lo = t * per_thread;
+                let hi = ((t + 1) * per_thread).min(streams.len());
+                let mut clients: Vec<KvClient> = (lo..hi)
+                    .map(|_| KvClient::connect(addr).expect("connect"))
+                    .collect();
+                opened.wait();
+                go.wait();
+                let mut latencies = Vec::new();
+                for (c, i) in clients.iter_mut().zip(lo..hi) {
+                    drive_conn(c, &streams[i], window, &mut latencies).expect("client I/O");
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    opened.wait();
+    // Fleet fully open: give registration commands a beat to drain,
+    // then sample the connection-plane gauges the report asserts on.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while (stats.reactor_conns.load(std::sync::atomic::Ordering::Relaxed) as usize) < connections
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let reader_threads = stats
+        .reactor_threads
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let registered_conns = stats
+        .reactor_conns
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let wakeups_before = stats
+        .reactor_wakeups
+        .load(std::sync::atomic::Ordering::Relaxed);
+
+    go.wait();
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().expect("client thread"));
+    }
+    let elapsed = start.elapsed();
+    let mean_batch_frames = server.stats().mean_batch_frames();
+    let reactor_wakeups = stats
+        .reactor_wakeups
+        .load(std::sync::atomic::Ordering::Relaxed)
+        - wakeups_before;
+    server.shutdown();
+
+    latencies.sort_unstable();
+    let total_queries = (latencies.len() * opts.frame_queries) as f64;
+    ConnCell {
+        connections,
+        reader_threads,
+        registered_conns,
+        throughput_qps: total_queries / elapsed.as_secs_f64(),
+        p50_us: crate::netpath::percentile_us(&latencies, 0.50),
+        p99_us: crate::netpath::percentile_us(&latencies, 0.99),
+        mean_batch_frames,
+        reactor_wakeups,
+    }
+}
+
+/// Measure one connection count with a freshly built workload (the
+/// library entry point the smoke test uses).
+#[must_use]
+pub fn run_cell(opts: &ConnpathOptions, connections: usize) -> ConnCell {
+    let (engine, streams) = build_workload(opts, connections);
+    measure_cell(
+        opts,
+        connections,
+        &Arc::new(Mutex::new(engine)),
+        &Arc::new(streams),
+    )
+}
+
+/// Run the connection sweep. `netpath_json` is the content of
+/// `BENCH_netpath.json` when available (for the low-scale comparison);
+/// `progress` receives each finished cell.
+pub fn run_connpath(
+    opts: &ConnpathOptions,
+    netpath_json: Option<&str>,
+    mut progress: impl FnMut(&ConnCell),
+) -> ConnpathReport {
+    let mut cells = Vec::new();
+    for connections in opts.connections() {
+        let (engine, streams) = build_workload(opts, connections);
+        let engine = Arc::new(Mutex::new(engine));
+        let streams = Arc::new(streams);
+        let mut best: Option<ConnCell> = None;
+        for _ in 0..opts.repeats.max(1) {
+            let cell = measure_cell(opts, connections, &engine, &streams);
+            if best.is_none_or(|b| cell.throughput_qps > b.throughput_qps) {
+                best = Some(cell);
+            }
+        }
+        let cell = best.expect("at least one repeat");
+        progress(&cell);
+        cells.push(cell);
+    }
+    ConnpathReport {
+        opts: *opts,
+        cells,
+        netpath_baseline_qps: netpath_json.and_then(netpath_baseline_qps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny fleet over a live loopback server: the harness must open
+    /// every connection up front and round-trip real traffic.
+    #[test]
+    fn smoke_cell_small_fleet() {
+        let opts = ConnpathOptions {
+            store_bytes: 1 << 20,
+            target_frames: 32,
+            window: 4,
+            frame_queries: 4,
+            ..ConnpathOptions::quick()
+        };
+        let cell = run_cell(&opts, 8);
+        assert_eq!(cell.connections, 8);
+        assert_eq!(cell.registered_conns, 8, "fleet not fully registered");
+        assert!(cell.reader_threads >= 1);
+        assert!(cell.throughput_qps > 0.0, "no traffic measured");
+        assert!(cell.p99_us >= cell.p50_us, "percentiles inverted");
+    }
+
+    #[test]
+    fn report_json_and_acceptance() {
+        let mk = |connections: usize, readers: u64, qps: f64| ConnCell {
+            connections,
+            reader_threads: readers,
+            registered_conns: connections as u64,
+            throughput_qps: qps,
+            p50_us: 100.0,
+            p99_us: 900.0,
+            mean_batch_frames: 40.0,
+            reactor_wakeups: 1000,
+        };
+        let report = ConnpathReport {
+            opts: ConnpathOptions::default(),
+            cells: vec![mk(64, 4, 1.00e6), mk(512, 4, 9.5e5), mk(4096, 4, 9.0e5)],
+            netpath_baseline_qps: Some(1.0e6),
+        };
+        assert!(report.flat_readers());
+        assert!((report.netpath_ratio().unwrap() - 1.0).abs() < 1e-9);
+        assert!(report.netpath_pass());
+        let json = report.to_json();
+        assert!(json.contains("\"flat_readers_pass\": true"));
+        assert!(json.contains("\"pass\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        // Thread-per-connection regression shape: reader count scales
+        // with the fleet — flat_readers must fail.
+        let scaling = ConnpathReport {
+            opts: ConnpathOptions::default(),
+            cells: vec![mk(64, 64, 1.0e6), mk(512, 512, 1.0e6)],
+            netpath_baseline_qps: None,
+        };
+        assert!(!scaling.flat_readers());
+        // Low-scale throughput loss past tolerance must fail the guard.
+        let slow = ConnpathReport {
+            opts: ConnpathOptions::default(),
+            cells: vec![mk(64, 4, 9.0e5)],
+            netpath_baseline_qps: Some(1.0e6),
+        };
+        assert!(!slow.netpath_pass());
+    }
+
+    #[test]
+    fn netpath_baseline_extraction() {
+        let body = r#"{
+  "cells": [
+    {"mode": "per_conn", "connections": 64, "frame_queries": 16, "throughput_qps": 705485.7, "p50_us": 1.0},
+    {"mode": "batched", "connections": 64, "frame_queries": 16, "throughput_qps": 1056067.6, "p50_us": 1.0},
+    {"mode": "batched", "connections": 64, "frame_queries": 64, "throughput_qps": 999.9, "p50_us": 1.0}
+  ]
+}"#;
+        assert_eq!(netpath_baseline_qps(body), Some(1_056_067.6));
+        assert_eq!(netpath_baseline_qps("{}"), None);
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptpath;
+pub mod connpath;
 pub mod experiments;
 mod harness;
 pub mod hotpath;

@@ -55,6 +55,21 @@ pub struct Metrics {
     /// Network frames-per-dispatch histogram (buckets
     /// `1, 2, 3–4, …, 65+`; see `dido_net::BATCH_HIST_BUCKETS`).
     pub net_batch_hist: [u64; dido_net::BATCH_HIST_BUCKETS],
+    /// Reader (reactor) threads serving the connection plane — a gauge,
+    /// folded by last value, not added.
+    pub net_reactor_threads: u64,
+    /// Connections currently registered with the reactors — a gauge,
+    /// folded by last value.
+    pub net_reactor_conns: u64,
+    /// Reactor readiness wakeups (poll returns).
+    pub net_reactor_wakeups: u64,
+    /// Response runs freed without delivery — the peer disconnected
+    /// with responses still parked in the SD reorder buffer.
+    pub net_sd_pending_dropped: u64,
+    /// Frames-per-readiness-read histogram (same buckets as
+    /// [`Metrics::net_batch_hist`]): how many complete frames each
+    /// reactor read burst produced.
+    pub net_read_burst_hist: [u64; dido_net::BATCH_HIST_BUCKETS],
     /// Batches executed per configuration (display string → count).
     pub config_histogram: BTreeMap<String, u64>,
 }
@@ -102,6 +117,15 @@ impl Metrics {
         self.net_delayed_dispatches += stats.delayed_dispatches;
         self.net_ring_depth_max = self.net_ring_depth_max.max(stats.ring_depth_max);
         for (acc, v) in self.net_batch_hist.iter_mut().zip(stats.batch_hist) {
+            *acc += v;
+        }
+        // Gauges: `delta_since` carries the current value through, so
+        // the latest snapshot wins rather than accumulating.
+        self.net_reactor_threads = stats.reactor_threads;
+        self.net_reactor_conns = stats.reactor_conns;
+        self.net_reactor_wakeups += stats.reactor_wakeups;
+        self.net_sd_pending_dropped += stats.sd_pending_dropped;
+        for (acc, v) in self.net_read_burst_hist.iter_mut().zip(stats.read_burst_hist) {
             *acc += v;
         }
     }
@@ -199,6 +223,17 @@ impl fmt::Display for Metrics {
                 self.net_ring_depth_max
             )?;
         }
+        if self.net_reactor_threads > 0 {
+            writeln!(
+                f,
+                "reactors: {} readers carrying {} conns, {} wakeups, \
+                 {} pending runs dropped on disconnect",
+                self.net_reactor_threads,
+                self.net_reactor_conns,
+                self.net_reactor_wakeups,
+                self.net_sd_pending_dropped
+            )?;
+        }
         for (cfg, count) in &self.config_histogram {
             writeln!(f, "  {count:>6} x {cfg}")?;
         }
@@ -269,10 +304,17 @@ mod tests {
         hist_a[0] = 2;
         hist_a[3] = 1;
         let mut m = Metrics::default();
+        let mut burst_a = [0u64; dido_net::BATCH_HIST_BUCKETS];
+        burst_a[1] = 5;
         m.record_net_stats(&NetStatsSnapshot {
             dispatches: 3,
             dispatched_frames: 9,
             dispatched_queries: 120,
+            reactor_threads: 4,
+            reactor_conns: 100,
+            reactor_wakeups: 7,
+            sd_pending_dropped: 2,
+            read_burst_hist: burst_a,
             dropped_frames: 1,
             delayed_dispatches: 2,
             ring_depth_max: 12,
@@ -283,6 +325,9 @@ mod tests {
             dispatches: 1,
             dispatched_frames: 1,
             ring_depth_max: 5, // lower than the prior max: keeps 12
+            reactor_threads: 4,
+            reactor_conns: 60, // gauge: latest value replaces, not adds
+            reactor_wakeups: 3,
             ..NetStatsSnapshot::default()
         });
         assert_eq!(m.net_dispatches, 4);
@@ -294,9 +339,15 @@ mod tests {
         assert_eq!(m.net_batch_hist[0], 2);
         assert_eq!(m.net_batch_hist[3], 1);
         assert!((m.net_mean_batch_frames() - 2.5).abs() < 1e-12);
+        assert_eq!(m.net_reactor_threads, 4);
+        assert_eq!(m.net_reactor_conns, 60, "gauge folds by last value");
+        assert_eq!(m.net_reactor_wakeups, 10);
+        assert_eq!(m.net_sd_pending_dropped, 2);
+        assert_eq!(m.net_read_burst_hist[1], 5);
         let s = m.to_string();
         assert!(s.contains("4 dispatches"), "{s}");
         assert!(s.contains("ring depth max 12"), "{s}");
+        assert!(s.contains("4 readers carrying 60 conns"), "{s}");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 mod nic;
 mod protocol;
+mod reactor;
 mod server;
 mod trace;
 

@@ -1,0 +1,379 @@
+//! Reactor connection plane: the batched server's ingress half.
+//!
+//! A fixed pool of reactor threads (default `min(4, cores)`) replaces
+//! the one-framing-thread-per-connection design: each reactor owns an
+//! epoll-style readiness loop (the vendored `mio` compat shim), a set
+//! of per-connection [`ConnState`] machines, and a command queue for
+//! registrations. On readiness a connection's socket is burst-read
+//! nonblockingly — every complete frame is carved by the connection's
+//! [`FrameReader`] (partial-frame bytes stay buffered, preserving the
+//! frame-boundary semantics of the desync fix) — and the tagged frames
+//! go into the shared RX ring with one `push_burst` and one doorbell
+//! ring, exactly as the per-connection readers did. Ring overflow is
+//! answered at drop time with empty response frames so the connection's
+//! sequence numbering never develops a hole (the SD writer's reorder
+//! buffer advances past every dropped frame).
+//!
+//! Reactor 0 additionally owns the listener, registered for readiness
+//! like any other source — accepting costs an event, not a 5 ms
+//! sleep-poll. New connections round-robin across the pool via
+//! per-reactor command queues, kicked by a [`Waker`]. Shutdown is also
+//! waker-driven: an idle server tears down in microseconds, and every
+//! still-registered connection is retired with an `Eof` message so the
+//! SD writer can close it.
+
+use crate::nic::FrameRing;
+use crate::server::{
+    overflow_answer_runs, Doorbell, FrameReader, ReadReady, SdMsg, ServerStats, TaggedFrame,
+    READ_CHUNK,
+};
+use crossbeam::channel::{Receiver, Sender};
+use mio::{Events, Interest, Poll, Token, Waker};
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Token of each reactor's waker.
+const WAKER_TOKEN: Token = Token(0);
+/// Token of the listener (reactor 0 only).
+const LISTENER_TOKEN: Token = Token(1);
+/// Connection tokens start here: `CONN_TOKEN_BASE + conn id`.
+const CONN_TOKEN_BASE: usize = 2;
+
+/// Bytes one connection may burst-read per readiness wakeup. A firehose
+/// connection yields after this much; level-triggered registration
+/// re-reports it on the next poll, so nothing is lost — other
+/// connections just get a turn first.
+const READ_BUDGET: usize = 8 * READ_CHUNK;
+
+/// Fallback poll timeout. Wakeups (frames, registrations, shutdown) are
+/// event-driven; this only bounds how long a lost external signal could
+/// go unnoticed.
+const POLL_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Everything a reactor shares with the rest of the batched topology.
+#[derive(Clone)]
+pub(crate) struct ReactorShared {
+    pub(crate) ring: Arc<FrameRing<TaggedFrame>>,
+    pub(crate) sd_tx: Sender<SdMsg>,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) doorbell: Arc<Doorbell>,
+}
+
+/// Commands to a reactor thread (kick the waker after sending).
+pub(crate) enum ReactorCmd {
+    /// Adopt a freshly accepted connection's read half.
+    Register { conn: u64, stream: TcpStream },
+}
+
+/// Resolve a configured reader count: `0` means `min(4, cores)`.
+#[must_use]
+pub(crate) fn effective_readers(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4)
+    }
+}
+
+/// The running reactor pool; join handles plus the wakers that unblock
+/// each poll loop for shutdown.
+pub(crate) struct ReactorPool {
+    threads: Vec<std::thread::JoinHandle<()>>,
+    wakers: Vec<Arc<Waker>>,
+}
+
+impl ReactorPool {
+    /// Wake every reactor (used to make shutdown prompt).
+    pub(crate) fn wake_all(&self) {
+        for w in &self.wakers {
+            let _ = w.wake();
+        }
+    }
+
+    /// Join every reactor thread.
+    pub(crate) fn join(&mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Per-connection state machine inside a reactor.
+struct ConnState {
+    conn: u64,
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Next sequence number to assign to a carved frame.
+    seq: u64,
+}
+
+/// Listener state, owned by reactor 0.
+struct Acceptor {
+    listener: TcpListener,
+    next_conn: u64,
+    /// Command queues of every reactor (index-aligned with the pool).
+    peers: Vec<Sender<ReactorCmd>>,
+    peer_wakers: Vec<Arc<Waker>>,
+}
+
+/// Spawn the pool: `readers` reactor threads (resolved through
+/// [`effective_readers`]), with the accept loop folded into reactor 0.
+pub(crate) fn spawn_reactor_pool(
+    listener: TcpListener,
+    readers: usize,
+    shared: ReactorShared,
+) -> std::io::Result<ReactorPool> {
+    let n = effective_readers(readers);
+    shared.stats.reactor_threads.store(n as u64, Ordering::Relaxed);
+
+    let mut polls = Vec::with_capacity(n);
+    let mut wakers = Vec::with_capacity(n);
+    let mut cmd_txs = Vec::with_capacity(n);
+    let mut cmd_rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let poll = Poll::new()?;
+        let waker = Arc::new(Waker::new(poll.registry(), WAKER_TOKEN)?);
+        let (tx, rx) = crossbeam::channel::unbounded::<ReactorCmd>();
+        polls.push(poll);
+        wakers.push(waker);
+        cmd_txs.push(tx);
+        cmd_rxs.push(rx);
+    }
+
+    listener.set_nonblocking(true)?;
+    polls[0]
+        .registry()
+        .register(&listener, LISTENER_TOKEN, Interest::READABLE)?;
+    let mut acceptor = Some(Acceptor {
+        listener,
+        next_conn: 0,
+        peers: cmd_txs,
+        peer_wakers: wakers.clone(),
+    });
+
+    let mut threads = Vec::with_capacity(n);
+    for (idx, (poll, cmd_rx)) in polls.into_iter().zip(cmd_rxs).enumerate() {
+        let acceptor = if idx == 0 { acceptor.take() } else { None };
+        let shared = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("dido-reactor-{idx}"))
+                .spawn(move || run_reactor(idx, poll, cmd_rx, acceptor, &shared))?,
+        );
+    }
+    Ok(ReactorPool { threads, wakers })
+}
+
+fn run_reactor(
+    idx: usize,
+    mut poll: Poll,
+    cmd_rx: Receiver<ReactorCmd>,
+    mut acceptor: Option<Acceptor>,
+    shared: &ReactorShared,
+) {
+    let mut events = Events::with_capacity(1024);
+    let mut ready: Vec<Token> = Vec::new();
+    let mut conns: HashMap<usize, ConnState> = HashMap::new();
+    let mut burst: Vec<bytes::Bytes> = Vec::new();
+    let mut tagged: Vec<TaggedFrame> = Vec::new();
+    loop {
+        if poll.poll(&mut events, Some(POLL_TIMEOUT)).is_err() {
+            // A broken selector cannot make progress; treat it like
+            // shutdown so the server tears down instead of spinning.
+            break;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        if !events.is_empty() {
+            shared.stats.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+        }
+        ready.clear();
+        ready.extend(events.iter().map(|e| e.token()));
+        for &tok in &ready {
+            match tok {
+                WAKER_TOKEN => {} // registrations are drained below
+                LISTENER_TOKEN => {
+                    if let Some(a) = acceptor.as_mut() {
+                        if !accept_ready(a, idx, &poll, &mut conns, shared) {
+                            // Fatal listener error: stop accepting but
+                            // keep serving live connections.
+                            let _ = poll.registry().deregister(&a.listener);
+                            acceptor = None;
+                        }
+                    }
+                }
+                Token(tok) => handle_conn_ready(
+                    tok,
+                    &poll,
+                    &mut conns,
+                    &mut burst,
+                    &mut tagged,
+                    shared,
+                ),
+            }
+        }
+        // Wakeups coalesce, so the command queue is drained every pass
+        // rather than only on a waker event.
+        while let Ok(cmd) = cmd_rx.try_recv() {
+            match cmd {
+                ReactorCmd::Register { conn, stream } => {
+                    register_conn(&poll, &mut conns, conn, stream, shared);
+                }
+            }
+        }
+    }
+    // Shutdown: retire every connection (the SD writer closes each once
+    // its owed responses are written), including registrations that
+    // were queued but never adopted.
+    let live = conns.len() as u64;
+    for (_, c) in conns.drain() {
+        let _ = shared.sd_tx.send(SdMsg::Eof {
+            conn: c.conn,
+            frames_read: c.seq,
+        });
+    }
+    shared.stats.reactor_conns.fetch_sub(live, Ordering::Relaxed);
+    while let Ok(ReactorCmd::Register { conn, .. }) = cmd_rx.try_recv() {
+        let _ = shared.sd_tx.send(SdMsg::Eof {
+            conn,
+            frames_read: 0,
+        });
+    }
+}
+
+/// Accept until the listener would block. Returns whether the listener
+/// is still usable.
+fn accept_ready(
+    a: &mut Acceptor,
+    idx: usize,
+    poll: &Poll,
+    conns: &mut HashMap<usize, ConnState>,
+    shared: &ReactorShared,
+) -> bool {
+    loop {
+        match a.listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue; // connection dies; client sees a close
+                }
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let conn = a.next_conn;
+                a.next_conn += 1;
+                // Open must reach the SD writer before any response (or
+                // drop-answer) for this connection can.
+                let _ = shared.sd_tx.send(SdMsg::Open {
+                    conn,
+                    stream: write_half,
+                });
+                let target = (conn as usize) % a.peers.len();
+                if target == idx {
+                    register_conn(poll, conns, conn, stream, shared);
+                } else {
+                    let _ = a.peers[target].send(ReactorCmd::Register { conn, stream });
+                    let _ = a.peer_wakers[target].wake();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+fn register_conn(
+    poll: &Poll,
+    conns: &mut HashMap<usize, ConnState>,
+    conn: u64,
+    stream: TcpStream,
+    shared: &ReactorShared,
+) {
+    let tok = CONN_TOKEN_BASE + conn as usize;
+    if poll
+        .registry()
+        .register(&stream, Token(tok), Interest::READABLE)
+        .is_err()
+    {
+        // Unwatchable: retire immediately so the SD writer closes it.
+        let _ = shared.sd_tx.send(SdMsg::Eof {
+            conn,
+            frames_read: 0,
+        });
+        return;
+    }
+    conns.insert(
+        tok,
+        ConnState {
+            conn,
+            stream,
+            reader: FrameReader::new(),
+            seq: 0,
+        },
+    );
+    shared.stats.reactor_conns.fetch_add(1, Ordering::Relaxed);
+}
+
+/// RV work for one ready connection: burst-read, carve, tag, push into
+/// the shared ring (drop-answering overflow), retire on EOF/error.
+fn handle_conn_ready(
+    tok: usize,
+    poll: &Poll,
+    conns: &mut HashMap<usize, ConnState>,
+    burst: &mut Vec<bytes::Bytes>,
+    tagged: &mut Vec<TaggedFrame>,
+    shared: &ReactorShared,
+) {
+    let Some(c) = conns.get_mut(&tok) else {
+        return; // already retired this pass (spurious/stale event)
+    };
+    burst.clear();
+    let status = c.reader.read_ready(&mut c.stream, burst, READ_BUDGET);
+    if !burst.is_empty() {
+        shared.stats.record_read_burst(burst.len() as u64);
+        tagged.clear();
+        for frame in burst.drain(..) {
+            tagged.push(TaggedFrame {
+                conn: c.conn,
+                seq: c.seq,
+                frame,
+            });
+            c.seq += 1;
+        }
+        // One ring lock for the whole burst; the full-ring tail stays
+        // in `tagged` and is answered with empty frames at drop time so
+        // this connection's sequence numbering never gains a hole.
+        if shared.ring.push_burst(tagged) > 0 {
+            shared.doorbell.ring();
+        }
+        if !tagged.is_empty() {
+            shared
+                .stats
+                .dropped_frames
+                .fetch_add(tagged.len() as u64, Ordering::Relaxed);
+            let runs = overflow_answer_runs(tagged);
+            let _ = shared.sd_tx.send(SdMsg::Runs { conn: c.conn, runs });
+        }
+    }
+    if !matches!(status, Ok(ReadReady::Open)) {
+        // Clean EOF, mid-frame EOF, or a fatal read/frame error: either
+        // way the connection is done producing frames.
+        let c = conns.remove(&tok).expect("conn just found");
+        let _ = poll.registry().deregister(&c.stream);
+        let _ = shared.sd_tx.send(SdMsg::Eof {
+            conn: c.conn,
+            frames_read: c.seq,
+        });
+        shared.stats.reactor_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}

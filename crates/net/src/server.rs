@@ -10,9 +10,12 @@
 //!   connection, each frame runs the whole pipeline alone. Simple, and
 //!   the baseline the `netpath` harness measures against.
 //! * **Batched** — the paper's RV/SD topology mapped onto TCP.
-//!   Connection reader threads do framing *only* (the `RV` task) and
-//!   push `(conn, seq, frame)` into a shared [`FrameRing`]; dispatcher
-//!   threads drain the ring across *all* connections, decode one
+//!   A fixed pool of reactor threads (see [`crate::reactor`]) does
+//!   framing *only* (the `RV` task): each reactor runs a readiness
+//!   loop over its share of the connections, burst-reads every ready
+//!   socket nonblockingly, and pushes `(conn, seq, frame)` into a
+//!   shared [`FrameRing`]; dispatcher threads drain the ring across
+//!   *all* connections, decode one
 //!   combined wavefront-aligned query batch, run the engine **once**,
 //!   and scatter encoded responses to per-connection writer queues.
 //!   Writer threads (the `SD` task) restore per-connection order by
@@ -35,6 +38,7 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -56,7 +60,13 @@ const IDLE_WAIT: Duration = Duration::from_millis(5);
 /// Bytes one socket read may pull into the frame reader's buffer. Large
 /// enough that a pipelined client's whole burst of small frames arrives
 /// in one syscall.
-const READ_CHUNK: usize = 16 << 10;
+pub(crate) const READ_CHUNK: usize = 16 << 10;
+
+/// Longest the SD writer parks waiting for a stalled socket to become
+/// writable again (its write halves share nonblocking file descriptions
+/// with the reactors' read halves, so writes can hit `WouldBlock` under
+/// backpressure). A peer that stays unwritable this long is dead.
+const WRITE_STALL: Duration = Duration::from_secs(30);
 
 fn is_poll_timeout(e: &std::io::Error) -> bool {
     matches!(
@@ -92,7 +102,27 @@ pub struct ServerStats {
     /// Dispatches that waited out the full drain window without
     /// accumulating a wavefront (the latency-bound regime of Fig. 9).
     pub delayed_dispatches: AtomicU64,
+    /// Reactor threads serving the batched data path (set at spawn; 0
+    /// in per-connection mode).
+    pub reactor_threads: AtomicU64,
+    /// Readiness wakeups across all reactors (poll returns with at
+    /// least one event).
+    pub reactor_wakeups: AtomicU64,
+    /// Connections currently registered with a reactor (a gauge, not a
+    /// cumulative counter).
+    pub reactor_conns: AtomicU64,
+    /// Connections currently open inside the SD writer (a gauge): every
+    /// accepted connection enters here and leaves when it is retired,
+    /// so a steady value under churn means no reorder-buffer leak.
+    pub sd_open_conns: AtomicU64,
+    /// Response runs the SD writer freed without putting them on the
+    /// wire: the socket died mid-stream, or runs were still parked in
+    /// the reorder buffer when the connection was retired or the server
+    /// shut down. A leak-detector counter — these bytes used to linger
+    /// in `pending` until teardown.
+    pub sd_pending_dropped: AtomicU64,
     batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
+    read_burst_hist: [AtomicU64; BATCH_HIST_BUCKETS],
 }
 
 fn hist_bucket(frames: u64) -> usize {
@@ -122,6 +152,18 @@ impl ServerStats {
         std::array::from_fn(|i| self.batch_hist[i].load(Ordering::Relaxed))
     }
 
+    pub(crate) fn record_read_burst(&self, frames: u64) {
+        self.read_burst_hist[hist_bucket(frames)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The reactor read-burst histogram: frames carved per readiness
+    /// read, bucketed like [`ServerStats::batch_histogram`]. High
+    /// buckets mean readiness reads are amortizing framing well.
+    #[must_use]
+    pub fn read_burst_histogram(&self) -> [u64; BATCH_HIST_BUCKETS] {
+        std::array::from_fn(|i| self.read_burst_hist[i].load(Ordering::Relaxed))
+    }
+
     /// Mean frames aggregated per dispatch (0 when nothing dispatched).
     #[must_use]
     pub fn mean_batch_frames(&self) -> f64 {
@@ -148,7 +190,13 @@ impl ServerStats {
             dispatched_queries: self.dispatched_queries.load(Ordering::Relaxed),
             ring_depth_max: self.ring_depth_max.load(Ordering::Relaxed),
             delayed_dispatches: self.delayed_dispatches.load(Ordering::Relaxed),
+            reactor_threads: self.reactor_threads.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            reactor_conns: self.reactor_conns.load(Ordering::Relaxed),
+            sd_open_conns: self.sd_open_conns.load(Ordering::Relaxed),
+            sd_pending_dropped: self.sd_pending_dropped.load(Ordering::Relaxed),
             batch_hist: self.batch_histogram(),
+            read_burst_hist: self.read_burst_histogram(),
         }
     }
 }
@@ -177,14 +225,28 @@ pub struct NetStatsSnapshot {
     pub ring_depth_max: u64,
     /// Dispatches that waited out the full drain window.
     pub delayed_dispatches: u64,
+    /// Reactor threads serving the batched data path.
+    pub reactor_threads: u64,
+    /// Readiness wakeups across all reactors.
+    pub reactor_wakeups: u64,
+    /// Connections registered with a reactor at snapshot time (gauge).
+    pub reactor_conns: u64,
+    /// Connections open inside the SD writer at snapshot time (gauge).
+    pub sd_open_conns: u64,
+    /// Response runs freed by the SD writer without being written.
+    pub sd_pending_dropped: u64,
     /// Frames-per-dispatch histogram (buckets `1, 2, 3–4, …, 65+`).
     pub batch_hist: [u64; BATCH_HIST_BUCKETS],
+    /// Frames-per-readiness-read histogram (same buckets).
+    pub read_burst_hist: [u64; BATCH_HIST_BUCKETS],
 }
 
 impl NetStatsSnapshot {
     /// Counter deltas since `earlier` (`ring_depth_max` keeps the max,
-    /// not a difference). Use to fold per-interval activity into
-    /// `dido::Metrics` without double-counting.
+    /// not a difference; gauges — `reactor_threads`, `reactor_conns`,
+    /// `sd_open_conns` — keep their current value). Use to fold
+    /// per-interval activity into `dido::Metrics` without
+    /// double-counting.
     #[must_use]
     pub fn delta_since(&self, earlier: &NetStatsSnapshot) -> NetStatsSnapshot {
         NetStatsSnapshot {
@@ -198,7 +260,15 @@ impl NetStatsSnapshot {
             dispatched_queries: self.dispatched_queries - earlier.dispatched_queries,
             ring_depth_max: self.ring_depth_max.max(earlier.ring_depth_max),
             delayed_dispatches: self.delayed_dispatches - earlier.delayed_dispatches,
+            reactor_threads: self.reactor_threads,
+            reactor_wakeups: self.reactor_wakeups - earlier.reactor_wakeups,
+            reactor_conns: self.reactor_conns,
+            sd_open_conns: self.sd_open_conns,
+            sd_pending_dropped: self.sd_pending_dropped - earlier.sd_pending_dropped,
             batch_hist: std::array::from_fn(|i| self.batch_hist[i] - earlier.batch_hist[i]),
+            read_burst_hist: std::array::from_fn(|i| {
+                self.read_burst_hist[i] - earlier.read_burst_hist[i]
+            }),
         }
     }
 }
@@ -227,6 +297,11 @@ pub struct BatchConfig {
     /// by sequence numbers, so >1 is safe, but on few cores one is
     /// usually right.
     pub dispatchers: usize,
+    /// Reactor (framing reader) thread count; `0` means
+    /// `min(4, available cores)`. Connections are spread across the
+    /// pool round-robin at accept time, so the thread count stays fixed
+    /// no matter how many connections are open.
+    pub readers: usize,
 }
 
 impl Default for BatchConfig {
@@ -238,6 +313,7 @@ impl Default for BatchConfig {
             max_batch_delay: Duration::from_micros(200),
             quiet_delay: Duration::from_micros(30),
             dispatchers: 1,
+            readers: 0,
         }
     }
 }
@@ -256,34 +332,56 @@ pub enum DispatchMode {
 /// A frame tagged with its connection and per-connection sequence
 /// number, as carried by the shared RX ring.
 #[derive(Debug)]
-struct TaggedFrame {
-    conn: u64,
-    seq: u64,
-    frame: Bytes,
+pub(crate) struct TaggedFrame {
+    pub(crate) conn: u64,
+    pub(crate) seq: u64,
+    pub(crate) frame: Bytes,
 }
 
 /// A contiguous range of response frames for one connection, already in
 /// wire form (length prefixes included): frames `first_seq ..
 /// first_seq + count` back-to-back in `bytes`.
-struct ResponseRun {
+pub(crate) struct ResponseRun {
     first_seq: u64,
     count: u64,
     bytes: Bytes,
+}
+
+/// Build the drop-answer runs for frames that could not enter the RX
+/// ring: one empty response frame per dropped request. Answering *at
+/// drop time* is what keeps the SD reorder buffer gap-free — every
+/// sequence number a reactor ever assigned either reaches a dispatcher
+/// or is answered here, so [`SdConn::next`] always advances and later
+/// responses never stall behind a hole.
+pub(crate) fn overflow_answer_runs(tagged: &mut Vec<TaggedFrame>) -> Vec<ResponseRun> {
+    tagged
+        .drain(..)
+        .map(|t| {
+            let mut empty = BytesMut::new();
+            encode_responses_wire_into(&mut empty, &[]);
+            ResponseRun {
+                first_seq: t.seq,
+                count: 1,
+                bytes: empty.freeze(),
+            }
+        })
+        .collect()
 }
 
 /// Messages to the shared SD writer thread (one per server, like the
 /// paper's single SD task — per-*connection* state lives inside the
 /// writer, but one thread services every socket, so a dispatch costs
 /// one send and one wakeup no matter how many connections it answered).
-enum SdMsg {
+pub(crate) enum SdMsg {
     /// A connection was accepted; `stream` is its write half.
     Open { conn: u64, stream: TcpStream },
-    /// Response runs for one connection (reader overflow answers).
+    /// Response runs for one connection (reactor overflow answers).
     Runs { conn: u64, runs: Vec<ResponseRun> },
     /// Everything one dispatch produced, for all connections at once.
     Batch(Vec<(u64, Vec<ResponseRun>)>),
-    /// The reader consumed `frames_read` frames total and stopped; the
-    /// connection closes once every response below that is on the wire.
+    /// The reactor consumed `frames_read` frames total and retired the
+    /// read side; the connection closes once every response below that
+    /// is on the wire.
     Eof { conn: u64, frames_read: u64 },
 }
 
@@ -291,13 +389,13 @@ enum SdMsg {
 /// the missed-notify race: observe before draining, and `wait_past`
 /// returns immediately if anything rang in between.
 #[derive(Default)]
-struct Doorbell {
+pub(crate) struct Doorbell {
     gen: Mutex<u64>,
     cv: Condvar,
 }
 
 impl Doorbell {
-    fn ring(&self) {
+    pub(crate) fn ring(&self) {
         *self.gen.lock() += 1;
         self.cv.notify_all();
     }
@@ -330,7 +428,26 @@ pub struct KvServer {
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
     doorbell: Option<Arc<Doorbell>>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    topology: Topology,
+}
+
+/// The server's thread topology, held so [`KvServer::stop`] can join
+/// every thread it spawned — a shutdown that returns proves no reader,
+/// reactor, dispatcher, or SD thread is still running.
+enum Topology {
+    /// Accept thread that in turn joins its per-connection workers.
+    PerConnection {
+        accept: Option<std::thread::JoinHandle<()>>,
+    },
+    /// Reactor pool → dispatchers → SD writer. Teardown runs in that
+    /// order: reactors stop producing and post EOF marks, dispatchers
+    /// drain the ring dry, and the SD writer exits once the last
+    /// `SdMsg` sender (held by reactors and dispatchers) is dropped.
+    Batched {
+        reactors: crate::reactor::ReactorPool,
+        dispatchers: Vec<std::thread::JoinHandle<()>>,
+        sd: Option<std::thread::JoinHandle<()>>,
+    },
 }
 
 impl KvServer {
@@ -366,15 +483,15 @@ impl KvServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let handler = Arc::new(handler);
 
-        let (doorbell, accept_thread) = match mode {
+        let (doorbell, topology) = match mode {
             DispatchMode::PerConnection => {
                 let t = spawn_per_connection(listener, &stats, &shutdown, handler);
-                (None, t)
+                (None, Topology::PerConnection { accept: Some(t) })
             }
             DispatchMode::Batched(cfg) => {
                 let doorbell = Arc::new(Doorbell::default());
-                let t = spawn_batched(listener, cfg, &stats, &shutdown, &doorbell, handler);
-                (Some(doorbell), t)
+                let topo = spawn_batched(listener, cfg, &stats, &shutdown, &doorbell, handler)?;
+                (Some(doorbell), topo)
             }
         };
 
@@ -383,7 +500,7 @@ impl KvServer {
             stats,
             shutdown,
             doorbell,
-            accept_thread: Some(accept_thread),
+            topology,
         })
     }
 
@@ -414,11 +531,38 @@ impl KvServer {
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Release);
-        if let Some(d) = &self.doorbell {
-            d.ring();
-        }
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        match &mut self.topology {
+            Topology::PerConnection { accept } => {
+                if let Some(t) = accept.take() {
+                    let _ = t.join();
+                }
+            }
+            Topology::Batched {
+                reactors,
+                dispatchers,
+                sd,
+            } => {
+                // Reactors first: waking their poll loops makes them
+                // observe the flag, retire every connection with an EOF
+                // mark, and exit — so no new frames enter the ring.
+                reactors.wake_all();
+                reactors.join();
+                // Dispatchers next: ring the doorbell so idle ones wake
+                // and drain the ring dry (every consumed frame still
+                // gets its response).
+                if let Some(d) = &self.doorbell {
+                    d.ring();
+                }
+                for t in dispatchers.drain(..) {
+                    let _ = t.join();
+                }
+                // The reactors and dispatchers held the only `SdMsg`
+                // senders; with both joined, the SD writer drains its
+                // backlog, disconnects every client, and exits.
+                if let Some(t) = sd.take() {
+                    let _ = t.join();
+                }
+            }
         }
     }
 }
@@ -473,6 +617,10 @@ where
     })
 }
 
+/// Spawn the batched topology: SD writer, dispatchers, then the reactor
+/// pool (which owns the listener and the accept path). RV framing runs
+/// on the fixed reactor pool — see [`crate::reactor`] — not on
+/// per-connection threads.
 fn spawn_batched<F>(
     listener: TcpListener,
     cfg: BatchConfig,
@@ -480,148 +628,64 @@ fn spawn_batched<F>(
     shutdown: &Arc<AtomicBool>,
     doorbell: &Arc<Doorbell>,
     handler: Arc<F>,
-) -> std::thread::JoinHandle<()>
+) -> std::io::Result<Topology>
 where
     F: Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
 {
-    let stats = Arc::clone(stats);
-    let shutdown = Arc::clone(shutdown);
-    let doorbell = Arc::clone(doorbell);
-    std::thread::spawn(move || {
-        listener
-            .set_nonblocking(true)
-            .expect("nonblocking listener");
-        let ring: Arc<FrameRing<TaggedFrame>> = Arc::new(FrameRing::new(cfg.ring_slots.max(1)));
-        let (sd_tx, sd_rx) = channel::unbounded::<SdMsg>();
-        let sd_writer = std::thread::spawn(move || run_sd_writer(sd_rx));
+    let ring: Arc<FrameRing<TaggedFrame>> = Arc::new(FrameRing::new(cfg.ring_slots.max(1)));
+    let (sd_tx, sd_rx) = channel::unbounded::<SdMsg>();
+    let sd_stats = Arc::clone(stats);
+    let sd = std::thread::Builder::new()
+        .name("dido-sd".into())
+        .spawn(move || run_sd_writer(&sd_rx, &sd_stats))?;
 
-        let mut dispatchers = Vec::with_capacity(cfg.dispatchers.max(1));
-        for lane in 0..cfg.dispatchers.max(1) {
-            let ring = Arc::clone(&ring);
-            let sd = sd_tx.clone();
-            let stats = Arc::clone(&stats);
-            let shutdown = Arc::clone(&shutdown);
-            let doorbell = Arc::clone(&doorbell);
-            let handler = Arc::clone(&handler);
-            dispatchers.push(std::thread::spawn(move || {
-                run_dispatcher(&ring, &sd, &stats, &shutdown, &doorbell, cfg, lane, &*handler);
-            }));
-        }
-
-        let mut readers = Vec::new();
-        let mut next_conn = 0u64;
-        while !shutdown.load(Ordering::Acquire) {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let _ = stream.set_nodelay(true);
-                    let Ok(write_half) = stream.try_clone() else {
-                        continue; // connection dies; client sees a close
-                    };
-                    stats.connections.fetch_add(1, Ordering::Relaxed);
-                    let conn = next_conn;
-                    next_conn += 1;
-                    // Open must be enqueued before the reader starts, so
-                    // the SD writer learns of the connection before any
-                    // of its responses can arrive.
-                    let _ = sd_tx.send(SdMsg::Open {
-                        conn,
-                        stream: write_half,
-                    });
-                    let tx = sd_tx.clone();
-                    let ring = Arc::clone(&ring);
-                    let stats = Arc::clone(&stats);
-                    let shutdown = Arc::clone(&shutdown);
-                    let doorbell = Arc::clone(&doorbell);
-                    readers.push(std::thread::spawn(move || {
-                        run_reader(stream, conn, &tx, &ring, &stats, &shutdown, &doorbell);
-                    }));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(_) => break,
-            }
-        }
-
-        // Orderly teardown: readers stop consuming and post their EOF
-        // marks; dispatchers drain the ring dry so every consumed frame
-        // still gets its response; dropping the last sender then lets
-        // the SD writer flush its backlog and disconnect every client.
-        for r in readers {
-            let _ = r.join();
-        }
-        doorbell.ring();
-        for d in dispatchers {
-            let _ = d.join();
-        }
-        drop(sd_tx);
-        let _ = sd_writer.join();
-    })
-}
-
-/// RV stage: framing only. Push each burst of tagged frames into the
-/// shared ring with a single doorbell ring; on ring overflow count the
-/// drop and answer with an empty frame so the connection's
-/// request/response pairing survives overload.
-fn run_reader(
-    mut stream: TcpStream,
-    conn: u64,
-    tx: &Sender<SdMsg>,
-    ring: &FrameRing<TaggedFrame>,
-    stats: &ServerStats,
-    shutdown: &AtomicBool,
-    doorbell: &Doorbell,
-) {
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let mut reader = FrameReader::new();
-    let mut burst: Vec<Bytes> = Vec::new();
-    let mut tagged: Vec<TaggedFrame> = Vec::new();
-    let mut seq = 0u64;
-    loop {
-        if shutdown.load(Ordering::Acquire) {
-            break;
-        }
-        burst.clear();
-        match reader.read_burst(&mut stream, &mut burst) {
-            Ok(true) => {
-                tagged.clear();
-                for frame in burst.drain(..) {
-                    tagged.push(TaggedFrame { conn, seq, frame });
-                    seq += 1;
-                }
-                // One ring lock for the whole burst; the full-ring tail
-                // stays in `tagged`, already counted dropped.
-                if ring.push_burst(&mut tagged) > 0 {
-                    doorbell.ring();
-                }
-                if !tagged.is_empty() {
-                    stats
-                        .dropped_frames
-                        .fetch_add(tagged.len() as u64, Ordering::Relaxed);
-                    let runs: Vec<ResponseRun> = tagged
-                        .drain(..)
-                        .map(|t| {
-                            let mut empty = BytesMut::new();
-                            encode_responses_wire_into(&mut empty, &[]);
-                            ResponseRun {
-                                first_seq: t.seq,
-                                count: 1,
-                                bytes: empty.freeze(),
-                            }
-                        })
-                        .collect();
-                    let _ = tx.send(SdMsg::Runs { conn, runs });
-                }
-            }
-            Ok(false) => break,
-            Err(e) if is_poll_timeout(&e) => continue,
-            Err(_) => break,
-        }
+    let mut dispatchers = Vec::with_capacity(cfg.dispatchers.max(1));
+    for lane in 0..cfg.dispatchers.max(1) {
+        let ring = Arc::clone(&ring);
+        let sd = sd_tx.clone();
+        let stats = Arc::clone(stats);
+        let shutdown = Arc::clone(shutdown);
+        let doorbell = Arc::clone(doorbell);
+        let handler = Arc::clone(&handler);
+        dispatchers.push(
+            std::thread::Builder::new()
+                .name(format!("dido-dispatch-{lane}"))
+                .spawn(move || {
+                    run_dispatcher(&ring, &sd, &stats, &shutdown, &doorbell, cfg, lane, &*handler);
+                })?,
+        );
     }
-    let _ = tx.send(SdMsg::Eof {
-        conn,
-        frames_read: seq,
-    });
+
+    let shared = crate::reactor::ReactorShared {
+        ring,
+        sd_tx,
+        stats: Arc::clone(stats),
+        shutdown: Arc::clone(shutdown),
+        doorbell: Arc::clone(doorbell),
+    };
+    // `shared` (and with it this function's last `SdMsg` sender) is
+    // consumed here: after the pool spawns, only reactors and
+    // dispatchers hold senders, which is what lets the SD writer exit
+    // once both groups are joined.
+    let reactors = match crate::reactor::spawn_reactor_pool(listener, cfg.readers, shared) {
+        Ok(pool) => pool,
+        Err(e) => {
+            // Unwind the threads already running so a failed start
+            // leaks nothing.
+            shutdown.store(true, Ordering::Release);
+            doorbell.ring();
+            for t in dispatchers {
+                let _ = t.join();
+            }
+            let _ = sd.join();
+            return Err(e);
+        }
+    };
+    Ok(Topology::Batched {
+        reactors,
+        dispatchers,
+        sd: Some(sd),
+    })
 }
 
 /// Per-connection state inside the shared SD writer.
@@ -647,21 +711,37 @@ impl SdConn {
             None => false,
         }
     }
+
+    /// Park response runs in the reorder buffer — unless the socket
+    /// already died, in which case they can never be written: buffering
+    /// them anyway (the old behavior) let a dead connection accumulate
+    /// responses until its EOF mark arrived. Dropped runs are counted.
+    fn park_runs(&mut self, runs: Vec<ResponseRun>, stats: &ServerStats) {
+        if self.dead {
+            stats
+                .sd_pending_dropped
+                .fetch_add(runs.len() as u64, Ordering::Relaxed);
+            return;
+        }
+        for r in runs {
+            self.pending.insert(r.first_seq, (r.count, r.bytes));
+        }
+    }
 }
 
 /// SD stage: one thread for the whole server, like the paper's SD
 /// task. Restores per-connection order by sequence number, then puts
 /// every in-order response run on the wire with one vectored write and
 /// a single flush per connection per wakeup.
-fn run_sd_writer(rx: Receiver<SdMsg>) {
+fn run_sd_writer(rx: &Receiver<SdMsg>, stats: &ServerStats) {
     let mut conns: HashMap<u64, SdConn> = HashMap::new();
     let mut touched: Vec<u64> = Vec::new();
     let mut batch: Vec<Bytes> = Vec::new();
     while let Ok(first) = rx.recv() {
         touched.clear();
-        apply_sd_msg(first, &mut conns, &mut touched);
+        apply_sd_msg(first, &mut conns, &mut touched, stats);
         while let Ok(msg) = rx.try_recv() {
-            apply_sd_msg(msg, &mut conns, &mut touched);
+            apply_sd_msg(msg, &mut conns, &mut touched, stats);
         }
         for &conn in &touched {
             let Some(c) = conns.get_mut(&conn) else {
@@ -676,20 +756,49 @@ fn run_sd_writer(rx: Receiver<SdMsg>) {
                 let bufs: Vec<&[u8]> = batch.iter().map(|b| &b[..]).collect();
                 if write_all_vectored(&mut c.stream, &bufs).is_err() || c.stream.flush().is_err() {
                     c.dead = true;
+                    // Neither the runs in the failed write nor anything
+                    // still parked can reach the peer now; free the
+                    // parked runs immediately instead of holding them
+                    // until EOF, and count both groups as undelivered.
+                    stats
+                        .sd_pending_dropped
+                        .fetch_add((batch.len() + c.pending.len()) as u64, Ordering::Relaxed);
                     c.pending.clear();
                 }
             }
             if c.done() {
-                conns.remove(&conn); // drops the write half: client EOF
+                retire_sd_conn(conns.remove(&conn), stats); // drops the write half: client EOF
             }
         }
     }
-    // All senders gone (teardown after readers and dispatchers joined):
-    // whatever is still pending has been applied above; remaining
-    // connections close when `conns` drops.
+    // All senders gone (teardown after reactors and dispatchers
+    // joined): whatever was sent has been applied above. Sweep the
+    // survivors so the gauges and leak counters stay truthful even at
+    // server shutdown, then drop `conns` to disconnect every client.
+    for (_, c) in conns.drain() {
+        retire_sd_conn(Some(c), stats);
+    }
 }
 
-fn apply_sd_msg(msg: SdMsg, conns: &mut HashMap<u64, SdConn>, touched: &mut Vec<u64>) {
+/// Account a connection leaving the SD writer: anything still parked in
+/// its reorder buffer is freed unwritten (a mid-stream disconnect
+/// stranded it behind the dead socket), which the leak counter records.
+fn retire_sd_conn(conn: Option<SdConn>, stats: &ServerStats) {
+    let Some(c) = conn else { return };
+    if !c.pending.is_empty() {
+        stats
+            .sd_pending_dropped
+            .fetch_add(c.pending.len() as u64, Ordering::Relaxed);
+    }
+    stats.sd_open_conns.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn apply_sd_msg(
+    msg: SdMsg,
+    conns: &mut HashMap<u64, SdConn>,
+    touched: &mut Vec<u64>,
+    stats: &ServerStats,
+) {
     fn touch(conn: u64, touched: &mut Vec<u64>) {
         if !touched.contains(&conn) {
             touched.push(conn);
@@ -697,6 +806,7 @@ fn apply_sd_msg(msg: SdMsg, conns: &mut HashMap<u64, SdConn>, touched: &mut Vec<
     }
     match msg {
         SdMsg::Open { conn, stream } => {
+            stats.sd_open_conns.fetch_add(1, Ordering::Relaxed);
             conns.insert(
                 conn,
                 SdConn {
@@ -710,18 +820,14 @@ fn apply_sd_msg(msg: SdMsg, conns: &mut HashMap<u64, SdConn>, touched: &mut Vec<
         }
         SdMsg::Runs { conn, runs } => {
             if let Some(c) = conns.get_mut(&conn) {
-                for r in runs {
-                    c.pending.insert(r.first_seq, (r.count, r.bytes));
-                }
+                c.park_runs(runs, stats);
                 touch(conn, touched);
             }
         }
         SdMsg::Batch(per_conn) => {
             for (conn, runs) in per_conn {
                 if let Some(c) = conns.get_mut(&conn) {
-                    for r in runs {
-                        c.pending.insert(r.first_seq, (r.count, r.bytes));
-                    }
+                    c.park_runs(runs, stats);
                     touch(conn, touched);
                 }
             }
@@ -985,6 +1091,15 @@ pub(crate) struct FrameReader {
     pending: VecDeque<Bytes>,
 }
 
+/// Outcome of a [`FrameReader::read_ready`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReadReady {
+    /// The socket is still open; more data may arrive later.
+    Open,
+    /// Clean EOF at a frame boundary.
+    Closed,
+}
+
 impl FrameReader {
     pub(crate) fn new() -> FrameReader {
         FrameReader::default()
@@ -1011,23 +1126,67 @@ impl FrameReader {
         }
     }
 
-    /// Read at least one frame, appending every frame already buffered
-    /// or delivered by the same socket read to `out`. Returns `Ok(false)`
-    /// on clean EOF. Timeout semantics match [`FrameReader::read_frame`].
-    pub(crate) fn read_burst(
+    /// Nonblocking burst read for readiness-driven callers: pull up to
+    /// `budget` bytes from a nonblocking socket, appending every
+    /// complete frame carved to `out` — on **every** exit path, so
+    /// frames framed before an EOF or error are never lost.
+    ///
+    /// Returns [`ReadReady::Open`] when the socket drained
+    /// (`WouldBlock`) or the budget ran out — level-triggered
+    /// registration re-reports leftover data on the next poll — and
+    /// [`ReadReady::Closed`] on clean EOF at a frame boundary. Mid-frame
+    /// EOF and oversized/short frames are errors; either way the caller
+    /// retires the connection. The frame-boundary invariant of
+    /// [`FrameReader::read_frame`] holds structurally here: a partial
+    /// frame's bytes simply stay buffered across readiness events.
+    pub(crate) fn read_ready(
         &mut self,
         stream: &mut TcpStream,
         out: &mut Vec<Bytes>,
-    ) -> std::io::Result<bool> {
-        loop {
-            if !self.pending.is_empty() {
-                out.extend(self.pending.drain(..));
-                return Ok(true);
+        budget: usize,
+    ) -> std::io::Result<ReadReady> {
+        let mut pulled = 0usize;
+        let status = loop {
+            if pulled >= budget {
+                break ReadReady::Open;
             }
-            if !self.fill(stream)? {
-                return Ok(false);
+            let old = self.buf.len();
+            self.buf.resize(old + READ_CHUNK, 0);
+            match stream.read(&mut self.buf[old..]) {
+                Ok(0) => {
+                    self.buf.resize(old, 0);
+                    if old == 0 {
+                        break ReadReady::Closed;
+                    }
+                    out.extend(self.pending.drain(..));
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "EOF inside a frame",
+                    ));
+                }
+                Ok(n) => {
+                    self.buf.resize(old + n, 0);
+                    pulled += n;
+                    if let Err(e) = self.carve() {
+                        out.extend(self.pending.drain(..));
+                        return Err(e);
+                    }
+                }
+                Err(e) => {
+                    self.buf.resize(old, 0);
+                    match e.kind() {
+                        std::io::ErrorKind::Interrupted => continue,
+                        std::io::ErrorKind::WouldBlock => break ReadReady::Open,
+                        _ => {
+                            out.extend(self.pending.drain(..));
+                            return Err(e);
+                        }
+                    }
+                }
             }
-        }
+        };
+        out.extend(self.pending.drain(..));
+        Ok(status)
     }
 
     /// One socket read into the tail of `buf`, then carve. `Ok(false)`
@@ -1126,6 +1285,11 @@ fn write_frame(stream: &mut TcpStream, frame: &Bytes) -> std::io::Result<()> {
 /// `write_all` over a list of buffers using `write_vectored`,
 /// re-slicing past whatever each call consumed. (The std helper
 /// `write_all_vectored` is unstable; this is its stable equivalent.)
+///
+/// Handles `WouldBlock` by parking on writability: the SD writer's
+/// streams share their file descriptions with the reactors' nonblocking
+/// read halves (`try_clone`), so a blocking-style writer must be
+/// prepared for nonblocking semantics.
 fn write_all_vectored(stream: &mut TcpStream, bufs: &[&[u8]]) -> std::io::Result<()> {
     let mut idx = 0usize; // first buffer not fully written
     let mut off = 0usize; // bytes of bufs[idx] already written
@@ -1147,6 +1311,18 @@ fn write_all_vectored(stream: &mut TcpStream, bufs: &[&[u8]]) -> std::io::Result
             }
             Ok(n) => n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                match mio::wait_writable(stream.as_raw_fd(), Some(WRITE_STALL)) {
+                    Ok(true) => continue,
+                    Ok(false) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "peer unwritable past the stall deadline",
+                        ))
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
             Err(e) => return Err(e),
         };
         let mut advanced = n;

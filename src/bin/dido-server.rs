@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dido-server [--addr HOST:PORT] [--store-mb N] [--latency-us N]
-//!             [--shards N] [--dispatchers N]
+//!             [--shards N] [--dispatchers N] [--readers N]
 //!             [--trace FILE] [--stats-every N]
 //!             [--batched] [--max-batch-delay-us N]
 //!             [--resize-after FRAMES:SHARDS]
@@ -16,7 +16,10 @@
 //! shifts. There is no global lock on the query path: `--dispatchers N`
 //! batched dispatchers call the shared core concurrently, each striping
 //! its profiling into its own lane, and `--shards N` partitions the
-//! store by key hash.
+//! store by key hash. In batched mode, connections are carried by a
+//! fixed pool of `--readers N` reactor threads (default `min(4,
+//! cores)`) regardless of how many clients connect — see `DESIGN.md`
+//! §13.
 //!
 //! `--trace` tees accepted queries to a replayable trace file through a
 //! bounded queue and a background writer (append-only, size-rotated;
@@ -57,6 +60,8 @@ struct Args {
     latency_us: f64,
     shards: usize,
     dispatchers: usize,
+    /// Reactor (reader) threads for batched mode; 0 = `min(4, cores)`.
+    readers: usize,
     trace: Option<std::path::PathBuf>,
     stats_every: u64,
     batched: bool,
@@ -73,6 +78,7 @@ fn parse_args() -> Args {
         latency_us: 1_000.0,
         shards: 1,
         dispatchers: 1,
+        readers: 0,
         trace: None,
         stats_every: 0,
         batched: false,
@@ -106,6 +112,7 @@ fn parse_args() -> Args {
             "--dispatchers" => {
                 args.dispatchers = parse_num("--dispatchers", value("--dispatchers")).max(1)
             }
+            "--readers" => args.readers = parse_num("--readers", value("--readers")),
             "--trace" => args.trace = Some(value("--trace").into()),
             "--stats-every" => {
                 args.stats_every = parse_num("--stats-every", value("--stats-every")) as u64
@@ -132,7 +139,7 @@ fn parse_args() -> Args {
                 println!(
                     "usage: dido-server [--addr HOST:PORT] [--store-mb N] \
                      [--latency-us N] [--shards N] [--dispatchers N] \
-                     [--trace FILE] [--stats-every N] \
+                     [--readers N] [--trace FILE] [--stats-every N] \
                      [--batched] [--max-batch-delay-us N] \
                      [--resize-after FRAMES:SHARDS]"
                 );
@@ -232,6 +239,7 @@ fn main() -> std::io::Result<()> {
         DispatchMode::Batched(BatchConfig {
             max_batch_delay: std::time::Duration::from_micros(args.max_batch_delay_us),
             dispatchers: args.dispatchers,
+            readers: args.readers,
             ..BatchConfig::default()
         })
     } else {
@@ -304,7 +312,14 @@ fn main() -> std::io::Result<()> {
         args.shards,
         args.latency_us,
         if args.batched {
-            format!(", batched dispatch x{}", args.dispatchers)
+            format!(
+                ", batched dispatch x{}, {} reader(s)",
+                args.dispatchers,
+                server
+                    .stats()
+                    .reactor_threads
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            )
         } else {
             String::new()
         },
