@@ -7,7 +7,10 @@
 //! ```
 //!
 //! `--quick` runs the CI smoke sweep ({16, 64, 256} connections, few
-//! frames; numbers are noisy and only prove the harness runs).
+//! frames; numbers are noisy and only prove the harness runs). Every
+//! run finishes with a slow-consumer cell: the mid-sweep fleet plus a
+//! few wedged connections that never read, reporting the healthy
+//! fleet's p99 against a no-slow baseline and the SD egress gauges.
 //! `--check` exits non-zero if the reader-thread count is not flat
 //! across the sweep, or if 64-connection throughput regresses more than
 //! 5% against the batched 64-connection cell of `BENCH_netpath.json`
@@ -112,6 +115,21 @@ fn main() {
             c.reactor_wakeups
         );
     });
+    if let Some(sc) = &report.slow {
+        println!(
+            "# slow-consumer cell: {} conns + {} wedged, healthy p99 \
+             {:.1} us vs {:.1} us base ({:.2}x, bar 2.00x), \
+             {} writable parks, {} read pauses, pending hiwater {} B",
+            sc.connections,
+            sc.slow_consumers,
+            sc.slow_p99_us,
+            sc.base_p99_us,
+            sc.healthy_p99_ratio,
+            sc.sd_writable_parks,
+            sc.sd_read_pauses,
+            sc.sd_pending_hiwater
+        );
+    }
 
     let json = report.to_json();
     if let Err(e) = std::fs::write(&out, &json) {

@@ -128,6 +128,42 @@ pub struct ConnCell {
     pub mean_batch_frames: f64,
     /// Reactor readiness wakeups over the measured run.
     pub reactor_wakeups: u64,
+    /// SD egress shard threads serving the cell.
+    pub sd_writer_threads: u64,
+    /// Connections parked on WRITABLE readiness during the run.
+    pub sd_writable_parks: u64,
+    /// Highest per-connection pending egress bytes observed.
+    pub sd_pending_hiwater: u64,
+    /// Egress buffer-ring hit rate (hits / lookups; 1.0 = fully
+    /// recycled steady state).
+    pub sd_buf_hit_rate: f64,
+}
+
+/// The slow-consumer isolation cell: the standard fleet plus a handful
+/// of connections that stop reading, measured against a baseline run of
+/// the same fleet without them.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowCell {
+    /// Healthy connections driving the measured workload.
+    pub connections: usize,
+    /// Wedged connections that request but never read.
+    pub slow_consumers: usize,
+    /// Healthy-fleet p99 with no slow consumers attached, microseconds.
+    pub base_p99_us: f64,
+    /// Healthy-fleet p99 with the slow consumers wedged, microseconds.
+    pub slow_p99_us: f64,
+    /// `slow_p99_us / base_p99_us` — the isolation claim is that this
+    /// stays under 2.
+    pub healthy_p99_ratio: f64,
+    /// Connections parked on WRITABLE readiness during the slow pass.
+    pub sd_writable_parks: u64,
+    /// Reads paused by pending-bytes backpressure during the slow pass.
+    pub sd_read_pauses: u64,
+    /// Connections retired by the stall deadline during the slow pass.
+    pub sd_stall_retired: u64,
+    /// Highest per-connection pending egress bytes seen (the
+    /// backpressure cap in action).
+    pub sd_pending_hiwater: u64,
 }
 
 /// Full harness output.
@@ -137,6 +173,9 @@ pub struct ConnpathReport {
     pub opts: ConnpathOptions,
     /// One cell per swept connection count, ascending.
     pub cells: Vec<ConnCell>,
+    /// The slow-consumer isolation cell (skipped only if the sweep was
+    /// empty).
+    pub slow: Option<SlowCell>,
     /// Batched 64-conn throughput from `BENCH_netpath.json`, when that
     /// report was available for comparison.
     pub netpath_baseline_qps: Option<f64>,
@@ -224,7 +263,9 @@ impl ConnpathReport {
                 "    {{\"connections\": {}, \"reader_threads\": {}, \
                  \"registered_conns\": {}, \"throughput_qps\": {:.1}, \
                  \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"mean_batch_frames\": {:.2}, \
-                 \"reactor_wakeups\": {}}}{}\n",
+                 \"reactor_wakeups\": {}, \"sd_writer_threads\": {}, \
+                 \"sd_writable_parks\": {}, \"sd_pending_bytes_hiwater\": {}, \
+                 \"sd_buf_ring_hit_rate\": {:.4}}}{}\n",
                 c.connections,
                 c.reader_threads,
                 c.registered_conns,
@@ -233,10 +274,50 @@ impl ConnpathReport {
                 c.p99_us,
                 c.mean_batch_frames,
                 c.reactor_wakeups,
+                c.sd_writer_threads,
+                c.sd_writable_parks,
+                c.sd_pending_hiwater,
+                c.sd_buf_hit_rate,
                 if i + 1 < self.cells.len() { "," } else { "" }
             ));
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ],\n");
+        match &self.slow {
+            Some(sc) => {
+                s.push_str("  \"slow_consumer\": {\n");
+                s.push_str(&format!("    \"connections\": {},\n", sc.connections));
+                s.push_str(&format!(
+                    "    \"slow_consumers\": {},\n",
+                    sc.slow_consumers
+                ));
+                s.push_str(&format!("    \"base_p99_us\": {:.1},\n", sc.base_p99_us));
+                s.push_str(&format!("    \"slow_p99_us\": {:.1},\n", sc.slow_p99_us));
+                s.push_str(&format!(
+                    "    \"healthy_p99_ratio\": {:.3},\n",
+                    sc.healthy_p99_ratio
+                ));
+                s.push_str(&format!(
+                    "    \"healthy_p99_within_2x\": {},\n",
+                    sc.healthy_p99_ratio <= 2.0
+                ));
+                s.push_str(&format!(
+                    "    \"sd_writable_parks\": {},\n",
+                    sc.sd_writable_parks
+                ));
+                s.push_str(&format!("    \"sd_read_pauses\": {},\n", sc.sd_read_pauses));
+                s.push_str(&format!(
+                    "    \"sd_stall_retired\": {},\n",
+                    sc.sd_stall_retired
+                ));
+                s.push_str(&format!(
+                    "    \"sd_pending_bytes_hiwater\": {}\n",
+                    sc.sd_pending_hiwater
+                ));
+                s.push_str("  }\n");
+            }
+            None => s.push_str("  \"slow_consumer\": null\n"),
+        }
+        s.push_str("}\n");
         s
     }
 }
@@ -397,7 +478,12 @@ fn measure_cell(
         .reactor_wakeups
         .load(std::sync::atomic::Ordering::Relaxed)
         - wakeups_before;
+    // Egress gauges are sampled after shutdown: the shards fold their
+    // buffer-ring counters one last time at teardown.
     server.shutdown();
+    let relaxed = std::sync::atomic::Ordering::Relaxed;
+    let hits = stats.sd_buf_hits.load(relaxed);
+    let lookups = hits + stats.sd_buf_misses.load(relaxed);
 
     latencies.sort_unstable();
     let total_queries = (latencies.len() * opts.frame_queries) as f64;
@@ -410,6 +496,158 @@ fn measure_cell(
         p99_us: crate::netpath::percentile_us(&latencies, 0.99),
         mean_batch_frames,
         reactor_wakeups,
+        sd_writer_threads: stats.sd_writer_threads.load(relaxed),
+        sd_writable_parks: stats.sd_writable_parks.load(relaxed),
+        sd_pending_hiwater: stats.sd_pending_bytes_hiwater.load(relaxed),
+        sd_buf_hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        },
+    }
+}
+
+/// How many wedged connections the slow-consumer cell attaches.
+pub const SLOW_CONSUMERS: usize = 4;
+
+/// One pass of the slow-consumer cell: the healthy fleet drives the
+/// standard workload while `slow_consumers` extra connections send
+/// requests and never read. Returns the healthy fleet's p99 and the
+/// final egress counters.
+fn measure_slow_pass(
+    opts: &ConnpathOptions,
+    connections: usize,
+    engine: &Arc<Mutex<KvEngine>>,
+    streams: &Arc<Vec<Vec<Bytes>>>,
+    slow_consumers: usize,
+) -> (f64, Arc<dido_net::ServerStats>) {
+    let engine = Arc::clone(engine);
+    let ctx = all_on_cpu_ctx();
+    let handler = move |_lane: usize, queries: Vec<Query>| {
+        let engine = engine.lock();
+        run_vectorized_batch(ctx, &engine, queries, PipelineConfig::mega_kv())
+    };
+    // A small kernel send buffer makes "peer stopped reading" visible
+    // to the egress plane quickly; the high water caps how much of the
+    // wedged backlog the server absorbs.
+    let cfg = BatchConfig {
+        sndbuf_bytes: Some(32 << 10),
+        sd_hiwater_bytes: 256 << 10,
+        ..BatchConfig::default()
+    };
+    let server = KvServer::start_batched("127.0.0.1:0", cfg, handler).expect("bind server");
+    let addr = server.addr();
+    let stats = server.stats_handle();
+
+    // Wedge the slow consumers first: each pipelines request frames and
+    // never reads a byte. `shutdown` from this thread unblocks their
+    // writers once the measurement is done.
+    let mut slow_streams = Vec::with_capacity(slow_consumers);
+    let slow_threads: Vec<_> = (0..slow_consumers)
+        .map(|s| {
+            let stream = std::net::TcpStream::connect(addr).expect("slow connect");
+            let _ = stream.set_nodelay(true);
+            slow_streams.push(stream.try_clone().expect("clone slow stream"));
+            let streams = Arc::clone(streams);
+            std::thread::spawn(move || {
+                let mut client = KvClient::from_stream(stream);
+                let frames = &streams[s % streams.len()];
+                loop {
+                    for f in frames {
+                        if client.send_wire(std::slice::from_ref(f)).is_err() {
+                            return;
+                        }
+                        // Paced, not flat out: a slow consumer's defining
+                        // load is the backlog it refuses to read, not a
+                        // request flood — full-speed senders would turn
+                        // the cell into an engine-contention benchmark.
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            })
+        })
+        .collect();
+    if slow_consumers > 0 {
+        // Don't start the clock until the wedge is real: at least one
+        // connection parked on WRITABLE readiness.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while stats
+            .sd_writable_parks
+            .load(std::sync::atomic::Ordering::Relaxed)
+            == 0
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    let threads = connections.min(MAX_CLIENT_THREADS);
+    let per_thread = connections.div_ceil(threads);
+    let go = Arc::new(Barrier::new(threads + 1));
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let go = Arc::clone(&go);
+            let streams = Arc::clone(streams);
+            let window = opts.window;
+            std::thread::spawn(move || {
+                let lo = t * per_thread;
+                let hi = ((t + 1) * per_thread).min(streams.len());
+                let mut clients: Vec<KvClient> = (lo..hi)
+                    .map(|_| KvClient::connect(addr).expect("connect"))
+                    .collect();
+                go.wait();
+                let mut latencies = Vec::new();
+                for (c, i) in clients.iter_mut().zip(lo..hi) {
+                    drive_conn(c, &streams[i], window, &mut latencies).expect("client I/O");
+                }
+                latencies
+            })
+        })
+        .collect();
+    go.wait();
+    let mut latencies: Vec<Duration> = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().expect("client thread"));
+    }
+
+    for s in &slow_streams {
+        let _ = s.shutdown(std::net::Shutdown::Both);
+    }
+    for t in slow_threads {
+        let _ = t.join();
+    }
+    server.shutdown();
+
+    latencies.sort_unstable();
+    (crate::netpath::percentile_us(&latencies, 0.99), stats)
+}
+
+/// Measure the slow-consumer isolation cell at `connections`: a
+/// baseline pass (no slow consumers) and a wedged pass, same fleet and
+/// workload, comparing the healthy fleet's p99.
+#[must_use]
+pub fn run_slow_cell(opts: &ConnpathOptions, connections: usize) -> SlowCell {
+    let (engine, streams) = build_workload(opts, connections);
+    let engine = Arc::new(Mutex::new(engine));
+    let streams = Arc::new(streams);
+    let (base_p99_us, _) = measure_slow_pass(opts, connections, &engine, &streams, 0);
+    let (slow_p99_us, stats) =
+        measure_slow_pass(opts, connections, &engine, &streams, SLOW_CONSUMERS);
+    let relaxed = std::sync::atomic::Ordering::Relaxed;
+    SlowCell {
+        connections,
+        slow_consumers: SLOW_CONSUMERS,
+        base_p99_us,
+        slow_p99_us,
+        healthy_p99_ratio: if base_p99_us > 0.0 {
+            slow_p99_us / base_p99_us
+        } else {
+            0.0
+        },
+        sd_writable_parks: stats.sd_writable_parks.load(relaxed),
+        sd_read_pauses: stats.sd_read_pauses.load(relaxed),
+        sd_stall_retired: stats.sd_stall_retired.load(relaxed),
+        sd_pending_hiwater: stats.sd_pending_bytes_hiwater.load(relaxed),
     }
 }
 
@@ -450,9 +688,17 @@ pub fn run_connpath(
         progress(&cell);
         cells.push(cell);
     }
+    // The slow-consumer isolation cell runs at the sweep's middle scale
+    // (512 connections full, 64 quick).
+    let slow = opts
+        .connections()
+        .get(1)
+        .copied()
+        .map(|connections| run_slow_cell(opts, connections));
     ConnpathReport {
         opts: *opts,
         cells,
+        slow,
         netpath_baseline_qps: netpath_json.and_then(netpath_baseline_qps),
     }
 }
@@ -478,6 +724,12 @@ mod tests {
         assert!(cell.reader_threads >= 1);
         assert!(cell.throughput_qps > 0.0, "no traffic measured");
         assert!(cell.p99_us >= cell.p50_us, "percentiles inverted");
+        assert!(cell.sd_writer_threads >= 1, "egress plane not running");
+        assert!(
+            (0.0..=1.0).contains(&cell.sd_buf_hit_rate),
+            "hit rate out of range: {}",
+            cell.sd_buf_hit_rate
+        );
     }
 
     #[test]
@@ -491,10 +743,26 @@ mod tests {
             p99_us: 900.0,
             mean_batch_frames: 40.0,
             reactor_wakeups: 1000,
+            sd_writer_threads: 2,
+            sd_writable_parks: 3,
+            sd_pending_hiwater: 65536,
+            sd_buf_hit_rate: 0.98,
+        };
+        let slow_cell = SlowCell {
+            connections: 512,
+            slow_consumers: SLOW_CONSUMERS,
+            base_p99_us: 900.0,
+            slow_p99_us: 1200.0,
+            healthy_p99_ratio: 1200.0 / 900.0,
+            sd_writable_parks: 12,
+            sd_read_pauses: 4,
+            sd_stall_retired: 0,
+            sd_pending_hiwater: 262144,
         };
         let report = ConnpathReport {
             opts: ConnpathOptions::default(),
             cells: vec![mk(64, 4, 1.00e6), mk(512, 4, 9.5e5), mk(4096, 4, 9.0e5)],
+            slow: Some(slow_cell),
             netpath_baseline_qps: Some(1.0e6),
         };
         assert!(report.flat_readers());
@@ -503,6 +771,10 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"flat_readers_pass\": true"));
         assert!(json.contains("\"pass\": true"));
+        assert!(json.contains("\"sd_writer_threads\": 2"));
+        assert!(json.contains("\"sd_buf_ring_hit_rate\": 0.9800"));
+        assert!(json.contains("\"healthy_p99_ratio\": 1.333"));
+        assert!(json.contains("\"healthy_p99_within_2x\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
 
@@ -511,13 +783,16 @@ mod tests {
         let scaling = ConnpathReport {
             opts: ConnpathOptions::default(),
             cells: vec![mk(64, 64, 1.0e6), mk(512, 512, 1.0e6)],
+            slow: None,
             netpath_baseline_qps: None,
         };
         assert!(!scaling.flat_readers());
+        assert!(scaling.to_json().contains("\"slow_consumer\": null"));
         // Low-scale throughput loss past tolerance must fail the guard.
         let slow = ConnpathReport {
             opts: ConnpathOptions::default(),
             cells: vec![mk(64, 4, 9.0e5)],
+            slow: None,
             netpath_baseline_qps: Some(1.0e6),
         };
         assert!(!slow.netpath_pass());

@@ -191,12 +191,26 @@ mod ffi {
     #[allow(dead_code)]
     pub const POLLHUP: i16 = 0x010;
 
+    // setsockopt(2) levels/names for the send/receive buffer helpers.
+    #[cfg(target_os = "linux")]
+    pub const SOL_SOCKET: c_int = 1;
+    #[cfg(target_os = "linux")]
+    pub const SO_SNDBUF: c_int = 7;
+    #[cfg(target_os = "linux")]
+    pub const SO_RCVBUF: c_int = 8;
+    #[cfg(not(target_os = "linux"))]
+    pub const SOL_SOCKET: c_int = 0xffff;
+    #[cfg(not(target_os = "linux"))]
+    pub const SO_SNDBUF: c_int = 0x1001;
+    #[cfg(not(target_os = "linux"))]
+    pub const SO_RCVBUF: c_int = 0x1002;
+
     /// `struct epoll_event`; packed on x86-64, natural elsewhere —
     /// matching the kernel ABI.
     #[cfg(target_os = "linux")]
     #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
     #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
-    #[derive(Clone, Copy)]
+    #[derive(Debug, Clone, Copy)]
     pub struct EpollEvent {
         pub events: u32,
         pub data: u64,
@@ -204,7 +218,7 @@ mod ffi {
 
     /// `struct pollfd`.
     #[repr(C)]
-    #[derive(Clone, Copy)]
+    #[derive(Debug, Clone, Copy)]
     pub struct PollFd {
         pub fd: c_int,
         pub events: i16,
@@ -230,6 +244,14 @@ mod ffi {
         #[cfg(not(target_os = "linux"))]
         pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
         pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        pub fn setsockopt(
+            sockfd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: c_uint,
+        ) -> c_int;
+        pub fn listen(sockfd: c_int, backlog: c_int) -> c_int;
         pub fn close(fd: c_int) -> c_int;
         pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
         // Drains the self-pipe waker of the poll(2) fallback backend.
@@ -275,6 +297,44 @@ pub fn wait_writable(fd: RawFd, timeout: Option<Duration>) -> io::Result<bool> {
     }
 }
 
+fn set_buf_opt(fd: RawFd, optname: i32, bytes: usize) -> io::Result<()> {
+    let val: i32 = i32::try_from(bytes).unwrap_or(i32::MAX);
+    cvt(unsafe {
+        ffi::setsockopt(
+            fd,
+            ffi::SOL_SOCKET,
+            optname,
+            (&raw const val).cast(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    })?;
+    Ok(())
+}
+
+/// Set `SO_SNDBUF` on a socket (the kernel may round the value). This
+/// is the shim's extension for servers that want small, deterministic
+/// send buffers — e.g. to exercise write-side backpressure in tests.
+pub fn set_send_buffer(fd: RawFd, bytes: usize) -> io::Result<()> {
+    set_buf_opt(fd, ffi::SO_SNDBUF, bytes)
+}
+
+/// Set `SO_RCVBUF` on a socket (the kernel may round the value).
+pub fn set_recv_buffer(fd: RawFd, bytes: usize) -> io::Result<()> {
+    set_buf_opt(fd, ffi::SO_RCVBUF, bytes)
+}
+
+/// Re-issue `listen(2)` on an already-listening socket to grow its
+/// accept backlog (capped by `net.core.somaxconn`). `std`'s bind uses a
+/// fixed backlog of 128, which a simultaneous connect storm overflows:
+/// the kernel then silently drops handshake ACKs and the surplus
+/// clients sit "connected" but never complete server-side. Linux (and
+/// the BSDs) permit updating the backlog with a second `listen` call.
+pub fn set_backlog(fd: RawFd, backlog: usize) -> io::Result<()> {
+    let val = i32::try_from(backlog).unwrap_or(i32::MAX);
+    cvt(unsafe { ffi::listen(fd, val) })?;
+    Ok(())
+}
+
 #[cfg(target_os = "linux")]
 mod sys {
     //! epoll backend.
@@ -287,12 +347,19 @@ mod sys {
     #[derive(Debug)]
     pub struct Selector {
         epfd: RawFd,
+        /// Kernel-facing event scratch, reused across polls so a poller
+        /// waking thousands of times per second performs no per-wakeup
+        /// allocation.
+        scratch: Vec<ffi::EpollEvent>,
     }
 
     impl Selector {
         pub fn new() -> io::Result<Selector> {
             let epfd = cvt(unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) })?;
-            Ok(Selector { epfd })
+            Ok(Selector {
+                epfd,
+                scratch: Vec::new(),
+            })
         }
 
         fn ctl(&self, op: i32, fd: RawFd, events: u32, token: Token) -> io::Result<()> {
@@ -333,10 +400,11 @@ mod sys {
             self.ctl(ffi::EPOLL_CTL_ADD, fd, ffi::EPOLLIN | ffi::EPOLLET, token)
         }
 
-        pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
             events.list.clear();
-            let mut buf =
-                vec![ffi::EpollEvent { events: 0, data: 0 }; events.capacity];
+            self.scratch
+                .resize(events.capacity, ffi::EpollEvent { events: 0, data: 0 });
+            let buf = &mut self.scratch;
             let r = unsafe {
                 ffi::epoll_wait(
                     self.epfd,
@@ -435,6 +503,10 @@ mod sys {
     #[derive(Debug, Default)]
     pub struct Selector {
         fds: Mutex<HashMap<RawFd, Entry>>,
+        /// Poll scratch, reused across calls (only the polling thread
+        /// touches these; registrations go through the mutex above).
+        entries: Vec<(RawFd, Entry)>,
+        pfds: Vec<ffi::PollFd>,
     }
 
     impl Selector {
@@ -490,29 +562,30 @@ mod sys {
             }
         }
 
-        pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
             events.list.clear();
-            let entries: Vec<(RawFd, Entry)> = {
+            self.entries.clear();
+            {
                 let fds = self.fds.lock().unwrap();
-                fds.iter().map(|(&fd, &e)| (fd, e)).collect()
-            };
-            let mut pfds: Vec<ffi::PollFd> = entries
-                .iter()
-                .map(|(fd, e)| ffi::PollFd {
-                    fd: *fd,
-                    events: {
-                        let mut bits = 0i16;
-                        if e.interest.is_readable() {
-                            bits |= ffi::POLLIN;
-                        }
-                        if e.interest.is_writable() {
-                            bits |= ffi::POLLOUT;
-                        }
-                        bits
-                    },
-                    revents: 0,
-                })
-                .collect();
+                self.entries.extend(fds.iter().map(|(&fd, &e)| (fd, e)));
+            }
+            let entries = &self.entries;
+            self.pfds.clear();
+            self.pfds.extend(entries.iter().map(|(fd, e)| ffi::PollFd {
+                fd: *fd,
+                events: {
+                    let mut bits = 0i16;
+                    if e.interest.is_readable() {
+                        bits |= ffi::POLLIN;
+                    }
+                    if e.interest.is_writable() {
+                        bits |= ffi::POLLOUT;
+                    }
+                    bits
+                },
+                revents: 0,
+            }));
+            let pfds = &mut self.pfds;
             let r = unsafe {
                 ffi::poll(pfds.as_mut_ptr(), pfds.len() as _, timeout_ms(timeout))
             };
@@ -525,7 +598,7 @@ mod sys {
             if n == 0 {
                 return Ok(());
             }
-            for (pfd, (_, entry)) in pfds.iter().zip(&entries) {
+            for (pfd, (_, entry)) in pfds.iter().zip(entries.iter()) {
                 if pfd.revents == 0 {
                     continue;
                 }

@@ -70,6 +70,24 @@ pub struct Metrics {
     /// [`Metrics::net_batch_hist`]): how many complete frames each
     /// reactor read burst produced.
     pub net_read_burst_hist: [u64; dido_net::BATCH_HIST_BUCKETS],
+    /// SD egress shard threads — a gauge, folded by last value.
+    pub net_sd_writer_threads: u64,
+    /// Connections retired because their egress queue stayed parked past
+    /// the stall deadline.
+    pub net_sd_stall_retired: u64,
+    /// Times an SD shard hit `WouldBlock` and parked a connection on
+    /// WRITABLE readiness.
+    pub net_sd_writable_parks: u64,
+    /// Times slow-consumer backpressure paused a connection's READ
+    /// interest in the reactor.
+    pub net_sd_read_pauses: u64,
+    /// Egress buffer-ring hits (recycled buffer served a response run).
+    pub net_sd_buf_hits: u64,
+    /// Egress buffer-ring misses (pool empty, fresh allocation).
+    pub net_sd_buf_misses: u64,
+    /// Highest per-connection pending egress bytes observed — folds by
+    /// max, like [`Metrics::net_ring_depth_max`].
+    pub net_sd_pending_hiwater: u64,
     /// Batches executed per configuration (display string → count).
     pub config_histogram: BTreeMap<String, u64>,
 }
@@ -128,6 +146,15 @@ impl Metrics {
         for (acc, v) in self.net_read_burst_hist.iter_mut().zip(stats.read_burst_hist) {
             *acc += v;
         }
+        self.net_sd_writer_threads = stats.sd_writer_threads;
+        self.net_sd_stall_retired += stats.sd_stall_retired;
+        self.net_sd_writable_parks += stats.sd_writable_parks;
+        self.net_sd_read_pauses += stats.sd_read_pauses;
+        self.net_sd_buf_hits += stats.sd_buf_hits;
+        self.net_sd_buf_misses += stats.sd_buf_misses;
+        self.net_sd_pending_hiwater = self
+            .net_sd_pending_hiwater
+            .max(stats.sd_pending_bytes_hiwater);
     }
 
     /// Mean frames aggregated per network dispatch (0 when the batched
@@ -234,6 +261,26 @@ impl fmt::Display for Metrics {
                 self.net_sd_pending_dropped
             )?;
         }
+        if self.net_sd_writer_threads > 0 {
+            let lookups = self.net_sd_buf_hits + self.net_sd_buf_misses;
+            let hit_rate = if lookups == 0 {
+                0.0
+            } else {
+                self.net_sd_buf_hits as f64 / lookups as f64
+            };
+            writeln!(
+                f,
+                "sd: {} writers, {} writable parks, {} read pauses, \
+                 {} stall-retired, buf-ring hit rate {:.3}, \
+                 pending hiwater {} B",
+                self.net_sd_writer_threads,
+                self.net_sd_writable_parks,
+                self.net_sd_read_pauses,
+                self.net_sd_stall_retired,
+                hit_rate,
+                self.net_sd_pending_hiwater
+            )?;
+        }
         for (cfg, count) in &self.config_histogram {
             writeln!(f, "  {count:>6} x {cfg}")?;
         }
@@ -319,6 +366,13 @@ mod tests {
             delayed_dispatches: 2,
             ring_depth_max: 12,
             batch_hist: hist_a,
+            sd_writer_threads: 2,
+            sd_stall_retired: 1,
+            sd_writable_parks: 4,
+            sd_read_pauses: 2,
+            sd_buf_hits: 30,
+            sd_buf_misses: 10,
+            sd_pending_bytes_hiwater: 8192,
             ..NetStatsSnapshot::default()
         });
         m.record_net_stats(&NetStatsSnapshot {
@@ -328,6 +382,10 @@ mod tests {
             reactor_threads: 4,
             reactor_conns: 60, // gauge: latest value replaces, not adds
             reactor_wakeups: 3,
+            sd_writer_threads: 2,
+            sd_writable_parks: 1,
+            sd_buf_hits: 10,
+            sd_pending_bytes_hiwater: 4096, // lower than prior max: keeps 8192
             ..NetStatsSnapshot::default()
         });
         assert_eq!(m.net_dispatches, 4);
@@ -344,10 +402,19 @@ mod tests {
         assert_eq!(m.net_reactor_wakeups, 10);
         assert_eq!(m.net_sd_pending_dropped, 2);
         assert_eq!(m.net_read_burst_hist[1], 5);
+        assert_eq!(m.net_sd_writer_threads, 2, "gauge folds by last value");
+        assert_eq!(m.net_sd_stall_retired, 1);
+        assert_eq!(m.net_sd_writable_parks, 5);
+        assert_eq!(m.net_sd_read_pauses, 2);
+        assert_eq!(m.net_sd_buf_hits, 40);
+        assert_eq!(m.net_sd_buf_misses, 10);
+        assert_eq!(m.net_sd_pending_hiwater, 8192, "hiwater folds by max");
         let s = m.to_string();
         assert!(s.contains("4 dispatches"), "{s}");
         assert!(s.contains("ring depth max 12"), "{s}");
         assert!(s.contains("4 readers carrying 60 conns"), "{s}");
+        assert!(s.contains("sd: 2 writers"), "{s}");
+        assert!(s.contains("hit rate 0.800"), "{s}");
     }
 
     #[test]

@@ -32,10 +32,12 @@
 mod nic;
 mod protocol;
 mod reactor;
+mod sd;
 mod server;
 mod trace;
 
 pub use nic::{FrameRing, Nic};
+pub use sd::{write_queue, BufRing};
 pub use server::{
     BatchConfig, DispatchMode, KvClient, KvServer, NetStatsSnapshot, ServerStats,
     BATCH_HIST_BUCKETS, MAX_FRAME_BYTES,

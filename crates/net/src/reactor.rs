@@ -23,14 +23,13 @@
 //! SD writer can close it.
 
 use crate::nic::FrameRing;
-use crate::server::{
-    overflow_answer_runs, Doorbell, FrameReader, ReadReady, SdMsg, ServerStats, TaggedFrame,
-    READ_CHUNK,
-};
+use crate::sd::SdPlane;
+use crate::server::{Doorbell, FrameReader, ReadReady, ServerStats, TaggedFrame, READ_CHUNK};
 use crossbeam::channel::{Receiver, Sender};
 use mio::{Events, Interest, Poll, Token, Waker};
 use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -57,16 +56,23 @@ const POLL_TIMEOUT: Duration = Duration::from_millis(500);
 #[derive(Clone)]
 pub(crate) struct ReactorShared {
     pub(crate) ring: Arc<FrameRing<TaggedFrame>>,
-    pub(crate) sd_tx: Sender<SdMsg>,
+    pub(crate) sd: Arc<SdPlane>,
     pub(crate) stats: Arc<ServerStats>,
     pub(crate) shutdown: Arc<AtomicBool>,
     pub(crate) doorbell: Arc<Doorbell>,
+    /// Shrink each accepted socket's kernel send buffer (`SO_SNDBUF`)
+    /// to this many bytes (`None` keeps the kernel default).
+    pub(crate) sndbuf_bytes: Option<usize>,
 }
 
 /// Commands to a reactor thread (kick the waker after sending).
 pub(crate) enum ReactorCmd {
     /// Adopt a freshly accepted connection's read half.
     Register { conn: u64, stream: TcpStream },
+    /// Pause (`resume: false`) or resume (`resume: true`) a
+    /// connection's READ interest — the SD plane's slow-consumer
+    /// backpressure actuator.
+    SetRead { conn: u64, resume: bool },
 }
 
 /// Resolve a configured reader count: `0` means `min(4, cores)`.
@@ -112,6 +118,8 @@ struct ConnState {
     reader: FrameReader,
     /// Next sequence number to assign to a carved frame.
     seq: u64,
+    /// READ interest is currently deregistered (SD backpressure).
+    paused: bool,
 }
 
 /// Listener state, owned by reactor 0.
@@ -123,16 +131,46 @@ struct Acceptor {
     peer_wakers: Vec<Arc<Waker>>,
 }
 
-/// Spawn the pool: `readers` reactor threads (resolved through
-/// [`effective_readers`]), with the accept loop folded into reactor 0.
-pub(crate) fn spawn_reactor_pool(
-    listener: TcpListener,
-    readers: usize,
-    shared: ReactorShared,
-) -> std::io::Result<ReactorPool> {
-    let n = effective_readers(readers);
-    shared.stats.reactor_threads.store(n as u64, Ordering::Relaxed);
+/// The reactor pool's polls and command queues, built *before* any
+/// thread spawns so other planes (the SD egress shards) can hold
+/// command handles from birth.
+pub(crate) struct ReactorScaffold {
+    polls: Vec<Poll>,
+    wakers: Vec<Arc<Waker>>,
+    cmd_txs: Vec<Sender<ReactorCmd>>,
+    cmd_rxs: Vec<Receiver<ReactorCmd>>,
+}
 
+/// Cross-plane handle to the reactor pool's command queues: lets the SD
+/// egress shards pause/resume a connection's READ interest without
+/// touching reactor state directly.
+pub(crate) struct ReactorHandles {
+    cmd_txs: Vec<Sender<ReactorCmd>>,
+    wakers: Vec<Arc<Waker>>,
+}
+
+impl ReactorHandles {
+    /// Ask the reactor owning `conn` to pause or resume its READ
+    /// interest. Routing mirrors the accept-time round-robin, so the
+    /// command lands on the thread that owns the connection.
+    pub(crate) fn set_read(&self, conn: u64, resume: bool) {
+        let target = (conn as usize) % self.cmd_txs.len();
+        if self.cmd_txs[target]
+            .send(ReactorCmd::SetRead { conn, resume })
+            .is_ok()
+        {
+            let _ = self.wakers[target].wake();
+        }
+    }
+}
+
+/// Build `n` reactors' polls, wakers, and command queues (no threads
+/// yet). The scaffold is consumed by [`spawn_reactor_pool`]; the
+/// handles go to whoever needs the command path.
+pub(crate) fn build_reactor_scaffold(
+    n: usize,
+) -> std::io::Result<(ReactorScaffold, ReactorHandles)> {
+    let n = n.max(1);
     let mut polls = Vec::with_capacity(n);
     let mut wakers = Vec::with_capacity(n);
     let mut cmd_txs = Vec::with_capacity(n);
@@ -146,6 +184,36 @@ pub(crate) fn spawn_reactor_pool(
         cmd_txs.push(tx);
         cmd_rxs.push(rx);
     }
+    let handles = ReactorHandles {
+        cmd_txs: cmd_txs.clone(),
+        wakers: wakers.clone(),
+    };
+    Ok((
+        ReactorScaffold {
+            polls,
+            wakers,
+            cmd_txs,
+            cmd_rxs,
+        },
+        handles,
+    ))
+}
+
+/// Spawn the pool over a prebuilt scaffold, with the accept loop folded
+/// into reactor 0.
+pub(crate) fn spawn_reactor_pool(
+    listener: TcpListener,
+    scaffold: ReactorScaffold,
+    shared: ReactorShared,
+) -> std::io::Result<ReactorPool> {
+    let ReactorScaffold {
+        polls,
+        wakers,
+        cmd_txs,
+        cmd_rxs,
+    } = scaffold;
+    let n = polls.len();
+    shared.stats.reactor_threads.store(n as u64, Ordering::Relaxed);
 
     listener.set_nonblocking(true)?;
     polls[0]
@@ -227,6 +295,9 @@ fn run_reactor(
                 ReactorCmd::Register { conn, stream } => {
                     register_conn(&poll, &mut conns, conn, stream, shared);
                 }
+                ReactorCmd::SetRead { conn, resume } => {
+                    set_read_interest(&poll, &mut conns, conn, resume, shared);
+                }
             }
         }
     }
@@ -235,17 +306,46 @@ fn run_reactor(
     // were queued but never adopted.
     let live = conns.len() as u64;
     for (_, c) in conns.drain() {
-        let _ = shared.sd_tx.send(SdMsg::Eof {
-            conn: c.conn,
-            frames_read: c.seq,
-        });
+        shared.sd.send_eof(c.conn, c.seq);
     }
     shared.stats.reactor_conns.fetch_sub(live, Ordering::Relaxed);
-    while let Ok(ReactorCmd::Register { conn, .. }) = cmd_rx.try_recv() {
-        let _ = shared.sd_tx.send(SdMsg::Eof {
-            conn,
-            frames_read: 0,
-        });
+    while let Ok(cmd) = cmd_rx.try_recv() {
+        if let ReactorCmd::Register { conn, .. } = cmd {
+            shared.sd.send_eof(conn, 0);
+        }
+    }
+}
+
+/// Apply an SD-plane backpressure command: deregister a paused
+/// connection's READ interest, or re-register it on resume. A resume
+/// that cannot re-register retires the connection (it would otherwise
+/// be stranded forever — no readiness events, no EOF).
+fn set_read_interest(
+    poll: &Poll,
+    conns: &mut HashMap<usize, ConnState>,
+    conn: u64,
+    resume: bool,
+    shared: &ReactorShared,
+) {
+    let tok = CONN_TOKEN_BASE + conn as usize;
+    let Some(c) = conns.get_mut(&tok) else {
+        return; // already retired; the SD plane learns via Eof
+    };
+    if resume && c.paused {
+        if poll
+            .registry()
+            .register(&c.stream, Token(tok), Interest::READABLE)
+            .is_ok()
+        {
+            c.paused = false;
+        } else {
+            let c = conns.remove(&tok).expect("conn just found");
+            shared.sd.send_eof(c.conn, c.seq);
+            shared.stats.reactor_conns.fetch_sub(1, Ordering::Relaxed);
+        }
+    } else if !resume && !c.paused {
+        let _ = poll.registry().deregister(&c.stream);
+        c.paused = true;
     }
 }
 
@@ -265,18 +365,20 @@ fn accept_ready(
                 if stream.set_nonblocking(true).is_err() {
                     continue; // connection dies; client sees a close
                 }
+                if let Some(bytes) = shared.sndbuf_bytes {
+                    // Best-effort: a failed shrink just means the kernel
+                    // default stays, which is always safe.
+                    let _ = mio::set_send_buffer(stream.as_raw_fd(), bytes);
+                }
                 let Ok(write_half) = stream.try_clone() else {
                     continue;
                 };
                 shared.stats.connections.fetch_add(1, Ordering::Relaxed);
                 let conn = a.next_conn;
                 a.next_conn += 1;
-                // Open must reach the SD writer before any response (or
+                // Open must reach the SD plane before any response (or
                 // drop-answer) for this connection can.
-                let _ = shared.sd_tx.send(SdMsg::Open {
-                    conn,
-                    stream: write_half,
-                });
+                shared.sd.send_open(conn, write_half);
                 let target = (conn as usize) % a.peers.len();
                 if target == idx {
                     register_conn(poll, conns, conn, stream, shared);
@@ -287,6 +389,10 @@ fn accept_ready(
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // A peer that aborted while queued is its problem, not the
+            // listener's: under a connect storm ECONNABORTED is routine
+            // and must not retire the accept path.
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => continue,
             Err(_) => return false,
         }
     }
@@ -306,10 +412,7 @@ fn register_conn(
         .is_err()
     {
         // Unwatchable: retire immediately so the SD writer closes it.
-        let _ = shared.sd_tx.send(SdMsg::Eof {
-            conn,
-            frames_read: 0,
-        });
+        shared.sd.send_eof(conn, 0);
         return;
     }
     conns.insert(
@@ -319,6 +422,7 @@ fn register_conn(
             stream,
             reader: FrameReader::new(),
             seq: 0,
+            paused: false,
         },
     );
     shared.stats.reactor_conns.fetch_add(1, Ordering::Relaxed);
@@ -361,19 +465,17 @@ fn handle_conn_ready(
                 .stats
                 .dropped_frames
                 .fetch_add(tagged.len() as u64, Ordering::Relaxed);
-            let runs = overflow_answer_runs(tagged);
-            let _ = shared.sd_tx.send(SdMsg::Runs { conn: c.conn, runs });
+            shared.sd.overflow_answers(c.conn, tagged);
         }
     }
     if !matches!(status, Ok(ReadReady::Open)) {
         // Clean EOF, mid-frame EOF, or a fatal read/frame error: either
         // way the connection is done producing frames.
         let c = conns.remove(&tok).expect("conn just found");
-        let _ = poll.registry().deregister(&c.stream);
-        let _ = shared.sd_tx.send(SdMsg::Eof {
-            conn: c.conn,
-            frames_read: c.seq,
-        });
+        if !c.paused {
+            let _ = poll.registry().deregister(&c.stream);
+        }
+        shared.sd.send_eof(c.conn, c.seq);
         shared.stats.reactor_conns.fetch_sub(1, Ordering::Relaxed);
     }
 }

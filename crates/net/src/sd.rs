@@ -1,0 +1,893 @@
+//! SD egress plane: sharded, readiness-driven response writers.
+//!
+//! PR 3's SD stage was one blocking thread that serviced every socket:
+//! a single stalled peer parked the whole server in `wait_writable` for
+//! up to 30 s, every wakeup re-deduplicated touched connections with a
+//! linear scan, and every dispatch allocated fresh response buffers and
+//! iovec scratch. This module replaces it with a small fixed pool of
+//! *shards* (see [`effective_sd_writers`]): connections map to shards
+//! by id, and each shard owns its connections' write halves, reorder
+//! buffers, and a `compat-mio` [`Poll`] instance of its own.
+//!
+//! Three properties the old writer lacked:
+//!
+//! * **Write-side readiness.** A socket that returns `WouldBlock` is
+//!   registered for WRITABLE interest and its pending runs stay parked
+//!   per-connection; the shard keeps servicing every other socket. The
+//!   blanket 30 s stall becomes a per-connection deadline
+//!   ([`BatchConfig::sd_stall_timeout`]) that retires only the stalled
+//!   peer (counted in `ServerStats::sd_stall_retired`).
+//! * **Buffer-reuse rings.** Encoded-response `BytesMut` buffers cycle
+//!   through a per-shard [`BufRing`] (pelikan `buf_ring` style):
+//!   dispatchers draw recycled buffers when encoding, the shard returns
+//!   them after the bytes hit the wire, and the vectored-write scratch
+//!   is a stack array — steady-state egress performs zero allocations
+//!   (audited by `crates/net/tests/sd_alloc.rs`).
+//! * **Slow-consumer backpressure.** Each connection's not-yet-written
+//!   bytes are tracked; crossing [`BatchConfig::sd_hiwater_bytes`]
+//!   pauses that connection's READ interest in its reactor (resumed at
+//!   half the mark), so an un-drained client is bounded by the
+//!   watermark plus in-flight frames instead of growing without limit.
+//!
+//! The ordering contract is unchanged: `Open` reaches a shard's channel
+//! before any run or `Eof` for that connection can (the reactor sends
+//! `Open` before registering the read half), and the channel is FIFO,
+//! so per-connection sequence numbers still reorder exactly as before.
+
+use crate::protocol::encode_responses_wire_into;
+use crate::reactor::ReactorHandles;
+use crate::server::{ServerStats, TaggedFrame};
+use bytes::BytesMut;
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use mio::{Events, Interest, Poll, Token, Waker};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{IoSlice, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Token of each shard's waker.
+const WAKER_TOKEN: Token = Token(0);
+/// Connection tokens start here: `CONN_TOKEN_BASE + conn id`.
+const CONN_TOKEN_BASE: usize = 1;
+
+/// Fallback poll timeout: wakeups are event-driven, this only bounds
+/// how long a lost signal (or the teardown disconnect, which cannot
+/// wake an already-parked poll) could go unnoticed.
+const POLL_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Most buffers one vectored write submits. `IoSlice` is `Copy`, so the
+/// scratch is a stack array — no heap iovec per write (satellite of the
+/// zero-allocation audit).
+const SD_IOV_MAX: usize = 64;
+
+/// Recycled buffers one shard's ring retains.
+const BUF_RING_SLOTS: usize = 1024;
+
+/// Largest buffer the ring recycles; responses that ballooned past this
+/// are dropped so one huge frame cannot pin its capacity forever.
+const BUF_MAX_RECYCLE: usize = 256 << 10;
+
+/// Recycled dispatch-batch vectors one shard retains.
+const MSG_POOL_SLOTS: usize = 32;
+
+/// Resolve a configured SD writer count: `0` means `min(2, cores/2)`
+/// with a floor of one — egress is cheaper than framing or dispatch, so
+/// it gets a small slice of the machine by default.
+#[must_use]
+pub(crate) fn effective_sd_writers(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        (std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            / 2)
+        .clamp(1, 2)
+    }
+}
+
+/// A contiguous range of response frames for one connection, already in
+/// wire form (length prefixes included): frames `first_seq ..
+/// first_seq + count` back-to-back in `bytes`. The buffer is drawn from
+/// and returned to a shard's [`BufRing`].
+pub(crate) struct ResponseRun {
+    pub(crate) first_seq: u64,
+    pub(crate) count: u64,
+    pub(crate) bytes: BytesMut,
+}
+
+/// One dispatch's output for a single shard: `(conn, run)` pairs in
+/// slot order. The vector itself is pooled (see [`SdPlane::take_batch`])
+/// so the dispatch hot path allocates nothing.
+pub(crate) type RunBatch = Vec<(u64, ResponseRun)>;
+
+/// Messages to one SD shard.
+pub(crate) enum SdMsg {
+    /// A connection was accepted; `stream` is its write half.
+    Open { conn: u64, stream: TcpStream },
+    /// Response runs for one connection (reactor overflow answers).
+    Runs { conn: u64, runs: Vec<ResponseRun> },
+    /// One dispatch's runs for this shard's connections.
+    Batch(RunBatch),
+    /// The reactor consumed `frames_read` frames total and retired the
+    /// read side; the connection closes once every response below that
+    /// is on the wire.
+    Eof { conn: u64, frames_read: u64 },
+}
+
+/// A pool of recycled `BytesMut` buffers (pelikan `buf_ring` style).
+/// `get` pops a cleared buffer whose capacity survived its last trip to
+/// the wire; `put` returns one, dropping it if the ring is full or the
+/// buffer outgrew [`BUF_MAX_RECYCLE`]-style bounds. Hit/miss counters
+/// feed the egress gauges.
+pub struct BufRing {
+    free: Mutex<Vec<BytesMut>>,
+    slots: usize,
+    max_recycle: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BufRing {
+    /// Ring retaining up to `slots` buffers of at most `max_recycle`
+    /// capacity each.
+    #[must_use]
+    pub fn new(slots: usize, max_recycle: usize) -> BufRing {
+        BufRing {
+            free: Mutex::new(Vec::with_capacity(slots)),
+            slots,
+            max_recycle,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Pop a recycled buffer (cleared, capacity preserved), or a fresh
+    /// empty one if the ring is dry.
+    #[must_use]
+    pub fn get(&self) -> BytesMut {
+        match self.free.lock().pop() {
+            Some(mut b) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                b.clear();
+                b
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                BytesMut::new()
+            }
+        }
+    }
+
+    /// Return a buffer to the ring. Buffers that never grew a capacity,
+    /// outgrew the recycle bound, or arrive with the ring full are
+    /// simply dropped.
+    pub fn put(&self, buf: BytesMut) {
+        if buf.capacity() == 0 || buf.capacity() > self.max_recycle {
+            return;
+        }
+        let mut free = self.free.lock();
+        if free.len() < self.slots {
+            free.push(buf);
+        }
+    }
+
+    /// Buffers served from the ring.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Buffers that had to be freshly allocated.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-shard handle held by the plane: the channel, the waker that
+/// unparks the shard's poll, and the shard's buffer pools (shared with
+/// dispatchers, which draw from them when encoding).
+struct SdShardHandle {
+    tx: Sender<SdMsg>,
+    waker: Arc<Waker>,
+    bufs: Arc<BufRing>,
+    msgs: Arc<Mutex<Vec<RunBatch>>>,
+}
+
+/// The dispatchers' and reactors' handle to the egress plane: routes
+/// per-connection traffic to the owning shard. Dropping the last clone
+/// closes every shard's channel and wakes it, which is what lets the
+/// shard threads exit at teardown.
+pub(crate) struct SdPlane {
+    shards: Vec<SdShardHandle>,
+}
+
+impl SdPlane {
+    #[must_use]
+    pub(crate) fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[must_use]
+    pub(crate) fn shard_of(&self, conn: u64) -> usize {
+        (conn % self.shards.len() as u64) as usize
+    }
+
+    /// Draw a recycled encode buffer from `shard`'s ring.
+    #[must_use]
+    pub(crate) fn get_buf(&self, shard: usize) -> BytesMut {
+        self.shards[shard].bufs.get()
+    }
+
+    /// Draw a recycled dispatch-batch vector for `shard`.
+    #[must_use]
+    pub(crate) fn take_batch(&self, shard: usize) -> RunBatch {
+        self.shards[shard].msgs.lock().pop().unwrap_or_default()
+    }
+
+    /// Send one dispatch's runs to `shard` and wake it.
+    pub(crate) fn send_batch(&self, shard: usize, batch: RunBatch) {
+        let h = &self.shards[shard];
+        if h.tx.send(SdMsg::Batch(batch)).is_ok() {
+            let _ = h.waker.wake();
+        }
+    }
+
+    /// Announce an accepted connection's write half to its shard. Must
+    /// happen before the read half registers with a reactor, so the
+    /// FIFO channel delivers `Open` before any run or `Eof`.
+    pub(crate) fn send_open(&self, conn: u64, stream: TcpStream) {
+        let h = &self.shards[self.shard_of(conn)];
+        if h.tx.send(SdMsg::Open { conn, stream }).is_ok() {
+            let _ = h.waker.wake();
+        }
+    }
+
+    /// Mark a connection's read side done after `frames_read` frames.
+    pub(crate) fn send_eof(&self, conn: u64, frames_read: u64) {
+        let h = &self.shards[self.shard_of(conn)];
+        if h.tx.send(SdMsg::Eof { conn, frames_read }).is_ok() {
+            let _ = h.waker.wake();
+        }
+    }
+
+    /// Answer ring-overflow drops with empty response frames, one per
+    /// dropped request, so the connection's sequence numbering never
+    /// develops a hole (see `ServerStats::dropped_frames`). Buffers come
+    /// from the owning shard's ring like every other run.
+    pub(crate) fn overflow_answers(&self, conn: u64, tagged: &mut Vec<TaggedFrame>) {
+        let shard = self.shard_of(conn);
+        let runs: Vec<ResponseRun> = tagged
+            .drain(..)
+            .map(|t| {
+                let mut bytes = self.get_buf(shard);
+                encode_responses_wire_into(&mut bytes, &[]);
+                ResponseRun {
+                    first_seq: t.seq,
+                    count: 1,
+                    bytes,
+                }
+            })
+            .collect();
+        let h = &self.shards[shard];
+        if h.tx.send(SdMsg::Runs { conn, runs }).is_ok() {
+            let _ = h.waker.wake();
+        }
+    }
+}
+
+impl Drop for SdPlane {
+    fn drop(&mut self) {
+        // Close each shard's channel *before* waking it: shard threads
+        // hold their own waker clones, so the eventfd outlives this
+        // handle and a parked shard observes the disconnect promptly
+        // instead of after the fallback poll timeout.
+        for h in self.shards.drain(..) {
+            let SdShardHandle { tx, waker, .. } = h;
+            drop(tx);
+            let _ = waker.wake();
+        }
+    }
+}
+
+/// Everything one shard thread needs, built before any thread spawns.
+pub(crate) struct SdShardPart {
+    poll: Poll,
+    rx: Receiver<SdMsg>,
+    waker: Arc<Waker>,
+    bufs: Arc<BufRing>,
+    msgs: Arc<Mutex<Vec<RunBatch>>>,
+}
+
+/// Shard-loop knobs resolved from `BatchConfig`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SdShardCfg {
+    /// Per-connection unwritable deadline before the peer is retired.
+    pub(crate) stall: Duration,
+    /// Pending-bytes mark that pauses the connection's reactor reads.
+    pub(crate) hiwater: usize,
+    /// Mark below which paused reads resume (half the high water).
+    pub(crate) lowater: usize,
+}
+
+impl SdShardCfg {
+    pub(crate) fn new(stall: Duration, hiwater: usize) -> SdShardCfg {
+        let hiwater = hiwater.max(1);
+        SdShardCfg {
+            stall,
+            hiwater,
+            lowater: hiwater / 2,
+        }
+    }
+}
+
+/// Build the plane and its per-shard parts (one [`Poll`] + waker +
+/// channel + buffer pools each). Shard threads are spawned by the
+/// caller from the returned parts.
+pub(crate) fn build_sd_plane(n: usize) -> std::io::Result<(SdPlane, Vec<SdShardPart>)> {
+    let n = n.max(1);
+    let mut shards = Vec::with_capacity(n);
+    let mut parts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let poll = Poll::new()?;
+        let waker = Arc::new(Waker::new(poll.registry(), WAKER_TOKEN)?);
+        let (tx, rx) = channel::unbounded::<SdMsg>();
+        let bufs = Arc::new(BufRing::new(BUF_RING_SLOTS, BUF_MAX_RECYCLE));
+        let msgs = Arc::new(Mutex::new(Vec::with_capacity(MSG_POOL_SLOTS)));
+        shards.push(SdShardHandle {
+            tx,
+            waker: Arc::clone(&waker),
+            bufs: Arc::clone(&bufs),
+            msgs: Arc::clone(&msgs),
+        });
+        parts.push(SdShardPart {
+            poll,
+            rx,
+            waker,
+            bufs,
+            msgs,
+        });
+    }
+    Ok((SdPlane { shards }, parts))
+}
+
+/// Per-connection state inside one SD shard.
+struct SdConn {
+    stream: TcpStream,
+    /// Next sequence number owed to the client.
+    next: u64,
+    /// Total frames the reader consumed, once known.
+    eof: Option<u64>,
+    /// Out-of-order runs: first_seq → (frame count, wire bytes). The
+    /// in-order common case bypasses this map entirely (runs go
+    /// straight to `queue`), keeping the steady state allocation-free.
+    pending: BTreeMap<u64, (u64, BytesMut)>,
+    /// In-order runs not yet (fully) written; front buffer may be
+    /// partially consumed (`head_written`).
+    queue: VecDeque<BytesMut>,
+    /// Bytes of `queue.front()` already on the wire.
+    head_written: usize,
+    /// Bytes parked or queued but not yet written (backpressure input).
+    unsent: usize,
+    /// Registered for WRITABLE interest since this instant (the socket
+    /// returned `WouldBlock` and made no progress after).
+    parked: Option<Instant>,
+    /// This connection's reactor READ interest is currently paused.
+    read_paused: bool,
+    /// A write failed; stop writing but keep consuming messages until
+    /// EOF so the connection can still be retired.
+    dead: bool,
+    /// Already queued for service this wakeup (O(1) touch dedupe —
+    /// the old writer's `touched.contains` scan was quadratic in the
+    /// number of touched connections per wakeup).
+    touched: bool,
+}
+
+impl SdConn {
+    /// Whether every response owed to the client is on the wire (or the
+    /// socket died), so the connection can be closed.
+    fn done(&self) -> bool {
+        match self.eof {
+            Some(total) => self.dead || (self.next >= total && self.queue.is_empty()),
+            None => false,
+        }
+    }
+}
+
+/// Everything `service_conn` and friends need besides the connection.
+struct ShardCtx<'a> {
+    registry: &'a mio::Registry,
+    bufs: &'a BufRing,
+    reactors: &'a ReactorHandles,
+    stats: &'a ServerStats,
+    cfg: SdShardCfg,
+}
+
+/// One shard's event loop: drain the channel, service touched
+/// connections, poll for writability, sweep stall deadlines.
+pub(crate) fn run_sd_shard(
+    part: SdShardPart,
+    cfg: SdShardCfg,
+    reactors: Arc<ReactorHandles>,
+    stats: Arc<ServerStats>,
+) {
+    let SdShardPart {
+        mut poll,
+        rx,
+        waker: _waker, // keeps the eventfd alive past the plane's drop
+        bufs,
+        msgs,
+    } = part;
+    let mut events = Events::with_capacity(1024);
+    let mut ready: Vec<Token> = Vec::new();
+    let mut conns: HashMap<u64, SdConn> = HashMap::new();
+    let mut touched: Vec<u64> = Vec::new();
+    // Earliest instant any parked connection could hit its stall
+    // deadline; `None` while nothing is parked.
+    let mut next_sweep: Option<Instant> = None;
+    // Ring counters fold into the shared stats as deltas so multiple
+    // shards (and the dispatchers drawing from their rings) sum.
+    let (mut last_hits, mut last_misses) = (0u64, 0u64);
+    let mut disconnected = false;
+    loop {
+        // Apply every queued message, then service each touched
+        // connection once.
+        touched.clear();
+        loop {
+            match rx.try_recv() {
+                Ok(msg) => apply_msg(
+                    msg,
+                    &mut conns,
+                    &mut touched,
+                    &msgs,
+                    &ShardCtx {
+                        registry: poll.registry(),
+                        bufs: &bufs,
+                        reactors: &reactors,
+                        stats: &stats,
+                        cfg,
+                    },
+                ),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        for &conn in &touched {
+            let ctx = ShardCtx {
+                registry: poll.registry(),
+                bufs: &bufs,
+                reactors: &reactors,
+                stats: &stats,
+                cfg,
+            };
+            service_and_maybe_retire(conn, &mut conns, &ctx, &mut next_sweep);
+        }
+        fold_ring_stats(&bufs, &stats, &mut last_hits, &mut last_misses);
+        if disconnected {
+            break;
+        }
+        let timeout = match next_sweep {
+            Some(at) => at
+                .saturating_duration_since(Instant::now())
+                .min(POLL_TIMEOUT),
+            None => POLL_TIMEOUT,
+        };
+        if poll.poll(&mut events, Some(timeout)).is_err() {
+            break; // broken selector: tear down rather than spin
+        }
+        ready.clear();
+        ready.extend(events.iter().map(|e| e.token()));
+        for &tok in &ready {
+            if tok == WAKER_TOKEN {
+                continue; // channel is drained at the top of the loop
+            }
+            let conn = (tok.0 - CONN_TOKEN_BASE) as u64;
+            let ctx = ShardCtx {
+                registry: poll.registry(),
+                bufs: &bufs,
+                reactors: &reactors,
+                stats: &stats,
+                cfg,
+            };
+            service_and_maybe_retire(conn, &mut conns, &ctx, &mut next_sweep);
+        }
+        if next_sweep.is_some_and(|at| Instant::now() >= at) {
+            let ctx = ShardCtx {
+                registry: poll.registry(),
+                bufs: &bufs,
+                reactors: &reactors,
+                stats: &stats,
+                cfg,
+            };
+            next_sweep = sweep_stalls(&mut conns, &ctx);
+        }
+    }
+    // Teardown (all plane handles dropped): every queued message has
+    // been applied and every touched connection serviced once above.
+    // Retire the survivors so gauges and leak counters stay truthful,
+    // then drop the write halves to disconnect the clients.
+    for (_, mut c) in conns.drain() {
+        free_unwritten(&mut c, &ShardCtx {
+            registry: poll.registry(),
+            bufs: &bufs,
+            reactors: &reactors,
+            stats: &stats,
+            cfg,
+        });
+        stats.sd_open_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+    fold_ring_stats(&bufs, &stats, &mut last_hits, &mut last_misses);
+}
+
+/// Fold the ring's cumulative hit/miss counters into the shared stats
+/// as deltas (dispatchers bump the ring from their side, so the shard
+/// is the single folder per ring).
+fn fold_ring_stats(bufs: &BufRing, stats: &ServerStats, last_hits: &mut u64, last_misses: &mut u64) {
+    let (h, m) = (bufs.hits(), bufs.misses());
+    if h != *last_hits {
+        stats.sd_buf_hits.fetch_add(h - *last_hits, Ordering::Relaxed);
+        *last_hits = h;
+    }
+    if m != *last_misses {
+        stats
+            .sd_buf_misses
+            .fetch_add(m - *last_misses, Ordering::Relaxed);
+        *last_misses = m;
+    }
+}
+
+fn apply_msg(
+    msg: SdMsg,
+    conns: &mut HashMap<u64, SdConn>,
+    touched: &mut Vec<u64>,
+    msg_pool: &Mutex<Vec<RunBatch>>,
+    ctx: &ShardCtx<'_>,
+) {
+    match msg {
+        SdMsg::Open { conn, stream } => {
+            ctx.stats.sd_open_conns.fetch_add(1, Ordering::Relaxed);
+            conns.insert(
+                conn,
+                SdConn {
+                    stream,
+                    next: 0,
+                    eof: None,
+                    pending: BTreeMap::new(),
+                    queue: VecDeque::new(),
+                    head_written: 0,
+                    unsent: 0,
+                    parked: None,
+                    read_paused: false,
+                    dead: false,
+                    touched: false,
+                },
+            );
+        }
+        SdMsg::Runs { conn, runs } => {
+            if let Some(c) = conns.get_mut(&conn) {
+                for r in runs {
+                    park_run(c, r, ctx);
+                }
+                touch(conn, c, touched);
+            } else {
+                ctx.stats
+                    .sd_pending_dropped
+                    .fetch_add(runs.len() as u64, Ordering::Relaxed);
+                for r in runs {
+                    ctx.bufs.put(r.bytes);
+                }
+            }
+        }
+        SdMsg::Batch(mut batch) => {
+            for (conn, run) in batch.drain(..) {
+                match conns.get_mut(&conn) {
+                    Some(c) => {
+                        park_run(c, run, ctx);
+                        touch(conn, c, touched);
+                    }
+                    None => {
+                        // Already retired (e.g. stall-retired while the
+                        // dispatch was in flight); the run can never be
+                        // delivered.
+                        ctx.stats
+                            .sd_pending_dropped
+                            .fetch_add(1, Ordering::Relaxed);
+                        ctx.bufs.put(run.bytes);
+                    }
+                }
+            }
+            // Return the emptied vector so the dispatcher's next
+            // scatter reuses its capacity.
+            let mut pool = msg_pool.lock();
+            if pool.len() < MSG_POOL_SLOTS {
+                pool.push(batch);
+            }
+        }
+        SdMsg::Eof { conn, frames_read } => {
+            if let Some(c) = conns.get_mut(&conn) {
+                c.eof = Some(frames_read);
+                touch(conn, c, touched);
+            }
+        }
+    }
+}
+
+fn touch(conn: u64, c: &mut SdConn, touched: &mut Vec<u64>) {
+    if !c.touched {
+        c.touched = true;
+        touched.push(conn);
+    }
+}
+
+/// Park one response run: straight onto the write queue when it is the
+/// next run in sequence (the common case — no tree node churn), into
+/// the reorder map otherwise. Runs for a dead socket are freed at once.
+fn park_run(c: &mut SdConn, run: ResponseRun, ctx: &ShardCtx<'_>) {
+    if c.dead {
+        ctx.stats
+            .sd_pending_dropped
+            .fetch_add(1, Ordering::Relaxed);
+        ctx.bufs.put(run.bytes);
+        return;
+    }
+    c.unsent += run.bytes.len();
+    if run.first_seq == c.next && c.pending.is_empty() {
+        c.next += run.count;
+        c.queue.push_back(run.bytes);
+    } else {
+        c.pending.insert(run.first_seq, (run.count, run.bytes));
+    }
+}
+
+/// Service one connection (promote, write, park/unpark, backpressure)
+/// and retire it when done.
+fn service_and_maybe_retire(
+    conn: u64,
+    conns: &mut HashMap<u64, SdConn>,
+    ctx: &ShardCtx<'_>,
+    next_sweep: &mut Option<Instant>,
+) {
+    let Some(c) = conns.get_mut(&conn) else {
+        return; // stale event or double touch after retire
+    };
+    c.touched = false;
+    service_conn(conn, c, ctx, next_sweep);
+    if c.done() {
+        let mut c = conns.remove(&conn).expect("conn just found");
+        free_unwritten(&mut c, ctx);
+        ctx.stats.sd_open_conns.fetch_sub(1, Ordering::Relaxed);
+        // The write half drops here: the client sees EOF.
+    }
+}
+
+fn service_conn(
+    conn: u64,
+    c: &mut SdConn,
+    ctx: &ShardCtx<'_>,
+    next_sweep: &mut Option<Instant>,
+) {
+    // Promote every in-order run from the reorder map to the queue.
+    while let Some((count, bytes)) = c.pending.remove(&c.next) {
+        c.next += count;
+        c.queue.push_back(bytes);
+    }
+    if !c.dead && !c.queue.is_empty() {
+        match write_queue(&mut c.stream, &mut c.queue, &mut c.head_written, ctx.bufs) {
+            Ok((written, blocked)) => {
+                c.unsent -= written;
+                if blocked {
+                    if c.parked.is_none() {
+                        if ctx
+                            .registry
+                            .register(
+                                &c.stream,
+                                Token(CONN_TOKEN_BASE + conn as usize),
+                                Interest::WRITABLE,
+                            )
+                            .is_ok()
+                        {
+                            ctx.stats
+                                .sd_writable_parks
+                                .fetch_add(1, Ordering::Relaxed);
+                            c.parked = Some(Instant::now());
+                        } else {
+                            mark_dead(conn, c, ctx);
+                        }
+                    } else if written > 0 {
+                        // Partial progress restarts the stall clock:
+                        // the deadline measures *continuous* stall.
+                        c.parked = Some(Instant::now());
+                    }
+                    if let Some(since) = c.parked {
+                        let deadline = since + ctx.cfg.stall;
+                        *next_sweep = Some(match *next_sweep {
+                            Some(at) => at.min(deadline),
+                            None => deadline,
+                        });
+                    }
+                } else {
+                    let _ = c.stream.flush();
+                    if c.parked.take().is_some() {
+                        let _ = ctx.registry.deregister(&c.stream);
+                    }
+                }
+            }
+            Err(_) => mark_dead(conn, c, ctx),
+        }
+    }
+    if !c.dead {
+        ctx.stats
+            .sd_pending_bytes_hiwater
+            .fetch_max(c.unsent as u64, Ordering::Relaxed);
+        if !c.read_paused && c.unsent > ctx.cfg.hiwater {
+            c.read_paused = true;
+            ctx.stats.sd_read_pauses.fetch_add(1, Ordering::Relaxed);
+            ctx.reactors.set_read(conn, false);
+        } else if c.read_paused && c.unsent <= ctx.cfg.lowater {
+            c.read_paused = false;
+            ctx.reactors.set_read(conn, true);
+        }
+    }
+}
+
+/// The socket can take no more responses (write error, or retired by
+/// the stall sweep): free everything parked, undo watch/pause state,
+/// and shut the socket down both ways so the reactor — which still owns
+/// the shared file description's read half — observes it and posts the
+/// `Eof` that lets the connection retire.
+fn mark_dead(conn: u64, c: &mut SdConn, ctx: &ShardCtx<'_>) {
+    c.dead = true;
+    free_unwritten(c, ctx);
+    if c.read_paused {
+        c.read_paused = false;
+        // Resume reads so the paused (deregistered) read half gets
+        // re-registered and the reactor can observe the shutdown.
+        ctx.reactors.set_read(conn, true);
+    }
+    let _ = c.stream.shutdown(Shutdown::Both);
+}
+
+/// Count and free every run this connection will never deliver,
+/// returning the buffers to the shard's ring.
+fn free_unwritten(c: &mut SdConn, ctx: &ShardCtx<'_>) {
+    let undelivered = (c.queue.len() + c.pending.len()) as u64;
+    if undelivered > 0 {
+        ctx.stats
+            .sd_pending_dropped
+            .fetch_add(undelivered, Ordering::Relaxed);
+    }
+    for bytes in c.queue.drain(..) {
+        ctx.bufs.put(bytes);
+    }
+    let pending = std::mem::take(&mut c.pending);
+    for (_, (_, bytes)) in pending {
+        ctx.bufs.put(bytes);
+    }
+    c.head_written = 0;
+    c.unsent = 0;
+    if c.parked.take().is_some() {
+        let _ = ctx.registry.deregister(&c.stream);
+    }
+}
+
+/// Retire every connection whose stall deadline passed; returns the
+/// next deadline still outstanding.
+fn sweep_stalls(conns: &mut HashMap<u64, SdConn>, ctx: &ShardCtx<'_>) -> Option<Instant> {
+    let now = Instant::now();
+    let mut next: Option<Instant> = None;
+    let mut retire: Vec<u64> = Vec::new();
+    for (&conn, c) in conns.iter_mut() {
+        let Some(since) = c.parked else { continue };
+        let deadline = since + ctx.cfg.stall;
+        if now >= deadline {
+            ctx.stats.sd_stall_retired.fetch_add(1, Ordering::Relaxed);
+            mark_dead(conn, c, ctx);
+            if c.done() {
+                retire.push(conn);
+            }
+        } else {
+            next = Some(match next {
+                Some(at) => at.min(deadline),
+                None => deadline,
+            });
+        }
+    }
+    for conn in retire {
+        if let Some(mut c) = conns.remove(&conn) {
+            free_unwritten(&mut c, ctx);
+            ctx.stats.sd_open_conns.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    next
+}
+
+/// Write as much of `queue` as the socket will take in vectored chunks
+/// of up to [`SD_IOV_MAX`] buffers, returning fully written buffers to
+/// `pool`. Returns `(bytes_written, blocked)`; `blocked` means the
+/// socket returned `WouldBlock` with data still queued. The iovec
+/// scratch is a stack array (`IoSlice` is `Copy`), so this performs no
+/// allocation.
+#[doc(hidden)]
+pub fn write_queue(
+    stream: &mut TcpStream,
+    queue: &mut VecDeque<BytesMut>,
+    head_written: &mut usize,
+    pool: &BufRing,
+) -> std::io::Result<(usize, bool)> {
+    let mut total = 0usize;
+    while !queue.is_empty() {
+        let mut iov = [IoSlice::new(&[]); SD_IOV_MAX];
+        let mut n_iov = 0usize;
+        for (i, b) in queue.iter().enumerate().take(SD_IOV_MAX) {
+            iov[n_iov] = IoSlice::new(if i == 0 { &b[*head_written..] } else { &b[..] });
+            n_iov += 1;
+        }
+        let n = match stream.write_vectored(&iov[..n_iov]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "wrote zero bytes",
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok((total, true)),
+            Err(e) => return Err(e),
+        };
+        total += n;
+        let mut advanced = n;
+        while advanced > 0 {
+            let avail = queue.front().expect("bytes written from a buffer").len()
+                - *head_written;
+            if advanced >= avail {
+                advanced -= avail;
+                *head_written = 0;
+                pool.put(queue.pop_front().expect("front just measured"));
+            } else {
+                *head_written += advanced;
+                advanced = 0;
+            }
+        }
+    }
+    Ok((total, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buf_ring_recycles_and_counts() {
+        let ring = BufRing::new(2, 1024);
+        let mut a = ring.get();
+        assert_eq!(ring.misses(), 1);
+        a.extend_from_slice(&[7u8; 100]);
+        let cap = a.capacity();
+        ring.put(a);
+        let b = ring.get();
+        assert_eq!(ring.hits(), 1);
+        assert!(b.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(b.capacity(), cap, "capacity survives the round trip");
+        // Oversized buffers are not retained.
+        let mut big = BytesMut::new();
+        big.resize(4096, 0);
+        ring.put(big);
+        let _ = ring.get();
+        let _ = ring.get();
+        assert_eq!(ring.misses(), 3, "oversized buffer was dropped, not pooled");
+    }
+
+    #[test]
+    fn effective_sd_writers_resolution() {
+        assert_eq!(effective_sd_writers(3), 3);
+        let auto = effective_sd_writers(0);
+        assert!((1..=2).contains(&auto));
+    }
+}

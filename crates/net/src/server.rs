@@ -17,10 +17,12 @@
 //!   shared [`FrameRing`]; dispatcher threads drain the ring across
 //!   *all* connections, decode one
 //!   combined wavefront-aligned query batch, run the engine **once**,
-//!   and scatter encoded responses to per-connection writer queues.
-//!   Writer threads (the `SD` task) restore per-connection order by
-//!   sequence number and coalesce every ready response into a single
-//!   vectored write + one flush per drained batch. An adaptive drain
+//!   and scatter encoded responses into per-SD-shard run batches.
+//!   A sharded egress plane (the `SD` task — see [`crate::sd`])
+//!   restores per-connection order by sequence number and coalesces
+//!   every ready response into vectored writes, with write-side
+//!   readiness, pooled response buffers, and slow-consumer
+//!   backpressure. An adaptive drain
 //!   window trades batch size against latency exactly like the paper's
 //!   Figures 9–10: dispatch immediately once at least one wavefront of
 //!   queries is pending, else wait up to
@@ -31,11 +33,11 @@ use crate::protocol::{
     encode_responses, encode_responses_wire_into, frame_query_count, parse_frame,
     parse_frame_into, ProtocolError,
 };
+use crate::sd::{ResponseRun, RunBatch, SdPlane};
 use bytes::{Bytes, BytesMut};
-use crossbeam::channel::{self, Receiver, Sender};
 use dido_model::{Query, Response};
 use parking_lot::{Condvar, Mutex};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::io::{IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -62,10 +64,11 @@ const IDLE_WAIT: Duration = Duration::from_millis(5);
 /// in one syscall.
 pub(crate) const READ_CHUNK: usize = 16 << 10;
 
-/// Longest the SD writer parks waiting for a stalled socket to become
-/// writable again (its write halves share nonblocking file descriptions
-/// with the reactors' read halves, so writes can hit `WouldBlock` under
-/// backpressure). A peer that stays unwritable this long is dead.
+/// Longest a blocking-style writer (the per-connection path and
+/// [`KvClient`]) parks waiting for a stalled socket to become writable
+/// again. The batched path's SD egress plane does **not** use this — it
+/// parks stalled connections on WRITABLE readiness with the
+/// per-connection [`BatchConfig::sd_stall_timeout`] deadline instead.
 const WRITE_STALL: Duration = Duration::from_secs(30);
 
 fn is_poll_timeout(e: &std::io::Error) -> bool {
@@ -121,6 +124,25 @@ pub struct ServerStats {
     /// shut down. A leak-detector counter — these bytes used to linger
     /// in `pending` until teardown.
     pub sd_pending_dropped: AtomicU64,
+    /// SD egress shard threads (set at spawn; 0 in per-connection
+    /// mode). A gauge, like `reactor_threads`.
+    pub sd_writer_threads: AtomicU64,
+    /// Connections retired because they stayed unwritable past
+    /// [`BatchConfig::sd_stall_timeout`].
+    pub sd_stall_retired: AtomicU64,
+    /// Times a connection's write hit `WouldBlock` and was parked on
+    /// WRITABLE readiness instead of blocking its SD shard.
+    pub sd_writable_parks: AtomicU64,
+    /// Times slow-consumer backpressure paused a connection's READ
+    /// interest (pending bytes crossed the high-water mark).
+    pub sd_read_pauses: AtomicU64,
+    /// Encode buffers served from an SD shard's reuse ring.
+    pub sd_buf_hits: AtomicU64,
+    /// Encode buffers that had to be freshly allocated (ring dry).
+    pub sd_buf_misses: AtomicU64,
+    /// Deepest per-connection pending-bytes backlog observed by the SD
+    /// plane (folds by max, like `ring_depth_max`).
+    pub sd_pending_bytes_hiwater: AtomicU64,
     batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
     read_burst_hist: [AtomicU64; BATCH_HIST_BUCKETS],
 }
@@ -195,6 +217,13 @@ impl ServerStats {
             reactor_conns: self.reactor_conns.load(Ordering::Relaxed),
             sd_open_conns: self.sd_open_conns.load(Ordering::Relaxed),
             sd_pending_dropped: self.sd_pending_dropped.load(Ordering::Relaxed),
+            sd_writer_threads: self.sd_writer_threads.load(Ordering::Relaxed),
+            sd_stall_retired: self.sd_stall_retired.load(Ordering::Relaxed),
+            sd_writable_parks: self.sd_writable_parks.load(Ordering::Relaxed),
+            sd_read_pauses: self.sd_read_pauses.load(Ordering::Relaxed),
+            sd_buf_hits: self.sd_buf_hits.load(Ordering::Relaxed),
+            sd_buf_misses: self.sd_buf_misses.load(Ordering::Relaxed),
+            sd_pending_bytes_hiwater: self.sd_pending_bytes_hiwater.load(Ordering::Relaxed),
             batch_hist: self.batch_histogram(),
             read_burst_hist: self.read_burst_histogram(),
         }
@@ -235,6 +264,20 @@ pub struct NetStatsSnapshot {
     pub sd_open_conns: u64,
     /// Response runs freed by the SD writer without being written.
     pub sd_pending_dropped: u64,
+    /// SD egress shard threads (gauge).
+    pub sd_writer_threads: u64,
+    /// Connections retired by the per-connection stall deadline.
+    pub sd_stall_retired: u64,
+    /// Writes parked on WRITABLE readiness after `WouldBlock`.
+    pub sd_writable_parks: u64,
+    /// READ-interest pauses from slow-consumer backpressure.
+    pub sd_read_pauses: u64,
+    /// Encode buffers served from the SD reuse rings.
+    pub sd_buf_hits: u64,
+    /// Encode buffers freshly allocated (rings dry).
+    pub sd_buf_misses: u64,
+    /// Deepest per-connection pending-bytes backlog (folds by max).
+    pub sd_pending_bytes_hiwater: u64,
     /// Frames-per-dispatch histogram (buckets `1, 2, 3–4, …, 65+`).
     pub batch_hist: [u64; BATCH_HIST_BUCKETS],
     /// Frames-per-readiness-read histogram (same buckets).
@@ -242,9 +285,10 @@ pub struct NetStatsSnapshot {
 }
 
 impl NetStatsSnapshot {
-    /// Counter deltas since `earlier` (`ring_depth_max` keeps the max,
-    /// not a difference; gauges — `reactor_threads`, `reactor_conns`,
-    /// `sd_open_conns` — keep their current value). Use to fold
+    /// Counter deltas since `earlier` (`ring_depth_max` and
+    /// `sd_pending_bytes_hiwater` keep the max, not a difference;
+    /// gauges — `reactor_threads`, `reactor_conns`, `sd_open_conns`,
+    /// `sd_writer_threads` — keep their current value). Use to fold
     /// per-interval activity into `dido::Metrics` without
     /// double-counting.
     #[must_use]
@@ -265,6 +309,15 @@ impl NetStatsSnapshot {
             reactor_conns: self.reactor_conns,
             sd_open_conns: self.sd_open_conns,
             sd_pending_dropped: self.sd_pending_dropped - earlier.sd_pending_dropped,
+            sd_writer_threads: self.sd_writer_threads,
+            sd_stall_retired: self.sd_stall_retired - earlier.sd_stall_retired,
+            sd_writable_parks: self.sd_writable_parks - earlier.sd_writable_parks,
+            sd_read_pauses: self.sd_read_pauses - earlier.sd_read_pauses,
+            sd_buf_hits: self.sd_buf_hits - earlier.sd_buf_hits,
+            sd_buf_misses: self.sd_buf_misses - earlier.sd_buf_misses,
+            sd_pending_bytes_hiwater: self
+                .sd_pending_bytes_hiwater
+                .max(earlier.sd_pending_bytes_hiwater),
             batch_hist: std::array::from_fn(|i| self.batch_hist[i] - earlier.batch_hist[i]),
             read_burst_hist: std::array::from_fn(|i| {
                 self.read_burst_hist[i] - earlier.read_burst_hist[i]
@@ -302,6 +355,24 @@ pub struct BatchConfig {
     /// pool round-robin at accept time, so the thread count stays fixed
     /// no matter how many connections are open.
     pub readers: usize,
+    /// SD egress shard count; `0` means `min(2, cores/2)` (floor one).
+    /// Connections map to shards by connection id, and each shard owns
+    /// its connections' write halves, reorder buffers, and readiness
+    /// loop.
+    pub sd_writers: usize,
+    /// Longest a connection may stay unwritable (parked on WRITABLE
+    /// readiness with no progress) before the SD plane retires it —
+    /// the per-connection replacement for the old global 30 s stall.
+    pub sd_stall_timeout: Duration,
+    /// Per-connection pending-bytes high-water mark: crossing it pauses
+    /// the connection's READ interest in its reactor (resumed at half
+    /// this value), bounding memory under un-drained clients.
+    pub sd_hiwater_bytes: usize,
+    /// Shrink each accepted socket's kernel send buffer (`SO_SNDBUF`)
+    /// to this many bytes. `None` keeps the kernel default. Tests and
+    /// benches use small values to make write-side backpressure
+    /// deterministic.
+    pub sndbuf_bytes: Option<usize>,
 }
 
 impl Default for BatchConfig {
@@ -314,6 +385,10 @@ impl Default for BatchConfig {
             quiet_delay: Duration::from_micros(30),
             dispatchers: 1,
             readers: 0,
+            sd_writers: 0,
+            sd_stall_timeout: Duration::from_secs(5),
+            sd_hiwater_bytes: 1 << 20,
+            sndbuf_bytes: None,
         }
     }
 }
@@ -336,53 +411,6 @@ pub(crate) struct TaggedFrame {
     pub(crate) conn: u64,
     pub(crate) seq: u64,
     pub(crate) frame: Bytes,
-}
-
-/// A contiguous range of response frames for one connection, already in
-/// wire form (length prefixes included): frames `first_seq ..
-/// first_seq + count` back-to-back in `bytes`.
-pub(crate) struct ResponseRun {
-    first_seq: u64,
-    count: u64,
-    bytes: Bytes,
-}
-
-/// Build the drop-answer runs for frames that could not enter the RX
-/// ring: one empty response frame per dropped request. Answering *at
-/// drop time* is what keeps the SD reorder buffer gap-free — every
-/// sequence number a reactor ever assigned either reaches a dispatcher
-/// or is answered here, so [`SdConn::next`] always advances and later
-/// responses never stall behind a hole.
-pub(crate) fn overflow_answer_runs(tagged: &mut Vec<TaggedFrame>) -> Vec<ResponseRun> {
-    tagged
-        .drain(..)
-        .map(|t| {
-            let mut empty = BytesMut::new();
-            encode_responses_wire_into(&mut empty, &[]);
-            ResponseRun {
-                first_seq: t.seq,
-                count: 1,
-                bytes: empty.freeze(),
-            }
-        })
-        .collect()
-}
-
-/// Messages to the shared SD writer thread (one per server, like the
-/// paper's single SD task — per-*connection* state lives inside the
-/// writer, but one thread services every socket, so a dispatch costs
-/// one send and one wakeup no matter how many connections it answered).
-pub(crate) enum SdMsg {
-    /// A connection was accepted; `stream` is its write half.
-    Open { conn: u64, stream: TcpStream },
-    /// Response runs for one connection (reactor overflow answers).
-    Runs { conn: u64, runs: Vec<ResponseRun> },
-    /// Everything one dispatch produced, for all connections at once.
-    Batch(Vec<(u64, Vec<ResponseRun>)>),
-    /// The reactor consumed `frames_read` frames total and retired the
-    /// read side; the connection closes once every response below that
-    /// is on the wire.
-    Eof { conn: u64, frames_read: u64 },
 }
 
 /// Wakes dispatchers when frames arrive. The generation counter closes
@@ -439,14 +467,15 @@ enum Topology {
     PerConnection {
         accept: Option<std::thread::JoinHandle<()>>,
     },
-    /// Reactor pool → dispatchers → SD writer. Teardown runs in that
-    /// order: reactors stop producing and post EOF marks, dispatchers
-    /// drain the ring dry, and the SD writer exits once the last
-    /// `SdMsg` sender (held by reactors and dispatchers) is dropped.
+    /// Reactor pool → dispatchers → SD egress shards. Teardown runs in
+    /// that order: reactors stop producing and post EOF marks,
+    /// dispatchers drain the ring dry, and each SD shard exits once the
+    /// last [`SdPlane`] handle (held by reactors and dispatchers) is
+    /// dropped — the plane's drop closes and wakes every shard.
     Batched {
         reactors: crate::reactor::ReactorPool,
         dispatchers: Vec<std::thread::JoinHandle<()>>,
-        sd: Option<std::thread::JoinHandle<()>>,
+        sd: Vec<std::thread::JoinHandle<()>>,
     },
 }
 
@@ -478,6 +507,15 @@ impl KvServer {
         F: Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
     {
         let listener = TcpListener::bind(addr)?;
+        // std binds with a backlog of 128, which a connection-scale
+        // fleet opening all at once overflows (the kernel silently
+        // drops handshake ACKs; surplus clients wedge half-open until
+        // they transmit). Re-listen with a deeper queue, capped by
+        // `net.core.somaxconn`; best-effort on exotic platforms.
+        {
+            use std::os::fd::AsRawFd;
+            let _ = mio::set_backlog(listener.as_raw_fd(), 4096);
+        }
         let local = listener.local_addr()?;
         let stats = Arc::new(ServerStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -556,10 +594,11 @@ impl KvServer {
                 for t in dispatchers.drain(..) {
                     let _ = t.join();
                 }
-                // The reactors and dispatchers held the only `SdMsg`
-                // senders; with both joined, the SD writer drains its
-                // backlog, disconnects every client, and exits.
-                if let Some(t) = sd.take() {
+                // The reactors and dispatchers held the only `SdPlane`
+                // handles; with both joined the plane drops, closing and
+                // waking every shard, which drains its backlog,
+                // disconnects every client, and exits.
+                for t in sd.drain(..) {
                     let _ = t.join();
                 }
             }
@@ -617,10 +656,12 @@ where
     })
 }
 
-/// Spawn the batched topology: SD writer, dispatchers, then the reactor
-/// pool (which owns the listener and the accept path). RV framing runs
-/// on the fixed reactor pool — see [`crate::reactor`] — not on
-/// per-connection threads.
+/// Spawn the batched topology: reactor scaffold, SD egress shards,
+/// dispatchers, then the reactor pool (which owns the listener and the
+/// accept path). RV framing runs on the fixed reactor pool — see
+/// [`crate::reactor`] — not on per-connection threads. The reactor
+/// scaffold (polls + command queues) is built *before* the SD shards
+/// spawn because backpressure needs the reactor command handles.
 fn spawn_batched<F>(
     listener: TcpListener,
     cfg: BatchConfig,
@@ -633,211 +674,110 @@ where
     F: Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
 {
     let ring: Arc<FrameRing<TaggedFrame>> = Arc::new(FrameRing::new(cfg.ring_slots.max(1)));
-    let (sd_tx, sd_rx) = channel::unbounded::<SdMsg>();
-    let sd_stats = Arc::clone(stats);
-    let sd = std::thread::Builder::new()
-        .name("dido-sd".into())
-        .spawn(move || run_sd_writer(&sd_rx, &sd_stats))?;
+    let (scaffold, handles) =
+        crate::reactor::build_reactor_scaffold(crate::reactor::effective_readers(cfg.readers))?;
+    let handles = Arc::new(handles);
+
+    let n_sd = crate::sd::effective_sd_writers(cfg.sd_writers);
+    let (plane, parts) = crate::sd::build_sd_plane(n_sd)?;
+    let plane = Arc::new(plane);
+    stats.sd_writer_threads.store(n_sd as u64, Ordering::Relaxed);
+    let shard_cfg = crate::sd::SdShardCfg::new(cfg.sd_stall_timeout, cfg.sd_hiwater_bytes);
+    let mut sd = Vec::with_capacity(n_sd);
+    for (idx, part) in parts.into_iter().enumerate() {
+        let reactors = Arc::clone(&handles);
+        let stats = Arc::clone(stats);
+        let spawned = std::thread::Builder::new()
+            .name(format!("dido-sd-{idx}"))
+            .spawn(move || crate::sd::run_sd_shard(part, shard_cfg, reactors, stats));
+        match spawned {
+            Ok(t) => sd.push(t),
+            Err(e) => {
+                // Closing the plane wakes the shards already running.
+                drop(plane);
+                for t in sd {
+                    let _ = t.join();
+                }
+                return Err(e);
+            }
+        }
+    }
 
     let mut dispatchers = Vec::with_capacity(cfg.dispatchers.max(1));
     for lane in 0..cfg.dispatchers.max(1) {
         let ring = Arc::clone(&ring);
-        let sd = sd_tx.clone();
-        let stats = Arc::clone(stats);
-        let shutdown = Arc::clone(shutdown);
-        let doorbell = Arc::clone(doorbell);
+        let t_plane = Arc::clone(&plane);
+        let t_stats = Arc::clone(stats);
+        let t_shutdown = Arc::clone(shutdown);
+        let t_doorbell = Arc::clone(doorbell);
         let handler = Arc::clone(&handler);
-        dispatchers.push(
-            std::thread::Builder::new()
-                .name(format!("dido-dispatch-{lane}"))
-                .spawn(move || {
-                    run_dispatcher(&ring, &sd, &stats, &shutdown, &doorbell, cfg, lane, &*handler);
-                })?,
-        );
+        let spawned = std::thread::Builder::new()
+            .name(format!("dido-dispatch-{lane}"))
+            .spawn(move || {
+                run_dispatcher(
+                    &ring,
+                    &t_plane,
+                    &t_stats,
+                    &t_shutdown,
+                    &t_doorbell,
+                    cfg,
+                    lane,
+                    &*handler,
+                );
+            });
+        match spawned {
+            Ok(t) => dispatchers.push(t),
+            Err(e) => {
+                unwind_batched_spawn(shutdown, doorbell, dispatchers, plane, sd);
+                return Err(e);
+            }
+        }
     }
 
     let shared = crate::reactor::ReactorShared {
         ring,
-        sd_tx,
+        sd: Arc::clone(&plane),
         stats: Arc::clone(stats),
         shutdown: Arc::clone(shutdown),
         doorbell: Arc::clone(doorbell),
+        sndbuf_bytes: cfg.sndbuf_bytes,
     };
-    // `shared` (and with it this function's last `SdMsg` sender) is
-    // consumed here: after the pool spawns, only reactors and
-    // dispatchers hold senders, which is what lets the SD writer exit
-    // once both groups are joined.
-    let reactors = match crate::reactor::spawn_reactor_pool(listener, cfg.readers, shared) {
-        Ok(pool) => pool,
+    // After the pool spawns, only reactors and dispatchers hold
+    // `SdPlane` handles (the local one drops below), which is what lets
+    // the SD shards exit once both groups are joined.
+    match crate::reactor::spawn_reactor_pool(listener, scaffold, shared) {
+        Ok(reactors) => Ok(Topology::Batched {
+            reactors,
+            dispatchers,
+            sd,
+        }),
         Err(e) => {
             // Unwind the threads already running so a failed start
             // leaks nothing.
-            shutdown.store(true, Ordering::Release);
-            doorbell.ring();
-            for t in dispatchers {
-                let _ = t.join();
-            }
-            let _ = sd.join();
-            return Err(e);
-        }
-    };
-    Ok(Topology::Batched {
-        reactors,
-        dispatchers,
-        sd: Some(sd),
-    })
-}
-
-/// Per-connection state inside the shared SD writer.
-struct SdConn {
-    stream: TcpStream,
-    /// Next sequence number owed to the client.
-    next: u64,
-    /// Total frames the reader consumed, once known.
-    eof: Option<u64>,
-    /// first_seq → (frame count, wire bytes) of runs not yet writable.
-    pending: BTreeMap<u64, (u64, Bytes)>,
-    /// A write failed; stop writing but keep consuming messages until
-    /// EOF so the connection can still be retired.
-    dead: bool,
-}
-
-impl SdConn {
-    /// Whether every response owed to the client is on the wire (or the
-    /// socket died), so the connection can be closed.
-    fn done(&self) -> bool {
-        match self.eof {
-            Some(total) => self.dead || self.next >= total,
-            None => false,
-        }
-    }
-
-    /// Park response runs in the reorder buffer — unless the socket
-    /// already died, in which case they can never be written: buffering
-    /// them anyway (the old behavior) let a dead connection accumulate
-    /// responses until its EOF mark arrived. Dropped runs are counted.
-    fn park_runs(&mut self, runs: Vec<ResponseRun>, stats: &ServerStats) {
-        if self.dead {
-            stats
-                .sd_pending_dropped
-                .fetch_add(runs.len() as u64, Ordering::Relaxed);
-            return;
-        }
-        for r in runs {
-            self.pending.insert(r.first_seq, (r.count, r.bytes));
+            unwind_batched_spawn(shutdown, doorbell, dispatchers, plane, sd);
+            Err(e)
         }
     }
 }
 
-/// SD stage: one thread for the whole server, like the paper's SD
-/// task. Restores per-connection order by sequence number, then puts
-/// every in-order response run on the wire with one vectored write and
-/// a single flush per connection per wakeup.
-fn run_sd_writer(rx: &Receiver<SdMsg>, stats: &ServerStats) {
-    let mut conns: HashMap<u64, SdConn> = HashMap::new();
-    let mut touched: Vec<u64> = Vec::new();
-    let mut batch: Vec<Bytes> = Vec::new();
-    while let Ok(first) = rx.recv() {
-        touched.clear();
-        apply_sd_msg(first, &mut conns, &mut touched, stats);
-        while let Ok(msg) = rx.try_recv() {
-            apply_sd_msg(msg, &mut conns, &mut touched, stats);
-        }
-        for &conn in &touched {
-            let Some(c) = conns.get_mut(&conn) else {
-                continue; // touched twice and already retired
-            };
-            batch.clear();
-            while let Some((count, bytes)) = c.pending.remove(&c.next) {
-                batch.push(bytes);
-                c.next += count;
-            }
-            if !c.dead && !batch.is_empty() {
-                let bufs: Vec<&[u8]> = batch.iter().map(|b| &b[..]).collect();
-                if write_all_vectored(&mut c.stream, &bufs).is_err() || c.stream.flush().is_err() {
-                    c.dead = true;
-                    // Neither the runs in the failed write nor anything
-                    // still parked can reach the peer now; free the
-                    // parked runs immediately instead of holding them
-                    // until EOF, and count both groups as undelivered.
-                    stats
-                        .sd_pending_dropped
-                        .fetch_add((batch.len() + c.pending.len()) as u64, Ordering::Relaxed);
-                    c.pending.clear();
-                }
-            }
-            if c.done() {
-                retire_sd_conn(conns.remove(&conn), stats); // drops the write half: client EOF
-            }
-        }
-    }
-    // All senders gone (teardown after reactors and dispatchers
-    // joined): whatever was sent has been applied above. Sweep the
-    // survivors so the gauges and leak counters stay truthful even at
-    // server shutdown, then drop `conns` to disconnect every client.
-    for (_, c) in conns.drain() {
-        retire_sd_conn(Some(c), stats);
-    }
-}
-
-/// Account a connection leaving the SD writer: anything still parked in
-/// its reorder buffer is freed unwritten (a mid-stream disconnect
-/// stranded it behind the dead socket), which the leak counter records.
-fn retire_sd_conn(conn: Option<SdConn>, stats: &ServerStats) {
-    let Some(c) = conn else { return };
-    if !c.pending.is_empty() {
-        stats
-            .sd_pending_dropped
-            .fetch_add(c.pending.len() as u64, Ordering::Relaxed);
-    }
-    stats.sd_open_conns.fetch_sub(1, Ordering::Relaxed);
-}
-
-fn apply_sd_msg(
-    msg: SdMsg,
-    conns: &mut HashMap<u64, SdConn>,
-    touched: &mut Vec<u64>,
-    stats: &ServerStats,
+/// Tear down a partially spawned batched topology: stop and join the
+/// dispatchers, then drop the last local plane handle so the SD shards
+/// observe the disconnect and join.
+fn unwind_batched_spawn(
+    shutdown: &AtomicBool,
+    doorbell: &Doorbell,
+    dispatchers: Vec<std::thread::JoinHandle<()>>,
+    plane: Arc<SdPlane>,
+    sd: Vec<std::thread::JoinHandle<()>>,
 ) {
-    fn touch(conn: u64, touched: &mut Vec<u64>) {
-        if !touched.contains(&conn) {
-            touched.push(conn);
-        }
+    shutdown.store(true, Ordering::Release);
+    doorbell.ring();
+    for t in dispatchers {
+        let _ = t.join();
     }
-    match msg {
-        SdMsg::Open { conn, stream } => {
-            stats.sd_open_conns.fetch_add(1, Ordering::Relaxed);
-            conns.insert(
-                conn,
-                SdConn {
-                    stream,
-                    next: 0,
-                    eof: None,
-                    pending: BTreeMap::new(),
-                    dead: false,
-                },
-            );
-        }
-        SdMsg::Runs { conn, runs } => {
-            if let Some(c) = conns.get_mut(&conn) {
-                c.park_runs(runs, stats);
-                touch(conn, touched);
-            }
-        }
-        SdMsg::Batch(per_conn) => {
-            for (conn, runs) in per_conn {
-                if let Some(c) = conns.get_mut(&conn) {
-                    c.park_runs(runs, stats);
-                    touch(conn, touched);
-                }
-            }
-        }
-        SdMsg::Eof { conn, frames_read } => {
-            if let Some(c) = conns.get_mut(&conn) {
-                c.eof = Some(frames_read);
-                touch(conn, touched);
-            }
-        }
+    drop(plane);
+    for t in sd {
+        let _ = t.join();
     }
 }
 
@@ -846,7 +786,7 @@ fn apply_sd_msg(
 #[allow(clippy::too_many_arguments)]
 fn run_dispatcher<F>(
     ring: &FrameRing<TaggedFrame>,
-    sd: &Sender<SdMsg>,
+    sd: &SdPlane,
     stats: &ServerStats,
     shutdown: &AtomicBool,
     doorbell: &Doorbell,
@@ -858,6 +798,7 @@ fn run_dispatcher<F>(
 {
     let budget = cfg.frame_budget.max(1);
     let mut frames: Vec<TaggedFrame> = Vec::with_capacity(budget);
+    let mut scatter = SdScatter::new(sd.n_shards());
     while !shutdown.load(Ordering::Acquire) {
         let seen = doorbell.observe();
         let depth = ring.len() as u64;
@@ -905,7 +846,7 @@ fn run_dispatcher<F>(
             depth.max(frames.len() as u64),
             delayed,
         );
-        dispatch_batch(&frames, sd, stats, lane, handler);
+        dispatch_batch(&frames, sd, stats, lane, handler, &mut scatter);
     }
     // Shutdown: drain whatever is left so pipelined clients still get
     // every response they are owed.
@@ -920,32 +861,61 @@ fn run_dispatcher<F>(
             frames.len() as u64,
             false,
         );
-        dispatch_batch(&frames, sd, stats, lane, handler);
+        dispatch_batch(&frames, sd, stats, lane, handler, &mut scatter);
+    }
+}
+
+/// One frame's place in a dispatch: which connection/sequence it came
+/// from and which response range answers it.
+struct Slot {
+    conn: u64,
+    seq: u64,
+    start: usize,
+    len: usize,
+    bad: bool,
+}
+
+/// Reusable dispatch→SD scatter state. Runs are partitioned by SD shard
+/// *at coalesce time* — each shard receives exactly one pooled
+/// [`RunBatch`] per dispatch, so dispatch cost stays one send + one
+/// wakeup per shard (not per run), and the scratch (slot list, open-run
+/// index, batch slots) keeps its capacity across dispatches: the hot
+/// path performs no per-dispatch scatter allocation after warmup.
+struct SdScatter {
+    slots: Vec<Slot>,
+    /// conn → index of its open (last) run inside its shard's batch.
+    open: HashMap<u64, usize>,
+    /// One pending batch slot per SD shard.
+    batches: Vec<Option<RunBatch>>,
+}
+
+impl SdScatter {
+    fn new(n_shards: usize) -> SdScatter {
+        SdScatter {
+            slots: Vec::new(),
+            open: HashMap::new(),
+            batches: (0..n_shards).map(|_| None).collect(),
+        }
     }
 }
 
 /// Decode a drained batch into one cross-connection query vector, run
-/// the handler once, and hand the SD writer one message carrying every
-/// connection's response runs.
+/// the handler once, and scatter encoded response runs to the SD
+/// shards — one coalesced batch per shard.
 fn dispatch_batch<F>(
     frames: &[TaggedFrame],
-    sd: &Sender<SdMsg>,
+    sd: &SdPlane,
     stats: &ServerStats,
     lane: usize,
     handler: &F,
+    scatter: &mut SdScatter,
 ) where
     F: Fn(usize, Vec<Query>) -> Vec<Response>,
 {
-    struct Slot {
-        conn: u64,
-        seq: u64,
-        start: usize,
-        len: usize,
-        bad: bool,
-    }
     let estimate: usize = frames.iter().map(|t| frame_query_count(&t.frame)).sum();
     let mut batch: Vec<Query> = Vec::with_capacity(estimate);
-    let mut slots: Vec<Slot> = Vec::with_capacity(frames.len());
+    let slots = &mut scatter.slots;
+    slots.clear();
     let mut good_frames = 0u64;
     for t in frames {
         let start = batch.len();
@@ -980,58 +950,46 @@ fn dispatch_batch<F>(
         handler(lane, batch)
     };
     // Coalesce the scatter per connection into runs of consecutive
-    // sequence numbers, each encoded into one contiguous wire buffer:
-    // one SD message for the whole dispatch, and one vectored write per
-    // connection on the other end. A run must break at any sequence
-    // gap — the missing frame was dropped (answered by the reader) or
-    // drained by another dispatcher, and will fill the gap on its own.
-    struct OpenRun {
-        first_seq: u64,
-        count: u64,
-        buf: BytesMut,
-    }
-    let mut by_conn: HashMap<u64, Vec<OpenRun>> = HashMap::with_capacity(slots.len());
-    for s in &slots {
+    // sequence numbers, each encoded into one contiguous wire buffer
+    // drawn from the owning shard's reuse ring. A run must break at any
+    // sequence gap — the missing frame was dropped (answered by the
+    // reader) or drained by another dispatcher, and will fill the gap
+    // on its own.
+    for s in slots.iter() {
         let rs = if s.bad {
             &[]
         } else {
             let end = (s.start + s.len).min(responses.len());
             responses.get(s.start..end).unwrap_or(&[])
         };
-        let runs = by_conn.entry(s.conn).or_default();
-        match runs.last_mut() {
-            Some(r) if r.first_seq + r.count == s.seq => {
-                encode_responses_wire_into(&mut r.buf, rs);
-                r.count += 1;
+        let shard = sd.shard_of(s.conn);
+        let batch = scatter.batches[shard].get_or_insert_with(|| sd.take_batch(shard));
+        match scatter.open.get(&s.conn) {
+            Some(&i) if batch[i].1.first_seq + batch[i].1.count == s.seq => {
+                encode_responses_wire_into(&mut batch[i].1.bytes, rs);
+                batch[i].1.count += 1;
             }
             _ => {
-                let mut buf = BytesMut::new();
-                encode_responses_wire_into(&mut buf, rs);
-                runs.push(OpenRun {
-                    first_seq: s.seq,
-                    count: 1,
-                    buf,
-                });
+                let mut bytes = sd.get_buf(shard);
+                encode_responses_wire_into(&mut bytes, rs);
+                batch.push((
+                    s.conn,
+                    ResponseRun {
+                        first_seq: s.seq,
+                        count: 1,
+                        bytes,
+                    },
+                ));
+                scatter.open.insert(s.conn, batch.len() - 1);
             }
         }
     }
-    let _ = sd.send(SdMsg::Batch(
-        by_conn
-            .into_iter()
-            .map(|(conn, runs)| {
-                (
-                    conn,
-                    runs.into_iter()
-                        .map(|r| ResponseRun {
-                            first_seq: r.first_seq,
-                            count: r.count,
-                            bytes: r.buf.freeze(),
-                        })
-                        .collect(),
-                )
-            })
-            .collect(),
-    ));
+    scatter.open.clear();
+    for (shard, slot) in scatter.batches.iter_mut().enumerate() {
+        if let Some(batch) = slot.take() {
+            sd.send_batch(shard, batch);
+        }
+    }
 }
 
 fn serve_connection<F>(
@@ -1286,10 +1244,10 @@ fn write_frame(stream: &mut TcpStream, frame: &Bytes) -> std::io::Result<()> {
 /// re-slicing past whatever each call consumed. (The std helper
 /// `write_all_vectored` is unstable; this is its stable equivalent.)
 ///
-/// Handles `WouldBlock` by parking on writability: the SD writer's
-/// streams share their file descriptions with the reactors' nonblocking
-/// read halves (`try_clone`), so a blocking-style writer must be
-/// prepared for nonblocking semantics.
+/// Handles `WouldBlock` by parking on writability, so it stays correct
+/// even on a stream someone made nonblocking. (The sharded SD egress
+/// plane has its own readiness-driven path — `sd::write_queue` — this
+/// is the per-connection topology's and the tests' blocking writer.)
 fn write_all_vectored(stream: &mut TcpStream, bufs: &[&[u8]]) -> std::io::Result<()> {
     let mut idx = 0usize; // first buffer not fully written
     let mut off = 0usize; // bytes of bufs[idx] already written
@@ -1646,6 +1604,10 @@ mod tests {
             queries: 100,
             dispatches: 4,
             ring_depth_max: 7,
+            sd_stall_retired: 1,
+            sd_writable_parks: 3,
+            sd_buf_hits: 50,
+            sd_pending_bytes_hiwater: 9000,
             ..NetStatsSnapshot::default()
         };
         let b = NetStatsSnapshot {
@@ -1653,6 +1615,11 @@ mod tests {
             queries: 260,
             dispatches: 9,
             ring_depth_max: 5,
+            sd_writer_threads: 2,
+            sd_stall_retired: 4,
+            sd_writable_parks: 10,
+            sd_buf_hits: 80,
+            sd_pending_bytes_hiwater: 4000,
             ..NetStatsSnapshot::default()
         };
         let d = b.delta_since(&a);
@@ -1660,5 +1627,12 @@ mod tests {
         assert_eq!(d.queries, 160);
         assert_eq!(d.dispatches, 5);
         assert_eq!(d.ring_depth_max, 7);
+        // New egress counters subtract; the pending-bytes high water
+        // folds by max and the thread count carries the current gauge.
+        assert_eq!(d.sd_stall_retired, 3);
+        assert_eq!(d.sd_writable_parks, 7);
+        assert_eq!(d.sd_buf_hits, 30);
+        assert_eq!(d.sd_pending_bytes_hiwater, 9000);
+        assert_eq!(d.sd_writer_threads, 2);
     }
 }

@@ -1,0 +1,131 @@
+//! Steady-state allocation audit of the SD egress machinery.
+//!
+//! A counting global allocator watches the per-wakeup egress cycle —
+//! buffer-ring `get`, response encode into the recycled buffer, queue,
+//! vectored `write_queue`, buffer-ring `put` — once the ring and queue
+//! are warm. The old writer allocated a fresh `BytesMut` per run plus
+//! two `Vec`s per vectored write; the pooled path is allowed zero.
+
+use dido_model::Response;
+use dido_net::{encode_responses_wire_into, BufRing, write_queue};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// The audit is scoped to the test thread: the libtest harness's main
+// thread runs concurrently and performs its own occasional lazy-init
+// allocations (e.g. its result channel's thread-local context), which
+// are not the egress machinery's doing. The flag is const-initialized,
+// so reading it from the allocator hook never itself allocates.
+thread_local! {
+    static AUDITED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn counted() -> bool {
+    COUNTING.load(Ordering::Relaxed) && AUDITED.try_with(std::cell::Cell::get).unwrap_or(false)
+}
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`, adding only a relaxed
+// counter bump — allocation behaviour is unchanged.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// One `#[test]` only: the counter is process-global and must not see a
+/// concurrent sibling test's allocations.
+#[test]
+fn steady_state_egress_cycle_does_not_allocate() {
+    const WARMUP: usize = 64;
+    const ITERS: usize = 1000;
+    const RUNS_PER_ITER: usize = 4;
+    AUDITED.with(|a| a.set(true));
+
+    // A real socket pair: the audited side writes, a peer thread drains
+    // into a preallocated buffer (no allocations on that side either
+    // while the counter runs).
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let drainer = std::thread::spawn(move || {
+        let (mut peer, _) = listener.accept().unwrap();
+        let mut sink = vec![0u8; 64 << 10];
+        while let Ok(n) = peer.read(&mut sink) {
+            if n == 0 {
+                break;
+            }
+        }
+    });
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let _ = stream.set_nodelay(true);
+
+    let pool = BufRing::new(64, 256 << 10);
+    let mut queue: VecDeque<_> = VecDeque::with_capacity(RUNS_PER_ITER * 2);
+    let mut head_written = 0usize;
+    let responses = [Response::hit(vec![b'v'; 1 << 10])];
+
+    let mut cycle = |n: usize| {
+        for _ in 0..n {
+            for _ in 0..RUNS_PER_ITER {
+                let mut buf = pool.get();
+                encode_responses_wire_into(&mut buf, &responses);
+                queue.push_back(buf);
+            }
+            // The blocking socket takes the whole queue; fully written
+            // buffers go straight back to the pool.
+            let (_, blocked) = write_queue(&mut stream, &mut queue, &mut head_written, &pool)
+                .expect("write");
+            assert!(!blocked, "a blocking socket never reports WouldBlock");
+            assert!(queue.is_empty(), "blocking write drains the queue");
+        }
+    };
+
+    // Warm the pool (buffer capacities), the queue, and the lazily
+    // initialized pieces of the socket path.
+    cycle(WARMUP);
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    cycle(ITERS);
+    COUNTING.store(false, Ordering::SeqCst);
+
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "warmed egress cycle (get → encode → queue → write → put) \
+         allocated {allocs} times over {ITERS} iterations"
+    );
+    assert!(
+        pool.hits() >= (WARMUP + ITERS - 1) as u64 * RUNS_PER_ITER as u64,
+        "steady state must be served from the ring (hits {}, misses {})",
+        pool.hits(),
+        pool.misses()
+    );
+
+    drop(stream);
+    drainer.join().unwrap();
+}

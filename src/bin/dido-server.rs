@@ -3,7 +3,7 @@
 //! ```text
 //! dido-server [--addr HOST:PORT] [--store-mb N] [--latency-us N]
 //!             [--shards N] [--dispatchers N] [--readers N]
-//!             [--trace FILE] [--stats-every N]
+//!             [--sd-writers N] [--trace FILE] [--stats-every N]
 //!             [--batched] [--max-batch-delay-us N]
 //!             [--resize-after FRAMES:SHARDS]
 //! ```
@@ -19,7 +19,8 @@
 //! store by key hash. In batched mode, connections are carried by a
 //! fixed pool of `--readers N` reactor threads (default `min(4,
 //! cores)`) regardless of how many clients connect — see `DESIGN.md`
-//! §13.
+//! §13 — and responses leave through `--sd-writers N` readiness-driven
+//! SD egress shards (default `min(2, cores/2)`) — see `DESIGN.md` §14.
 //!
 //! `--trace` tees accepted queries to a replayable trace file through a
 //! bounded queue and a background writer (append-only, size-rotated;
@@ -62,6 +63,8 @@ struct Args {
     dispatchers: usize,
     /// Reactor (reader) threads for batched mode; 0 = `min(4, cores)`.
     readers: usize,
+    /// SD egress shard threads for batched mode; 0 = `min(2, cores/2)`.
+    sd_writers: usize,
     trace: Option<std::path::PathBuf>,
     stats_every: u64,
     batched: bool,
@@ -79,6 +82,7 @@ fn parse_args() -> Args {
         shards: 1,
         dispatchers: 1,
         readers: 0,
+        sd_writers: 0,
         trace: None,
         stats_every: 0,
         batched: false,
@@ -113,6 +117,9 @@ fn parse_args() -> Args {
                 args.dispatchers = parse_num("--dispatchers", value("--dispatchers")).max(1)
             }
             "--readers" => args.readers = parse_num("--readers", value("--readers")),
+            "--sd-writers" => {
+                args.sd_writers = parse_num("--sd-writers", value("--sd-writers"))
+            }
             "--trace" => args.trace = Some(value("--trace").into()),
             "--stats-every" => {
                 args.stats_every = parse_num("--stats-every", value("--stats-every")) as u64
@@ -139,8 +146,9 @@ fn parse_args() -> Args {
                 println!(
                     "usage: dido-server [--addr HOST:PORT] [--store-mb N] \
                      [--latency-us N] [--shards N] [--dispatchers N] \
-                     [--readers N] [--trace FILE] [--stats-every N] \
-                     [--batched] [--max-batch-delay-us N] \
+                     [--readers N] [--sd-writers N] [--trace FILE] \
+                     [--stats-every N] [--batched] \
+                     [--max-batch-delay-us N] \
                      [--resize-after FRAMES:SHARDS]"
                 );
                 std::process::exit(0);
@@ -240,6 +248,7 @@ fn main() -> std::io::Result<()> {
             max_batch_delay: std::time::Duration::from_micros(args.max_batch_delay_us),
             dispatchers: args.dispatchers,
             readers: args.readers,
+            sd_writers: args.sd_writers,
             ..BatchConfig::default()
         })
     } else {
@@ -313,11 +322,15 @@ fn main() -> std::io::Result<()> {
         args.latency_us,
         if args.batched {
             format!(
-                ", batched dispatch x{}, {} reader(s)",
+                ", batched dispatch x{}, {} reader(s), {} sd writer(s)",
                 args.dispatchers,
                 server
                     .stats()
                     .reactor_threads
+                    .load(std::sync::atomic::Ordering::Relaxed),
+                server
+                    .stats()
+                    .sd_writer_threads
                     .load(std::sync::atomic::Ordering::Relaxed)
             )
         } else {
