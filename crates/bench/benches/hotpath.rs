@@ -29,9 +29,7 @@ fn bench_hotpath(c: &mut Criterion) {
         g.bench_function(&format!("scalar_95_5_{batch}"), |b| {
             b.iter_batched(
                 || generator.batch(batch),
-                |queries| {
-                    std::hint::black_box(run_scalar_batch(ctx, &scalar_engine, &queries))
-                },
+                |queries| std::hint::black_box(run_scalar_batch(ctx, &scalar_engine, &queries)),
                 BatchSize::LargeInput,
             )
         });

@@ -101,9 +101,7 @@ fn bench_cost_model(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(model.predict(PipelineConfig::mega_kv(), &inputs)))
     });
     g.bench_function("optimal_config_exhaustive", |b| {
-        b.iter(|| {
-            std::hint::black_box(model.optimal_config(&inputs, ConfigEnumerator::default()))
-        })
+        b.iter(|| std::hint::black_box(model.optimal_config(&inputs, ConfigEnumerator::default())))
     });
     g.bench_function("greedy_config", |b| {
         b.iter(|| std::hint::black_box(model.greedy_config(&inputs)))

@@ -94,7 +94,10 @@ fn main() {
     });
     for p in &report.readapt {
         if p.adapted {
-            println!("  {:>10} re-adapted {:.2} ms after the shift", p.mode, p.readapt_ms);
+            println!(
+                "  {:>10} re-adapted {:.2} ms after the shift",
+                p.mode, p.readapt_ms
+            );
         } else {
             println!("  {:>10} never re-adapted within the probe budget", p.mode);
         }
@@ -103,7 +106,11 @@ fn main() {
     println!(
         "acceptance: {acc:.2}x concurrent/locked at 4 dispatchers \
          (threshold {ACCEPT_THRESHOLD}x), readapt {}",
-        if report.readapt_pass() { "ok" } else { "FAILED" }
+        if report.readapt_pass() {
+            "ok"
+        } else {
+            "FAILED"
+        }
     );
 
     std::fs::write(&out, report.to_json()).unwrap_or_else(|e| die(&format!("write {out}: {e}")));

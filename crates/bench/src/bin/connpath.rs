@@ -1,5 +1,8 @@
 //! Connection-scale bench: the batched server's reactor plane under
-//! {64, 512, 4096} concurrent connections. Writes `BENCH_connpath.json`.
+//! {64, 512, 4096} concurrent connections, on every available I/O
+//! backend (epoll always; io_uring when the kernel has it), with
+//! repeats interleaved across backends so comparisons share one
+//! process window. Writes `BENCH_connpath.json`.
 //!
 //! ```text
 //! connpath [--quick] [--seed N] [--frames N] [--window N]
@@ -99,20 +102,31 @@ fn main() {
         }
     );
     println!(
-        "{:>6} {:>8} {:>8} {:>16} {:>10} {:>10} {:>12} {:>10}",
-        "conns", "readers", "reg'd", "throughput q/s", "p50 us", "p99 us", "frames/disp", "wakeups"
+        "{:>6} {:>7} {:>8} {:>8} {:>16} {:>9} {:>10} {:>10} {:>12} {:>10}",
+        "conns",
+        "backend",
+        "readers",
+        "reg'd",
+        "throughput q/s",
+        "spread",
+        "p50 us",
+        "p99 us",
+        "frames/disp",
+        "sys/query"
     );
     let report = run_connpath(&opts, netpath_json.as_deref(), |c| {
         println!(
-            "{:>6} {:>8} {:>8} {:>16.0} {:>10.1} {:>10.1} {:>12.1} {:>10}",
+            "{:>6} {:>7} {:>8} {:>8} {:>16.0} {:>8.1}% {:>10.1} {:>10.1} {:>12.1} {:>10.3}",
             c.connections,
+            c.io_backend.as_str(),
             c.reader_threads,
             c.registered_conns,
             c.throughput_qps,
+            c.qps_rel_spread * 100.0,
             c.p50_us,
             c.p99_us,
             c.mean_batch_frames,
-            c.reactor_wakeups
+            c.syscalls_per_query
         );
     });
     if let Some(sc) = &report.slow {
@@ -129,6 +143,18 @@ fn main() {
             sc.sd_read_pauses,
             sc.sd_pending_hiwater
         );
+    }
+
+    match (
+        report.uring_throughput_ratio(),
+        report.uring_syscall_ratio(),
+    ) {
+        (Some(tp), Some(sys)) => println!(
+            "# uring vs epoll at largest cell (interleaved window): \
+             {tp:.2}x throughput (bar 1.00x), {sys:.2}x fewer I/O syscalls/query \
+             (bar 2.00x)"
+        ),
+        _ => println!("# uring cells skipped: kernel has no usable io_uring"),
     }
 
     let json = report.to_json();

@@ -86,9 +86,7 @@ fn main() {
         die(&format!("writing {out}: {e}"));
     }
     let acc = report.acceptance_speedup();
-    println!(
-        "# wrote {out}; acceptance get_heavy@8192 = {acc:.2}x (bar {ACCEPT_THRESHOLD}x)"
-    );
+    println!("# wrote {out}; acceptance get_heavy@8192 = {acc:.2}x (bar {ACCEPT_THRESHOLD}x)");
     if check && acc < ACCEPT_THRESHOLD {
         eprintln!("FAIL: acceptance speedup {acc:.3} below {ACCEPT_THRESHOLD}");
         std::process::exit(1);

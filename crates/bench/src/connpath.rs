@@ -23,7 +23,9 @@
 use bytes::{Bytes, BytesMut};
 use dido_apu_sim::HwSpec;
 use dido_model::{PipelineConfig, Query};
-use dido_net::{encode_queries_wire_into, BatchConfig, KvClient, KvServer};
+use dido_net::{
+    backend_matrix, encode_queries_wire_into, BatchConfig, IoBackend, KvClient, KvServer,
+};
 use dido_pipeline::{preloaded_engine, KvEngine, TestbedOptions};
 use dido_workload::{Dataset, KeyDistribution, WorkloadSpec};
 use parking_lot::Mutex;
@@ -109,11 +111,14 @@ impl ConnpathOptions {
     }
 }
 
-/// One connection-count measurement.
+/// One connection-count measurement on one I/O backend.
 #[derive(Debug, Clone, Copy)]
 pub struct ConnCell {
     /// Concurrent client connections held open through the cell.
     pub connections: usize,
+    /// The I/O backend the server ran on (pinned, not probed, so epoll
+    /// and uring cells interleave inside one process window).
+    pub io_backend: IoBackend,
     /// Server reader (reactor) threads — the flat-thread claim.
     pub reader_threads: u64,
     /// Connections the reactors reported registered at full fleet.
@@ -137,6 +142,23 @@ pub struct ConnCell {
     /// Egress buffer-ring hit rate (hits / lookups; 1.0 = fully
     /// recycled steady state).
     pub sd_buf_hit_rate: f64,
+    /// I/O-plane syscalls over the best run (`io_uring_enter` on
+    /// uring; `epoll_wait` + `read` + `writev` on epoll).
+    pub ring_enters: u64,
+    /// `ring_enters / queries` for the best run — the batching claim:
+    /// uring should need at least 2x fewer than epoll at scale.
+    pub syscalls_per_query: f64,
+    /// Lowest throughput across the cell's repeats, queries/sec.
+    pub qps_min: f64,
+    /// Mean throughput across the cell's repeats, queries/sec.
+    pub qps_mean: f64,
+    /// Highest throughput across the cell's repeats, queries/sec
+    /// (equals `throughput_qps`, the kept run).
+    pub qps_max: f64,
+    /// Relative spread `(max - min) / mean` across repeats — the
+    /// noise-floor context every cross-cell comparison needs on a
+    /// shared box.
+    pub qps_rel_spread: f64,
 }
 
 /// The slow-consumer isolation cell: the standard fleet plus a handful
@@ -195,20 +217,54 @@ impl ConnpathReport {
 
     /// 64-connection throughput ratio vs the netpath baseline (`None`
     /// when either side is missing, e.g. a quick run without a 64-conn
-    /// cell or no `BENCH_netpath.json` on disk).
+    /// cell or no `BENCH_netpath.json` on disk). Compares the epoll
+    /// cell: the netpath baseline predates the uring backend.
     #[must_use]
     pub fn netpath_ratio(&self) -> Option<f64> {
         let base = self.netpath_baseline_qps?;
         let ours = self
             .cells
             .iter()
-            .find(|c| c.connections == 64)
+            .find(|c| c.connections == 64 && c.io_backend == IoBackend::Epoll)
             .map(|c| c.throughput_qps)?;
         if base > 0.0 {
             Some(ours / base)
         } else {
             None
         }
+    }
+
+    /// The epoll and uring cells at the sweep's largest connection
+    /// count, when both backends ran.
+    #[must_use]
+    pub fn top_cell_pair(&self) -> Option<(&ConnCell, &ConnCell)> {
+        let top = self.cells.iter().map(|c| c.connections).max()?;
+        let at = |b: IoBackend| {
+            self.cells
+                .iter()
+                .find(|c| c.connections == top && c.io_backend == b)
+        };
+        Some((at(IoBackend::Epoll)?, at(IoBackend::Uring)?))
+    }
+
+    /// Uring-over-epoll throughput ratio at the largest connection
+    /// count (>= 1.0 means uring holds parity at scale). `None` when
+    /// the uring cells were skipped (no kernel support).
+    #[must_use]
+    pub fn uring_throughput_ratio(&self) -> Option<f64> {
+        let (epoll, uring) = self.top_cell_pair()?;
+        (epoll.throughput_qps > 0.0).then(|| uring.throughput_qps / epoll.throughput_qps)
+    }
+
+    /// Epoll-over-uring syscalls-per-query ratio at the largest
+    /// connection count — the batched-submission claim (>= 2.0 means
+    /// uring serves the same queries on at least 2x fewer I/O-plane
+    /// syscalls). `None` when the uring cells were skipped.
+    #[must_use]
+    pub fn uring_syscall_ratio(&self) -> Option<f64> {
+        let (epoll, uring) = self.top_cell_pair()?;
+        (uring.syscalls_per_query > 0.0)
+            .then(|| epoll.syscalls_per_query / uring.syscalls_per_query)
     }
 
     /// The low-scale regression guard: within tolerance of the netpath
@@ -255,25 +311,49 @@ impl ConnpathReport {
             None => s.push_str("    \"netpath_ratio\": null,\n"),
         }
         s.push_str(&format!("    \"netpath_pass\": {np_pass},\n"));
+        s.push_str(
+            "    \"uring_guard\": \"at the largest cell, uring throughput >= 1.0x \
+             epoll and syscalls/query <= 0.5x epoll, both backends interleaved \
+             in one process window\",\n",
+        );
+        match self.uring_throughput_ratio() {
+            Some(r) => s.push_str(&format!("    \"uring_throughput_ratio\": {r:.3},\n")),
+            None => s.push_str("    \"uring_throughput_ratio\": null,\n"),
+        }
+        match self.uring_syscall_ratio() {
+            Some(r) => s.push_str(&format!("    \"uring_syscall_ratio\": {r:.2},\n")),
+            None => s.push_str("    \"uring_syscall_ratio\": null,\n"),
+        }
         s.push_str(&format!("    \"pass\": {}\n", flat && np_pass));
         s.push_str("  },\n");
         s.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"connections\": {}, \"reader_threads\": {}, \
+                "    {{\"connections\": {}, \"io_backend\": \"{}\", \
+                 \"reader_threads\": {}, \
                  \"registered_conns\": {}, \"throughput_qps\": {:.1}, \
+                 \"qps_min\": {:.1}, \"qps_mean\": {:.1}, \"qps_max\": {:.1}, \
+                 \"qps_rel_spread\": {:.4}, \
                  \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"mean_batch_frames\": {:.2}, \
-                 \"reactor_wakeups\": {}, \"sd_writer_threads\": {}, \
+                 \"reactor_wakeups\": {}, \"ring_enters\": {}, \
+                 \"syscalls_per_query\": {:.3}, \"sd_writer_threads\": {}, \
                  \"sd_writable_parks\": {}, \"sd_pending_bytes_hiwater\": {}, \
                  \"sd_buf_ring_hit_rate\": {:.4}}}{}\n",
                 c.connections,
+                c.io_backend.as_str(),
                 c.reader_threads,
                 c.registered_conns,
                 c.throughput_qps,
+                c.qps_min,
+                c.qps_mean,
+                c.qps_max,
+                c.qps_rel_spread,
                 c.p50_us,
                 c.p99_us,
                 c.mean_batch_frames,
                 c.reactor_wakeups,
+                c.ring_enters,
+                c.syscalls_per_query,
                 c.sd_writer_threads,
                 c.sd_writable_parks,
                 c.sd_pending_hiwater,
@@ -286,10 +366,7 @@ impl ConnpathReport {
             Some(sc) => {
                 s.push_str("  \"slow_consumer\": {\n");
                 s.push_str(&format!("    \"connections\": {},\n", sc.connections));
-                s.push_str(&format!(
-                    "    \"slow_consumers\": {},\n",
-                    sc.slow_consumers
-                ));
+                s.push_str(&format!("    \"slow_consumers\": {},\n", sc.slow_consumers));
                 s.push_str(&format!("    \"base_p99_us\": {:.1},\n", sc.base_p99_us));
                 s.push_str(&format!("    \"slow_p99_us\": {:.1},\n", sc.slow_p99_us));
                 s.push_str(&format!(
@@ -404,6 +481,7 @@ fn drive_conn(
 fn measure_cell(
     opts: &ConnpathOptions,
     connections: usize,
+    backend: IoBackend,
     engine: &Arc<Mutex<KvEngine>>,
     streams: &Arc<Vec<Vec<Bytes>>>,
 ) -> ConnCell {
@@ -413,8 +491,11 @@ fn measure_cell(
         let engine = engine.lock();
         run_vectorized_batch(ctx, &engine, queries, PipelineConfig::mega_kv())
     };
-    let server = KvServer::start_batched("127.0.0.1:0", BatchConfig::default(), handler)
-        .expect("bind server");
+    let cfg = BatchConfig {
+        io_backend: backend.into(),
+        ..BatchConfig::default()
+    };
+    let server = KvServer::start_batched("127.0.0.1:0", cfg, handler).expect("bind server");
     let addr = server.addr();
     let stats = server.stats_handle();
 
@@ -451,7 +532,10 @@ fn measure_cell(
     // Fleet fully open: give registration commands a beat to drain,
     // then sample the connection-plane gauges the report asserts on.
     let deadline = Instant::now() + Duration::from_secs(10);
-    while (stats.reactor_conns.load(std::sync::atomic::Ordering::Relaxed) as usize) < connections
+    while (stats
+        .reactor_conns
+        .load(std::sync::atomic::Ordering::Relaxed) as usize)
+        < connections
         && Instant::now() < deadline
     {
         std::thread::sleep(Duration::from_millis(2));
@@ -465,6 +549,8 @@ fn measure_cell(
     let wakeups_before = stats
         .reactor_wakeups
         .load(std::sync::atomic::Ordering::Relaxed);
+    let enters_before = stats.ring_enters.load(std::sync::atomic::Ordering::Relaxed);
+    let queries_before = stats.queries.load(std::sync::atomic::Ordering::Relaxed);
 
     go.wait();
     let start = Instant::now();
@@ -478,6 +564,8 @@ fn measure_cell(
         .reactor_wakeups
         .load(std::sync::atomic::Ordering::Relaxed)
         - wakeups_before;
+    let ring_enters = stats.ring_enters.load(std::sync::atomic::Ordering::Relaxed) - enters_before;
+    let served_queries = stats.queries.load(std::sync::atomic::Ordering::Relaxed) - queries_before;
     // Egress gauges are sampled after shutdown: the shards fold their
     // buffer-ring counters one last time at teardown.
     server.shutdown();
@@ -487,11 +575,13 @@ fn measure_cell(
 
     latencies.sort_unstable();
     let total_queries = (latencies.len() * opts.frame_queries) as f64;
+    let throughput_qps = total_queries / elapsed.as_secs_f64();
     ConnCell {
         connections,
+        io_backend: backend,
         reader_threads,
         registered_conns,
-        throughput_qps: total_queries / elapsed.as_secs_f64(),
+        throughput_qps,
         p50_us: crate::netpath::percentile_us(&latencies, 0.50),
         p99_us: crate::netpath::percentile_us(&latencies, 0.99),
         mean_batch_frames,
@@ -504,6 +594,18 @@ fn measure_cell(
         } else {
             hits as f64 / lookups as f64
         },
+        ring_enters,
+        syscalls_per_query: if served_queries == 0 {
+            0.0
+        } else {
+            ring_enters as f64 / served_queries as f64
+        },
+        // Single-run placeholders; `run_connpath` folds the repeat
+        // spread over the kept cell.
+        qps_min: throughput_qps,
+        qps_mean: throughput_qps,
+        qps_max: throughput_qps,
+        qps_rel_spread: 0.0,
     }
 }
 
@@ -651,42 +753,71 @@ pub fn run_slow_cell(opts: &ConnpathOptions, connections: usize) -> SlowCell {
     }
 }
 
-/// Measure one connection count with a freshly built workload (the
-/// library entry point the smoke test uses).
+/// Measure one connection count on one backend with a freshly built
+/// workload (the library entry point the smoke test uses).
 #[must_use]
-pub fn run_cell(opts: &ConnpathOptions, connections: usize) -> ConnCell {
+pub fn run_cell(opts: &ConnpathOptions, connections: usize, backend: IoBackend) -> ConnCell {
     let (engine, streams) = build_workload(opts, connections);
     measure_cell(
         opts,
         connections,
+        backend,
         &Arc::new(Mutex::new(engine)),
         &Arc::new(streams),
     )
 }
 
-/// Run the connection sweep. `netpath_json` is the content of
-/// `BENCH_netpath.json` when available (for the low-scale comparison);
-/// `progress` receives each finished cell.
+/// The backends the sweep measures on this kernel: always epoll, plus
+/// uring when the probe finds a usable ring (a thin alias of
+/// [`dido_net::backend_matrix`], so bench and test matrices agree).
+#[must_use]
+pub fn sweep_backends() -> Vec<IoBackend> {
+    backend_matrix()
+}
+
+/// Run the connection sweep on every available backend. Repeats
+/// interleave the backends (epoll, uring, epoll, uring, ...) so both
+/// sides of every comparison sample the same process window — on a
+/// shared box, comparing an epoll run against a uring run taken
+/// minutes apart measures the machine's mood, not the backend.
+/// `netpath_json` is the content of `BENCH_netpath.json` when
+/// available (for the low-scale comparison); `progress` receives each
+/// finished cell.
 pub fn run_connpath(
     opts: &ConnpathOptions,
     netpath_json: Option<&str>,
     mut progress: impl FnMut(&ConnCell),
 ) -> ConnpathReport {
+    let backends = sweep_backends();
     let mut cells = Vec::new();
     for connections in opts.connections() {
         let (engine, streams) = build_workload(opts, connections);
         let engine = Arc::new(Mutex::new(engine));
         let streams = Arc::new(streams);
-        let mut best: Option<ConnCell> = None;
+        let mut best: Vec<Option<ConnCell>> = vec![None; backends.len()];
+        let mut samples: Vec<Vec<f64>> = vec![Vec::new(); backends.len()];
         for _ in 0..opts.repeats.max(1) {
-            let cell = measure_cell(opts, connections, &engine, &streams);
-            if best.is_none_or(|b| cell.throughput_qps > b.throughput_qps) {
-                best = Some(cell);
+            for (bi, &backend) in backends.iter().enumerate() {
+                let cell = measure_cell(opts, connections, backend, &engine, &streams);
+                samples[bi].push(cell.throughput_qps);
+                if best[bi].is_none_or(|b| cell.throughput_qps > b.throughput_qps) {
+                    best[bi] = Some(cell);
+                }
             }
         }
-        let cell = best.expect("at least one repeat");
-        progress(&cell);
-        cells.push(cell);
+        for (bi, best) in best.into_iter().enumerate() {
+            let mut cell = best.expect("at least one repeat");
+            let qps = &samples[bi];
+            let min = qps.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = qps.iter().copied().fold(0.0, f64::max);
+            let mean = qps.iter().sum::<f64>() / qps.len() as f64;
+            cell.qps_min = min;
+            cell.qps_mean = mean;
+            cell.qps_max = max;
+            cell.qps_rel_spread = if mean > 0.0 { (max - min) / mean } else { 0.0 };
+            progress(&cell);
+            cells.push(cell);
+        }
     }
     // The slow-consumer isolation cell runs at the sweep's middle scale
     // (512 connections full, 64 quick).
@@ -707,8 +838,9 @@ pub fn run_connpath(
 mod tests {
     use super::*;
 
-    /// A tiny fleet over a live loopback server: the harness must open
-    /// every connection up front and round-trip real traffic.
+    /// A tiny fleet over a live loopback server, once per available
+    /// backend: the harness must open every connection up front and
+    /// round-trip real traffic.
     #[test]
     fn smoke_cell_small_fleet() {
         let opts = ConnpathOptions {
@@ -718,24 +850,33 @@ mod tests {
             frame_queries: 4,
             ..ConnpathOptions::quick()
         };
-        let cell = run_cell(&opts, 8);
-        assert_eq!(cell.connections, 8);
-        assert_eq!(cell.registered_conns, 8, "fleet not fully registered");
-        assert!(cell.reader_threads >= 1);
-        assert!(cell.throughput_qps > 0.0, "no traffic measured");
-        assert!(cell.p99_us >= cell.p50_us, "percentiles inverted");
-        assert!(cell.sd_writer_threads >= 1, "egress plane not running");
-        assert!(
-            (0.0..=1.0).contains(&cell.sd_buf_hit_rate),
-            "hit rate out of range: {}",
-            cell.sd_buf_hit_rate
-        );
+        for backend in sweep_backends() {
+            let cell = run_cell(&opts, 8, backend);
+            assert_eq!(cell.connections, 8);
+            assert_eq!(cell.io_backend, backend);
+            assert_eq!(cell.registered_conns, 8, "fleet not fully registered");
+            assert!(cell.reader_threads >= 1);
+            assert!(cell.throughput_qps > 0.0, "no traffic measured");
+            assert!(cell.p99_us >= cell.p50_us, "percentiles inverted");
+            assert!(cell.sd_writer_threads >= 1, "egress plane not running");
+            assert!(cell.ring_enters > 0, "no I/O-plane syscalls counted");
+            assert!(
+                cell.syscalls_per_query > 0.0,
+                "syscalls-per-query not derived"
+            );
+            assert!(
+                (0.0..=1.0).contains(&cell.sd_buf_hit_rate),
+                "hit rate out of range: {}",
+                cell.sd_buf_hit_rate
+            );
+        }
     }
 
     #[test]
     fn report_json_and_acceptance() {
-        let mk = |connections: usize, readers: u64, qps: f64| ConnCell {
+        let mk = |connections: usize, backend: IoBackend, readers: u64, qps: f64| ConnCell {
             connections,
+            io_backend: backend,
             reader_threads: readers,
             registered_conns: connections as u64,
             throughput_qps: qps,
@@ -747,6 +888,16 @@ mod tests {
             sd_writable_parks: 3,
             sd_pending_hiwater: 65536,
             sd_buf_hit_rate: 0.98,
+            ring_enters: 2000,
+            syscalls_per_query: if backend == IoBackend::Uring {
+                0.01
+            } else {
+                0.04
+            },
+            qps_min: qps * 0.9,
+            qps_mean: qps * 0.95,
+            qps_max: qps,
+            qps_rel_spread: 0.105,
         };
         let slow_cell = SlowCell {
             connections: 512,
@@ -761,16 +912,36 @@ mod tests {
         };
         let report = ConnpathReport {
             opts: ConnpathOptions::default(),
-            cells: vec![mk(64, 4, 1.00e6), mk(512, 4, 9.5e5), mk(4096, 4, 9.0e5)],
+            cells: vec![
+                mk(64, IoBackend::Epoll, 4, 1.00e6),
+                mk(64, IoBackend::Uring, 4, 1.05e6),
+                mk(512, IoBackend::Epoll, 4, 9.5e5),
+                mk(512, IoBackend::Uring, 4, 9.6e5),
+                mk(4096, IoBackend::Epoll, 4, 9.0e5),
+                mk(4096, IoBackend::Uring, 4, 9.9e5),
+            ],
             slow: Some(slow_cell),
             netpath_baseline_qps: Some(1.0e6),
         };
         assert!(report.flat_readers());
+        // The netpath guard compares the *epoll* 64-conn cell, not the
+        // faster uring one.
         assert!((report.netpath_ratio().unwrap() - 1.0).abs() < 1e-9);
         assert!(report.netpath_pass());
+        // The uring comparison reads the largest cell: 9.9e5 / 9.0e5
+        // throughput, 0.04 / 0.01 syscalls per query.
+        assert!((report.uring_throughput_ratio().unwrap() - 1.1).abs() < 1e-9);
+        assert!((report.uring_syscall_ratio().unwrap() - 4.0).abs() < 1e-9);
         let json = report.to_json();
         assert!(json.contains("\"flat_readers_pass\": true"));
         assert!(json.contains("\"pass\": true"));
+        assert!(json.contains("\"io_backend\": \"epoll\""));
+        assert!(json.contains("\"io_backend\": \"uring\""));
+        assert!(json.contains("\"uring_throughput_ratio\": 1.100"));
+        assert!(json.contains("\"uring_syscall_ratio\": 4.00"));
+        assert!(json.contains("\"ring_enters\": 2000"));
+        assert!(json.contains("\"syscalls_per_query\": 0.010"));
+        assert!(json.contains("\"qps_rel_spread\": 0.1050"));
         assert!(json.contains("\"sd_writer_threads\": 2"));
         assert!(json.contains("\"sd_buf_ring_hit_rate\": 0.9800"));
         assert!(json.contains("\"healthy_p99_ratio\": 1.333"));
@@ -782,16 +953,25 @@ mod tests {
         // with the fleet — flat_readers must fail.
         let scaling = ConnpathReport {
             opts: ConnpathOptions::default(),
-            cells: vec![mk(64, 64, 1.0e6), mk(512, 512, 1.0e6)],
+            cells: vec![
+                mk(64, IoBackend::Epoll, 64, 1.0e6),
+                mk(512, IoBackend::Epoll, 512, 1.0e6),
+            ],
             slow: None,
             netpath_baseline_qps: None,
         };
         assert!(!scaling.flat_readers());
-        assert!(scaling.to_json().contains("\"slow_consumer\": null"));
+        // Epoll-only sweep (kernel without io_uring): the uring
+        // comparison is null, not a failure.
+        assert_eq!(scaling.uring_throughput_ratio(), None);
+        assert_eq!(scaling.uring_syscall_ratio(), None);
+        let scaling_json = scaling.to_json();
+        assert!(scaling_json.contains("\"slow_consumer\": null"));
+        assert!(scaling_json.contains("\"uring_throughput_ratio\": null"));
         // Low-scale throughput loss past tolerance must fail the guard.
         let slow = ConnpathReport {
             opts: ConnpathOptions::default(),
-            cells: vec![mk(64, 4, 9.0e5)],
+            cells: vec![mk(64, IoBackend::Epoll, 4, 9.0e5)],
             slow: None,
             netpath_baseline_qps: Some(1.0e6),
         };

@@ -29,7 +29,10 @@ pub fn run_affinity(ctx: &ExperimentCtx) {
     for (label, cfg) in [
         ("[IN]", mk(&[TaskKind::In])),
         ("[IN,KC]", mk(&[TaskKind::In, TaskKind::Kc])),
-        ("[IN,KC,RD]", mk(&[TaskKind::In, TaskKind::Kc, TaskKind::Rd])),
+        (
+            "[IN,KC,RD]",
+            mk(&[TaskKind::In, TaskKind::Kc, TaskKind::Rd]),
+        ),
     ] {
         let m = measure_fixed_config(ctx, w, cfg);
         let plan = cfg.plan();
@@ -183,7 +186,10 @@ pub fn run_search(ctx: &ExperimentCtx) {
             label.to_string(),
             format!("{:.2}", ex.throughput_mops()),
             format!("{:.2}", gr.throughput_mops()),
-            format!("{:.2}", gr.throughput_mops() / ex.throughput_mops().max(1e-9)),
+            format!(
+                "{:.2}",
+                gr.throughput_mops() / ex.throughput_mops().max(1e-9)
+            ),
             if ex.config == gr.config { "yes" } else { "no" }.to_string(),
         ]);
     }

@@ -52,7 +52,13 @@ pub fn run_fig13(ctx: &ExperimentCtx) {
         fixed_segment: Some(TaskSet::from_tasks(&[TaskKind::In])),
     };
     let configs = enumerator.enumerate();
-    let mut t = Table::new(["workload", "all-gpu(MOPS)", "flexible(MOPS)", "speedup", "ops"]);
+    let mut t = Table::new([
+        "workload",
+        "all-gpu(MOPS)",
+        "flexible(MOPS)",
+        "speedup",
+        "ops",
+    ]);
     let mut speedups = Vec::new();
     for w in WorkloadSpec::all_24() {
         // The paper evaluates the 95% and 50% GET workloads (no index
@@ -137,7 +143,12 @@ pub fn run_fig15(ctx: &ExperimentCtx) {
         work_stealing: Some(false),
         fixed_segment: None,
     };
-    let mut t = Table::new(["workload", "no-steal(MOPS)", "steal(MOPS)", "improvement(%)"]);
+    let mut t = Table::new([
+        "workload",
+        "no-steal(MOPS)",
+        "steal(MOPS)",
+        "improvement(%)",
+    ]);
     let mut by_dataset: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
     for w in WorkloadSpec::all_24() {
         let base_cfg = model_choice(ctx, w, enumerator);

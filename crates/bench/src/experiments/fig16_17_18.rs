@@ -106,7 +106,11 @@ pub fn run(ctx: &ExperimentCtx, metric: Metric) {
             let r = &dd.report.report;
             row.push(format!(
                 "{:.2}",
-                em.kops_per_watt(dd.mops(), r.cpu_utilization(apu.cpu.cores), r.gpu_utilization())
+                em.kops_per_watt(
+                    dd.mops(),
+                    r.cpu_utilization(apu.cpu.cores),
+                    r.gpu_utilization()
+                )
             ));
         }
         t.row(row);

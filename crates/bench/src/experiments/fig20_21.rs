@@ -16,7 +16,11 @@ use dido_workload::{key_bytes, value_bytes, WorkloadGen, WorkloadSpec};
 
 /// Build an engine preloaded with *both* workloads' key spaces (half the
 /// store each), so either phase of the alternation finds its keys.
-fn dual_preloaded_engine(ctx: &ExperimentCtx, a: WorkloadSpec, b: WorkloadSpec) -> (KvEngine, u64, u64) {
+fn dual_preloaded_engine(
+    ctx: &ExperimentCtx,
+    a: WorkloadSpec,
+    b: WorkloadSpec,
+) -> (KvEngine, u64, u64) {
     let hw = HwSpec::kaveri_apu();
     let ratio = (ctx.store_bytes as f64 / hw.mem.shared_bytes as f64).min(1.0);
     let cpu_cache = ((hw.cpu.cache_bytes as f64 * ratio) as u64).max(8 * 1024);
@@ -29,11 +33,18 @@ fn dual_preloaded_engine(ctx: &ExperimentCtx, a: WorkloadSpec, b: WorkloadSpec) 
         for id in 0..n {
             let key = key_bytes(spec.dataset, id);
             let value = value_bytes(spec.dataset, id);
-            let out = engine.store.allocate(&key, &value).expect("fits half store");
+            let out = engine
+                .store
+                .allocate(&key, &value)
+                .expect("fits half store");
             if let Some(ev) = &out.evicted {
                 let _ = engine.index.delete(key_hash(&ev.key), ev.loc);
             }
-            engine.index.upsert(key_hash(&key), out.loc).0.expect("index fits");
+            engine
+                .index
+                .upsert(key_hash(&key), out.loc)
+                .0
+                .expect("index fits");
         }
     }
     (engine, n_a, n_b)

@@ -16,10 +16,28 @@ use crate::ExperimentCtx;
 
 /// All experiment names accepted by the `experiments` binary.
 pub const ALL: &[&str] = &[
-    "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "ablation-affinity",
-    "ablation-interference", "ablation-search", "ablation-atomics",
-    "ablation-bandwidth", "latency-curve",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "ablation-affinity",
+    "ablation-interference",
+    "ablation-search",
+    "ablation-atomics",
+    "ablation-bandwidth",
+    "latency-curve",
 ];
 
 /// Dispatch one experiment by name. Returns false for unknown names.

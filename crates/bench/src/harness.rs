@@ -4,9 +4,7 @@ use dido::{DidoOptions, DidoSystem};
 use dido_apu_sim::TimingEngine;
 use dido_megakv::MegaKv;
 use dido_model::PipelineConfig;
-use dido_pipeline::{
-    preloaded_engine, RunOptions, SimExecutor, TestbedOptions, WorkloadReport,
-};
+use dido_pipeline::{preloaded_engine, RunOptions, SimExecutor, TestbedOptions, WorkloadReport};
 use dido_workload::{WorkloadGen, WorkloadSpec};
 
 /// Global knobs for a run of the experiment suite.

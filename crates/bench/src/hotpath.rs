@@ -369,7 +369,11 @@ pub fn run_scalar_batch(ctx: StageCtx, engine: &KvEngine, queries: &[Query]) -> 
         usage += if warm {
             ResourceUsage::new(val_lines * costs::INSNS_PER_LINE, 0, val_lines)
         } else {
-            ResourceUsage::new(val_lines * costs::INSNS_PER_LINE, 1, val_lines.saturating_sub(1))
+            ResourceUsage::new(
+                val_lines * costs::INSNS_PER_LINE,
+                1,
+                val_lines.saturating_sub(1),
+            )
         }
         .with_bytes(vlen as u64);
         let mut staged = Vec::with_capacity(vlen);
@@ -466,12 +470,7 @@ fn measure_cell(mix: Mix, batch_size: usize, opts: &HotpathOptions) -> Cell {
 
     // Clone outside the timed region; `Batch::new` consumes the queries.
     let vector_batches: Vec<Vec<Query>> = batches.clone();
-    std::hint::black_box(run_vectorized_batch(
-        ctx,
-        &vector_engine,
-        warmup,
-        config,
-    ));
+    std::hint::black_box(run_vectorized_batch(ctx, &vector_engine, warmup, config));
     let start = Instant::now();
     for qs in vector_batches {
         std::hint::black_box(run_vectorized_batch(ctx, &vector_engine, qs, config));
@@ -498,10 +497,7 @@ pub fn run_hotpath(opts: &HotpathOptions, mut progress: impl FnMut(&Cell)) -> Ho
             cells.push(cell);
         }
     }
-    HotpathReport {
-        opts: *opts,
-        cells,
-    }
+    HotpathReport { opts: *opts, cells }
 }
 
 #[cfg(test)]
@@ -526,12 +522,8 @@ mod tests {
         for round in 0..4 {
             let queries = generator.batch(300);
             let scalar = run_scalar_batch(ctx, &scalar_engine, &queries);
-            let vector = run_vectorized_batch(
-                ctx,
-                &vector_engine,
-                queries,
-                PipelineConfig::mega_kv(),
-            );
+            let vector =
+                run_vectorized_batch(ctx, &vector_engine, queries, PipelineConfig::mega_kv());
             assert_eq!(scalar.len(), vector.len());
             for (i, (s, v)) in scalar.iter().zip(&vector).enumerate() {
                 assert_eq!(s, v, "round {round} query {i}");

@@ -15,9 +15,9 @@
 //! plus p50/p99 frame latency. Results serialize via
 //! [`NetpathReport::to_json`] for `BENCH_netpath.json`.
 
+use bytes::{Bytes, BytesMut};
 use dido_apu_sim::HwSpec;
 use dido_model::{PipelineConfig, Query};
-use bytes::{Bytes, BytesMut};
 use dido_net::{encode_queries_wire_into, BatchConfig, DispatchMode, KvClient, KvServer};
 use dido_pipeline::{preloaded_engine, KvEngine, TestbedOptions};
 use dido_workload::{Dataset, KeyDistribution, WorkloadSpec};

@@ -220,7 +220,10 @@ impl ReshardReport {
         ));
         s.push_str(&format!("    \"post_qps\": {:.1},\n", self.resize.post_qps));
         s.push_str(&format!("    \"dip_ratio\": {:.3},\n", self.dip_ratio()));
-        s.push_str(&format!("    \"resize_ms\": {:.3},\n", self.resize.resize_ms));
+        s.push_str(&format!(
+            "    \"resize_ms\": {:.3},\n",
+            self.resize.resize_ms
+        ));
         s.push_str(&format!("    \"resizes\": {}\n", self.resize.resizes));
         s.push_str("  },\n");
         s.push_str("  \"cells\": [\n");
@@ -309,12 +312,8 @@ fn qps_in(events: &Events, from_ns: u64, to_ns: u64) -> f64 {
 /// Measure one steady cell: a fresh preloaded core at `shards`, driven
 /// for `steady_ms` after one warmup window.
 pub fn run_steady(opts: &ReshardOptions, shards: usize) -> ReshardCell {
-    let (core, generator) = ServingCore::preloaded(
-        opts.spec(),
-        shards,
-        opts.dispatchers,
-        opts.dido_options(),
-    );
+    let (core, generator) =
+        ServingCore::preloaded(opts.spec(), shards, opts.dispatchers, opts.dido_options());
     let core = Arc::new(core);
     let pools = build_pools(opts, &generator);
     let stop = Arc::new(AtomicBool::new(false));

@@ -284,6 +284,12 @@ impl BytesMut {
         self.buf.resize(new_len, value);
     }
 
+    /// Shorten to `len` bytes, keeping capacity; a no-op when the
+    /// buffer is already `len` or shorter (matching the real crate).
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
     /// Split off the first `at` bytes into a new buffer, leaving the
     /// tail in `self`.
     ///

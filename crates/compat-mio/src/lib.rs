@@ -454,6 +454,10 @@ mod sys {
             Ok(WakerFd { fd })
         }
 
+        pub fn notify_fd(&self) -> RawFd {
+            self.fd
+        }
+
         pub fn wake(&self) -> io::Result<()> {
             let one: u64 = 1;
             let r = unsafe {
@@ -646,6 +650,10 @@ mod sys {
             })
         }
 
+        pub fn notify_fd(&self) -> RawFd {
+            self.read_fd
+        }
+
         pub fn wake(&self) -> io::Result<()> {
             let byte = 1u8;
             let r = unsafe { ffi::write(self.write_fd, (&raw const byte).cast(), 1) };
@@ -752,6 +760,19 @@ impl Waker {
     /// several `wake` calls.
     pub fn wake(&self) -> io::Result<()> {
         self.inner.wake()
+    }
+}
+
+/// Extension over `mio`: exposes the waker's readable notification fd
+/// (the eventfd on Linux, the pipe's read end elsewhere) so an
+/// alternative event plane — DIDO's io_uring backend — can arm its own
+/// readiness watch (`POLL_ADD`) on the same waker other planes kick
+/// through [`Waker::wake`]. Such a consumer must drain the fd itself
+/// after each completion; the epoll backend's edge-triggered
+/// registration is unaffected by draining.
+impl AsRawFd for Waker {
+    fn as_raw_fd(&self) -> RawFd {
+        self.inner.notify_fd()
     }
 }
 

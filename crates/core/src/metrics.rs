@@ -88,6 +88,20 @@ pub struct Metrics {
     /// Highest per-connection pending egress bytes observed — folds by
     /// max, like [`Metrics::net_ring_depth_max`].
     pub net_sd_pending_hiwater: u64,
+    /// Which I/O backend the front-end resolved (0 = epoll, 1 =
+    /// io_uring) — a gauge, folded by last value.
+    pub net_io_backend: u64,
+    /// Comparable I/O syscalls: every `io_uring_enter` on the uring
+    /// backend; every `epoll_wait`/`read`/`writev` on the epoll
+    /// backend. Divide by `net_queries` for syscalls-per-query.
+    pub net_ring_enters: u64,
+    /// Connections retired from the per-connection (non-batched) path
+    /// because a blocking write stalled past the write deadline.
+    pub net_write_stall_retired: u64,
+    /// CQEs-reaped-per-`io_uring_enter` histogram (same buckets as
+    /// [`Metrics::net_batch_hist`]; uring backend only, empty enters
+    /// not recorded).
+    pub net_cqe_per_enter_hist: [u64; dido_net::BATCH_HIST_BUCKETS],
     /// Batches executed per configuration (display string → count).
     pub config_histogram: BTreeMap<String, u64>,
 }
@@ -155,6 +169,16 @@ impl Metrics {
         self.net_sd_pending_hiwater = self
             .net_sd_pending_hiwater
             .max(stats.sd_pending_bytes_hiwater);
+        self.net_io_backend = stats.io_backend;
+        self.net_ring_enters += stats.ring_enters;
+        self.net_write_stall_retired += stats.write_stall_retired;
+        for (acc, v) in self
+            .net_cqe_per_enter_hist
+            .iter_mut()
+            .zip(stats.cqe_per_enter_hist)
+        {
+            *acc += v;
+        }
     }
 
     /// Mean frames aggregated per network dispatch (0 when the batched
@@ -281,6 +305,40 @@ impl fmt::Display for Metrics {
                 self.net_sd_pending_hiwater
             )?;
         }
+        if self.net_ring_enters > 0 {
+            let spq = if self.net_queries == 0 {
+                0.0
+            } else {
+                self.net_ring_enters as f64 / self.net_queries as f64
+            };
+            let cqes: u64 = self
+                .net_cqe_per_enter_hist
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| n << i)
+                .sum();
+            let enters_with_cqes: u64 = self.net_cqe_per_enter_hist.iter().sum();
+            write!(
+                f,
+                "io: backend {}, {} ring enters ({:.2} syscalls/query), \
+                 {} write-stall retired",
+                dido_net::IoBackend::name_of(self.net_io_backend),
+                self.net_ring_enters,
+                spq,
+                self.net_write_stall_retired
+            )?;
+            if enters_with_cqes > 0 {
+                // Bucket midpoints make this approximate; it still shows
+                // whether completions arrive in batches or dribbles.
+                write!(
+                    f,
+                    ", ~{:.1} cqes/enter over {} non-empty enters",
+                    cqes as f64 / enters_with_cqes as f64,
+                    enters_with_cqes
+                )?;
+            }
+            writeln!(f)?;
+        }
         for (cfg, count) in &self.config_histogram {
             writeln!(f, "  {count:>6} x {cfg}")?;
         }
@@ -373,6 +431,14 @@ mod tests {
             sd_buf_hits: 30,
             sd_buf_misses: 10,
             sd_pending_bytes_hiwater: 8192,
+            io_backend: 1,
+            ring_enters: 40,
+            write_stall_retired: 1,
+            cqe_per_enter_hist: {
+                let mut h = [0u64; dido_net::BATCH_HIST_BUCKETS];
+                h[2] = 6;
+                h
+            },
             ..NetStatsSnapshot::default()
         });
         m.record_net_stats(&NetStatsSnapshot {
@@ -386,6 +452,13 @@ mod tests {
             sd_writable_parks: 1,
             sd_buf_hits: 10,
             sd_pending_bytes_hiwater: 4096, // lower than prior max: keeps 8192
+            io_backend: 1,
+            ring_enters: 20,
+            cqe_per_enter_hist: {
+                let mut h = [0u64; dido_net::BATCH_HIST_BUCKETS];
+                h[2] = 2;
+                h
+            },
             ..NetStatsSnapshot::default()
         });
         assert_eq!(m.net_dispatches, 4);
@@ -409,12 +482,19 @@ mod tests {
         assert_eq!(m.net_sd_buf_hits, 40);
         assert_eq!(m.net_sd_buf_misses, 10);
         assert_eq!(m.net_sd_pending_hiwater, 8192, "hiwater folds by max");
+        assert_eq!(m.net_io_backend, 1, "backend folds as a gauge");
+        assert_eq!(m.net_ring_enters, 60);
+        assert_eq!(m.net_write_stall_retired, 1);
+        assert_eq!(m.net_cqe_per_enter_hist[2], 8);
         let s = m.to_string();
         assert!(s.contains("4 dispatches"), "{s}");
         assert!(s.contains("ring depth max 12"), "{s}");
         assert!(s.contains("4 readers carrying 60 conns"), "{s}");
         assert!(s.contains("sd: 2 writers"), "{s}");
         assert!(s.contains("hit rate 0.800"), "{s}");
+        assert!(s.contains("io: backend uring, 60 ring enters"), "{s}");
+        assert!(s.contains("1 write-stall retired"), "{s}");
+        assert!(s.contains("non-empty enters"), "{s}");
     }
 
     #[test]

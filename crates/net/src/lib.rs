@@ -37,14 +37,14 @@ mod server;
 mod trace;
 
 pub use nic::{FrameRing, Nic};
-pub use sd::{write_queue, BufRing};
-pub use server::{
-    BatchConfig, DispatchMode, KvClient, KvServer, NetStatsSnapshot, ServerStats,
-    BATCH_HIST_BUCKETS, MAX_FRAME_BYTES,
-};
-pub use trace::{read_trace, write_trace, TraceError, TraceWriter};
 pub use protocol::{
     encode_queries_wire_into, encode_responses, encode_responses_wire_into, frame_query_count,
     pack_frames, parse_frame, parse_frame_into, parse_responses, FrameBuilder, ProtocolError,
     DEFAULT_FRAME_CAPACITY, FRAME_HEADER, RECORD_HEADER,
 };
+pub use sd::{write_queue, BufRing};
+pub use server::{
+    backend_matrix, uring_available, BatchConfig, DispatchMode, IoBackend, IoBackendChoice,
+    KvClient, KvServer, NetStatsSnapshot, ServerStats, BATCH_HIST_BUCKETS, MAX_FRAME_BYTES,
+};
+pub use trace::{read_trace, write_trace, TraceError, TraceWriter};

@@ -217,8 +217,7 @@ mod tests {
     fn push_burst_accepts_prefix_and_leaves_overflow() {
         let r = FrameRing::new(3);
         r.push(Bytes::from_static(b"head"));
-        let mut burst: Vec<Bytes> =
-            (0..4u8).map(|i| Bytes::copy_from_slice(&[i])).collect();
+        let mut burst: Vec<Bytes> = (0..4u8).map(|i| Bytes::copy_from_slice(&[i])).collect();
         assert_eq!(r.push_burst(&mut burst), 2, "only two slots were free");
         assert_eq!(burst.len(), 2, "rejected tail stays with the caller");
         assert_eq!(burst[0], Bytes::from_static(&[2]));

@@ -175,12 +175,14 @@ fn parse_records_into(frame: &Bytes, out: &mut Vec<Query>) -> Result<usize, Prot
         if pos + RECORD_HEADER > frame.len() {
             return Err(ProtocolError::Truncated);
         }
-        let op =
-            QueryOp::from_wire_code(frame[pos]).ok_or(ProtocolError::BadOpcode(frame[pos]))?;
+        let op = QueryOp::from_wire_code(frame[pos]).ok_or(ProtocolError::BadOpcode(frame[pos]))?;
         let key_len = u16::from_le_bytes([frame[pos + 1], frame[pos + 2]]) as usize;
-        let val_len =
-            u32::from_le_bytes([frame[pos + 3], frame[pos + 4], frame[pos + 5], frame[pos + 6]])
-                as usize;
+        let val_len = u32::from_le_bytes([
+            frame[pos + 3],
+            frame[pos + 4],
+            frame[pos + 5],
+            frame[pos + 6],
+        ]) as usize;
         pos += RECORD_HEADER;
         if pos + key_len + val_len > frame.len() {
             return Err(ProtocolError::Truncated);
@@ -200,8 +202,11 @@ fn parse_records_into(frame: &Bytes, out: &mut Vec<Query>) -> Result<usize, Prot
 /// Serialize responses into a frame.
 #[must_use]
 pub fn encode_responses(responses: &[Response]) -> Bytes {
-    let total: usize =
-        FRAME_HEADER + responses.iter().map(|r| 1 + 4 + r.value.len()).sum::<usize>();
+    let total: usize = FRAME_HEADER
+        + responses
+            .iter()
+            .map(|r| 1 + 4 + r.value.len())
+            .sum::<usize>();
     let mut buf = BytesMut::with_capacity(total);
     encode_response_records(&mut buf, responses);
     buf.freeze()
@@ -213,8 +218,11 @@ pub fn encode_responses(responses: &[Response]) -> Bytes {
 /// encoding each frame separately and interleaving prefixes at write
 /// time.
 pub fn encode_responses_wire_into(buf: &mut BytesMut, responses: &[Response]) {
-    let frame_len: usize =
-        FRAME_HEADER + responses.iter().map(|r| 1 + 4 + r.value.len()).sum::<usize>();
+    let frame_len: usize = FRAME_HEADER
+        + responses
+            .iter()
+            .map(|r| 1 + 4 + r.value.len())
+            .sum::<usize>();
     buf.reserve(4 + frame_len);
     buf.put_u32_le(frame_len as u32);
     encode_response_records(buf, responses);
@@ -271,9 +279,12 @@ pub fn parse_responses(frame: &Bytes) -> Result<Vec<Response>, ProtocolError> {
             2 => ResponseStatus::Error,
             b => return Err(ProtocolError::BadOpcode(b)),
         };
-        let val_len =
-            u32::from_le_bytes([frame[pos + 1], frame[pos + 2], frame[pos + 3], frame[pos + 4]])
-                as usize;
+        let val_len = u32::from_le_bytes([
+            frame[pos + 1],
+            frame[pos + 2],
+            frame[pos + 3],
+            frame[pos + 4],
+        ]) as usize;
         pos += 5;
         if pos + val_len > frame.len() {
             return Err(ProtocolError::Truncated);
@@ -328,7 +339,10 @@ mod tests {
             .map(|i| Query::set(format!("key-{i:03}"), vec![b'x'; 50]))
             .collect();
         let frames = pack_frames(&qs, 256);
-        assert!(frames.len() > 1, "100 × ~64B records cannot fit one 256B frame");
+        assert!(
+            frames.len() > 1,
+            "100 × ~64B records cannot fit one 256B frame"
+        );
         let total: usize = frames.iter().map(|f| parse_frame(f).unwrap().len()).sum();
         assert_eq!(total, 100, "no query may be lost across frame splits");
         for f in &frames {
@@ -346,7 +360,10 @@ mod tests {
 
     #[test]
     fn truncated_frames_error() {
-        assert_eq!(parse_frame(&Bytes::from_static(&[1])), Err(ProtocolError::Truncated));
+        assert_eq!(
+            parse_frame(&Bytes::from_static(&[1])),
+            Err(ProtocolError::Truncated)
+        );
         let mut b = FrameBuilder::new();
         b.push(&Query::set("kk", "vv"));
         let frame = b.finish();
@@ -362,7 +379,10 @@ mod tests {
         raw.put_u16_le(1);
         raw.put_u32_le(0);
         raw.put_u8(b'k');
-        assert_eq!(parse_frame(&raw.freeze()), Err(ProtocolError::BadOpcode(99)));
+        assert_eq!(
+            parse_frame(&raw.freeze()),
+            Err(ProtocolError::BadOpcode(99))
+        );
     }
 
     #[test]
@@ -387,8 +407,14 @@ mod tests {
 
         let mut out = Vec::new();
         assert_eq!(parse_frame_into(&good, &mut out).unwrap(), qs.len());
-        assert_eq!(parse_frame_into(&cut, &mut out), Err(ProtocolError::Truncated));
-        assert_eq!(out, qs, "failed frame must not leave partial queries behind");
+        assert_eq!(
+            parse_frame_into(&cut, &mut out),
+            Err(ProtocolError::Truncated)
+        );
+        assert_eq!(
+            out, qs,
+            "failed frame must not leave partial queries behind"
+        );
     }
 
     #[test]

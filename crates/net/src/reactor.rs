@@ -24,7 +24,9 @@
 
 use crate::nic::FrameRing;
 use crate::sd::SdPlane;
-use crate::server::{Doorbell, FrameReader, ReadReady, ServerStats, TaggedFrame, READ_CHUNK};
+use crate::server::{
+    Doorbell, FrameReader, IoBackend, ReadReady, ServerStats, TaggedFrame, READ_CHUNK,
+};
 use crossbeam::channel::{Receiver, Sender};
 use mio::{Events, Interest, Poll, Token, Waker};
 use std::collections::HashMap;
@@ -63,6 +65,12 @@ pub(crate) struct ReactorShared {
     /// Shrink each accepted socket's kernel send buffer (`SO_SNDBUF`)
     /// to this many bytes (`None` keeps the kernel default).
     pub(crate) sndbuf_bytes: Option<usize>,
+    /// Which syscall backend this plane resolved at spawn. Epoll keeps
+    /// sockets nonblocking and burst-reads on readiness; uring keeps
+    /// sockets **blocking** (io_uring poll-arms them internally — a
+    /// nonblocking socket would complete recv SQEs with `EAGAIN`
+    /// instead) and keeps one recv SQE in flight per connection.
+    pub(crate) backend: IoBackend,
 }
 
 /// Commands to a reactor thread (kick the waker after sending).
@@ -213,12 +221,20 @@ pub(crate) fn spawn_reactor_pool(
         cmd_rxs,
     } = scaffold;
     let n = polls.len();
-    shared.stats.reactor_threads.store(n as u64, Ordering::Relaxed);
+    shared
+        .stats
+        .reactor_threads
+        .store(n as u64, Ordering::Relaxed);
 
+    // The listener stays nonblocking under both backends: the epoll
+    // loop accepts on readiness events, the uring loop on `POLL_ADD`
+    // completions — and both accept-until-`WouldBlock`.
     listener.set_nonblocking(true)?;
-    polls[0]
-        .registry()
-        .register(&listener, LISTENER_TOKEN, Interest::READABLE)?;
+    if shared.backend == IoBackend::Epoll {
+        polls[0]
+            .registry()
+            .register(&listener, LISTENER_TOKEN, Interest::READABLE)?;
+    }
     let mut acceptor = Some(Acceptor {
         listener,
         next_conn: 0,
@@ -230,10 +246,16 @@ pub(crate) fn spawn_reactor_pool(
     for (idx, (poll, cmd_rx)) in polls.into_iter().zip(cmd_rxs).enumerate() {
         let acceptor = if idx == 0 { acceptor.take() } else { None };
         let shared = shared.clone();
+        let waker = Arc::clone(&wakers[idx]);
         threads.push(
             std::thread::Builder::new()
                 .name(format!("dido-reactor-{idx}"))
-                .spawn(move || run_reactor(idx, poll, cmd_rx, acceptor, &shared))?,
+                .spawn(move || match shared.backend {
+                    IoBackend::Epoll => run_reactor(idx, poll, cmd_rx, acceptor, &shared),
+                    IoBackend::Uring => {
+                        run_reactor_uring(idx, poll, waker, cmd_rx, acceptor, &shared)
+                    }
+                })?,
         );
     }
     Ok(ReactorPool { threads, wakers })
@@ -251,12 +273,17 @@ fn run_reactor(
     let mut conns: HashMap<usize, ConnState> = HashMap::new();
     let mut burst: Vec<bytes::Bytes> = Vec::new();
     let mut tagged: Vec<TaggedFrame> = Vec::new();
+    let mut adopted: Vec<(u64, TcpStream)> = Vec::new();
     loop {
         if poll.poll(&mut events, Some(POLL_TIMEOUT)).is_err() {
             // A broken selector cannot make progress; treat it like
             // shutdown so the server tears down instead of spinning.
             break;
         }
+        // I/O syscalls this pass: the poll itself plus every read the
+        // ready handlers issue — the epoll side of the backends'
+        // syscalls-per-query comparison.
+        let mut sys = 1u64;
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
@@ -270,7 +297,12 @@ fn run_reactor(
                 WAKER_TOKEN => {} // registrations are drained below
                 LISTENER_TOKEN => {
                     if let Some(a) = acceptor.as_mut() {
-                        if !accept_ready(a, idx, &poll, &mut conns, shared) {
+                        adopted.clear();
+                        let alive = accept_ready(a, idx, shared, true, &mut adopted);
+                        for (conn, stream) in adopted.drain(..) {
+                            register_conn(&poll, &mut conns, conn, stream, shared);
+                        }
+                        if !alive {
                             // Fatal listener error: stop accepting but
                             // keep serving live connections.
                             let _ = poll.registry().deregister(&a.listener);
@@ -285,9 +317,11 @@ fn run_reactor(
                     &mut burst,
                     &mut tagged,
                     shared,
+                    &mut sys,
                 ),
             }
         }
+        shared.stats.ring_enters.fetch_add(sys, Ordering::Relaxed);
         // Wakeups coalesce, so the command queue is drained every pass
         // rather than only on a waker event.
         while let Ok(cmd) = cmd_rx.try_recv() {
@@ -308,7 +342,10 @@ fn run_reactor(
     for (_, c) in conns.drain() {
         shared.sd.send_eof(c.conn, c.seq);
     }
-    shared.stats.reactor_conns.fetch_sub(live, Ordering::Relaxed);
+    shared
+        .stats
+        .reactor_conns
+        .fetch_sub(live, Ordering::Relaxed);
     while let Ok(cmd) = cmd_rx.try_recv() {
         if let ReactorCmd::Register { conn, .. } = cmd {
             shared.sd.send_eof(conn, 0);
@@ -349,20 +386,28 @@ fn set_read_interest(
     }
 }
 
-/// Accept until the listener would block. Returns whether the listener
-/// is still usable.
+/// Accept until the listener would block, routing each connection to
+/// its round-robin owner: remote reactors get a `Register` command,
+/// this reactor's own share lands in `adopted` for the caller to
+/// register backend-appropriately. `nonblocking` selects the accepted
+/// socket's mode (epoll needs nonblocking reads; the uring backend
+/// must keep sockets blocking so recv SQEs poll-arm instead of
+/// completing with `EAGAIN`). Returns whether the listener is still
+/// usable.
 fn accept_ready(
     a: &mut Acceptor,
     idx: usize,
-    poll: &Poll,
-    conns: &mut HashMap<usize, ConnState>,
     shared: &ReactorShared,
+    nonblocking: bool,
+    adopted: &mut Vec<(u64, TcpStream)>,
 ) -> bool {
     loop {
         match a.listener.accept() {
             Ok((stream, _)) => {
                 let _ = stream.set_nodelay(true);
-                if stream.set_nonblocking(true).is_err() {
+                // accept(2) does not inherit the listener's nonblocking
+                // flag on Linux, so each mode sets what it needs.
+                if nonblocking && stream.set_nonblocking(true).is_err() {
                     continue; // connection dies; client sees a close
                 }
                 if let Some(bytes) = shared.sndbuf_bytes {
@@ -381,7 +426,7 @@ fn accept_ready(
                 shared.sd.send_open(conn, write_half);
                 let target = (conn as usize) % a.peers.len();
                 if target == idx {
-                    register_conn(poll, conns, conn, stream, shared);
+                    adopted.push((conn, stream));
                 } else {
                     let _ = a.peers[target].send(ReactorCmd::Register { conn, stream });
                     let _ = a.peer_wakers[target].wake();
@@ -428,8 +473,47 @@ fn register_conn(
     shared.stats.reactor_conns.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Tag a carved burst with sequence numbers and push it into the
+/// shared RX ring with one lock and one doorbell ring; the full-ring
+/// tail stays in `tagged` and is answered with empty frames at drop
+/// time so the connection's sequence numbering never gains a hole.
+/// Shared verbatim by both backends — only how bytes reach the
+/// [`FrameReader`] differs.
+fn publish_burst(
+    conn: u64,
+    seq: &mut u64,
+    burst: &mut Vec<bytes::Bytes>,
+    tagged: &mut Vec<TaggedFrame>,
+    shared: &ReactorShared,
+) {
+    if burst.is_empty() {
+        return;
+    }
+    shared.stats.record_read_burst(burst.len() as u64);
+    tagged.clear();
+    for frame in burst.drain(..) {
+        tagged.push(TaggedFrame {
+            conn,
+            seq: *seq,
+            frame,
+        });
+        *seq += 1;
+    }
+    if shared.ring.push_burst(tagged) > 0 {
+        shared.doorbell.ring();
+    }
+    if !tagged.is_empty() {
+        shared
+            .stats
+            .dropped_frames
+            .fetch_add(tagged.len() as u64, Ordering::Relaxed);
+        shared.sd.overflow_answers(conn, tagged);
+    }
+}
+
 /// RV work for one ready connection: burst-read, carve, tag, push into
 /// the shared ring (drop-answering overflow), retire on EOF/error.
+#[allow(clippy::too_many_arguments)]
 fn handle_conn_ready(
     tok: usize,
     poll: &Poll,
@@ -437,37 +521,14 @@ fn handle_conn_ready(
     burst: &mut Vec<bytes::Bytes>,
     tagged: &mut Vec<TaggedFrame>,
     shared: &ReactorShared,
+    sys: &mut u64,
 ) {
     let Some(c) = conns.get_mut(&tok) else {
         return; // already retired this pass (spurious/stale event)
     };
     burst.clear();
-    let status = c.reader.read_ready(&mut c.stream, burst, READ_BUDGET);
-    if !burst.is_empty() {
-        shared.stats.record_read_burst(burst.len() as u64);
-        tagged.clear();
-        for frame in burst.drain(..) {
-            tagged.push(TaggedFrame {
-                conn: c.conn,
-                seq: c.seq,
-                frame,
-            });
-            c.seq += 1;
-        }
-        // One ring lock for the whole burst; the full-ring tail stays
-        // in `tagged` and is answered with empty frames at drop time so
-        // this connection's sequence numbering never gains a hole.
-        if shared.ring.push_burst(tagged) > 0 {
-            shared.doorbell.ring();
-        }
-        if !tagged.is_empty() {
-            shared
-                .stats
-                .dropped_frames
-                .fetch_add(tagged.len() as u64, Ordering::Relaxed);
-            shared.sd.overflow_answers(c.conn, tagged);
-        }
-    }
+    let status = c.reader.read_ready(&mut c.stream, burst, READ_BUDGET, sys);
+    publish_burst(c.conn, &mut c.seq, burst, tagged, shared);
     if !matches!(status, Ok(ReadReady::Open)) {
         // Clean EOF, mid-frame EOF, or a fatal read/frame error: either
         // way the connection is done producing frames.
@@ -477,5 +538,411 @@ fn handle_conn_ready(
         }
         shared.sd.send_eof(c.conn, c.seq);
         shared.stats.reactor_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// io_uring backend: batched-submission RV loop.
+//
+// Where the epoll loop pays one `epoll_wait` plus one `read` per ready
+// connection per wakeup, this loop keeps one recv SQE in flight per
+// connection (targeting the connection's `FrameReader` window) and
+// reaps a whole batch of completions with a single `io_uring_enter`.
+// The waker eventfd and the listener are folded into the same ring via
+// one-shot `POLL_ADD` SQEs, re-armed after each completion, so the
+// thread blocks in exactly one place. Everything downstream of the
+// reader — carving, tagging, `push_burst`, overflow answering, EOF
+// retirement — is shared verbatim with the epoll path.
+
+/// CQE user-data kind tags (top 8 bits; low 56 bits carry the conn id
+/// for `RECV`).
+const UD_KIND_SHIFT: u32 = 56;
+const UD_DATA_MASK: u64 = (1 << UD_KIND_SHIFT) - 1;
+const UD_WAKER: u64 = 1;
+const UD_LISTENER: u64 = 2;
+const UD_RECV: u64 = 3;
+const UD_CANCEL: u64 = 4;
+
+fn ud(kind: u64, data: u64) -> u64 {
+    (kind << UD_KIND_SHIFT) | (data & UD_DATA_MASK)
+}
+
+// Raw errnos the CQE paths discriminate on (CQE `res` is a negated
+// errno; there is no `io::Error` to match kinds against).
+const ECANCELED: i32 = 125;
+const EAGAIN: i32 = 11;
+const EINTR_RAW: i32 = 4;
+
+/// SQ slots per reactor ring. Arms (recv re-arms, poll re-arms,
+/// cancels) are pushed incrementally and flushed whenever the queue
+/// fills, so this bounds batching, not connection count.
+const URING_SQ: u32 = 1024;
+/// CQ slots; sized above the SQ so completion bursts from thousands of
+/// armed connections do not hit the kernel's overflow path in steady
+/// state (`FEAT_NODROP` keeps even that lossless).
+const URING_CQ: u32 = 4096;
+
+/// Per-connection state in the uring reactor. No `paused`/epoll
+/// registration pair here: backpressure simply stops re-arming the
+/// recv, and resume arms it again.
+struct UringConn {
+    conn: u64,
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Next sequence number to assign to a carved frame.
+    seq: u64,
+    /// READ interest paused by SD backpressure: completions still
+    /// commit (one in-flight window may land after the pause), but the
+    /// recv is not re-armed until resume.
+    paused: bool,
+    /// A recv SQE is in flight; its window owns the reader's tail.
+    recv_inflight: bool,
+}
+
+/// Push a recv SQE for `c`'s next reader window, flushing the SQ when
+/// full. An `Err` means the ring itself is broken (fatal for the
+/// reactor).
+fn arm_recv(ring: &mut uring::Uring, c: &mut UringConn, inflight: &mut u64) -> std::io::Result<()> {
+    let (ptr, len) = c.reader.begin_recv();
+    let fd = c.stream.as_raw_fd();
+    // SAFETY: the window stays valid until the CQE is handled —
+    // `recv_inflight` gates every other touch of this reader, and
+    // teardown drains in-flight ops before freeing connections.
+    while !unsafe { ring.push_recv(fd, ptr, len, ud(UD_RECV, c.conn)) } {
+        ring.submit()?;
+    }
+    c.recv_inflight = true;
+    *inflight += 1;
+    Ok(())
+}
+
+/// Push a one-shot `POLL_ADD` readable watch, flushing the SQ when
+/// full.
+fn arm_poll_in(
+    ring: &mut uring::Uring,
+    fd: std::os::fd::RawFd,
+    user_data: u64,
+    inflight: &mut u64,
+) -> std::io::Result<()> {
+    while !ring.push_poll_add(fd, uring::POLL_IN, user_data) {
+        ring.submit()?;
+    }
+    *inflight += 1;
+    Ok(())
+}
+
+/// Retire a uring-side connection: EOF to the SD plane (which owns the
+/// write half and the close) and drop the read state.
+fn retire_uring_conn(conns: &mut HashMap<u64, UringConn>, conn: u64, shared: &ReactorShared) {
+    if let Some(c) = conns.remove(&conn) {
+        shared.sd.send_eof(c.conn, c.seq);
+        shared.stats.reactor_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Adopt a connection into the uring reactor: insert state and arm its
+/// first recv. A ring failure retires it immediately (EOF) so the SD
+/// plane closes the socket.
+fn register_conn_uring(
+    ring: &mut uring::Uring,
+    conns: &mut HashMap<u64, UringConn>,
+    conn: u64,
+    stream: TcpStream,
+    shared: &ReactorShared,
+    inflight: &mut u64,
+) {
+    let mut c = UringConn {
+        conn,
+        stream,
+        reader: FrameReader::new(),
+        seq: 0,
+        paused: false,
+        recv_inflight: false,
+    };
+    if arm_recv(ring, &mut c, inflight).is_err() {
+        shared.sd.send_eof(conn, 0);
+        return;
+    }
+    conns.insert(conn, c);
+    shared.stats.reactor_conns.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Handle one recv completion: commit the window, publish the carved
+/// burst, and re-arm — or retire on EOF/error. Mirrors
+/// `handle_conn_ready` outcome-for-outcome so the reactor-plane test
+/// suite holds on both backends.
+#[allow(clippy::too_many_arguments)]
+fn handle_recv_cqe(
+    ring: &mut uring::Uring,
+    conns: &mut HashMap<u64, UringConn>,
+    conn: u64,
+    res: i32,
+    burst: &mut Vec<bytes::Bytes>,
+    tagged: &mut Vec<TaggedFrame>,
+    shared: &ReactorShared,
+    inflight: &mut u64,
+) {
+    let Some(c) = conns.get_mut(&conn) else {
+        return; // raced with retirement (e.g. a canceled teardown op)
+    };
+    c.recv_inflight = false;
+    if res < 0 {
+        c.reader.abort_recv();
+        match -res {
+            // Canceled: pause/teardown decided this recv should not
+            // land; the conn stays (teardown retires it separately).
+            ECANCELED => return,
+            // Spurious wakeups: re-arm unless paused.
+            EAGAIN | EINTR_RAW => {
+                if !c.paused && arm_recv(ring, c, inflight).is_err() {
+                    retire_uring_conn(conns, conn, shared);
+                }
+                return;
+            }
+            // Fatal socket error (reset, aborted, …): done producing.
+            _ => {
+                retire_uring_conn(conns, conn, shared);
+                return;
+            }
+        }
+    }
+    burst.clear();
+    let status = c.reader.complete_recv(res as usize, burst);
+    publish_burst(c.conn, &mut c.seq, burst, tagged, shared);
+    match status {
+        Ok(ReadReady::Open) => {
+            if !c.paused && arm_recv(ring, c, inflight).is_err() {
+                retire_uring_conn(conns, conn, shared);
+            }
+        }
+        // Clean EOF, mid-frame EOF, or a frame error: retire, exactly
+        // like the epoll path.
+        _ => retire_uring_conn(conns, conn, shared),
+    }
+}
+
+/// The uring reactor loop. `_poll` is kept alive (unused) so the
+/// scaffold's waker registration outlives the thread; the waker's
+/// eventfd is watched through the ring instead.
+fn run_reactor_uring(
+    idx: usize,
+    _poll: Poll,
+    waker: Arc<Waker>,
+    cmd_rx: Receiver<ReactorCmd>,
+    mut acceptor: Option<Acceptor>,
+    shared: &ReactorShared,
+) {
+    let mut conns: HashMap<u64, UringConn> = HashMap::new();
+    let mut burst: Vec<bytes::Bytes> = Vec::new();
+    let mut tagged: Vec<TaggedFrame> = Vec::new();
+    let mut adopted: Vec<(u64, TcpStream)> = Vec::new();
+    let mut cqes: Vec<uring::Cqe> = Vec::with_capacity(URING_CQ as usize);
+    // Outstanding SQEs (recvs + poll watches + cancels): teardown must
+    // drain this to zero before connection buffers may be freed.
+    let mut inflight: u64 = 0;
+    let waker_fd = waker.as_raw_fd();
+
+    // The probe passed at spawn, so ring setup failing here is a local
+    // resource problem (fd limits); behave like an immediate shutdown
+    // so accepted work is EOF'd rather than wedged.
+    let ring = uring::Uring::new(URING_SQ, URING_CQ);
+    let mut ring = match ring {
+        Ok(r) => r,
+        Err(_) => {
+            for (_, c) in conns.drain() {
+                shared.sd.send_eof(c.conn, c.seq);
+            }
+            while let Ok(cmd) = cmd_rx.try_recv() {
+                if let ReactorCmd::Register { conn, .. } = cmd {
+                    shared.sd.send_eof(conn, 0);
+                }
+            }
+            return;
+        }
+    };
+
+    let mut fatal = arm_poll_in(&mut ring, waker_fd, ud(UD_WAKER, 0), &mut inflight).is_err();
+    if !fatal {
+        if let Some(a) = acceptor.as_ref() {
+            fatal = arm_poll_in(
+                &mut ring,
+                a.listener.as_raw_fd(),
+                ud(UD_LISTENER, 0),
+                &mut inflight,
+            )
+            .is_err();
+        }
+    }
+
+    while !fatal {
+        let enters_before = ring.enters();
+        if ring.submit_and_wait(1, Some(POLL_TIMEOUT)).is_err() {
+            break;
+        }
+        cqes.clear();
+        ring.reap(&mut cqes);
+        shared
+            .stats
+            .ring_enters
+            .fetch_add(ring.enters() - enters_before, Ordering::Relaxed);
+        if !cqes.is_empty() {
+            shared.stats.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+            shared.stats.record_cqe_batch(cqes.len() as u64);
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            // The just-reaped batch is not getting processed; settle
+            // its accounting so the teardown drain below terminates as
+            // soon as the remaining (truly in-flight) ops complete.
+            for cqe in &cqes {
+                inflight -= 1;
+                if cqe.user_data >> UD_KIND_SHIFT == UD_RECV {
+                    if let Some(c) = conns.get_mut(&(cqe.user_data & UD_DATA_MASK)) {
+                        c.recv_inflight = false;
+                        c.reader.abort_recv();
+                    }
+                }
+            }
+            break;
+        }
+        let mut rearm_waker = false;
+        let mut rearm_listener = false;
+        for &cqe in &cqes {
+            inflight -= 1;
+            match cqe.user_data >> UD_KIND_SHIFT {
+                UD_WAKER => {
+                    // POLL_ADD consumes nothing: reset the eventfd by
+                    // hand, then re-arm below (after the drain, so a
+                    // wake posted in between still completes promptly —
+                    // readiness is level-based at arm time).
+                    uring::drain_notify_fd(waker_fd);
+                    rearm_waker = true;
+                }
+                UD_LISTENER => rearm_listener = true,
+                UD_RECV => handle_recv_cqe(
+                    &mut ring,
+                    &mut conns,
+                    cqe.user_data & UD_DATA_MASK,
+                    cqe.res,
+                    &mut burst,
+                    &mut tagged,
+                    shared,
+                    &mut inflight,
+                ),
+                _ => {} // a cancel op's own completion
+            }
+        }
+        if rearm_listener {
+            if let Some(a) = acceptor.as_mut() {
+                adopted.clear();
+                let alive = accept_ready(a, idx, shared, false, &mut adopted);
+                for (conn, stream) in adopted.drain(..) {
+                    register_conn_uring(&mut ring, &mut conns, conn, stream, shared, &mut inflight);
+                }
+                if !alive {
+                    acceptor = None; // stop accepting, keep serving
+                } else if arm_poll_in(
+                    &mut ring,
+                    a.listener.as_raw_fd(),
+                    ud(UD_LISTENER, 0),
+                    &mut inflight,
+                )
+                .is_err()
+                {
+                    fatal = true;
+                }
+            }
+        }
+        if rearm_waker && arm_poll_in(&mut ring, waker_fd, ud(UD_WAKER, 0), &mut inflight).is_err()
+        {
+            fatal = true;
+        }
+        // Commands are drained every pass (wakeups coalesce), exactly
+        // like the epoll loop.
+        while let Ok(cmd) = cmd_rx.try_recv() {
+            match cmd {
+                ReactorCmd::Register { conn, stream } => {
+                    register_conn_uring(&mut ring, &mut conns, conn, stream, shared, &mut inflight);
+                }
+                ReactorCmd::SetRead { conn, resume } => {
+                    if let Some(c) = conns.get_mut(&conn) {
+                        if resume && c.paused {
+                            c.paused = false;
+                            if !c.recv_inflight && arm_recv(&mut ring, c, &mut inflight).is_err() {
+                                retire_uring_conn(&mut conns, conn, shared);
+                            }
+                        } else if !resume {
+                            c.paused = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Teardown. The kernel owns every in-flight recv's buffer until its
+    // CQE arrives (even a canceled op completes), so: cancel everything,
+    // drain the ring to zero in-flight, and only then drop connection
+    // state. If the drain cannot finish, the affected readers are
+    // leaked rather than freed out from under a pending DMA-style
+    // write.
+    let mut cancels: Vec<u64> = Vec::new();
+    cancels.push(ud(UD_WAKER, 0));
+    if acceptor.is_some() {
+        cancels.push(ud(UD_LISTENER, 0));
+    }
+    for c in conns.values() {
+        if c.recv_inflight {
+            cancels.push(ud(UD_RECV, c.conn));
+        }
+    }
+    for target in cancels {
+        while !ring.push_cancel(target, ud(UD_CANCEL, 0)) {
+            if ring.submit().is_err() {
+                break;
+            }
+        }
+        inflight += 1;
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while inflight > 0 && std::time::Instant::now() < deadline {
+        if ring
+            .submit_and_wait(1, Some(Duration::from_millis(100)))
+            .is_err()
+        {
+            break;
+        }
+        cqes.clear();
+        ring.reap(&mut cqes);
+        for cqe in &cqes {
+            inflight = inflight.saturating_sub(1);
+            if cqe.user_data >> UD_KIND_SHIFT == UD_RECV {
+                if let Some(c) = conns.get_mut(&(cqe.user_data & UD_DATA_MASK)) {
+                    // Close the window; the bytes (if any) are moot —
+                    // dispatchers drain the ring after reactors join,
+                    // but this conn is about to be EOF'd at its current
+                    // seq anyway.
+                    c.recv_inflight = false;
+                    c.reader.abort_recv();
+                }
+            }
+        }
+    }
+    let live = conns.len() as u64;
+    for (_, c) in conns.drain() {
+        shared.sd.send_eof(c.conn, c.seq);
+        if c.recv_inflight {
+            // Undrained in-flight op: leak the reader so its window
+            // stays allocated for as long as the process lives.
+            std::mem::forget(c.reader);
+        }
+    }
+    shared
+        .stats
+        .reactor_conns
+        .fetch_sub(live, Ordering::Relaxed);
+    while let Ok(cmd) = cmd_rx.try_recv() {
+        if let ReactorCmd::Register { conn, .. } = cmd {
+            shared.sd.send_eof(conn, 0);
+        }
     }
 }

@@ -33,17 +33,27 @@
 //! before any run or `Eof` for that connection can (the reactor sends
 //! `Open` before registering the read half), and the channel is FIFO,
 //! so per-connection sequence numbers still reorder exactly as before.
+//!
+//! With [`IoBackend::Uring`] the shard trades the epoll loop for a
+//! batched-submission one: each connection keeps at most one `writev`
+//! SQE in flight (its iovec array pinned until the CQE lands), a full
+//! dispatch's worth of submissions is flushed with a single
+//! `io_uring_enter`, and the CQE's arrival doubles as the writability
+//! notification — a short write means the socket buffer filled, which
+//! is the uring analogue of `WouldBlock`. Reorder, backpressure, stall
+//! and teardown semantics are identical across backends.
 
 use crate::protocol::encode_responses_wire_into;
 use crate::reactor::ReactorHandles;
-use crate::server::{ServerStats, TaggedFrame};
+use crate::server::{IoBackend, ServerStats, TaggedFrame};
 use bytes::BytesMut;
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 use mio::{Events, Interest, Poll, Token, Waker};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::io::{IoSlice, Write};
 use std::net::{Shutdown, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -72,6 +82,29 @@ const BUF_MAX_RECYCLE: usize = 256 << 10;
 
 /// Recycled dispatch-batch vectors one shard retains.
 const MSG_POOL_SLOTS: usize = 32;
+
+// io_uring backend knobs (see `run_sd_shard_uring`). User-data tags
+// mirror the reactor's scheme: kind in the top 8 bits, conn id below.
+const UD_KIND_SHIFT: u32 = 56;
+const UD_DATA_MASK: u64 = (1 << UD_KIND_SHIFT) - 1;
+const UD_WAKER: u64 = 1;
+const UD_WRITE: u64 = 3;
+const UD_CANCEL: u64 = 4;
+
+fn ud(kind: u64, data: u64) -> u64 {
+    (kind << UD_KIND_SHIFT) | (data & UD_DATA_MASK)
+}
+
+// Raw errnos the write-CQE path discriminates on (`res` is a negated
+// errno).
+const ECANCELED: i32 = 125;
+const EINTR_RAW: i32 = 4;
+
+/// SQ slots per SD shard ring: one dispatch submits at most one writev
+/// per touched connection, flushed incrementally when the queue fills.
+const SD_URING_SQ: u32 = 1024;
+/// CQ slots, sized above the SQ for completion bursts.
+const SD_URING_CQ: u32 = 2048;
 
 /// Resolve a configured SD writer count: `0` means `min(2, cores/2)`
 /// with a floor of one — egress is cheaper than framing or dispatch, so
@@ -116,6 +149,92 @@ pub(crate) enum SdMsg {
     /// read side; the connection closes once every response below that
     /// is on the wire.
     Eof { conn: u64, frames_read: u64 },
+}
+
+/// Dense seq-indexed reorder buffer, replacing the old
+/// `BTreeMap<u64, (count, bytes)>`: a run whose `first_seq` is `s`
+/// lands in slot `s - base` of a flat `VecDeque<Option<_>>`, so insert
+/// and the promote-loop's `remove(next)` are O(1) array indexing with
+/// no tree-node churn. Seq gaps are bounded by frames in flight between
+/// reactor tag time and SD delivery (the RX ring plus one dispatch), so
+/// the deque stays small; slots covered by a multi-frame run's tail are
+/// simply `None`.
+struct ReorderRing {
+    slots: VecDeque<Option<(u64, BytesMut)>>,
+    /// Sequence number of `slots[0]` (meaningful only when non-empty).
+    base: u64,
+    /// Number of occupied slots.
+    len: usize,
+}
+
+impl ReorderRing {
+    fn new() -> ReorderRing {
+        ReorderRing {
+            slots: VecDeque::new(),
+            base: 0,
+            len: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Park a run at `seq` (its `first_seq`). Duplicate seqs cannot
+    /// occur (each frame is tagged once); if one did, the newer run
+    /// replaces the older and the caller leaks nothing because the ring
+    /// returns the displaced buffer.
+    fn insert(&mut self, seq: u64, count: u64, bytes: BytesMut) -> Option<BytesMut> {
+        if self.len == 0 {
+            self.slots.clear();
+            self.base = seq;
+        }
+        if seq < self.base {
+            for _ in 0..(self.base - seq) {
+                self.slots.push_front(None);
+            }
+            self.base = seq;
+        }
+        let idx = (seq - self.base) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        let old = self.slots[idx].replace((count, bytes));
+        if old.is_none() {
+            self.len += 1;
+        }
+        old.map(|(_, b)| b)
+    }
+
+    /// Take the run whose `first_seq` is exactly `seq`, if parked.
+    fn remove(&mut self, seq: u64) -> Option<(u64, BytesMut)> {
+        if self.len == 0 || seq < self.base {
+            return None;
+        }
+        let idx = (seq - self.base) as usize;
+        let run = self.slots.get_mut(idx)?.take()?;
+        self.len -= 1;
+        // Compact: drop leading holes (freed slots and multi-frame-run
+        // tails) so the deque tracks the live window.
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        if self.len == 0 {
+            self.slots.clear();
+        }
+        Some(run)
+    }
+
+    /// Drain every parked buffer (retirement path).
+    fn drain(&mut self) -> impl Iterator<Item = BytesMut> + '_ {
+        self.len = 0;
+        self.slots.drain(..).flatten().map(|(_, b)| b)
+    }
 }
 
 /// A pool of recycled `BytesMut` buffers (pelikan `buf_ring` style).
@@ -312,15 +431,18 @@ pub(crate) struct SdShardCfg {
     pub(crate) hiwater: usize,
     /// Mark below which paused reads resume (half the high water).
     pub(crate) lowater: usize,
+    /// Which syscall backend the egress loop runs on.
+    pub(crate) backend: IoBackend,
 }
 
 impl SdShardCfg {
-    pub(crate) fn new(stall: Duration, hiwater: usize) -> SdShardCfg {
+    pub(crate) fn new(stall: Duration, hiwater: usize, backend: IoBackend) -> SdShardCfg {
         let hiwater = hiwater.max(1);
         SdShardCfg {
             stall,
             hiwater,
             lowater: hiwater / 2,
+            backend,
         }
     }
 }
@@ -363,9 +485,9 @@ struct SdConn {
     /// Total frames the reader consumed, once known.
     eof: Option<u64>,
     /// Out-of-order runs: first_seq → (frame count, wire bytes). The
-    /// in-order common case bypasses this map entirely (runs go
+    /// in-order common case bypasses this ring entirely (runs go
     /// straight to `queue`), keeping the steady state allocation-free.
-    pending: BTreeMap<u64, (u64, BytesMut)>,
+    pending: ReorderRing,
     /// In-order runs not yet (fully) written; front buffer may be
     /// partially consumed (`head_written`).
     queue: VecDeque<BytesMut>,
@@ -385,12 +507,37 @@ struct SdConn {
     /// the old writer's `touched.contains` scan was quadratic in the
     /// number of touched connections per wakeup).
     touched: bool,
+    /// (uring backend only) a writev SQE is in flight for this
+    /// connection, covering the front of `queue` through `iov`.
+    inflight: Option<InflightWrite>,
+    /// (uring backend only) this connection's reusable iovec array,
+    /// allocated on the first submission and recycled for every write
+    /// after — the steady-state egress cycle allocates nothing. Boxed,
+    /// so the array the kernel reads asynchronously keeps one stable
+    /// heap address even as `SdConn` moves around the shard's map.
+    /// Never written while a submission is in flight.
+    iov: Option<Box<[uring::IoVec; SD_IOV_MAX]>>,
+}
+
+/// State of one in-flight uring writev: how much the pinned iovecs
+/// (`SdConn::iov`) cover, and when it was submitted (the stall clock).
+struct InflightWrite {
+    /// Total bytes the iovecs cover; a completion short of this means
+    /// the socket buffer filled (the uring analogue of `WouldBlock`).
+    submitted: usize,
+    /// Submission instant — the per-connection stall deadline input.
+    since: Instant,
 }
 
 impl SdConn {
     /// Whether every response owed to the client is on the wire (or the
-    /// socket died), so the connection can be closed.
+    /// socket died), so the connection can be closed. A connection with
+    /// a writev SQE in flight is never done: its buffers are pinned
+    /// until the CQE lands.
     fn done(&self) -> bool {
+        if self.inflight.is_some() {
+            return false;
+        }
         match self.eof {
             Some(total) => self.dead || (self.next >= total && self.queue.is_empty()),
             None => false,
@@ -407,9 +554,22 @@ struct ShardCtx<'a> {
     cfg: SdShardCfg,
 }
 
-/// One shard's event loop: drain the channel, service touched
-/// connections, poll for writability, sweep stall deadlines.
+/// One shard's event loop, dispatched on the resolved backend.
 pub(crate) fn run_sd_shard(
+    part: SdShardPart,
+    cfg: SdShardCfg,
+    reactors: Arc<ReactorHandles>,
+    stats: Arc<ServerStats>,
+) {
+    match cfg.backend {
+        IoBackend::Epoll => run_sd_shard_epoll(part, cfg, reactors, stats),
+        IoBackend::Uring => run_sd_shard_uring(part, cfg, reactors, stats),
+    }
+}
+
+/// The epoll-backed shard loop: drain the channel, service touched
+/// connections, poll for writability, sweep stall deadlines.
+fn run_sd_shard_epoll(
     part: SdShardPart,
     cfg: SdShardCfg,
     reactors: Arc<ReactorHandles>,
@@ -479,6 +639,7 @@ pub(crate) fn run_sd_shard(
                 .min(POLL_TIMEOUT),
             None => POLL_TIMEOUT,
         };
+        stats.ring_enters.fetch_add(1, Ordering::Relaxed);
         if poll.poll(&mut events, Some(timeout)).is_err() {
             break; // broken selector: tear down rather than spin
         }
@@ -514,13 +675,16 @@ pub(crate) fn run_sd_shard(
     // Retire the survivors so gauges and leak counters stay truthful,
     // then drop the write halves to disconnect the clients.
     for (_, mut c) in conns.drain() {
-        free_unwritten(&mut c, &ShardCtx {
-            registry: poll.registry(),
-            bufs: &bufs,
-            reactors: &reactors,
-            stats: &stats,
-            cfg,
-        });
+        free_unwritten(
+            &mut c,
+            &ShardCtx {
+                registry: poll.registry(),
+                bufs: &bufs,
+                reactors: &reactors,
+                stats: &stats,
+                cfg,
+            },
+        );
         stats.sd_open_conns.fetch_sub(1, Ordering::Relaxed);
     }
     fold_ring_stats(&bufs, &stats, &mut last_hits, &mut last_misses);
@@ -529,10 +693,17 @@ pub(crate) fn run_sd_shard(
 /// Fold the ring's cumulative hit/miss counters into the shared stats
 /// as deltas (dispatchers bump the ring from their side, so the shard
 /// is the single folder per ring).
-fn fold_ring_stats(bufs: &BufRing, stats: &ServerStats, last_hits: &mut u64, last_misses: &mut u64) {
+fn fold_ring_stats(
+    bufs: &BufRing,
+    stats: &ServerStats,
+    last_hits: &mut u64,
+    last_misses: &mut u64,
+) {
     let (h, m) = (bufs.hits(), bufs.misses());
     if h != *last_hits {
-        stats.sd_buf_hits.fetch_add(h - *last_hits, Ordering::Relaxed);
+        stats
+            .sd_buf_hits
+            .fetch_add(h - *last_hits, Ordering::Relaxed);
         *last_hits = h;
     }
     if m != *last_misses {
@@ -559,7 +730,7 @@ fn apply_msg(
                     stream,
                     next: 0,
                     eof: None,
-                    pending: BTreeMap::new(),
+                    pending: ReorderRing::new(),
                     queue: VecDeque::new(),
                     head_written: 0,
                     unsent: 0,
@@ -567,6 +738,8 @@ fn apply_msg(
                     read_paused: false,
                     dead: false,
                     touched: false,
+                    inflight: None,
+                    iov: None,
                 },
             );
         }
@@ -596,9 +769,7 @@ fn apply_msg(
                         // Already retired (e.g. stall-retired while the
                         // dispatch was in flight); the run can never be
                         // delivered.
-                        ctx.stats
-                            .sd_pending_dropped
-                            .fetch_add(1, Ordering::Relaxed);
+                        ctx.stats.sd_pending_dropped.fetch_add(1, Ordering::Relaxed);
                         ctx.bufs.put(run.bytes);
                     }
                 }
@@ -631,9 +802,7 @@ fn touch(conn: u64, c: &mut SdConn, touched: &mut Vec<u64>) {
 /// the reorder map otherwise. Runs for a dead socket are freed at once.
 fn park_run(c: &mut SdConn, run: ResponseRun, ctx: &ShardCtx<'_>) {
     if c.dead {
-        ctx.stats
-            .sd_pending_dropped
-            .fetch_add(1, Ordering::Relaxed);
+        ctx.stats.sd_pending_dropped.fetch_add(1, Ordering::Relaxed);
         ctx.bufs.put(run.bytes);
         return;
     }
@@ -641,8 +810,11 @@ fn park_run(c: &mut SdConn, run: ResponseRun, ctx: &ShardCtx<'_>) {
     if run.first_seq == c.next && c.pending.is_empty() {
         c.next += run.count;
         c.queue.push_back(run.bytes);
-    } else {
-        c.pending.insert(run.first_seq, (run.count, run.bytes));
+    } else if let Some(displaced) = c.pending.insert(run.first_seq, run.count, run.bytes) {
+        // Unreachable in practice (each seq is tagged once); keep the
+        // buffer and byte accounting honest regardless.
+        c.unsent -= displaced.len();
+        ctx.bufs.put(displaced);
     }
 }
 
@@ -667,19 +839,25 @@ fn service_and_maybe_retire(
     }
 }
 
-fn service_conn(
-    conn: u64,
-    c: &mut SdConn,
-    ctx: &ShardCtx<'_>,
-    next_sweep: &mut Option<Instant>,
-) {
+fn service_conn(conn: u64, c: &mut SdConn, ctx: &ShardCtx<'_>, next_sweep: &mut Option<Instant>) {
     // Promote every in-order run from the reorder map to the queue.
-    while let Some((count, bytes)) = c.pending.remove(&c.next) {
+    while let Some((count, bytes)) = c.pending.remove(c.next) {
         c.next += count;
         c.queue.push_back(bytes);
     }
     if !c.dead && !c.queue.is_empty() {
-        match write_queue(&mut c.stream, &mut c.queue, &mut c.head_written, ctx.bufs) {
+        let mut sys = 0u64;
+        let res = write_queue_counted(
+            &mut c.stream,
+            &mut c.queue,
+            &mut c.head_written,
+            ctx.bufs,
+            &mut sys,
+        );
+        if sys > 0 {
+            ctx.stats.ring_enters.fetch_add(sys, Ordering::Relaxed);
+        }
+        match res {
             Ok((written, blocked)) => {
                 c.unsent -= written;
                 if blocked {
@@ -693,9 +871,7 @@ fn service_conn(
                             )
                             .is_ok()
                         {
-                            ctx.stats
-                                .sd_writable_parks
-                                .fetch_add(1, Ordering::Relaxed);
+                            ctx.stats.sd_writable_parks.fetch_add(1, Ordering::Relaxed);
                             c.parked = Some(Instant::now());
                         } else {
                             mark_dead(conn, c, ctx);
@@ -744,7 +920,12 @@ fn service_conn(
 /// `Eof` that lets the connection retire.
 fn mark_dead(conn: u64, c: &mut SdConn, ctx: &ShardCtx<'_>) {
     c.dead = true;
-    free_unwritten(c, ctx);
+    if c.inflight.is_none() {
+        free_unwritten(c, ctx);
+    }
+    // else (uring only): the kernel still reads the queued buffers
+    // through the in-flight iovecs; the write-CQE handler frees them
+    // once the op completes.
     if c.read_paused {
         c.read_paused = false;
         // Resume reads so the paused (deregistered) read half gets
@@ -766,8 +947,7 @@ fn free_unwritten(c: &mut SdConn, ctx: &ShardCtx<'_>) {
     for bytes in c.queue.drain(..) {
         ctx.bufs.put(bytes);
     }
-    let pending = std::mem::take(&mut c.pending);
-    for (_, (_, bytes)) in pending {
+    for bytes in c.pending.drain() {
         ctx.bufs.put(bytes);
     }
     c.head_written = 0;
@@ -808,6 +988,467 @@ fn sweep_stalls(conns: &mut HashMap<u64, SdConn>, ctx: &ShardCtx<'_>) -> Option<
     next
 }
 
+/// The uring-backed shard loop. Message handling, reorder promotion,
+/// backpressure, and retirement are shared with the epoll loop; only
+/// the write path differs: instead of writing until `WouldBlock` and
+/// parking on WRITABLE readiness, each connection keeps at most one
+/// `writev` SQE in flight and every pass flushes all submissions with a
+/// single `io_uring_enter`. A CQE short of the submitted byte count is
+/// the `WouldBlock` analogue (counted in `sd_writable_parks`); an op
+/// outstanding past [`SdShardCfg::stall`] is the park-stall analogue
+/// (canceled and retired by [`sweep_stalls_uring`]).
+fn run_sd_shard_uring(
+    part: SdShardPart,
+    cfg: SdShardCfg,
+    reactors: Arc<ReactorHandles>,
+    stats: Arc<ServerStats>,
+) {
+    let SdShardPart {
+        poll,
+        rx,
+        waker,
+        bufs,
+        msgs,
+    } = part;
+    let mut conns: HashMap<u64, SdConn> = HashMap::new();
+    let mut touched: Vec<u64> = Vec::new();
+    let mut cqes: Vec<uring::Cqe> = Vec::with_capacity(SD_URING_CQ as usize);
+    let mut next_sweep: Option<Instant> = None;
+    let (mut last_hits, mut last_misses) = (0u64, 0u64);
+    // Outstanding SQEs (writevs + the waker watch + cancels): teardown
+    // drains this to zero before any pinned buffer may be freed.
+    let mut inflight_ops: u64 = 0;
+    let waker_fd = waker.as_raw_fd();
+
+    /// Queue a one-shot readable watch, flushing the SQ when full.
+    fn arm_poll_in(ring: &mut uring::Uring, fd: i32, user_data: u64, inflight: &mut u64) -> bool {
+        loop {
+            if ring.push_poll_add(fd, uring::POLL_IN, user_data) {
+                *inflight += 1;
+                return true;
+            }
+            if ring.submit().is_err() {
+                return false;
+            }
+        }
+    }
+
+    // The probe passed at spawn, so setup failing here is a local
+    // resource problem (fd limits): behave like an immediate teardown,
+    // consuming messages until the plane drops so no buffer leaks.
+    let mut ring = match uring::Uring::new(SD_URING_SQ, SD_URING_CQ) {
+        Ok(r) => r,
+        Err(_) => {
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    SdMsg::Open { .. } => {} // stream drops; client sees EOF
+                    SdMsg::Runs { runs, .. } => {
+                        stats
+                            .sd_pending_dropped
+                            .fetch_add(runs.len() as u64, Ordering::Relaxed);
+                        for r in runs {
+                            bufs.put(r.bytes);
+                        }
+                    }
+                    SdMsg::Batch(mut batch) => {
+                        stats
+                            .sd_pending_dropped
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        for (_, r) in batch.drain(..) {
+                            bufs.put(r.bytes);
+                        }
+                    }
+                    SdMsg::Eof { .. } => {}
+                }
+            }
+            return;
+        }
+    };
+
+    let mut fatal = !arm_poll_in(&mut ring, waker_fd, ud(UD_WAKER, 0), &mut inflight_ops);
+    let mut disconnected = false;
+    while !fatal {
+        touched.clear();
+        loop {
+            match rx.try_recv() {
+                Ok(msg) => apply_msg(
+                    msg,
+                    &mut conns,
+                    &mut touched,
+                    &msgs,
+                    &ShardCtx {
+                        registry: poll.registry(),
+                        bufs: &bufs,
+                        reactors: &reactors,
+                        stats: &stats,
+                        cfg,
+                    },
+                ),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        for &conn in &touched {
+            let ctx = ShardCtx {
+                registry: poll.registry(),
+                bufs: &bufs,
+                reactors: &reactors,
+                stats: &stats,
+                cfg,
+            };
+            service_and_maybe_retire_uring(
+                conn,
+                &mut conns,
+                &mut ring,
+                &ctx,
+                &mut next_sweep,
+                &mut inflight_ops,
+            );
+        }
+        fold_ring_stats(&bufs, &stats, &mut last_hits, &mut last_misses);
+        if disconnected {
+            break;
+        }
+        let timeout = match next_sweep {
+            Some(at) => at
+                .saturating_duration_since(Instant::now())
+                .min(POLL_TIMEOUT),
+            None => POLL_TIMEOUT,
+        };
+        let enters_before = ring.enters();
+        if ring.submit_and_wait(1, Some(timeout)).is_err() {
+            break;
+        }
+        cqes.clear();
+        ring.reap(&mut cqes);
+        stats
+            .ring_enters
+            .fetch_add(ring.enters() - enters_before, Ordering::Relaxed);
+        if !cqes.is_empty() {
+            stats.record_cqe_batch(cqes.len() as u64);
+        }
+        let mut rearm_waker = false;
+        for &cqe in &cqes {
+            inflight_ops -= 1;
+            match cqe.user_data >> UD_KIND_SHIFT {
+                UD_WAKER => {
+                    // POLL_ADD consumes nothing: reset the eventfd by
+                    // hand; the channel itself is drained at the top of
+                    // every pass.
+                    uring::drain_notify_fd(waker_fd);
+                    rearm_waker = true;
+                }
+                UD_WRITE => {
+                    let ctx = ShardCtx {
+                        registry: poll.registry(),
+                        bufs: &bufs,
+                        reactors: &reactors,
+                        stats: &stats,
+                        cfg,
+                    };
+                    handle_write_cqe(
+                        cqe.user_data & UD_DATA_MASK,
+                        cqe.res,
+                        &mut conns,
+                        &mut ring,
+                        &ctx,
+                        &mut next_sweep,
+                        &mut inflight_ops,
+                    );
+                }
+                _ => {} // a cancel op's own completion
+            }
+        }
+        if rearm_waker && !arm_poll_in(&mut ring, waker_fd, ud(UD_WAKER, 0), &mut inflight_ops) {
+            fatal = true;
+        }
+        if next_sweep.is_some_and(|at| Instant::now() >= at) {
+            let ctx = ShardCtx {
+                registry: poll.registry(),
+                bufs: &bufs,
+                reactors: &reactors,
+                stats: &stats,
+                cfg,
+            };
+            next_sweep = sweep_stalls_uring(&mut conns, &mut ring, &ctx, &mut inflight_ops);
+        }
+    }
+
+    // Teardown: cancel every outstanding op and drain the ring to zero
+    // in-flight — the kernel reads pinned iovecs (and the buffers they
+    // point into) until each CQE lands, so freeing first would be a
+    // use-after-free handed to the kernel.
+    let mut cancels: Vec<u64> = vec![ud(UD_WAKER, 0)];
+    for (&conn, c) in conns.iter() {
+        if c.inflight.is_some() {
+            cancels.push(ud(UD_WRITE, conn));
+        }
+    }
+    for target in cancels {
+        loop {
+            if ring.push_cancel(target, ud(UD_CANCEL, 0)) {
+                inflight_ops += 1;
+                break;
+            }
+            if ring.submit().is_err() {
+                break;
+            }
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while inflight_ops > 0 && Instant::now() < deadline {
+        if ring
+            .submit_and_wait(1, Some(Duration::from_millis(100)))
+            .is_err()
+        {
+            break;
+        }
+        cqes.clear();
+        ring.reap(&mut cqes);
+        for cqe in &cqes {
+            inflight_ops = inflight_ops.saturating_sub(1);
+            if cqe.user_data >> UD_KIND_SHIFT == UD_WRITE {
+                if let Some(c) = conns.get_mut(&(cqe.user_data & UD_DATA_MASK)) {
+                    c.inflight = None;
+                }
+            }
+        }
+    }
+    for (_, mut c) in conns.drain() {
+        if c.inflight.is_some() {
+            // Undrained op: leak the write queue and its iovec box
+            // rather than recycle memory the kernel may still read.
+            let undelivered = (c.queue.len() + c.pending.len()) as u64;
+            if undelivered > 0 {
+                stats
+                    .sd_pending_dropped
+                    .fetch_add(undelivered, Ordering::Relaxed);
+            }
+            for bytes in c.pending.drain() {
+                bufs.put(bytes);
+            }
+            std::mem::forget(std::mem::take(&mut c.queue));
+            std::mem::forget(c.iov.take());
+        } else {
+            free_unwritten(
+                &mut c,
+                &ShardCtx {
+                    registry: poll.registry(),
+                    bufs: &bufs,
+                    reactors: &reactors,
+                    stats: &stats,
+                    cfg,
+                },
+            );
+        }
+        stats.sd_open_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+    fold_ring_stats(&bufs, &stats, &mut last_hits, &mut last_misses);
+}
+
+/// Service one uring-side connection (promote, submit, backpressure)
+/// and retire it when done. `done()` is false while a writev is in
+/// flight, so retirement always happens with no pinned buffers.
+fn service_and_maybe_retire_uring(
+    conn: u64,
+    conns: &mut HashMap<u64, SdConn>,
+    ring: &mut uring::Uring,
+    ctx: &ShardCtx<'_>,
+    next_sweep: &mut Option<Instant>,
+    inflight_ops: &mut u64,
+) {
+    let Some(c) = conns.get_mut(&conn) else {
+        return; // stale touch after retire
+    };
+    c.touched = false;
+    service_conn_uring(conn, c, ring, ctx, next_sweep, inflight_ops);
+    if c.done() {
+        let mut c = conns.remove(&conn).expect("conn just found");
+        free_unwritten(&mut c, ctx);
+        ctx.stats.sd_open_conns.fetch_sub(1, Ordering::Relaxed);
+        // The write half drops here: the client sees EOF.
+    }
+}
+
+fn service_conn_uring(
+    conn: u64,
+    c: &mut SdConn,
+    ring: &mut uring::Uring,
+    ctx: &ShardCtx<'_>,
+    next_sweep: &mut Option<Instant>,
+    inflight_ops: &mut u64,
+) {
+    // Promote every in-order run from the reorder ring to the queue.
+    while let Some((count, bytes)) = c.pending.remove(c.next) {
+        c.next += count;
+        c.queue.push_back(bytes);
+    }
+    if !c.dead && c.inflight.is_none() && !c.queue.is_empty() {
+        submit_writev(conn, c, ring, ctx, next_sweep, inflight_ops);
+    }
+    if !c.dead {
+        ctx.stats
+            .sd_pending_bytes_hiwater
+            .fetch_max(c.unsent as u64, Ordering::Relaxed);
+        if !c.read_paused && c.unsent > ctx.cfg.hiwater {
+            c.read_paused = true;
+            ctx.stats.sd_read_pauses.fetch_add(1, Ordering::Relaxed);
+            ctx.reactors.set_read(conn, false);
+        } else if c.read_paused && c.unsent <= ctx.cfg.lowater {
+            c.read_paused = false;
+            ctx.reactors.set_read(conn, true);
+        }
+    }
+}
+
+/// Build and queue one writev SQE over the front of `c.queue` (up to
+/// [`SD_IOV_MAX`] buffers), filling the connection's reusable iovec
+/// array (allocated once, on the first write). The array stays pinned
+/// until the CQE lands; every submission arms the stall deadline,
+/// since an op that never completes is exactly a wedged peer.
+fn submit_writev(
+    conn: u64,
+    c: &mut SdConn,
+    ring: &mut uring::Uring,
+    ctx: &ShardCtx<'_>,
+    next_sweep: &mut Option<Instant>,
+    inflight_ops: &mut u64,
+) {
+    let iov = c.iov.get_or_insert_with(|| {
+        Box::new(
+            [uring::IoVec {
+                base: std::ptr::null(),
+                len: 0,
+            }; SD_IOV_MAX],
+        )
+    });
+    let mut n_iov = 0u32;
+    let mut submitted = 0usize;
+    for (i, b) in c.queue.iter().enumerate().take(SD_IOV_MAX) {
+        let s: &[u8] = if i == 0 { &b[c.head_written..] } else { &b[..] };
+        iov[n_iov as usize] = uring::IoVec {
+            base: s.as_ptr(),
+            len: s.len(),
+        };
+        submitted += s.len();
+        n_iov += 1;
+    }
+    let fd = c.stream.as_raw_fd();
+    // SAFETY: `iov` and the queue buffers it points into stay valid
+    // until the CQE is reaped — `inflight` gates every queue mutation
+    // and every refill of the iovec array, the boxed array's heap
+    // address is stable, and teardown drains in-flight ops before
+    // freeing.
+    loop {
+        if unsafe { ring.push_writev(fd, iov.as_ptr(), n_iov, ud(UD_WRITE, conn)) } {
+            break;
+        }
+        if ring.submit().is_err() {
+            return; // broken ring: the loop is about to exit; teardown frees the run
+        }
+    }
+    *inflight_ops += 1;
+    let since = Instant::now();
+    c.inflight = Some(InflightWrite { submitted, since });
+    let deadline = since + ctx.cfg.stall;
+    *next_sweep = Some(match *next_sweep {
+        Some(at) => at.min(deadline),
+        None => deadline,
+    });
+}
+
+/// Apply one writev completion: advance the queue by the written byte
+/// count, count a park when the write came up short with data still
+/// queued (the socket buffer filled — uring's `WouldBlock`), run the
+/// deferred free for peers that died while the op was in flight, and
+/// re-service (which resubmits any remainder or retires).
+fn handle_write_cqe(
+    conn: u64,
+    res: i32,
+    conns: &mut HashMap<u64, SdConn>,
+    ring: &mut uring::Uring,
+    ctx: &ShardCtx<'_>,
+    next_sweep: &mut Option<Instant>,
+    inflight_ops: &mut u64,
+) {
+    let Some(c) = conns.get_mut(&conn) else {
+        return; // raced with retirement
+    };
+    let Some(finished) = c.inflight.take() else {
+        return;
+    };
+    if res < 0 {
+        match -res {
+            // Canceled by the stall sweep (already marked dead) or a
+            // spurious interruption; the paths below handle both.
+            ECANCELED | EINTR_RAW => {}
+            _ => mark_dead(conn, c, ctx),
+        }
+    } else if res == 0 {
+        // Zero-byte vectored write: peer is gone.
+        mark_dead(conn, c, ctx);
+    } else {
+        let n = res as usize;
+        advance_queue(&mut c.queue, &mut c.head_written, n, ctx.bufs);
+        c.unsent -= n;
+        if n < finished.submitted && !c.queue.is_empty() {
+            ctx.stats.sd_writable_parks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if c.dead {
+        // Deferred free: `mark_dead` could not reclaim buffers while
+        // the kernel held the iovecs; it can now.
+        free_unwritten(c, ctx);
+    }
+    service_and_maybe_retire_uring(conn, conns, ring, ctx, next_sweep, inflight_ops);
+}
+
+/// Retire every connection whose in-flight writev has been outstanding
+/// past the stall deadline: mark it dead (shutting the socket down,
+/// which normally completes the op with an error) and push a cancel for
+/// good measure. Buffer reclamation and map removal happen at the CQE.
+/// Returns the next deadline still outstanding.
+fn sweep_stalls_uring(
+    conns: &mut HashMap<u64, SdConn>,
+    ring: &mut uring::Uring,
+    ctx: &ShardCtx<'_>,
+    inflight_ops: &mut u64,
+) -> Option<Instant> {
+    let now = Instant::now();
+    let mut next: Option<Instant> = None;
+    for (&conn, c) in conns.iter_mut() {
+        if c.dead {
+            continue;
+        }
+        let Some(infl) = c.inflight.as_ref() else {
+            continue;
+        };
+        let deadline = infl.since + ctx.cfg.stall;
+        if now >= deadline {
+            ctx.stats.sd_stall_retired.fetch_add(1, Ordering::Relaxed);
+            mark_dead(conn, c, ctx);
+            loop {
+                if ring.push_cancel(ud(UD_WRITE, conn), ud(UD_CANCEL, 0)) {
+                    *inflight_ops += 1;
+                    break;
+                }
+                if ring.submit().is_err() {
+                    break;
+                }
+            }
+        } else {
+            next = Some(match next {
+                Some(at) => at.min(deadline),
+                None => deadline,
+            });
+        }
+    }
+    next
+}
+
 /// Write as much of `queue` as the socket will take in vectored chunks
 /// of up to [`SD_IOV_MAX`] buffers, returning fully written buffers to
 /// `pool`. Returns `(bytes_written, blocked)`; `blocked` means the
@@ -821,6 +1462,21 @@ pub fn write_queue(
     head_written: &mut usize,
     pool: &BufRing,
 ) -> std::io::Result<(usize, bool)> {
+    let mut sys = 0u64;
+    write_queue_counted(stream, queue, head_written, pool, &mut sys)
+}
+
+/// [`write_queue`] with a syscall out-counter: every `writev` attempt
+/// (including `WouldBlock`/`Interrupted` returns) bumps `syscalls`, so
+/// the epoll backend's `ring_enters` stays comparable with uring's
+/// enter count.
+pub(crate) fn write_queue_counted(
+    stream: &mut TcpStream,
+    queue: &mut VecDeque<BytesMut>,
+    head_written: &mut usize,
+    pool: &BufRing,
+    syscalls: &mut u64,
+) -> std::io::Result<(usize, bool)> {
     let mut total = 0usize;
     while !queue.is_empty() {
         let mut iov = [IoSlice::new(&[]); SD_IOV_MAX];
@@ -829,6 +1485,7 @@ pub fn write_queue(
             iov[n_iov] = IoSlice::new(if i == 0 { &b[*head_written..] } else { &b[..] });
             n_iov += 1;
         }
+        *syscalls += 1;
         let n = match stream.write_vectored(&iov[..n_iov]) {
             Ok(0) => {
                 return Err(std::io::Error::new(
@@ -842,21 +1499,32 @@ pub fn write_queue(
             Err(e) => return Err(e),
         };
         total += n;
-        let mut advanced = n;
-        while advanced > 0 {
-            let avail = queue.front().expect("bytes written from a buffer").len()
-                - *head_written;
-            if advanced >= avail {
-                advanced -= avail;
-                *head_written = 0;
-                pool.put(queue.pop_front().expect("front just measured"));
-            } else {
-                *head_written += advanced;
-                advanced = 0;
-            }
-        }
+        advance_queue(queue, head_written, n, pool);
     }
     Ok((total, false))
+}
+
+/// Consume `advanced` written bytes from the front of `queue`,
+/// returning fully drained buffers to `pool` and tracking the partial
+/// offset of the new front in `head_written`. Shared by both backends'
+/// write paths.
+fn advance_queue(
+    queue: &mut VecDeque<BytesMut>,
+    head_written: &mut usize,
+    mut advanced: usize,
+    pool: &BufRing,
+) {
+    while advanced > 0 {
+        let avail = queue.front().expect("bytes written from a buffer").len() - *head_written;
+        if advanced >= avail {
+            advanced -= avail;
+            *head_written = 0;
+            pool.put(queue.pop_front().expect("front just measured"));
+        } else {
+            *head_written += advanced;
+            advanced = 0;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -882,6 +1550,74 @@ mod tests {
         let _ = ring.get();
         let _ = ring.get();
         assert_eq!(ring.misses(), 3, "oversized buffer was dropped, not pooled");
+    }
+
+    /// The shim `BytesMut` has no `From<&[u8]>`; build one by hand.
+    fn bm(s: &[u8]) -> BytesMut {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(s);
+        b
+    }
+
+    #[test]
+    fn reorder_ring_out_of_order_promotion() {
+        let mut r = ReorderRing::new();
+        assert!(r.is_empty());
+        // Runs arrive 4, 0, 2 (counts 2, 2, 2): promote in seq order.
+        r.insert(4, 2, bm(b"c"));
+        r.insert(0, 2, bm(b"a"));
+        r.insert(2, 2, bm(b"b"));
+        assert_eq!(r.len(), 3);
+        let mut next = 0u64;
+        let mut order = Vec::new();
+        while let Some((count, bytes)) = r.remove(next) {
+            next += count;
+            order.push(bytes);
+        }
+        assert_eq!(next, 6);
+        assert_eq!(
+            order.iter().map(|b| &b[..]).collect::<Vec<_>>(),
+            vec![&b"a"[..], &b"b"[..], &b"c"[..]],
+        );
+        assert!(r.is_empty());
+        assert!(r.slots.is_empty(), "compacted after full promotion");
+    }
+
+    #[test]
+    fn reorder_ring_gap_blocks_promotion() {
+        let mut r = ReorderRing::new();
+        r.insert(5, 1, bm(b"later"));
+        assert!(r.remove(0).is_none(), "gap: seq 0 never arrived");
+        assert_eq!(r.len(), 1);
+        r.insert(0, 5, bm(b"first"));
+        let (count, bytes) = r.remove(0).expect("front arrived");
+        assert_eq!((count, &bytes[..]), (5, &b"first"[..]));
+        let (count, bytes) = r.remove(5).expect("parked run now in order");
+        assert_eq!((count, &bytes[..]), (1, &b"later"[..]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn reorder_ring_drains_every_buffer() {
+        let mut r = ReorderRing::new();
+        r.insert(7, 1, bm(b"x"));
+        r.insert(3, 4, bm(b"y"));
+        r.insert(9, 2, bm(b"z"));
+        let drained: Vec<BytesMut> = r.drain().collect();
+        assert_eq!(drained.len(), 3);
+        assert!(r.is_empty());
+        assert!(r.remove(3).is_none());
+    }
+
+    #[test]
+    fn reorder_ring_displacement_returns_old_buffer() {
+        let mut r = ReorderRing::new();
+        assert!(r.insert(1, 1, bm(b"old")).is_none());
+        let displaced = r.insert(1, 1, bm(b"new"));
+        assert_eq!(displaced.as_deref(), Some(&b"old"[..]));
+        assert_eq!(r.len(), 1);
+        let (_, bytes) = r.remove(1).expect("replacement stays parked");
+        assert_eq!(&bytes[..], b"new");
     }
 
     #[test]

@@ -30,8 +30,8 @@
 
 use crate::nic::FrameRing;
 use crate::protocol::{
-    encode_responses, encode_responses_wire_into, frame_query_count, parse_frame,
-    parse_frame_into, ProtocolError,
+    encode_responses, encode_responses_wire_into, frame_query_count, parse_frame, parse_frame_into,
+    ProtocolError,
 };
 use crate::sd::{ResponseRun, RunBatch, SdPlane};
 use bytes::{Bytes, BytesMut};
@@ -66,10 +66,14 @@ pub(crate) const READ_CHUNK: usize = 16 << 10;
 
 /// Longest a blocking-style writer (the per-connection path and
 /// [`KvClient`]) parks waiting for a stalled socket to become writable
-/// again. The batched path's SD egress plane does **not** use this — it
-/// parks stalled connections on WRITABLE readiness with the
-/// per-connection [`BatchConfig::sd_stall_timeout`] deadline instead.
-const WRITE_STALL: Duration = Duration::from_secs(30);
+/// again, mirroring the SD plane's default per-connection stall
+/// deadline: a wedged peer costs its own writer thread five seconds,
+/// then only that connection is retired (counted in
+/// [`ServerStats::write_stall_retired`]). The batched path's SD egress
+/// plane does **not** use this — it parks stalled connections on
+/// WRITABLE readiness with the per-connection
+/// [`BatchConfig::sd_stall_timeout`] deadline instead.
+const WRITE_STALL: Duration = Duration::from_secs(5);
 
 fn is_poll_timeout(e: &std::io::Error) -> bool {
     matches!(
@@ -143,8 +147,22 @@ pub struct ServerStats {
     /// Deepest per-connection pending-bytes backlog observed by the SD
     /// plane (folds by max, like `ring_depth_max`).
     pub sd_pending_bytes_hiwater: AtomicU64,
+    /// Which I/O backend the batched plane resolved at spawn (a gauge:
+    /// 0 = epoll, 1 = io_uring; see [`IoBackend`]).
+    pub io_backend: AtomicU64,
+    /// I/O-plane syscalls issued by reactors and SD shards: every
+    /// `io_uring_enter` on the uring backend; every `epoll_wait`,
+    /// `read`, and `writev` on the epoll backend. Divide by `queries`
+    /// for the syscalls-per-query estimate the connpath harness
+    /// reports.
+    pub ring_enters: AtomicU64,
+    /// Per-connection-mode peers retired because a response write
+    /// stayed unwritable past the 5 s stall deadline (the batched
+    /// plane's counterpart is `sd_stall_retired`).
+    pub write_stall_retired: AtomicU64,
     batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
     read_burst_hist: [AtomicU64; BATCH_HIST_BUCKETS],
+    cqe_per_enter_hist: [AtomicU64; BATCH_HIST_BUCKETS],
 }
 
 fn hist_bucket(frames: u64) -> usize {
@@ -156,10 +174,17 @@ fn hist_bucket(frames: u64) -> usize {
 }
 
 impl ServerStats {
-    pub(crate) fn record_dispatch(&self, frames: u64, queries: u64, ring_depth: u64, delayed: bool) {
+    pub(crate) fn record_dispatch(
+        &self,
+        frames: u64,
+        queries: u64,
+        ring_depth: u64,
+        delayed: bool,
+    ) {
         self.dispatches.fetch_add(1, Ordering::Relaxed);
         self.dispatched_frames.fetch_add(frames, Ordering::Relaxed);
-        self.dispatched_queries.fetch_add(queries, Ordering::Relaxed);
+        self.dispatched_queries
+            .fetch_add(queries, Ordering::Relaxed);
         self.ring_depth_max.fetch_max(ring_depth, Ordering::Relaxed);
         if delayed {
             self.delayed_dispatches.fetch_add(1, Ordering::Relaxed);
@@ -176,6 +201,20 @@ impl ServerStats {
 
     pub(crate) fn record_read_burst(&self, frames: u64) {
         self.read_burst_hist[hist_bucket(frames)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cqe_batch(&self, cqes: u64) {
+        self.cqe_per_enter_hist[hist_bucket(cqes)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The uring backend's completions-per-enter histogram (CQEs reaped
+    /// per `io_uring_enter`, bucketed like
+    /// [`ServerStats::batch_histogram`]). All zeros on the epoll
+    /// backend. High buckets mean one ring enter is amortizing many
+    /// per-connection reads/writes.
+    #[must_use]
+    pub fn cqe_per_enter_histogram(&self) -> [u64; BATCH_HIST_BUCKETS] {
+        std::array::from_fn(|i| self.cqe_per_enter_hist[i].load(Ordering::Relaxed))
     }
 
     /// The reactor read-burst histogram: frames carved per readiness
@@ -224,8 +263,12 @@ impl ServerStats {
             sd_buf_hits: self.sd_buf_hits.load(Ordering::Relaxed),
             sd_buf_misses: self.sd_buf_misses.load(Ordering::Relaxed),
             sd_pending_bytes_hiwater: self.sd_pending_bytes_hiwater.load(Ordering::Relaxed),
+            io_backend: self.io_backend.load(Ordering::Relaxed),
+            ring_enters: self.ring_enters.load(Ordering::Relaxed),
+            write_stall_retired: self.write_stall_retired.load(Ordering::Relaxed),
             batch_hist: self.batch_histogram(),
             read_burst_hist: self.read_burst_histogram(),
+            cqe_per_enter_hist: self.cqe_per_enter_histogram(),
         }
     }
 }
@@ -278,17 +321,27 @@ pub struct NetStatsSnapshot {
     pub sd_buf_misses: u64,
     /// Deepest per-connection pending-bytes backlog (folds by max).
     pub sd_pending_bytes_hiwater: u64,
+    /// Resolved I/O backend (gauge: 0 = epoll, 1 = io_uring).
+    pub io_backend: u64,
+    /// I/O-plane syscalls (ring enters on uring; `epoll_wait` + `read`
+    /// + `writev` on epoll).
+    pub ring_enters: u64,
+    /// Per-connection-mode peers retired at the write stall deadline.
+    pub write_stall_retired: u64,
     /// Frames-per-dispatch histogram (buckets `1, 2, 3–4, …, 65+`).
     pub batch_hist: [u64; BATCH_HIST_BUCKETS],
     /// Frames-per-readiness-read histogram (same buckets).
     pub read_burst_hist: [u64; BATCH_HIST_BUCKETS],
+    /// CQEs-reaped-per-enter histogram (same buckets; uring only).
+    pub cqe_per_enter_hist: [u64; BATCH_HIST_BUCKETS],
 }
 
 impl NetStatsSnapshot {
     /// Counter deltas since `earlier` (`ring_depth_max` and
     /// `sd_pending_bytes_hiwater` keep the max, not a difference;
     /// gauges — `reactor_threads`, `reactor_conns`, `sd_open_conns`,
-    /// `sd_writer_threads` — keep their current value). Use to fold
+    /// `sd_writer_threads`, `io_backend` — keep their current value).
+    /// Use to fold
     /// per-interval activity into `dido::Metrics` without
     /// double-counting.
     #[must_use]
@@ -318,11 +371,158 @@ impl NetStatsSnapshot {
             sd_pending_bytes_hiwater: self
                 .sd_pending_bytes_hiwater
                 .max(earlier.sd_pending_bytes_hiwater),
+            io_backend: self.io_backend,
+            ring_enters: self.ring_enters - earlier.ring_enters,
+            write_stall_retired: self.write_stall_retired - earlier.write_stall_retired,
             batch_hist: std::array::from_fn(|i| self.batch_hist[i] - earlier.batch_hist[i]),
             read_burst_hist: std::array::from_fn(|i| {
                 self.read_burst_hist[i] - earlier.read_burst_hist[i]
             }),
+            cqe_per_enter_hist: std::array::from_fn(|i| {
+                self.cqe_per_enter_hist[i] - earlier.cqe_per_enter_hist[i]
+            }),
         }
+    }
+}
+
+/// Which syscall backend the batched I/O plane should use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IoBackendChoice {
+    /// Probe at spawn: io_uring when the kernel exposes a fully usable
+    /// ring, else the epoll shim. The `DIDO_IO_BACKEND` environment
+    /// variable (`uring` / `epoll`) overrides the probe, so test and
+    /// CI runs can pin a backend without touching configs.
+    #[default]
+    Auto,
+    /// Readiness-driven plane over the vendored epoll shim
+    /// (`compat-mio`).
+    Epoll,
+    /// Batched-submission plane over the vendored io_uring binding
+    /// (`compat-uring`); spawning fails with `Unsupported` when the
+    /// kernel lacks io_uring rather than silently falling back.
+    Uring,
+}
+
+/// The backend [`IoBackendChoice`] resolved to at spawn. Encoded into
+/// the [`ServerStats::io_backend`] gauge as its discriminant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoBackend {
+    /// Readiness-driven epoll plane (gauge value 0).
+    Epoll = 0,
+    /// Batched-submission io_uring plane (gauge value 1).
+    Uring = 1,
+}
+
+impl IoBackend {
+    /// Stable lowercase name (`"epoll"` / `"uring"`), as recorded in
+    /// bench reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoBackend::Epoll => "epoll",
+            IoBackend::Uring => "uring",
+        }
+    }
+
+    /// Decode the [`ServerStats::io_backend`] gauge back to a name.
+    #[must_use]
+    pub fn name_of(gauge: u64) -> &'static str {
+        if gauge == IoBackend::Uring as u64 {
+            "uring"
+        } else {
+            "epoll"
+        }
+    }
+}
+
+impl From<IoBackend> for IoBackendChoice {
+    /// Pin a resolved backend back into a config choice (never
+    /// `Auto`), for harnesses that sweep both backends explicitly.
+    fn from(backend: IoBackend) -> IoBackendChoice {
+        match backend {
+            IoBackend::Epoll => IoBackendChoice::Epoll,
+            IoBackend::Uring => IoBackendChoice::Uring,
+        }
+    }
+}
+
+/// Whether the running kernel exposes a fully usable io_uring (cached
+/// probe: setup, required features and opcodes, NOP round-trip).
+#[must_use]
+pub fn uring_available() -> bool {
+    uring::available()
+}
+
+/// The backend matrix test suites and bench harnesses sweep: always
+/// [`IoBackend::Epoll`], plus [`IoBackend::Uring`] when the kernel
+/// probe finds a usable ring. Prints a skip notice to stderr when the
+/// uring leg is dropped, so a green matrix log can't silently mean
+/// "epoll passed twice".
+///
+/// `DIDO_IO_BACKEND=epoll|uring` pins the matrix to one leg — the CI
+/// escape hatch (e.g. an epoll-only sanitizer run, or forcing the
+/// uring leg so its skip is loud). A pinned `uring` on a kernel
+/// without io_uring falls back to epoll with a notice: matrix callers
+/// are test suites that must still run.
+#[must_use]
+pub fn backend_matrix() -> Vec<IoBackend> {
+    match std::env::var("DIDO_IO_BACKEND").as_deref() {
+        Ok("epoll") => return vec![IoBackend::Epoll],
+        Ok("uring") => {
+            if uring::available() {
+                return vec![IoBackend::Uring];
+            }
+            eprintln!(
+                "note: DIDO_IO_BACKEND=uring but kernel has no usable io_uring ({}); \
+                 running the epoll leg only",
+                uring::probe().reason
+            );
+            return vec![IoBackend::Epoll];
+        }
+        _ => {}
+    }
+    let mut backends = vec![IoBackend::Epoll];
+    if uring::available() {
+        backends.push(IoBackend::Uring);
+    } else {
+        eprintln!(
+            "note: skipping io_uring matrix leg ({})",
+            uring::probe().reason
+        );
+    }
+    backends
+}
+
+/// Resolve a backend choice against the environment and the kernel
+/// probe. `Auto` honors `DIDO_IO_BACKEND` before probing; an explicit
+/// `Uring` on a kernel without io_uring is an error.
+pub(crate) fn resolve_backend(choice: IoBackendChoice) -> std::io::Result<IoBackend> {
+    let choice = if choice == IoBackendChoice::Auto {
+        match std::env::var("DIDO_IO_BACKEND").as_deref() {
+            Ok("uring") => IoBackendChoice::Uring,
+            Ok("epoll") => IoBackendChoice::Epoll,
+            _ => IoBackendChoice::Auto,
+        }
+    } else {
+        choice
+    };
+    match choice {
+        IoBackendChoice::Epoll => Ok(IoBackend::Epoll),
+        IoBackendChoice::Uring => {
+            if uring::available() {
+                Ok(IoBackend::Uring)
+            } else {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    format!("io_uring backend unavailable: {}", uring::probe().reason),
+                ))
+            }
+        }
+        IoBackendChoice::Auto => Ok(if uring::available() {
+            IoBackend::Uring
+        } else {
+            IoBackend::Epoll
+        }),
     }
 }
 
@@ -373,6 +573,9 @@ pub struct BatchConfig {
     /// benches use small values to make write-side backpressure
     /// deterministic.
     pub sndbuf_bytes: Option<usize>,
+    /// Which syscall backend drives the reactor RX and SD egress
+    /// planes (see [`IoBackendChoice`]).
+    pub io_backend: IoBackendChoice,
 }
 
 impl Default for BatchConfig {
@@ -389,6 +592,7 @@ impl Default for BatchConfig {
             sd_stall_timeout: Duration::from_secs(5),
             sd_hiwater_bytes: 1 << 20,
             sndbuf_bytes: None,
+            io_backend: IoBackendChoice::default(),
         }
     }
 }
@@ -498,11 +702,7 @@ impl KvServer {
     }
 
     /// Bind to `addr` and serve with an explicit [`DispatchMode`].
-    pub fn start_with<F>(
-        addr: &str,
-        mode: DispatchMode,
-        handler: F,
-    ) -> std::io::Result<KvServer>
+    pub fn start_with<F>(addr: &str, mode: DispatchMode, handler: F) -> std::io::Result<KvServer>
     where
         F: Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
     {
@@ -673,6 +873,8 @@ fn spawn_batched<F>(
 where
     F: Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
 {
+    let backend = resolve_backend(cfg.io_backend)?;
+    stats.io_backend.store(backend as u64, Ordering::Relaxed);
     let ring: Arc<FrameRing<TaggedFrame>> = Arc::new(FrameRing::new(cfg.ring_slots.max(1)));
     let (scaffold, handles) =
         crate::reactor::build_reactor_scaffold(crate::reactor::effective_readers(cfg.readers))?;
@@ -681,8 +883,10 @@ where
     let n_sd = crate::sd::effective_sd_writers(cfg.sd_writers);
     let (plane, parts) = crate::sd::build_sd_plane(n_sd)?;
     let plane = Arc::new(plane);
-    stats.sd_writer_threads.store(n_sd as u64, Ordering::Relaxed);
-    let shard_cfg = crate::sd::SdShardCfg::new(cfg.sd_stall_timeout, cfg.sd_hiwater_bytes);
+    stats
+        .sd_writer_threads
+        .store(n_sd as u64, Ordering::Relaxed);
+    let shard_cfg = crate::sd::SdShardCfg::new(cfg.sd_stall_timeout, cfg.sd_hiwater_bytes, backend);
     let mut sd = Vec::with_capacity(n_sd);
     for (idx, part) in parts.into_iter().enumerate() {
         let reactors = Arc::clone(&handles);
@@ -741,6 +945,7 @@ where
         shutdown: Arc::clone(shutdown),
         doorbell: Arc::clone(doorbell),
         sndbuf_bytes: cfg.sndbuf_bytes,
+        backend,
     };
     // After the pool spawns, only reactors and dispatchers hold
     // `SdPlane` handles (the local one drops below), which is what lets
@@ -857,7 +1062,10 @@ fn run_dispatcher<F>(
         }
         stats.record_dispatch(
             frames.len() as u64,
-            frames.iter().map(|t| frame_query_count(&t.frame)).sum::<usize>() as u64,
+            frames
+                .iter()
+                .map(|t| frame_query_count(&t.frame))
+                .sum::<usize>() as u64,
             frames.len() as u64,
             false,
         );
@@ -943,7 +1151,9 @@ fn dispatch_batch<F>(
         }
     }
     stats.frames.fetch_add(good_frames, Ordering::Relaxed);
-    stats.queries.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    stats
+        .queries
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
     let responses = if batch.is_empty() {
         Vec::new()
     } else {
@@ -1014,21 +1224,31 @@ where
             Err(e) if is_poll_timeout(&e) => continue,
             Err(e) => return Err(e),
         };
-        match parse_frame(&frame) {
+        let write = match parse_frame(&frame) {
             Ok(queries) => {
                 stats.frames.fetch_add(1, Ordering::Relaxed);
                 stats
                     .queries
                     .fetch_add(queries.len() as u64, Ordering::Relaxed);
                 let responses = handler(lane, queries);
-                write_frame(&mut stream, &encode_responses(&responses))?;
+                write_frame(&mut stream, &encode_responses(&responses))
             }
             Err(_) => {
                 stats.bad_frames.fetch_add(1, Ordering::Relaxed);
                 // Answer malformed frames with an empty response frame
                 // rather than killing the connection.
-                write_frame(&mut stream, &encode_responses(&[]))?;
+                write_frame(&mut stream, &encode_responses(&[]))
             }
+        };
+        if let Err(e) = write {
+            // A write that sat at the stall deadline retires only this
+            // peer (its thread exits; the rest of the server is
+            // untouched) — the per-connection mirror of the SD plane's
+            // `sd_stall_retired`.
+            if e.kind() == std::io::ErrorKind::TimedOut {
+                stats.write_stall_retired.fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(e);
         }
     }
 }
@@ -1047,6 +1267,10 @@ pub(crate) struct FrameReader {
     buf: BytesMut,
     /// Complete frames carved but not yet handed to the caller.
     pending: VecDeque<Bytes>,
+    /// Start of the in-flight recv window ([`FrameReader::begin_recv`])
+    /// relative to `buf`; only meaningful between `begin_recv` and the
+    /// matching `complete_recv`/`abort_recv`.
+    recv_base: usize,
 }
 
 /// Outcome of a [`FrameReader::read_ready`] pass.
@@ -1102,6 +1326,7 @@ impl FrameReader {
         stream: &mut TcpStream,
         out: &mut Vec<Bytes>,
         budget: usize,
+        syscalls: &mut u64,
     ) -> std::io::Result<ReadReady> {
         let mut pulled = 0usize;
         let status = loop {
@@ -1110,6 +1335,7 @@ impl FrameReader {
             }
             let old = self.buf.len();
             self.buf.resize(old + READ_CHUNK, 0);
+            *syscalls += 1;
             match stream.read(&mut self.buf[old..]) {
                 Ok(0) => {
                     self.buf.resize(old, 0);
@@ -1145,6 +1371,56 @@ impl FrameReader {
         };
         out.extend(self.pending.drain(..));
         Ok(status)
+    }
+
+    /// Open a recv window for the uring backend: reserve
+    /// [`READ_CHUNK`] writable bytes at the tail of `buf` (zeroed, same
+    /// cost as the epoll path's resize) and return the pointer/len a
+    /// `RECV` SQE should target. The window — and the whole reader —
+    /// must stay untouched until [`FrameReader::complete_recv`] or
+    /// [`FrameReader::abort_recv`] closes it; the reactor guarantees
+    /// this by keeping at most one recv in flight per connection.
+    pub(crate) fn begin_recv(&mut self) -> (*mut u8, u32) {
+        let old = self.buf.len();
+        self.buf.resize(old + READ_CHUNK, 0);
+        self.recv_base = old;
+        (unsafe { self.buf.as_mut_ptr().add(old) }, READ_CHUNK as u32)
+    }
+
+    /// Commit `n` received bytes into the window opened by
+    /// [`FrameReader::begin_recv`], carve every complete frame into
+    /// `out`, and report the socket state exactly like
+    /// [`FrameReader::read_ready`] (`n == 0` is EOF: clean at a frame
+    /// boundary, an error mid-frame).
+    pub(crate) fn complete_recv(
+        &mut self,
+        n: usize,
+        out: &mut Vec<Bytes>,
+    ) -> std::io::Result<ReadReady> {
+        let base = self.recv_base;
+        debug_assert!(n <= READ_CHUNK);
+        self.buf.truncate(base + n);
+        if n == 0 {
+            if base == 0 {
+                return Ok(ReadReady::Closed);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "EOF inside a frame",
+            ));
+        }
+        let carved = self.carve();
+        out.extend(self.pending.drain(..));
+        carved?;
+        Ok(ReadReady::Open)
+    }
+
+    /// Close an in-flight recv window without committing any bytes
+    /// (the op was canceled or failed); buffered partial-frame bytes
+    /// are preserved.
+    pub(crate) fn abort_recv(&mut self) {
+        let base = self.recv_base;
+        self.buf.truncate(base);
     }
 
     /// One socket read into the tail of `buf`, then carve. `Ok(false)`
@@ -1331,11 +1607,7 @@ impl KvClient {
     /// Send one query frame without waiting for the response.
     pub fn send(&mut self, queries: &[Query]) -> std::io::Result<()> {
         use crate::protocol::{FrameBuilder, FRAME_HEADER};
-        let need: usize = FRAME_HEADER
-            + queries
-                .iter()
-                .map(FrameBuilder::wire_size)
-                .sum::<usize>();
+        let need: usize = FRAME_HEADER + queries.iter().map(FrameBuilder::wire_size).sum::<usize>();
         if need > MAX_FRAME_BYTES {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
@@ -1369,9 +1641,9 @@ impl KvClient {
     /// with [`crate::parse_responses`] or call
     /// [`recv`](KvClient::recv).
     pub fn recv_frame(&mut self) -> std::io::Result<Bytes> {
-        self.reader.read_frame(&mut self.stream)?.ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed")
-        })
+        self.reader
+            .read_frame(&mut self.stream)?
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed"))
     }
 
     /// Receive the next response frame.
@@ -1396,8 +1668,7 @@ mod tests {
     use parking_lot::Mutex;
     use std::collections::HashMap;
 
-    fn echo_store_handler() -> impl Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static
-    {
+    fn echo_store_handler() -> impl Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static {
         // A tiny in-memory map suffices to exercise the wire path.
         let map: Mutex<HashMap<Vec<u8>, Vec<u8>>> = Mutex::new(HashMap::new());
         move |_lane, queries| {

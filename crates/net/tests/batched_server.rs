@@ -3,7 +3,7 @@
 //! pipelining, and RX-ring overflow under a wedged engine.
 
 use dido_model::{Query, Response};
-use dido_net::{BatchConfig, DispatchMode, KvClient, KvServer};
+use dido_net::{backend_matrix, BatchConfig, DispatchMode, IoBackend, KvClient, KvServer};
 use parking_lot::Mutex;
 use std::io::Write;
 use std::net::TcpStream;
@@ -20,11 +20,33 @@ fn key_echo_handler(_lane: usize, queries: Vec<Query>) -> Vec<Response> {
         .collect()
 }
 
-fn modes() -> [(&'static str, DispatchMode); 2] {
-    [
-        ("per_conn", DispatchMode::PerConnection),
-        ("batched", DispatchMode::Batched(BatchConfig::default())),
-    ]
+/// A [`BatchConfig`] pinned to one I/O backend (default everywhere
+/// else), for the matrix loops below.
+fn batch_cfg(backend: IoBackend) -> BatchConfig {
+    BatchConfig {
+        io_backend: backend.into(),
+        ..BatchConfig::default()
+    }
+}
+
+/// Stable label for assertion messages: `batched/epoll`,
+/// `batched/uring`.
+fn batched_name(backend: IoBackend) -> &'static str {
+    match backend {
+        IoBackend::Epoll => "batched/epoll",
+        IoBackend::Uring => "batched/uring",
+    }
+}
+
+fn modes() -> Vec<(&'static str, DispatchMode)> {
+    let mut modes = vec![("per_conn", DispatchMode::PerConnection)];
+    for backend in backend_matrix() {
+        modes.push((
+            batched_name(backend),
+            DispatchMode::Batched(batch_cfg(backend)),
+        ));
+    }
+    modes
 }
 
 /// Regression for the seed `read_frame` desync: a length prefix split
@@ -90,7 +112,9 @@ fn pipelined_client_gets_in_order_responses() {
             client.send(&[Query::get(format!("frame-{i:02}"))]).unwrap();
         }
         for i in 0..K {
-            let rs = client.recv().unwrap_or_else(|e| panic!("{name} frame {i}: {e}"));
+            let rs = client
+                .recv()
+                .unwrap_or_else(|e| panic!("{name} frame {i}: {e}"));
             assert_eq!(rs.len(), 1, "{name} frame {i}");
             assert_eq!(
                 rs[0].value,
@@ -108,21 +132,36 @@ fn pipelined_client_gets_in_order_responses() {
 #[test]
 fn two_pipelined_clients_keep_their_own_order() {
     const K: usize = 10;
-    let server =
-        KvServer::start_batched("127.0.0.1:0", BatchConfig::default(), key_echo_handler).unwrap();
-    let mut a = KvClient::connect(server.addr()).unwrap();
-    let mut b = KvClient::connect(server.addr()).unwrap();
-    for i in 0..K {
-        a.send(&[Query::get(format!("a-{i}"))]).unwrap();
-        b.send(&[Query::get(format!("b-{i}"))]).unwrap();
+    for backend in backend_matrix() {
+        let name = batched_name(backend);
+        let server =
+            KvServer::start_batched("127.0.0.1:0", batch_cfg(backend), key_echo_handler).unwrap();
+        let mut a = KvClient::connect(server.addr()).unwrap();
+        let mut b = KvClient::connect(server.addr()).unwrap();
+        for i in 0..K {
+            a.send(&[Query::get(format!("a-{i}"))]).unwrap();
+            b.send(&[Query::get(format!("b-{i}"))]).unwrap();
+        }
+        for i in 0..K {
+            assert_eq!(
+                a.recv().unwrap()[0].value,
+                format!("a-{i}").into_bytes(),
+                "{name}"
+            );
+            assert_eq!(
+                b.recv().unwrap()[0].value,
+                format!("b-{i}").into_bytes(),
+                "{name}"
+            );
+        }
+        let stats = server.stats().snapshot();
+        assert_eq!(
+            stats.frames + stats.bad_frames + stats.dropped_frames,
+            2 * K as u64,
+            "{name}"
+        );
+        server.shutdown();
     }
-    for i in 0..K {
-        assert_eq!(a.recv().unwrap()[0].value, format!("a-{i}").into_bytes());
-        assert_eq!(b.recv().unwrap()[0].value, format!("b-{i}").into_bytes());
-    }
-    let stats = server.stats().snapshot();
-    assert_eq!(stats.frames + stats.bad_frames + stats.dropped_frames, 2 * K as u64);
-    server.shutdown();
 }
 
 /// Overflowing the shared RX ring must not hang the connection: drops
@@ -132,60 +171,66 @@ fn two_pipelined_clients_keep_their_own_order() {
 #[test]
 fn ring_overflow_counts_drops_and_keeps_connection_alive() {
     const K: usize = 10;
-    // Wedge the engine: the handler blocks on this until the test is
-    // ready, so drained frames pin the dispatcher while later frames
-    // pile into (and overflow) the 2-slot ring.
-    let gate = Arc::new(Mutex::new(()));
-    let held = gate.lock();
-    let handler = {
-        let gate = Arc::clone(&gate);
-        move |lane: usize, queries: Vec<Query>| {
-            let _unwedged = gate.lock();
-            key_echo_handler(lane, queries)
+    for backend in backend_matrix() {
+        let name = batched_name(backend);
+        // Wedge the engine: the handler blocks on this until the test
+        // is ready, so drained frames pin the dispatcher while later
+        // frames pile into (and overflow) the 2-slot ring.
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock();
+        let handler = {
+            let gate = Arc::clone(&gate);
+            move |lane: usize, queries: Vec<Query>| {
+                let _unwedged = gate.lock();
+                key_echo_handler(lane, queries)
+            }
+        };
+        let server = KvServer::start_batched(
+            "127.0.0.1:0",
+            BatchConfig {
+                ring_slots: 2,
+                max_batch_delay: Duration::ZERO, // dispatch instantly, wedge fast
+                ..batch_cfg(backend)
+            },
+            handler,
+        )
+        .unwrap();
+        let mut client = KvClient::connect(server.addr()).unwrap();
+        for i in 0..K {
+            client.send(&[Query::get(format!("q{i}"))]).unwrap();
         }
-    };
-    let server = KvServer::start_batched(
-        "127.0.0.1:0",
-        BatchConfig {
-            ring_slots: 2,
-            max_batch_delay: Duration::ZERO, // dispatch instantly, wedge fast
-            ..BatchConfig::default()
-        },
-        handler,
-    )
-    .unwrap();
-    let mut client = KvClient::connect(server.addr()).unwrap();
-    for i in 0..K {
-        client.send(&[Query::get(format!("q{i}"))]).unwrap();
-    }
-    // Wait for the overflow to happen before releasing the engine.
-    let deadline = Instant::now() + Duration::from_secs(10);
-    while server.stats().dropped_frames.load(Ordering::Relaxed) == 0 {
-        assert!(Instant::now() < deadline, "ring never overflowed");
-        std::thread::sleep(Duration::from_millis(5));
-    }
-    drop(held);
+        // Wait for the overflow to happen before releasing the engine.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.stats().dropped_frames.load(Ordering::Relaxed) == 0 {
+            assert!(Instant::now() < deadline, "{name}: ring never overflowed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(held);
 
-    // Every frame gets exactly one response — dropped ones arrive
-    // empty, served ones carry their key — and the order still holds.
-    let mut served = 0;
-    let mut dropped = 0;
-    for i in 0..K {
-        let rs = client.recv().unwrap_or_else(|e| panic!("frame {i}: {e}"));
-        if rs.is_empty() {
-            dropped += 1;
-        } else {
-            assert_eq!(rs[0].value, format!("q{i}").into_bytes());
-            served += 1;
+        // Every frame gets exactly one response — dropped ones arrive
+        // empty, served ones carry their key — and the order still
+        // holds.
+        let mut served = 0;
+        let mut dropped = 0;
+        for i in 0..K {
+            let rs = client
+                .recv()
+                .unwrap_or_else(|e| panic!("{name} frame {i}: {e}"));
+            if rs.is_empty() {
+                dropped += 1;
+            } else {
+                assert_eq!(rs[0].value, format!("q{i}").into_bytes(), "{name}");
+                served += 1;
+            }
         }
+        assert_eq!(served + dropped, K, "{name}");
+        assert!(dropped >= 1, "{name}: expected at least one overflow drop");
+        let stats = server.stats().snapshot();
+        assert_eq!(stats.dropped_frames, dropped as u64, "{name}");
+        assert_eq!(stats.frames, served as u64, "{name}");
+        // Connection survives overload: a fresh request round-trips.
+        let rs = client.request(&[Query::get("alive")]).unwrap();
+        assert_eq!(&rs[0].value[..], b"alive", "{name}");
+        server.shutdown();
     }
-    assert_eq!(served + dropped, K);
-    assert!(dropped >= 1, "expected at least one overflow drop");
-    let stats = server.stats().snapshot();
-    assert_eq!(stats.dropped_frames, dropped as u64);
-    assert_eq!(stats.frames, served as u64);
-    // Connection survives overload: a fresh request round-trips.
-    let rs = client.request(&[Query::get("alive")]).unwrap();
-    assert_eq!(&rs[0].value[..], b"alive");
-    server.shutdown();
 }

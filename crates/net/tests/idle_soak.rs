@@ -92,7 +92,9 @@ fn idle_soak_512_conns_flat_threads_bounded_rss_then_pipelined_pass() {
     // ordering pass on every connection still round-trips in order.
     for (ci, client) in clients.iter_mut().enumerate() {
         for i in 0..K {
-            client.send(&[Query::get(format!("c{ci}-f{i:02}"))]).unwrap();
+            client
+                .send(&[Query::get(format!("c{ci}-f{i:02}"))])
+                .unwrap();
         }
         for i in 0..K {
             let rs = client

@@ -8,7 +8,11 @@ use proptest::prelude::*;
 
 fn query_strategy() -> impl Strategy<Value = Query> {
     (
-        prop_oneof![Just(QueryOp::Get), Just(QueryOp::Set), Just(QueryOp::Delete)],
+        prop_oneof![
+            Just(QueryOp::Get),
+            Just(QueryOp::Set),
+            Just(QueryOp::Delete)
+        ],
         proptest::collection::vec(any::<u8>(), 1..64),
         proptest::collection::vec(any::<u8>(), 0..256),
     )

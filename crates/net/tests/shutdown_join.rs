@@ -95,7 +95,7 @@ fn shutdown_joins_every_thread_and_idle_conns_see_it_promptly() {
             .unwrap();
         let mut buf = [0u8; 16];
         match idle_stream.read(&mut buf) {
-            Ok(0) => {}                // clean EOF
+            Ok(0) => {} // clean EOF
             Ok(n) => panic!("unexpected {n} bytes on an idle connection"),
             Err(e) => panic!("idle connection never saw shutdown: {e}"),
         }

@@ -5,6 +5,7 @@
 //!             [--shards N] [--dispatchers N] [--readers N]
 //!             [--sd-writers N] [--trace FILE] [--stats-every N]
 //!             [--batched] [--max-batch-delay-us N]
+//!             [--io-backend auto|uring|epoll]
 //!             [--resize-after FRAMES:SHARDS]
 //! ```
 //!
@@ -21,6 +22,10 @@
 //! cores)`) regardless of how many clients connect — see `DESIGN.md`
 //! §13 — and responses leave through `--sd-writers N` readiness-driven
 //! SD egress shards (default `min(2, cores/2)`) — see `DESIGN.md` §14.
+//! `--io-backend` picks the syscall backend for both planes: `uring`
+//! runs them on batched io_uring submission, `epoll` on readiness
+//! polling, and `auto` (the default) probes the kernel and falls back
+//! to epoll when io_uring is unusable — see `DESIGN.md` §15.
 //!
 //! `--trace` tees accepted queries to a replayable trace file through a
 //! bounded queue and a background writer (append-only, size-rotated;
@@ -39,7 +44,8 @@
 
 use dido_kv::dido::{DidoOptions, ServingCore};
 use dido_kv::net::{
-    BatchConfig, DispatchMode, KvServer, NetStatsSnapshot, ServerStats, TraceWriter,
+    BatchConfig, DispatchMode, IoBackend, IoBackendChoice, KvServer, NetStatsSnapshot, ServerStats,
+    TraceWriter,
 };
 use dido_kv::pipeline::TestbedOptions;
 use parking_lot::Mutex;
@@ -69,6 +75,9 @@ struct Args {
     stats_every: u64,
     batched: bool,
     max_batch_delay_us: u64,
+    /// Syscall backend for the batched planes (`auto` probes, falling
+    /// back to epoll).
+    io_backend: IoBackendChoice,
     /// `(frames, shards)`: request a live resize to `shards` once
     /// `frames` request frames have been served.
     resize_after: Option<(u64, usize)>,
@@ -87,6 +96,7 @@ fn parse_args() -> Args {
         stats_every: 0,
         batched: false,
         max_batch_delay_us: 200,
+        io_backend: IoBackendChoice::Auto,
         resize_after: None,
     };
     let mut iter = std::env::args().skip(1);
@@ -125,6 +135,17 @@ fn parse_args() -> Args {
                 args.stats_every = parse_num("--stats-every", value("--stats-every")) as u64
             }
             "--batched" => args.batched = true,
+            "--io-backend" => {
+                args.io_backend = match value("--io-backend").as_str() {
+                    "auto" => IoBackendChoice::Auto,
+                    "uring" => IoBackendChoice::Uring,
+                    "epoll" => IoBackendChoice::Epoll,
+                    other => {
+                        eprintln!("--io-backend must be auto, uring, or epoll (got {other})");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--resize-after" => {
                 let v = value("--resize-after");
                 let parsed = v.split_once(':').and_then(|(frames, shards)| {
@@ -149,6 +170,7 @@ fn parse_args() -> Args {
                      [--readers N] [--sd-writers N] [--trace FILE] \
                      [--stats-every N] [--batched] \
                      [--max-batch-delay-us N] \
+                     [--io-backend auto|uring|epoll] \
                      [--resize-after FRAMES:SHARDS]"
                 );
                 std::process::exit(0);
@@ -249,6 +271,7 @@ fn main() -> std::io::Result<()> {
             dispatchers: args.dispatchers,
             readers: args.readers,
             sd_writers: args.sd_writers,
+            io_backend: args.io_backend,
             ..BatchConfig::default()
         })
     } else {
@@ -322,7 +345,7 @@ fn main() -> std::io::Result<()> {
         args.latency_us,
         if args.batched {
             format!(
-                ", batched dispatch x{}, {} reader(s), {} sd writer(s)",
+                ", batched dispatch x{}, {} reader(s), {} sd writer(s), io backend {}",
                 args.dispatchers,
                 server
                     .stats()
@@ -331,7 +354,13 @@ fn main() -> std::io::Result<()> {
                 server
                     .stats()
                     .sd_writer_threads
-                    .load(std::sync::atomic::Ordering::Relaxed)
+                    .load(std::sync::atomic::Ordering::Relaxed),
+                IoBackend::name_of(
+                    server
+                        .stats()
+                        .io_backend
+                        .load(std::sync::atomic::Ordering::Relaxed)
+                )
             )
         } else {
             String::new()
