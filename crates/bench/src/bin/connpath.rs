@@ -145,6 +145,29 @@ fn main() {
         );
     }
 
+    if !report.protopath.is_empty() {
+        println!(
+            "# protopath: {} conns, pipelined {}-key multi-GET per request, \
+             protocols interleaved per repeat",
+            report.protopath[0].connections, opts.frame_queries
+        );
+        println!(
+            "{:>10} {:>7} {:>16} {:>9} {:>12} {:>12}",
+            "proto", "backend", "throughput q/s", "spread", "req B/query", "rep B/query"
+        );
+        for c in &report.protopath {
+            println!(
+                "{:>10} {:>7} {:>16.0} {:>8.1}% {:>12.2} {:>12.2}",
+                c.proto.as_str(),
+                c.io_backend.as_str(),
+                c.throughput_qps,
+                c.qps_rel_spread * 100.0,
+                c.request_bytes_per_query,
+                c.reply_bytes_per_query
+            );
+        }
+    }
+
     match (
         report.uring_throughput_ratio(),
         report.uring_syscall_ratio(),

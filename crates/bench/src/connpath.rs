@@ -24,12 +24,14 @@ use bytes::{Bytes, BytesMut};
 use dido_apu_sim::HwSpec;
 use dido_model::{PipelineConfig, Query};
 use dido_net::{
-    backend_matrix, encode_queries_wire_into, BatchConfig, IoBackend, KvClient, KvServer,
+    backend_matrix, encode_queries_wire_into, BatchConfig, DispatchMode, IoBackend, KvClient,
+    KvServer, ProtocolKind,
 };
 use dido_pipeline::{preloaded_engine, KvEngine, TestbedOptions};
 use dido_workload::{Dataset, KeyDistribution, WorkloadSpec};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -198,6 +200,9 @@ pub struct ConnpathReport {
     /// The slow-consumer isolation cell (skipped only if the sweep was
     /// empty).
     pub slow: Option<SlowCell>,
+    /// Protocol front-door cells (dido vs memcached vs RESP), per
+    /// backend, repeats interleaved in one window.
+    pub protopath: Vec<ProtoCell>,
     /// Batched 64-conn throughput from `BENCH_netpath.json`, when that
     /// report was available for comparison.
     pub netpath_baseline_qps: Option<f64>,
@@ -359,6 +364,31 @@ impl ConnpathReport {
                 c.sd_pending_hiwater,
                 c.sd_buf_hit_rate,
                 if i + 1 < self.cells.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"protopath\": [\n");
+        for (i, c) in self.protopath.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"proto\": \"{}\", \"io_backend\": \"{}\", \
+                 \"connections\": {}, \"requests\": {}, \
+                 \"throughput_qps\": {:.1}, \
+                 \"qps_min\": {:.1}, \"qps_mean\": {:.1}, \"qps_max\": {:.1}, \
+                 \"qps_rel_spread\": {:.4}, \
+                 \"request_bytes_per_query\": {:.2}, \
+                 \"reply_bytes_per_query\": {:.2}}}{}\n",
+                c.proto.as_str(),
+                c.io_backend.as_str(),
+                c.connections,
+                c.requests,
+                c.throughput_qps,
+                c.qps_min,
+                c.qps_mean,
+                c.qps_max,
+                c.qps_rel_spread,
+                c.request_bytes_per_query,
+                c.reply_bytes_per_query,
+                if i + 1 < self.protopath.len() { "," } else { "" }
             ));
         }
         s.push_str("  ],\n");
@@ -775,6 +805,419 @@ pub fn sweep_backends() -> Vec<IoBackend> {
     backend_matrix()
 }
 
+/// Concurrent connections each protopath cell drives (quick mode
+/// halves twice: the cell measures codec cost, not connection scale).
+pub const PROTO_CONNECTIONS: usize = 32;
+
+/// Distinct keys the protopath population stores (quick: 512).
+pub const PROTO_KEYS: usize = 4096;
+
+/// One protocol front-door measurement: the same pipelined multi-GET
+/// workload over the same engine and key population, differing only in
+/// the wire protocol the listener speaks (`DESIGN.md` §16).
+#[derive(Debug, Clone, Copy)]
+pub struct ProtoCell {
+    /// Wire protocol the measured listener spoke.
+    pub proto: ProtocolKind,
+    /// I/O backend the server ran on.
+    pub io_backend: IoBackend,
+    /// Concurrent connections held open through the cell.
+    pub connections: usize,
+    /// Requests completed over the best run (each carries
+    /// `frame_queries` GETs).
+    pub requests: u64,
+    /// End-to-end throughput, queries/sec, best repeat.
+    pub throughput_qps: f64,
+    /// Request-stream bytes per query — the protocol's ingress wire
+    /// cost.
+    pub request_bytes_per_query: f64,
+    /// Reply-stream bytes per query over the best run — the egress
+    /// wire cost.
+    pub reply_bytes_per_query: f64,
+    /// Lowest throughput across the cell's repeats, queries/sec.
+    pub qps_min: f64,
+    /// Mean throughput across the cell's repeats, queries/sec.
+    pub qps_mean: f64,
+    /// Highest throughput across the cell's repeats, queries/sec.
+    pub qps_max: f64,
+    /// `(max - min) / mean` across repeats.
+    pub qps_rel_spread: f64,
+}
+
+/// The protopath key for id `i`: 16 bytes, memcached-text safe, and —
+/// with the value below — sized into the same slab class as the K16
+/// preload, so population SETs evict preloaded objects instead of
+/// dying on a class with no slabs.
+fn proto_key(i: usize) -> String {
+    format!("pp:{i:012x}p")
+}
+
+fn proto_value() -> Vec<u8> {
+    vec![b'v'; Dataset::K16.value_size()]
+}
+
+/// Deterministic key-id sequence shared by every protocol's cell, so
+/// the three front doors request identical keys in identical order.
+struct ProtoIds(u64);
+
+impl ProtoIds {
+    fn next(&mut self, n_keys: usize) -> usize {
+        // xorshift64*: cheap, seedable, and good enough to spread GETs.
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 16) as usize % n_keys
+    }
+}
+
+/// Build one connection's pipelined request stream for `proto`: each
+/// request asks for `frame_queries` keys (a dido GET frame, a memcached
+/// multi-key `get`, a RESP `MGET`).
+fn proto_requests(
+    proto: ProtocolKind,
+    ids: &mut ProtoIds,
+    n_keys: usize,
+    requests: usize,
+    frame_queries: usize,
+) -> Vec<Bytes> {
+    (0..requests)
+        .map(|_| {
+            let keys: Vec<String> = (0..frame_queries)
+                .map(|_| proto_key(ids.next(n_keys)))
+                .collect();
+            match proto {
+                ProtocolKind::Dido => {
+                    let batch: Vec<Query> =
+                        keys.iter().map(|k| Query::get(k.clone().into_bytes())).collect();
+                    let mut wire = BytesMut::new();
+                    encode_queries_wire_into(&mut wire, &batch);
+                    wire.freeze()
+                }
+                ProtocolKind::Memcached => {
+                    let mut line = String::from("get");
+                    for k in &keys {
+                        line.push(' ');
+                        line.push_str(k);
+                    }
+                    line.push_str("\r\n");
+                    Bytes::from(line.into_bytes())
+                }
+                ProtocolKind::Resp => {
+                    let mut wire = format!("*{}\r\n$4\r\nMGET\r\n", keys.len() + 1).into_bytes();
+                    for k in &keys {
+                        wire.extend_from_slice(format!("${}\r\n{k}\r\n", k.len()).as_bytes());
+                    }
+                    Bytes::from(wire)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Drain complete replies from the front of `buf`, returning how many
+/// requests they answer. Partial tails stay buffered.
+fn drain_replies(proto: ProtocolKind, buf: &mut BytesMut) -> usize {
+    let mut done = 0;
+    while let Some(n) = next_reply_len(proto, buf) {
+        let _ = buf.split_to(n);
+        done += 1;
+    }
+    done
+}
+
+/// Byte length of the complete reply at the start of `buf`, or `None`
+/// while it is still partial.
+fn next_reply_len(proto: ProtocolKind, buf: &[u8]) -> Option<usize> {
+    match proto {
+        ProtocolKind::Dido => {
+            // One length-prefixed response frame answers one request.
+            if buf.len() < 4 {
+                return None;
+            }
+            let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+            (buf.len() >= 4 + len).then_some(4 + len)
+        }
+        ProtocolKind::Memcached => {
+            // VALUE lines (with length-prefixed data blocks, so values
+            // containing "END\r\n" can't fake a terminator) until the
+            // END line.
+            let mut pos = 0;
+            loop {
+                let lf = buf[pos..].iter().position(|&b| b == b'\n')?;
+                let line = &buf[pos..pos + lf];
+                let line_len = lf + 1;
+                if line.starts_with(b"VALUE ") {
+                    let bytes_tok = line
+                        .split(|&b| b == b' ')
+                        .filter(|t| !t.is_empty())
+                        .nth(3)
+                        .expect("VALUE line bytes field");
+                    let n: usize = std::str::from_utf8(bytes_tok)
+                        .ok()
+                        .and_then(|s| s.trim_end().parse().ok())
+                        .expect("VALUE bytes field numeric");
+                    let total = line_len + n + 2;
+                    if buf.len() < pos + total {
+                        return None;
+                    }
+                    pos += total;
+                } else if line.starts_with(b"END") {
+                    return Some(pos + line_len);
+                } else {
+                    // ERROR / SERVER_ERROR lines answer the request too.
+                    return Some(pos + line_len);
+                }
+            }
+        }
+        ProtocolKind::Resp => resp_reply_len(buf),
+    }
+}
+
+/// Length of one complete RESP reply (`*N` array of bulks, a bulk, or
+/// a simple/error/integer line), or `None` while partial.
+fn resp_reply_len(buf: &[u8]) -> Option<usize> {
+    fn line_end(buf: &[u8], pos: usize) -> Option<usize> {
+        buf[pos..].iter().position(|&b| b == b'\n').map(|lf| pos + lf + 1)
+    }
+    fn bulk_len(buf: &[u8], pos: usize) -> Option<usize> {
+        debug_assert_eq!(buf[pos], b'$');
+        let end = line_end(buf, pos)?;
+        let digits = std::str::from_utf8(&buf[pos + 1..end - 2]).ok()?;
+        let n: i64 = digits.parse().expect("bulk length numeric");
+        if n < 0 {
+            return Some(end); // $-1\r\n null
+        }
+        let total = end + n as usize + 2;
+        (buf.len() >= total).then_some(total)
+    }
+    match buf.first()? {
+        b'*' => {
+            let mut pos = line_end(buf, 0)?;
+            let n: usize = std::str::from_utf8(&buf[1..pos - 2])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .expect("array length numeric");
+            for _ in 0..n {
+                if buf.len() <= pos {
+                    return None;
+                }
+                pos = bulk_len(buf, pos)?;
+            }
+            Some(pos)
+        }
+        b'$' => bulk_len(buf, 0),
+        b'+' | b'-' | b':' => line_end(buf, 0),
+        other => panic!("desynced RESP reply stream (byte {other:#x})"),
+    }
+}
+
+/// Drive one connection's request stream with a sliding window,
+/// returning the reply bytes received.
+fn drive_proto_conn(
+    stream: &mut std::net::TcpStream,
+    proto: ProtocolKind,
+    requests: &[Bytes],
+    window: usize,
+) -> std::io::Result<u64> {
+    let mut rx = BytesMut::new();
+    let mut tmp = vec![0u8; 64 << 10];
+    let mut rx_bytes = 0u64;
+    let mut next = 0;
+    let mut inflight = 0;
+    let mut done = 0;
+    while done < requests.len() {
+        while inflight < window && next < requests.len() {
+            stream.write_all(&requests[next])?;
+            next += 1;
+            inflight += 1;
+        }
+        let n = match stream.read(&mut tmp) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-run",
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        rx_bytes += n as u64;
+        rx.extend_from_slice(&tmp[..n]);
+        let c = drain_replies(proto, &mut rx);
+        done += c;
+        inflight -= c;
+    }
+    Ok(rx_bytes)
+}
+
+/// One protopath measurement pass: connect the fleet to `addr`, drive
+/// every stream, and return `(elapsed, requests, tx_bytes, rx_bytes)`.
+fn measure_proto_pass(
+    addr: std::net::SocketAddr,
+    proto: ProtocolKind,
+    streams: &Arc<Vec<Vec<Bytes>>>,
+    window: usize,
+) -> (Duration, u64, u64, u64) {
+    let threads = streams.len();
+    let go = Arc::new(Barrier::new(threads + 1));
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let go = Arc::clone(&go);
+            let streams = Arc::clone(streams);
+            std::thread::spawn(move || {
+                let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                go.wait();
+                let rx = drive_proto_conn(&mut stream, proto, &streams[t], window)
+                    .expect("protopath client I/O");
+                (streams[t].len() as u64, rx)
+            })
+        })
+        .collect();
+    go.wait();
+    let start = Instant::now();
+    let mut requests = 0u64;
+    let mut rx_bytes = 0u64;
+    for w in workers {
+        let (reqs, rx) = w.join().expect("protopath thread");
+        requests += reqs;
+        rx_bytes += rx;
+    }
+    let elapsed = start.elapsed();
+    let tx_bytes: u64 = streams
+        .iter()
+        .flatten()
+        .map(|r| r.len() as u64)
+        .sum();
+    (elapsed, requests, tx_bytes, rx_bytes)
+}
+
+/// Run the protocol front-door comparison: one multi-protocol server
+/// per backend (dido + memcached + RESP listeners over one engine),
+/// the protocols' repeats interleaved inside one process window — on a
+/// shared box, cells taken minutes apart measure the machine's mood,
+/// not the codec (see `ConnpathReport::qps_rel_spread` for the floor).
+pub fn run_protopath(
+    opts: &ConnpathOptions,
+    mut progress: impl FnMut(&ProtoCell),
+) -> Vec<ProtoCell> {
+    let connections = if opts.quick {
+        PROTO_CONNECTIONS / 4
+    } else {
+        PROTO_CONNECTIONS
+    };
+    let n_keys = if opts.quick { 512 } else { PROTO_KEYS };
+    let requests_per_conn = opts.frames_per_conn(connections);
+    let protos = ProtocolKind::all();
+
+    // Identical per-connection request streams for every protocol:
+    // same seed, same key-id sequence, different wire encoding.
+    let streams: Vec<Arc<Vec<Vec<Bytes>>>> = protos
+        .iter()
+        .map(|&proto| {
+            let mut ids = ProtoIds(opts.seed | 1);
+            Arc::new(
+                (0..connections)
+                    .map(|_| {
+                        proto_requests(proto, &mut ids, n_keys, requests_per_conn, opts.frame_queries)
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let mut cells = Vec::new();
+    for backend in sweep_backends() {
+        let spec = WorkloadSpec::new(Dataset::K16, 0.95, KeyDistribution::YCSB_ZIPF);
+        let hw = HwSpec::kaveri_apu();
+        let topts = TestbedOptions {
+            store_bytes: opts.store_bytes,
+            seed: opts.seed,
+            ..TestbedOptions::default()
+        };
+        let (engine, _) = preloaded_engine(spec, &hw, topts);
+        let engine = Arc::new(Mutex::new(engine));
+        let ctx = all_on_cpu_ctx();
+        let handler = {
+            let engine = Arc::clone(&engine);
+            move |_lane: usize, queries: Vec<Query>| {
+                let engine = engine.lock();
+                run_vectorized_batch(ctx, &engine, queries, PipelineConfig::mega_kv())
+            }
+        };
+        let server = KvServer::start_multi(
+            &[
+                ("127.0.0.1:0", ProtocolKind::Dido),
+                ("127.0.0.1:0", ProtocolKind::Memcached),
+                ("127.0.0.1:0", ProtocolKind::Resp),
+            ],
+            DispatchMode::Batched(BatchConfig {
+                io_backend: backend.into(),
+                ..BatchConfig::default()
+            }),
+            handler,
+        )
+        .expect("bind multi-proto server");
+        let addrs = server.addrs().to_vec();
+
+        // Populate through the native door; every key lands in the K16
+        // slab class, evicting preloaded objects.
+        let mut pop = KvClient::connect(addrs[0]).expect("populate connect");
+        for chunk in (0..n_keys).collect::<Vec<_>>().chunks(512) {
+            let batch: Vec<Query> = chunk
+                .iter()
+                .map(|&i| Query::set(proto_key(i).into_bytes(), proto_value()))
+                .collect();
+            pop.request(&batch).expect("populate");
+        }
+        drop(pop);
+
+        // Interleave the protocols inside each repeat round.
+        let mut samples: Vec<Vec<f64>> = vec![Vec::new(); protos.len()];
+        let mut best: Vec<Option<ProtoCell>> = vec![None; protos.len()];
+        for _ in 0..opts.repeats.max(1) {
+            for (pi, &proto) in protos.iter().enumerate() {
+                let (elapsed, requests, tx, rx) =
+                    measure_proto_pass(addrs[pi], proto, &streams[pi], opts.window);
+                let queries = requests * opts.frame_queries as u64;
+                let qps = queries as f64 / elapsed.as_secs_f64();
+                samples[pi].push(qps);
+                if best[pi].is_none_or(|b: ProtoCell| qps > b.throughput_qps) {
+                    best[pi] = Some(ProtoCell {
+                        proto,
+                        io_backend: backend,
+                        connections,
+                        requests,
+                        throughput_qps: qps,
+                        request_bytes_per_query: tx as f64 / queries as f64,
+                        reply_bytes_per_query: rx as f64 / queries as f64,
+                        qps_min: qps,
+                        qps_mean: qps,
+                        qps_max: qps,
+                        qps_rel_spread: 0.0,
+                    });
+                }
+            }
+        }
+        server.shutdown();
+        for (pi, best) in best.into_iter().enumerate() {
+            let mut cell = best.expect("at least one repeat");
+            let qps = &samples[pi];
+            let min = qps.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = qps.iter().copied().fold(0.0, f64::max);
+            let mean = qps.iter().sum::<f64>() / qps.len() as f64;
+            cell.qps_min = min;
+            cell.qps_mean = mean;
+            cell.qps_max = max;
+            cell.qps_rel_spread = if mean > 0.0 { (max - min) / mean } else { 0.0 };
+            progress(&cell);
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
 /// Run the connection sweep on every available backend. Repeats
 /// interleave the backends (epoll, uring, epoll, uring, ...) so both
 /// sides of every comparison sample the same process window — on a
@@ -826,10 +1269,14 @@ pub fn run_connpath(
         .get(1)
         .copied()
         .map(|connections| run_slow_cell(opts, connections));
+    // The protocol front-door comparison (its own small fleet; the
+    // protocols interleave inside each repeat round).
+    let protopath = run_protopath(opts, |_| {});
     ConnpathReport {
         opts: *opts,
         cells,
         slow,
+        protopath,
         netpath_baseline_qps: netpath_json.and_then(netpath_baseline_qps),
     }
 }
@@ -869,6 +1316,41 @@ mod tests {
                 "hit rate out of range: {}",
                 cell.sd_buf_hit_rate
             );
+        }
+    }
+
+    /// A tiny protopath run over a live multi-protocol server: every
+    /// front door must move real traffic and account its wire bytes.
+    #[test]
+    fn smoke_protopath_small() {
+        let opts = ConnpathOptions {
+            store_bytes: 4 << 20,
+            target_frames: 64,
+            window: 4,
+            frame_queries: 4,
+            repeats: 1,
+            ..ConnpathOptions::quick()
+        };
+        let cells = run_protopath(&opts, |_| {});
+        let backends = sweep_backends().len();
+        assert_eq!(cells.len(), 3 * backends, "one cell per proto per backend");
+        for c in &cells {
+            assert!(c.throughput_qps > 0.0, "{} moved no traffic", c.proto);
+            assert!(c.requests > 0, "{} completed no requests", c.proto);
+            assert!(
+                c.request_bytes_per_query > 0.0 && c.reply_bytes_per_query > 0.0,
+                "{} wire accounting missing",
+                c.proto
+            );
+        }
+        // All three protocols ran on each backend.
+        for backend in sweep_backends() {
+            let protos: Vec<_> = cells
+                .iter()
+                .filter(|c| c.io_backend == backend)
+                .map(|c| c.proto)
+                .collect();
+            assert_eq!(protos.len(), 3, "{backend:?}");
         }
     }
 
@@ -921,6 +1403,19 @@ mod tests {
                 mk(4096, IoBackend::Uring, 4, 9.9e5),
             ],
             slow: Some(slow_cell),
+            protopath: vec![ProtoCell {
+                proto: ProtocolKind::Memcached,
+                io_backend: IoBackend::Epoll,
+                connections: 32,
+                requests: 16384,
+                throughput_qps: 8.0e5,
+                request_bytes_per_query: 17.25,
+                reply_bytes_per_query: 130.5,
+                qps_min: 7.0e5,
+                qps_mean: 7.5e5,
+                qps_max: 8.0e5,
+                qps_rel_spread: 0.1333,
+            }],
             netpath_baseline_qps: Some(1.0e6),
         };
         assert!(report.flat_readers());
@@ -946,6 +1441,9 @@ mod tests {
         assert!(json.contains("\"sd_buf_ring_hit_rate\": 0.9800"));
         assert!(json.contains("\"healthy_p99_ratio\": 1.333"));
         assert!(json.contains("\"healthy_p99_within_2x\": true"));
+        assert!(json.contains("\"proto\": \"memcached\""));
+        assert!(json.contains("\"request_bytes_per_query\": 17.25"));
+        assert!(json.contains("\"reply_bytes_per_query\": 130.50"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
 
@@ -958,6 +1456,7 @@ mod tests {
                 mk(512, IoBackend::Epoll, 512, 1.0e6),
             ],
             slow: None,
+            protopath: Vec::new(),
             netpath_baseline_qps: None,
         };
         assert!(!scaling.flat_readers());
@@ -973,6 +1472,7 @@ mod tests {
             opts: ConnpathOptions::default(),
             cells: vec![mk(64, IoBackend::Epoll, 4, 9.0e5)],
             slow: None,
+            protopath: Vec::new(),
             netpath_baseline_qps: Some(1.0e6),
         };
         assert!(!slow.netpath_pass());

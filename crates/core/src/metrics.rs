@@ -98,6 +98,14 @@ pub struct Metrics {
     /// Connections retired from the per-connection (non-batched) path
     /// because a blocking write stalled past the write deadline.
     pub net_write_stall_retired: u64,
+    /// Connections accepted per front-door protocol, indexed by
+    /// `dido_net::ProtocolKind::index` (dido, memcached, resp).
+    pub net_proto_conns: [u64; dido_net::PROTOCOL_KINDS],
+    /// Queries decoded per front-door protocol (same indexing).
+    pub net_proto_queries: [u64; dido_net::PROTOCOL_KINDS],
+    /// Requests answered with a per-protocol parse-error reply (same
+    /// indexing).
+    pub net_proto_parse_errors: [u64; dido_net::PROTOCOL_KINDS],
     /// CQEs-reaped-per-`io_uring_enter` histogram (same buckets as
     /// [`Metrics::net_batch_hist`]; uring backend only, empty enters
     /// not recorded).
@@ -172,6 +180,19 @@ impl Metrics {
         self.net_io_backend = stats.io_backend;
         self.net_ring_enters += stats.ring_enters;
         self.net_write_stall_retired += stats.write_stall_retired;
+        for (acc, v) in self.net_proto_conns.iter_mut().zip(stats.proto_conns) {
+            *acc += v;
+        }
+        for (acc, v) in self.net_proto_queries.iter_mut().zip(stats.proto_queries) {
+            *acc += v;
+        }
+        for (acc, v) in self
+            .net_proto_parse_errors
+            .iter_mut()
+            .zip(stats.proto_parse_errors)
+        {
+            *acc += v;
+        }
         for (acc, v) in self
             .net_cqe_per_enter_hist
             .iter_mut()
@@ -339,6 +360,30 @@ impl fmt::Display for Metrics {
             }
             writeln!(f)?;
         }
+        // Only worth a line once a non-dido front door saw traffic; an
+        // all-dido node keeps its display unchanged.
+        let multi_proto = dido_net::ProtocolKind::all().iter().any(|k| {
+            k.index() != 0
+                && (self.net_proto_conns[k.index()]
+                    + self.net_proto_queries[k.index()]
+                    + self.net_proto_parse_errors[k.index()])
+                    > 0
+        });
+        if multi_proto {
+            write!(f, "proto:")?;
+            for k in dido_net::ProtocolKind::all() {
+                let i = k.index();
+                write!(
+                    f,
+                    " {}={} conns/{} queries/{} parse errors",
+                    k.as_str(),
+                    self.net_proto_conns[i],
+                    self.net_proto_queries[i],
+                    self.net_proto_parse_errors[i]
+                )?;
+            }
+            writeln!(f)?;
+        }
         for (cfg, count) in &self.config_histogram {
             writeln!(f, "  {count:>6} x {cfg}")?;
         }
@@ -501,6 +546,31 @@ mod tests {
     fn net_line_absent_when_front_end_never_ran() {
         let m = Metrics::default();
         assert!(!m.to_string().contains("net:"));
+    }
+
+    #[test]
+    fn proto_counters_fold_and_gate_the_display_line() {
+        let mut m = Metrics::default();
+        m.record_net_stats(&NetStatsSnapshot {
+            proto_conns: [5, 0, 0],
+            proto_queries: [900, 0, 0],
+            ..NetStatsSnapshot::default()
+        });
+        // All-dido traffic: no proto line.
+        assert!(!m.to_string().contains("proto:"), "{m}");
+        m.record_net_stats(&NetStatsSnapshot {
+            proto_conns: [0, 2, 1],
+            proto_queries: [0, 40, 7],
+            proto_parse_errors: [0, 3, 0],
+            ..NetStatsSnapshot::default()
+        });
+        assert_eq!(m.net_proto_conns, [5, 2, 1]);
+        assert_eq!(m.net_proto_queries, [900, 40, 7]);
+        assert_eq!(m.net_proto_parse_errors, [0, 3, 0]);
+        let s = m.to_string();
+        assert!(s.contains("proto:"), "{s}");
+        assert!(s.contains("memcached=2 conns/40 queries/3 parse errors"), "{s}");
+        assert!(s.contains("resp=1 conns/7 queries/0 parse errors"), "{s}");
     }
 
     #[test]

@@ -467,9 +467,14 @@ mod tests {
     #[test]
     fn responses_remain_correct_across_adaptions() {
         let dido = DidoSystem::preloaded(spec("K8-G95-S"), opts());
-        // Seed a known key through the convenience API.
+        // Seed a known key through the convenience API. The value is
+        // sized so the object lands in the preloaded K8 slab class
+        // (eviction is same-class): a preload fills the store
+        // completely, so a pin in a class the workload never allocated
+        // would have nothing to evict.
+        let pinned = "value-survives-adaption";
         assert_eq!(
-            dido.execute(&Query::set("pin", "value")).status,
+            dido.execute(&Query::set("pin", pinned)).status,
             ResponseStatus::Ok
         );
         let mut g = WorkloadGen::new(spec("K8-G95-S"), 10_000, 5);
@@ -478,7 +483,7 @@ mod tests {
         }
         let r = dido.execute(&Query::get("pin"));
         assert_eq!(r.status, ResponseStatus::Ok);
-        assert_eq!(&r.value[..], b"value");
+        assert_eq!(&r.value[..], pinned.as_bytes());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use dido_model::WorkloadStats;
 
 /// Object header bytes (mirrors `dido_kvstore::HEADER_SIZE`; duplicated
 /// as a constant so the model stays independent of the store crate).
-pub const OBJECT_HEADER_BYTES: usize = 16;
+pub const OBJECT_HEADER_BYTES: usize = 24;
 
 /// Everything the Workload Profiler hands to the cost model
 /// (paper §III-A: "GET/SET ratio and average key-value size ...

@@ -13,8 +13,13 @@ use parking_lot::Mutex;
 use std::collections::VecDeque;
 
 /// Object header layout (little endian):
-/// `key_len:u16 | val_len:u32 | freq:u32 | epoch:u32 | class:u8 | flags:u8`.
-pub const HEADER_SIZE: usize = 16;
+/// `key_len:u16 | val_len:u32 | freq:u32 | epoch:u32 | class:u8 | flags:u8
+///  | ttl:u32 | client_flags:u32`.
+///
+/// `ttl` (seconds, 0 = no expiry) and `client_flags` (opaque memcached
+/// `flags`) are protocol metadata stored with the object: inert for
+/// eviction today, echoed back by codecs that carry them.
+pub const HEADER_SIZE: usize = 24;
 
 const OFF_KEY_LEN: usize = 0;
 const OFF_VAL_LEN: usize = 2;
@@ -22,6 +27,8 @@ const OFF_FREQ: usize = 6;
 const OFF_EPOCH: usize = 10;
 const OFF_CLASS: usize = 14;
 const OFF_FLAGS: usize = 15;
+const OFF_TTL: usize = 16;
+const OFF_CLIENT_FLAGS: usize = 20;
 
 const FLAG_LIVE: u8 = 1;
 const FLAG_REFERENCED: u8 = 2;
@@ -133,6 +140,19 @@ impl ObjectStore {
 
     /// Store `key`/`value`, evicting a same-class object if necessary.
     pub fn allocate(&self, key: &[u8], value: &[u8]) -> Result<AllocOutcome, StoreError> {
+        self.allocate_with(key, value, 0, 0)
+    }
+
+    /// Store `key`/`value` with protocol metadata (TTL seconds and
+    /// opaque client flags; 0 = unset), evicting a same-class object if
+    /// necessary.
+    pub fn allocate_with(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        ttl: u32,
+        client_flags: u32,
+    ) -> Result<AllocOutcome, StoreError> {
         let total = HEADER_SIZE + key.len() + value.len();
         let (class_idx, class_size) = self.class_of(total).ok_or(StoreError::ObjectTooLarge)?;
 
@@ -159,7 +179,7 @@ impl ObjectStore {
         };
         let loc = loc.ok_or(StoreError::OutOfMemory)?;
 
-        self.write_object(loc, key, value, class_idx as u8);
+        self.write_object(loc, key, value, class_idx as u8, ttl, client_flags);
         let mut lists = self.classes[class_idx].lock();
         lists.ring.push_back(loc);
         lists.live += 1;
@@ -212,7 +232,7 @@ impl ObjectStore {
         None
     }
 
-    fn write_object(&self, loc: u64, key: &[u8], value: &[u8], class: u8) {
+    fn write_object(&self, loc: u64, key: &[u8], value: &[u8], class: u8, ttl: u32, cflags: u32) {
         let off = loc as usize;
         self.arena.write_u16(off + OFF_KEY_LEN, key.len() as u16);
         self.arena.write_u32(off + OFF_VAL_LEN, value.len() as u32);
@@ -220,8 +240,22 @@ impl ObjectStore {
         self.arena.write_u32(off + OFF_EPOCH, 0);
         self.arena.write_u8(off + OFF_CLASS, class);
         self.arena.write_u8(off + OFF_FLAGS, FLAG_LIVE);
+        self.arena.write_u32(off + OFF_TTL, ttl);
+        self.arena.write_u32(off + OFF_CLIENT_FLAGS, cflags);
         self.arena.write(off + HEADER_SIZE, key);
         self.arena.write(off + HEADER_SIZE + key.len(), value);
+    }
+
+    /// Protocol metadata stored with the object at `loc`: `(ttl seconds,
+    /// opaque client flags)`, both 0 when the writing protocol carried
+    /// none.
+    #[must_use]
+    pub fn object_meta(&self, loc: u64) -> (u32, u32) {
+        let off = loc as usize;
+        (
+            self.arena.read_u32(off + OFF_TTL),
+            self.arena.read_u32(off + OFF_CLIENT_FLAGS),
+        )
     }
 
     /// Free the object at `loc` (DELETE query). Returns false if it was
@@ -373,6 +407,24 @@ mod tests {
         assert_eq!(v, b"value-1");
         assert_eq!(s.read_key(out.loc), b"key-1");
         assert_eq!(s.live_objects(), 1);
+    }
+
+    #[test]
+    fn protocol_metadata_round_trips() {
+        let s = ObjectStore::new(4096);
+        let plain = s.allocate(b"plain", b"v").unwrap();
+        assert_eq!(s.object_meta(plain.loc), (0, 0));
+        let meta = s.allocate_with(b"meta", b"v", 300, 0xDEAD_BEEF).unwrap();
+        assert_eq!(s.object_meta(meta.loc), (300, 0xDEAD_BEEF));
+        assert!(s.key_matches(meta.loc, b"meta"));
+        let mut v = Vec::new();
+        s.read_value(meta.loc, &mut v);
+        assert_eq!(v, b"v");
+        // A recycled slot must not leak the previous object's metadata.
+        assert!(s.free(meta.loc));
+        let reused = s.allocate(b"zero", b"v").unwrap();
+        assert_eq!(reused.loc, meta.loc);
+        assert_eq!(s.object_meta(reused.loc), (0, 0));
     }
 
     #[test]

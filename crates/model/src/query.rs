@@ -50,6 +50,15 @@ pub struct Query {
     pub key: Bytes,
     /// The value (empty except for SET).
     pub value: Bytes,
+    /// Requested time-to-live in seconds for SET (0 = no expiry).
+    ///
+    /// Stored with the object as inert metadata today (memcached
+    /// `exptime`); active expiry is future work.
+    pub ttl: u32,
+    /// Opaque client flags for SET (memcached `flags`; 0 = unset).
+    /// Stored with the object and echoed back on GET by codecs that
+    /// carry them.
+    pub flags: u32,
 }
 
 impl Query {
@@ -60,6 +69,8 @@ impl Query {
             op: QueryOp::Get,
             key: key.into(),
             value: Bytes::new(),
+            ttl: 0,
+            flags: 0,
         }
     }
 
@@ -70,6 +81,21 @@ impl Query {
             op: QueryOp::Set,
             key: key.into(),
             value: value.into(),
+            ttl: 0,
+            flags: 0,
+        }
+    }
+
+    /// A SET query carrying protocol metadata (TTL seconds and opaque
+    /// client flags; 0 means unset for both).
+    #[must_use]
+    pub fn set_with(key: impl Into<Bytes>, value: impl Into<Bytes>, ttl: u32, flags: u32) -> Query {
+        Query {
+            op: QueryOp::Set,
+            key: key.into(),
+            value: value.into(),
+            ttl,
+            flags,
         }
     }
 
@@ -80,6 +106,8 @@ impl Query {
             op: QueryOp::Delete,
             key: key.into(),
             value: Bytes::new(),
+            ttl: 0,
+            flags: 0,
         }
     }
 }
@@ -162,6 +190,9 @@ mod tests {
         assert_eq!(q.op, QueryOp::Set);
         assert_eq!(&q.key[..], b"k1");
         assert_eq!(&q.value[..], b"v1");
+        assert_eq!((q.ttl, q.flags), (0, 0));
+        let m = Query::set_with("k1", "v1", 30, 0xBEEF);
+        assert_eq!((m.ttl, m.flags), (30, 0xBEEF));
         let g = Query::get("k1");
         assert!(g.value.is_empty());
         let d = Query::delete("k1");

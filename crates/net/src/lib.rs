@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+mod codec;
 mod nic;
 mod protocol;
 mod reactor;
@@ -36,6 +37,10 @@ mod sd;
 mod server;
 mod trace;
 
+pub use codec::{
+    carve_one, decode_request, encode_overflow_into, encode_reply_into, request_query_estimate,
+    Carve, ProtocolKind, RequestMeta, MAX_LINE_BYTES, MAX_MC_KEY, MAX_RESP_ARRAY, PROTOCOL_KINDS,
+};
 pub use nic::{FrameRing, Nic};
 pub use protocol::{
     encode_queries_wire_into, encode_responses, encode_responses_wire_into, frame_query_count,

@@ -194,7 +194,13 @@ fn parse_records_into(frame: &Bytes, out: &mut Vec<Query>) -> Result<usize, Prot
         pos += key_len;
         let value = frame.slice(pos..pos + val_len);
         pos += val_len;
-        out.push(Query { op, key, value });
+        out.push(Query {
+            op,
+            key,
+            value,
+            ttl: 0,
+            flags: 0,
+        });
     }
     Ok(count)
 }

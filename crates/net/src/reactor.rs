@@ -22,6 +22,7 @@
 //! still-registered connection is retired with an `Eof` message so the
 //! SD writer can close it.
 
+use crate::codec::ProtocolKind;
 use crate::nic::FrameRing;
 use crate::sd::SdPlane;
 use crate::server::{
@@ -38,10 +39,15 @@ use std::time::Duration;
 
 /// Token of each reactor's waker.
 const WAKER_TOKEN: Token = Token(0);
-/// Token of the listener (reactor 0 only).
-const LISTENER_TOKEN: Token = Token(1);
+/// Listener tokens (reactor 0 only) start here:
+/// `LISTENER_TOKEN_BASE + listener index`, one per `--listen` front
+/// door.
+const LISTENER_TOKEN_BASE: usize = 1;
+/// Most listeners one server may bind — the token space reserved for
+/// them between the waker and the first connection.
+pub(crate) const MAX_LISTENERS: usize = 15;
 /// Connection tokens start here: `CONN_TOKEN_BASE + conn id`.
-const CONN_TOKEN_BASE: usize = 2;
+const CONN_TOKEN_BASE: usize = LISTENER_TOKEN_BASE + MAX_LISTENERS;
 
 /// Bytes one connection may burst-read per readiness wakeup. A firehose
 /// connection yields after this much; level-triggered registration
@@ -75,8 +81,13 @@ pub(crate) struct ReactorShared {
 
 /// Commands to a reactor thread (kick the waker after sending).
 pub(crate) enum ReactorCmd {
-    /// Adopt a freshly accepted connection's read half.
-    Register { conn: u64, stream: TcpStream },
+    /// Adopt a freshly accepted connection's read half, carving with
+    /// its listener's protocol codec.
+    Register {
+        conn: u64,
+        stream: TcpStream,
+        proto: ProtocolKind,
+    },
     /// Pause (`resume: false`) or resume (`resume: true`) a
     /// connection's READ interest — the SD plane's slow-consumer
     /// backpressure actuator.
@@ -124,19 +135,32 @@ struct ConnState {
     conn: u64,
     stream: TcpStream,
     reader: FrameReader,
+    /// The protocol the connection's listener speaks (stamped at
+    /// accept time; every carved request is tagged with it).
+    proto: ProtocolKind,
     /// Next sequence number to assign to a carved frame.
     seq: u64,
     /// READ interest is currently deregistered (SD backpressure).
     paused: bool,
 }
 
-/// Listener state, owned by reactor 0.
+/// Listener state, owned by reactor 0. `listeners` is index-aligned
+/// with the registration tokens (`LISTENER_TOKEN_BASE + index`); a
+/// fatally broken listener is retired in place (`None`) while the rest
+/// keep accepting.
 struct Acceptor {
-    listener: TcpListener,
+    listeners: Vec<Option<(TcpListener, ProtocolKind)>>,
     next_conn: u64,
     /// Command queues of every reactor (index-aligned with the pool).
     peers: Vec<Sender<ReactorCmd>>,
     peer_wakers: Vec<Arc<Waker>>,
+}
+
+impl Acceptor {
+    /// Whether any listener is still accepting.
+    fn any_alive(&self) -> bool {
+        self.listeners.iter().any(Option::is_some)
+    }
 }
 
 /// The reactor pool's polls and command queues, built *before* any
@@ -210,7 +234,7 @@ pub(crate) fn build_reactor_scaffold(
 /// Spawn the pool over a prebuilt scaffold, with the accept loop folded
 /// into reactor 0.
 pub(crate) fn spawn_reactor_pool(
-    listener: TcpListener,
+    listeners: Vec<(TcpListener, ProtocolKind)>,
     scaffold: ReactorScaffold,
     shared: ReactorShared,
 ) -> std::io::Result<ReactorPool> {
@@ -226,17 +250,22 @@ pub(crate) fn spawn_reactor_pool(
         .reactor_threads
         .store(n as u64, Ordering::Relaxed);
 
-    // The listener stays nonblocking under both backends: the epoll
-    // loop accepts on readiness events, the uring loop on `POLL_ADD`
+    debug_assert!((1..=MAX_LISTENERS).contains(&listeners.len()));
+    // Listeners stay nonblocking under both backends: the epoll loop
+    // accepts on readiness events, the uring loop on `POLL_ADD`
     // completions — and both accept-until-`WouldBlock`.
-    listener.set_nonblocking(true)?;
-    if shared.backend == IoBackend::Epoll {
-        polls[0]
-            .registry()
-            .register(&listener, LISTENER_TOKEN, Interest::READABLE)?;
+    for (i, (listener, _)) in listeners.iter().enumerate() {
+        listener.set_nonblocking(true)?;
+        if shared.backend == IoBackend::Epoll {
+            polls[0].registry().register(
+                listener,
+                Token(LISTENER_TOKEN_BASE + i),
+                Interest::READABLE,
+            )?;
+        }
     }
     let mut acceptor = Some(Acceptor {
-        listener,
+        listeners: listeners.into_iter().map(Some).collect(),
         next_conn: 0,
         peers: cmd_txs,
         peer_wakers: wakers.clone(),
@@ -273,7 +302,7 @@ fn run_reactor(
     let mut conns: HashMap<usize, ConnState> = HashMap::new();
     let mut burst: Vec<bytes::Bytes> = Vec::new();
     let mut tagged: Vec<TaggedFrame> = Vec::new();
-    let mut adopted: Vec<(u64, TcpStream)> = Vec::new();
+    let mut adopted: Vec<(u64, TcpStream, ProtocolKind)> = Vec::new();
     loop {
         if poll.poll(&mut events, Some(POLL_TIMEOUT)).is_err() {
             // A broken selector cannot make progress; treat it like
@@ -295,18 +324,24 @@ fn run_reactor(
         for &tok in &ready {
             match tok {
                 WAKER_TOKEN => {} // registrations are drained below
-                LISTENER_TOKEN => {
+                Token(t) if t < CONN_TOKEN_BASE => {
+                    let lidx = t - LISTENER_TOKEN_BASE;
                     if let Some(a) = acceptor.as_mut() {
                         adopted.clear();
-                        let alive = accept_ready(a, idx, shared, true, &mut adopted);
-                        for (conn, stream) in adopted.drain(..) {
-                            register_conn(&poll, &mut conns, conn, stream, shared);
+                        let alive = accept_ready(a, lidx, idx, shared, true, &mut adopted);
+                        for (conn, stream, proto) in adopted.drain(..) {
+                            register_conn(&poll, &mut conns, conn, stream, proto, shared);
                         }
                         if !alive {
-                            // Fatal listener error: stop accepting but
-                            // keep serving live connections.
-                            let _ = poll.registry().deregister(&a.listener);
-                            acceptor = None;
+                            // Fatal listener error: stop accepting on
+                            // this front door but keep serving live
+                            // connections (and the other listeners).
+                            if let Some((listener, _)) = a.listeners[lidx].take() {
+                                let _ = poll.registry().deregister(&listener);
+                            }
+                            if !a.any_alive() {
+                                acceptor = None;
+                            }
                         }
                     }
                 }
@@ -326,8 +361,12 @@ fn run_reactor(
         // rather than only on a waker event.
         while let Ok(cmd) = cmd_rx.try_recv() {
             match cmd {
-                ReactorCmd::Register { conn, stream } => {
-                    register_conn(&poll, &mut conns, conn, stream, shared);
+                ReactorCmd::Register {
+                    conn,
+                    stream,
+                    proto,
+                } => {
+                    register_conn(&poll, &mut conns, conn, stream, proto, shared);
                 }
                 ReactorCmd::SetRead { conn, resume } => {
                     set_read_interest(&poll, &mut conns, conn, resume, shared);
@@ -386,23 +425,29 @@ fn set_read_interest(
     }
 }
 
-/// Accept until the listener would block, routing each connection to
+/// Accept until listener `lidx` would block, routing each connection to
 /// its round-robin owner: remote reactors get a `Register` command,
 /// this reactor's own share lands in `adopted` for the caller to
-/// register backend-appropriately. `nonblocking` selects the accepted
-/// socket's mode (epoll needs nonblocking reads; the uring backend
-/// must keep sockets blocking so recv SQEs poll-arm instead of
+/// register backend-appropriately. Every accepted connection is stamped
+/// with the listener's [`ProtocolKind`]. `nonblocking` selects the
+/// accepted socket's mode (epoll needs nonblocking reads; the uring
+/// backend must keep sockets blocking so recv SQEs poll-arm instead of
 /// completing with `EAGAIN`). Returns whether the listener is still
 /// usable.
 fn accept_ready(
     a: &mut Acceptor,
+    lidx: usize,
     idx: usize,
     shared: &ReactorShared,
     nonblocking: bool,
-    adopted: &mut Vec<(u64, TcpStream)>,
+    adopted: &mut Vec<(u64, TcpStream, ProtocolKind)>,
 ) -> bool {
+    let Some((listener, proto)) = a.listeners.get(lidx).and_then(Option::as_ref) else {
+        return false; // stale event for a retired listener
+    };
+    let proto = *proto;
     loop {
-        match a.listener.accept() {
+        match listener.accept() {
             Ok((stream, _)) => {
                 let _ = stream.set_nodelay(true);
                 // accept(2) does not inherit the listener's nonblocking
@@ -419,6 +464,7 @@ fn accept_ready(
                     continue;
                 };
                 shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                shared.stats.proto_conns[proto.index()].fetch_add(1, Ordering::Relaxed);
                 let conn = a.next_conn;
                 a.next_conn += 1;
                 // Open must reach the SD plane before any response (or
@@ -426,9 +472,13 @@ fn accept_ready(
                 shared.sd.send_open(conn, write_half);
                 let target = (conn as usize) % a.peers.len();
                 if target == idx {
-                    adopted.push((conn, stream));
+                    adopted.push((conn, stream, proto));
                 } else {
-                    let _ = a.peers[target].send(ReactorCmd::Register { conn, stream });
+                    let _ = a.peers[target].send(ReactorCmd::Register {
+                        conn,
+                        stream,
+                        proto,
+                    });
                     let _ = a.peer_wakers[target].wake();
                 }
             }
@@ -448,6 +498,7 @@ fn register_conn(
     conns: &mut HashMap<usize, ConnState>,
     conn: u64,
     stream: TcpStream,
+    proto: ProtocolKind,
     shared: &ReactorShared,
 ) {
     let tok = CONN_TOKEN_BASE + conn as usize;
@@ -465,7 +516,8 @@ fn register_conn(
         ConnState {
             conn,
             stream,
-            reader: FrameReader::new(),
+            reader: FrameReader::with_proto(proto),
+            proto,
             seq: 0,
             paused: false,
         },
@@ -481,6 +533,7 @@ fn register_conn(
 /// [`FrameReader`] differs.
 fn publish_burst(
     conn: u64,
+    proto: ProtocolKind,
     seq: &mut u64,
     burst: &mut Vec<bytes::Bytes>,
     tagged: &mut Vec<TaggedFrame>,
@@ -495,6 +548,7 @@ fn publish_burst(
         tagged.push(TaggedFrame {
             conn,
             seq: *seq,
+            proto,
             frame,
         });
         *seq += 1;
@@ -528,7 +582,7 @@ fn handle_conn_ready(
     };
     burst.clear();
     let status = c.reader.read_ready(&mut c.stream, burst, READ_BUDGET, sys);
-    publish_burst(c.conn, &mut c.seq, burst, tagged, shared);
+    publish_burst(c.conn, c.proto, &mut c.seq, burst, tagged, shared);
     if !matches!(status, Ok(ReadReady::Open)) {
         // Clean EOF, mid-frame EOF, or a fatal read/frame error: either
         // way the connection is done producing frames.
@@ -589,6 +643,8 @@ struct UringConn {
     conn: u64,
     stream: TcpStream,
     reader: FrameReader,
+    /// The protocol the connection's listener speaks.
+    proto: ProtocolKind,
     /// Next sequence number to assign to a carved frame.
     seq: u64,
     /// READ interest paused by SD backpressure: completions still
@@ -643,18 +699,21 @@ fn retire_uring_conn(conns: &mut HashMap<u64, UringConn>, conn: u64, shared: &Re
 /// Adopt a connection into the uring reactor: insert state and arm its
 /// first recv. A ring failure retires it immediately (EOF) so the SD
 /// plane closes the socket.
+#[allow(clippy::too_many_arguments)]
 fn register_conn_uring(
     ring: &mut uring::Uring,
     conns: &mut HashMap<u64, UringConn>,
     conn: u64,
     stream: TcpStream,
+    proto: ProtocolKind,
     shared: &ReactorShared,
     inflight: &mut u64,
 ) {
     let mut c = UringConn {
         conn,
         stream,
-        reader: FrameReader::new(),
+        reader: FrameReader::with_proto(proto),
+        proto,
         seq: 0,
         paused: false,
         recv_inflight: false,
@@ -708,7 +767,7 @@ fn handle_recv_cqe(
     }
     burst.clear();
     let status = c.reader.complete_recv(res as usize, burst);
-    publish_burst(c.conn, &mut c.seq, burst, tagged, shared);
+    publish_burst(c.conn, c.proto, &mut c.seq, burst, tagged, shared);
     match status {
         Ok(ReadReady::Open) => {
             if !c.paused && arm_recv(ring, c, inflight).is_err() {
@@ -735,7 +794,7 @@ fn run_reactor_uring(
     let mut conns: HashMap<u64, UringConn> = HashMap::new();
     let mut burst: Vec<bytes::Bytes> = Vec::new();
     let mut tagged: Vec<TaggedFrame> = Vec::new();
-    let mut adopted: Vec<(u64, TcpStream)> = Vec::new();
+    let mut adopted: Vec<(u64, TcpStream, ProtocolKind)> = Vec::new();
     let mut cqes: Vec<uring::Cqe> = Vec::with_capacity(URING_CQ as usize);
     // Outstanding SQEs (recvs + poll watches + cancels): teardown must
     // drain this to zero before connection buffers may be freed.
@@ -764,13 +823,23 @@ fn run_reactor_uring(
     let mut fatal = arm_poll_in(&mut ring, waker_fd, ud(UD_WAKER, 0), &mut inflight).is_err();
     if !fatal {
         if let Some(a) = acceptor.as_ref() {
-            fatal = arm_poll_in(
-                &mut ring,
-                a.listener.as_raw_fd(),
-                ud(UD_LISTENER, 0),
-                &mut inflight,
-            )
-            .is_err();
+            // One POLL_ADD per front door; the CQE's user-data low bits
+            // carry the listener index.
+            for (lidx, slot) in a.listeners.iter().enumerate() {
+                if let Some((listener, _)) = slot {
+                    if arm_poll_in(
+                        &mut ring,
+                        listener.as_raw_fd(),
+                        ud(UD_LISTENER, lidx as u64),
+                        &mut inflight,
+                    )
+                    .is_err()
+                    {
+                        fatal = true;
+                        break;
+                    }
+                }
+            }
         }
     }
 
@@ -805,7 +874,9 @@ fn run_reactor_uring(
             break;
         }
         let mut rearm_waker = false;
-        let mut rearm_listener = false;
+        // Bitmask of listener indices whose POLL_ADD completed this
+        // pass (MAX_LISTENERS ≤ 15, so a u64 is plenty).
+        let mut rearm_listeners = 0u64;
         for &cqe in &cqes {
             inflight -= 1;
             match cqe.user_data >> UD_KIND_SHIFT {
@@ -817,7 +888,7 @@ fn run_reactor_uring(
                     uring::drain_notify_fd(waker_fd);
                     rearm_waker = true;
                 }
-                UD_LISTENER => rearm_listener = true,
+                UD_LISTENER => rearm_listeners |= 1 << (cqe.user_data & UD_DATA_MASK),
                 UD_RECV => handle_recv_cqe(
                     &mut ring,
                     &mut conns,
@@ -831,19 +902,35 @@ fn run_reactor_uring(
                 _ => {} // a cancel op's own completion
             }
         }
-        if rearm_listener {
-            if let Some(a) = acceptor.as_mut() {
-                adopted.clear();
-                let alive = accept_ready(a, idx, shared, false, &mut adopted);
-                for (conn, stream) in adopted.drain(..) {
-                    register_conn_uring(&mut ring, &mut conns, conn, stream, shared, &mut inflight);
-                }
-                if !alive {
-                    acceptor = None; // stop accepting, keep serving
-                } else if arm_poll_in(
+        for lidx in 0..MAX_LISTENERS {
+            if rearm_listeners & (1 << lidx) == 0 {
+                continue;
+            }
+            let Some(a) = acceptor.as_mut() else { break };
+            adopted.clear();
+            let alive = accept_ready(a, lidx, idx, shared, false, &mut adopted);
+            for (conn, stream, proto) in adopted.drain(..) {
+                register_conn_uring(
                     &mut ring,
-                    a.listener.as_raw_fd(),
-                    ud(UD_LISTENER, 0),
+                    &mut conns,
+                    conn,
+                    stream,
+                    proto,
+                    shared,
+                    &mut inflight,
+                );
+            }
+            if !alive {
+                // Retire this front door; the rest keep accepting.
+                a.listeners[lidx] = None;
+                if !a.any_alive() {
+                    acceptor = None;
+                }
+            } else if let Some((listener, _)) = a.listeners[lidx].as_ref() {
+                if arm_poll_in(
+                    &mut ring,
+                    listener.as_raw_fd(),
+                    ud(UD_LISTENER, lidx as u64),
                     &mut inflight,
                 )
                 .is_err()
@@ -860,8 +947,20 @@ fn run_reactor_uring(
         // like the epoll loop.
         while let Ok(cmd) = cmd_rx.try_recv() {
             match cmd {
-                ReactorCmd::Register { conn, stream } => {
-                    register_conn_uring(&mut ring, &mut conns, conn, stream, shared, &mut inflight);
+                ReactorCmd::Register {
+                    conn,
+                    stream,
+                    proto,
+                } => {
+                    register_conn_uring(
+                        &mut ring,
+                        &mut conns,
+                        conn,
+                        stream,
+                        proto,
+                        shared,
+                        &mut inflight,
+                    );
                 }
                 ReactorCmd::SetRead { conn, resume } => {
                     if let Some(c) = conns.get_mut(&conn) {
@@ -887,8 +986,12 @@ fn run_reactor_uring(
     // write.
     let mut cancels: Vec<u64> = Vec::new();
     cancels.push(ud(UD_WAKER, 0));
-    if acceptor.is_some() {
-        cancels.push(ud(UD_LISTENER, 0));
+    if let Some(a) = acceptor.as_ref() {
+        for (lidx, slot) in a.listeners.iter().enumerate() {
+            if slot.is_some() {
+                cancels.push(ud(UD_LISTENER, lidx as u64));
+            }
+        }
     }
     for c in conns.values() {
         if c.recv_inflight {

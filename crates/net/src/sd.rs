@@ -43,7 +43,7 @@
 //! is the uring analogue of `WouldBlock`. Reorder, backpressure, stall
 //! and teardown semantics are identical across backends.
 
-use crate::protocol::encode_responses_wire_into;
+use crate::codec::encode_overflow_into;
 use crate::reactor::ReactorHandles;
 use crate::server::{IoBackend, ServerStats, TaggedFrame};
 use bytes::BytesMut;
@@ -384,7 +384,7 @@ impl SdPlane {
             .drain(..)
             .map(|t| {
                 let mut bytes = self.get_buf(shard);
-                encode_responses_wire_into(&mut bytes, &[]);
+                encode_overflow_into(&mut bytes, t.proto, &t.frame);
                 ResponseRun {
                     first_seq: t.seq,
                     count: 1,

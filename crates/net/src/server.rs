@@ -28,11 +28,12 @@
 //!   queries is pending, else wait up to
 //!   [`BatchConfig::max_batch_delay`] for more frames.
 
-use crate::nic::FrameRing;
-use crate::protocol::{
-    encode_responses, encode_responses_wire_into, frame_query_count, parse_frame, parse_frame_into,
-    ProtocolError,
+use crate::codec::{
+    decode_request, encode_reply_into, request_query_estimate, ProtocolKind, RequestMeta,
+    PROTOCOL_KINDS,
 };
+use crate::nic::FrameRing;
+use crate::protocol::ProtocolError;
 use crate::sd::{ResponseRun, RunBatch, SdPlane};
 use bytes::{Bytes, BytesMut};
 use dido_model::{Query, Response};
@@ -160,6 +161,16 @@ pub struct ServerStats {
     /// stayed unwritable past the 5 s stall deadline (the batched
     /// plane's counterpart is `sd_stall_retired`).
     pub write_stall_retired: AtomicU64,
+    /// Connections accepted per protocol, indexed by
+    /// [`ProtocolKind::index`].
+    pub proto_conns: [AtomicU64; PROTOCOL_KINDS],
+    /// Queries decoded per protocol (a multi-key `get`/`MGET` counts
+    /// once per key), indexed by [`ProtocolKind::index`].
+    pub proto_queries: [AtomicU64; PROTOCOL_KINDS],
+    /// Requests rejected with a per-protocol error reply (malformed
+    /// frame, bad command line, bad data chunk), indexed by
+    /// [`ProtocolKind::index`].
+    pub proto_parse_errors: [AtomicU64; PROTOCOL_KINDS],
     batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
     read_burst_hist: [AtomicU64; BATCH_HIST_BUCKETS],
     cqe_per_enter_hist: [AtomicU64; BATCH_HIST_BUCKETS],
@@ -266,6 +277,11 @@ impl ServerStats {
             io_backend: self.io_backend.load(Ordering::Relaxed),
             ring_enters: self.ring_enters.load(Ordering::Relaxed),
             write_stall_retired: self.write_stall_retired.load(Ordering::Relaxed),
+            proto_conns: std::array::from_fn(|i| self.proto_conns[i].load(Ordering::Relaxed)),
+            proto_queries: std::array::from_fn(|i| self.proto_queries[i].load(Ordering::Relaxed)),
+            proto_parse_errors: std::array::from_fn(|i| {
+                self.proto_parse_errors[i].load(Ordering::Relaxed)
+            }),
             batch_hist: self.batch_histogram(),
             read_burst_hist: self.read_burst_histogram(),
             cqe_per_enter_hist: self.cqe_per_enter_histogram(),
@@ -328,6 +344,12 @@ pub struct NetStatsSnapshot {
     pub ring_enters: u64,
     /// Per-connection-mode peers retired at the write stall deadline.
     pub write_stall_retired: u64,
+    /// Connections accepted per protocol ([`ProtocolKind::index`]).
+    pub proto_conns: [u64; PROTOCOL_KINDS],
+    /// Queries decoded per protocol ([`ProtocolKind::index`]).
+    pub proto_queries: [u64; PROTOCOL_KINDS],
+    /// Per-protocol parse-error replies ([`ProtocolKind::index`]).
+    pub proto_parse_errors: [u64; PROTOCOL_KINDS],
     /// Frames-per-dispatch histogram (buckets `1, 2, 3–4, …, 65+`).
     pub batch_hist: [u64; BATCH_HIST_BUCKETS],
     /// Frames-per-readiness-read histogram (same buckets).
@@ -374,6 +396,13 @@ impl NetStatsSnapshot {
             io_backend: self.io_backend,
             ring_enters: self.ring_enters - earlier.ring_enters,
             write_stall_retired: self.write_stall_retired - earlier.write_stall_retired,
+            proto_conns: std::array::from_fn(|i| self.proto_conns[i] - earlier.proto_conns[i]),
+            proto_queries: std::array::from_fn(|i| {
+                self.proto_queries[i] - earlier.proto_queries[i]
+            }),
+            proto_parse_errors: std::array::from_fn(|i| {
+                self.proto_parse_errors[i] - earlier.proto_parse_errors[i]
+            }),
             batch_hist: std::array::from_fn(|i| self.batch_hist[i] - earlier.batch_hist[i]),
             read_burst_hist: std::array::from_fn(|i| {
                 self.read_burst_hist[i] - earlier.read_burst_hist[i]
@@ -608,12 +637,17 @@ pub enum DispatchMode {
     Batched(BatchConfig),
 }
 
-/// A frame tagged with its connection and per-connection sequence
-/// number, as carried by the shared RX ring.
+/// A carved request tagged with its connection, per-connection sequence
+/// number, and the protocol its listener speaks, as carried by the
+/// shared RX ring. `frame` is the request payload the connection's
+/// codec carved: the body of a length-prefixed frame for
+/// [`ProtocolKind::Dido`], the full request text (terminators included)
+/// for the line protocols.
 #[derive(Debug)]
 pub(crate) struct TaggedFrame {
     pub(crate) conn: u64,
     pub(crate) seq: u64,
+    pub(crate) proto: ProtocolKind,
     pub(crate) frame: Bytes,
 }
 
@@ -656,7 +690,7 @@ impl Doorbell {
 /// accumulators per dispatcher. In per-connection mode the lane is the
 /// connection's accept index.
 pub struct KvServer {
-    addr: SocketAddr,
+    addrs: Vec<SocketAddr>,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
     doorbell: Option<Arc<Doorbell>>,
@@ -667,9 +701,10 @@ pub struct KvServer {
 /// every thread it spawned — a shutdown that returns proves no reader,
 /// reactor, dispatcher, or SD thread is still running.
 enum Topology {
-    /// Accept thread that in turn joins its per-connection workers.
+    /// Accept threads (one per listener) that in turn join their
+    /// per-connection workers.
     PerConnection {
-        accept: Option<std::thread::JoinHandle<()>>,
+        accept: Vec<std::thread::JoinHandle<()>>,
     },
     /// Reactor pool → dispatchers → SD egress shards. Teardown runs in
     /// that order: reactors stop producing and post EOF marks,
@@ -706,35 +741,85 @@ impl KvServer {
     where
         F: Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
     {
-        let listener = TcpListener::bind(addr)?;
-        // std binds with a backlog of 128, which a connection-scale
-        // fleet opening all at once overflows (the kernel silently
-        // drops handshake ACKs; surplus clients wedge half-open until
-        // they transmit). Re-listen with a deeper queue, capped by
-        // `net.core.somaxconn`; best-effort on exotic platforms.
-        {
-            use std::os::fd::AsRawFd;
-            let _ = mio::set_backlog(listener.as_raw_fd(), 4096);
+        KvServer::start_multi(&[(addr, ProtocolKind::Dido)], mode, handler)
+    }
+
+    /// Bind one listener per `(addr, protocol)` pair and serve them all
+    /// over one shared data path: every connection is stamped with its
+    /// listener's [`ProtocolKind`] at accept time, requests from all
+    /// protocols aggregate through the same RX ring and dispatcher
+    /// batches (batched mode), and one handler answers the decoded
+    /// queries regardless of which front door they came through.
+    ///
+    /// At most 15 listeners (the batched reactor's listener token
+    /// space); at least one is required.
+    pub fn start_multi<F>(
+        listeners: &[(&str, ProtocolKind)],
+        mode: DispatchMode,
+        handler: F,
+    ) -> std::io::Result<KvServer>
+    where
+        F: Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
+    {
+        if listeners.is_empty() || listeners.len() > crate::reactor::MAX_LISTENERS {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "listener count must be 1..={} (got {})",
+                    crate::reactor::MAX_LISTENERS,
+                    listeners.len()
+                ),
+            ));
         }
-        let local = listener.local_addr()?;
+        let mut bound = Vec::with_capacity(listeners.len());
+        let mut addrs = Vec::with_capacity(listeners.len());
+        for &(addr, proto) in listeners {
+            let listener = TcpListener::bind(addr)?;
+            // std binds with a backlog of 128, which a connection-scale
+            // fleet opening all at once overflows (the kernel silently
+            // drops handshake ACKs; surplus clients wedge half-open
+            // until they transmit). Re-listen with a deeper queue,
+            // capped by `net.core.somaxconn`; best-effort on exotic
+            // platforms.
+            {
+                use std::os::fd::AsRawFd;
+                let _ = mio::set_backlog(listener.as_raw_fd(), 4096);
+            }
+            addrs.push(listener.local_addr()?);
+            bound.push((listener, proto));
+        }
         let stats = Arc::new(ServerStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let handler = Arc::new(handler);
 
         let (doorbell, topology) = match mode {
             DispatchMode::PerConnection => {
-                let t = spawn_per_connection(listener, &stats, &shutdown, handler);
-                (None, Topology::PerConnection { accept: Some(t) })
+                let accept = bound
+                    .into_iter()
+                    .enumerate()
+                    .map(|(idx, (listener, proto))| {
+                        spawn_per_connection(
+                            listener,
+                            proto,
+                            idx,
+                            listeners.len(),
+                            &stats,
+                            &shutdown,
+                            Arc::clone(&handler),
+                        )
+                    })
+                    .collect();
+                (None, Topology::PerConnection { accept })
             }
             DispatchMode::Batched(cfg) => {
                 let doorbell = Arc::new(Doorbell::default());
-                let topo = spawn_batched(listener, cfg, &stats, &shutdown, &doorbell, handler)?;
+                let topo = spawn_batched(bound, cfg, &stats, &shutdown, &doorbell, handler)?;
                 (Some(doorbell), topo)
             }
         };
 
         Ok(KvServer {
-            addr: local,
+            addrs,
             stats,
             shutdown,
             doorbell,
@@ -742,10 +827,17 @@ impl KvServer {
         })
     }
 
-    /// The bound address (resolves ephemeral ports).
+    /// The first listener's bound address (resolves ephemeral ports).
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.addrs[0]
+    }
+
+    /// Every listener's bound address, in [`KvServer::start_multi`]
+    /// order.
+    #[must_use]
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
     }
 
     /// Server statistics.
@@ -771,7 +863,7 @@ impl KvServer {
         self.shutdown.store(true, Ordering::Release);
         match &mut self.topology {
             Topology::PerConnection { accept } => {
-                if let Some(t) = accept.take() {
+                for t in accept.drain(..) {
                     let _ = t.join();
                 }
             }
@@ -814,6 +906,9 @@ impl Drop for KvServer {
 
 fn spawn_per_connection<F>(
     listener: TcpListener,
+    proto: ProtocolKind,
+    listener_idx: usize,
+    n_listeners: usize,
     stats: &Arc<ServerStats>,
     shutdown: &Arc<AtomicBool>,
     handler: Arc<F>,
@@ -829,19 +924,22 @@ where
             .set_nonblocking(true)
             .expect("nonblocking listener");
         let mut workers = Vec::new();
-        let mut next_lane = 0usize;
+        // Stride lanes by listener so concurrent accept loops never
+        // hand out the same lane to two live connections.
+        let mut next_lane = listener_idx;
         while !shutdown.load(Ordering::Acquire) {
             match listener.accept() {
                 Ok((stream, _)) => {
                     let _ = stream.set_nodelay(true);
                     stats.connections.fetch_add(1, Ordering::Relaxed);
+                    stats.proto_conns[proto.index()].fetch_add(1, Ordering::Relaxed);
                     let stats = Arc::clone(&stats);
                     let handler = Arc::clone(&handler);
                     let shutdown = Arc::clone(&shutdown);
                     let lane = next_lane;
-                    next_lane = next_lane.wrapping_add(1);
+                    next_lane = next_lane.wrapping_add(n_listeners);
                     workers.push(std::thread::spawn(move || {
-                        let _ = serve_connection(stream, &stats, &shutdown, lane, &*handler);
+                        let _ = serve_connection(stream, proto, &stats, &shutdown, lane, &*handler);
                     }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -863,7 +961,7 @@ where
 /// scaffold (polls + command queues) is built *before* the SD shards
 /// spawn because backpressure needs the reactor command handles.
 fn spawn_batched<F>(
-    listener: TcpListener,
+    listeners: Vec<(TcpListener, ProtocolKind)>,
     cfg: BatchConfig,
     stats: &Arc<ServerStats>,
     shutdown: &Arc<AtomicBool>,
@@ -950,7 +1048,7 @@ where
     // After the pool spawns, only reactors and dispatchers hold
     // `SdPlane` handles (the local one drops below), which is what lets
     // the SD shards exit once both groups are joined.
-    match crate::reactor::spawn_reactor_pool(listener, scaffold, shared) {
+    match crate::reactor::spawn_reactor_pool(listeners, scaffold, shared) {
         Ok(reactors) => Ok(Topology::Batched {
             reactors,
             dispatchers,
@@ -1013,7 +1111,7 @@ fn run_dispatcher<F>(
             doorbell.wait_past(seen, IDLE_WAIT);
             continue;
         }
-        let mut queries: usize = frames.iter().map(|t| frame_query_count(&t.frame)).sum();
+        let mut queries: usize = frames.iter().map(|t| request_query_estimate(t.proto, &t.frame)).sum();
         let mut delayed = false;
         if queries < cfg.wavefront_queries && frames.len() < budget {
             // Below a wavefront: hold the batch open up to the drain
@@ -1041,7 +1139,7 @@ fn run_dispatcher<F>(
                 }
                 queries += frames[before..]
                     .iter()
-                    .map(|t| frame_query_count(&t.frame))
+                    .map(|t| request_query_estimate(t.proto, &t.frame))
                     .sum::<usize>();
             }
         }
@@ -1064,7 +1162,7 @@ fn run_dispatcher<F>(
             frames.len() as u64,
             frames
                 .iter()
-                .map(|t| frame_query_count(&t.frame))
+                .map(|t| request_query_estimate(t.proto, &t.frame))
                 .sum::<usize>() as u64,
             frames.len() as u64,
             false,
@@ -1073,14 +1171,17 @@ fn run_dispatcher<F>(
     }
 }
 
-/// One frame's place in a dispatch: which connection/sequence it came
-/// from and which response range answers it.
+/// One request's place in a dispatch: which connection/sequence it came
+/// from, which response range answers it, and the decoded
+/// [`RequestMeta`] its reply is encoded through (one client request may
+/// fan out to several queries — a memcached multi-key `get`, a RESP
+/// `MGET` — whose responses re-aggregate into a single wire reply).
 struct Slot {
     conn: u64,
     seq: u64,
     start: usize,
     len: usize,
-    bad: bool,
+    meta: RequestMeta,
 }
 
 /// Reusable dispatch→SD scatter state. Runs are partitioned by SD shard
@@ -1120,40 +1221,47 @@ fn dispatch_batch<F>(
 ) where
     F: Fn(usize, Vec<Query>) -> Vec<Response>,
 {
-    let estimate: usize = frames.iter().map(|t| frame_query_count(&t.frame)).sum();
+    let estimate: usize = frames
+        .iter()
+        .map(|t| request_query_estimate(t.proto, &t.frame))
+        .sum();
     let mut batch: Vec<Query> = Vec::with_capacity(estimate);
     let slots = &mut scatter.slots;
     slots.clear();
     let mut good_frames = 0u64;
+    let mut proto_queries = [0u64; PROTOCOL_KINDS];
+    let mut proto_errors = [0u64; PROTOCOL_KINDS];
     for t in frames {
         let start = batch.len();
-        match parse_frame_into(&t.frame, &mut batch) {
-            Ok(n) => {
-                good_frames += 1;
-                slots.push(Slot {
-                    conn: t.conn,
-                    seq: t.seq,
-                    start,
-                    len: n,
-                    bad: false,
-                });
-            }
-            Err(_) => {
-                stats.bad_frames.fetch_add(1, Ordering::Relaxed);
-                slots.push(Slot {
-                    conn: t.conn,
-                    seq: t.seq,
-                    start,
-                    len: 0,
-                    bad: true,
-                });
-            }
+        let meta = decode_request(t.proto, &t.frame, &mut batch);
+        let len = batch.len() - start;
+        if meta.is_parse_error() {
+            stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+            proto_errors[t.proto.index()] += 1;
+        } else {
+            good_frames += 1;
         }
+        proto_queries[t.proto.index()] += len as u64;
+        slots.push(Slot {
+            conn: t.conn,
+            seq: t.seq,
+            start,
+            len,
+            meta,
+        });
     }
     stats.frames.fetch_add(good_frames, Ordering::Relaxed);
     stats
         .queries
         .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    for i in 0..PROTOCOL_KINDS {
+        if proto_queries[i] > 0 {
+            stats.proto_queries[i].fetch_add(proto_queries[i], Ordering::Relaxed);
+        }
+        if proto_errors[i] > 0 {
+            stats.proto_parse_errors[i].fetch_add(proto_errors[i], Ordering::Relaxed);
+        }
+    }
     let responses = if batch.is_empty() {
         Vec::new()
     } else {
@@ -1166,22 +1274,18 @@ fn dispatch_batch<F>(
     // reader) or drained by another dispatcher, and will fill the gap
     // on its own.
     for s in slots.iter() {
-        let rs = if s.bad {
-            &[]
-        } else {
-            let end = (s.start + s.len).min(responses.len());
-            responses.get(s.start..end).unwrap_or(&[])
-        };
+        let end = (s.start + s.len).min(responses.len());
+        let rs = responses.get(s.start..end).unwrap_or(&[]);
         let shard = sd.shard_of(s.conn);
         let batch = scatter.batches[shard].get_or_insert_with(|| sd.take_batch(shard));
         match scatter.open.get(&s.conn) {
             Some(&i) if batch[i].1.first_seq + batch[i].1.count == s.seq => {
-                encode_responses_wire_into(&mut batch[i].1.bytes, rs);
+                encode_reply_into(&mut batch[i].1.bytes, &s.meta, rs);
                 batch[i].1.count += 1;
             }
             _ => {
                 let mut bytes = sd.get_buf(shard);
-                encode_responses_wire_into(&mut bytes, rs);
+                encode_reply_into(&mut bytes, &s.meta, rs);
                 batch.push((
                     s.conn,
                     ResponseRun {
@@ -1204,6 +1308,7 @@ fn dispatch_batch<F>(
 
 fn serve_connection<F>(
     mut stream: TcpStream,
+    proto: ProtocolKind,
     stats: &ServerStats,
     shutdown: &AtomicBool,
     lane: usize,
@@ -1213,33 +1318,45 @@ where
     F: Fn(usize, Vec<Query>) -> Vec<Response>,
 {
     stream.set_read_timeout(Some(READ_POLL))?;
-    let mut reader = FrameReader::new();
+    let mut reader = FrameReader::with_proto(proto);
+    let mut queries: Vec<Query> = Vec::new();
+    let mut reply = BytesMut::new();
     loop {
         if shutdown.load(Ordering::Acquire) {
             return Ok(());
         }
-        let frame = match reader.read_frame(&mut stream) {
+        let payload = match reader.read_frame(&mut stream) {
             Ok(Some(f)) => f,
             Ok(None) => return Ok(()), // clean EOF
             Err(e) if is_poll_timeout(&e) => continue,
             Err(e) => return Err(e),
         };
-        let write = match parse_frame(&frame) {
-            Ok(queries) => {
-                stats.frames.fetch_add(1, Ordering::Relaxed);
-                stats
-                    .queries
-                    .fetch_add(queries.len() as u64, Ordering::Relaxed);
-                let responses = handler(lane, queries);
-                write_frame(&mut stream, &encode_responses(&responses))
-            }
-            Err(_) => {
-                stats.bad_frames.fetch_add(1, Ordering::Relaxed);
-                // Answer malformed frames with an empty response frame
-                // rather than killing the connection.
-                write_frame(&mut stream, &encode_responses(&[]))
-            }
+        queries.clear();
+        let meta = decode_request(proto, &payload, &mut queries);
+        if meta.is_parse_error() {
+            // Answer malformed requests with the protocol's error reply
+            // (an empty dido response frame, `CLIENT_ERROR …`, `-ERR …`)
+            // rather than killing the connection.
+            stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+            stats.proto_parse_errors[proto.index()].fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.frames.fetch_add(1, Ordering::Relaxed);
+        }
+        stats
+            .queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        stats.proto_queries[proto.index()].fetch_add(queries.len() as u64, Ordering::Relaxed);
+        let responses = if queries.is_empty() {
+            Vec::new()
+        } else {
+            handler(lane, std::mem::take(&mut queries))
         };
+        reply.truncate(0);
+        encode_reply_into(&mut reply, &meta, &responses);
+        if reply.is_empty() {
+            continue; // e.g. a memcached `noreply` store
+        }
+        let write = write_all_vectored(&mut stream, &[&reply]).and_then(|()| stream.flush());
         if let Err(e) = write {
             // A write that sat at the stall deadline retires only this
             // peer (its thread exits; the rest of the server is
@@ -1253,24 +1370,34 @@ where
     }
 }
 
-/// Length-prefix frame reader with a reusable per-connection buffer.
+/// Streaming request reader with a reusable per-connection buffer,
+/// carving on the connection's [`ProtocolKind`] codec.
 ///
 /// The socket is read in [`READ_CHUNK`]-sized chunks and every complete
-/// frame the chunk contains is carved out at once (the RV "burst"): a
-/// pipelined client's back-to-back small frames cost roughly one `read`
-/// syscall for the whole burst instead of two per frame. Carved frames
-/// are zero-copy slices of one frozen block; a partial frame's bytes
-/// stay buffered for the next read.
+/// request the chunk contains is carved out at once (the RV "burst"): a
+/// pipelined client's back-to-back small requests cost roughly one
+/// `read` syscall for the whole burst instead of two per request.
+/// Carved requests are zero-copy slices of one frozen block; a partial
+/// request's bytes stay buffered for the next read. What a carved
+/// payload *is* depends on the codec: the frame body (prefix stripped)
+/// for [`ProtocolKind::Dido`], the full request text for the line
+/// protocols — see [`crate::codec::carve_one`].
 #[derive(Debug, Default)]
 pub(crate) struct FrameReader {
-    /// Raw bytes not yet carved — at most one partial frame.
+    /// The codec that finds request boundaries in the byte stream.
+    proto: ProtocolKind,
+    /// Raw bytes not yet carved — at most one partial request.
     buf: BytesMut,
-    /// Complete frames carved but not yet handed to the caller.
+    /// Complete request payloads carved but not yet handed to the
+    /// caller.
     pending: VecDeque<Bytes>,
     /// Start of the in-flight recv window ([`FrameReader::begin_recv`])
     /// relative to `buf`; only meaningful between `begin_recv` and the
     /// matching `complete_recv`/`abort_recv`.
     recv_base: usize,
+    /// Scratch payload ranges of the current carve pass (kept across
+    /// calls for its capacity).
+    scratch: Vec<(usize, usize)>,
 }
 
 /// Outcome of a [`FrameReader::read_ready`] pass.
@@ -1283,8 +1410,17 @@ pub(crate) enum ReadReady {
 }
 
 impl FrameReader {
+    /// A reader for the default dido length-prefixed framing.
     pub(crate) fn new() -> FrameReader {
         FrameReader::default()
+    }
+
+    /// A reader carving request boundaries with `proto`'s codec.
+    pub(crate) fn with_proto(proto: ProtocolKind) -> FrameReader {
+        FrameReader {
+            proto,
+            ..FrameReader::default()
+        }
     }
 
     /// Read one frame. Returns `Ok(None)` on clean EOF at a frame
@@ -1459,39 +1595,40 @@ impl FrameReader {
         }
     }
 
-    /// Carve every complete frame out of `buf` into `pending`, as
-    /// zero-copy slices of one frozen block.
+    /// Carve every complete request out of `buf` into `pending`, as
+    /// zero-copy slices of one frozen block, using the connection's
+    /// codec to find request boundaries. On a fatal carve error
+    /// (oversized frame, unbounded line, corrupt RESP header) the
+    /// requests carved *before* the bad bytes are still delivered —
+    /// every exit path drains `pending` to the caller — and the error
+    /// retires the connection.
     fn carve(&mut self) -> std::io::Result<()> {
+        self.scratch.clear();
         let mut consumed = 0usize;
+        let mut fatal = None;
         loop {
-            let rest = &self.buf[consumed..];
-            if rest.len() < 4 {
-                break;
+            match crate::codec::carve_one(self.proto, &self.buf[consumed..]) {
+                Ok(crate::codec::Carve::Partial) => break,
+                Ok(crate::codec::Carve::Request { total, skip }) => {
+                    self.scratch.push((consumed + skip, consumed + total));
+                    consumed += total;
+                }
+                Err(e) => {
+                    fatal = Some(e);
+                    break;
+                }
             }
-            let len = u32::from_le_bytes(rest[..4].try_into().expect("4-byte prefix")) as usize;
-            if len > MAX_FRAME_BYTES {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    "frame too large",
-                ));
+        }
+        if consumed > 0 {
+            let block = self.buf.split_to(consumed).freeze();
+            for &(start, end) in &self.scratch {
+                self.pending.push_back(block.slice(start..end));
             }
-            if rest.len() < 4 + len {
-                break;
-            }
-            consumed += 4 + len;
         }
-        if consumed == 0 {
-            return Ok(());
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        let block = self.buf.split_to(consumed).freeze();
-        let mut pos = 0usize;
-        while pos < block.len() {
-            let len =
-                u32::from_le_bytes(block[pos..pos + 4].try_into().expect("4-byte prefix")) as usize;
-            self.pending.push_back(block.slice(pos + 4..pos + 4 + len));
-            pos += 4 + len;
-        }
-        Ok(())
     }
 }
 
@@ -1905,5 +2042,122 @@ mod tests {
         assert_eq!(d.sd_buf_hits, 30);
         assert_eq!(d.sd_pending_bytes_hiwater, 9000);
         assert_eq!(d.sd_writer_threads, 2);
+    }
+
+    /// A three-request burst for each protocol, with the decode
+    /// payloads the reader must carve out of it.
+    fn carve_burst(proto: ProtocolKind) -> (Vec<u8>, Vec<Vec<u8>>) {
+        match proto {
+            ProtocolKind::Dido => {
+                let mut stream = BytesMut::new();
+                let mut payloads = Vec::new();
+                for batch in [
+                    vec![Query::set("alpha", "1"), Query::get("alpha")],
+                    vec![Query::get("beta")],
+                    vec![Query::delete("alpha")],
+                ] {
+                    let before = stream.len();
+                    crate::protocol::encode_queries_wire_into(&mut stream, &batch);
+                    payloads.push(stream[before + 4..].to_vec());
+                }
+                (stream.to_vec(), payloads)
+            }
+            ProtocolKind::Memcached => {
+                let requests: [&[u8]; 3] = [
+                    b"set alpha 0 0 3\r\none\r\n",
+                    b"get alpha beta\r\n",
+                    b"delete alpha noreply\r\n",
+                ];
+                let stream = requests.concat();
+                (stream, requests.iter().map(|r| r.to_vec()).collect())
+            }
+            ProtocolKind::Resp => {
+                let requests: [&[u8]; 3] = [
+                    b"*3\r\n$3\r\nSET\r\n$5\r\nalpha\r\n$3\r\none\r\n",
+                    b"*2\r\n$3\r\nGET\r\n$5\r\nalpha\r\n",
+                    b"PING\r\n",
+                ];
+                let stream = requests.concat();
+                (stream, requests.iter().map(|r| r.to_vec()).collect())
+            }
+        }
+    }
+
+    /// Feed `stream` to a fresh reader in two pieces cut at `split`,
+    /// carving after each piece, and return every payload delivered.
+    fn carve_in_two(proto: ProtocolKind, stream: &[u8], split: usize) -> Vec<Vec<u8>> {
+        let mut reader = FrameReader::with_proto(proto);
+        let mut got = Vec::new();
+        for piece in [&stream[..split], &stream[split..]] {
+            reader.buf.extend_from_slice(piece);
+            reader.carve().expect("valid stream must carve");
+            got.extend(reader.pending.drain(..).map(|p| p.to_vec()));
+        }
+        assert!(
+            reader.buf.is_empty(),
+            "no bytes may linger after a complete {proto} burst"
+        );
+        got
+    }
+
+    #[test]
+    fn every_codec_carves_the_same_burst_at_every_split_boundary() {
+        // The frame-boundary invariant, exhaustively: wherever a read
+        // happens to end, the carved request sequence is identical.
+        for proto in ProtocolKind::all() {
+            let (stream, expected) = carve_burst(proto);
+            for split in 0..=stream.len() {
+                let got = carve_in_two(proto, &stream, split);
+                assert_eq!(got, expected, "{proto} burst split at byte {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_connection_fatal_for_every_codec() {
+        // A length field beyond MAX_FRAME_BYTES (or an unbounded line)
+        // can never resync, so carve must error — retiring the conn —
+        // instead of buffering forever.
+        let poison: [(ProtocolKind, Vec<u8>); 4] = [
+            (
+                ProtocolKind::Dido,
+                ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes().to_vec(),
+            ),
+            (
+                ProtocolKind::Memcached,
+                format!("set k 0 0 {}\r\n", MAX_FRAME_BYTES + 1).into_bytes(),
+            ),
+            (
+                ProtocolKind::Memcached,
+                vec![b'g'; crate::codec::MAX_LINE_BYTES + 1],
+            ),
+            (
+                ProtocolKind::Resp,
+                format!("*{}\r\n", crate::codec::MAX_RESP_ARRAY + 1).into_bytes(),
+            ),
+        ];
+        for (proto, bytes) in poison {
+            let mut reader = FrameReader::with_proto(proto);
+            reader.buf.extend_from_slice(&bytes);
+            assert!(
+                reader.carve().is_err(),
+                "{proto} must retire the connection on oversized input"
+            );
+        }
+    }
+
+    #[test]
+    fn requests_carved_before_a_fatal_error_are_still_delivered() {
+        // A pipelined burst whose tail is poison: the good head must
+        // reach the dispatcher so its replies go out before the close.
+        let (head, expected) = carve_burst(ProtocolKind::Memcached);
+        let mut reader = FrameReader::with_proto(ProtocolKind::Memcached);
+        reader.buf.extend_from_slice(&head);
+        reader
+            .buf
+            .extend_from_slice(format!("set k 0 0 {}\r\n", MAX_FRAME_BYTES + 1).as_bytes());
+        assert!(reader.carve().is_err());
+        let got: Vec<Vec<u8>> = reader.pending.drain(..).map(|p| p.to_vec()).collect();
+        assert_eq!(got, expected);
     }
 }

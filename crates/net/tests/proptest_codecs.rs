@@ -1,0 +1,372 @@
+//! Property tests for the multi-protocol codec seam (`DESIGN.md` §16):
+//! a valid request stream must carve and decode to the same request
+//! sequence no matter how the bytes are split across reads, and
+//! arbitrary hostile bytes must never panic or stall any codec.
+
+use bytes::{Bytes, BytesMut};
+use dido_model::Query;
+use dido_net::{carve_one, decode_request, encode_queries_wire_into, Carve, ProtocolKind};
+use proptest::prelude::*;
+
+/// Carve a whole stream in one pass, returning each request's decode
+/// payload. Panics on a carve error (the generators below only build
+/// valid streams) and asserts the carve makes progress.
+fn carve_all(kind: ProtocolKind, stream: &[u8]) -> Vec<Bytes> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < stream.len() {
+        match carve_one(kind, &stream[pos..]).expect("valid stream must carve") {
+            Carve::Partial => break,
+            Carve::Request { total, skip } => {
+                assert!(total > 0, "carve must make progress");
+                assert!(skip <= total && pos + total <= stream.len());
+                out.push(Bytes::from(stream[pos + skip..pos + total].to_vec()));
+                pos += total;
+            }
+        }
+    }
+    assert_eq!(pos, stream.len(), "generator produced a trailing partial");
+    out
+}
+
+/// Carve the same stream fed in arbitrary chunks, the way a reactor
+/// sees it: bytes accumulate in a buffer, and after every chunk the
+/// carve loop drains whatever requests are complete.
+fn carve_split(kind: ProtocolKind, stream: &[u8], chunks: &[usize]) -> Vec<Bytes> {
+    let mut out = Vec::new();
+    let mut buf = BytesMut::new();
+    let mut fed = 0;
+    let mut chunk_iter = chunks.iter().cycle();
+    while fed < stream.len() {
+        let n = (*chunk_iter.next().unwrap()).clamp(1, stream.len() - fed);
+        buf.extend_from_slice(&stream[fed..fed + n]);
+        fed += n;
+        loop {
+            match carve_one(kind, &buf).expect("valid stream must carve") {
+                Carve::Partial => break,
+                Carve::Request { total, skip } => {
+                    let request = buf.split_to(total).freeze();
+                    out.push(request.slice(skip..));
+                }
+            }
+        }
+    }
+    assert!(buf.is_empty(), "no partial bytes may remain at stream end");
+    out
+}
+
+/// Decode every carved payload, concatenating the queries.
+fn decode_all(kind: ProtocolKind, payloads: &[Bytes]) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for p in payloads {
+        let _meta = decode_request(kind, p, &mut queries);
+    }
+    queries
+}
+
+/// One structured memcached request plus the queries it must decode to.
+#[derive(Debug, Clone)]
+enum McRequest {
+    Get { keys: Vec<String>, with_cas: bool },
+    Set { key: String, flags: u32, exptime: u32, value: Vec<u8>, noreply: bool },
+    Delete { key: String, noreply: bool },
+}
+
+impl McRequest {
+    fn render(&self, out: &mut Vec<u8>) {
+        match self {
+            McRequest::Get { keys, with_cas } => {
+                out.extend_from_slice(if *with_cas { b"gets" } else { b"get" });
+                for k in keys {
+                    out.push(b' ');
+                    out.extend_from_slice(k.as_bytes());
+                }
+                out.extend_from_slice(b"\r\n");
+            }
+            McRequest::Set { key, flags, exptime, value, noreply } => {
+                out.extend_from_slice(
+                    format!("set {key} {flags} {exptime} {}", value.len()).as_bytes(),
+                );
+                if *noreply {
+                    out.extend_from_slice(b" noreply");
+                }
+                out.extend_from_slice(b"\r\n");
+                out.extend_from_slice(value);
+                out.extend_from_slice(b"\r\n");
+            }
+            McRequest::Delete { key, noreply } => {
+                out.extend_from_slice(format!("delete {key}").as_bytes());
+                if *noreply {
+                    out.extend_from_slice(b" noreply");
+                }
+                out.extend_from_slice(b"\r\n");
+            }
+        }
+    }
+
+    fn expected(&self, out: &mut Vec<Query>) {
+        match self {
+            McRequest::Get { keys, .. } => {
+                out.extend(keys.iter().map(|k| Query::get(k.clone().into_bytes())));
+            }
+            McRequest::Set { key, flags, exptime, value, .. } => out.push(Query::set_with(
+                key.clone().into_bytes(),
+                value.clone(),
+                *exptime,
+                *flags,
+            )),
+            McRequest::Delete { key, .. } => out.push(Query::delete(key.clone().into_bytes())),
+        }
+    }
+}
+
+/// One structured RESP request plus the queries it must decode to.
+#[derive(Debug, Clone)]
+enum RespRequest {
+    Get(Vec<u8>),
+    Set { key: Vec<u8>, value: Vec<u8>, ex: Option<u32> },
+    Del(Vec<Vec<u8>>),
+    MGet(Vec<Vec<u8>>),
+    Ping,
+}
+
+fn put_bulk(out: &mut Vec<u8>, data: &[u8]) {
+    out.extend_from_slice(format!("${}\r\n", data.len()).as_bytes());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+}
+
+impl RespRequest {
+    fn render(&self, out: &mut Vec<u8>) {
+        let args: Vec<Vec<u8>> = match self {
+            RespRequest::Get(k) => vec![b"GET".to_vec(), k.clone()],
+            RespRequest::Set { key, value, ex } => {
+                let mut a = vec![b"SET".to_vec(), key.clone(), value.clone()];
+                if let Some(t) = ex {
+                    a.push(b"EX".to_vec());
+                    a.push(t.to_string().into_bytes());
+                }
+                a
+            }
+            RespRequest::Del(keys) => std::iter::once(b"DEL".to_vec())
+                .chain(keys.iter().cloned())
+                .collect(),
+            RespRequest::MGet(keys) => std::iter::once(b"MGET".to_vec())
+                .chain(keys.iter().cloned())
+                .collect(),
+            RespRequest::Ping => vec![b"PING".to_vec()],
+        };
+        out.extend_from_slice(format!("*{}\r\n", args.len()).as_bytes());
+        for a in &args {
+            put_bulk(out, a);
+        }
+    }
+
+    fn expected(&self, out: &mut Vec<Query>) {
+        match self {
+            RespRequest::Get(k) => out.push(Query::get(k.clone())),
+            RespRequest::Set { key, value, ex } => out.push(Query::set_with(
+                key.clone(),
+                value.clone(),
+                ex.unwrap_or(0),
+                0,
+            )),
+            RespRequest::Del(keys) => out.extend(keys.iter().map(|k| Query::delete(k.clone()))),
+            RespRequest::MGet(keys) => out.extend(keys.iter().map(|k| Query::get(k.clone()))),
+            RespRequest::Ping => {}
+        }
+    }
+}
+
+/// Characters legal in a memcached key (printable, no spaces).
+const KEY_CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_./-";
+
+/// memcached keys: printable, no spaces or control bytes.
+fn mc_key() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..KEY_CHARSET.len(), 1..40)
+        .prop_map(|ix| ix.into_iter().map(|i| KEY_CHARSET[i] as char).collect())
+}
+
+fn mc_request() -> impl Strategy<Value = McRequest> {
+    prop_oneof![
+        (proptest::collection::vec(mc_key(), 1..6), any::<bool>())
+            .prop_map(|(keys, with_cas)| McRequest::Get { keys, with_cas }),
+        (
+            mc_key(),
+            any::<u32>(),
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..128),
+            any::<bool>()
+        )
+            .prop_map(|(key, flags, exptime, value, noreply)| McRequest::Set {
+                key,
+                flags,
+                exptime,
+                value,
+                noreply
+            }),
+        (mc_key(), any::<bool>()).prop_map(|(key, noreply)| McRequest::Delete { key, noreply }),
+    ]
+}
+
+/// RESP keys/values are length-prefixed bulk strings: any bytes go.
+fn resp_bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 1..max)
+}
+
+fn resp_request() -> impl Strategy<Value = RespRequest> {
+    prop_oneof![
+        resp_bytes(40).prop_map(RespRequest::Get),
+        (
+            resp_bytes(40),
+            resp_bytes(128),
+            prop_oneof![Just(None), any::<u32>().prop_map(Some)]
+        )
+            .prop_map(|(key, value, ex)| RespRequest::Set { key, value, ex }),
+        proptest::collection::vec(resp_bytes(40), 1..5).prop_map(RespRequest::Del),
+        proptest::collection::vec(resp_bytes(40), 1..5).prop_map(RespRequest::MGet),
+        Just(RespRequest::Ping),
+    ]
+}
+
+fn chunk_sizes() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..17, 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn memcached_streams_carve_identically_under_any_byte_split(
+        requests in proptest::collection::vec(mc_request(), 1..12),
+        chunks in chunk_sizes(),
+    ) {
+        let mut stream = Vec::new();
+        let mut expected = Vec::new();
+        for r in &requests {
+            r.render(&mut stream);
+            r.expected(&mut expected);
+        }
+        let oneshot = carve_all(ProtocolKind::Memcached, &stream);
+        let split = carve_split(ProtocolKind::Memcached, &stream, &chunks);
+        prop_assert_eq!(&oneshot, &split);
+        prop_assert_eq!(oneshot.len(), requests.len());
+        prop_assert_eq!(decode_all(ProtocolKind::Memcached, &oneshot), expected);
+    }
+
+    #[test]
+    fn resp_streams_carve_identically_under_any_byte_split(
+        requests in proptest::collection::vec(resp_request(), 1..12),
+        chunks in chunk_sizes(),
+    ) {
+        let mut stream = Vec::new();
+        let mut expected = Vec::new();
+        for r in &requests {
+            r.render(&mut stream);
+            r.expected(&mut expected);
+        }
+        let oneshot = carve_all(ProtocolKind::Resp, &stream);
+        let split = carve_split(ProtocolKind::Resp, &stream, &chunks);
+        prop_assert_eq!(&oneshot, &split);
+        prop_assert_eq!(oneshot.len(), requests.len());
+        prop_assert_eq!(decode_all(ProtocolKind::Resp, &oneshot), expected);
+    }
+
+    #[test]
+    fn dido_streams_carve_identically_under_any_byte_split(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(
+                (mc_key(), proptest::collection::vec(any::<u8>(), 0..64))
+                    .prop_map(|(k, v)| Query::set(k.into_bytes(), v)),
+                0..8,
+            ),
+            1..8,
+        ),
+        chunks in chunk_sizes(),
+    ) {
+        let mut wire = BytesMut::new();
+        let mut expected = Vec::new();
+        for batch in &batches {
+            encode_queries_wire_into(&mut wire, batch);
+            expected.extend(batch.iter().cloned());
+        }
+        let oneshot = carve_all(ProtocolKind::Dido, &wire);
+        let split = carve_split(ProtocolKind::Dido, &wire, &chunks);
+        prop_assert_eq!(&oneshot, &split);
+        prop_assert_eq!(oneshot.len(), batches.len());
+        prop_assert_eq!(decode_all(ProtocolKind::Dido, &oneshot), expected);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_or_stall_any_codec(
+        raw in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        for kind in ProtocolKind::all() {
+            let mut pos = 0;
+            loop {
+                match carve_one(kind, &raw[pos..]) {
+                    Err(_) => break, // connection-fatal: reader retires the conn
+                    Ok(Carve::Partial) => break,
+                    Ok(Carve::Request { total, skip }) => {
+                        // Progress and bounds: a carve that returned a
+                        // request must consume at least one byte and
+                        // stay inside the buffer, or the reader loops
+                        // forever / slices out of range.
+                        prop_assert!(total > 0 && skip <= total);
+                        prop_assert!(pos + total <= raw.len());
+                        let payload = Bytes::from(raw[pos + skip..pos + total].to_vec());
+                        let mut out = Vec::new();
+                        let _ = decode_request(kind, &payload, &mut out); // must not panic
+                        pos += total;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_payloads_that_skipped_the_carve(
+        raw in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // decode_request is public API: it must be total even over
+        // buffers that never went through carve_one.
+        let payload = Bytes::from(raw);
+        for kind in ProtocolKind::all() {
+            let mut out = Vec::new();
+            let _ = decode_request(kind, &payload, &mut out);
+        }
+    }
+
+    #[test]
+    fn truncated_valid_requests_stay_partial_or_carve_a_prefix(
+        requests in proptest::collection::vec(mc_request(), 1..6),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        // Cutting a valid stream mid-request must leave the tail
+        // Partial (awaiting more bytes), never a bogus carve that would
+        // desync the connection.
+        let mut stream = Vec::new();
+        for r in &requests {
+            r.render(&mut stream);
+        }
+        let cut = ((stream.len() as f64) * cut_fraction) as usize;
+        let full = carve_all(ProtocolKind::Memcached, &stream);
+        let mut pos = 0;
+        let mut carved = 0;
+        while pos < cut {
+            match carve_one(ProtocolKind::Memcached, &stream[pos..cut]).expect("valid prefix") {
+                Carve::Partial => break,
+                Carve::Request { total, skip } => {
+                    prop_assert_eq!(
+                        &stream[pos + skip..pos + total],
+                        &full[carved][..],
+                        "truncated carve must match the full stream's request"
+                    );
+                    carved += 1;
+                    pos += total;
+                }
+            }
+        }
+        prop_assert!(carved <= full.len());
+    }
+}

@@ -24,6 +24,8 @@ fn query_strategy() -> impl Strategy<Value = Query> {
             } else {
                 Bytes::new()
             },
+            ttl: 0,
+            flags: 0,
         })
 }
 

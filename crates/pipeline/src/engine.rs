@@ -224,8 +224,14 @@ impl KvEngine {
     /// and shard migration all call it, so eviction bookkeeping can
     /// never diverge between them.
     pub fn load_object(&self, key: &[u8], value: &[u8]) -> Option<u64> {
+        self.load_object_with(key, value, 0, 0)
+    }
+
+    /// [`KvEngine::load_object`] with protocol metadata (TTL seconds and
+    /// opaque client flags; 0 = unset) stored alongside the object.
+    pub fn load_object_with(&self, key: &[u8], value: &[u8], ttl: u32, flags: u32) -> Option<u64> {
         let kh = key_hash(key);
-        let out = self.store.allocate(key, value).ok()?;
+        let out = self.store.allocate_with(key, value, ttl, flags).ok()?;
         if let Some(ev) = &out.evicted {
             let _ = self.index.delete(key_hash(&ev.key), ev.loc);
             self.cache_invalidate(ev.loc);
@@ -293,7 +299,7 @@ impl KvEngine {
                 }
                 Response::not_found()
             }
-            QueryOp::Set => match self.load_object(&q.key, &q.value) {
+            QueryOp::Set => match self.load_object_with(&q.key, &q.value, q.ttl, q.flags) {
                 Some(_) => Response::ok(),
                 None => Response::error(),
             },

@@ -114,6 +114,8 @@ mod tests {
                 op: dido_model::QueryOp::Get,
                 key,
                 value: bytes::Bytes::new(),
+                ttl: 0,
+                flags: 0,
             });
             if r.status == ResponseStatus::Ok {
                 assert_eq!(r.value, value_bytes(spec.dataset, id));

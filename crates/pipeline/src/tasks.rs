@@ -104,7 +104,7 @@ pub fn run_mm(ctx: StageCtx, engine: &KvEngine, batch: &mut Batch, range: Range<
         let q = &batch.queries[i];
         usage += ResourceUsage::new(costs::MM_INSNS_PER_ALLOC, costs::MM_MEM_PER_ALLOC, 0);
         engine.ops.mm_allocs.fetch_add(1, AtomicOrdering::Relaxed);
-        match engine.store.allocate(&q.key, &q.value) {
+        match engine.store.allocate_with(&q.key, &q.value, q.ttl, q.flags) {
             Ok(out) => {
                 if out.evicted.is_some() {
                     usage +=

@@ -105,18 +105,24 @@ impl WorkloadGen {
                 op: QueryOp::Get,
                 key,
                 value: Bytes::new(),
+                ttl: 0,
+                flags: 0,
             }
         } else if r < self.spec.get_ratio + self.spec.delete_ratio {
             Query {
                 op: QueryOp::Delete,
                 key,
                 value: Bytes::new(),
+                ttl: 0,
+                flags: 0,
             }
         } else {
             Query {
                 op: QueryOp::Set,
                 key,
                 value: value_bytes(self.spec.dataset, id),
+                ttl: 0,
+                flags: 0,
             }
         }
     }
@@ -134,6 +140,8 @@ impl WorkloadGen {
             op: QueryOp::Set,
             key: key_bytes(dataset, id),
             value: value_bytes(dataset, id),
+            ttl: 0,
+            flags: 0,
         })
     }
 }

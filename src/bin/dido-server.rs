@@ -7,6 +7,20 @@
 //!             [--batched] [--max-batch-delay-us N]
 //!             [--io-backend auto|uring|epoll]
 //!             [--resize-after FRAMES:SHARDS]
+//!             [--proto dido|memcached|resp] [--listen HOST:PORT]...
+//! ```
+//!
+//! The node can serve several wire protocols at once, one per
+//! listening socket. `--proto` selects the protocol for every
+//! subsequent `--listen HOST:PORT` (repeatable, up to the reactor
+//! listener budget); with no `--listen` the single `--addr` socket
+//! speaks the current `--proto`. Example — native DIDO plus a
+//! memcached-text port and a RESP port on one store:
+//!
+//! ```text
+//! dido-server --batched --listen 127.0.0.1:7878 \
+//!             --proto memcached --listen 127.0.0.1:11211 \
+//!             --proto resp --listen 127.0.0.1:6379
 //! ```
 //!
 //! The serving core is the concurrent `ServingCore`: every request
@@ -44,8 +58,8 @@
 
 use dido_kv::dido::{DidoOptions, ServingCore};
 use dido_kv::net::{
-    BatchConfig, DispatchMode, IoBackend, IoBackendChoice, KvServer, NetStatsSnapshot, ServerStats,
-    TraceWriter,
+    BatchConfig, DispatchMode, IoBackend, IoBackendChoice, KvServer, NetStatsSnapshot,
+    ProtocolKind, ServerStats, TraceWriter,
 };
 use dido_kv::pipeline::TestbedOptions;
 use parking_lot::Mutex;
@@ -63,6 +77,13 @@ const TRACE_QUEUE_BATCHES: usize = 1024;
 
 struct Args {
     addr: String,
+    /// `(address, protocol)` per listening socket, in `--listen` order;
+    /// empty means a single `--addr` listener speaking the protocol
+    /// that was current when argument parsing finished.
+    listeners: Vec<(String, ProtocolKind)>,
+    /// Protocol stamped on `--addr` when no `--listen` is given (the
+    /// last `--proto`, or DIDO by default).
+    proto: ProtocolKind,
     store_mb: usize,
     latency_us: f64,
     shards: usize,
@@ -86,6 +107,8 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         addr: "127.0.0.1:7878".to_string(),
+        listeners: Vec::new(),
+        proto: ProtocolKind::Dido,
         store_mb: 64,
         latency_us: 1_000.0,
         shards: 1,
@@ -115,6 +138,17 @@ fn parse_args() -> Args {
         };
         match arg.as_str() {
             "--addr" => args.addr = value("--addr"),
+            "--proto" => {
+                let v = value("--proto");
+                args.proto = ProtocolKind::from_name(&v).unwrap_or_else(|| {
+                    eprintln!("--proto must be dido, memcached, or resp (got {v})");
+                    std::process::exit(2);
+                });
+            }
+            "--listen" => {
+                let addr = value("--listen");
+                args.listeners.push((addr, args.proto));
+            }
             "--store-mb" => args.store_mb = parse_num("--store-mb", value("--store-mb")),
             "--latency-us" => {
                 args.latency_us = value("--latency-us").parse().unwrap_or_else(|_| {
@@ -171,7 +205,8 @@ fn parse_args() -> Args {
                      [--stats-every N] [--batched] \
                      [--max-batch-delay-us N] \
                      [--io-backend auto|uring|epoll] \
-                     [--resize-after FRAMES:SHARDS]"
+                     [--resize-after FRAMES:SHARDS] \
+                     [--proto dido|memcached|resp] [--listen HOST:PORT]..."
                 );
                 std::process::exit(0);
             }
@@ -277,7 +312,14 @@ fn main() -> std::io::Result<()> {
     } else {
         DispatchMode::PerConnection
     };
-    let server = KvServer::start_with(&args.addr, mode, move |lane, queries| {
+    let listeners: Vec<(String, ProtocolKind)> = if args.listeners.is_empty() {
+        vec![(args.addr.clone(), args.proto)]
+    } else {
+        args.listeners.clone()
+    };
+    let listener_refs: Vec<(&str, ProtocolKind)> =
+        listeners.iter().map(|(a, p)| (a.as_str(), *p)).collect();
+    let server = KvServer::start_multi(&listener_refs, mode, move |lane, queries| {
         if let Some(rec) = &recorder {
             // Never block the data path on trace I/O: on queue overflow
             // the batch is dropped from the recording and counted.
@@ -337,7 +379,9 @@ fn main() -> std::io::Result<()> {
         responses
     })?;
     let _ = net_stats.set(server.stats_handle());
-    println!("dido-server listening on {}", server.addr());
+    for (bound, (_, proto)) in server.addrs().iter().zip(&listeners) {
+        println!("dido-server listening on {bound} ({})", proto.as_str());
+    }
     println!(
         "store {} MB across {} shard(s), latency budget {:.0} us{}{}",
         args.store_mb,

@@ -21,13 +21,15 @@ fn options(store_bytes: usize) -> DidoOptions {
 fn preloaded_system_answers_get_queries_through_the_pipeline() {
     let spec = WorkloadSpec::from_label("K16-G95-S").unwrap();
     let dido = DidoSystem::preloaded(spec, options(4 << 20));
-    let n_keys = spec.keyspace_size(4 << 20, 16);
+    let n_keys = spec.keyspace_size(4 << 20, dido_kv::kvstore::HEADER_SIZE);
     // A pure-GET batch over preloaded ids must hit with correct values.
     let batch: Vec<Query> = (0..1_000)
         .map(|i| Query {
             op: QueryOp::Get,
             key: key_bytes(spec.dataset, i % n_keys),
             value: bytes::Bytes::new(),
+            ttl: 0,
+            flags: 0,
         })
         .collect();
     let (_, responses) = dido.process_batch(batch);
@@ -73,7 +75,7 @@ fn writes_survive_pipeline_reconfiguration() {
 fn adaption_changes_config_for_small_read_heavy_workloads() {
     let spec = WorkloadSpec::from_label("K8-G95-S").unwrap();
     let dido = DidoSystem::preloaded(spec, options(4 << 20));
-    let mut generator = WorkloadGen::new(spec, spec.keyspace_size(4 << 20, 16), 3);
+    let mut generator = WorkloadGen::new(spec, spec.keyspace_size(4 << 20, dido_kv::kvstore::HEADER_SIZE), 3);
     assert_eq!(dido.current_config(), PipelineConfig::mega_kv());
     let _ = dido.process_batch(generator.batch(4_096));
     assert_ne!(
@@ -90,7 +92,7 @@ fn dido_outperforms_static_pipeline_on_read_heavy_small_kv() {
     let spec = WorkloadSpec::from_label("K16-G95-U").unwrap();
 
     let dido = DidoSystem::preloaded(spec, options(8 << 20));
-    let mut g1 = WorkloadGen::new(spec, spec.keyspace_size(8 << 20, 16), 5);
+    let mut g1 = WorkloadGen::new(spec, spec.keyspace_size(8 << 20, dido_kv::kvstore::HEADER_SIZE), 5);
     let dd = dido.measure(|n| g1.batch(n), 5);
 
     let mk = dido_kv::megakv::MegaKv::coupled().measure(
@@ -127,7 +129,7 @@ fn deletes_propagate_through_batch_pipeline() {
 fn store_never_grows_beyond_capacity_under_write_pressure() {
     let spec = WorkloadSpec::from_label("K16-G50-U").unwrap();
     let dido = DidoSystem::preloaded(spec, options(2 << 20));
-    let mut generator = WorkloadGen::new(spec, spec.keyspace_size(2 << 20, 16), 9);
+    let mut generator = WorkloadGen::new(spec, spec.keyspace_size(2 << 20, dido_kv::kvstore::HEADER_SIZE), 9);
     for _ in 0..5 {
         let _ = dido.process_batch(generator.batch(4_096));
     }

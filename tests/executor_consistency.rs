@@ -134,11 +134,15 @@ fn every_enumerated_config_processes_batches_correctly() {
     }
     .enumerate();
     assert!(configs.len() > 20);
+    // The probe value is sized so the object lands in the preloaded K8
+    // slab class (eviction is same-class): the preload fills the store
+    // completely, so a SET in any other class has nothing to evict.
+    let probe_value = "1-sized-into-preload-class";
     for config in configs {
         let (engine, _) = preloaded_engine(spec, &hw, testbed());
         // Ordering within a batch is unspecified, so each step ships in
         // its own batch.
-        let (_, rs) = sim.run_batch(&engine, vec![Query::set("probe-a", "1")], config);
+        let (_, rs) = sim.run_batch(&engine, vec![Query::set("probe-a", probe_value)], config);
         assert_eq!(rs[0].status, ResponseStatus::Ok, "SET under {config}");
         let (_, rs) = sim.run_batch(
             &engine,
@@ -146,7 +150,7 @@ fn every_enumerated_config_processes_batches_correctly() {
             config,
         );
         assert_eq!(rs[0].status, ResponseStatus::Ok, "GET under {config}");
-        assert_eq!(&rs[0].value[..], b"1", "value under {config}");
+        assert_eq!(&rs[0].value[..], probe_value.as_bytes(), "value under {config}");
         assert_eq!(rs[1].status, ResponseStatus::NotFound, "miss under {config}");
         let (_, rs) = sim.run_batch(&engine, vec![Query::delete("probe-a")], config);
         assert_eq!(rs[0].status, ResponseStatus::Ok, "DELETE under {config}");
