@@ -10,6 +10,7 @@
 
 pub mod adaptpath;
 pub mod connpath;
+pub mod evictionpath;
 pub mod experiments;
 mod harness;
 pub mod hotpath;

@@ -1,5 +1,7 @@
 //! Operational metrics for a running DIDO node.
 
+use crate::striped::MemoryFold;
+use dido_kvstore::ClassStats;
 use dido_model::PipelineConfig;
 use dido_net::NetStatsSnapshot;
 use dido_pipeline::ExecStats;
@@ -110,6 +112,21 @@ pub struct Metrics {
     /// [`Metrics::net_batch_hist`]; uring backend only, empty enters
     /// not recorded).
     pub net_cqe_per_enter_hist: [u64; dido_net::BATCH_HIST_BUCKETS],
+    /// Objects expired in-band on the lookup path — a cumulative engine
+    /// counter folded by last value (the snapshot is already a total).
+    pub expired_lazy: u64,
+    /// Objects freed by whole-segment TTL reclamation — folded by last
+    /// value, like [`Metrics::expired_lazy`].
+    pub expired_proactive: u64,
+    /// TTL segments reclaimed as a unit — folded by last value.
+    pub segments_reclaimed: u64,
+    /// Sealed TTL segments awaiting expiry — a gauge.
+    pub sealed_segments: u64,
+    /// Controller sweep ticks executed.
+    pub sweeps: u64,
+    /// Per-size-class occupancy / free-slot / fragmentation gauges —
+    /// replaced wholesale by each sweep tick's snapshot.
+    pub class_gauges: Vec<ClassStats>,
     /// Batches executed per configuration (display string → count).
     pub config_histogram: BTreeMap<String, u64>,
 }
@@ -200,6 +217,18 @@ impl Metrics {
         {
             *acc += v;
         }
+    }
+
+    /// Fold a memory-plane snapshot into the node metrics. Everything
+    /// in `fold` is a cumulative total or a gauge, so the latest
+    /// snapshot replaces rather than adds (call sites pass the fold the
+    /// controller just published to [`crate::StripedStats`]).
+    pub fn record_memory(&mut self, fold: &MemoryFold) {
+        self.expired_lazy = fold.expired_lazy;
+        self.expired_proactive = fold.expired_proactive;
+        self.segments_reclaimed = fold.segments_reclaimed;
+        self.sealed_segments = fold.sealed_segments;
+        self.class_gauges = fold.classes.clone();
     }
 
     /// Mean frames aggregated per network dispatch (0 when the batched
@@ -383,6 +412,38 @@ impl fmt::Display for Metrics {
                 )?;
             }
             writeln!(f)?;
+        }
+        // Memory plane: only once TTL/eviction machinery has moved (an
+        // expiry-free node keeps its display unchanged).
+        if self.expired_lazy + self.expired_proactive + self.sweeps > 0 {
+            writeln!(
+                f,
+                "mem: {} lazy / {} proactive expirations, \
+                 {} segments reclaimed, {} sealed pending, {} sweeps",
+                self.expired_lazy,
+                self.expired_proactive,
+                self.segments_reclaimed,
+                self.sealed_segments,
+                self.sweeps
+            )?;
+        }
+        for c in &self.class_gauges {
+            // The full power-of-two ladder is long; untouched classes
+            // say nothing.
+            if c.live_objects + c.free_slots == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  class {:>8} B: {} live / {} free slots, \
+                 {:.1} KiB live, {:.1} KiB frag, {} open segs",
+                c.class_bytes,
+                c.live_objects,
+                c.free_slots,
+                c.live_bytes as f64 / 1024.0,
+                c.frag_bytes as f64 / 1024.0,
+                c.open_segments
+            )?;
         }
         for (cfg, count) in &self.config_histogram {
             writeln!(f, "  {count:>6} x {cfg}")?;

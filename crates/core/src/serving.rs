@@ -31,7 +31,7 @@
 
 use crate::metrics::Metrics;
 use crate::profiler::WorkloadProfiler;
-use crate::striped::{StatsFold, StripedStats};
+use crate::striped::{MemoryFold, StatsFold, StripedStats};
 use crate::system::DidoOptions;
 use dido_cost_model::{CostModel, ModelInputs};
 use dido_kvstore::HEADER_SIZE;
@@ -49,6 +49,12 @@ use std::time::{Duration, Instant};
 /// yields the donor write locks frequently; large enough to amortize
 /// the `sets` read-lock acquisition.
 const RESIZE_CHUNK_KEYS: usize = 512;
+
+/// Expired TTL segments each sweep tick reclaims per shard. One
+/// segment reclaims in O(members), so this bounds the controller's
+/// per-tick stall; an expiry storm drains over a few ticks instead of
+/// blocking one.
+const SWEEP_SEGMENTS_PER_TICK: usize = 32;
 
 /// Control-plane state: everything only the (single) controller and
 /// occasional administrative calls touch.
@@ -381,6 +387,39 @@ impl ServingCore {
         changed
     }
 
+    /// One memory-plane tick: proactively reclaim up to
+    /// [`SWEEP_SEGMENTS_PER_TICK`] expired TTL segments per primary
+    /// shard, then publish a fresh memory snapshot (expiry counters +
+    /// per-class gauges) through the striped accumulators into the
+    /// node metrics. Returns `(objects purged, segments reclaimed)`
+    /// for this tick.
+    ///
+    /// Called by the background controller thread alongside
+    /// [`ServingCore::controller_tick`]; also callable directly (the
+    /// admin path and tests tick on demand).
+    pub fn sweep_tick(&self) -> (usize, usize) {
+        let (purged, segments) = self.engine.sweep_expired(SWEEP_SEGMENTS_PER_TICK);
+        let expiry = self.engine.expiry_stats();
+        let fold = MemoryFold {
+            expired_lazy: self.engine.op_counts().expired_lazy,
+            expired_proactive: expiry.expired_proactive,
+            segments_reclaimed: expiry.segments_reclaimed,
+            sealed_segments: expiry.sealed_segments,
+            classes: self.engine.class_stats(),
+        };
+        self.stripes.publish_memory(fold.clone());
+        let mut m = self.metrics.lock();
+        m.sweeps += 1;
+        m.record_memory(&fold);
+        (purged, segments)
+    }
+
+    /// The most recently published memory-plane snapshot.
+    #[must_use]
+    pub fn memory_fold(&self) -> MemoryFold {
+        self.stripes.memory()
+    }
+
     /// Start a live resize to `n` shards: install the `Migrating` shard
     /// map (new per-shard stores sized so total capacity is preserved),
     /// swap in a fresh per-shard config vector seeded from shard 0's
@@ -451,8 +490,10 @@ impl ServingCore {
 
     /// Spawn the background adaptation controller, ticking every
     /// `period`. Beside config adaption, the controller is the consumer
-    /// of [`ServingCore::request_resize`]: shard scaling is its second
-    /// actuator. The returned handle stops and joins the thread on
+    /// of [`ServingCore::request_resize`] (shard scaling) and the
+    /// driver of the TTL sweeper ([`ServingCore::sweep_tick`]): memory
+    /// reclamation is its third actuator, not a thread of its own. The
+    /// returned handle stops and joins the thread on
     /// [`ControllerHandle::stop`] or drop.
     #[must_use]
     pub fn spawn_controller(core: Arc<ServingCore>, period: Duration) -> ControllerHandle {
@@ -468,6 +509,7 @@ impl ServingCore {
                         let _ = core.resize_shards(n);
                     }
                     core.controller_tick();
+                    core.sweep_tick();
                     std::thread::sleep(period);
                 }
             })
@@ -579,6 +621,44 @@ mod tests {
         assert_eq!(m.batches, 1);
         assert_eq!(m.queries, 2048);
         assert!(m.hits > 0);
+    }
+
+    #[test]
+    fn sweep_tick_reclaims_and_publishes_gauges() {
+        use dido_model::{MockClock, SharedClock};
+        let clock = Arc::new(MockClock::at(1_000));
+        let engine = ShardedEngine::with_clock(
+            2,
+            EngineConfig::new(1 << 20, 64 << 10, 16 << 10),
+            Arc::clone(&clock) as SharedClock,
+        );
+        let core = ServingCore::from_engine(engine, 1, opts());
+        for i in 0..200 {
+            let key = format!("ttl-{i}");
+            let r = core.execute(&Query::set_with(key, "short-lived-value", 5, 0));
+            assert_eq!(r.status, ResponseStatus::Ok);
+        }
+        let r = core.execute(&Query::set("keep", "stays"));
+        assert_eq!(r.status, ResponseStatus::Ok);
+        // Nothing due yet: the tick publishes gauges but reclaims zero.
+        assert_eq!(core.sweep_tick().0, 0);
+        let gauges = core.memory_fold();
+        assert!(
+            gauges.classes.iter().map(|c| c.live_objects).sum::<usize>() >= 201,
+            "per-class gauges must see the preload"
+        );
+        clock.advance(5);
+        let (purged, segments) = core.sweep_tick();
+        assert_eq!(purged, 200, "every short-TTL object reclaims in bulk");
+        assert!(segments >= 1);
+        assert_eq!(core.live_objects(), 1);
+        let m = core.metrics();
+        assert_eq!(m.expired_proactive, 200);
+        assert_eq!(m.segments_reclaimed, segments as u64);
+        assert_eq!(m.sweeps, 2);
+        let s = m.to_string();
+        assert!(s.contains("mem: 0 lazy / 200 proactive"), "{s}");
+        assert!(s.contains("class"), "{s}");
     }
 
     #[test]

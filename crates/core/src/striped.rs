@@ -22,10 +22,30 @@
 use crate::profiler::ProfilerConfig;
 use dido_cost_model::estimate_skew;
 use dido_hashtable::hash64;
+use dido_kvstore::ClassStats;
 use dido_model::{Query, QueryOp, WorkloadStats};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Memory-plane snapshot published by the control plane: cumulative
+/// expiry counters plus per-size-class occupancy gauges. Like the skew
+/// cell this folds by last value — the controller publishes a fresh
+/// snapshot each sweep tick and readers see the most recent one; the
+/// data plane never touches it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryFold {
+    /// Objects expired in-band on the lookup path (cumulative).
+    pub expired_lazy: u64,
+    /// Objects freed by whole-segment reclamation (cumulative).
+    pub expired_proactive: u64,
+    /// TTL segments reclaimed as a unit (cumulative).
+    pub segments_reclaimed: u64,
+    /// Sealed TTL segments awaiting expiry (gauge).
+    pub sealed_segments: u64,
+    /// Per-class occupancy / free-slot / fragmentation gauges.
+    pub classes: Vec<ClassStats>,
+}
 
 /// One dispatcher lane's counters. Fields are cumulative and only ever
 /// added to (relaxed ordering is enough: folds happen-after the batch
@@ -124,6 +144,8 @@ pub struct StripedStats {
     stripes: Vec<Stripe>,
     /// Latest completed-window skew estimate, as `f64` bits.
     skew_bits: AtomicU64,
+    /// Latest memory-plane snapshot (last writer wins).
+    memory: Mutex<MemoryFold>,
 }
 
 impl StripedStats {
@@ -134,6 +156,7 @@ impl StripedStats {
             cfg,
             stripes: (0..lanes.max(1)).map(|_| Stripe::default()).collect(),
             skew_bits: AtomicU64::new(0f64.to_bits()),
+            memory: Mutex::new(MemoryFold::default()),
         }
     }
 
@@ -195,6 +218,17 @@ impl StripedStats {
     #[must_use]
     pub fn skew(&self) -> f64 {
         f64::from_bits(self.skew_bits.load(Ordering::Relaxed))
+    }
+
+    /// Publish a fresh memory-plane snapshot (controller sweep tick).
+    pub fn publish_memory(&self, fold: MemoryFold) {
+        *self.memory.lock() = fold;
+    }
+
+    /// The most recently published memory-plane snapshot.
+    #[must_use]
+    pub fn memory(&self) -> MemoryFold {
+        self.memory.lock().clone()
     }
 
     /// Cumulative fold across all stripes.

@@ -6,8 +6,8 @@
 //! Runs under the nightly TSan job as well (see `.github/workflows`).
 
 use dido::{DidoOptions, ServingCore};
-use dido_model::{Query, ResponseStatus};
-use dido_pipeline::TestbedOptions;
+use dido_model::{Clock, MockClock, Query, ResponseStatus, SharedClock};
+use dido_pipeline::{EngineConfig, ShardedEngine, TestbedOptions};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -123,6 +123,248 @@ fn live_resize_loses_no_updates_under_concurrent_get_set() {
             );
         }
     }
+}
+
+#[test]
+fn live_resize_under_ttl_churn_expires_neither_early_nor_late() {
+    // A live 1→4 resize while every thread churns three key families on
+    // a mock clock the main thread advances mid-migration:
+    //
+    // * immortal (ttl 0) — must hit for the whole run and after it;
+    // * long TTL — deadline far past the run; a miss means the deadline
+    //   was lost or mangled in a donor→primary move (early expiry);
+    // * short TTL — re-set every round; a hit after its recorded
+    //   deadline window means a donor resurrected an expired key (late
+    //   expiry), a miss before it means early expiry.
+    //
+    // Deadlines are tracked as [min, max] bounds from clock samples
+    // around each batch, so the checks are exact without assuming when
+    // inside the batch the engine sampled `now`.
+    const SHORT_TTL: u32 = 3;
+    const LONG_TTL: u32 = 10_000;
+    const KEYS: usize = 40;
+    const START: u32 = 1_000;
+
+    let clock = Arc::new(MockClock::at(START));
+    let engine = ShardedEngine::with_clock(
+        1,
+        EngineConfig::new(64 << 20, 64 << 10, 16 << 10),
+        Arc::clone(&clock) as SharedClock,
+    );
+    let core = Arc::new(ServingCore::from_engine(engine, THREADS, options()));
+    assert_eq!(core.shard_count(), 1);
+
+    let mortal = |t: usize, i: usize| format!("t{t}-mortal-{i}");
+    let immortal = |t: usize, i: usize| format!("t{t}-immortal-{i}");
+    let longk = |t: usize, i: usize| format!("t{t}-long-{i}");
+
+    // Seed all three families through the real write path (ttl rides
+    // the query), before any clock advance: deadlines are exact.
+    for t in 0..THREADS {
+        let mut batch = Vec::with_capacity(KEYS * 3);
+        for i in 0..KEYS {
+            batch.push(Query::set_with(mortal(t, i), val(t, i, 0), SHORT_TTL, 0));
+            batch.push(Query::set_with(immortal(t, i), val(t, i, 0), 0, 0));
+            batch.push(Query::set_with(longk(t, i), val(t, i, 0), LONG_TTL, 0));
+        }
+        for r in core.process_batch(0, batch) {
+            assert_eq!(r.status, ResponseStatus::Ok, "seed SET failed");
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for t in 0..THREADS {
+        let core = Arc::clone(&core);
+        let clock = Arc::clone(&clock);
+        let stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || -> Result<usize, String> {
+            // Per-key deadline bounds and round of the last mortal SET.
+            // Inserts run before searches inside one pipeline batch
+            // (MM → IN → KC task order), so write rounds alternate with
+            // GET-only rounds: only the latter can observe expiry.
+            let mut bounds = vec![(START + SHORT_TTL, START + SHORT_TTL); KEYS];
+            let mut last_write = 0usize;
+            let mut round = 0usize;
+            while !stop.load(Ordering::Acquire) && round + 1 < MAX_ROUNDS {
+                round += 1;
+                let writing = round % 2 == 1;
+                let per_key = if writing { 4 } else { 3 };
+                let now0 = clock.now_secs();
+                let mut batch = Vec::with_capacity(KEYS * per_key);
+                for i in 0..KEYS {
+                    if writing {
+                        // SET first in program order: the scalar path
+                        // (taken while migrating) executes in order,
+                        // and the vectorized path applies inserts
+                        // before searches anyway, so in both modes the
+                        // GET below observes this round's value.
+                        batch.push(Query::set_with(mortal(t, i), val(t, i, round), SHORT_TTL, 0));
+                    }
+                    batch.push(Query::get(mortal(t, i)));
+                    batch.push(Query::get(immortal(t, i)));
+                    batch.push(Query::get(longk(t, i)));
+                }
+                let responses = core.process_batch(t, batch);
+                let now1 = clock.now_secs();
+                for (i, qs) in responses.chunks(per_key).enumerate() {
+                    let (min_dl, max_dl) = bounds[i];
+                    // In writing rounds the chunk is [SET, GETs...];
+                    // otherwise it is just the three GETs.
+                    let qs = if writing {
+                        if qs[0].status != ResponseStatus::Ok {
+                            return Err(format!("t{t} r{round}: mortal SET {i} failed"));
+                        }
+                        &qs[1..]
+                    } else {
+                        qs
+                    };
+                    if writing {
+                        match qs[0].status {
+                            ResponseStatus::Ok
+                                if qs[0].value != val(t, i, round).as_bytes() =>
+                            {
+                                return Err(format!(
+                                    "t{t} r{round}: mortal {i} stale value: got {:?}, want {:?}",
+                                    String::from_utf8_lossy(&qs[0].value),
+                                    val(t, i, round)
+                                ));
+                            }
+                            ResponseStatus::Ok => {}
+                            // The clock can advance past SHORT_TTL while
+                            // the batch is in flight (1-core CI stalls),
+                            // in which case expiring the just-written key
+                            // before the search stage is correct. Only a
+                            // miss inside the TTL window is a bug.
+                            _ if now1 - now0 < SHORT_TTL => {
+                                return Err(format!(
+                                    "t{t} r{round}: mortal {i} missed its own SET \
+                                     ({now0}..{now1}, ttl {SHORT_TTL})"
+                                ));
+                            }
+                            _ => {}
+                        }
+                        bounds[i] = (now0 + SHORT_TTL, now1 + SHORT_TTL);
+                        last_write = round;
+                    } else {
+                        match qs[0].status {
+                            ResponseStatus::Ok => {
+                                // A hit after every possible deadline
+                                // passed is a resurrection.
+                                if now0 >= max_dl {
+                                    return Err(format!(
+                                        "t{t} r{round}: mortal {i} hit at {now0}, \
+                                         deadline <= {max_dl}"
+                                    ));
+                                }
+                                if qs[0].value != val(t, i, last_write).as_bytes() {
+                                    return Err(format!("t{t} r{round}: mortal {i} stale value"));
+                                }
+                            }
+                            // A miss before any deadline could pass is
+                            // an early expiry (or a migration drop).
+                            _ if now1 < min_dl => {
+                                return Err(format!(
+                                    "t{t} r{round}: mortal {i} missed at {now1}, \
+                                     deadline >= {min_dl}"
+                                ));
+                            }
+                            _ => {}
+                        }
+                    }
+                    if qs[1].status != ResponseStatus::Ok {
+                        return Err(format!("t{t} r{round}: immortal {i} missed"));
+                    }
+                    if qs[2].status != ResponseStatus::Ok {
+                        return Err(format!("t{t} r{round}: long-ttl {i} expired early"));
+                    }
+                }
+            }
+            Ok(round)
+        }));
+    }
+
+    // Resize live, advancing the clock and running sweeps throughout —
+    // expiry churn lands mid-migration on purpose.
+    std::thread::sleep(Duration::from_millis(10));
+    core.resize_shards(4).expect("resize starts");
+    while core.is_migrating() {
+        clock.advance(1);
+        core.sweep_tick();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    core.wait_resize();
+    assert_eq!(core.shard_count(), 4);
+    for _ in 0..(SHORT_TTL * 3) {
+        clock.advance(1);
+        core.sweep_tick();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    stop.store(true, Ordering::Release);
+    for w in workers {
+        if let Err(e) = w.join().expect("worker panicked") {
+            panic!("TTL violation across live resize: {e}");
+        }
+    }
+
+    assert_eq!(core.engine().migrate_dropped(), 0);
+    assert_eq!(core.metrics().resizes, 1);
+
+    // Post-settle: mortals are dead once their last deadline passes,
+    // immortals and long-TTL keys live on — nothing resurrected, and
+    // no deadline was lost crossing the donor.
+    clock.advance(SHORT_TTL + 2);
+    core.sweep_tick();
+    for t in 0..THREADS {
+        for i in 0..KEYS {
+            let m = core.execute(&Query::get(mortal(t, i)));
+            assert_eq!(
+                m.status,
+                ResponseStatus::NotFound,
+                "{} outlived its TTL across the resize",
+                mortal(t, i)
+            );
+            assert_eq!(
+                core.execute(&Query::get(immortal(t, i))).status,
+                ResponseStatus::Ok,
+                "{} lost",
+                immortal(t, i)
+            );
+            assert_eq!(
+                core.execute(&Query::get(longk(t, i))).status,
+                ResponseStatus::Ok,
+                "{} expired early after the resize",
+                longk(t, i)
+            );
+        }
+    }
+
+    // And once the long deadline passes, that family dies too.
+    clock.advance(LONG_TTL);
+    core.sweep_tick();
+    for t in 0..THREADS {
+        for i in 0..KEYS {
+            assert_eq!(
+                core.execute(&Query::get(longk(t, i))).status,
+                ResponseStatus::NotFound,
+                "{} resurrected past its deadline",
+                longk(t, i)
+            );
+            assert_eq!(
+                core.execute(&Query::get(immortal(t, i))).status,
+                ResponseStatus::Ok,
+                "{} must never expire",
+                immortal(t, i)
+            );
+        }
+    }
+
+    // The run actually exercised both expiry paths' counters.
+    let fold = core.memory_fold();
+    assert!(
+        fold.expired_proactive + fold.expired_lazy > 0,
+        "no expirations recorded: {fold:?}"
+    );
 }
 
 #[test]

@@ -38,15 +38,26 @@ pub fn hash64(key: &[u8]) -> u64 {
     h
 }
 
+impl KeyHash {
+    /// Reconstruct the full hash material from a bare 64-bit hash (the
+    /// signature is a pure function of it). This is the expired-entry
+    /// purge hook: segment reclamation records only the 64-bit hash per
+    /// member, and rebuilds the exact `(signature, location)` pair to
+    /// delete from the index — no key bytes are re-read.
+    #[must_use]
+    pub fn from_hash(hash: u64) -> KeyHash {
+        let mut sig = (hash >> 48) as u16;
+        if sig == 0 {
+            sig = 1;
+        }
+        KeyHash { hash, sig }
+    }
+}
+
 /// Hash a key into its [`KeyHash`].
 #[must_use]
 pub fn key_hash(key: &[u8]) -> KeyHash {
-    let hash = hash64(key);
-    let mut sig = (hash >> 48) as u16;
-    if sig == 0 {
-        sig = 1;
-    }
-    KeyHash { hash, sig }
+    KeyHash::from_hash(hash64(key))
 }
 
 #[cfg(test)]
@@ -57,6 +68,14 @@ mod tests {
     fn deterministic() {
         assert_eq!(hash64(b"hello"), hash64(b"hello"));
         assert_eq!(key_hash(b"hello"), key_hash(b"hello"));
+    }
+
+    #[test]
+    fn from_hash_matches_key_hash() {
+        for i in 0..10_000u64 {
+            let key = i.to_le_bytes();
+            assert_eq!(key_hash(&key), KeyHash::from_hash(hash64(&key)));
+        }
     }
 
     #[test]

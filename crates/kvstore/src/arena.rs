@@ -126,6 +126,21 @@ impl Arena {
         self.bytes[clamped..].as_ptr().cast::<u8>()
     }
 
+    /// Atomically OR `mask` into the byte at `offset`, returning the
+    /// previous value. Used for flag bits (e.g. the CLOCK referenced
+    /// bit) that must not resurrect concurrently-cleared state.
+    pub fn fetch_or_u8(&self, offset: usize, mask: u8) -> u8 {
+        self.bytes[offset].fetch_or(mask, Ordering::Relaxed)
+    }
+
+    /// Atomically AND `mask` into the byte at `offset`, returning the
+    /// previous value. Clearing the live bit this way is the slot-
+    /// ownership handoff: exactly one of a racing free/evict/expire
+    /// observes the bit set and wins the slot.
+    pub fn fetch_and_u8(&self, offset: usize, mask: u8) -> u8 {
+        self.bytes[offset].fetch_and(mask, Ordering::Relaxed)
+    }
+
     /// Atomically increment the `u32` at `offset` by 1 (best-effort,
     /// relaxed; used for frequency counters).
     pub fn fetch_add_u32(&self, offset: usize, add: u32) -> u32 {
@@ -175,6 +190,15 @@ mod tests {
     fn bytes_equal_rejects_out_of_range() {
         let a = Arena::new(8);
         assert!(!a.bytes_equal(6, b"abc"));
+    }
+
+    #[test]
+    fn fetch_or_and_round_trip() {
+        let a = Arena::new(8);
+        assert_eq!(a.fetch_or_u8(0, 0b10), 0);
+        assert_eq!(a.read_u8(0), 0b10);
+        assert_eq!(a.fetch_and_u8(0, !0b10), 0b10);
+        assert_eq!(a.read_u8(0), 0);
     }
 
     #[test]

@@ -26,4 +26,7 @@ mod arena;
 mod store;
 
 pub use arena::Arena;
-pub use store::{AllocOutcome, EvictedObject, ObjectStore, StoreError, HEADER_SIZE};
+pub use store::{
+    AllocOutcome, ClassStats, EvictedObject, ExpiryStats, ObjectStore, ProbeOutcome, PurgedEntry,
+    StoreError, HEADER_SIZE,
+};

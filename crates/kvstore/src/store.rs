@@ -1,4 +1,5 @@
-//! Slab-allocated key-value object store with CLOCK eviction.
+//! Slab-allocated key-value object store with CLOCK eviction and
+//! TTL-bucketed segment reclamation.
 //!
 //! Mirrors the memcached/Mega-KV storage design the paper assumes:
 //! objects live in one shared arena, carved into power-of-two size
@@ -7,18 +8,36 @@
 //! index operation (paper §II-C-2) — and each object carries a frequency
 //! counter plus a sampling timestamp for the runtime skewness estimate
 //! (paper §IV-B).
+//!
+//! TTL handling follows the Segcache-lineage design: every allocation
+//! with a deadline joins a *segment* — a batch of same-class objects
+//! whose deadlines fall in the same bucket window — so the sweeper
+//! reclaims whole expired segments in O(segment members) instead of
+//! scanning the arena per object. Expiry decisions are clock-free at
+//! this layer: every API that needs the time takes an explicit `now`
+//! (unix seconds), so tests drive a mock clock and never sleep.
+//!
+//! Allocation falls back across classes in a fixed order: same-class
+//! free slot → fresh carve → same-class CLOCK eviction → reclaim an
+//! expired segment of *any* class → borrow a larger class's slot (free
+//! first, then CLOCK) → out of memory. Borrowed slots keep the slot's
+//! real class in the header so they return to the right free list, and
+//! the rounding waste shows up in the per-class fragmentation gauge.
 
 use crate::arena::Arena;
+use dido_model::deadline_expired;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Object header layout (little endian):
 /// `key_len:u16 | val_len:u32 | freq:u32 | epoch:u32 | class:u8 | flags:u8
-///  | ttl:u32 | client_flags:u32`.
+///  | deadline:u32 | client_flags:u32`.
 ///
-/// `ttl` (seconds, 0 = no expiry) and `client_flags` (opaque memcached
-/// `flags`) are protocol metadata stored with the object: inert for
-/// eviction today, echoed back by codecs that carry them.
+/// `deadline` is the absolute unix-seconds expiry (0 = never expires),
+/// already converted from the protocol-relative TTL by the engine;
+/// `client_flags` is the opaque memcached `flags` word, echoed back by
+/// codecs that carry it.
 pub const HEADER_SIZE: usize = 24;
 
 const OFF_KEY_LEN: usize = 0;
@@ -27,7 +46,7 @@ const OFF_FREQ: usize = 6;
 const OFF_EPOCH: usize = 10;
 const OFF_CLASS: usize = 14;
 const OFF_FLAGS: usize = 15;
-const OFF_TTL: usize = 16;
+const OFF_DEADLINE: usize = 16;
 const OFF_CLIENT_FLAGS: usize = 20;
 
 const FLAG_LIVE: u8 = 1;
@@ -36,13 +55,37 @@ const FLAG_REFERENCED: u8 = 2;
 /// Smallest size class in bytes.
 const MIN_CLASS_BYTES: usize = 32;
 
+/// Objects per segment before it seals and becomes sweepable as a unit.
+const SEGMENT_SLOTS: usize = 512;
+
+/// TTL-bucket width in seconds: allocations whose deadlines land in the
+/// same window share a segment, so a sealed segment expires as a whole
+/// within one bucket width of its earliest member.
+const BUCKET_SECS: u32 = 8;
+
+/// Open (unsealed) segments kept per class; when a new bucket would
+/// exceed this, the segment closest to expiring is sealed early.
+const MAX_OPEN_SEGMENTS: usize = 4;
+
+/// What the `KC` task found at a candidate location (see
+/// [`ObjectStore::probe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Dead slot, stale location, or a different key.
+    Miss,
+    /// The queried key, live and unexpired.
+    Hit,
+    /// The queried key, but past its deadline.
+    Expired,
+}
+
 /// Errors from the object store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StoreError {
     /// The object exceeds the largest size class.
     ObjectTooLarge,
     /// No free slot, no arena room left to carve, and nothing evictable
-    /// in the object's size class.
+    /// in the object's size class or reclaimable/borrowable elsewhere.
     OutOfMemory,
 }
 
@@ -57,6 +100,18 @@ pub struct EvictedObject {
     pub key: Vec<u8>,
 }
 
+/// An expired object bulk-purged during segment reclamation. Its slot is
+/// already back on the free list; the caller must drop the matching
+/// index entry, identified by the key-hash cookie recorded at
+/// allocation time (no key bytes are re-read on the reclaim path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PurgedEntry {
+    /// The freed location.
+    pub loc: u64,
+    /// The 64-bit key hash supplied to [`ObjectStore::allocate_with`].
+    pub cookie: u64,
+}
+
 /// Result of a successful allocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllocOutcome {
@@ -64,6 +119,48 @@ pub struct AllocOutcome {
     pub loc: u64,
     /// Object evicted to make room, if any.
     pub evicted: Option<EvictedObject>,
+    /// Expired objects purged wholesale from reclaimed segments while
+    /// satisfying this allocation; empty on the common path.
+    pub reclaimed: Vec<PurgedEntry>,
+}
+
+/// Point-in-time occupancy of one slab size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassStats {
+    /// Slot size of this class in bytes.
+    pub class_bytes: usize,
+    /// Live objects stored in slots of this class.
+    pub live_objects: usize,
+    /// Carved-but-unoccupied slots on the free list.
+    pub free_slots: usize,
+    /// Bytes of live object data (headers included) in this class.
+    pub live_bytes: usize,
+    /// Slot-rounding plus cross-class-borrow waste: Σ (slot bytes −
+    /// object bytes) over live objects in this class's slots.
+    pub frag_bytes: usize,
+    /// Open (unsealed) TTL segments currently accepting members.
+    pub open_segments: usize,
+}
+
+/// Cumulative expiry-reclamation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExpiryStats {
+    /// Objects freed by whole-segment reclamation (sweeper or
+    /// allocation-pressure fallback).
+    pub expired_proactive: u64,
+    /// Segments reclaimed as a unit.
+    pub segments_reclaimed: u64,
+    /// Sealed segments currently awaiting expiry (gauge).
+    pub sealed_segments: u64,
+}
+
+/// A batch of same-class allocations whose deadlines share a bucket
+/// window. Members may be stale (freed, evicted, or recycled since
+/// joining); reclamation revalidates each slot before freeing it.
+struct Segment {
+    bucket: u32,
+    max_deadline: u32,
+    members: Vec<(u64, u64)>, // (loc, key-hash cookie)
 }
 
 #[derive(Default)]
@@ -74,6 +171,9 @@ struct ClassLists {
     /// least one entry.
     ring: VecDeque<u64>,
     live: usize,
+    live_bytes: usize,
+    frag_bytes: usize,
+    open: Vec<Segment>,
 }
 
 /// The key-value object store.
@@ -82,6 +182,16 @@ pub struct ObjectStore {
     bump: Mutex<usize>,
     classes: Vec<Mutex<ClassLists>>,
     class_count: usize,
+    /// Full segments waiting for their bucket window to pass.
+    sealed: Mutex<Vec<Segment>>,
+    expired_proactive: AtomicU64,
+    segments_reclaimed: AtomicU64,
+    /// Bumped (before the new bytes are written) every time an
+    /// allocation reuses a previously-occupied slot. Readers snapshot it
+    /// before validating a location and recheck after copying: an
+    /// unchanged generation proves no recycle overlapped the read, so
+    /// the per-query key recompare can be skipped (seqlock-style).
+    recycle_gen: AtomicU64,
 }
 
 impl ObjectStore {
@@ -99,7 +209,31 @@ impl ObjectStore {
             bump: Mutex::new(0),
             classes: (0..class_count).map(|_| Mutex::new(ClassLists::default())).collect(),
             class_count,
+            sealed: Mutex::new(Vec::new()),
+            expired_proactive: AtomicU64::new(0),
+            segments_reclaimed: AtomicU64::new(0),
+            recycle_gen: AtomicU64::new(0),
         }
+    }
+
+    /// Current slot-recycle generation. Sample (Acquire) before
+    /// resolving a location; if [`ObjectStore::recycle_gen_validate`]
+    /// returns the same value after the value bytes were copied, no slot
+    /// anywhere was recycled in between and the copy is untorn.
+    #[must_use]
+    #[inline]
+    pub fn recycle_gen(&self) -> u64 {
+        self.recycle_gen.load(Ordering::Acquire)
+    }
+
+    /// Recycle generation for the read-validation side: the fence keeps
+    /// the caller's preceding value-byte reads from drifting past the
+    /// load (the seqlock reader protocol).
+    #[must_use]
+    #[inline]
+    pub fn recycle_gen_validate(&self) -> u64 {
+        std::sync::atomic::fence(Ordering::Acquire);
+        self.recycle_gen.load(Ordering::Relaxed)
     }
 
     /// Arena capacity in bytes.
@@ -131,6 +265,10 @@ impl ObjectStore {
         None
     }
 
+    fn class_size(idx: usize) -> usize {
+        MIN_CLASS_BYTES << idx
+    }
+
     /// Size-class byte size an object of `key_len`/`val_len` lands in
     /// (for capacity planning and the cost model's cached-object count).
     #[must_use]
@@ -138,55 +276,99 @@ impl ObjectStore {
         self.class_of(HEADER_SIZE + key_len + val_len).map(|(_, s)| s)
     }
 
-    /// Store `key`/`value`, evicting a same-class object if necessary.
+    /// Store `key`/`value` with no expiry or metadata, evicting if
+    /// necessary.
     pub fn allocate(&self, key: &[u8], value: &[u8]) -> Result<AllocOutcome, StoreError> {
-        self.allocate_with(key, value, 0, 0)
+        self.allocate_with(key, value, 0, 0, 0, 0)
     }
 
-    /// Store `key`/`value` with protocol metadata (TTL seconds and
-    /// opaque client flags; 0 = unset), evicting a same-class object if
-    /// necessary.
+    /// Store `key`/`value` with protocol metadata, evicting or
+    /// reclaiming if necessary.
+    ///
+    /// `deadline` is the absolute unix-seconds expiry (0 = never; the
+    /// engine converts relative TTLs via `dido_model::ttl_to_deadline`),
+    /// `client_flags` the opaque memcached flags word, `now` the current
+    /// unix time used for expiry-aware eviction and segment reclaim, and
+    /// `cookie` the 64-bit key hash recorded with the segment membership
+    /// so reclamation can name the index entry to purge without
+    /// re-reading key bytes (ignored when `deadline` is 0).
     pub fn allocate_with(
         &self,
         key: &[u8],
         value: &[u8],
-        ttl: u32,
+        deadline: u32,
         client_flags: u32,
+        now: u32,
+        cookie: u64,
     ) -> Result<AllocOutcome, StoreError> {
         let total = HEADER_SIZE + key.len() + value.len();
         let (class_idx, class_size) = self.class_of(total).ok_or(StoreError::ObjectTooLarge)?;
 
         let mut evicted = None;
-        let loc = {
+        let mut reclaimed = Vec::new();
+        // A never-before-used slot can't be mid-read by anyone; only
+        // reuse of an old slot has to bump the recycle generation.
+        let mut fresh_carve = false;
+
+        // Same-class free slot → fresh carve → same-class CLOCK.
+        let mut slot = {
             let mut lists = self.classes[class_idx].lock();
             if let Some(loc) = lists.free.pop() {
-                Some(loc)
+                Some((loc, class_idx, class_size))
             } else {
                 drop(lists);
                 if let Some(loc) = self.carve(class_size) {
-                    Some(loc)
+                    fresh_carve = true;
+                    Some((loc, class_idx, class_size))
                 } else {
                     let mut lists = self.classes[class_idx].lock();
-                    match self.evict_one(&mut lists) {
+                    match self.evict_one(&mut lists, class_size, now) {
                         Some((loc, key)) => {
                             evicted = Some(EvictedObject { loc, key });
-                            Some(loc)
+                            Some((loc, class_idx, class_size))
                         }
                         None => None,
                     }
                 }
             }
         };
-        let loc = loc.ok_or(StoreError::OutOfMemory)?;
 
-        self.write_object(loc, key, value, class_idx as u8, ttl, client_flags);
-        let mut lists = self.classes[class_idx].lock();
+        // Reclaim expired segments of any class, then retry this class's
+        // free list (reclaim may have refilled it).
+        if slot.is_none() {
+            self.reclaim_expired(now, usize::MAX, &mut reclaimed);
+            if !reclaimed.is_empty() {
+                let mut lists = self.classes[class_idx].lock();
+                slot = lists.free.pop().map(|loc| (loc, class_idx, class_size));
+            }
+        }
+
+        // Borrow a slot from a larger class: its free list first, then
+        // CLOCK eviction. The slot keeps its real class so it returns to
+        // the right free list; the size gap is fragmentation.
+        if slot.is_none() {
+            slot = self.borrow_larger(class_idx, now, &mut evicted);
+        }
+
+        let (loc, slot_class, slot_size) = slot.ok_or(StoreError::OutOfMemory)?;
+        if !fresh_carve {
+            // AcqRel: the new object's byte writes below cannot be
+            // reordered before the bump, so a reader that saw the old
+            // generation after its copy cannot have read the new bytes.
+            self.recycle_gen.fetch_add(1, Ordering::AcqRel);
+        }
+        self.write_object(loc, key, value, slot_class as u8, deadline, client_flags);
+
+        let mut lists = self.classes[slot_class].lock();
+        // Publish the object (and its ring entry and accounting) under
+        // the class lock: a concurrent sweep of a stale segment member
+        // pointing at this slot either sees the dead flags and skips, or
+        // claims a fully-accounted object — never a half-counted one.
+        self.arena.write_u8(loc as usize + OFF_FLAGS, FLAG_LIVE);
         lists.ring.push_back(loc);
         lists.live += 1;
-        if evicted.is_some() {
-            // The evicted object was live until now.
-            lists.live -= 1;
-        }
+        lists.live_bytes += total;
+        lists.frag_bytes += slot_size - total;
         // Bound ring growth from free/reuse churn.
         if lists.ring.len() > 4 * lists.live.max(16) {
             let arena = &self.arena;
@@ -194,7 +376,16 @@ impl ObjectStore {
                 .ring
                 .retain(|&l| arena.read_u8(l as usize + OFF_FLAGS) & FLAG_LIVE != 0);
         }
-        Ok(AllocOutcome { loc, evicted })
+        if deadline != 0 {
+            self.join_segment(&mut lists, loc, cookie, deadline);
+        }
+        drop(lists);
+
+        Ok(AllocOutcome {
+            loc,
+            evicted,
+            reclaimed,
+        })
     }
 
     fn carve(&self, class_size: usize) -> Option<u64> {
@@ -208,9 +399,41 @@ impl ObjectStore {
         }
     }
 
+    fn borrow_larger(
+        &self,
+        class_idx: usize,
+        now: u32,
+        evicted: &mut Option<EvictedObject>,
+    ) -> Option<(u64, usize, usize)> {
+        // Free slots anywhere above cost nothing; only then evict live
+        // data from a larger class. Smallest sufficient class first, to
+        // minimize the rounding waste.
+        for c in class_idx + 1..self.class_count {
+            let mut lists = self.classes[c].lock();
+            if let Some(loc) = lists.free.pop() {
+                return Some((loc, c, Self::class_size(c)));
+            }
+        }
+        for c in class_idx + 1..self.class_count {
+            let mut lists = self.classes[c].lock();
+            if let Some((loc, key)) = self.evict_one(&mut lists, Self::class_size(c), now) {
+                *evicted = Some(EvictedObject { loc, key });
+                return Some((loc, c, Self::class_size(c)));
+            }
+        }
+        None
+    }
+
     /// CLOCK sweep: skip dead entries, give referenced objects a second
-    /// chance, evict the first unreferenced live object.
-    fn evict_one(&self, lists: &mut ClassLists) -> Option<(u64, Vec<u8>)> {
+    /// chance (unless they are expired, which forfeits it), evict the
+    /// first eligible live object. Decrements the class's live
+    /// accounting for the victim.
+    fn evict_one(
+        &self,
+        lists: &mut ClassLists,
+        class_size: usize,
+        now: u32,
+    ) -> Option<(u64, Vec<u8>)> {
         let budget = lists.ring.len() * 2;
         for _ in 0..budget {
             let loc = lists.ring.pop_front()?;
@@ -219,43 +442,239 @@ impl ObjectStore {
             if flags & FLAG_LIVE == 0 {
                 continue; // dead entry: drop it
             }
-            if flags & FLAG_REFERENCED != 0 {
-                self.arena.write_u8(off + OFF_FLAGS, flags & !FLAG_REFERENCED);
+            let expired = deadline_expired(self.arena.read_u32(off + OFF_DEADLINE), now);
+            if flags & FLAG_REFERENCED != 0 && !expired {
+                self.arena.fetch_and_u8(off + OFF_FLAGS, !FLAG_REFERENCED);
                 lists.ring.push_back(loc);
                 continue;
             }
+            // Claim the slot atomically so a racing free() cannot also
+            // hand it out.
+            let prev = self
+                .arena
+                .fetch_and_u8(off + OFF_FLAGS, !(FLAG_LIVE | FLAG_REFERENCED));
+            if prev & FLAG_LIVE == 0 {
+                continue;
+            }
             let key_len = self.arena.read_u16(off + OFF_KEY_LEN) as usize;
+            let val_len = self.arena.read_u32(off + OFF_VAL_LEN) as usize;
             let key = self.arena.read_vec(off + HEADER_SIZE, key_len);
-            self.arena.write_u8(off + OFF_FLAGS, 0);
+            let total = HEADER_SIZE + key_len + val_len;
+            lists.live = lists.live.saturating_sub(1);
+            lists.live_bytes = lists.live_bytes.saturating_sub(total);
+            lists.frag_bytes = lists.frag_bytes.saturating_sub(class_size - total.min(class_size));
             return Some((loc, key));
         }
         None
     }
 
-    fn write_object(&self, loc: u64, key: &[u8], value: &[u8], class: u8, ttl: u32, cflags: u32) {
+    fn join_segment(&self, lists: &mut ClassLists, loc: u64, cookie: u64, deadline: u32) {
+        let bucket = deadline / BUCKET_SECS;
+        if let Some(pos) = lists.open.iter().position(|s| s.bucket == bucket) {
+            let seg = &mut lists.open[pos];
+            seg.members.push((loc, cookie));
+            seg.max_deadline = seg.max_deadline.max(deadline);
+            if seg.members.len() >= SEGMENT_SLOTS {
+                let seg = lists.open.swap_remove(pos);
+                self.sealed.lock().push(seg);
+            }
+            return;
+        }
+        if lists.open.len() >= MAX_OPEN_SEGMENTS {
+            // Seal the segment closest to expiring so the sweeper can
+            // take it without waiting for it to fill.
+            let pos = lists
+                .open
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.max_deadline)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let seg = lists.open.swap_remove(pos);
+            self.sealed.lock().push(seg);
+        }
+        lists.open.push(Segment {
+            bucket,
+            max_deadline: deadline,
+            members: vec![(loc, cookie)],
+        });
+    }
+
+    /// Reclaim up to `max_segments` whole segments whose bucket window
+    /// has fully passed, freeing every still-expired member slot and
+    /// appending a [`PurgedEntry`] per freed object (the caller drops
+    /// the matching index entries). Returns the number of segments
+    /// reclaimed. This is the proactive expiry path: the background
+    /// sweeper calls it on a timer, allocation pressure calls it as the
+    /// any-class fallback.
+    pub fn sweep_expired(&self, now: u32, max_segments: usize, out: &mut Vec<PurgedEntry>) -> usize {
+        self.reclaim_expired(now, max_segments, out)
+    }
+
+    fn reclaim_expired(
+        &self,
+        now: u32,
+        max_segments: usize,
+        out: &mut Vec<PurgedEntry>,
+    ) -> usize {
+        let mut segs: Vec<Segment> = Vec::new();
+        {
+            let mut sealed = self.sealed.lock();
+            let mut i = 0;
+            while i < sealed.len() && segs.len() < max_segments {
+                if deadline_expired(sealed[i].max_deadline, now) {
+                    segs.push(sealed.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if segs.len() < max_segments {
+            for lists in &self.classes {
+                let mut lists = lists.lock();
+                let mut i = 0;
+                while i < lists.open.len() && segs.len() < max_segments {
+                    if deadline_expired(lists.open[i].max_deadline, now) {
+                        segs.push(lists.open.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let mut purged = 0u64;
+        for seg in &segs {
+            for &(loc, cookie) in &seg.members {
+                if self.expire_if_due(loc, now) {
+                    out.push(PurgedEntry { loc, cookie });
+                    purged += 1;
+                }
+            }
+        }
+        self.expired_proactive.fetch_add(purged, Ordering::Relaxed);
+        self.segments_reclaimed
+            .fetch_add(segs.len() as u64, Ordering::Relaxed);
+        segs.len()
+    }
+
+    /// Free the object at `loc` if (and only if) it is live and past its
+    /// deadline at `now`. Safe against slot recycling: the claim is
+    /// atomic and revalidated, so a fresh unexpired occupant is left
+    /// alone. Used by segment reclaim and the lazy-expiry purge.
+    pub fn expire_if_due(&self, loc: u64, now: u32) -> bool {
+        let off = loc as usize;
+        if off + HEADER_SIZE > self.arena.capacity() {
+            return false;
+        }
+        let flags = self.arena.read_u8(off + OFF_FLAGS);
+        if flags & FLAG_LIVE == 0 {
+            return false;
+        }
+        if !deadline_expired(self.arena.read_u32(off + OFF_DEADLINE), now) {
+            return false;
+        }
+        let prev = self
+            .arena
+            .fetch_and_u8(off + OFF_FLAGS, !(FLAG_LIVE | FLAG_REFERENCED));
+        if prev & FLAG_LIVE == 0 {
+            return false;
+        }
+        if !deadline_expired(self.arena.read_u32(off + OFF_DEADLINE), now) {
+            // The slot was recycled between the check and the claim;
+            // restore the fresh occupant's flags.
+            self.arena
+                .fetch_or_u8(off + OFF_FLAGS, prev & (FLAG_LIVE | FLAG_REFERENCED));
+            return false;
+        }
+        self.release_slot(loc);
+        true
+    }
+
+    /// Cumulative proactive-expiry counters plus the sealed-segment
+    /// backlog gauge.
+    #[must_use]
+    pub fn expiry_stats(&self) -> ExpiryStats {
+        ExpiryStats {
+            expired_proactive: self.expired_proactive.load(Ordering::Relaxed),
+            segments_reclaimed: self.segments_reclaimed.load(Ordering::Relaxed),
+            sealed_segments: self.sealed.lock().len() as u64,
+        }
+    }
+
+    /// Occupancy snapshot per size class (smallest first, every class
+    /// the store can represent — callers typically filter for classes
+    /// with any live or free slots).
+    #[must_use]
+    pub fn class_stats(&self) -> Vec<ClassStats> {
+        (0..self.class_count)
+            .map(|idx| {
+                let lists = self.classes[idx].lock();
+                ClassStats {
+                    class_bytes: Self::class_size(idx),
+                    live_objects: lists.live,
+                    free_slots: lists.free.len(),
+                    live_bytes: lists.live_bytes,
+                    frag_bytes: lists.frag_bytes,
+                    open_segments: lists.open.len(),
+                }
+            })
+            .collect()
+    }
+
+    fn write_object(&self, loc: u64, key: &[u8], value: &[u8], class: u8, deadline: u32, cflags: u32) {
         let off = loc as usize;
         self.arena.write_u16(off + OFF_KEY_LEN, key.len() as u16);
         self.arena.write_u32(off + OFF_VAL_LEN, value.len() as u32);
         self.arena.write_u32(off + OFF_FREQ, 0);
         self.arena.write_u32(off + OFF_EPOCH, 0);
         self.arena.write_u8(off + OFF_CLASS, class);
-        self.arena.write_u8(off + OFF_FLAGS, FLAG_LIVE);
-        self.arena.write_u32(off + OFF_TTL, ttl);
+        // Written dead; the caller flips FLAG_LIVE under the class lock
+        // once the ring entry and accounting are in place.
+        self.arena.write_u8(off + OFF_FLAGS, 0);
+        self.arena.write_u32(off + OFF_DEADLINE, deadline);
         self.arena.write_u32(off + OFF_CLIENT_FLAGS, cflags);
         self.arena.write(off + HEADER_SIZE, key);
         self.arena.write(off + HEADER_SIZE + key.len(), value);
     }
 
-    /// Protocol metadata stored with the object at `loc`: `(ttl seconds,
-    /// opaque client flags)`, both 0 when the writing protocol carried
-    /// none.
+    /// Protocol metadata stored with the object at `loc`: `(absolute
+    /// expiry deadline in unix seconds, opaque client flags)`, both 0
+    /// when the writing protocol carried none.
     #[must_use]
     pub fn object_meta(&self, loc: u64) -> (u32, u32) {
         let off = loc as usize;
         (
-            self.arena.read_u32(off + OFF_TTL),
+            self.arena.read_u32(off + OFF_DEADLINE),
             self.arena.read_u32(off + OFF_CLIENT_FLAGS),
         )
+    }
+
+    /// Whether the slot at `loc` currently holds a live object (of any
+    /// key). Gates deferred index purges: a freed slot can be recycled
+    /// — possibly to the same key at the same location via the LIFO
+    /// free lists — before its stale index entry is dropped, making
+    /// that entry fresh again.
+    #[must_use]
+    #[inline]
+    pub fn slot_live(&self, loc: u64) -> bool {
+        let off = loc as usize;
+        off + HEADER_SIZE <= self.arena.capacity()
+            && self.arena.read_u8(off + OFF_FLAGS) & FLAG_LIVE != 0
+    }
+
+    /// Whether the object at `loc` is live but past its deadline at
+    /// `now`. Dead or never-expiring objects return false.
+    #[must_use]
+    #[inline]
+    pub fn is_expired(&self, loc: u64, now: u32) -> bool {
+        let off = loc as usize;
+        if off + HEADER_SIZE > self.arena.capacity() {
+            return false;
+        }
+        if self.arena.read_u8(off + OFF_FLAGS) & FLAG_LIVE == 0 {
+            return false;
+        }
+        deadline_expired(self.arena.read_u32(off + OFF_DEADLINE), now)
     }
 
     /// Free the object at `loc` (DELETE query). Returns false if it was
@@ -265,16 +684,31 @@ impl ObjectStore {
         if off + HEADER_SIZE > self.arena.capacity() {
             return false;
         }
-        let flags = self.arena.read_u8(off + OFF_FLAGS);
-        if flags & FLAG_LIVE == 0 {
+        let prev = self
+            .arena
+            .fetch_and_u8(off + OFF_FLAGS, !(FLAG_LIVE | FLAG_REFERENCED));
+        if prev & FLAG_LIVE == 0 {
             return false;
         }
-        self.arena.write_u8(off + OFF_FLAGS, 0);
+        self.release_slot(loc);
+        true
+    }
+
+    /// Return a just-claimed (flags already cleared) slot to its class
+    /// free list and settle the accounting.
+    fn release_slot(&self, loc: u64) {
+        let off = loc as usize;
         let class = self.arena.read_u8(off + OFF_CLASS) as usize;
+        let class = class.min(self.class_count - 1);
+        let key_len = self.arena.read_u16(off + OFF_KEY_LEN) as usize;
+        let val_len = self.arena.read_u32(off + OFF_VAL_LEN) as usize;
+        let total = HEADER_SIZE + key_len + val_len;
+        let class_size = Self::class_size(class);
         let mut lists = self.classes[class].lock();
         lists.free.push(loc);
         lists.live = lists.live.saturating_sub(1);
-        true
+        lists.live_bytes = lists.live_bytes.saturating_sub(total);
+        lists.frag_bytes = lists.frag_bytes.saturating_sub(class_size - total.min(class_size));
     }
 
     /// Whether the live object at `loc` has exactly this key (the `KC`
@@ -292,6 +726,27 @@ impl ObjectStore {
             return false;
         }
         self.arena.bytes_equal(off + HEADER_SIZE, key)
+    }
+
+    /// Key compare and expiry check in one header visit (the `KC` hot
+    /// path): `Miss` for dead/stale/other-key slots, otherwise `Hit` or
+    /// `Expired` by the recorded deadline.
+    #[must_use]
+    #[inline]
+    pub fn probe(&self, loc: u64, key: &[u8], now: u32) -> ProbeOutcome {
+        let off = loc as usize;
+        if off + HEADER_SIZE > self.arena.capacity()
+            || self.arena.read_u8(off + OFF_FLAGS) & FLAG_LIVE == 0
+            || self.arena.read_u16(off + OFF_KEY_LEN) as usize != key.len()
+            || !self.arena.bytes_equal(off + HEADER_SIZE, key)
+        {
+            return ProbeOutcome::Miss;
+        }
+        if deadline_expired(self.arena.read_u32(off + OFF_DEADLINE), now) {
+            ProbeOutcome::Expired
+        } else {
+            ProbeOutcome::Hit
+        }
     }
 
     /// Raw address of the object header at `loc`, for issuing a
@@ -340,12 +795,21 @@ impl ObjectStore {
 
     /// Record an access for the skewness sampler (paper §IV-B): the
     /// frequency counter resets to 1 when the object's sampling epoch is
-    /// stale, otherwise increments. Also sets the CLOCK referenced bit.
+    /// stale, otherwise increments. Also sets the CLOCK referenced bit
+    /// (a no-op in effect on dead slots: the live bit is never set
+    /// here, so a racing free cannot be undone).
     /// Returns the post-update frequency.
     pub fn touch(&self, loc: u64, epoch: u32) -> u32 {
         let off = loc as usize;
-        let flags = self.arena.read_u8(off + OFF_FLAGS);
-        self.arena.write_u8(off + OFF_FLAGS, flags | FLAG_REFERENCED);
+        // Test-and-test-and-set: hot objects keep the bit set between
+        // CLOCK scans, so the steady state skips the locked RMW (a
+        // plain |= of the whole byte is not an option — it could
+        // resurrect a concurrently cleared live bit). A touch racing a
+        // CLOCK clear may skip the set it would have made; CLOCK is
+        // approximate by design, so losing one reference mark is fine.
+        if self.arena.read_u8(off + OFF_FLAGS) & FLAG_REFERENCED == 0 {
+            self.arena.fetch_or_u8(off + OFF_FLAGS, FLAG_REFERENCED);
+        }
         if self.arena.read_u32(off + OFF_EPOCH) != epoch {
             self.arena.write_u32(off + OFF_EPOCH, epoch);
             self.arena.write_u32(off + OFF_FREQ, 1);
@@ -375,8 +839,7 @@ impl ObjectStore {
         self.arena.write_u32(off + OFF_FREQ, freq);
         self.arena.write_u32(off + OFF_EPOCH, epoch);
         if freq > 0 {
-            let flags = self.arena.read_u8(off + OFF_FLAGS);
-            self.arena.write_u8(off + OFF_FLAGS, flags | FLAG_REFERENCED);
+            self.arena.fetch_or_u8(off + OFF_FLAGS, FLAG_REFERENCED);
         }
     }
 }
@@ -414,7 +877,7 @@ mod tests {
         let s = ObjectStore::new(4096);
         let plain = s.allocate(b"plain", b"v").unwrap();
         assert_eq!(s.object_meta(plain.loc), (0, 0));
-        let meta = s.allocate_with(b"meta", b"v", 300, 0xDEAD_BEEF).unwrap();
+        let meta = s.allocate_with(b"meta", b"v", 300, 0xDEAD_BEEF, 100, 7).unwrap();
         assert_eq!(s.object_meta(meta.loc), (300, 0xDEAD_BEEF));
         assert!(s.key_matches(meta.loc, b"meta"));
         let mut v = Vec::new();
@@ -479,16 +942,204 @@ mod tests {
     }
 
     #[test]
-    fn out_of_memory_when_nothing_evictable() {
+    fn out_of_memory_when_nothing_fits() {
         // Fill the arena with 32-byte-class objects, then ask for a
-        // 64-byte-class object: eviction cannot cross classes, so the
-        // allocation must fail even though memory exists.
+        // 64-byte-class object: nothing same-class is evictable, no
+        // segment is expired, and no *larger* class has slots to
+        // borrow (32-byte slots cannot host a 64-byte-class object),
+        // so the allocation must fail even though memory exists.
         let s = ObjectStore::new(96);
         for i in 0..3 {
             s.allocate(format!("k{i}").as_bytes(), b"v").unwrap();
         }
         let value = vec![1u8; 40];
         assert_eq!(s.allocate(b"big", &value), Err(StoreError::OutOfMemory));
+    }
+
+    #[test]
+    fn small_objects_borrow_larger_class_slots_when_trapped() {
+        // The PR-9 trap, inverted: the arena is fully carved into
+        // 64-byte-class objects, and a 32-byte-class allocation arrives.
+        // Same-class CLOCK has nothing (class 32 owns no slots), nothing
+        // is expired, so the allocator borrows a 64-byte slot by
+        // evicting its occupant.
+        let s = ObjectStore::new(256);
+        for i in 0..4 {
+            let value = vec![b'v'; 20]; // 24 + 2 + 20 = 46 → class 64
+            s.allocate(format!("b{i}").as_bytes(), &value).unwrap();
+        }
+        assert_eq!(s.bytes_carved(), 256);
+        let out = s.allocate(b"tiny", b"v").unwrap();
+        let ev = out.evicted.expect("borrow must evict from the larger class");
+        assert_eq!(ev.key, b"b0");
+        assert_eq!(ev.loc, out.loc);
+        assert!(s.key_matches(out.loc, b"tiny"));
+        // The borrowed slot keeps its real class: freeing it returns it
+        // to the 64-byte free list, where a 64-byte-class allocation can
+        // pick it up again.
+        assert!(s.free(out.loc));
+        let big = vec![b'v'; 20];
+        let back = s.allocate(b"b9", &big).unwrap();
+        assert_eq!(back.loc, out.loc);
+        assert!(back.evicted.is_none());
+        // Fragmentation accounting saw the borrow while it was live.
+        let stats = s.class_stats();
+        assert_eq!(stats[0].live_objects, 0, "class 32 never owned the object");
+        assert_eq!(stats[1].live_objects, 4);
+    }
+
+    #[test]
+    fn fallback_order_same_class_clock_then_expired_segment_then_error() {
+        // Regression pin for the allocation fallback order:
+        // same-class CLOCK → any-class expired segment → error.
+
+        // Step 1: same-class CLOCK wins even though an expired segment
+        // exists in another class.
+        let s = ObjectStore::new(192);
+        let big = vec![b'v'; 20]; // 24 + 2 + 20 = 46 → class 64
+        s.allocate(b"a0", b"v").unwrap();
+        s.allocate(b"a1", b"v").unwrap();
+        s.allocate_with(b"e0", &big, 50, 0, 10, 11).unwrap();
+        s.allocate(b"a2", b"v").unwrap();
+        s.allocate(b"a3", b"v").unwrap();
+        assert_eq!(s.bytes_carved(), 192);
+        let out = s.allocate_with(b"a4", b"v", 0, 0, 100, 0).unwrap();
+        assert_eq!(
+            out.evicted.expect("same-class CLOCK evicts first").key,
+            b"a0"
+        );
+        assert!(out.reclaimed.is_empty(), "expired segment left untouched");
+
+        // Step 2: a class with no slots of its own skips straight past
+        // same-class CLOCK to the any-class expired segment, and borrows
+        // a reclaimed slot without evicting live data.
+        let s = ObjectStore::new(256);
+        s.allocate_with(b"e0", &big, 50, 0, 10, 11).unwrap();
+        s.allocate_with(b"e1", &big, 50, 0, 10, 22).unwrap();
+        let live0 = s.allocate(b"live0", &big).unwrap();
+        let live1 = s.allocate(b"live1", &big).unwrap();
+        assert_eq!(s.bytes_carved(), 256);
+        let out = s.allocate_with(b"tiny", b"v", 0, 0, 100, 0).unwrap();
+        assert!(out.evicted.is_none(), "no live object evicted");
+        let cookies: Vec<u64> = out.reclaimed.iter().map(|p| p.cookie).collect();
+        assert!(cookies.contains(&11) && cookies.contains(&22));
+        assert!(s.key_matches(out.loc, b"tiny"));
+        assert!(s.key_matches(live0.loc, b"live0"));
+        assert!(s.key_matches(live1.loc, b"live1"));
+
+        // Step 3: nothing expired, nothing same-class, and no larger
+        // class to borrow from → error.
+        let s = ObjectStore::new(96);
+        for i in 0..3 {
+            s.allocate(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        let value = vec![1u8; 40]; // class 128: largest class of this store
+        assert_eq!(
+            s.allocate_with(b"big", &value, 0, 0, 100, 0),
+            Err(StoreError::OutOfMemory)
+        );
+    }
+
+    #[test]
+    fn expired_objects_forfeit_their_second_chance() {
+        let s = ObjectStore::new(128);
+        // k0 expired but referenced; k1..k3 live forever.
+        s.allocate_with(b"k0", b"v", 10, 0, 0, 1).unwrap();
+        for i in 1..4 {
+            s.allocate(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        s.touch(0, 1); // sets REFERENCED on k0
+        let out = s.allocate_with(b"k4", b"v", 0, 0, 100, 0).unwrap();
+        assert_eq!(
+            out.evicted.unwrap().key,
+            b"k0",
+            "an expired object is evicted despite its referenced bit"
+        );
+    }
+
+    #[test]
+    fn sweep_reclaims_whole_segments() {
+        let s = ObjectStore::new(1 << 16);
+        // Two deadline cohorts in the same class, far enough apart to
+        // land in different buckets.
+        for i in 0..20u32 {
+            s.allocate_with(format!("s{i}").as_bytes(), b"v", 100, 0, 0, u64::from(i))
+                .unwrap();
+        }
+        for i in 0..20u32 {
+            s.allocate_with(format!("l{i}").as_bytes(), b"v", 10_000, 0, 0, u64::from(100 + i))
+                .unwrap();
+        }
+        assert_eq!(s.live_objects(), 40);
+
+        // Nothing expired yet.
+        let mut purged = Vec::new();
+        assert_eq!(s.sweep_expired(50, usize::MAX, &mut purged), 0);
+        assert!(purged.is_empty());
+
+        // The 100-deadline cohort expires; the 10_000 cohort survives.
+        let reclaimed = s.sweep_expired(200, usize::MAX, &mut purged);
+        assert!(reclaimed >= 1);
+        assert_eq!(purged.len(), 20);
+        assert!(purged.iter().all(|p| p.cookie < 100));
+        assert_eq!(s.live_objects(), 20);
+        let stats = s.expiry_stats();
+        assert_eq!(stats.expired_proactive, 20);
+        assert!(stats.segments_reclaimed >= 1);
+
+        // Freed slots recycle through the free list.
+        let reused = s.allocate(b"fresh", b"v").unwrap();
+        assert!(reused.evicted.is_none());
+        assert!(purged.iter().any(|p| p.loc == reused.loc));
+    }
+
+    #[test]
+    fn expire_if_due_spares_recycled_slots() {
+        let s = ObjectStore::new(4096);
+        let out = s.allocate_with(b"gone", b"v", 10, 0, 0, 1).unwrap();
+        // Not due yet.
+        assert!(!s.expire_if_due(out.loc, 9));
+        // Due: freed exactly once.
+        assert!(s.expire_if_due(out.loc, 10));
+        assert!(!s.expire_if_due(out.loc, 10));
+        // The slot is recycled by an unexpiring object; a stale segment
+        // member must not free it.
+        let fresh = s.allocate(b"fresh", b"v").unwrap();
+        assert_eq!(fresh.loc, out.loc);
+        assert!(!s.expire_if_due(fresh.loc, u32::MAX - 1));
+        assert!(s.key_matches(fresh.loc, b"fresh"));
+    }
+
+    #[test]
+    fn is_expired_tracks_the_deadline() {
+        let s = ObjectStore::new(4096);
+        let forever = s.allocate(b"forever", b"v").unwrap();
+        assert!(!s.is_expired(forever.loc, u32::MAX - 1));
+        let brief = s.allocate_with(b"brief", b"v", 100, 0, 50, 3).unwrap();
+        assert!(!s.is_expired(brief.loc, 99));
+        assert!(s.is_expired(brief.loc, 100));
+        s.free(brief.loc);
+        assert!(!s.is_expired(brief.loc, 200), "dead slots are not expired");
+    }
+
+    #[test]
+    fn class_stats_track_occupancy_and_fragmentation() {
+        let s = ObjectStore::new(4096);
+        // 24 + 4 + 1 = 29 bytes in a 32-byte slot: 3 bytes frag.
+        s.allocate(b"aaaa", b"1").unwrap();
+        // 24 + 4 + 12 = 40 bytes in a 64-byte slot: 24 bytes frag.
+        s.allocate(b"bbbb", b"0123456789ab").unwrap();
+        let stats = s.class_stats();
+        assert_eq!(stats[0].class_bytes, 32);
+        assert_eq!(stats[0].live_objects, 1);
+        assert_eq!(stats[0].live_bytes, 29);
+        assert_eq!(stats[0].frag_bytes, 3);
+        assert_eq!(stats[1].class_bytes, 64);
+        assert_eq!(stats[1].live_bytes, 40);
+        assert_eq!(stats[1].frag_bytes, 24);
+        // Freeing settles the gauges back to zero.
+        let total_live: usize = stats.iter().map(|c| c.live_objects).sum();
+        assert_eq!(total_live, s.live_objects());
     }
 
     #[test]
@@ -563,5 +1214,52 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn concurrent_sweep_and_churn() {
+        use std::sync::Arc;
+        let s = Arc::new(ObjectStore::new(1 << 20));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let sweeper = {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                let mut now = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    now = now.wrapping_add(7);
+                    s.sweep_expired(now, usize::MAX, &mut out);
+                    out.clear();
+                }
+            })
+        };
+        let writers: Vec<_> = (0..2)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..3000u32 {
+                        let key = format!("t{t}-k{i}");
+                        let deadline = 1 + (i % 64);
+                        let out = s
+                            .allocate_with(key.as_bytes(), b"payload", deadline, 0, 0, u64::from(i))
+                            .unwrap();
+                        if i % 5 == 0 {
+                            s.free(out.loc);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in writers {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        sweeper.join().unwrap();
+        // Everything left is either live or on a free list; a final
+        // sweep at the far future drains all remaining deadlines.
+        let mut out = Vec::new();
+        s.sweep_expired(u32::MAX - 1, usize::MAX, &mut out);
+        assert_eq!(s.live_objects(), 0);
     }
 }

@@ -1,0 +1,136 @@
+//! Wall-clock seam for TTL expiry.
+//!
+//! The store itself is clock-free (every expiry decision takes an
+//! explicit `now`), but the engine, codecs and sweeper all need one
+//! shared notion of "now" so a key never expires in one layer while
+//! still alive in another. [`Clock`] is that seam: production code uses
+//! [`SystemClock`], tests inject a [`MockClock`] and advance it
+//! explicitly instead of sleeping.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// TTL sentinel meaning "already expired when it was written": a
+/// memcached absolute `exptime` in the past maps to this instead of 0
+/// (which would mean "never expires"). The engine turns it into a
+/// deadline that is always in the past.
+pub const TTL_IMMEDIATE: u32 = u32::MAX;
+
+/// A coarse (one-second granularity) source of unix time, shareable
+/// across threads.
+pub trait Clock: Send + Sync {
+    /// Seconds since the unix epoch.
+    fn now_secs(&self) -> u32;
+}
+
+/// `Arc`-shared clock handle as threaded through the engine and server.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// The real wall clock.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_secs(&self) -> u32 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u32::try_from(d.as_secs()).unwrap_or(u32::MAX))
+            .unwrap_or(0)
+    }
+}
+
+/// A manually-advanced clock for tests: starts at a fixed point and only
+/// moves when told to, so expiry tests never sleep.
+#[derive(Debug, Default)]
+pub struct MockClock {
+    secs: AtomicU32,
+}
+
+impl MockClock {
+    /// A mock clock reading `start` seconds.
+    #[must_use]
+    pub fn at(start: u32) -> MockClock {
+        MockClock {
+            secs: AtomicU32::new(start),
+        }
+    }
+
+    /// Advance the clock by `secs` seconds.
+    pub fn advance(&self, secs: u32) {
+        self.secs.fetch_add(secs, Ordering::SeqCst);
+    }
+
+    /// Jump the clock to an absolute reading.
+    pub fn set(&self, secs: u32) {
+        self.secs.store(secs, Ordering::SeqCst);
+    }
+}
+
+impl Clock for MockClock {
+    fn now_secs(&self) -> u32 {
+        self.secs.load(Ordering::SeqCst)
+    }
+}
+
+/// Convert a relative TTL (as carried by [`crate::Query::ttl`]) into the
+/// absolute unix-seconds deadline stored in the object header:
+///
+/// * `0` → `0` (never expires),
+/// * [`TTL_IMMEDIATE`] → a deadline already in the past (the object is
+///   born expired),
+/// * anything else → `now + ttl`, saturating.
+#[must_use]
+pub fn ttl_to_deadline(ttl: u32, now: u32) -> u32 {
+    match ttl {
+        0 => 0,
+        TTL_IMMEDIATE => 1.max(now.saturating_sub(1)),
+        _ => now.saturating_add(ttl).max(1),
+    }
+}
+
+/// Whether an object with the given header `deadline` is expired at
+/// `now`. Deadline 0 never expires; otherwise expiry is inclusive
+/// (`now >= deadline`), matching memcached's "exptime has passed".
+#[must_use]
+#[inline]
+pub fn deadline_expired(deadline: u32, now: u32) -> bool {
+    deadline != 0 && now >= deadline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_clock_advances_without_sleeping() {
+        let c = MockClock::at(100);
+        assert_eq!(c.now_secs(), 100);
+        c.advance(5);
+        assert_eq!(c.now_secs(), 105);
+        c.set(50);
+        assert_eq!(c.now_secs(), 50);
+    }
+
+    #[test]
+    fn system_clock_is_past_2020() {
+        assert!(SystemClock.now_secs() > 1_577_836_800);
+    }
+
+    #[test]
+    fn ttl_deadline_mapping() {
+        assert_eq!(ttl_to_deadline(0, 1000), 0);
+        assert_eq!(ttl_to_deadline(30, 1000), 1030);
+        let born_dead = ttl_to_deadline(TTL_IMMEDIATE, 1000);
+        assert!(deadline_expired(born_dead, 1000));
+        // Never-expire objects are never expired; others flip exactly at
+        // the deadline.
+        assert!(!deadline_expired(0, u32::MAX));
+        assert!(!deadline_expired(1030, 1029));
+        assert!(deadline_expired(1030, 1030));
+        // Saturation near the epoch boundary still yields a nonzero
+        // (expirable) deadline.
+        assert!(ttl_to_deadline(TTL_IMMEDIATE, 0) != 0);
+        assert!(ttl_to_deadline(u32::MAX - 1, 1000) != 0);
+    }
+}

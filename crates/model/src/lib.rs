@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+mod clock;
 mod config;
 pub mod costs;
 mod epoch;
@@ -31,6 +32,9 @@ mod resources;
 mod stats;
 mod task;
 
+pub use clock::{
+    deadline_expired, ttl_to_deadline, Clock, MockClock, SharedClock, SystemClock, TTL_IMMEDIATE,
+};
 pub use config::{ConfigEnumerator, IndexOpAssignment, PipelineConfig, PipelinePlan, StagePlan};
 pub use epoch::ConfigCell;
 pub use query::{Query, QueryOp, Response, ResponseStatus};

@@ -50,10 +50,13 @@ pub struct Query {
     pub key: Bytes,
     /// The value (empty except for SET).
     pub value: Bytes,
-    /// Requested time-to-live in seconds for SET (0 = no expiry).
-    ///
-    /// Stored with the object as inert metadata today (memcached
-    /// `exptime`); active expiry is future work.
+    /// Requested time-to-live in *relative* seconds for SET (0 = no
+    /// expiry; [`crate::TTL_IMMEDIATE`] = born expired, the mapping of a
+    /// memcached absolute `exptime` already in the past). The engine
+    /// converts this to an absolute deadline at store time via
+    /// [`crate::ttl_to_deadline`]; expired objects answer GET as misses
+    /// and are reclaimed lazily (on access) or proactively (segment
+    /// sweep).
     pub ttl: u32,
     /// Opaque client flags for SET (memcached `flags`; 0 = unset).
     /// Stored with the object and echoed back on GET by codecs that

@@ -29,7 +29,28 @@
 use crate::protocol::{encode_responses_wire_into, frame_query_count, parse_frame_into};
 use crate::server::MAX_FRAME_BYTES;
 use bytes::{Bytes, BytesMut};
-use dido_model::{Query, Response, ResponseStatus};
+use dido_model::{Query, Response, ResponseStatus, TTL_IMMEDIATE};
+
+/// memcached's relative/absolute exptime boundary: values up to 30
+/// days are relative seconds, larger values are absolute unix time.
+pub const MC_EXPTIME_ABS_THRESHOLD: u32 = 30 * 24 * 60 * 60;
+
+/// Convert a memcached `exptime` into the engine's relative-seconds
+/// TTL, per the original protocol: `0` never expires; values up to
+/// [`MC_EXPTIME_ABS_THRESHOLD`] are relative seconds; anything larger
+/// is an absolute unix timestamp evaluated against `now` (a timestamp
+/// already in the past stores the object pre-expired, which memcached
+/// also accepts).
+#[must_use]
+pub fn mc_exptime_to_ttl(exptime: u32, now: u32) -> u32 {
+    if exptime <= MC_EXPTIME_ABS_THRESHOLD {
+        exptime
+    } else if exptime > now {
+        exptime - now
+    } else {
+        TTL_IMMEDIATE
+    }
+}
 
 /// Longest accepted protocol text line (memcached command lines, RESP
 /// inline commands and array/bulk headers). Anything longer without a
@@ -353,13 +374,22 @@ impl RequestMeta {
 /// number of queries appended is the caller's `out.len()` delta (the
 /// dispatcher tracks it per slot). Never fails: unusable requests
 /// decode to zero queries and an error-reply meta.
-pub fn decode_request(kind: ProtocolKind, payload: &Bytes, out: &mut Vec<Query>) -> RequestMeta {
+///
+/// `now` (unix seconds) anchors memcached's absolute-exptime
+/// conversion (see [`mc_exptime_to_ttl`]); the dido and RESP codecs
+/// carry relative TTLs and ignore it.
+pub fn decode_request(
+    kind: ProtocolKind,
+    payload: &Bytes,
+    now: u32,
+    out: &mut Vec<Query>,
+) -> RequestMeta {
     match kind {
         ProtocolKind::Dido => match parse_frame_into(payload, out) {
             Ok(_) => RequestMeta::Dido,
             Err(_) => RequestMeta::DidoBad,
         },
-        ProtocolKind::Memcached => decode_memcached(payload, out),
+        ProtocolKind::Memcached => decode_memcached(payload, now, out),
         ProtocolKind::Resp => decode_resp(payload, out),
     }
 }
@@ -367,7 +397,7 @@ pub fn decode_request(kind: ProtocolKind, payload: &Bytes, out: &mut Vec<Query>)
 const MC_BAD_LINE: &str = "CLIENT_ERROR bad command line format\r\n";
 const MC_BAD_DATA: &str = "CLIENT_ERROR bad data chunk\r\n";
 
-fn decode_memcached(payload: &Bytes, out: &mut Vec<Query>) -> RequestMeta {
+fn decode_memcached(payload: &Bytes, now: u32, out: &mut Vec<Query>) -> RequestMeta {
     let Some(lf) = payload.iter().position(|&b| b == b'\n') else {
         return RequestMeta::McError(MC_BAD_LINE);
     };
@@ -398,7 +428,7 @@ fn decode_memcached(payload: &Bytes, out: &mut Vec<Query>) -> RequestMeta {
             RequestMeta::McGet { keys, with_cas }
         }
         b"set" => match decode_mc_set(tokens) {
-            Ok(set) => set.finish(payload, lf, out),
+            Ok(set) => set.finish(payload, lf, now, out),
             Err(msg) => RequestMeta::McError(msg),
         },
         b"delete" => {
@@ -433,7 +463,7 @@ struct McSet {
 impl McSet {
     /// Extract the data block that follows the command line and emit
     /// the SET query.
-    fn finish(self, payload: &Bytes, lf: usize, out: &mut Vec<Query>) -> RequestMeta {
+    fn finish(self, payload: &Bytes, lf: usize, now: u32, out: &mut Vec<Query>) -> RequestMeta {
         let data_start = lf + 1;
         let data_end = data_start + self.bytes;
         // Carve sized the request as line + bytes + CRLF; enforce the
@@ -442,7 +472,8 @@ impl McSet {
             return RequestMeta::McError(MC_BAD_DATA);
         }
         let value = payload.slice(data_start..data_end);
-        out.push(Query::set_with(self.key, value, self.exptime, self.flags));
+        let ttl = mc_exptime_to_ttl(self.exptime, now);
+        out.push(Query::set_with(self.key, value, ttl, self.flags));
         RequestMeta::McStore {
             noreply: self.noreply,
         }
@@ -821,7 +852,7 @@ mod tests {
     fn memcached_decode_get_set_delete() {
         let payload = Bytes::from_static(b"get alpha beta\r\n");
         let mut out = Vec::new();
-        let meta = decode_request(ProtocolKind::Memcached, &payload, &mut out);
+        let meta = decode_request(ProtocolKind::Memcached, &payload, 0, &mut out);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0], Query::get("alpha"));
         assert_eq!(out[1], Query::get("beta"));
@@ -833,7 +864,7 @@ mod tests {
 
         let payload = Bytes::from_static(b"set k 7 30 5\r\nhello\r\n");
         out.clear();
-        let meta = decode_request(ProtocolKind::Memcached, &payload, &mut out);
+        let meta = decode_request(ProtocolKind::Memcached, &payload, 0, &mut out);
         assert_eq!(meta, RequestMeta::McStore { noreply: false });
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].op, QueryOp::Set);
@@ -843,7 +874,7 @@ mod tests {
 
         let payload = Bytes::from_static(b"delete k noreply\r\n");
         out.clear();
-        let meta = decode_request(ProtocolKind::Memcached, &payload, &mut out);
+        let meta = decode_request(ProtocolKind::Memcached, &payload, 0, &mut out);
         assert_eq!(meta, RequestMeta::McDelete { noreply: true });
         assert_eq!(out[0], Query::delete("k"));
     }
@@ -852,7 +883,7 @@ mod tests {
     fn memcached_decode_is_zero_copy() {
         let payload = Bytes::from_static(b"get somekey\r\n");
         let mut out = Vec::new();
-        decode_request(ProtocolKind::Memcached, &payload, &mut out);
+        decode_request(ProtocolKind::Memcached, &payload, 0, &mut out);
         let key_ptr = out[0].key.as_ptr() as usize;
         let range = payload.as_ptr() as usize..payload.as_ptr() as usize + payload.len();
         assert!(range.contains(&key_ptr), "keys must alias the payload");
@@ -869,7 +900,7 @@ mod tests {
         ] {
             let payload = Bytes::copy_from_slice(bad);
             let mut out = Vec::new();
-            let meta = decode_request(ProtocolKind::Memcached, &payload, &mut out);
+            let meta = decode_request(ProtocolKind::Memcached, &payload, 0, &mut out);
             assert!(meta.is_parse_error(), "{:?} must be an error", bad);
             assert!(out.is_empty(), "{:?} must decode zero queries", bad);
             let mut reply = BytesMut::new();
@@ -880,7 +911,7 @@ mod tests {
         // consistent), decode rejects.
         let payload = Bytes::from_static(b"set k 0 0 5\r\nhelloXY");
         let mut out = Vec::new();
-        let meta = decode_request(ProtocolKind::Memcached, &payload, &mut out);
+        let meta = decode_request(ProtocolKind::Memcached, &payload, 0, &mut out);
         assert_eq!(meta, RequestMeta::McError(MC_BAD_DATA));
         assert!(out.is_empty());
     }
@@ -948,7 +979,7 @@ mod tests {
         // Recoverable → decodes to an in-band -ERR reply.
         let payload = Bytes::from_static(b"FROB x\r\n");
         let mut out = Vec::new();
-        let meta = decode_request(ProtocolKind::Resp, &payload, &mut out);
+        let meta = decode_request(ProtocolKind::Resp, &payload, 0, &mut out);
         assert_eq!(meta, RequestMeta::RespError("-ERR unknown command\r\n"));
         assert!(out.is_empty());
     }
@@ -958,7 +989,7 @@ mod tests {
         let mut out = Vec::new();
         let payload = Bytes::from_static(b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$2\r\nvv\r\n");
         assert_eq!(
-            decode_request(ProtocolKind::Resp, &payload, &mut out),
+            decode_request(ProtocolKind::Resp, &payload, 0, &mut out),
             RequestMeta::RespSet
         );
         assert_eq!(out[0], Query::set("k", "vv"));
@@ -968,7 +999,7 @@ mod tests {
             b"*5\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n$2\r\nEX\r\n$2\r\n10\r\n",
         );
         assert_eq!(
-            decode_request(ProtocolKind::Resp, &payload, &mut out),
+            decode_request(ProtocolKind::Resp, &payload, 0, &mut out),
             RequestMeta::RespSet
         );
         assert_eq!(out[0].ttl, 10);
@@ -976,7 +1007,7 @@ mod tests {
         out.clear();
         let payload = Bytes::from_static(b"*3\r\n$4\r\nMGET\r\n$1\r\na\r\n$1\r\nb\r\n");
         assert_eq!(
-            decode_request(ProtocolKind::Resp, &payload, &mut out),
+            decode_request(ProtocolKind::Resp, &payload, 0, &mut out),
             RequestMeta::RespMGet
         );
         assert_eq!(out.len(), 2);
@@ -984,7 +1015,7 @@ mod tests {
         out.clear();
         let payload = Bytes::from_static(b"del a b c\r\n"); // inline, case-insensitive
         assert_eq!(
-            decode_request(ProtocolKind::Resp, &payload, &mut out),
+            decode_request(ProtocolKind::Resp, &payload, 0, &mut out),
             RequestMeta::RespDel
         );
         assert_eq!(out.len(), 3);
@@ -993,7 +1024,7 @@ mod tests {
         out.clear();
         let payload = Bytes::from_static(b"\r\n");
         assert_eq!(
-            decode_request(ProtocolKind::Resp, &payload, &mut out),
+            decode_request(ProtocolKind::Resp, &payload, 0, &mut out),
             RequestMeta::RespNoop
         );
         assert!(out.is_empty());

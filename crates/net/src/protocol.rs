@@ -7,9 +7,14 @@
 //!
 //! ```text
 //! frame    := count:u16 record*
-//! record   := op:u8 key_len:u16 val_len:u32 key val
+//! record   := op:u8 key_len:u16 val_len:u32 (ttl:u32 flags:u32)? key val
 //! response := status:u8 val_len:u32 val
 //! ```
+//!
+//! The `(ttl, flags)` pair is present only on SET records (relative TTL
+//! seconds, 0 = never expire, plus opaque client flags): GETs and
+//! DELETEs carry no metadata, so the read-dominated wire stays as lean
+//! as before.
 //!
 //! Decoding is zero-copy: parsed keys and values are `Bytes` views into
 //! the frame buffer.
@@ -22,6 +27,9 @@ pub const DEFAULT_FRAME_CAPACITY: usize = 1500;
 
 /// Per-record wire overhead (op + key_len + val_len).
 pub const RECORD_HEADER: usize = 1 + 2 + 4;
+
+/// Extra wire bytes on a SET record (ttl + flags).
+pub const SET_META: usize = 4 + 4;
 
 /// Frame-level overhead (the record count).
 pub const FRAME_HEADER: usize = 2;
@@ -67,7 +75,8 @@ impl FrameBuilder {
     /// Bytes a query would occupy on the wire.
     #[must_use]
     pub fn wire_size(q: &Query) -> usize {
-        RECORD_HEADER + q.key.len() + q.value.len()
+        let meta = if q.op == QueryOp::Set { SET_META } else { 0 };
+        RECORD_HEADER + meta + q.key.len() + q.value.len()
     }
 
     /// Try to append a query; returns `false` (without modifying the
@@ -80,6 +89,10 @@ impl FrameBuilder {
         self.buf.put_u8(q.op.wire_code());
         self.buf.put_u16_le(q.key.len() as u16);
         self.buf.put_u32_le(q.value.len() as u32);
+        if q.op == QueryOp::Set {
+            self.buf.put_u32_le(q.ttl);
+            self.buf.put_u32_le(q.flags);
+        }
         self.buf.put_slice(&q.key);
         self.buf.put_slice(&q.value);
         self.count += 1;
@@ -184,6 +197,25 @@ fn parse_records_into(frame: &Bytes, out: &mut Vec<Query>) -> Result<usize, Prot
             frame[pos + 6],
         ]) as usize;
         pos += RECORD_HEADER;
+        let (mut ttl, mut flags) = (0u32, 0u32);
+        if op == QueryOp::Set {
+            if pos + SET_META > frame.len() {
+                return Err(ProtocolError::Truncated);
+            }
+            ttl = u32::from_le_bytes([
+                frame[pos],
+                frame[pos + 1],
+                frame[pos + 2],
+                frame[pos + 3],
+            ]);
+            flags = u32::from_le_bytes([
+                frame[pos + 4],
+                frame[pos + 5],
+                frame[pos + 6],
+                frame[pos + 7],
+            ]);
+            pos += SET_META;
+        }
         if pos + key_len + val_len > frame.len() {
             return Err(ProtocolError::Truncated);
         }
@@ -198,8 +230,8 @@ fn parse_records_into(frame: &Bytes, out: &mut Vec<Query>) -> Result<usize, Prot
             op,
             key,
             value,
-            ttl: 0,
-            flags: 0,
+            ttl,
+            flags,
         });
     }
     Ok(count)
@@ -248,6 +280,10 @@ pub fn encode_queries_wire_into(buf: &mut BytesMut, queries: &[Query]) {
         buf.put_u8(q.op.wire_code());
         buf.put_u16_le(q.key.len() as u16);
         buf.put_u32_le(q.value.len() as u32);
+        if q.op == QueryOp::Set {
+            buf.put_u32_le(q.ttl);
+            buf.put_u32_le(q.flags);
+        }
         buf.put_slice(&q.key);
         buf.put_slice(&q.value);
     }
@@ -311,6 +347,8 @@ mod tests {
             Query::get("alpha"),
             Query::set("beta", "value-of-beta"),
             Query::delete("gamma"),
+            // SET metadata (TTL + client flags) must survive the wire.
+            Query::set_with("delta", "value-of-delta", 300, 0xFEED_F00D),
         ]
     }
 
@@ -321,7 +359,7 @@ mod tests {
         for q in &qs {
             assert!(b.push(q));
         }
-        assert_eq!(b.len(), 3);
+        assert_eq!(b.len(), qs.len());
         let frame = b.finish();
         let parsed = parse_frame(&frame).unwrap();
         assert_eq!(parsed, qs);

@@ -36,7 +36,7 @@ use crate::nic::FrameRing;
 use crate::protocol::ProtocolError;
 use crate::sd::{ResponseRun, RunBatch, SdPlane};
 use bytes::{Bytes, BytesMut};
-use dido_model::{Query, Response};
+use dido_model::{Query, Response, SharedClock, SystemClock};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::io::{IoSlice, Read, Write};
@@ -761,6 +761,23 @@ impl KvServer {
     where
         F: Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
     {
+        KvServer::start_multi_with_clock(listeners, mode, Arc::new(SystemClock), handler)
+    }
+
+    /// [`KvServer::start_multi`] with an explicit clock. The clock
+    /// anchors memcached's absolute-exptime conversion at decode time;
+    /// pass the same clock the engine expires against so wire TTLs and
+    /// store deadlines agree (tests use a `MockClock` to cross expiry
+    /// boundaries without sleeping).
+    pub fn start_multi_with_clock<F>(
+        listeners: &[(&str, ProtocolKind)],
+        mode: DispatchMode,
+        clock: SharedClock,
+        handler: F,
+    ) -> std::io::Result<KvServer>
+    where
+        F: Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static,
+    {
         if listeners.is_empty() || listeners.len() > crate::reactor::MAX_LISTENERS {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
@@ -805,6 +822,7 @@ impl KvServer {
                             listeners.len(),
                             &stats,
                             &shutdown,
+                            Arc::clone(&clock),
                             Arc::clone(&handler),
                         )
                     })
@@ -813,7 +831,8 @@ impl KvServer {
             }
             DispatchMode::Batched(cfg) => {
                 let doorbell = Arc::new(Doorbell::default());
-                let topo = spawn_batched(bound, cfg, &stats, &shutdown, &doorbell, handler)?;
+                let topo =
+                    spawn_batched(bound, cfg, &stats, &shutdown, &doorbell, clock, handler)?;
                 (Some(doorbell), topo)
             }
         };
@@ -904,6 +923,7 @@ impl Drop for KvServer {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_per_connection<F>(
     listener: TcpListener,
     proto: ProtocolKind,
@@ -911,6 +931,7 @@ fn spawn_per_connection<F>(
     n_listeners: usize,
     stats: &Arc<ServerStats>,
     shutdown: &Arc<AtomicBool>,
+    clock: SharedClock,
     handler: Arc<F>,
 ) -> std::thread::JoinHandle<()>
 where
@@ -936,10 +957,13 @@ where
                     let stats = Arc::clone(&stats);
                     let handler = Arc::clone(&handler);
                     let shutdown = Arc::clone(&shutdown);
+                    let clock = Arc::clone(&clock);
                     let lane = next_lane;
                     next_lane = next_lane.wrapping_add(n_listeners);
                     workers.push(std::thread::spawn(move || {
-                        let _ = serve_connection(stream, proto, &stats, &shutdown, lane, &*handler);
+                        let _ = serve_connection(
+                            stream, proto, &stats, &shutdown, lane, &clock, &*handler,
+                        );
                     }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -960,12 +984,14 @@ where
 /// [`crate::reactor`] — not on per-connection threads. The reactor
 /// scaffold (polls + command queues) is built *before* the SD shards
 /// spawn because backpressure needs the reactor command handles.
+#[allow(clippy::too_many_arguments)]
 fn spawn_batched<F>(
     listeners: Vec<(TcpListener, ProtocolKind)>,
     cfg: BatchConfig,
     stats: &Arc<ServerStats>,
     shutdown: &Arc<AtomicBool>,
     doorbell: &Arc<Doorbell>,
+    clock: SharedClock,
     handler: Arc<F>,
 ) -> std::io::Result<Topology>
 where
@@ -1012,6 +1038,7 @@ where
         let t_stats = Arc::clone(stats);
         let t_shutdown = Arc::clone(shutdown);
         let t_doorbell = Arc::clone(doorbell);
+        let t_clock = Arc::clone(&clock);
         let handler = Arc::clone(&handler);
         let spawned = std::thread::Builder::new()
             .name(format!("dido-dispatch-{lane}"))
@@ -1024,6 +1051,7 @@ where
                     &t_doorbell,
                     cfg,
                     lane,
+                    &t_clock,
                     &*handler,
                 );
             });
@@ -1095,6 +1123,7 @@ fn run_dispatcher<F>(
     doorbell: &Doorbell,
     cfg: BatchConfig,
     lane: usize,
+    clock: &SharedClock,
     handler: &F,
 ) where
     F: Fn(usize, Vec<Query>) -> Vec<Response>,
@@ -1149,7 +1178,7 @@ fn run_dispatcher<F>(
             depth.max(frames.len() as u64),
             delayed,
         );
-        dispatch_batch(&frames, sd, stats, lane, handler, &mut scatter);
+        dispatch_batch(&frames, sd, stats, lane, clock, handler, &mut scatter);
     }
     // Shutdown: drain whatever is left so pipelined clients still get
     // every response they are owed.
@@ -1167,7 +1196,7 @@ fn run_dispatcher<F>(
             frames.len() as u64,
             false,
         );
-        dispatch_batch(&frames, sd, stats, lane, handler, &mut scatter);
+        dispatch_batch(&frames, sd, stats, lane, clock, handler, &mut scatter);
     }
 }
 
@@ -1211,11 +1240,13 @@ impl SdScatter {
 /// Decode a drained batch into one cross-connection query vector, run
 /// the handler once, and scatter encoded response runs to the SD
 /// shards — one coalesced batch per shard.
+#[allow(clippy::too_many_arguments)]
 fn dispatch_batch<F>(
     frames: &[TaggedFrame],
     sd: &SdPlane,
     stats: &ServerStats,
     lane: usize,
+    clock: &SharedClock,
     handler: &F,
     scatter: &mut SdScatter,
 ) where
@@ -1231,9 +1262,13 @@ fn dispatch_batch<F>(
     let mut good_frames = 0u64;
     let mut proto_queries = [0u64; PROTOCOL_KINDS];
     let mut proto_errors = [0u64; PROTOCOL_KINDS];
+    // One clock sample per dispatch: every request in the batch decodes
+    // against the same `now`, like one pipeline batch expires against
+    // one `now`.
+    let now = clock.now_secs();
     for t in frames {
         let start = batch.len();
-        let meta = decode_request(t.proto, &t.frame, &mut batch);
+        let meta = decode_request(t.proto, &t.frame, now, &mut batch);
         let len = batch.len() - start;
         if meta.is_parse_error() {
             stats.bad_frames.fetch_add(1, Ordering::Relaxed);
@@ -1312,6 +1347,7 @@ fn serve_connection<F>(
     stats: &ServerStats,
     shutdown: &AtomicBool,
     lane: usize,
+    clock: &SharedClock,
     handler: &F,
 ) -> std::io::Result<()>
 where
@@ -1332,7 +1368,7 @@ where
             Err(e) => return Err(e),
         };
         queries.clear();
-        let meta = decode_request(proto, &payload, &mut queries);
+        let meta = decode_request(proto, &payload, clock.now_secs(), &mut queries);
         if meta.is_parse_error() {
             // Answer malformed requests with the protocol's error reply
             // (an empty dido response frame, `CLIENT_ERROR …`, `-ERR …`)

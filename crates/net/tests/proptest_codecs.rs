@@ -59,7 +59,7 @@ fn carve_split(kind: ProtocolKind, stream: &[u8], chunks: &[usize]) -> Vec<Bytes
 fn decode_all(kind: ProtocolKind, payloads: &[Bytes]) -> Vec<Query> {
     let mut queries = Vec::new();
     for p in payloads {
-        let _meta = decode_request(kind, p, &mut queries);
+        let _meta = decode_request(kind, p, 0, &mut queries);
     }
     queries
 }
@@ -316,7 +316,7 @@ proptest! {
                         prop_assert!(pos + total <= raw.len());
                         let payload = Bytes::from(raw[pos + skip..pos + total].to_vec());
                         let mut out = Vec::new();
-                        let _ = decode_request(kind, &payload, &mut out); // must not panic
+                        let _ = decode_request(kind, &payload, 0, &mut out); // must not panic
                         pos += total;
                     }
                 }
@@ -333,7 +333,7 @@ proptest! {
         let payload = Bytes::from(raw);
         for kind in ProtocolKind::all() {
             let mut out = Vec::new();
-            let _ = decode_request(kind, &payload, &mut out);
+            let _ = decode_request(kind, &payload, 0, &mut out);
         }
     }
 

@@ -4,7 +4,9 @@
 //! runs over the per-connection topology and each batched I/O backend
 //! the host supports.
 
-use dido_model::{Query, QueryOp, Response};
+use dido_model::{
+    deadline_expired, ttl_to_deadline, MockClock, Query, QueryOp, Response, SharedClock,
+};
 use dido_net::{
     backend_matrix, BatchConfig, DispatchMode, IoBackend, KvClient, KvServer, ProtocolKind,
 };
@@ -13,6 +15,7 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A tiny in-memory store: enough to give the wire sessions real
@@ -31,6 +34,45 @@ fn map_store_handler() -> impl Fn(usize, Vec<Query>) -> Vec<Response> + Send + S
                 QueryOp::Get => match map.get(&q.key.to_vec()) {
                     Some(v) => Response::hit(v.clone()),
                     None => Response::not_found(),
+                },
+                QueryOp::Delete => {
+                    if map.remove(&q.key.to_vec()).is_some() {
+                        Response::ok()
+                    } else {
+                        Response::not_found()
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// Like [`map_store_handler`], but TTL-aware: SETs record an absolute
+/// deadline from the query's (already codec-normalized, relative) TTL,
+/// and GETs observe expiry in-band against the shared mock clock —
+/// exactly how the real engine's KC task treats an expired object as a
+/// miss.
+fn ttl_store_handler(
+    clock: SharedClock,
+) -> impl Fn(usize, Vec<Query>) -> Vec<Response> + Send + Sync + 'static {
+    /// Stored value plus its absolute expiry deadline (0 = never).
+    type DeadlineMap = HashMap<Vec<u8>, (Vec<u8>, u32)>;
+    let map: Mutex<DeadlineMap> = Mutex::new(HashMap::new());
+    move |_lane, queries| {
+        let now = clock.now_secs();
+        let mut map = map.lock();
+        queries
+            .iter()
+            .map(|q| match q.op {
+                QueryOp::Set => {
+                    map.insert(q.key.to_vec(), (q.value.to_vec(), ttl_to_deadline(q.ttl, now)));
+                    Response::ok()
+                }
+                QueryOp::Get => match map.get(&q.key.to_vec()) {
+                    Some((v, deadline)) if !deadline_expired(*deadline, now) => {
+                        Response::hit(v.clone())
+                    }
+                    _ => Response::not_found(),
                 },
                 QueryOp::Delete => {
                     if map.remove(&q.key.to_vec()).is_some() {
@@ -246,6 +288,96 @@ fn cross_protocol_listeners_share_one_store() {
         let mut dido = KvClient::connect(addrs[2]).unwrap();
         let rs = dido.request(&[Query::get("shared")]).unwrap();
         assert_eq!(&rs[0].value[..], b"xyz", "{name}/dido-get");
+        server.shutdown();
+    }
+}
+
+#[test]
+fn ttl_sessions_expire_per_protocol_semantics() {
+    // Memcached exptime (relative, absolute-unix, and already-passed)
+    // and RESP `SET ... EX` against a mock clock the server's codecs
+    // share — expiry is observed in-band by plain GETs, never by
+    // sleeping. The clock starts above memcached's 30-day threshold so
+    // absolute exptimes are representable.
+    const START: u32 = 3_000_000;
+    for (name, mode) in modes() {
+        let clock = Arc::new(MockClock::at(START));
+        let shared: SharedClock = clock.clone();
+        let server = KvServer::start_multi_with_clock(
+            &[
+                ("127.0.0.1:0", ProtocolKind::Memcached),
+                ("127.0.0.1:0", ProtocolKind::Resp),
+            ],
+            mode,
+            shared.clone(),
+            ttl_store_handler(shared),
+        )
+        .expect("bind ttl listeners");
+        let addrs = server.addrs().to_vec();
+
+        run_session(
+            addrs[0],
+            &[
+                // exptime 10 ≤ 30 days: relative seconds from now.
+                (b"set rel 0 10 3\r\nrrr\r\n", b"STORED\r\n"),
+                // exptime > 30 days: absolute unix time (now + 40).
+                (b"set abs 0 3000040 3\r\naaa\r\n", b"STORED\r\n"),
+                // Absolute exptime already in the past: stored but
+                // immediately expired, per memcached semantics.
+                (b"set old 0 2600000 3\r\nooo\r\n", b"STORED\r\n"),
+                // exptime 0: never expires.
+                (b"set ever 0 0 3\r\neee\r\n", b"STORED\r\n"),
+                (
+                    b"get rel abs old ever\r\n",
+                    b"VALUE rel 0 3\r\nrrr\r\nVALUE abs 0 3\r\naaa\r\nVALUE ever 0 3\r\neee\r\nEND\r\n",
+                ),
+            ],
+            &format!("{name}/mc-ttl-store"),
+        );
+        run_session(
+            addrs[1],
+            &[
+                (
+                    b"*5\r\n$3\r\nSET\r\n$1\r\nk\r\n$3\r\nval\r\n$2\r\nEX\r\n$2\r\n20\r\n",
+                    b"+OK\r\n",
+                ),
+                (b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n", b"$3\r\nval\r\n"),
+            ],
+            &format!("{name}/resp-ex-store"),
+        );
+
+        // 10 s on: `rel` hits its deadline (expiry is inclusive); the
+        // absolute entry and the RESP `EX 20` key live on.
+        clock.advance(10);
+        run_session(
+            addrs[0],
+            &[(
+                b"get rel abs\r\n",
+                b"VALUE abs 0 3\r\naaa\r\nEND\r\n",
+            )],
+            &format!("{name}/mc-ttl-mid"),
+        );
+        run_session(
+            addrs[1],
+            &[(b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n", b"$3\r\nval\r\n")],
+            &format!("{name}/resp-ex-mid"),
+        );
+
+        // 40 s on: everything with a deadline is gone; exptime 0 stays.
+        clock.advance(30);
+        run_session(
+            addrs[0],
+            &[(
+                b"get rel abs old ever\r\n",
+                b"VALUE ever 0 3\r\neee\r\nEND\r\n",
+            )],
+            &format!("{name}/mc-ttl-late"),
+        );
+        run_session(
+            addrs[1],
+            &[(b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n", b"$-1\r\n")],
+            &format!("{name}/resp-ex-late"),
+        );
         server.shutdown();
     }
 }

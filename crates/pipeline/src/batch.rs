@@ -29,7 +29,9 @@ pub struct QueryState {
     /// Newly allocated location for a SET (after `MM`).
     pub new_loc: Option<u64>,
     /// Object evicted by this SET's allocation (after `MM`); its index
-    /// entry is deleted by `IN`-Delete.
+    /// entry is deleted by `IN`-Delete. (Expired objects bulk-purged by
+    /// a reclaim, and expired hits `KC` observes, travel via the
+    /// engine's deferred purge queue instead of per-query state.)
     pub evicted: Option<EvictedObject>,
     /// Where the query's value landed in the batch's [`StagingArena`]
     /// (after `RD`). Modelled as the sequential staging buffer of the
@@ -199,6 +201,16 @@ pub struct Batch {
     pub tags: StealTags,
     /// The staging buffer `RD` writes values into (see [`StagingArena`]).
     pub arena: StagingArena,
+    /// Per-wavefront slot-recycle generation snapshots, indexed by
+    /// `query_index / 64` (wavefronts coincide with steal-tag
+    /// granularity, so sub-batch ranges touch disjoint entries). `KC`
+    /// records the store's generation before validating a wavefront's
+    /// locations; `RD` rechecks it after copying the wavefront's
+    /// values — unchanged means no slot anywhere was recycled in
+    /// between, so the copies are untorn and the per-query key
+    /// recompare is skipped. Truncated to `u32`: wrapping 2^32
+    /// recycles while one batch is in flight is impossible.
+    pub wf_gens: Vec<u32>,
 }
 
 impl Batch {
@@ -211,6 +223,7 @@ impl Batch {
             state: vec![QueryState::default(); n],
             tags: StealTags::new(n),
             arena: StagingArena::new(),
+            wf_gens: vec![0; n.div_ceil(WAVEFRONT_WIDTH)],
             queries,
         }
     }

@@ -2,12 +2,53 @@
 //! store + NIC + per-processor cache filters.
 
 use crate::cache::LruFilter;
-use dido_hashtable::{key_hash, IndexTable};
-use dido_kvstore::ObjectStore;
-use dido_model::{Processor, Query, QueryOp, Response};
+use dido_hashtable::{key_hash, IndexTable, KeyHash};
+use dido_kvstore::{ObjectStore, ProbeOutcome, PurgedEntry};
+use dido_model::{ttl_to_deadline, Processor, Query, QueryOp, Response, SharedClock, SystemClock};
 use dido_net::Nic;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Deferred purge requests (expired objects awaiting index unlink and
+/// slot free) behind a lock-free emptiness gate: the batched hot path
+/// drains this once per sub-batch, and with TTLs absent or idle the
+/// drain is a single relaxed-ish atomic read instead of a mutex
+/// acquisition.
+pub(crate) struct DeferredPurges {
+    nonempty: AtomicBool,
+    entries: Mutex<Vec<PurgedEntry>>,
+}
+
+impl DeferredPurges {
+    fn new() -> DeferredPurges {
+        DeferredPurges {
+            nonempty: AtomicBool::new(false),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Queue purge requests. The flag is raised while the lock is held,
+    /// so a drain that observed it lowered either ran before this push
+    /// (entries survive for the next drain) or already holds the
+    /// entries it swept.
+    pub(crate) fn push(&self, batch: impl IntoIterator<Item = PurgedEntry>) {
+        let mut entries = self.entries.lock();
+        entries.extend(batch);
+        if !entries.is_empty() {
+            self.nonempty.store(true, Ordering::Release);
+        }
+    }
+
+    /// Take every queued request; returns an empty vec (no allocation,
+    /// no lock) when nothing is pending.
+    pub(crate) fn drain(&self) -> Vec<PurgedEntry> {
+        if !self.nonempty.swap(false, Ordering::AcqRel) {
+            return Vec::new();
+        }
+        std::mem::take(&mut *self.entries.lock())
+    }
+}
 
 /// Sizing knobs for a [`KvEngine`].
 #[derive(Debug, Clone, Copy)]
@@ -78,6 +119,19 @@ pub struct OpCounts {
     /// `IN`-Delete removals applied (eviction cleanups + explicit
     /// DELETEs that matched).
     pub index_deletes: u64,
+    /// Objects discovered expired on access (`KC` or the scalar GET
+    /// path) and purged lazily.
+    pub expired_lazy: u64,
+}
+
+impl std::ops::AddAssign for OpCounts {
+    fn add_assign(&mut self, o: OpCounts) {
+        self.mm_allocs += o.mm_allocs;
+        self.index_searches += o.index_searches;
+        self.index_inserts += o.index_inserts;
+        self.index_deletes += o.index_deletes;
+        self.expired_lazy += o.expired_lazy;
+    }
 }
 
 /// Interior counters behind [`OpCounts`] (relaxed atomics; incremented
@@ -88,6 +142,33 @@ pub(crate) struct OpCounters {
     pub(crate) index_searches: AtomicU64,
     pub(crate) index_inserts: AtomicU64,
     pub(crate) index_deletes: AtomicU64,
+    pub(crate) expired_lazy: AtomicU64,
+}
+
+impl OpCounters {
+    /// Read every counter into a consistent-enough snapshot.
+    pub(crate) fn snapshot(&self) -> OpCounts {
+        OpCounts {
+            mm_allocs: self.mm_allocs.load(Ordering::Relaxed),
+            index_searches: self.index_searches.load(Ordering::Relaxed),
+            index_inserts: self.index_inserts.load(Ordering::Relaxed),
+            index_deletes: self.index_deletes.load(Ordering::Relaxed),
+            expired_lazy: self.expired_lazy.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fold a snapshot into these counters (used when a donor engine
+    /// retires after a reshard so cumulative accounting survives).
+    pub(crate) fn absorb(&self, c: OpCounts) {
+        self.mm_allocs.fetch_add(c.mm_allocs, Ordering::Relaxed);
+        self.index_searches
+            .fetch_add(c.index_searches, Ordering::Relaxed);
+        self.index_inserts
+            .fetch_add(c.index_inserts, Ordering::Relaxed);
+        self.index_deletes
+            .fetch_add(c.index_deletes, Ordering::Relaxed);
+        self.expired_lazy.fetch_add(c.expired_lazy, Ordering::Relaxed);
+    }
 }
 
 /// The functional key-value node shared by every pipeline configuration:
@@ -104,12 +185,26 @@ pub struct KvEngine {
     gpu_cache: Mutex<LruFilter>,
     epoch: AtomicU32,
     pub(crate) ops: OpCounters,
+    pub(crate) clock: SharedClock,
+    /// Expired objects observed by the batched `KC` path, awaiting
+    /// purge. Within a batch `IN`-Delete has already run by the time
+    /// `KC` compares keys, so the purge (index delete + slot free) is
+    /// deferred here and drained by the next batch's `IN`-Delete or the
+    /// background sweeper — off the response critical path either way.
+    pub(crate) pending_expired: DeferredPurges,
 }
 
 impl KvEngine {
-    /// Build an engine.
+    /// Build an engine on the system wall clock.
     #[must_use]
     pub fn new(cfg: EngineConfig) -> KvEngine {
+        KvEngine::with_clock(cfg, Arc::new(SystemClock))
+    }
+
+    /// Build an engine on an injected clock (tests use a mock so TTL
+    /// expiry is driven explicitly instead of by sleeping).
+    #[must_use]
+    pub fn with_clock(cfg: EngineConfig, clock: SharedClock) -> KvEngine {
         // Index sized for the worst case: every object in the smallest
         // (32 B) class.
         let max_objects = (cfg.store_bytes / 32).max(16);
@@ -121,7 +216,22 @@ impl KvEngine {
             gpu_cache: Mutex::new(LruFilter::new(cfg.gpu_cache_bytes)),
             epoch: AtomicU32::new(1),
             ops: OpCounters::default(),
+            clock,
+            pending_expired: DeferredPurges::new(),
         }
+    }
+
+    /// The engine's clock (shared with codecs and sweeper so every
+    /// layer agrees on "now").
+    #[must_use]
+    pub fn clock(&self) -> SharedClock {
+        Arc::clone(&self.clock)
+    }
+
+    /// Current unix time in seconds as this engine sees it.
+    #[must_use]
+    pub fn now_secs(&self) -> u32 {
+        self.clock.now_secs()
     }
 
     /// Totals of `MM`/`IN` operations applied through the pipeline tasks
@@ -129,12 +239,62 @@ impl KvEngine {
     /// [`OpCounts`] for what race tests derive from these.
     #[must_use]
     pub fn op_counts(&self) -> OpCounts {
-        OpCounts {
-            mm_allocs: self.ops.mm_allocs.load(Ordering::Relaxed),
-            index_searches: self.ops.index_searches.load(Ordering::Relaxed),
-            index_inserts: self.ops.index_inserts.load(Ordering::Relaxed),
-            index_deletes: self.ops.index_deletes.load(Ordering::Relaxed),
+        self.ops.snapshot()
+    }
+
+    /// Whether the index entry `(cookie, loc)` has been *refreshed*
+    /// since the purge request naming it was recorded: the slot was
+    /// freed, then recycled to the **same key at the same location**
+    /// (LIFO free lists make this common), so the entry now belongs to
+    /// a fresh live object and must survive. A slot recycled to a
+    /// different key leaves the old entry dangling — deleting it is
+    /// still correct (the fresh occupant's entry has a different sig).
+    pub(crate) fn entry_refreshed(&self, loc: u64, cookie: u64, now: u32) -> bool {
+        if !self.store.slot_live(loc) || self.store.is_expired(loc, now) {
+            return false;
         }
+        let key = self.store.read_key(loc);
+        !key.is_empty() && key_hash(&key).hash == cookie
+    }
+
+    /// Proactive expiry: reclaim up to `max_segments` expired TTL
+    /// segments from the store and drop the purged objects' index
+    /// entries (rebuilt from the segment's hash cookies — no key bytes
+    /// are read). Driven from the serving controller thread; also
+    /// useful directly in tests. Returns `(objects purged, segments
+    /// reclaimed)`.
+    pub fn sweep_expired(&self, max_segments: usize) -> (usize, usize) {
+        let now = self.clock.now_secs();
+        // First drain purge requests deferred by the batched KC path, so
+        // lazy leftovers cannot outlive a traffic stall. `expire_if_due`
+        // revalidates the deadline, sparing a recycled slot's fresh
+        // occupant.
+        let deferred = self.pending_expired.drain();
+        for p in &deferred {
+            // A slot recycled to the same key at the same loc since the
+            // deferral makes this entry fresh — deleting it would kill
+            // a live key.
+            if self.entry_refreshed(p.loc, p.cookie, now) {
+                continue;
+            }
+            let _ = self.index.delete(KeyHash::from_hash(p.cookie), p.loc);
+            if self.store.expire_if_due(p.loc, now) {
+                self.cache_invalidate(p.loc);
+            }
+        }
+        let mut purged = Vec::new();
+        let segments = self.store.sweep_expired(now, max_segments, &mut purged);
+        for p in &purged {
+            // The reclaim already freed the slot; skip the index unlink
+            // if an allocation recycled it to the same key in the
+            // meantime (the entry is fresh again).
+            if self.entry_refreshed(p.loc, p.cookie, now) {
+                continue;
+            }
+            let _ = self.index.delete(KeyHash::from_hash(p.cookie), p.loc);
+            self.cache_invalidate(p.loc);
+        }
+        (purged.len(), segments)
     }
 
     /// Record an object access in `proc`'s cache filter; true on hit.
@@ -188,15 +348,23 @@ impl KvEngine {
     /// SET queries (same wire format as `dido_net::write_trace`), so a
     /// node's contents survive restarts or move between systems.
     pub fn snapshot_to(&self, path: &std::path::Path) -> Result<usize, dido_net::TraceError> {
+        let now = self.clock.now_secs();
         let mut sets = Vec::with_capacity(self.index.len());
         self.index.for_each_entry(|_sig, loc| {
             let key = self.store.read_key(loc);
             if key.is_empty() || !self.store.key_matches(loc, &key) {
                 return; // dangling entry: skip
             }
+            if self.store.is_expired(loc, now) {
+                return; // expired: a restore must not resurrect it
+            }
             let mut value = Vec::with_capacity(self.store.object_lens(loc).1);
             self.store.read_value(loc, &mut value);
-            sets.push(Query::set(key, value));
+            // Remaining lifetime travels as a relative TTL, so a restore
+            // re-bases it on the restoring engine's clock.
+            let (deadline, cflags) = self.store.object_meta(loc);
+            let ttl = if deadline == 0 { 0 } else { deadline - now };
+            sets.push(Query::set_with(key, value, ttl, cflags));
         });
         let n = sets.len();
         dido_net::write_trace(path, &sets)?;
@@ -227,14 +395,43 @@ impl KvEngine {
         self.load_object_with(key, value, 0, 0)
     }
 
-    /// [`KvEngine::load_object`] with protocol metadata (TTL seconds and
-    /// opaque client flags; 0 = unset) stored alongside the object.
+    /// [`KvEngine::load_object`] with protocol metadata (*relative* TTL
+    /// seconds and opaque client flags; 0 = unset). The TTL is converted
+    /// to an absolute deadline against this engine's clock.
     pub fn load_object_with(&self, key: &[u8], value: &[u8], ttl: u32, flags: u32) -> Option<u64> {
+        self.load_object_at(key, value, ttl_to_deadline(ttl, self.clock.now_secs()), flags)
+    }
+
+    /// Deadline-preserving variant of [`KvEngine::load_object_with`]:
+    /// stores an already-absolute unix-seconds deadline unchanged. Shard
+    /// migration uses this so a key's expiry instant survives a
+    /// donor→primary move instead of being re-based on "now".
+    pub fn load_object_at(&self, key: &[u8], value: &[u8], deadline: u32, flags: u32) -> Option<u64> {
         let kh = key_hash(key);
-        let out = self.store.allocate_with(key, value, ttl, flags).ok()?;
+        let now = self.clock.now_secs();
+        let out = self
+            .store
+            .allocate_with(key, value, deadline, flags, now, kh.hash)
+            .ok()?;
+        // Allocation pressure may have bulk-reclaimed expired segments;
+        // drop their index entries before anything can re-probe them
+        // (unless a peer already recycled the slot for the same key —
+        // then the entry is the fresh occupant's and must survive).
+        for p in &out.reclaimed {
+            if self.entry_refreshed(p.loc, p.cookie, now) {
+                continue;
+            }
+            let _ = self.index.delete(KeyHash::from_hash(p.cookie), p.loc);
+            self.cache_invalidate(p.loc);
+        }
         if let Some(ev) = &out.evicted {
-            let _ = self.index.delete(key_hash(&ev.key), ev.loc);
-            self.cache_invalidate(ev.loc);
+            // Unlink unless the slot was recycled to the same key and is
+            // still live-unexpired (then the entry is the fresh
+            // occupant's and must survive).
+            if !self.store.key_matches(ev.loc, &ev.key) || self.store.is_expired(ev.loc, now) {
+                let _ = self.index.delete(key_hash(&ev.key), ev.loc);
+                self.cache_invalidate(ev.loc);
+            }
         }
         match self.index.upsert(kh, out.loc).0 {
             Ok(_replaced) => {
@@ -288,13 +485,38 @@ impl KvEngine {
         match q.op {
             QueryOp::Get => {
                 let kh = key_hash(&q.key);
+                let now = self.clock.now_secs();
+                let gen = self.store.recycle_gen();
                 let (cands, _) = self.index.search(kh);
                 for &loc in cands.as_slice() {
-                    if self.store.key_matches(loc, &q.key) {
-                        self.store.touch(loc, self.sample_epoch());
-                        let mut v = Vec::with_capacity(self.store.object_lens(loc).1);
-                        self.store.read_value(loc, &mut v);
-                        return Response::hit(v);
+                    match self.store.probe(loc, &q.key, now) {
+                        ProbeOutcome::Miss => continue,
+                        ProbeOutcome::Expired => {
+                            // Lazy expiry: the read observes the miss
+                            // in-band and purges entry + slot.
+                            let (removed, _) = self.index.delete(kh, loc);
+                            if removed && self.store.expire_if_due(loc, now) {
+                                self.cache_invalidate(loc);
+                            }
+                            self.ops.expired_lazy.fetch_add(1, Ordering::Relaxed);
+                            return Response::not_found();
+                        }
+                        ProbeOutcome::Hit => {
+                            self.store.touch(loc, self.sample_epoch());
+                            let mut v = Vec::with_capacity(self.store.object_lens(loc).1);
+                            self.store.read_value(loc, &mut v);
+                            // Revalidate after copying: a concurrent
+                            // sweep can free the slot (and an allocation
+                            // recycle it) mid-read; an unchanged recycle
+                            // generation proves the copy untorn, else
+                            // recompare — a miss, never torn bytes.
+                            if self.store.recycle_gen_validate() != gen
+                                && !self.store.key_matches(loc, &q.key)
+                            {
+                                return Response::not_found();
+                            }
+                            return Response::hit(v);
+                        }
                     }
                 }
                 Response::not_found()
@@ -429,6 +651,94 @@ mod tests {
         assert!(report.entries > 0);
         assert_eq!(report.mismatched, 0, "{report:?}");
         assert_eq!(report.dangling, 0, "{report:?}");
+    }
+
+    #[test]
+    fn ttl_expiry_is_observed_in_band() {
+        use dido_model::MockClock;
+        let clock = Arc::new(MockClock::at(1_000));
+        let e = KvEngine::with_clock(
+            EngineConfig::new(1 << 20, 64 * 1024, 16 * 1024),
+            clock.clone(),
+        );
+        e.execute(&Query::set_with("ttl-k", "v", 30, 0));
+        e.execute(&Query::set("forever", "v"));
+        assert_eq!(e.execute(&Query::get("ttl-k")).status, ResponseStatus::Ok);
+        clock.advance(29);
+        assert_eq!(e.execute(&Query::get("ttl-k")).status, ResponseStatus::Ok);
+        clock.advance(1);
+        // now == deadline: expired, purged lazily, and the slot freed.
+        assert_eq!(
+            e.execute(&Query::get("ttl-k")).status,
+            ResponseStatus::NotFound
+        );
+        assert_eq!(e.op_counts().expired_lazy, 1);
+        assert!(!e.has_key(b"ttl-k"));
+        assert_eq!(e.execute(&Query::get("forever")).status, ResponseStatus::Ok);
+        // A second GET is a plain miss, not another lazy purge.
+        assert_eq!(
+            e.execute(&Query::get("ttl-k")).status,
+            ResponseStatus::NotFound
+        );
+        assert_eq!(e.op_counts().expired_lazy, 1);
+    }
+
+    #[test]
+    fn sweeper_reclaims_expired_segments_and_index_entries() {
+        use dido_model::MockClock;
+        let clock = Arc::new(MockClock::at(1_000));
+        let e = KvEngine::with_clock(
+            EngineConfig::new(1 << 20, 64 * 1024, 16 * 1024),
+            clock.clone(),
+        );
+        for i in 0..100u32 {
+            e.execute(&Query::set_with(format!("short-{i}"), "v", 10, 0));
+            e.execute(&Query::set(format!("long-{i}"), "v"));
+        }
+        assert_eq!(e.store.live_objects(), 200);
+        assert_eq!(e.sweep_expired(usize::MAX), (0, 0), "nothing due yet");
+        clock.advance(60);
+        let (purged, segments) = e.sweep_expired(usize::MAX);
+        assert_eq!(purged, 100);
+        assert!(segments >= 1);
+        assert_eq!(e.store.live_objects(), 100);
+        for i in 0..100u32 {
+            assert!(!e.has_key(format!("short-{i}").as_bytes()));
+            assert!(e.has_key(format!("long-{i}").as_bytes()));
+        }
+        // Index entries were dropped, not left dangling.
+        let report = e.verify_integrity();
+        assert_eq!(report.dangling, 0, "{report:?}");
+        assert_eq!(report.mismatched, 0, "{report:?}");
+        assert_eq!(e.store.expiry_stats().expired_proactive, 100);
+    }
+
+    #[test]
+    fn snapshot_skips_expired_and_rebases_ttl() {
+        use dido_model::MockClock;
+        let clock = Arc::new(MockClock::at(5_000));
+        let cfg = EngineConfig::new(1 << 20, 64 * 1024, 16 * 1024);
+        let a = KvEngine::with_clock(cfg, clock.clone());
+        a.execute(&Query::set_with("stale", "v", 10, 0));
+        a.execute(&Query::set_with("fresh", "v", 1_000, 7));
+        a.execute(&Query::set("forever", "v"));
+        clock.advance(100); // "stale" is now past its deadline
+        let path = std::env::temp_dir().join(format!("dido-ttl-snap-{}", std::process::id()));
+        assert_eq!(a.snapshot_to(&path).unwrap(), 2);
+
+        let restore_clock = Arc::new(MockClock::at(50_000));
+        let b = KvEngine::with_clock(cfg, restore_clock.clone());
+        assert_eq!(b.restore_from(&path).unwrap(), 2);
+        assert_eq!(b.execute(&Query::get("stale")).status, ResponseStatus::NotFound);
+        assert_eq!(b.execute(&Query::get("fresh")).status, ResponseStatus::Ok);
+        // The remaining lifetime (900 s) was re-based, not the absolute
+        // deadline: the key survives past the donor's deadline instant.
+        restore_clock.advance(899);
+        assert_eq!(b.execute(&Query::get("fresh")).status, ResponseStatus::Ok);
+        restore_clock.advance(2);
+        assert_eq!(b.execute(&Query::get("fresh")).status, ResponseStatus::NotFound);
+        assert_eq!(b.execute(&Query::get("forever")).status, ResponseStatus::Ok);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

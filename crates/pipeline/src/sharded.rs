@@ -41,7 +41,8 @@
 use crate::engine::{EngineConfig, KvEngine, OpCounters, OpCounts};
 use crate::shardmap::{route_of, MapState, ShardMap, MAX_SHARDS};
 use crate::threaded::ThreadedPipeline;
-use dido_model::{PipelineConfig, Query, QueryOp, Response};
+use dido_kvstore::{ClassStats, ExpiryStats};
+use dido_model::{PipelineConfig, Query, QueryOp, Response, SharedClock, SystemClock};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -60,8 +61,12 @@ struct ShardSet {
 }
 
 impl ShardSet {
-    fn build(n: usize, per_shard: EngineConfig) -> ShardSet {
-        ShardSet::from_engines((0..n).map(|_| KvEngine::new(per_shard)).collect())
+    fn build(n: usize, per_shard: EngineConfig, clock: &SharedClock) -> ShardSet {
+        ShardSet::from_engines(
+            (0..n)
+                .map(|_| KvEngine::with_clock(per_shard, Arc::clone(clock)))
+                .collect(),
+        )
     }
 
     fn from_engines(engines: Vec<KvEngine>) -> ShardSet {
@@ -150,6 +155,9 @@ pub struct ShardedEngine {
     retired: OpCounters,
     /// Cumulative keys dropped by migrations (target store rejections).
     migrate_dropped: AtomicU64,
+    /// One clock shared by every shard (and every future shard a resize
+    /// creates), so TTL deadlines mean the same instant on all of them.
+    clock: SharedClock,
 }
 
 impl ShardedEngine {
@@ -159,22 +167,35 @@ impl ShardedEngine {
     /// Panics if `n == 0` or `n > MAX_SHARDS`.
     #[must_use]
     pub fn new(n: usize, per_shard: EngineConfig) -> ShardedEngine {
+        Self::with_clock(n, per_shard, Arc::new(SystemClock))
+    }
+
+    /// [`ShardedEngine::new`] on an injected clock shared by every shard
+    /// (tests drive TTL expiry with a mock instead of sleeping).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `n > MAX_SHARDS`.
+    #[must_use]
+    pub fn with_clock(n: usize, per_shard: EngineConfig, clock: SharedClock) -> ShardedEngine {
         assert!(n > 0, "need at least one shard");
-        Self::from_set(ShardSet::build(n, per_shard))
+        Self::from_set(ShardSet::build(n, per_shard, &clock), clock)
     }
 
     /// Wrap already-built engines (e.g. a single preloaded engine) as
-    /// shards. Routing follows the slice order.
+    /// shards. Routing follows the slice order; the first engine's clock
+    /// becomes the set's shared clock (shards a resize creates run on
+    /// it).
     ///
     /// # Panics
     /// Panics if `engines` is empty.
     #[must_use]
     pub fn from_engines(engines: Vec<KvEngine>) -> ShardedEngine {
         assert!(!engines.is_empty(), "need at least one shard");
-        Self::from_set(ShardSet::from_engines(engines))
+        let clock = engines[0].clock();
+        Self::from_set(ShardSet::from_engines(engines), clock)
     }
 
-    fn from_set(set: ShardSet) -> ShardedEngine {
+    fn from_set(set: ShardSet, clock: SharedClock) -> ShardedEngine {
         ShardedEngine {
             map: ShardMap::new(set.len()),
             sets: RwLock::new(EngineSets {
@@ -184,6 +205,7 @@ impl ShardedEngine {
             cursor: Mutex::new(None),
             retired: OpCounters::default(),
             migrate_dropped: AtomicU64::new(0),
+            clock,
         }
     }
 
@@ -274,7 +296,10 @@ impl ShardedEngine {
             QueryOp::Set => {
                 let d = route_of(&q.key, donor.len());
                 let _wl = donor.write_locks[d].lock();
-                match primary.engine_of(&q.key).load_object(&q.key, &q.value) {
+                match primary
+                    .engine_of(&q.key)
+                    .load_object_with(&q.key, &q.value, q.ttl, q.flags)
+                {
                     Some(_) => {
                         donor.engines[d].purge_key(&q.key);
                         Response::ok()
@@ -450,7 +475,7 @@ impl ShardedEngine {
         if old == n {
             return Err(ResizeError::NoChange);
         }
-        let fresh = Arc::new(ShardSet::build(n, per_shard));
+        let fresh = Arc::new(ShardSet::build(n, per_shard, &self.clock));
         let donor = std::mem::replace(&mut sets.primary, fresh);
         sets.donor = Some(donor);
         *self.cursor.lock() = Some(MigrationCursor {
@@ -523,12 +548,25 @@ impl ShardedEngine {
             // to move; the donor index is dropped wholesale at settle.
             return None;
         }
+        if d.store.is_expired(loc, d.now_secs()) {
+            // Expired while awaiting its move: drop the donor copy here
+            // instead of migrating it, so the data path's donor probe
+            // can never resurrect a key that is already dead.
+            let kh = dido_hashtable::key_hash(&key);
+            let _ = d.index.delete(kh, loc);
+            d.store.free(loc);
+            d.cache_invalidate(loc);
+            return None;
+        }
         let target = primary.engine_of(&key);
         let mut outcome = None;
         if !target.has_key(&key) {
             let mut value = Vec::with_capacity(d.store.object_lens(loc).1);
             d.store.read_value(loc, &mut value);
-            if let Some(new_loc) = target.load_object(&key, &value) {
+            // The absolute deadline travels unchanged (load_object_at):
+            // a donor→primary move must not re-base the expiry instant.
+            let (deadline, cflags) = d.store.object_meta(loc);
+            if let Some(new_loc) = target.load_object_at(&key, &value, deadline, cflags) {
                 let (freq, epoch) = d.store.freq(loc);
                 target.store.restore_clock(new_loc, freq, epoch);
                 outcome = Some(true);
@@ -561,17 +599,7 @@ impl ShardedEngine {
         drop(cursor);
         let donor = sets.donor.take().expect("checked above");
         for e in &donor.engines {
-            let c = e.op_counts();
-            self.retired.mm_allocs.fetch_add(c.mm_allocs, Ordering::Relaxed);
-            self.retired
-                .index_searches
-                .fetch_add(c.index_searches, Ordering::Relaxed);
-            self.retired
-                .index_inserts
-                .fetch_add(c.index_inserts, Ordering::Relaxed);
-            self.retired
-                .index_deletes
-                .fetch_add(c.index_deletes, Ordering::Relaxed);
+            self.retired.absorb(e.op_counts());
         }
         Ok(self.map.publish(MapState::Settled {
             shards: sets.primary.len(),
@@ -623,28 +651,82 @@ impl ShardedEngine {
     #[must_use]
     pub fn op_counts(&self) -> OpCounts {
         let sets = self.sets.read();
-        let mut total = OpCounts {
-            mm_allocs: self.retired.mm_allocs.load(Ordering::Relaxed),
-            index_searches: self.retired.index_searches.load(Ordering::Relaxed),
-            index_inserts: self.retired.index_inserts.load(Ordering::Relaxed),
-            index_deletes: self.retired.index_deletes.load(Ordering::Relaxed),
-        };
-        let mut add = |e: &KvEngine| {
-            let c = e.op_counts();
-            total.mm_allocs += c.mm_allocs;
-            total.index_searches += c.index_searches;
-            total.index_inserts += c.index_inserts;
-            total.index_deletes += c.index_deletes;
-        };
+        let mut total = self.retired.snapshot();
         for e in &sets.primary.engines {
-            add(e);
+            total += e.op_counts();
         }
         if let Some(donor) = &sets.donor {
             for e in &donor.engines {
-                add(e);
+                total += e.op_counts();
             }
         }
         total
+    }
+
+    /// Proactive TTL expiry: sweep up to `max_segments_per_shard`
+    /// expired segments on every *primary* shard (donors are left to
+    /// drain — their expired objects are dropped by the migration walk
+    /// instead, which already holds the per-shard write lock). Returns
+    /// aggregate `(objects purged, segments reclaimed)`.
+    pub fn sweep_expired(&self, max_segments_per_shard: usize) -> (usize, usize) {
+        let sets = self.sets.read();
+        let mut purged = 0;
+        let mut segments = 0;
+        for e in &sets.primary.engines {
+            let (p, s) = e.sweep_expired(max_segments_per_shard);
+            purged += p;
+            segments += s;
+        }
+        (purged, segments)
+    }
+
+    /// Cumulative expiry-reclamation counters summed across every
+    /// current shard (donors included while a resize drains — their
+    /// pre-migration reclaims still count).
+    #[must_use]
+    pub fn expiry_stats(&self) -> ExpiryStats {
+        let sets = self.sets.read();
+        let mut total = ExpiryStats::default();
+        let fold = |acc: &mut ExpiryStats, e: &KvEngine| {
+            let s = e.store.expiry_stats();
+            acc.expired_proactive += s.expired_proactive;
+            acc.segments_reclaimed += s.segments_reclaimed;
+            acc.sealed_segments += s.sealed_segments;
+        };
+        for e in &sets.primary.engines {
+            fold(&mut total, e);
+        }
+        if let Some(donor) = &sets.donor {
+            for e in &donor.engines {
+                fold(&mut total, e);
+            }
+        }
+        total
+    }
+
+    /// Per-class memory gauges merged across primary shards: every
+    /// shard carves the same class ladder, so classes are matched by
+    /// slot size and summed.
+    #[must_use]
+    pub fn class_stats(&self) -> Vec<ClassStats> {
+        let sets = self.sets.read();
+        let mut merged: Vec<ClassStats> = Vec::new();
+        for e in &sets.primary.engines {
+            for c in e.store.class_stats() {
+                match merged.iter_mut().find(|m| m.class_bytes == c.class_bytes) {
+                    Some(m) => {
+                        m.live_objects += c.live_objects;
+                        m.free_slots += c.free_slots;
+                        m.live_bytes += c.live_bytes;
+                        m.frag_bytes += c.frag_bytes;
+                        m.open_segments += c.open_segments;
+                    }
+                    None => merged.push(c),
+                }
+            }
+        }
+        merged.sort_by_key(|c| c.class_bytes);
+        merged
     }
 }
 
@@ -898,6 +980,77 @@ mod tests {
             }
         });
         assert!(freq >= 9, "CLOCK frequency lost in migration: {freq}");
+    }
+
+    #[test]
+    fn migration_preserves_ttl_deadlines() {
+        use dido_model::MockClock;
+        let clock = Arc::new(MockClock::at(10_000));
+        let s = ShardedEngine::with_clock(1, cfg(), clock.clone());
+        s.execute(&Query::set_with("ttl-long", "v", 100, 0));
+        s.execute(&Query::set_with("ttl-short", "v", 5, 0));
+        s.execute(&Query::set("ttl-never", "v"));
+        clock.advance(50); // short is now dead, long has 50 s left
+        s.resize_blocking(4, cfg()).unwrap();
+        assert_eq!(
+            s.execute(&Query::get("ttl-short")).status,
+            ResponseStatus::NotFound,
+            "expired key resurrected by migration"
+        );
+        assert_eq!(s.execute(&Query::get("ttl-long")).status, ResponseStatus::Ok);
+        clock.advance(49);
+        assert_eq!(
+            s.execute(&Query::get("ttl-long")).status,
+            ResponseStatus::Ok,
+            "deadline shortened by migration (expired early)"
+        );
+        clock.advance(1);
+        assert_eq!(
+            s.execute(&Query::get("ttl-long")).status,
+            ResponseStatus::NotFound,
+            "deadline re-based by migration (expired late)"
+        );
+        assert_eq!(s.execute(&Query::get("ttl-never")).status, ResponseStatus::Ok);
+    }
+
+    #[test]
+    fn set_with_ttl_during_migration_keeps_its_deadline() {
+        use dido_model::MockClock;
+        let clock = Arc::new(MockClock::at(2_000));
+        let s = ShardedEngine::with_clock(1, cfg(), clock.clone());
+        for i in 0..200 {
+            s.execute(&Query::set(format!("fill-{i}"), "v"));
+        }
+        s.begin_resize(2, cfg()).unwrap();
+        // A SET landing mid-migration goes through the locked donor
+        // path; its TTL must not be dropped on the floor there.
+        s.execute(&Query::set_with("mid-ttl", "v", 30, 0));
+        assert_eq!(s.execute(&Query::get("mid-ttl")).status, ResponseStatus::Ok);
+        while !s.migrate_chunk(1024).drained {}
+        s.settle_resize().unwrap();
+        clock.advance(30);
+        assert_eq!(
+            s.execute(&Query::get("mid-ttl")).status,
+            ResponseStatus::NotFound,
+            "TTL lost by the migrating SET path"
+        );
+    }
+
+    #[test]
+    fn sweep_expired_covers_every_primary_shard() {
+        use dido_model::MockClock;
+        let clock = Arc::new(MockClock::at(3_000));
+        let s = ShardedEngine::with_clock(4, cfg(), clock.clone());
+        for i in 0..120 {
+            s.execute(&Query::set_with(format!("sw-{i}"), "v", 10, 0));
+            s.execute(&Query::set(format!("keep-{i}"), "v"));
+        }
+        clock.advance(60);
+        let (purged, segments) = s.sweep_expired(usize::MAX);
+        assert_eq!(purged, 120);
+        assert!(segments >= 4, "every shard should reclaim at least one segment");
+        assert_eq!(s.live_objects(), 120);
+        assert_eq!(s.execute(&Query::get("keep-7")).status, ResponseStatus::Ok);
     }
 
     #[test]

@@ -11,9 +11,11 @@ use crate::batch::Batch;
 use crate::engine::KvEngine;
 use bytes::Bytes;
 use dido_hashtable::{key_hash, prefetch_read, Candidates, InsertError, KeyHash, PROBE_WAVEFRONT};
+use dido_kvstore::{ProbeOutcome, PurgedEntry};
 use dido_model::costs::{self, lines_for};
 use dido_model::{
-    IndexOpKind, Processor, Query, QueryOp, ResourceUsage, Response, TaskKind, TaskSet,
+    ttl_to_deadline, IndexOpKind, Processor, Query, QueryOp, ResourceUsage, Response, TaskKind,
+    TaskSet,
 };
 use dido_net::{encode_responses, frame_query_count, parse_frame, FrameBuilder};
 use std::ops::Range;
@@ -97,6 +99,7 @@ pub fn run_pp(frames: &[Bytes]) -> (Vec<Query>, ResourceUsage) {
 /// `MM`: allocate (and if necessary evict) for every SET in `range`.
 pub fn run_mm(ctx: StageCtx, engine: &KvEngine, batch: &mut Batch, range: Range<usize>) -> ResourceUsage {
     let mut usage = ResourceUsage::ZERO;
+    let now = engine.clock.now_secs();
     for i in range {
         if batch.queries[i].op != QueryOp::Set {
             continue;
@@ -104,11 +107,27 @@ pub fn run_mm(ctx: StageCtx, engine: &KvEngine, batch: &mut Batch, range: Range<
         let q = &batch.queries[i];
         usage += ResourceUsage::new(costs::MM_INSNS_PER_ALLOC, costs::MM_MEM_PER_ALLOC, 0);
         engine.ops.mm_allocs.fetch_add(1, AtomicOrdering::Relaxed);
-        match engine.store.allocate_with(&q.key, &q.value, q.ttl, q.flags) {
+        let kh = key_hash(&q.key);
+        let deadline = ttl_to_deadline(q.ttl, now);
+        match engine
+            .store
+            .allocate_with(&q.key, &q.value, deadline, q.flags, now, kh.hash)
+        {
             Ok(out) => {
                 if out.evicted.is_some() {
                     usage +=
                         ResourceUsage::new(costs::MM_INSNS_PER_EVICT, costs::MM_MEM_PER_EVICT, 0);
+                }
+                // Allocation pressure may have bulk-reclaimed expired
+                // segments; price each freed slot like an eviction's
+                // bookkeeping (the index unlink runs in IN-Delete).
+                let n_rec = out.reclaimed.len() as u64;
+                if n_rec > 0 {
+                    usage += ResourceUsage::new(
+                        n_rec * costs::MM_INSNS_PER_EVICT,
+                        n_rec * costs::MM_MEM_PER_EVICT,
+                        0,
+                    );
                 }
                 // Writing key+value into the fresh object: sequential
                 // stores, priced as cache-line writes.
@@ -117,6 +136,13 @@ pub fn run_mm(ctx: StageCtx, engine: &KvEngine, batch: &mut Batch, range: Range<
                     .with_bytes((q.key.len() + q.value.len()) as u64);
                 if let Some(ev) = &out.evicted {
                     engine.cache_invalidate(ev.loc);
+                }
+                // Segment-reclaim purges ride the engine's deferred
+                // queue (drained by the next IN-Delete pass) instead of
+                // per-query state, keeping QueryState lean for the
+                // batch-of-thousands case.
+                if !out.reclaimed.is_empty() {
+                    engine.pending_expired.push(out.reclaimed);
                 }
                 let st = &mut batch.state[i];
                 st.new_loc = Some(out.loc);
@@ -239,6 +265,41 @@ pub fn run_index_delete(
     let mut items = [(KH_NONE, 0u64); PROBE_WAVEFRONT];
     let mut removed = [false; PROBE_WAVEFRONT];
     let mut cands = [Candidates::default(); PROBE_WAVEFRONT];
+    // Lazy-expiry purges deferred by KC (IN-Delete has already run by
+    // the time KC observes an expired hit, so requests queue on the
+    // engine and drain here on the next batch). The cookie rebuilds the
+    // exact index entry; `entry_refreshed` spares entries a recycled
+    // slot made fresh again (same key re-set into the same loc), and
+    // `expire_if_due` revalidates the deadline before freeing.
+    let deferred = engine.pending_expired.drain();
+    if !deferred.is_empty() {
+        let now = engine.clock.now_secs();
+        for chunk in deferred.chunks(PROBE_WAVEFRONT) {
+            let mut n = 0usize;
+            for p in chunk {
+                if !engine.entry_refreshed(p.loc, p.cookie, now) {
+                    items[n] = (KeyHash::from_hash(p.cookie), p.loc);
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                continue;
+            }
+            engine
+                .ops
+                .index_deletes
+                .fetch_add(n as u64, AtomicOrdering::Relaxed);
+            usage += engine.index.delete_batch(&items[..n], &mut removed[..n]);
+            for &(_, loc) in &items[..n] {
+                // Free-and-invalidate for KC-deferred entries; bulk
+                // segment reclaims arrive here already freed and only
+                // need the cache-filter invalidation.
+                if engine.store.expire_if_due(loc, now) || !engine.store.slot_live(loc) {
+                    engine.cache_invalidate(loc);
+                }
+            }
+        }
+    }
     for wf in wavefronts(range) {
         // Eviction-generated deletes (paper: each memory-pressured SET
         // yields one Insert for the new object and one Delete for the
@@ -246,6 +307,16 @@ pub fn run_index_delete(
         let mut n_ev = 0usize;
         for i in wf.clone() {
             if let Some(ev) = batch.state[i].evicted.take() {
+                // MM freed the slot; if an allocation recycled it for
+                // the *same key* already, the entry is fresh and must
+                // survive (recycling to another key leaves this entry
+                // dangling — deleting it is still right).
+                let now = engine.clock.now_secs();
+                if engine.store.key_matches(ev.loc, &ev.key)
+                    && !engine.store.is_expired(ev.loc, now)
+                {
+                    continue;
+                }
                 items[n_ev] = (key_hash(&ev.key), ev.loc);
                 n_ev += 1;
             }
@@ -314,7 +385,17 @@ pub fn run_kc(
 ) -> ResourceUsage {
     let mut usage = ResourceUsage::ZERO;
     let epoch = engine.sample_epoch();
+    let now = engine.clock.now_secs();
+    // Snapshot the recycle generation before any key validation: RD
+    // compares against it after copying each value (see `run_rd`).
+    let gen = engine.store.recycle_gen() as u32;
+    // Expired hits are rare; they collect here (first push allocates,
+    // nothing on the no-TTL path) instead of widening per-query state.
+    let mut expired_hits: Vec<(usize, u64)> = Vec::new();
     for wf in wavefronts(range) {
+        // Record the snapshot for RD's post-copy recheck (one slot per
+        // wavefront — steal-tag granularity — instead of per query).
+        batch.wf_gens[wf.start / PROBE_WAVEFRONT] = gen;
         // Prefetch pass: pull every candidate object header of the
         // wavefront toward the cache before any key comparison runs, so
         // the compares don't serialize one miss per query.
@@ -353,12 +434,21 @@ pub fn run_kc(
                         key_lines.saturating_sub(1),
                     )
                 };
-                if engine.store.key_matches(loc, key) {
-                    resolved = Some(loc);
-                    hot = cache_hit;
-                    engine.store.touch(loc, epoch);
-                    break;
+                match engine.store.probe(loc, key, now) {
+                    ProbeOutcome::Miss => continue,
+                    ProbeOutcome::Expired => {
+                        // Past its deadline: the GET observes the miss
+                        // in-band; the purge runs batched, off the
+                        // response path (see below).
+                        expired_hits.push((i, loc));
+                    }
+                    ProbeOutcome::Hit => {
+                        resolved = Some(loc);
+                        hot = cache_hit;
+                        engine.store.touch(loc, epoch);
+                    }
                 }
+                break;
             }
             let st = &mut batch.state[i];
             st.loc = resolved;
@@ -367,6 +457,21 @@ pub fn run_kc(
                 st.response = Some(Response::not_found());
             }
         }
+    }
+    // Queue the expired hits for IN-Delete: one push for the whole
+    // sub-batch, taken only when something actually expired, so the
+    // no-TTL hot path pays nothing here.
+    if !expired_hits.is_empty() {
+        engine
+            .ops
+            .expired_lazy
+            .fetch_add(expired_hits.len() as u64, AtomicOrdering::Relaxed);
+        engine
+            .pending_expired
+            .push(expired_hits.into_iter().map(|(i, loc)| PurgedEntry {
+                loc,
+                cookie: key_hash(&batch.queries[i].key).hash,
+            }));
     }
     usage
 }
@@ -387,6 +492,7 @@ pub fn run_rd(
         ref queries,
         ref mut state,
         ref mut arena,
+        ref wf_gens,
         ..
     } = *batch;
     for wf in wavefronts(range) {
@@ -398,13 +504,15 @@ pub fn run_rd(
                 prefetch_read(engine.store.value_ptr(loc));
             }
         }
-        for i in wf {
+        let mut saw_get = false;
+        for i in wf.clone() {
             let Some(loc) = state[i].loc else {
                 continue;
             };
             if queries[i].op != QueryOp::Get {
                 continue;
             }
+            saw_get = true;
             let (klen, vlen) = engine.store.object_lens(loc);
             let val_lines = lines_for(vlen, ctx.cache_line);
             // Affinity (paper §III-B-1): KC fetched the object into this
@@ -425,6 +533,30 @@ pub fn run_rd(
                 engine.store.read_value(loc, buf);
             }));
             usage += ResourceUsage::new(val_lines * costs::INSNS_PER_LINE, 0, val_lines);
+        }
+        // A slot can be freed (expiry sweep on the controller thread,
+        // allocation-pressure reclaim on a peer dispatcher) and
+        // reallocated between KC's validation and the copies above. One
+        // fenced generation read per wavefront, against the snapshot KC
+        // recorded before validating, proves the common case untorn;
+        // only a wavefront that overlapped an actual slot recycle pays
+        // the per-query key recompare, which turns a recycled slot's
+        // bytes into a miss, never a torn value.
+        if saw_get
+            && engine.store.recycle_gen_validate() as u32 != wf_gens[wf.start / PROBE_WAVEFRONT]
+        {
+            for i in wf {
+                let Some(loc) = state[i].loc else {
+                    continue;
+                };
+                if queries[i].op != QueryOp::Get {
+                    continue;
+                }
+                if !engine.store.key_matches(loc, &queries[i].key) {
+                    state[i].staged = None;
+                    state[i].response = Some(Response::not_found());
+                }
+            }
         }
     }
     usage
@@ -751,6 +883,32 @@ mod tests {
     fn malformed_frames_are_dropped_not_fatal() {
         let (qs, _) = run_pp(&[Bytes::from_static(b"\x01")]);
         assert!(qs.is_empty());
+    }
+
+    #[test]
+    fn wavefront_path_expires_in_band_and_purges_next_batch() {
+        use dido_model::MockClock;
+        use std::sync::Arc;
+        let clock = Arc::new(MockClock::at(1_000));
+        let e = KvEngine::with_clock(
+            EngineConfig::new(1 << 20, 64 * 1024, 16 * 1024),
+            clock.clone(),
+        );
+        let r = run_full_pipeline(&e, vec![Query::set_with("ttl-wf", "wave", 10, 0)]);
+        assert_eq!(r[0].status, ResponseStatus::Ok);
+        let r = run_full_pipeline(&e, vec![Query::get("ttl-wf")]);
+        assert_eq!(&r[0].value[..], b"wave");
+        clock.advance(10);
+        // The vectorized KC observes the deadline in-band: a miss now.
+        let r = run_full_pipeline(&e, vec![Query::get("ttl-wf")]);
+        assert_eq!(r[0].status, ResponseStatus::NotFound);
+        assert_eq!(e.op_counts().expired_lazy, 1);
+        // The purge was deferred (IN-Delete runs before KC within a
+        // batch); the next batch's IN-Delete drains entry + slot.
+        run_full_pipeline(&e, vec![Query::get("unrelated")]);
+        assert!(!e.has_key(b"ttl-wf"));
+        assert_eq!(e.store.live_objects(), 0);
+        assert!(e.verify_integrity().is_clean());
     }
 
     #[test]

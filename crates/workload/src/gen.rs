@@ -213,6 +213,109 @@ impl AlternatingGen {
     }
 }
 
+/// Overlays TTL churn and mixed object sizes on a base workload: every
+/// SET carries a TTL drawn from a small ladder (a rung of `0` means a
+/// share of immortal keys), and each key id maps deterministically onto
+/// one of the four datasets so one stream exercises several slab
+/// classes at once. Keys embed the id in their first eight bytes, so
+/// GETs and DELETEs are re-keyed onto the same per-id dataset and
+/// always find their writes regardless of which class the object
+/// landed in. This is the eviction-path stress shape: expiry storms
+/// plus cross-class allocation pressure.
+#[derive(Debug)]
+pub struct TtlChurnGen {
+    inner: WorkloadGen,
+    ladder: Vec<u32>,
+    rng: StdRng,
+}
+
+impl TtlChurnGen {
+    /// Wrap the workload `spec` with TTLs sampled uniformly from
+    /// `ladder` on every SET.
+    ///
+    /// # Panics
+    /// Panics if `ladder` is empty or `n_keys == 0`.
+    #[must_use]
+    pub fn new(spec: WorkloadSpec, n_keys: u64, seed: u64, ladder: &[u32]) -> TtlChurnGen {
+        assert!(!ladder.is_empty(), "need at least one TTL rung");
+        TtlChurnGen {
+            inner: WorkloadGen::new(spec, n_keys, seed),
+            ladder: ladder.to_vec(),
+            rng: StdRng::seed_from_u64(seed ^ 0x7711_C4C4_77A1_D0D0),
+        }
+    }
+
+    /// The dataset (and thus slab class) key id `id` lives in.
+    #[must_use]
+    pub fn dataset_for(id: u64) -> Dataset {
+        let pick = crate::zipf::fnv_mix(id ^ 0xC1A5_5E5E_0B0B_B0B0) as usize;
+        Dataset::ALL[pick % Dataset::ALL.len()]
+    }
+
+    /// Number of distinct keys.
+    #[must_use]
+    pub fn keyspace(&self) -> u64 {
+        self.inner.keyspace()
+    }
+
+    /// The base workload specification (op mix and distribution; sizes
+    /// are per-key, not the spec's).
+    #[must_use]
+    pub fn spec(&self) -> &WorkloadSpec {
+        self.inner.spec()
+    }
+
+    fn sample_ttl(&mut self) -> u32 {
+        self.ladder[self.rng.gen_range(0..self.ladder.len())]
+    }
+
+    fn rekey(q: &mut Query) -> u64 {
+        let id = u64::from_le_bytes(q.key[..8].try_into().expect("keys embed an 8-byte id"));
+        q.key = key_bytes(TtlChurnGen::dataset_for(id), id);
+        id
+    }
+
+    /// Next query: the base workload's op and key id, re-keyed onto the
+    /// id's own dataset, with a ladder TTL on SETs.
+    pub fn next_query(&mut self) -> Query {
+        let mut q = self.inner.next_query();
+        let id = TtlChurnGen::rekey(&mut q);
+        if q.op == QueryOp::Set {
+            q.value = value_bytes(TtlChurnGen::dataset_for(id), id);
+            q.ttl = self.sample_ttl();
+        }
+        q
+    }
+
+    /// Generate a batch of `n` queries.
+    pub fn batch(&mut self, n: usize) -> Vec<Query> {
+        (0..n).map(|_| self.next_query()).collect()
+    }
+
+    /// SET queries (with ladder TTLs) for every key id in `0..limit`.
+    pub fn preload_queries(&mut self, limit: u64) -> Vec<Query> {
+        (0..limit.min(self.inner.keyspace()))
+            .map(|id| {
+                let ds = TtlChurnGen::dataset_for(id);
+                Query {
+                    op: QueryOp::Set,
+                    key: key_bytes(ds, id),
+                    value: value_bytes(ds, id),
+                    ttl: self.sample_ttl(),
+                    flags: 0,
+                }
+            })
+            .collect()
+    }
+}
+
+impl Iterator for TtlChurnGen {
+    type Item = Query;
+    fn next(&mut self) -> Option<Query> {
+        Some(self.next_query())
+    }
+}
+
 /// Overlays a traffic spike on a base workload: while active, a small
 /// hot set absorbs a fixed share of queries — the paper's §II-C spike
 /// scenario ("a swift surge in user interest on one topic, such as
@@ -396,6 +499,63 @@ mod tests {
         );
         sg.set_active(false);
         assert!(hot_share(&mut sg) < 0.01, "spike must switch off");
+    }
+
+    #[test]
+    fn ttl_churn_mixes_classes_and_ttls() {
+        let ladder = [2u32, 10, 0];
+        let mut g = TtlChurnGen::new(spec("K16-G50-U"), 5_000, 7, &ladder);
+        let mut key_sizes = std::collections::HashSet::new();
+        let mut seen_ttls = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            let q = g.next_query();
+            key_sizes.insert(q.key.len());
+            let id = u64::from_le_bytes(q.key[..8].try_into().unwrap());
+            let ds = TtlChurnGen::dataset_for(id);
+            assert_eq!(q.key, key_bytes(ds, id), "key must match the id's dataset");
+            if q.op == QueryOp::Set {
+                assert_eq!(q.value.len(), ds.value_size());
+                assert!(ladder.contains(&q.ttl), "ttl {} not on ladder", q.ttl);
+                seen_ttls.insert(q.ttl);
+            } else {
+                assert_eq!(q.ttl, 0, "only SETs carry TTLs");
+            }
+        }
+        assert!(key_sizes.len() >= 3, "sizes must span classes: {key_sizes:?}");
+        assert_eq!(seen_ttls.len(), 3, "all rungs must be used: {seen_ttls:?}");
+    }
+
+    #[test]
+    fn ttl_churn_reads_find_their_writes() {
+        // A GET of id k produces exactly the key a SET of id k produced,
+        // even though sizes are per-key now.
+        let mut g = TtlChurnGen::new(spec("K8-G50-U"), 64, 11, &[5]);
+        let mut stored = std::collections::HashMap::new();
+        for q in g.by_ref().take(2_000) {
+            match q.op {
+                QueryOp::Set => {
+                    stored.insert(q.key.clone(), q.value.clone());
+                }
+                _ => {
+                    if let Some(v) = stored.get(&q.key) {
+                        let id = u64::from_le_bytes(q.key[..8].try_into().unwrap());
+                        assert_eq!(v, &value_bytes(TtlChurnGen::dataset_for(id), id));
+                    }
+                }
+            }
+        }
+        assert!(!stored.is_empty());
+    }
+
+    #[test]
+    fn ttl_churn_is_deterministic_and_preloads() {
+        let mk = || TtlChurnGen::new(spec("K16-G95-S"), 500, 3, &[1, 60]).batch(100);
+        assert_eq!(mk(), mk());
+        let mut g = TtlChurnGen::new(spec("K16-G95-S"), 500, 3, &[1, 60]);
+        let pre = g.preload_queries(50);
+        assert_eq!(pre.len(), 50);
+        assert!(pre.iter().all(|q| q.op == QueryOp::Set));
+        assert!(pre.iter().all(|q| q.ttl == 1 || q.ttl == 60));
     }
 
     #[test]

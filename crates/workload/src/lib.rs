@@ -23,6 +23,6 @@ mod gen;
 mod spec;
 mod zipf;
 
-pub use gen::{key_bytes, value_bytes, AlternatingGen, SpikeGen, WorkloadGen};
+pub use gen::{key_bytes, value_bytes, AlternatingGen, SpikeGen, TtlChurnGen, WorkloadGen};
 pub use spec::{Dataset, KeyDistribution, WorkloadSpec};
 pub use zipf::{fnv_mix, ScrambledZipfian, Zipfian};
